@@ -1,0 +1,51 @@
+//! Criterion benches: simulator throughput per launch policy on
+//! representative workloads (Tiny scale so `cargo bench` stays quick).
+//!
+//! These measure *simulator* wall time, not simulated cycles — the figure
+//! binaries report the simulated-performance results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dynapar_core::{BaselineDp, Dtbl, SpawnPolicy};
+use dynapar_gpu::{GpuConfig, LaunchController};
+use dynapar_workloads::{suite, Scale};
+
+fn policy_for(name: &str, cfg: &GpuConfig) -> Box<dyn LaunchController> {
+    match name {
+        "flat" => Box::new(dynapar_gpu::InlineAll),
+        "baseline-dp" => Box::new(BaselineDp::new()),
+        "spawn" => Box::new(SpawnPolicy::from_config(cfg)),
+        "dtbl" => Box::new(Dtbl::new()),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let cfg = GpuConfig::kepler_k20m();
+    for bench_name in ["BFS-graph500", "SA-thaliana", "AMR"] {
+        let bench = suite::by_name(bench_name, Scale::Tiny, suite::DEFAULT_SEED)
+            .expect("known benchmark");
+        let mut group = c.benchmark_group(bench_name);
+        group.sample_size(10);
+        for policy in ["flat", "baseline-dp", "spawn", "dtbl"] {
+            group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, p| {
+                b.iter(|| bench.run(&cfg, policy_for(p, &cfg)))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for name in ["BFS-graph500", "Mandel", "SA-thaliana"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, n| {
+            b.iter(|| suite::by_name(n, Scale::Tiny, 42).expect("known"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_workload_build);
+criterion_main!(benches);

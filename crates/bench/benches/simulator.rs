@@ -1,0 +1,83 @@
+//! Criterion micro-benches for the simulator substrates: event queue,
+//! cache tag array, coalescer, and the memory hierarchy's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dynapar_engine::{Cycle, DetRng, EventQueue};
+use dynapar_gpu::config::MemConfig;
+use dynapar_gpu::mem::{coalesce_lines, Cache, MemSystem};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = DetRng::new(1);
+            for i in 0..10_000u64 {
+                q.push(Cycle(rng.below(1 << 20)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l2_cache_probe_fill_10k", |b| {
+        let mut cache = Cache::with_geometry(128 * 1024, 128, 8);
+        let mut rng = DetRng::new(2);
+        let lines: Vec<u64> = (0..10_000).map(|_| rng.below(1 << 14)).collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &l in &lines {
+                if cache.probe_fill(l) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    c.bench_function("coalesce_divergent_warp", |b| {
+        let mut rng = DetRng::new(3);
+        let addrs: Vec<u64> = (0..64).map(|_| rng.below(1 << 30)).collect();
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&addrs);
+            coalesce_lines(&mut buf, 128);
+            buf.len()
+        })
+    });
+}
+
+fn bench_mem_hierarchy(c: &mut Criterion) {
+    c.bench_function("mem_warp_read_mixed_1k", |b| {
+        let cfg = MemConfig::default();
+        let mut rng = DetRng::new(4);
+        let batches: Vec<Vec<u64>> = (0..1000)
+            .map(|_| (0..4).map(|_| rng.below(1 << 16)).collect())
+            .collect();
+        b.iter(|| {
+            let mut mem = MemSystem::new(&cfg, 13);
+            let mut t = Cycle(0);
+            for (i, lines) in batches.iter().enumerate() {
+                t = mem.warp_read(t.max(Cycle(i as u64)), i % 13, lines);
+            }
+            t
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cache,
+    bench_coalescer,
+    bench_mem_hierarchy
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablation study of the design choices DESIGN.md calls out: SPAWN's
+//! queue-feedback term, warm-start priors, the HWQ count, the HWQ
+//! turnaround floor, and the loop-MLP depth.
+
+use dynapar_bench::{fmt2, Options};
+use dynapar_core::SpawnPolicy;
+use dynapar_workloads::suite;
+
+fn main() {
+    let opts = Options::from_args();
+    let benches = ["BFS-graph500", "SA-thaliana", "AMR"];
+
+    println!("# Ablation — SPAWN variants (speedup over flat)");
+    for name in benches {
+        let cfg = opts.config();
+        let bench = suite::by_name(name, opts.scale, opts.seed).expect("known");
+        let flat = bench.run_flat(&cfg);
+        let full = bench.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
+        let noq = bench.run(
+            &cfg,
+            Box::new(SpawnPolicy::from_config(&cfg).without_queue_term()),
+        );
+        let warm = bench.run(
+            &cfg,
+            Box::new(SpawnPolicy::with_warm_start(
+                cfg.launch,
+                cfg.metric_window_log2,
+                cfg.pending_pool_cap as u64,
+                2000,
+                2000,
+            )),
+        );
+        let hw16 = bench.run(
+            &cfg,
+            Box::new(SpawnPolicy::from_config(&cfg).with_hardware_widths()),
+        );
+        let adaptive = bench.run(
+            &cfg,
+            Box::new(dynapar_core::AdaptiveThreshold::new(
+                bench.default_threshold().max(1),
+                1 << 14,
+            )),
+        );
+        println!(
+            "{:<14} full={} no-queue-term={} warm-start={} hw-16bit={} adaptive-threshold={}",
+            name,
+            fmt2(full.speedup_over(flat.total_cycles)),
+            fmt2(noq.speedup_over(flat.total_cycles)),
+            fmt2(warm.speedup_over(flat.total_cycles)),
+            fmt2(hw16.speedup_over(flat.total_cycles)),
+            fmt2(adaptive.speedup_over(flat.total_cycles)),
+        );
+    }
+
+    println!("\n# Ablation — HWQ count (Baseline-DP on BFS-graph500)");
+    let bench = suite::by_name("BFS-graph500", opts.scale, opts.seed).expect("known");
+    let flat = bench.run_flat(&opts.config());
+    for hwqs in [8u32, 16, 32, 64] {
+        let mut cfg = opts.config();
+        cfg.num_hwqs = hwqs;
+        let r = bench.run(&cfg, Box::new(dynapar_core::BaselineDp::new()));
+        println!(
+            "hwqs={hwqs:<3} speedup={} queue latency={:.0}",
+            fmt2(r.speedup_over(flat.total_cycles)),
+            r.avg_child_queue_latency
+        );
+    }
+
+    println!("\n# Ablation — HWQ turnaround floor (Baseline-DP on BFS-graph500)");
+    for ta in [0u64, 500, 1000, 2500] {
+        let mut cfg = opts.config();
+        cfg.launch.hwq_turnaround_cycles = ta;
+        let r = bench.run(&cfg, Box::new(dynapar_core::BaselineDp::new()));
+        println!(
+            "turnaround={ta:<5} speedup={}",
+            fmt2(r.speedup_over(flat.total_cycles))
+        );
+    }
+
+    println!("\n# Ablation — launch mechanisms (speedup over flat)");
+    for name in ["BFS-graph500", "SA-thaliana", "AMR", "MM-small"] {
+        let cfg = opts.config();
+        let bench = suite::by_name(name, opts.scale, opts.seed).expect("known");
+        let flat = bench.run_flat(&cfg);
+        let spawn = bench.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
+        let dtbl = bench.run(&cfg, Box::new(dynapar_core::Dtbl::new()));
+        let fl = bench.run(&cfg, Box::new(dynapar_core::FreeLaunch::new()));
+        println!(
+            "{:<14} spawn={} dtbl={} free-launch={}",
+            name,
+            fmt2(spawn.speedup_over(flat.total_cycles)),
+            fmt2(dtbl.speedup_over(flat.total_cycles)),
+            fmt2(fl.speedup_over(flat.total_cycles)),
+        );
+    }
+
+    println!("\n# Ablation — child CTA placement (Baseline-DP)");
+    for name in ["BFS-graph500", "SA-thaliana"] {
+        let bench = suite::by_name(name, opts.scale, opts.seed).expect("known");
+        let mut cfg = opts.config();
+        let rr = bench.run(&cfg, Box::new(dynapar_core::BaselineDp::new()));
+        cfg.cta_placement = dynapar_gpu::CtaPlacement::ParentAffinity;
+        let aff = bench.run(&cfg, Box::new(dynapar_core::BaselineDp::new()));
+        println!(
+            "{:<14} round-robin: {} cycles L1={:.1}% | parent-affinity: {} cycles L1={:.1}% ({} faster)",
+            name,
+            rr.total_cycles,
+            rr.mem.l1_hit_rate() * 100.0,
+            aff.total_cycles,
+            aff.mem.l1_hit_rate() * 100.0,
+            fmt2(rr.total_cycles as f64 / aff.total_cycles as f64),
+        );
+    }
+
+    println!("\n# Ablation — loop MLP depth (flat BFS-graph500)");
+    let mut base_flat = None;
+    for mlp in [1u32, 2, 4, 8] {
+        let mut cfg = opts.config();
+        cfg.mlp_depth = mlp;
+        let r = bench.run_flat(&cfg);
+        let base = *base_flat.get_or_insert(r.total_cycles);
+        println!(
+            "mlp={mlp} cycles={} speedup-over-mlp1={}",
+            r.total_cycles,
+            fmt2(base as f64 / r.total_cycles as f64)
+        );
+    }
+}

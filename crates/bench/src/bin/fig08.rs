@@ -1,0 +1,29 @@
+//! Fig. 8: one SWQ (stream) per child kernel vs one per parent CTA,
+//! normalized to the per-parent-CTA assignment, under Baseline-DP.
+
+use dynapar_bench::{fmt2, print_header, print_row, Options};
+use dynapar_core::BaselineDp;
+use dynapar_gpu::StreamPolicy;
+
+fn main() {
+    let opts = Options::from_args();
+    println!("# Fig. 8 — per-child-kernel SWQ speedup over per-parent-CTA SWQ");
+    let widths = [14, 10];
+    print_header(&["benchmark", "speedup"], &widths);
+    for bench in opts.suite() {
+        let mut cfg = opts.config();
+        cfg.stream_policy = StreamPolicy::PerParentCta;
+        let per_cta = bench.run(&cfg, Box::new(BaselineDp::new()));
+        cfg.stream_policy = StreamPolicy::PerChildKernel;
+        let per_child = bench.run(&cfg, Box::new(BaselineDp::new()));
+        print_row(
+            &[
+                bench.name().to_string(),
+                fmt2(per_child.speedup_over(per_cta.total_cycles)),
+            ],
+            &widths,
+        );
+    }
+    println!("# paper: a unique SWQ per child kernel always performs at least as");
+    println!("# well (up to 4.1x) because shared SWQs serialize siblings.");
+}

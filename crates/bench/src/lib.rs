@@ -1,0 +1,218 @@
+//! # dynapar-bench
+//!
+//! The experiment harness: shared helpers used by the `table*`/`fig*`
+//! binaries that regenerate every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results).
+//!
+//! Each binary prints machine-grep-friendly rows to stdout. Common CLI:
+//! `--scale tiny|small|paper` (default `paper`) and `--seed N`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod svg;
+
+use dynapar_core::{offline, BaselineDp, SpawnPolicy, SweepResult};
+use dynapar_gpu::{GpuConfig, SimReport};
+use dynapar_workloads::{suite, Benchmark, Scale};
+
+/// Offload fractions targeted by the Fig. 5 / Offline-Search threshold
+/// sweeps (the paper samples 4–7 distribution points per benchmark).
+pub const SWEEP_FRACTIONS: [f64; 8] = [0.01, 0.05, 0.15, 0.30, 0.50, 0.70, 0.90, 0.99];
+
+/// Results of running one benchmark under the three headline schemes
+/// (plus the sweep that defines Offline-Search).
+#[derive(Debug)]
+pub struct SchemeRuns {
+    /// The benchmark that was run.
+    pub name: String,
+    /// Flat (non-DP) run — the normalization baseline.
+    pub flat: SimReport,
+    /// Baseline-DP (the application's own `THRESHOLD`).
+    pub baseline: SimReport,
+    /// The full offline threshold sweep.
+    pub sweep: SweepResult,
+    /// SPAWN.
+    pub spawn: SimReport,
+}
+
+impl SchemeRuns {
+    /// Offline-Search's deployed point (best of the sweep).
+    pub fn offline_best(&self) -> &SimReport {
+        &self.sweep.best().report
+    }
+
+    /// `(baseline, offline, spawn)` speedups over flat.
+    pub fn speedups(&self) -> (f64, f64, f64) {
+        let f = self.flat.total_cycles;
+        (
+            self.baseline.speedup_over(f),
+            self.offline_best().speedup_over(f),
+            self.spawn.speedup_over(f),
+        )
+    }
+}
+
+/// Runs a benchmark under flat, Baseline-DP, the Offline-Search sweep and
+/// SPAWN, with identical configuration.
+pub fn run_schemes(bench: &Benchmark, cfg: &GpuConfig) -> SchemeRuns {
+    let flat = bench.run_flat(cfg);
+    let baseline = bench.run(cfg, Box::new(BaselineDp::new()));
+    // Exhaustive static search: the offload-fraction grid plus the
+    // application's own threshold and the launch-everything extreme, so
+    // Offline-Search can never lose to Baseline-DP by grid omission.
+    let mut grid = bench.threshold_grid(&SWEEP_FRACTIONS);
+    grid.push(bench.default_threshold());
+    grid.push(0);
+    grid.sort_unstable();
+    grid.dedup();
+    let sweep = offline::sweep(&grid, |policy| bench.run(cfg, policy));
+    let spawn = bench.run(cfg, Box::new(SpawnPolicy::from_config(cfg)));
+    SchemeRuns {
+        name: bench.name().to_string(),
+        flat,
+        baseline,
+        sweep,
+        spawn,
+    }
+}
+
+/// CLI options shared by every harness binary.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Input scale.
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::Paper,
+            seed: suite::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--scale` / `--seed` from the process arguments; unknown
+    /// arguments are ignored so binaries can add their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on a malformed value.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => Scale::Tiny,
+                        Some("small") => Scale::Small,
+                        Some("paper") => Scale::Paper,
+                        other => panic!("--scale expects tiny|small|paper, got {other:?}"),
+                    };
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed expects an integer");
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Builds the Table II configuration for this run.
+    pub fn config(&self) -> GpuConfig {
+        GpuConfig::kepler_k20m()
+    }
+
+    /// All 13 benchmarks at this scale.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        suite::all(self.scale, self.seed)
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let cells: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", cells.join("  "));
+}
+
+/// Prints a header row followed by a separator.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    print_row(
+        &cols.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a ratio as `x.xx`.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_runs_have_consistent_work() {
+        let cfg = GpuConfig::test_small();
+        let bench = suite::by_name("GC-citation", Scale::Tiny, 1).expect("known");
+        let runs = run_schemes(&bench, &cfg);
+        let t = runs.flat.items_total();
+        assert_eq!(runs.baseline.items_total(), t);
+        assert_eq!(runs.spawn.items_total(), t);
+        for p in runs.sweep.points() {
+            assert_eq!(p.report.items_total(), t);
+        }
+        let (b, o, s) = runs.speedups();
+        assert!(b > 0.0 && o > 0.0 && s > 0.0);
+        // Offline-Search is the best static point of its own sweep.
+        let sweep_min = runs
+            .sweep
+            .points()
+            .iter()
+            .map(|p| p.report.total_cycles)
+            .min()
+            .expect("non-empty sweep");
+        assert_eq!(runs.offline_best().total_cycles, sweep_min);
+    }
+
+    #[test]
+    fn options_default() {
+        let o = Options::default();
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.seed, suite::DEFAULT_SEED);
+        assert_eq!(o.config().smx_count, 13);
+        assert_eq!(o.suite().len(), 13);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt2(1.567), "1.57");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

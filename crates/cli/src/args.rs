@@ -1,0 +1,401 @@
+//! Hand-rolled argument parsing for the `dynapar` CLI (kept
+//! dependency-free on purpose — the workspace's sanctioned crates don't
+//! include an argument parser).
+
+use dynapar_workloads::Scale;
+
+/// Which launch policy to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyArg {
+    /// Flat (non-DP).
+    Flat,
+    /// Baseline-DP (the application's own threshold).
+    Baseline,
+    /// SPAWN.
+    Spawn,
+    /// DTBL aggregation.
+    Dtbl,
+    /// Launch every candidate.
+    Always,
+    /// Fixed threshold `N` (`threshold:N`).
+    Threshold(u32),
+    /// Online hill-climbing threshold tuner.
+    Adaptive,
+    /// Free-Launch-style intra-warp redistribution.
+    FreeLaunch,
+}
+
+impl PolicyArg {
+    /// Parses a policy spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted forms on unknown input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "flat" => Ok(PolicyArg::Flat),
+            "baseline" => Ok(PolicyArg::Baseline),
+            "spawn" => Ok(PolicyArg::Spawn),
+            "dtbl" => Ok(PolicyArg::Dtbl),
+            "always" => Ok(PolicyArg::Always),
+            "adaptive" => Ok(PolicyArg::Adaptive),
+            "freelaunch" | "free-launch" => Ok(PolicyArg::FreeLaunch),
+            other => {
+                if let Some(t) = other.strip_prefix("threshold:") {
+                    t.parse()
+                        .map(PolicyArg::Threshold)
+                        .map_err(|_| format!("bad threshold in {other:?}"))
+                } else {
+                    Err(format!(
+                        "unknown policy {other:?}; expected flat|baseline|spawn|dtbl|always|adaptive|freelaunch|threshold:N"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyArg::Flat => "flat".into(),
+            PolicyArg::Baseline => "baseline".into(),
+            PolicyArg::Spawn => "spawn".into(),
+            PolicyArg::Dtbl => "dtbl".into(),
+            PolicyArg::Always => "always".into(),
+            PolicyArg::Threshold(t) => format!("threshold:{t}"),
+            PolicyArg::Adaptive => "adaptive".into(),
+            PolicyArg::FreeLaunch => "free-launch".into(),
+        }
+    }
+}
+
+/// The CLI's subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run one benchmark under one policy.
+    Run {
+        /// Benchmark name.
+        bench: String,
+        /// Policy to run it under.
+        policy: PolicyArg,
+        /// Trace-capacity request, if tracing.
+        trace: Option<usize>,
+        /// Write the timeline as CSV to this path.
+        timeline_csv: Option<String>,
+        /// Write the per-kernel table as CSV to this path.
+        kernels_csv: Option<String>,
+    },
+    /// Level-synchronous BFS (multi-kernel) under one policy vs flat.
+    Levels {
+        /// Graph input: citation | graph500.
+        input: String,
+        /// Policy to evaluate.
+        policy: PolicyArg,
+    },
+    /// Threshold sweep on one benchmark.
+    Sweep {
+        /// Benchmark name.
+        bench: String,
+        /// Number of sweep points.
+        points: usize,
+    },
+    /// All policies side by side on one benchmark.
+    Compare {
+        /// Benchmark name.
+        bench: String,
+    },
+    /// Whole Table I suite under one policy vs flat.
+    Suite {
+        /// Policy to evaluate.
+        policy: PolicyArg,
+    },
+    /// Run a benchmark described by a plain-text spec file.
+    Spec {
+        /// Path to the spec file.
+        file: String,
+        /// Policy to run it under.
+        policy: PolicyArg,
+    },
+    /// Print the simulated-GPU configuration.
+    Config,
+    /// List available benchmarks.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Input scale (default paper).
+    pub scale: Scale,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dynapar — GPU dynamic-parallelism simulator (SPAWN, HPCA 2017)
+
+USAGE:
+  dynapar run --bench <NAME> --policy <POLICY> [--trace N]
+              [--timeline-csv F] [--kernels-csv F] [options]
+  dynapar levels --input citation|graph500 --policy <POLICY> [options]
+  dynapar sweep --bench <NAME> [--points N] [options]
+  dynapar compare --bench <NAME> [options]
+  dynapar suite --policy <POLICY> [options]
+  dynapar spec --file <PATH> --policy <POLICY> [options]
+  dynapar config
+  dynapar list
+
+POLICIES:  flat | baseline | spawn | dtbl | always | adaptive | freelaunch | threshold:N
+OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
+BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
+";
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+/// Parses the full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a message suitable for printing alongside [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut scale = Scale::Paper;
+    let mut seed = dynapar_workloads::suite::DEFAULT_SEED;
+    let mut bench: Option<String> = None;
+    let mut policy: Option<PolicyArg> = None;
+    let mut trace: Option<usize> = None;
+    let mut points = 8usize;
+    let mut timeline_csv: Option<String> = None;
+    let mut kernels_csv: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut file: Option<String> = None;
+    let sub = args.first().map(String::as_str).unwrap_or("help");
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = match take_value(args, &mut i, "--scale")? {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--bench" => bench = Some(take_value(args, &mut i, "--bench")?.to_string()),
+            "--policy" => policy = Some(PolicyArg::parse(take_value(args, &mut i, "--policy")?)?),
+            "--trace" => {
+                trace = Some(
+                    take_value(args, &mut i, "--trace")?
+                        .parse()
+                        .map_err(|_| "--trace expects a capacity".to_string())?,
+                );
+            }
+            "--timeline-csv" => {
+                timeline_csv = Some(take_value(args, &mut i, "--timeline-csv")?.to_string());
+            }
+            "--kernels-csv" => {
+                kernels_csv = Some(take_value(args, &mut i, "--kernels-csv")?.to_string());
+            }
+            "--input" => input = Some(take_value(args, &mut i, "--input")?.to_string()),
+            "--file" => file = Some(take_value(args, &mut i, "--file")?.to_string()),
+            "--points" => {
+                points = take_value(args, &mut i, "--points")?
+                    .parse()
+                    .map_err(|_| "--points expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let need_bench = || bench.clone().ok_or_else(|| "--bench is required".to_string());
+    let command = match sub {
+        "run" => Command::Run {
+            bench: need_bench()?,
+            policy: policy.ok_or("--policy is required")?,
+            trace,
+            timeline_csv,
+            kernels_csv,
+        },
+        "levels" => Command::Levels {
+            input: input.ok_or("--input is required (citation|graph500)")?,
+            policy: policy.ok_or("--policy is required")?,
+        },
+        "sweep" => Command::Sweep {
+            bench: need_bench()?,
+            points,
+        },
+        "compare" => Command::Compare {
+            bench: need_bench()?,
+        },
+        "suite" => Command::Suite {
+            policy: policy.ok_or("--policy is required")?,
+        },
+        "spec" => Command::Spec {
+            file: file.ok_or("--file is required")?,
+            policy: policy.ok_or("--policy is required")?,
+        },
+        "config" => Command::Config,
+        "list" => Command::List,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    Ok(Cli {
+        command,
+        scale,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--scale", "tiny", "--seed", "9",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Run {
+                bench: "AMR".into(),
+                policy: PolicyArg::Spawn,
+                trace: None,
+                timeline_csv: None,
+                kernels_csv: None,
+            }
+        );
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn parses_threshold_policy() {
+        assert_eq!(PolicyArg::parse("threshold:42"), Ok(PolicyArg::Threshold(42)));
+        assert!(PolicyArg::parse("threshold:x").is_err());
+        assert!(PolicyArg::parse("nope").is_err());
+        assert_eq!(PolicyArg::Threshold(7).label(), "threshold:7");
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&v(&["run", "--bench", "AMR"])).is_err());
+        assert!(parse(&v(&["run", "--policy", "spawn"])).is_err());
+        assert!(parse(&v(&["suite"])).is_err());
+    }
+
+    #[test]
+    fn unknown_inputs_error() {
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--wat"])).is_err());
+        assert!(parse(&v(&["run", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn bare_invocation_is_help() {
+        let cli = parse(&[]).expect("help");
+        assert_eq!(cli.command, Command::Help);
+    }
+
+    #[test]
+    fn sweep_and_compare() {
+        let cli = parse(&v(&["sweep", "--bench", "Mandel", "--points", "5"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Sweep {
+                bench: "Mandel".into(),
+                points: 5
+            }
+        );
+        let cli = parse(&v(&["compare", "--bench", "Mandel"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Compare {
+                bench: "Mandel".into()
+            }
+        );
+    }
+
+    #[test]
+    fn trace_flag() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--trace", "1000",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run { trace, .. } => assert_eq!(trace, Some(1000)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn levels_subcommand() {
+        let cli = parse(&v(&["levels", "--input", "graph500", "--policy", "spawn"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Levels {
+                input: "graph500".into(),
+                policy: PolicyArg::Spawn
+            }
+        );
+        assert!(parse(&v(&["levels", "--policy", "spawn"])).is_err());
+    }
+
+    #[test]
+    fn spec_subcommand() {
+        let cli = parse(&v(&["spec", "--file", "x.spec", "--policy", "baseline"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Spec {
+                file: "x.spec".into(),
+                policy: PolicyArg::Baseline
+            }
+        );
+        assert!(parse(&v(&["spec", "--policy", "baseline"])).is_err());
+    }
+
+    #[test]
+    fn csv_flags() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--timeline-csv", "t.csv",
+            "--kernels-csv", "k.csv",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run {
+                timeline_csv,
+                kernels_csv,
+                ..
+            } => {
+                assert_eq!(timeline_csv.as_deref(), Some("t.csv"));
+                assert_eq!(kernels_csv.as_deref(), Some("k.csv"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! `dynapar` — command-line front end to the SPAWN reproduction.
+//!
+//! ```sh
+//! dynapar run --bench SA-thaliana --policy spawn --scale small
+//! dynapar compare --bench AMR --scale small
+//! dynapar sweep --bench BFS-graph500 --points 6
+//! dynapar suite --policy spawn --scale small
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{Cli, Command, PolicyArg, USAGE};
+use dynapar_core::{
+    offline, AdaptiveThreshold, AlwaysLaunch, BaselineDp, Dtbl, FixedThreshold, FreeLaunch,
+    SpawnPolicy,
+};
+use dynapar_gpu::{GpuConfig, LaunchController, SimReport};
+use dynapar_workloads::{suite, Benchmark};
+
+fn controller(policy: &PolicyArg, cfg: &GpuConfig, bench: &Benchmark) -> Box<dyn LaunchController> {
+    match policy {
+        PolicyArg::Flat => Box::new(dynapar_gpu::InlineAll),
+        PolicyArg::Baseline => Box::new(BaselineDp::new()),
+        PolicyArg::Spawn => Box::new(SpawnPolicy::from_config(cfg)),
+        PolicyArg::Dtbl => Box::new(Dtbl::new()),
+        PolicyArg::Always => Box::new(AlwaysLaunch::new()),
+        PolicyArg::Threshold(t) => Box::new(FixedThreshold::new(*t)),
+        PolicyArg::Adaptive => Box::new(AdaptiveThreshold::new(
+            bench.default_threshold().max(1),
+            1 << 14,
+        )),
+        PolicyArg::FreeLaunch => Box::new(FreeLaunch::new()),
+    }
+}
+
+fn summarize(label: &str, r: &SimReport, flat_cycles: Option<u64>) {
+    let speedup = flat_cycles
+        .map(|f| format!(" ({:.2}x vs flat)", r.speedup_over(f)))
+        .unwrap_or_default();
+    println!("{label:<14} {:>10} cycles{speedup}", r.total_cycles);
+    println!(
+        "{:<14} kernels={} agg-ctas={} offload={:.1}% occupancy={:.1}% L2={:.1}% queue-lat={:.0}",
+        "",
+        r.child_kernels_launched,
+        r.aggregated_ctas,
+        r.offload_fraction() * 100.0,
+        r.occupancy * 100.0,
+        r.mem.l2_hit_rate() * 100.0,
+        r.avg_child_queue_latency,
+    );
+}
+
+fn get_bench(name: &str, cli: &Cli) -> Result<Benchmark, String> {
+    suite::by_name(name, cli.scale, cli.seed)
+        .ok_or_else(|| format!("unknown benchmark {name:?}; try `dynapar list`"))
+}
+
+fn exec(cli: Cli) -> Result<(), String> {
+    let cfg = GpuConfig::kepler_k20m();
+    match &cli.command {
+        Command::Help => print!("{USAGE}"),
+        Command::List => {
+            for n in suite::NAMES {
+                println!("{n}");
+            }
+            println!("SA-elegans (extra input for the Fig. 21 comparison)");
+        }
+        Command::Config => {
+            println!("{cfg:#?}");
+        }
+        Command::Spec { file, policy } => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let spec = dynapar_workloads::BenchmarkSpec::parse(&text).map_err(|e| e.to_string())?;
+            let b = spec.build(cli.seed);
+            println!(
+                "# spec {}: {} threads, {} items",
+                b.name(),
+                b.threads(),
+                b.total_items()
+            );
+            let flat = b.run_flat(&cfg);
+            summarize("flat", &flat, None);
+            let r = b.run(&cfg, controller(policy, &cfg, &b));
+            summarize(&policy.label(), &r, Some(flat.total_cycles));
+        }
+        Command::Levels { input, policy } => {
+            use dynapar_workloads::apps::{bfs::levels, GraphInput};
+            let gi = match input.as_str() {
+                "citation" => GraphInput::Citation,
+                "graph500" => GraphInput::Graph500,
+                other => return Err(format!("unknown input {other:?} (citation|graph500)")),
+            };
+            let flat = levels::run(gi, cli.scale, cli.seed, &cfg, Box::new(dynapar_gpu::InlineAll));
+            summarize("flat", &flat, None);
+            // Build a throwaway benchmark handle for policy construction.
+            let b = suite::by_name("BFS-graph500", cli.scale, cli.seed).expect("known");
+            let r = levels::run(gi, cli.scale, cli.seed, &cfg, controller(policy, &cfg, &b));
+            summarize(&policy.label(), &r, Some(flat.total_cycles));
+        }
+        Command::Run {
+            bench,
+            policy,
+            trace,
+            timeline_csv,
+            kernels_csv,
+        } => {
+            let b = get_bench(bench, &cli)?;
+            println!(
+                "# {} at {:?} scale: {} threads, {} items",
+                b.name(),
+                cli.scale,
+                b.threads(),
+                b.total_items()
+            );
+            let ctrl = controller(policy, &cfg, &b);
+            if let Some(capacity) = trace {
+                let mut sim = dynapar_gpu::Simulation::new(cfg.clone(), ctrl);
+                sim.enable_trace(*capacity);
+                sim.launch_host(b.kernel());
+                let (r, tr) = sim.run_traced();
+                summarize(&policy.label(), &r, None);
+                println!("# trace: {} events ({} dropped)", tr.events().len(), tr.dropped());
+                for ev in tr.events().iter().take(40) {
+                    println!("  {ev}");
+                }
+                if tr.events().len() > 40 {
+                    println!("  ... ({} more)", tr.events().len() - 40);
+                }
+            } else {
+                let r = b.run(&cfg, ctrl);
+                summarize(&policy.label(), &r, None);
+                if let Some(path) = timeline_csv {
+                    std::fs::write(path, r.timeline_csv())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("# timeline written to {path}");
+                }
+                if let Some(path) = kernels_csv {
+                    std::fs::write(path, r.kernels_csv())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("# kernel table written to {path}");
+                }
+            }
+        }
+        Command::Compare { bench } => {
+            let b = get_bench(bench, &cli)?;
+            let flat = b.run_flat(&cfg);
+            summarize("flat", &flat, None);
+            for p in [
+                PolicyArg::Baseline,
+                PolicyArg::Spawn,
+                PolicyArg::Dtbl,
+                PolicyArg::Always,
+                PolicyArg::Adaptive,
+                PolicyArg::FreeLaunch,
+            ] {
+                let r = b.run(&cfg, controller(&p, &cfg, &b));
+                summarize(&p.label(), &r, Some(flat.total_cycles));
+            }
+        }
+        Command::Sweep { bench, points } => {
+            let b = get_bench(bench, &cli)?;
+            let flat = b.run_flat(&cfg);
+            let fracs: Vec<f64> = (1..=*points)
+                .map(|i| i as f64 / (*points as f64 + 1.0))
+                .collect();
+            let mut grid = b.threshold_grid(&fracs);
+            grid.push(b.default_threshold());
+            grid.sort_unstable();
+            grid.dedup();
+            let sweep = offline::sweep(&grid, |policy| b.run(&cfg, policy));
+            println!("{:>10} {:>9} {:>8} {:>9}", "THRESHOLD", "offload%", "speedup", "kernels");
+            for p in sweep.points() {
+                println!(
+                    "{:>10} {:>8.1}% {:>7.2}x {:>9}",
+                    p.threshold,
+                    p.offload_fraction() * 100.0,
+                    p.report.speedup_over(flat.total_cycles),
+                    p.report.child_kernels_launched
+                );
+            }
+            let best = sweep.best();
+            println!(
+                "best: THRESHOLD={} -> {:.2}x",
+                best.threshold,
+                best.report.speedup_over(flat.total_cycles)
+            );
+        }
+        Command::Suite { policy } => {
+            println!("{:<15} {:>9} {:>9}", "benchmark", policy.label(), "kernels");
+            let mut speedups = Vec::new();
+            for b in suite::all(cli.scale, cli.seed) {
+                let flat = b.run_flat(&cfg);
+                let r = b.run(&cfg, controller(policy, &cfg, &b));
+                let s = r.speedup_over(flat.total_cycles);
+                speedups.push(s);
+                println!(
+                    "{:<15} {:>8.2}x {:>9}",
+                    b.name(),
+                    s,
+                    r.child_kernels_launched
+                );
+            }
+            println!(
+                "{:<15} {:>8.2}x",
+                "GEOMEAN",
+                suite::geomean(&speedups)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cli) => match exec(cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! # dynapar-core
+//!
+//! **SPAWN** — controlled kernel launch for dynamic parallelism in GPUs —
+//! plus every launch policy the paper evaluates against. This crate is the
+//! reproduction of the paper's primary contribution (HPCA 2017, Tang et
+//! al.); the simulator it plugs into lives in `dynapar-gpu` and the
+//! benchmark suite in `dynapar-workloads`.
+//!
+//! ## The policies
+//!
+//! | Policy | Paper role |
+//! |---|---|
+//! | [`SpawnPolicy`] | the contribution: CCQS-fed cost model (Algorithm 1) |
+//! | [`BaselineDp`] | unmodified DP program with the app's own `THRESHOLD` |
+//! | [`FixedThreshold`] + [`offline::sweep`] | static characterization (Fig. 5) and Offline-Search |
+//! | [`AlwaysLaunch`] | threshold-0 extreme for sweeps |
+//! | [`Dtbl`] | Dynamic Thread Block Launch (ISCA'15), the §V-D comparison |
+//! | [`FreeLaunch`] | Free Launch (MICRO'15), the related-work launch-elimination transform |
+//! | [`InlineAll`] (re-exported from `dynapar-gpu`) | the flat, non-DP program |
+//!
+//! ## How SPAWN works
+//!
+//! The [`Ccqs`] monitors four metrics (`n`, `t_cta`, `n_con`, `t_warp`,
+//! §IV-B); at each device-launch site [`SpawnPolicy`] compares the
+//! estimated child completion time (launch overhead + queuing + service,
+//! Eq. 1) against the parent-side serial loop (Eq. 2), launching only when
+//! the child wins and the queue bound admits its CTAs.
+//!
+//! # Examples
+//!
+//! Running one program under SPAWN:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dynapar_core::SpawnPolicy;
+//! use dynapar_gpu::{
+//!     DpSpec, GpuConfig, KernelDesc, Simulation, ThreadSource, ThreadWork, WorkClass,
+//! };
+//!
+//! let cfg = GpuConfig::test_small();
+//! let policy = SpawnPolicy::from_config(&cfg);
+//! let mut sim = Simulation::new(cfg, Box::new(policy));
+//! let threads: Vec<ThreadWork> = (0..256)
+//!     .map(|t| ThreadWork {
+//!         items: if t % 32 == 0 { 400 } else { 2 },
+//!         seq_base: t as u64 * 4096,
+//!         rand_seed: t as u64,
+//!     })
+//!     .collect();
+//! sim.launch_host(KernelDesc {
+//!     name: "spawn-demo".into(),
+//!     cta_threads: 128,
+//!     regs_per_thread: 24,
+//!     shmem_per_cta: 0,
+//!     class: Arc::new(WorkClass::compute_only("parent", 20)),
+//!     source: ThreadSource::Explicit(Arc::new(threads)),
+//!     dp: Some(Arc::new(DpSpec {
+//!         child_class: Arc::new(WorkClass::compute_only("child", 20)),
+//!         child_cta_threads: 64,
+//!         child_items_per_thread: 1,
+//!         child_regs_per_thread: 16,
+//!         child_shmem_per_cta: 0,
+//!         min_items: 32,
+//!         default_threshold: 64,
+//!         nested: None,
+//!     })),
+//! });
+//! let report = sim.run();
+//! assert_eq!(report.controller, "SPAWN");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+pub mod analysis;
+mod ccqs;
+mod dtbl;
+mod free_launch;
+pub mod offline;
+mod policies;
+mod spawn;
+
+pub use adaptive::AdaptiveThreshold;
+pub use analysis::LaunchAnalysis;
+pub use ccqs::Ccqs;
+pub use dtbl::Dtbl;
+pub use free_launch::FreeLaunch;
+pub use offline::{sweep, SweepPoint, SweepResult};
+pub use policies::{AlwaysLaunch, BaselineDp, FixedThreshold};
+pub use spawn::{SpawnPolicy, SpawnStats};
+
+// Re-export the flat policy so downstream users get the full policy set
+// from one crate.
+pub use dynapar_gpu::InlineAll;

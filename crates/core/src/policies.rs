@@ -1,0 +1,145 @@
+//! Static launch policies: the comparison points of §V.
+
+use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision};
+
+/// Baseline-DP: the unmodified dynamic-parallelism program. A parent
+/// thread launches a child kernel whenever its workload exceeds the
+/// application's own `THRESHOLD` (the value the benchmark author wrote
+/// into the source, carried in [`ChildRequest::default_threshold`]).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_core::BaselineDp;
+/// use dynapar_gpu::LaunchController;
+/// assert_eq!(BaselineDp::new().name(), "Baseline-DP");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineDp;
+
+impl BaselineDp {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        BaselineDp
+    }
+}
+
+impl LaunchController for BaselineDp {
+    fn name(&self) -> &str {
+        "Baseline-DP"
+    }
+
+    fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+        if req.items > req.default_threshold {
+            LaunchDecision::Kernel
+        } else {
+            LaunchDecision::Inline
+        }
+    }
+}
+
+/// A fixed workload-distribution point: launch whenever the thread's
+/// workload exceeds `threshold`, ignoring the application default.
+///
+/// Sweeping this policy over a threshold grid is how the paper's static
+/// characterization (Fig. 5) and the Offline-Search scheme (§V-B,
+/// footnote 7) are produced.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedThreshold {
+    threshold: u32,
+}
+
+impl FixedThreshold {
+    /// Creates a policy with the given `THRESHOLD`.
+    pub fn new(threshold: u32) -> Self {
+        FixedThreshold { threshold }
+    }
+
+    /// The threshold in force.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl LaunchController for FixedThreshold {
+    fn name(&self) -> &str {
+        "Fixed-Threshold"
+    }
+
+    fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+        if req.items > self.threshold {
+            LaunchDecision::Kernel
+        } else {
+            LaunchDecision::Inline
+        }
+    }
+}
+
+/// Launches every candidate (threshold 0) — the most aggressive static
+/// point, useful in characterization sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysLaunch;
+
+impl AlwaysLaunch {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        AlwaysLaunch
+    }
+}
+
+impl LaunchController for AlwaysLaunch {
+    fn name(&self) -> &str {
+        "Always-Launch"
+    }
+
+    fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+        LaunchDecision::Kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapar_engine::Cycle;
+    use dynapar_gpu::KernelId;
+
+    fn req(items: u32, default_threshold: u32) -> ChildRequest {
+        ChildRequest {
+            now: Cycle(0),
+            parent_kernel: KernelId(0),
+            depth: 1,
+            items,
+            child_ctas: 1,
+            child_threads: 64,
+            child_warps_per_cta: 2,
+            warp_prior_launches: 0,
+            default_threshold,
+            pending_kernels: 0,
+        }
+    }
+
+    #[test]
+    fn baseline_honours_app_threshold() {
+        let mut p = BaselineDp::new();
+        assert_eq!(p.decide(&req(129, 128)), LaunchDecision::Kernel);
+        assert_eq!(p.decide(&req(128, 128)), LaunchDecision::Inline);
+        assert_eq!(p.decide(&req(10, 128)), LaunchDecision::Inline);
+    }
+
+    #[test]
+    fn fixed_threshold_overrides_app_threshold() {
+        let mut p = FixedThreshold::new(1000);
+        assert_eq!(p.threshold(), 1000);
+        // App default says launch, fixed threshold says no.
+        assert_eq!(p.decide(&req(500, 128)), LaunchDecision::Inline);
+        assert_eq!(p.decide(&req(1001, 128)), LaunchDecision::Kernel);
+    }
+
+    #[test]
+    fn zero_threshold_launches_everything() {
+        let mut p = FixedThreshold::new(0);
+        assert_eq!(p.decide(&req(1, u32::MAX)), LaunchDecision::Kernel);
+        let mut a = AlwaysLaunch::new();
+        assert_eq!(a.decide(&req(1, u32::MAX)), LaunchDecision::Kernel);
+    }
+}

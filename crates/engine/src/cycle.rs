@@ -1,0 +1,189 @@
+//! Simulated-time newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in GPU core clock cycles.
+///
+/// `Cycle` is an absolute timestamp; differences between two `Cycle`s are
+/// durations, also expressed as `Cycle` for convenience (the simulator never
+/// mixes the two in a way that matters).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::Cycle;
+///
+/// let start = Cycle(100);
+/// let end = start + Cycle(50);
+/// assert_eq!(end - start, Cycle(50));
+/// assert_eq!(end.as_u64(), 150);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Simulated time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; returns [`Cycle::ZERO`] instead of wrapping.
+    ///
+    /// ```
+    /// use dynapar_engine::Cycle;
+    /// assert_eq!(Cycle(3).saturating_sub(Cycle(10)), Cycle(0));
+    /// ```
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (durations are non-negative).
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Cycle(7);
+        let b = a + Cycle(5);
+        assert_eq!(b, Cycle(12));
+        assert_eq!(b - a, Cycle(5));
+        assert_eq!(b + 3u64, Cycle(15));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Cycle::ZERO < Cycle(1));
+        assert!(Cycle(1) < Cycle::MAX);
+        assert_eq!(Cycle(9).max(Cycle(4)), Cycle(9));
+        assert_eq!(Cycle(9).min(Cycle(4)), Cycle(4));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(Cycle(1).saturating_sub(Cycle(100)), Cycle::ZERO);
+        assert_eq!(Cycle(100).saturating_sub(Cycle(1)), Cycle(99));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(42).to_string(), "42cy");
+    }
+
+    #[test]
+    fn accumulate_in_place() {
+        let mut c = Cycle(10);
+        c += Cycle(5);
+        c += 5u64;
+        assert_eq!(c, Cycle(20));
+        c -= Cycle(8);
+        assert_eq!(c, Cycle(12));
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Cycle = 99u64.into();
+        let v: u64 = c.into();
+        assert_eq!(v, 99);
+    }
+}

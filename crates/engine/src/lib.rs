@@ -1,0 +1,48 @@
+//! # dynapar-engine
+//!
+//! Deterministic discrete-event simulation engine and statistics toolkit
+//! underpinning the [dynapar](https://github.com/dynapar/dynapar) GPU
+//! simulator, a reproduction of *Controlled Kernel Launch for Dynamic
+//! Parallelism in GPUs* (HPCA 2017).
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`Cycle`] — a newtype for simulated GPU clock cycles,
+//! * [`EventQueue`] — a stable (FIFO-on-ties) time-ordered event queue,
+//! * [`DetRng`] — a seeded random-number generator with the distributions
+//!   needed by the workload generators (uniform, normal, Zipf, power law),
+//! * [`stats`] — windowed averages, histograms, CDFs, time-weighted
+//!   integrators and time-series samplers used to regenerate the paper's
+//!   figures.
+//!
+//! Everything in this crate is deterministic: given the same inputs and
+//! seeds, every structure reproduces bit-identical results. There is no
+//! global state, no wall-clock access, and no threading.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynapar_engine::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Cycle(30), "late");
+//! q.push(Cycle(10), "early");
+//! q.push(Cycle(10), "early-second");
+//!
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (Cycle(10), "early"));
+//! let (_, e) = q.pop().unwrap();
+//! assert_eq!(e, "early-second"); // FIFO among same-cycle events
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod event;
+mod rng;
+pub mod stats;
+
+pub use cycle::Cycle;
+pub use event::EventQueue;
+pub use rng::{hash_mix, DetRng};

@@ -1,0 +1,272 @@
+//! Deterministic random numbers and the distributions used by the workload
+//! generators.
+//!
+//! The generators need uniform, normal (Gaussian join-key frequencies),
+//! Zipf (sequence-alignment candidate counts) and discrete power-law
+//! (citation-network degrees) samples. Rather than pulling in a
+//! distributions crate, the few samplers required are implemented here on
+//! top of [`rand`]'s `StdRng`, keeping runs reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A 64-bit mix function (SplitMix64 finalizer) used for *stateless*
+/// pseudo-random address generation.
+///
+/// The simulator's procedural memory-access streams must be replayable
+/// without storing per-item state, so the address of item `i` in stream `s`
+/// is derived as `hash_mix(s ^ i)`; the avalanche behaviour of SplitMix64
+/// makes consecutive items decorrelated, which is what an irregular
+/// neighbour lookup looks like to a cache.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::hash_mix;
+/// // Deterministic and well-scrambled.
+/// assert_eq!(hash_mix(1), hash_mix(1));
+/// assert_ne!(hash_mix(1), hash_mix(2));
+/// ```
+#[inline]
+pub fn hash_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic random-number generator for workload synthesis.
+///
+/// Wraps a seeded `StdRng` and adds the distribution samplers the
+/// benchmarks need. Two `DetRng`s created with the same seed produce the
+/// same sequence forever.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Normal sample via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Normal sample clamped to `[lo, hi]` and rounded to an integer.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: u64, hi: u64) -> u64 {
+        let v = self.normal(mean, std_dev).round();
+        (v.max(lo as f64).min(hi as f64)) as u64
+    }
+
+    /// Zipf-distributed rank in `[1, n]` with exponent `s > 0`, sampled by
+    /// inversion of the Riemann-zeta-style CDF approximation.
+    ///
+    /// Values near 1 are most likely; mass decays as `rank^-s`. This matches
+    /// the long-tail distribution of candidate alignment positions per read
+    /// in the SA benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        // Inverse-CDF on the continuous bounded Pareto approximation.
+        let u = self.unit();
+        if (s - 1.0).abs() < 1e-9 {
+            // H(x) ~ ln(x): invert ln-uniform.
+            let x = ((n as f64).ln() * u).exp();
+            return (x.floor() as u64).clamp(1, n);
+        }
+        let t = 1.0 - s;
+        let hn = ((n as f64).powf(t) - 1.0) / t;
+        let x = (1.0 + hn * u * t).powf(1.0 / t);
+        (x.floor() as u64).clamp(1, n)
+    }
+
+    /// Discrete power-law sample in `[x_min, x_max]` with exponent `alpha`.
+    ///
+    /// Used to synthesize citation-like degree sequences (`P(x) ∝ x^-alpha`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min == 0`, `x_min > x_max`, or `alpha <= 1`.
+    pub fn power_law(&mut self, x_min: u64, x_max: u64, alpha: f64) -> u64 {
+        assert!(x_min > 0, "power-law support must start above zero");
+        assert!(x_min <= x_max, "empty power-law range");
+        assert!(alpha > 1.0, "power-law exponent must exceed 1");
+        let u = self.unit();
+        let a = 1.0 - alpha;
+        let lo = (x_min as f64).powf(a);
+        let hi = (x_max as f64 + 1.0).powf(a);
+        let x = (lo + u * (hi - lo)).powf(1.0 / a);
+        (x.floor() as u64).clamp(x_min, x_max)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.normal(100.0, 15.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_clamped_stays_in_range() {
+        let mut r = DetRng::new(13);
+        for _ in 0..2000 {
+            let v = r.normal_clamped(10.0, 50.0, 2, 30);
+            assert!((2..=30).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_bounded() {
+        let mut r = DetRng::new(17);
+        let n = 1000;
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            let v = r.zipf(n, 1.2);
+            assert!((1..=n).contains(&v));
+            if v <= 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 ranks should hold a large share of the mass.
+        assert!(head > 4_000, "head mass {head}");
+    }
+
+    #[test]
+    fn power_law_bounds_and_skew() {
+        let mut r = DetRng::new(19);
+        let mut small = 0usize;
+        for _ in 0..10_000 {
+            let v = r.power_law(1, 512, 2.1);
+            assert!((1..=512).contains(&v));
+            if v <= 4 {
+                small += 1;
+            }
+        }
+        assert!(small > 7_000, "small-degree mass {small}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_mix_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = hash_mix(0x1234);
+        let b = hash_mix(0x1235);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        DetRng::new(1).below(0);
+    }
+}

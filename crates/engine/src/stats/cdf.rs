@@ -1,0 +1,174 @@
+//! Empirical cumulative distribution over recorded values.
+
+/// Collects `u64` observations and reports their empirical CDF.
+///
+/// Fig. 20 of the paper plots the cumulative number of child-kernel
+/// launches over time for each scheme; [`Cdf`] records each launch
+/// timestamp and emits `(time, cumulative_count)` step points.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::stats::Cdf;
+///
+/// let mut c = Cdf::new();
+/// c.record(30);
+/// c.record(10);
+/// c.record(20);
+/// assert_eq!(c.count(), 3);
+/// assert_eq!(c.cumulative_at(20), 2);
+/// let pts = c.step_points();
+/// assert_eq!(pts, vec![(10, 1), (20, 2), (30, 3)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of observations with value `<= x`.
+    pub fn cumulative_at(&mut self, x: u64) -> u64 {
+        self.ensure_sorted();
+        self.values.partition_point(|&v| v <= x) as u64
+    }
+
+    /// Fraction of observations with value `<= x` (0.0 when empty).
+    pub fn fraction_at(&mut self, x: u64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.cumulative_at(x) as f64 / self.values.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest-rank; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// One `(value, cumulative_count)` point per distinct value, ascending.
+    pub fn step_points(&mut self) -> Vec<(u64, u64)> {
+        self.ensure_sorted();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for (i, &v) in self.values.iter().enumerate() {
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = (i + 1) as u64,
+                _ => out.push((v, (i + 1) as u64)),
+            }
+        }
+        out
+    }
+
+    /// Resamples the CDF at `n` evenly spaced points across `[0, max]`,
+    /// returning `(x, cumulative_count)` pairs — convenient for plotting a
+    /// fixed-width series regardless of sample count.
+    pub fn resampled(&mut self, n: usize) -> Vec<(u64, u64)> {
+        if self.values.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let max = *self.values.last().expect("non-empty");
+        (0..=n)
+            .map(|i| {
+                let x = max * i as u64 / n as u64;
+                (x, self.values.partition_point(|&v| v <= x) as u64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(100), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert!(c.step_points().is_empty());
+        assert!(c.resampled(10).is_empty());
+    }
+
+    #[test]
+    fn cumulative_counts() {
+        let mut c = Cdf::new();
+        for v in [5u64, 1, 3, 3, 9] {
+            c.record(v);
+        }
+        assert_eq!(c.cumulative_at(0), 0);
+        assert_eq!(c.cumulative_at(3), 3);
+        assert_eq!(c.cumulative_at(9), 5);
+        assert!((c.fraction_at(3) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut c = Cdf::new();
+        for v in 1..=100u64 {
+            c.record(v);
+        }
+        assert_eq!(c.quantile(0.5), Some(50));
+        assert_eq!(c.quantile(0.0), Some(1));
+        assert_eq!(c.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn step_points_collapse_duplicates() {
+        let mut c = Cdf::new();
+        for v in [2u64, 2, 2, 7] {
+            c.record(v);
+        }
+        assert_eq!(c.step_points(), vec![(2, 3), (7, 4)]);
+    }
+
+    #[test]
+    fn resampled_is_monotone() {
+        let mut c = Cdf::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            c.record(v);
+        }
+        let pts = c.resampled(20);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(pts.last().expect("non-empty").1, 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixed-bin histogram with PDF output.
+
+/// A histogram over `u64` samples with uniformly sized bins.
+///
+/// Used to regenerate Fig. 12 (PDF of child-CTA execution times around the
+/// running mean) and for general latency distributions.
+///
+/// Samples below the first bin clamp into it; samples at or above the upper
+/// bound clamp into the last bin, so no sample is ever dropped.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::stats::Histogram;
+///
+/// let mut h = Histogram::new(0, 100, 10);
+/// h.add(5);
+/// h.add(95);
+/// h.add(95);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_counts()[0], 1);
+/// assert_eq!(h.bin_counts()[9], 2);
+/// let pdf = h.pdf();
+/// assert!((pdf[9] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: u64,
+    hi: u64,
+    bins: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: u64, hi: u64, bins: usize) -> Self {
+        assert!(lo < hi, "empty histogram range");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (clamping into the boundary bins).
+    pub fn add(&mut self, value: u64) {
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            self.bins.len() - 1
+        } else {
+            let width = (self.hi - self.lo) as u128;
+            let off = (value - self.lo) as u128;
+            ((off * self.bins.len() as u128) / width) as usize
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Raw per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> u64 {
+        self.lo + (self.hi - self.lo) * i as u64 / self.bins.len() as u64
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample seen (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Empirical probability per bin; all zeros when empty.
+    pub fn pdf(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.count as f64)
+            .collect()
+    }
+
+    /// Fraction of samples with value in `[lo, hi)` computed from bins that
+    /// fall entirely inside the interval (approximate at the edges).
+    pub fn mass_between(&self, lo: u64, hi: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut mass = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bl = self.bin_lo(i);
+            let bh = if i + 1 == self.bins.len() {
+                self.hi
+            } else {
+                self.bin_lo(i + 1)
+            };
+            if bl >= lo && bh <= hi {
+                mass += c;
+            }
+        }
+        mass as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(10, 20, 2);
+        h.add(0); // below -> first bin
+        h.add(100); // above -> last bin
+        assert_eq!(h.bin_counts(), &[1, 1]);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn uniform_fill_is_flat() {
+        let mut h = Histogram::new(0, 100, 10);
+        for v in 0..100 {
+            h.add(v);
+        }
+        assert!(h.bin_counts().iter().all(|&c| c == 10));
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_sums_to_one() {
+        let mut h = Histogram::new(0, 1000, 17);
+        for v in [1u64, 5, 900, 999, 500, 500, 123] {
+            h.add(v);
+        }
+        let total: f64 = h.pdf().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_between_inner_bins() {
+        let mut h = Histogram::new(0, 100, 10);
+        for _ in 0..8 {
+            h.add(45); // bin [40,50)
+        }
+        h.add(5);
+        h.add(95);
+        assert!((h.mass_between(40, 50) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_edges_are_monotone() {
+        let h = Histogram::new(100, 1100, 10);
+        for i in 0..10 {
+            assert_eq!(h.bin_lo(i), 100 + 100 * i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn rejects_empty_range() {
+        Histogram::new(5, 5, 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Exact running average over integer samples.
+
+/// Running mean of `u64` samples with exact integer accumulation.
+///
+/// The SPAWN controller uses this for `t_cta`, the average child-CTA
+/// execution time of Eq. 1: it is updated only when a CTA finishes and
+/// leaves the CCQS (§IV-B "Monitored Metrics").
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::stats::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// assert_eq!(m.mean(), 0);
+/// m.add(10);
+/// m.add(20);
+/// assert_eq!(m.mean(), 15);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunningMean {
+    sum: u128,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean (reports 0 until the first sample).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, value: u64) {
+        self.sum += value as u128;
+        self.count += 1;
+    }
+
+    /// Current mean, rounded down; 0 when no samples have been recorded.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Current mean as a float; 0.0 when empty.
+    pub fn mean_f64(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_zero() {
+        let m = RunningMean::new();
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0);
+        assert_eq!(m.mean_f64(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constant_is_constant() {
+        let mut m = RunningMean::new();
+        for _ in 0..100 {
+            m.add(7);
+        }
+        assert_eq!(m.mean(), 7);
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn mean_rounds_down() {
+        let mut m = RunningMean::new();
+        m.add(1);
+        m.add(2);
+        assert_eq!(m.mean(), 1);
+        assert!((m.mean_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overflow_on_large_sums() {
+        let mut m = RunningMean::new();
+        for _ in 0..1000 {
+            m.add(u64::MAX / 2);
+        }
+        assert_eq!(m.mean(), u64::MAX / 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Statistics primitives used to monitor the simulated GPU and to
+//! regenerate the paper's figures.
+//!
+//! * [`RunningMean`] — exact running average (used for `t_cta`, Eq. 1),
+//! * [`WindowedTimeAvg`] — time-weighted average over power-of-two cycle
+//!   windows with shift-based division, mirroring the hardware the paper
+//!   proposes for `n_con` (§IV-B: 1024-cycle windows, shift right by 10),
+//! * [`WindowedEventAvg`] — per-window average of discrete samples (`t_warp`),
+//! * [`TimeWeighted`] — exact time integral of a step function (occupancy),
+//! * [`Histogram`] — fixed-bin histogram with PDF output (Fig. 12),
+//! * [`Cdf`] — empirical CDF over recorded values (Fig. 20),
+//! * [`Summary`] — one-pass descriptive statistics (mean/sd/percentiles),
+//! * [`Timeline`] — periodic samples of arbitrary payloads (Figs. 6, 19).
+
+mod cdf;
+mod histogram;
+mod mean;
+mod summary;
+mod timeline;
+mod weighted;
+mod windowed;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use mean::RunningMean;
+pub use summary::Summary;
+pub use timeline::Timeline;
+pub use weighted::TimeWeighted;
+pub use windowed::{WindowedEventAvg, WindowedTimeAvg};

@@ -1,0 +1,153 @@
+//! One-pass descriptive statistics.
+
+/// Descriptive statistics over a set of `u64` samples: count, mean,
+/// standard deviation, extrema and (via a sorted copy) percentiles.
+///
+/// Used by the CLI and the diagnostics to summarize latency vectors
+/// without hand-rolling the math at every call site.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::stats::Summary;
+///
+/// let s = Summary::of(&[10, 20, 30, 40]);
+/// assert_eq!(s.count, 4);
+/// assert!((s.mean - 25.0).abs() < 1e-12);
+/// assert_eq!(s.min, 10);
+/// assert_eq!(s.max, 40);
+/// assert_eq!(s.p50, 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0.0 when empty).
+    pub std_dev: f64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median (nearest-rank; 0 when empty).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank; 0 when empty).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank; 0 when empty).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples` (empty input gives all zeros).
+    pub fn of(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[r - 1]
+        };
+        Summary {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            p50: rank(0.5),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`; 0 for empty or
+    /// zero-mean input) — the spread measure behind the paper's Fig. 12
+    /// claim that child CTA times are stable.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} sd={:.1} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.std_dev, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn constant_has_zero_spread() {
+        let s = Summary::of(&[7; 100]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!((s.min, s.p50, s.p95, s.max), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&samples);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // Population sd of 1..=100 is ~28.866.
+        assert!((s.std_dev - 28.866).abs() < 1e-2);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Summary::of(&[5, 1, 9, 3]);
+        let b = Summary::of(&[9, 3, 5, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(Summary::of(&[1, 2]).to_string().contains("n=2"));
+    }
+}

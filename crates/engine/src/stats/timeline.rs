@@ -1,0 +1,127 @@
+//! Periodic time-series sampling.
+
+use crate::Cycle;
+
+/// A time series of payload samples taken at a fixed cycle period.
+///
+/// The simulator drives this from a periodic `Sample` event to produce the
+/// execution timelines of Figs. 6 and 19 (concurrent parent/child CTAs and
+/// resource utilization over time).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::{Cycle, stats::Timeline};
+///
+/// let mut tl = Timeline::new(Cycle(1000));
+/// assert!(tl.due(Cycle(0)));
+/// tl.push(Cycle(0), 42u32);
+/// assert!(!tl.due(Cycle(999)));
+/// assert!(tl.due(Cycle(1000)));
+/// tl.push(Cycle(1000), 43);
+/// assert_eq!(tl.samples().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline<T> {
+    period: Cycle,
+    next_due: Cycle,
+    samples: Vec<(Cycle, T)>,
+}
+
+impl<T> Timeline<T> {
+    /// Creates a timeline sampling every `period` cycles, starting at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: Cycle) -> Self {
+        assert!(period > Cycle::ZERO, "period must be positive");
+        Timeline {
+            period,
+            next_due: Cycle::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> Cycle {
+        self.period
+    }
+
+    /// True when a sample should be taken at or before `now`.
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_due
+    }
+
+    /// The time the next sample is due.
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
+    }
+
+    /// Records a sample at `now` and advances the schedule to the next
+    /// period boundary strictly after `now`.
+    pub fn push(&mut self, now: Cycle, value: T) {
+        self.samples.push((now, value));
+        // Skip ahead past any boundaries we may have jumped over.
+        let periods_done = now.as_u64() / self.period.as_u64() + 1;
+        self.next_due = Cycle(periods_done * self.period.as_u64());
+    }
+
+    /// All recorded `(time, payload)` samples, in order.
+    pub fn samples(&self) -> &[(Cycle, T)] {
+        &self.samples
+    }
+
+    /// Consumes the timeline, returning its samples.
+    pub fn into_samples(self) -> Vec<(Cycle, T)> {
+        self.samples
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_due_immediately() {
+        let tl: Timeline<u8> = Timeline::new(Cycle(100));
+        assert!(tl.due(Cycle(0)));
+    }
+
+    #[test]
+    fn period_advances_past_now() {
+        let mut tl = Timeline::new(Cycle(100));
+        tl.push(Cycle(0), 1);
+        assert_eq!(tl.next_due(), Cycle(100));
+        tl.push(Cycle(250), 2); // late sample jumps schedule forward
+        assert_eq!(tl.next_due(), Cycle(300));
+    }
+
+    #[test]
+    fn samples_preserved_in_order() {
+        let mut tl = Timeline::new(Cycle(10));
+        for i in 0..5u64 {
+            tl.push(Cycle(i * 10), i);
+        }
+        let times: Vec<u64> = tl.samples().iter().map(|(t, _)| t.as_u64()).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+        assert_eq!(tl.len(), 5);
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _: Timeline<u8> = Timeline::new(Cycle::ZERO);
+    }
+}

@@ -1,0 +1,139 @@
+//! Exact time integral of a step function.
+
+use crate::Cycle;
+
+/// Integrates an integer-valued step function over simulated time.
+///
+/// The simulator uses this for exact occupancy accounting: each SMX's
+/// active-warp count is a step function of time, and the paper's *SMX
+/// occupancy* (Fig. 16) is its time average divided by the warp capacity.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::{Cycle, stats::TimeWeighted};
+///
+/// let mut tw = TimeWeighted::new();
+/// tw.set(Cycle(0), 4);
+/// tw.set(Cycle(10), 8);
+/// tw.finish(Cycle(20));
+/// assert_eq!(tw.integral(), 4 * 10 + 8 * 10);
+/// assert!((tw.mean(Cycle(0), Cycle(20)) - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    integral: u128,
+    current: u64,
+    last_update: Cycle,
+    peak: u64,
+}
+
+impl TimeWeighted {
+    /// Creates an integrator starting at value 0, time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fold(&mut self, now: Cycle) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        self.integral += self.current as u128 * (now - self.last_update).as_u64() as u128;
+        self.last_update = now;
+    }
+
+    /// Sets the instantaneous value at `now`.
+    pub fn set(&mut self, now: Cycle, value: u64) {
+        self.fold(now);
+        self.current = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Adjusts the instantaneous value at `now` by `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a negative delta would underflow.
+    pub fn add(&mut self, now: Cycle, delta: i64) {
+        self.fold(now);
+        if delta >= 0 {
+            self.current += delta as u64;
+        } else {
+            debug_assert!(self.current >= (-delta) as u64, "step underflow");
+            self.current = self.current.saturating_sub((-delta) as u64);
+        }
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Folds the integral up to `now` (call once at end of simulation).
+    pub fn finish(&mut self, now: Cycle) {
+        self.fold(now);
+    }
+
+    /// The accumulated integral (value × cycles) up to the last update.
+    pub fn integral(&self) -> u128 {
+        self.integral
+    }
+
+    /// The instantaneous value.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The maximum instantaneous value ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Mean value over `[start, end)`; 0 when the interval is empty.
+    pub fn mean(&self, start: Cycle, end: Cycle) -> f64 {
+        let span = end.saturating_sub(start).as_u64();
+        if span == 0 {
+            0.0
+        } else {
+            self.integral as f64 / span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_integral() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Cycle(0), 3);
+        tw.finish(Cycle(100));
+        assert_eq!(tw.integral(), 300);
+        assert_eq!(tw.peak(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_tracks_steps() {
+        let mut tw = TimeWeighted::new();
+        tw.add(Cycle(0), 2);
+        tw.add(Cycle(5), 3); // 5 for [5,15)
+        tw.add(Cycle(15), -4); // 1 for [15,20)
+        tw.finish(Cycle(20));
+        assert_eq!(tw.integral(), 2 * 5 + 5 * 10 + 5);
+        assert_eq!(tw.peak(), 5);
+        assert_eq!(tw.current(), 1);
+    }
+
+    #[test]
+    fn mean_over_interval() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Cycle(0), 10);
+        tw.finish(Cycle(50));
+        assert!((tw.mean(Cycle(0), Cycle(50)) - 10.0).abs() < 1e-12);
+        assert_eq!(tw.mean(Cycle(0), Cycle(0)), 0.0);
+    }
+
+    #[test]
+    fn repeated_updates_same_cycle() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Cycle(0), 1);
+        tw.set(Cycle(0), 7);
+        tw.finish(Cycle(10));
+        assert_eq!(tw.integral(), 70);
+    }
+}

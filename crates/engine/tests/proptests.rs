@@ -1,0 +1,114 @@
+//! Property tests for the engine primitives, checked against naive
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use dynapar_engine::stats::{Cdf, Histogram, TimeWeighted, WindowedTimeAvg};
+use dynapar_engine::{Cycle, DetRng, EventQueue};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Non-decreasing in time; FIFO among equal times.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn time_weighted_matches_naive_sum(
+        steps in prop::collection::vec((1u64..100, 0u64..50), 1..50)
+    ) {
+        // steps: (duration, value) segments laid end to end.
+        let mut tw = TimeWeighted::new();
+        let mut t = 0u64;
+        let mut naive: u128 = 0;
+        for &(dur, val) in &steps {
+            tw.set(Cycle(t), val);
+            naive += (val as u128) * (dur as u128);
+            t += dur;
+        }
+        tw.finish(Cycle(t));
+        prop_assert_eq!(tw.integral(), naive);
+    }
+
+    #[test]
+    fn windowed_avg_never_exceeds_peak(
+        adds in prop::collection::vec((0u64..2000, 0i64..20), 1..60)
+    ) {
+        let mut w = WindowedTimeAvg::new(6); // 64-cycle windows
+        let mut t = 0u64;
+        let mut cur: i64 = 0;
+        let mut peak: i64 = 0;
+        for &(gap, delta) in &adds {
+            t += gap;
+            w.add(Cycle(t), delta);
+            cur += delta;
+            peak = peak.max(cur);
+        }
+        w.advance(Cycle(t + 256));
+        prop_assert!(w.value() <= peak as u64);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(samples in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut h = Histogram::new(100, 5_000, 13);
+        for &s in &samples {
+            h.add(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let total: u64 = h.bin_counts().iter().sum();
+        prop_assert_eq!(total, samples.len() as u64);
+        let pdf_sum: f64 = h.pdf().iter().sum();
+        prop_assert!((pdf_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_quantiles_match_sorted_order(samples in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut c = Cdf::new();
+        for &s in &samples {
+            c.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(c.quantile(0.0), Some(sorted[0]));
+        prop_assert_eq!(c.quantile(1.0), Some(*sorted.last().unwrap()));
+        // Cumulative count at any x equals the sorted-vector prefix count.
+        for &x in &[0u64, 250, 500, 999] {
+            let expect = sorted.partition_point(|&v| v <= x) as u64;
+            prop_assert_eq!(c.cumulative_at(x), expect);
+        }
+    }
+
+    #[test]
+    fn det_rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zipf_and_power_law_respect_bounds(seed in any::<u64>(), n in 1u64..5000) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..64 {
+            let z = r.zipf(n, 1.1);
+            prop_assert!(z >= 1 && z <= n);
+            let p = r.power_law(1, n, 2.0);
+            prop_assert!(p >= 1 && p <= n);
+        }
+    }
+}

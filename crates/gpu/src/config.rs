@@ -1,0 +1,441 @@
+//! Simulated-GPU configuration (Table II of the paper).
+
+/// Warp scheduling discipline within an SMX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Greedy-Then-Oldest (Rogers et al., MICRO'12): keep issuing the same
+    /// warp until it stalls, then fall back to the oldest ready warp. This
+    /// is the paper's configuration.
+    #[default]
+    Gto,
+    /// Plain round-robin, a-la loose fairness across ready warps.
+    RoundRobin,
+}
+
+/// Where child CTAs are placed relative to their parents — the knob
+/// behind LaPerm-style locality-aware scheduling (Wang et al., ISCA'16,
+/// the paper's reference \[43\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CtaPlacement {
+    /// Plain round-robin over SMXs (the paper's baseline CTA scheduler).
+    #[default]
+    RoundRobin,
+    /// Prefer the SMX that ran the launching parent warp, falling back to
+    /// round-robin when it is full: child kernels re-reading the parent's
+    /// data find it in that core's L1.
+    ParentAffinity,
+}
+
+/// How software-managed work queue (stream) ids are assigned to child
+/// kernels (§II-B, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamPolicy {
+    /// One fresh SWQ per child kernel — maximum concurrency; what the paper
+    /// adopts for all experiments after the Fig. 8 study.
+    #[default]
+    PerChildKernel,
+    /// All children of a given parent CTA share one SWQ and therefore
+    /// serialize — the CUDA default when the program does not create
+    /// streams explicitly.
+    PerParentCta,
+}
+
+/// Device-side kernel launch overhead model (Table II):
+/// `latency = a·x + b`, where `x` is the number of child kernels launched
+/// so far by the launching warp. Calibrated by Wang et al. (the paper's
+/// reference \[42\]) to
+/// a = 1721 cycles, b = 20210 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchOverheadModel {
+    /// Per-prior-launch slope (cycles).
+    pub a: u64,
+    /// Fixed cost (cycles).
+    pub b: u64,
+    /// Pipeline cycles the *launching warp itself* spends in the runtime
+    /// API call (the asynchronous push; small compared to `b`).
+    pub api_call_cycles: u64,
+    /// Per-CTA queue-insertion cost when a launch is coalesced by DTBL
+    /// instead of creating a kernel (Wang et al., ISCA'15 report the
+    /// aggregated path costs a small, constant per-block overhead).
+    pub dtbl_per_cta_cycles: u64,
+    /// Minimum cycles a kernel occupies its hardware work queue, measured
+    /// from its first CTA dispatch: the head-of-queue setup/teardown cost
+    /// that bounds how fast one HWQ can drain back-to-back small kernels.
+    /// This is what makes a 25k-kernel launch storm crawl even though the
+    /// kernels themselves are tiny (§III-B's queuing-latency argument).
+    pub hwq_turnaround_cycles: u64,
+}
+
+impl LaunchOverheadModel {
+    /// Arrival delay for the `x`-th launch by a warp (`x >= 1`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dynapar_gpu::LaunchOverheadModel;
+    /// let m = LaunchOverheadModel::default();
+    /// assert_eq!(m.kernel_latency(1), 1721 + 20210);
+    /// assert!(m.kernel_latency(10) > m.kernel_latency(1));
+    /// ```
+    #[inline]
+    pub fn kernel_latency(&self, x: u64) -> u64 {
+        self.a * x + self.b
+    }
+}
+
+impl Default for LaunchOverheadModel {
+    fn default() -> Self {
+        LaunchOverheadModel {
+            a: 1721,
+            b: 20210,
+            api_call_cycles: 1500,
+            dtbl_per_cta_cycles: 150,
+            hwq_turnaround_cycles: 500,
+        }
+    }
+}
+
+/// Memory-hierarchy configuration (Table II plus latency calibration knobs
+/// GPGPU-Sim takes from its own config files).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cache-line size in bytes (128 B on Kepler).
+    pub line_bytes: u32,
+    /// Per-SMX L1 data cache size in bytes (16 KB).
+    pub l1_bytes: u32,
+    /// L1 associativity (4).
+    pub l1_ways: u32,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u64,
+    /// Miss-status holding registers per SMX: the maximum L1 misses a
+    /// core may have outstanding; further misses stall until one returns.
+    /// The model charges one entry per *transaction* and never merges
+    /// same-line requests (real MSHRs do), so the default is set well
+    /// above physical MSHR counts to act as a backstop; tighten it for
+    /// miss-storm ablations.
+    pub l1_mshrs: u32,
+    /// Number of L2 partitions (2 per memory controller × 6 MCs = 12).
+    pub l2_partitions: u32,
+    /// Bytes per L2 partition (128 KB; 1536 KB total).
+    pub l2_partition_bytes: u32,
+    /// L2 associativity (8).
+    pub l2_ways: u32,
+    /// L2 lookup latency in cycles (tag + data).
+    pub l2_hit_latency: u64,
+    /// Minimum cycles between two services at one L2 bank (throughput).
+    pub l2_service_interval: u64,
+    /// One-way interconnect (crossbar) latency in cycles.
+    pub xbar_latency: u64,
+    /// Number of memory controllers (6).
+    pub memory_controllers: u32,
+    /// DRAM banks per channel.
+    pub dram_banks_per_channel: u32,
+    /// Row-buffer size in bytes (per bank) — determines row-hit locality.
+    pub dram_row_bytes: u32,
+    /// DRAM latency on a row-buffer hit.
+    pub dram_row_hit_latency: u64,
+    /// DRAM latency on a row-buffer miss (precharge + activate + access).
+    pub dram_row_miss_latency: u64,
+    /// Minimum cycles between two services at one DRAM channel (bandwidth).
+    pub dram_service_interval: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            line_bytes: 128,
+            l1_bytes: 16 * 1024,
+            l1_ways: 4,
+            l1_hit_latency: 30,
+            l1_mshrs: 1024,
+            l2_partitions: 12,
+            l2_partition_bytes: 128 * 1024,
+            l2_ways: 8,
+            l2_hit_latency: 60,
+            l2_service_interval: 1,
+            xbar_latency: 25,
+            memory_controllers: 6,
+            dram_banks_per_channel: 8,
+            dram_row_bytes: 2 * 1024,
+            dram_row_hit_latency: 120,
+            dram_row_miss_latency: 260,
+            dram_service_interval: 3,
+        }
+    }
+}
+
+/// Full simulated-GPU configuration.
+///
+/// [`GpuConfig::kepler_k20m`] reproduces Table II; the fields are public
+/// knobs so experiments (e.g. Fig. 7's CTA-size sweep or HWQ-count
+/// ablations) can vary one parameter at a time.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_gpu::GpuConfig;
+///
+/// let cfg = GpuConfig::kepler_k20m();
+/// assert_eq!(cfg.smx_count, 13);
+/// assert_eq!(cfg.num_hwqs, 32);
+/// assert_eq!(cfg.max_concurrent_ctas(), 13 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of SMXs (13 on K20m).
+    pub smx_count: u32,
+    /// Threads per warp (32).
+    pub warp_size: u32,
+    /// Maximum resident threads per SMX (2048).
+    pub max_threads_per_smx: u32,
+    /// Maximum resident CTAs per SMX (16).
+    pub max_ctas_per_smx: u32,
+    /// Register file size per SMX, in 32-bit registers (65536 = 64K regs).
+    pub regs_per_smx: u32,
+    /// Shared memory per SMX in bytes (48 KB).
+    pub shmem_per_smx: u32,
+    /// Warp instructions issued per SMX per cycle (dual warp scheduler = 2).
+    pub issue_width: u32,
+    /// Memory-level parallelism within one thread's work-item loop: how
+    /// many rounds' memory requests may be outstanding before the warp
+    /// stalls on the oldest. Models the MSHR/scoreboard overlap a serial
+    /// loop enjoys on real hardware (a one-round child kernel gets none).
+    pub mlp_depth: u32,
+    /// Number of hardware work queues (32 — caps concurrent kernels).
+    pub num_hwqs: u32,
+    /// Grid Management Unit pending-pool capacity, in kernels.
+    pub pending_pool_cap: u32,
+    /// Maximum device-launch nesting depth (CUDA's default limit is 24);
+    /// launch sites at deeper levels fail and compute inline.
+    pub max_nesting_depth: u8,
+    /// Cycles for the GMU to hand one CTA to an SMX.
+    pub cta_dispatch_latency: u64,
+    /// Warp scheduling discipline.
+    pub scheduler: SchedulerKind,
+    /// Child-CTA placement discipline.
+    pub cta_placement: CtaPlacement,
+    /// Stream (SWQ) assignment policy for child kernels.
+    pub stream_policy: StreamPolicy,
+    /// Device-launch overhead model.
+    pub launch: LaunchOverheadModel,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Timeline sampling period in cycles (Figs. 6, 19 use ~1000 cycles).
+    pub sample_period: u64,
+    /// Window length (log2 cycles) for the monitored-metric averages
+    /// (§IV-B uses 1024-cycle windows → 10).
+    pub metric_window_log2: u32,
+    /// Hard cap on cycles before the simulator declares a hang (safety net
+    /// for malformed workloads; `u64::MAX` disables).
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's simulated system: NVIDIA Tesla K20m-like (Table II).
+    pub fn kepler_k20m() -> Self {
+        GpuConfig {
+            smx_count: 13,
+            warp_size: 32,
+            max_threads_per_smx: 2048,
+            max_ctas_per_smx: 16,
+            regs_per_smx: 65_536,
+            shmem_per_smx: 48 * 1024,
+            issue_width: 2,
+            mlp_depth: 4,
+            num_hwqs: 32,
+            pending_pool_cap: 65_536,
+            max_nesting_depth: 24,
+            cta_dispatch_latency: 20,
+            scheduler: SchedulerKind::Gto,
+            cta_placement: CtaPlacement::RoundRobin,
+            stream_policy: StreamPolicy::PerChildKernel,
+            launch: LaunchOverheadModel::default(),
+            mem: MemConfig::default(),
+            sample_period: 1000,
+            metric_window_log2: 10,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// A Pascal-generation extrapolation (GP100-class): more, narrower
+    /// cores, a bigger L2, and a cheaper device-launch path. The launch
+    /// constants are *scaled estimates* (Pascal measurably reduced but
+    /// did not eliminate DP launch costs), intended for the
+    /// forward-looking sensitivity experiments, not for calibration
+    /// claims.
+    pub fn pascal_like() -> Self {
+        let mut cfg = Self::kepler_k20m();
+        cfg.smx_count = 28;
+        cfg.max_threads_per_smx = 2048;
+        cfg.max_ctas_per_smx = 32;
+        cfg.regs_per_smx = 65_536;
+        cfg.shmem_per_smx = 64 * 1024;
+        cfg.mem.l2_partitions = 16;
+        cfg.mem.memory_controllers = 8;
+        cfg.mem.l2_partition_bytes = 256 * 1024; // 4 MB total
+        cfg.launch.a = 900;
+        cfg.launch.b = 11_000;
+        cfg.launch.api_call_cycles = 800;
+        cfg
+    }
+
+    /// A scaled-down configuration for fast unit tests: 2 SMXs, 4 HWQs,
+    /// shallow memory. Same structure, two orders of magnitude cheaper.
+    pub fn test_small() -> Self {
+        let mut cfg = Self::kepler_k20m();
+        cfg.smx_count = 2;
+        cfg.max_threads_per_smx = 512;
+        cfg.max_ctas_per_smx = 4;
+        cfg.regs_per_smx = 16_384;
+        cfg.shmem_per_smx = 16 * 1024;
+        cfg.num_hwqs = 4;
+        cfg.sample_period = 500;
+        cfg
+    }
+
+    /// Maximum warps resident on one SMX.
+    #[inline]
+    pub fn max_warps_per_smx(&self) -> u32 {
+        self.max_threads_per_smx / self.warp_size
+    }
+
+    /// Hardware limit on concurrently resident CTAs across the whole GPU
+    /// (208 for the Table II machine, as quoted under Fig. 6).
+    #[inline]
+    pub fn max_concurrent_ctas(&self) -> u32 {
+        self.smx_count * self.max_ctas_per_smx
+    }
+
+    /// Validates internal consistency; returns a human-readable complaint.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when a structural parameter is zero or inconsistent
+    /// (e.g. L1 size not divisible by line size × ways).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.smx_count == 0 {
+            return Err("smx_count must be positive".into());
+        }
+        if self.warp_size == 0 || !self.warp_size.is_power_of_two() {
+            return Err("warp_size must be a positive power of two".into());
+        }
+        if !self.max_threads_per_smx.is_multiple_of(self.warp_size) {
+            return Err("max_threads_per_smx must be a multiple of warp_size".into());
+        }
+        if self.num_hwqs == 0 {
+            return Err("num_hwqs must be positive".into());
+        }
+        if self.issue_width == 0 {
+            return Err("issue_width must be positive".into());
+        }
+        if self.mlp_depth == 0 {
+            return Err("mlp_depth must be at least 1".into());
+        }
+        let m = &self.mem;
+        if m.line_bytes == 0 || !m.line_bytes.is_power_of_two() {
+            return Err("line_bytes must be a positive power of two".into());
+        }
+        if !m.l1_bytes.is_multiple_of(m.line_bytes * m.l1_ways) {
+            return Err("L1 size must be divisible by line_bytes * ways".into());
+        }
+        if !m.l2_partition_bytes.is_multiple_of(m.line_bytes * m.l2_ways) {
+            return Err("L2 partition size must be divisible by line_bytes * ways".into());
+        }
+        if m.l1_mshrs == 0 {
+            return Err("l1_mshrs must be positive".into());
+        }
+        if m.l2_partitions == 0 || m.memory_controllers == 0 {
+            return Err("need at least one L2 partition and one MC".into());
+        }
+        if !m.l2_partitions.is_multiple_of(m.memory_controllers) {
+            return Err("l2_partitions must be a multiple of memory_controllers".into());
+        }
+        if self.sample_period == 0 {
+            return Err("sample_period must be positive".into());
+        }
+        if self.max_nesting_depth == 0 {
+            return Err("max_nesting_depth must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::kepler_k20m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20m_matches_table_ii() {
+        let cfg = GpuConfig::kepler_k20m();
+        assert_eq!(cfg.smx_count, 13);
+        assert_eq!(cfg.max_threads_per_smx, 2048);
+        assert_eq!(cfg.max_warps_per_smx(), 64);
+        assert_eq!(cfg.max_ctas_per_smx, 16);
+        assert_eq!(cfg.num_hwqs, 32);
+        assert_eq!(cfg.shmem_per_smx, 48 * 1024);
+        assert_eq!(cfg.regs_per_smx, 65_536);
+        assert_eq!(cfg.mem.l2_partition_bytes * cfg.mem.l2_partitions, 1536 * 1024);
+        assert_eq!(cfg.launch.a, 1721);
+        assert_eq!(cfg.launch.b, 20210);
+        assert_eq!(cfg.max_concurrent_ctas(), 208);
+        cfg.validate().expect("table II config must validate");
+    }
+
+    #[test]
+    fn test_small_validates() {
+        GpuConfig::test_small().validate().expect("valid");
+    }
+
+    #[test]
+    fn pascal_like_validates_and_scales_up() {
+        let p = GpuConfig::pascal_like();
+        p.validate().expect("valid");
+        let k = GpuConfig::kepler_k20m();
+        assert!(p.smx_count > k.smx_count);
+        assert!(p.max_concurrent_ctas() > k.max_concurrent_ctas());
+        assert!(p.launch.b < k.launch.b, "Pascal's launch path is cheaper");
+        assert!(
+            p.mem.l2_partition_bytes * p.mem.l2_partitions
+                > k.mem.l2_partition_bytes * k.mem.l2_partitions
+        );
+    }
+
+    #[test]
+    fn launch_latency_formula() {
+        let m = LaunchOverheadModel::default();
+        assert_eq!(m.kernel_latency(1), 21_931);
+        assert_eq!(m.kernel_latency(10), 17_210 + 20_210);
+    }
+
+    #[test]
+    fn validate_rejects_broken_configs() {
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.smx_count = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.warp_size = 33;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.mem.l1_bytes = 1000; // not divisible by 128*4
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.mem.l2_partitions = 7; // not a multiple of 6 MCs
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_are_kepler() {
+        assert_eq!(GpuConfig::default(), GpuConfig::kepler_k20m());
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Gto);
+        assert_eq!(StreamPolicy::default(), StreamPolicy::PerChildKernel);
+    }
+}

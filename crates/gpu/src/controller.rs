@@ -1,0 +1,158 @@
+//! The launch-controller interface between the simulator and a DP runtime.
+//!
+//! The simulator is policy-agnostic: every time a parent thread reaches its
+//! device-launch site, it consults a [`LaunchController`] — the hook where
+//! the paper's SPAWN framework (and the Baseline-DP / Offline-Search / DTBL
+//! comparison points, all implemented in `dynapar-core`) plugs in. The
+//! controller also receives the CCQS feedback events of §IV-A: child CTA
+//! start/finish and child warp finish.
+
+use dynapar_engine::Cycle;
+
+use crate::ids::KernelId;
+
+/// Everything a policy may inspect when deciding one launch.
+#[derive(Debug, Clone)]
+pub struct ChildRequest {
+    /// Current simulated time.
+    pub now: Cycle,
+    /// Kernel whose thread wants to launch.
+    pub parent_kernel: KernelId,
+    /// Nesting depth of the would-be child (1 = child of the host kernel).
+    pub depth: u8,
+    /// The thread's workload — the number of items that would be offloaded
+    /// (the `workload` input of Algorithm 1).
+    pub items: u32,
+    /// `x` of Eq. 1: number of CTAs in the would-be child kernel.
+    pub child_ctas: u32,
+    /// Total threads the child kernel would have.
+    pub child_threads: u32,
+    /// Warps per child CTA.
+    pub child_warps_per_cta: u32,
+    /// Number of child kernels already launched by the requesting warp —
+    /// the `x` of the Table II overhead formula `A·x + b`.
+    pub warp_prior_launches: u32,
+    /// The application's static `THRESHOLD` (Baseline-DP honours this).
+    pub default_threshold: u32,
+    /// Kernels currently in the GMU pending pool (a view of GPU state).
+    pub pending_kernels: u32,
+}
+
+/// The outcome of one launch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchDecision {
+    /// Launch a device-side child kernel (pays `A·x + b` launch overhead
+    /// and occupies an HWQ slot while running).
+    Kernel,
+    /// DTBL-style: coalesce the child's CTAs onto an aggregated kernel —
+    /// no kernel-launch overhead, no extra HWQ slot, but the CTAs still
+    /// contend for the concurrent-CTA limit.
+    Aggregated,
+    /// Free-Launch-style (Chen & Shen, MICRO'15): no kernel is created;
+    /// the would-be child's items are redistributed evenly across the
+    /// launching warp's lanes, eliminating both launch overhead and the
+    /// divergence penalty at the cost of keeping the work on the parent's
+    /// core.
+    Redistribute,
+    /// Do the work in the parent thread (serial loop).
+    Inline,
+}
+
+/// A dynamic-parallelism launch policy plus its monitoring hooks.
+///
+/// Implementations live in `dynapar-core`; the simulator only calls through
+/// this trait. All hooks except [`decide`](LaunchController::decide) have
+/// empty default bodies so trivial policies stay trivial.
+pub trait LaunchController {
+    /// Policy name for reports (e.g. `"SPAWN"`, `"Baseline-DP"`).
+    fn name(&self) -> &str;
+
+    /// Decide the fate of one would-be child kernel.
+    fn decide(&mut self, req: &ChildRequest) -> LaunchDecision;
+
+    /// A child CTA began executing on an SMX.
+    fn on_child_cta_start(&mut self, now: Cycle) {
+        let _ = now;
+    }
+
+    /// A child CTA finished; `exec_cycles` is its on-core execution time.
+    fn on_child_cta_finish(&mut self, now: Cycle, exec_cycles: u64) {
+        let _ = (now, exec_cycles);
+    }
+
+    /// A child warp finished; `exec_cycles` is its execution time.
+    fn on_child_warp_finish(&mut self, now: Cycle, exec_cycles: u64) {
+        let _ = (now, exec_cycles);
+    }
+
+    /// Downcast hook so callers of
+    /// [`Simulation::run_with_controller`](crate::Simulation::run_with_controller)
+    /// can recover concrete policy state (e.g. SPAWN's decision log)
+    /// after a run. Policies with post-run state should override this
+    /// with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// The null policy: every request is computed in the parent thread.
+///
+/// Running a DP program under `InlineAll` is exactly the *flat* (non-DP)
+/// implementation the paper normalizes against: every thread performs its
+/// own workload serially and no launch overhead is ever paid.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_gpu::{InlineAll, LaunchController};
+/// let mut p = InlineAll;
+/// assert_eq!(p.name(), "Flat");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineAll;
+
+impl LaunchController for InlineAll {
+    fn name(&self) -> &str {
+        "Flat"
+    }
+
+    fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+        LaunchDecision::Inline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_request() -> ChildRequest {
+        ChildRequest {
+            now: Cycle(0),
+            parent_kernel: KernelId(0),
+            depth: 1,
+            items: 1000,
+            child_ctas: 4,
+            child_threads: 256,
+            child_warps_per_cta: 2,
+            warp_prior_launches: 0,
+            default_threshold: 64,
+            pending_kernels: 0,
+        }
+    }
+
+    #[test]
+    fn inline_all_never_launches() {
+        let mut p = InlineAll;
+        for _ in 0..10 {
+            assert_eq!(p.decide(&dummy_request()), LaunchDecision::Inline);
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut p = InlineAll;
+        p.on_child_cta_start(Cycle(1));
+        p.on_child_cta_finish(Cycle(2), 100);
+        p.on_child_warp_finish(Cycle(3), 50);
+    }
+}

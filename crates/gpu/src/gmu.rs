@@ -1,0 +1,220 @@
+//! The Grid Management Unit: pending-kernel pool, SWQ→HWQ mapping, and
+//! head-of-line kernel selection (§II-C, Fig. 4).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ids::{HwqId, KernelId, StreamId};
+
+/// Grid Management Unit state.
+///
+/// Kernels arrive tagged with a software work queue (stream) id; streams
+/// are mapped round-robin onto the fixed set of hardware work queues.
+/// Within one HWQ kernels are FIFO, and only the head kernel may dispatch
+/// CTAs — which is exactly why at most `num_hwqs` (32 on Kepler) kernels
+/// execute concurrently, the hardware limit at the heart of the paper's
+/// queuing-latency argument.
+#[derive(Debug)]
+pub(crate) struct Gmu {
+    hwqs: Vec<VecDeque<KernelId>>,
+    stream_map: HashMap<StreamId, HwqId>,
+    assign_counter: u32,
+    rr_hwq: usize,
+    /// Kernels currently resident in the pool (arrived, not own-complete).
+    pending: u32,
+    max_pending_seen: u32,
+    /// DTBL aggregation kernels with directly dispatchable CTAs.
+    agg_kernels: Vec<KernelId>,
+}
+
+impl Gmu {
+    pub fn new(num_hwqs: u32) -> Self {
+        assert!(num_hwqs > 0, "need at least one HWQ");
+        Gmu {
+            hwqs: (0..num_hwqs).map(|_| VecDeque::new()).collect(),
+            stream_map: HashMap::new(),
+            assign_counter: 0,
+            rr_hwq: 0,
+            pending: 0,
+            max_pending_seen: 0,
+            agg_kernels: Vec::new(),
+        }
+    }
+
+    /// HWQ that services `stream`, assigning one round-robin on first use.
+    pub fn hwq_of(&mut self, stream: StreamId) -> HwqId {
+        if let Some(&h) = self.stream_map.get(&stream) {
+            return h;
+        }
+        let h = HwqId((self.assign_counter % self.hwqs.len() as u32) as u8);
+        self.assign_counter += 1;
+        self.stream_map.insert(stream, h);
+        h
+    }
+
+    /// Enqueues an arrived kernel on its stream's HWQ.
+    pub fn enqueue(&mut self, kernel: KernelId, stream: StreamId) {
+        let h = self.hwq_of(stream);
+        self.hwqs[h.index()].push_back(kernel);
+        self.pending += 1;
+        self.max_pending_seen = self.max_pending_seen.max(self.pending);
+    }
+
+    /// Registers a DTBL aggregation kernel (bypasses HWQs).
+    pub fn register_aggregated(&mut self, kernel: KernelId) {
+        self.agg_kernels.push(kernel);
+    }
+
+    /// Removes an own-complete kernel from the head of its HWQ, unblocking
+    /// the next kernel in that queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is not at the head of its stream's HWQ — only
+    /// executing (head) kernels can complete.
+    pub fn kernel_complete(&mut self, kernel: KernelId, stream: StreamId) {
+        let h = self.hwq_of(stream);
+        let q = &mut self.hwqs[h.index()];
+        assert_eq!(
+            q.front().copied(),
+            Some(kernel),
+            "completed kernel must be its HWQ's head"
+        );
+        q.pop_front();
+        self.pending -= 1;
+    }
+
+    /// Removes a finished aggregation kernel from the direct-dispatch list.
+    pub fn aggregated_complete(&mut self, kernel: KernelId) {
+        self.agg_kernels.retain(|&k| k != kernel);
+    }
+
+    /// Kernels eligible to dispatch CTAs right now: each HWQ's head
+    /// (rotated for round-robin fairness) plus all aggregation kernels.
+    pub fn dispatch_candidates(&mut self) -> Vec<KernelId> {
+        let n = self.hwqs.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let q = &self.hwqs[(self.rr_hwq + i) % n];
+            if let Some(&head) = q.front() {
+                out.push(head);
+            }
+        }
+        self.rr_hwq = (self.rr_hwq + 1) % n;
+        out.extend(self.agg_kernels.iter().copied());
+        out
+    }
+
+    /// Number of kernels currently in the pool.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// High-water mark of pool occupancy.
+    pub fn max_pending_seen(&self) -> u32 {
+        self.max_pending_seen
+    }
+
+    /// Number of kernels currently *executing or executable* — i.e. HWQ
+    /// heads (the "concurrent kernels" the 32-HWQ limit caps).
+    pub fn concurrent_kernels(&self) -> u32 {
+        self.hwqs.iter().filter(|q| !q.is_empty()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_map_round_robin() {
+        let mut g = Gmu::new(4);
+        let h0 = g.hwq_of(StreamId(10));
+        let h1 = g.hwq_of(StreamId(11));
+        let h2 = g.hwq_of(StreamId(12));
+        let h3 = g.hwq_of(StreamId(13));
+        let h4 = g.hwq_of(StreamId(14));
+        assert_eq!([h0.0, h1.0, h2.0, h3.0], [0, 1, 2, 3]);
+        assert_eq!(h4.0, 0, "wraps after num_hwqs streams");
+        // Stable on re-query.
+        assert_eq!(g.hwq_of(StreamId(10)), h0);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize() {
+        let mut g = Gmu::new(2);
+        g.enqueue(KernelId(1), StreamId(7));
+        g.enqueue(KernelId(2), StreamId(7));
+        let cands = g.dispatch_candidates();
+        assert!(cands.contains(&KernelId(1)));
+        assert!(!cands.contains(&KernelId(2)), "K2 blocked behind K1");
+        g.kernel_complete(KernelId(1), StreamId(7));
+        let cands = g.dispatch_candidates();
+        assert!(cands.contains(&KernelId(2)));
+    }
+
+    #[test]
+    fn different_streams_run_concurrently() {
+        let mut g = Gmu::new(4);
+        g.enqueue(KernelId(1), StreamId(1));
+        g.enqueue(KernelId(2), StreamId(2));
+        let cands = g.dispatch_candidates();
+        assert!(cands.contains(&KernelId(1)) && cands.contains(&KernelId(2)));
+        assert_eq!(g.concurrent_kernels(), 2);
+    }
+
+    #[test]
+    fn hwq_limit_caps_concurrency() {
+        let mut g = Gmu::new(2);
+        for i in 0..10 {
+            g.enqueue(KernelId(i), StreamId(i));
+        }
+        // Ten kernels, ten distinct streams, but only 2 HWQs -> 2 heads.
+        assert_eq!(g.dispatch_candidates().len(), 2);
+        assert_eq!(g.concurrent_kernels(), 2);
+        assert_eq!(g.pending(), 10);
+        assert_eq!(g.max_pending_seen(), 10);
+    }
+
+    #[test]
+    fn pool_occupancy_tracking() {
+        let mut g = Gmu::new(2);
+        for i in 0..3 {
+            g.enqueue(KernelId(i), StreamId(i));
+        }
+        assert_eq!(g.pending(), 3);
+        assert_eq!(g.max_pending_seen(), 3);
+        g.kernel_complete(KernelId(0), StreamId(0));
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.max_pending_seen(), 3);
+    }
+
+    #[test]
+    fn rr_rotates_candidate_order() {
+        let mut g = Gmu::new(3);
+        g.enqueue(KernelId(0), StreamId(0));
+        g.enqueue(KernelId(1), StreamId(1));
+        g.enqueue(KernelId(2), StreamId(2));
+        let first = g.dispatch_candidates();
+        let second = g.dispatch_candidates();
+        assert_ne!(first, second, "rotation changes priority order");
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn aggregated_kernels_always_candidates() {
+        let mut g = Gmu::new(2);
+        g.register_aggregated(KernelId(9));
+        assert!(g.dispatch_candidates().contains(&KernelId(9)));
+        g.aggregated_complete(KernelId(9));
+        assert!(!g.dispatch_candidates().contains(&KernelId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "head")]
+    fn completing_non_head_panics() {
+        let mut g = Gmu::new(1);
+        g.enqueue(KernelId(1), StreamId(1));
+        g.enqueue(KernelId(2), StreamId(2)); // same HWQ (only one)
+        g.kernel_complete(KernelId(2), StreamId(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers for simulator entities.
+//!
+//! Newtypes keep kernel/SMX/stream/HWQ indices from being mixed up
+//! (C-NEWTYPE): a [`KernelId`] can never be passed where an [`SmxId`] is
+//! expected, even though both are small integers underneath.
+
+use std::fmt;
+
+/// Identifies a kernel instance (host-launched parent, device-launched
+/// child, or DTBL aggregation kernel) within one simulation run.
+///
+/// Ids are dense indices into the simulator's kernel table, assigned in
+/// creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(pub u32);
+
+impl KernelId {
+    /// Index into the simulator's kernel table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// Identifies one streaming multiprocessor (SMX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmxId(pub u8);
+
+impl SmxId {
+    /// Index into the simulator's SMX array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SmxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SMX{}", self.0)
+    }
+}
+
+/// A software-managed work queue (SWQ) id — `cudaStream_t` in CUDA terms.
+///
+/// Kernels sharing a `StreamId` execute sequentially; kernels on different
+/// streams may run concurrently if mapped to different hardware work queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u32);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A hardware work queue (HWQ) slot in the Grid Management Unit.
+///
+/// Kepler-class GPUs expose 32 of these; the number of concurrently
+/// executing kernels is bounded by the HWQ count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HwqId(pub u8);
+
+impl HwqId {
+    /// Index into the GMU's HWQ array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HwqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HWQ{}", self.0)
+    }
+}
+
+/// Locates a CTA within a kernel (`kernel`, `index` within the grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtaKey {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// CTA index within the kernel's grid.
+    pub index: u32,
+}
+
+impl fmt::Display for CtaKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.cta{}", self.kernel, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(KernelId(3).to_string(), "K3");
+        assert_eq!(SmxId(1).to_string(), "SMX1");
+        assert_eq!(StreamId(9).to_string(), "S9");
+        assert_eq!(HwqId(0).to_string(), "HWQ0");
+        let cta = CtaKey {
+            kernel: KernelId(2),
+            index: 5,
+        };
+        assert_eq!(cta.to_string(), "K2.cta5");
+    }
+
+    #[test]
+    fn ids_index_roundtrip() {
+        assert_eq!(KernelId(42).index(), 42);
+        assert_eq!(SmxId(12).index(), 12);
+        assert_eq!(HwqId(31).index(), 31);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(KernelId(1) < KernelId(2));
+        let mut set = HashSet::new();
+        set.insert(StreamId(1));
+        set.insert(StreamId(1));
+        assert_eq!(set.len(), 1);
+    }
+}

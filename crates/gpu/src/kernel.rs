@@ -1,0 +1,243 @@
+//! Per-kernel runtime state tracked by the simulator.
+
+use std::sync::Arc;
+
+use dynapar_engine::Cycle;
+
+use crate::ids::{KernelId, SmxId, StreamId};
+use crate::work::{DpSpec, ThreadSource, WorkClass};
+
+/// One CTA's worth of threads inside a DTBL aggregation kernel.
+///
+/// DTBL coalesces child CTAs from many logical launches onto one aggregated
+/// kernel, so each CTA remembers which logical child (thread source) it
+/// belongs to and its index within that child's grid.
+#[derive(Debug, Clone)]
+pub(crate) struct AggCta {
+    /// The logical child's thread source (shared by its sibling CTAs).
+    pub source: ThreadSource,
+    /// CTA index within the logical child's own grid.
+    pub local_cta: u32,
+    /// Total threads in the logical child.
+    pub child_threads: u32,
+}
+
+/// Where a kernel's CTAs find their threads.
+#[derive(Debug, Clone)]
+pub(crate) enum CtaDirectory {
+    /// A normal kernel: one thread source covering the whole grid.
+    Uniform {
+        source: ThreadSource,
+        total_threads: u32,
+    },
+    /// A DTBL aggregation kernel: per-CTA entries appended at launch time.
+    Aggregated { entries: Vec<AggCta> },
+}
+
+/// The range of lane assignments for one CTA: a source plus the base
+/// thread id and thread count within that source.
+pub(crate) struct CtaThreads<'a> {
+    pub source: &'a ThreadSource,
+    pub base_tid: u32,
+    pub count: u32,
+}
+
+/// Why a kernel exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KernelKind {
+    /// Host-launched parent kernel.
+    Host,
+    /// Device-launched child kernel.
+    Child,
+    /// DTBL aggregation kernel (holds coalesced child CTAs).
+    Aggregated,
+}
+
+/// Full runtime state of one kernel instance.
+#[derive(Debug)]
+pub(crate) struct KernelRt {
+    pub id: KernelId,
+    pub name: Arc<str>,
+    pub kind: KernelKind,
+    pub parent: Option<KernelId>,
+    pub depth: u8,
+    pub stream: StreamId,
+    /// SMX that ran the launching parent warp (None for host kernels).
+    pub origin_smx: Option<SmxId>,
+    pub cta_threads: u32,
+    pub regs_per_thread: u32,
+    pub shmem_per_cta: u32,
+    pub class: Arc<WorkClass>,
+    pub dp: Option<Arc<DpSpec>>,
+    pub dir: CtaDirectory,
+    /// Total CTAs announced (grows over time for aggregation kernels).
+    pub grid_ctas: u32,
+    /// CTAs that have arrived at the GMU and may be dispatched.
+    pub dispatchable_ctas: u32,
+    /// CTAs dispatched so far.
+    pub next_cta: u32,
+    /// CTAs currently resident on SMXs.
+    pub live_ctas: u32,
+    /// Direct child kernels (incl. aggregation kernels) not yet fully done.
+    pub live_children: u32,
+    /// Aggregation kernels spawned on behalf of this kernel.
+    pub agg_children: Vec<KernelId>,
+    /// All own CTAs have completed.
+    pub own_done: bool,
+    /// Own CTAs and every descendant kernel have completed
+    /// (`cudaDeviceSynchronize` semantics, §II-C).
+    pub fully_done: bool,
+    pub created_at: Cycle,
+    pub arrived_at: Option<Cycle>,
+    pub first_dispatch: Option<Cycle>,
+    pub own_done_at: Option<Cycle>,
+}
+
+impl KernelRt {
+    /// True if this kernel's threads belong to dynamically-launched work
+    /// (used for the parent-vs-child accounting in the figures).
+    pub fn is_child_work(&self) -> bool {
+        matches!(self.kind, KernelKind::Child | KernelKind::Aggregated)
+    }
+
+    /// Lane assignments for CTA `cta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cta` is out of range of the announced grid.
+    pub fn cta_threads(&self, cta: u32) -> CtaThreads<'_> {
+        match &self.dir {
+            CtaDirectory::Uniform {
+                source,
+                total_threads,
+            } => {
+                let base = cta * self.cta_threads;
+                assert!(cta < self.grid_ctas, "CTA index out of range");
+                let count = if base >= *total_threads {
+                    0
+                } else {
+                    (*total_threads - base).min(self.cta_threads)
+                };
+                CtaThreads {
+                    source,
+                    base_tid: base,
+                    count,
+                }
+            }
+            CtaDirectory::Aggregated { entries } => {
+                let e = &entries[cta as usize];
+                let base = e.local_cta * self.cta_threads;
+                let count = if base >= e.child_threads {
+                    0
+                } else {
+                    (e.child_threads - base).min(self.cta_threads)
+                };
+                CtaThreads {
+                    source: &e.source,
+                    base_tid: base,
+                    count,
+                }
+            }
+        }
+    }
+
+    /// All announced CTAs dispatched and finished?
+    pub fn own_work_drained(&self) -> bool {
+        self.dispatchable_ctas == self.grid_ctas
+            && self.next_cta == self.grid_ctas
+            && self.live_ctas == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::ThreadWork;
+
+    fn uniform_kernel(total_threads: u32, cta_threads: u32) -> KernelRt {
+        KernelRt {
+            id: KernelId(0),
+            name: "t".into(),
+            kind: KernelKind::Host,
+            parent: None,
+            depth: 0,
+            stream: StreamId(0),
+            origin_smx: None,
+            cta_threads,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("t", 1)),
+            dp: None,
+            dir: CtaDirectory::Uniform {
+                source: ThreadSource::Derived {
+                    origin: ThreadWork::with_items(total_threads),
+                    items_per_thread: 1,
+                },
+                total_threads,
+            },
+            grid_ctas: total_threads.div_ceil(cta_threads),
+            dispatchable_ctas: 0,
+            next_cta: 0,
+            live_ctas: 0,
+            live_children: 0,
+            agg_children: Vec::new(),
+            own_done: false,
+            fully_done: false,
+            created_at: Cycle::ZERO,
+            arrived_at: None,
+            first_dispatch: None,
+            own_done_at: None,
+        }
+    }
+
+    #[test]
+    fn uniform_cta_ranges() {
+        let k = uniform_kernel(100, 64);
+        let c0 = k.cta_threads(0);
+        assert_eq!((c0.base_tid, c0.count), (0, 64));
+        let c1 = k.cta_threads(1);
+        assert_eq!((c1.base_tid, c1.count), (64, 36)); // tail CTA is partial
+    }
+
+    #[test]
+    fn aggregated_cta_ranges() {
+        let mk_source = |items: u32| ThreadSource::Derived {
+            origin: ThreadWork::with_items(items),
+            items_per_thread: 1,
+        };
+        let mut k = uniform_kernel(0, 32);
+        k.kind = KernelKind::Aggregated;
+        k.dir = CtaDirectory::Aggregated {
+            entries: vec![
+                AggCta {
+                    source: mk_source(40),
+                    local_cta: 0,
+                    child_threads: 40,
+                },
+                AggCta {
+                    source: mk_source(40),
+                    local_cta: 1,
+                    child_threads: 40,
+                },
+            ],
+        };
+        k.grid_ctas = 2;
+        let c0 = k.cta_threads(0);
+        assert_eq!((c0.base_tid, c0.count), (0, 32));
+        let c1 = k.cta_threads(1);
+        assert_eq!((c1.base_tid, c1.count), (32, 8));
+        assert!(k.is_child_work());
+    }
+
+    #[test]
+    fn own_work_drained_conditions() {
+        let mut k = uniform_kernel(64, 64);
+        assert!(!k.own_work_drained()); // nothing arrived
+        k.dispatchable_ctas = 1;
+        assert!(!k.own_work_drained()); // not dispatched
+        k.next_cta = 1;
+        assert!(k.own_work_drained());
+        k.live_ctas = 1;
+        assert!(!k.own_work_drained()); // still running
+    }
+}

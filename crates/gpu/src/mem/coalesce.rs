@@ -1,0 +1,68 @@
+//! Warp-level memory-access coalescing.
+
+/// Coalesces a warp's per-lane byte addresses into unique cache-line ids.
+///
+/// GPUs service one memory transaction per distinct cache line touched by
+/// a warp instruction; 32 lanes reading consecutive words collapse into a
+/// single 128-byte transaction, while 32 scattered lookups generate up to
+/// 32. The coalescer sorts and deduplicates in place to keep the hot path
+/// allocation-free (the caller owns and reuses the buffer).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_gpu::mem::coalesce_lines;
+///
+/// // Four lanes in the same 128B line -> one transaction.
+/// let mut addrs = vec![0u64, 4, 64, 124];
+/// coalesce_lines(&mut addrs, 128);
+/// assert_eq!(addrs, vec![0]);
+///
+/// // Strided lanes -> one transaction per line.
+/// let mut addrs = vec![0u64, 128, 256];
+/// coalesce_lines(&mut addrs, 128);
+/// assert_eq!(addrs, vec![0, 1, 2]);
+/// ```
+pub fn coalesce_lines(addrs: &mut Vec<u64>, line_bytes: u32) {
+    debug_assert!(line_bytes.is_power_of_two());
+    let shift = line_bytes.trailing_zeros();
+    for a in addrs.iter_mut() {
+        *a >>= shift;
+    }
+    addrs.sort_unstable();
+    addrs.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_stays_empty() {
+        let mut v: Vec<u64> = Vec::new();
+        coalesce_lines(&mut v, 128);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_one_line() {
+        let mut v: Vec<u64> = (0..32).map(|l| l * 4).collect();
+        coalesce_lines(&mut v, 128);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn fully_divergent_warp_is_many_lines() {
+        let mut v: Vec<u64> = (0..32).map(|l| l * 1024).collect();
+        coalesce_lines(&mut v, 128);
+        assert_eq!(v.len(), 32);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn straddling_two_lines() {
+        let mut v = vec![100u64, 130];
+        coalesce_lines(&mut v, 128);
+        assert_eq!(v, vec![0, 1]);
+    }
+}

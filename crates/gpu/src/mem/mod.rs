@@ -1,0 +1,403 @@
+//! The simulated memory hierarchy: per-SMX L1 data caches, an
+//! address-interleaved partitioned L2, a crossbar, and per-controller DRAM
+//! channels (Table II).
+
+mod cache;
+mod coalesce;
+mod dram;
+
+pub use cache::Cache;
+pub use coalesce::coalesce_lines;
+pub use dram::DramChannel;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dynapar_engine::Cycle;
+
+use crate::config::MemConfig;
+
+/// Aggregate memory-system counters for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 probes (warp transactions).
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 probes (L1 misses).
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// DRAM reads (L2 misses).
+    pub dram_accesses: u64,
+    /// Write transactions issued (bandwidth only).
+    pub writes: u64,
+    /// L1 misses delayed because the core's MSHR set was full.
+    pub mshr_stalls: u64,
+}
+
+impl MemStats {
+    /// L1 hit rate in `[0, 1]`.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 hit rate in `[0, 1]` (Fig. 17's metric).
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.l2_accesses as f64
+        }
+    }
+}
+
+/// One L2 partition: a tag array plus a bank-service bandwidth limit.
+#[derive(Debug, Clone)]
+struct L2Partition {
+    cache: Cache,
+    next_free: Cycle,
+}
+
+/// Per-SMX miss-status holding registers: completion times of in-flight
+/// L1 misses. A new miss entering a full set stalls until the earliest
+/// outstanding one returns.
+#[derive(Debug, Default)]
+struct MshrSet {
+    inflight: BinaryHeap<Reverse<u64>>,
+}
+
+impl MshrSet {
+    /// Admits a miss issued at `now`; returns the cycle it may actually
+    /// enter the memory system.
+    fn admit(&mut self, now: Cycle, capacity: usize) -> Cycle {
+        while let Some(&Reverse(done)) = self.inflight.peek() {
+            if done <= now.as_u64() {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        if self.inflight.len() < capacity {
+            now
+        } else {
+            let Reverse(earliest) = self.inflight.pop().expect("full set is non-empty");
+            Cycle(earliest.max(now.as_u64()))
+        }
+    }
+
+    fn complete_at(&mut self, done: Cycle) {
+        self.inflight.push(Reverse(done.as_u64()));
+    }
+}
+
+/// The full memory system.
+///
+/// `warp_read` is the hot path: given the unique cache lines touched by one
+/// warp round (already coalesced), it probes the issuing SMX's L1, sends
+/// misses across the crossbar to their home L2 partition, forwards L2
+/// misses to the owning DRAM channel, and returns the cycle at which the
+/// last transaction completes (the warp's load-use stall horizon).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::Cycle;
+/// use dynapar_gpu::{config::MemConfig, mem::MemSystem};
+///
+/// let mut m = MemSystem::new(&MemConfig::default(), 2);
+/// let cold = m.warp_read(Cycle(0), 0, &[0]);
+/// let warm = m.warp_read(cold, 0, &[0]);
+/// assert!(warm - cold < cold - Cycle(0)); // L1 hit is much cheaper
+/// ```
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1: Vec<Cache>,
+    mshrs: Vec<MshrSet>,
+    l2: Vec<L2Partition>,
+    dram: Vec<DramChannel>,
+    stats: MemStats,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy for `smx_count` SMXs.
+    pub fn new(cfg: &MemConfig, smx_count: u32) -> Self {
+        let l1 = (0..smx_count)
+            .map(|_| Cache::with_geometry(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways))
+            .collect();
+        let l2 = (0..cfg.l2_partitions)
+            .map(|_| L2Partition {
+                cache: Cache::with_geometry(cfg.l2_partition_bytes, cfg.line_bytes, cfg.l2_ways),
+                next_free: Cycle::ZERO,
+            })
+            .collect();
+        let lines_per_row = (cfg.dram_row_bytes / cfg.line_bytes).max(1) as u64;
+        let dram = (0..cfg.memory_controllers)
+            .map(|_| {
+                DramChannel::new(
+                    cfg.dram_banks_per_channel,
+                    lines_per_row,
+                    cfg.dram_row_hit_latency,
+                    cfg.dram_row_miss_latency,
+                    cfg.dram_service_interval,
+                )
+            })
+            .collect();
+        let mshrs = (0..smx_count).map(|_| MshrSet::default()).collect();
+        MemSystem {
+            cfg: cfg.clone(),
+            l1,
+            mshrs,
+            l2,
+            dram,
+            stats: MemStats::default(),
+        }
+    }
+
+    #[inline]
+    fn partition_of(&self, line: u64) -> usize {
+        (line % self.cfg.l2_partitions as u64) as usize
+    }
+
+    /// Services one warp's read transactions (unique `lines`) issued from
+    /// SMX `smx` at time `now`; returns when the slowest completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `smx` is out of range.
+    pub fn warp_read(&mut self, now: Cycle, smx: usize, lines: &[u64]) -> Cycle {
+        let mut done = now;
+        for &line in lines {
+            let completion = self.read_line(now, smx, line);
+            done = done.max(completion);
+        }
+        done
+    }
+
+    fn read_line(&mut self, now: Cycle, smx: usize, line: u64) -> Cycle {
+        self.stats.l1_accesses += 1;
+        if self.l1[smx].probe_fill(line) {
+            self.stats.l1_hits += 1;
+            return now + self.cfg.l1_hit_latency;
+        }
+        // L1 miss: allocate an MSHR (stalling if the core's set is full),
+        // then cross the interconnect to the home L2 partition.
+        self.stats.l2_accesses += 1;
+        let issue = self.mshrs[smx].admit(now, self.cfg.l1_mshrs as usize);
+        if issue > now {
+            self.stats.mshr_stalls += 1;
+        }
+        let pid = self.partition_of(line);
+        let part = &mut self.l2[pid];
+        let arrive = issue + self.cfg.l1_hit_latency + self.cfg.xbar_latency;
+        let start = arrive.max(part.next_free);
+        part.next_free = start + self.cfg.l2_service_interval;
+        let l2_done = start + self.cfg.l2_hit_latency;
+        let completion = if part.cache.probe_fill(line) {
+            self.stats.l2_hits += 1;
+            l2_done
+        } else {
+            self.stats.dram_accesses += 1;
+            let per_mc = (self.cfg.l2_partitions / self.cfg.memory_controllers) as usize;
+            let ch = &mut self.dram[pid / per_mc];
+            ch.access(l2_done, line)
+        };
+        let done = completion + self.cfg.xbar_latency;
+        self.mshrs[smx].complete_at(done);
+        done
+    }
+
+    /// Issues one coalesced store transaction for `line` from SMX `smx`;
+    /// consumes L2 (and, on an L2 write miss, DRAM) bandwidth but returns
+    /// no latency — stores retire asynchronously.
+    pub fn warp_write(&mut self, now: Cycle, _smx: usize, line: u64) {
+        self.stats.writes += 1;
+        let pid = self.partition_of(line);
+        let part = &mut self.l2[pid];
+        let arrive = now + self.cfg.l1_hit_latency + self.cfg.xbar_latency;
+        let start = arrive.max(part.next_free);
+        part.next_free = start + self.cfg.l2_service_interval;
+        if !part.cache.probe_fill(line) {
+            let per_mc = (self.cfg.l2_partitions / self.cfg.memory_controllers) as usize;
+            self.dram[pid / per_mc].write(start + self.cfg.l2_hit_latency, line);
+        }
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Mean DRAM row-buffer hit rate across channels (diagnostic).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let active: Vec<f64> = self
+            .dram
+            .iter()
+            .filter(|c| c.accesses() > 0)
+            .map(|c| c.row_hit_rate())
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MemConfig {
+        MemConfig {
+            l1_bytes: 2 * 128 * 4, // 8 lines, 4-way, 2 sets
+            l2_partition_bytes: 16 * 128 * 8,
+            ..MemConfig::default()
+        }
+    }
+
+    #[test]
+    fn l1_hit_is_fast_and_counted() {
+        let mut m = MemSystem::new(&small_cfg(), 1);
+        m.warp_read(Cycle(0), 0, &[7]);
+        let t0 = Cycle(10_000);
+        let done = m.warp_read(t0, 0, &[7]);
+        assert_eq!(done, t0 + m.cfg.l1_hit_latency);
+        assert_eq!(m.stats().l1_hits, 1);
+        assert_eq!(m.stats().l1_accesses, 2);
+    }
+
+    #[test]
+    fn l2_hit_when_another_smx_fetched_the_line() {
+        let mut m = MemSystem::new(&small_cfg(), 2);
+        m.warp_read(Cycle(0), 0, &[7]); // SMX0 pulls through L2
+        let before = m.stats();
+        assert_eq!(before.l2_hits, 0);
+        m.warp_read(Cycle(10_000), 1, &[7]); // SMX1 misses L1, hits L2
+        let after = m.stats();
+        assert_eq!(after.l2_hits, 1);
+        assert_eq!(after.dram_accesses, before.dram_accesses);
+    }
+
+    #[test]
+    fn miss_chain_latency_ordering() {
+        let mut m = MemSystem::new(&small_cfg(), 1);
+        let dram_done = m.warp_read(Cycle(0), 0, &[3]);
+        let mut m2 = MemSystem::new(&small_cfg(), 1);
+        m2.warp_read(Cycle(0), 0, &[3]);
+        // Refetch from a cold L1 but warm L2 by thrashing L1 only:
+        // simplest check: L2-resident latency must be below DRAM latency.
+        let mut m3 = MemSystem::new(&small_cfg(), 2);
+        m3.warp_read(Cycle(0), 0, &[3]);
+        let l2_done = m3.warp_read(Cycle(100_000), 1, &[3]) - Cycle(100_000);
+        assert!(l2_done < dram_done - Cycle(0), "L2 {l2_done:?} vs DRAM {dram_done:?}");
+    }
+
+    #[test]
+    fn many_lines_return_max_completion() {
+        let mut m = MemSystem::new(&small_cfg(), 1);
+        let one = m.warp_read(Cycle(0), 0, &[100]);
+        let mut m2 = MemSystem::new(&small_cfg(), 1);
+        let many = m2.warp_read(Cycle(0), 0, &[100, 101, 102, 103, 104, 105, 106, 107]);
+        assert!(many >= one, "more transactions can only finish later");
+    }
+
+    #[test]
+    fn bank_contention_serializes_same_partition() {
+        let cfg = small_cfg();
+        let parts = cfg.l2_partitions as u64;
+        let mut m = MemSystem::new(&cfg, 1);
+        // Two lines in the same partition vs two in different partitions.
+        let same = m.warp_read(Cycle(0), 0, &[0, parts]);
+        let mut m2 = MemSystem::new(&cfg, 1);
+        let diff = m2.warp_read(Cycle(0), 0, &[0, 1]);
+        assert!(same >= diff);
+    }
+
+    #[test]
+    fn writes_count_but_do_not_block() {
+        let mut m = MemSystem::new(&small_cfg(), 1);
+        m.warp_write(Cycle(0), 0, 55);
+        assert_eq!(m.stats().writes, 1);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let s = MemStats {
+            l1_accesses: 10,
+            l1_hits: 5,
+            l2_accesses: 5,
+            l2_hits: 4,
+            dram_accesses: 1,
+            writes: 0,
+            mshr_stalls: 0,
+        };
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.l2_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1_hit_rate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod mshr_tests {
+    use super::*;
+
+    #[test]
+    fn mshr_set_admits_until_full_then_stalls() {
+        let mut m = MshrSet::default();
+        // Fill 4 slots with misses completing at 100, 200, 300, 400.
+        for done in [100u64, 200, 300, 400] {
+            assert_eq!(m.admit(Cycle(0), 4), Cycle(0));
+            m.complete_at(Cycle(done));
+        }
+        // Fifth miss at t=10 must wait for the earliest return (100).
+        assert_eq!(m.admit(Cycle(10), 4), Cycle(100));
+        m.complete_at(Cycle(500));
+        // After time passes, returned entries free slots.
+        assert_eq!(m.admit(Cycle(250), 4), Cycle(0).max(Cycle(250)));
+    }
+
+    #[test]
+    fn few_mshrs_throttle_miss_storms() {
+        let tight = MemConfig {
+            l1_mshrs: 2,
+            ..MemConfig::default()
+        };
+        let loose = MemConfig {
+            l1_mshrs: 64,
+            ..MemConfig::default()
+        };
+        // A storm of distinct lines (all misses) from one SMX.
+        let lines: Vec<u64> = (0..64).collect();
+        let mut m_tight = MemSystem::new(&tight, 1);
+        let mut m_loose = MemSystem::new(&loose, 1);
+        let t_tight = m_tight.warp_read(Cycle(0), 0, &lines);
+        let t_loose = m_loose.warp_read(Cycle(0), 0, &lines);
+        assert!(
+            t_tight > t_loose,
+            "2 MSHRs ({t_tight:?}) must be slower than 64 ({t_loose:?})"
+        );
+        assert!(m_tight.stats().mshr_stalls > 0);
+        assert_eq!(m_loose.stats().mshr_stalls, 0);
+    }
+
+    #[test]
+    fn hits_never_consume_mshrs() {
+        let cfg = MemConfig {
+            l1_mshrs: 1,
+            ..MemConfig::default()
+        };
+        let mut m = MemSystem::new(&cfg, 1);
+        m.warp_read(Cycle(0), 0, &[7]); // miss fills L1
+        let before = m.stats().mshr_stalls;
+        for i in 0..10 {
+            m.warp_read(Cycle(100_000 + i), 0, &[7]); // all hits
+        }
+        assert_eq!(m.stats().mshr_stalls, before);
+    }
+}

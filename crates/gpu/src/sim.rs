@@ -1,0 +1,1999 @@
+//! The event-driven simulation driver.
+//!
+//! Execution model recap (see crate docs): warps advance in *rounds* (one
+//! work item per active lane per round). The SMX issue scheduler grants
+//! `issue_width` round-issues per cycle; a round's duration is its compute
+//! cost plus the latency of its coalesced memory transactions. Parent
+//! threads consult the [`LaunchController`] exactly once, at warp start
+//! (the top-of-kernel launch site of Fig. 3), and either spawn a child
+//! kernel (paying the `A·x + b` arrival delay into the GMU), push
+//! aggregated CTAs (DTBL), or keep their items and loop over them inline.
+
+use std::sync::Arc;
+
+use dynapar_engine::stats::TimeWeighted;
+use dynapar_engine::{Cycle, EventQueue};
+
+use crate::config::{CtaPlacement, GpuConfig, StreamPolicy};
+use crate::controller::{ChildRequest, LaunchController, LaunchDecision};
+use crate::gmu::Gmu;
+use crate::ids::{KernelId, SmxId, StreamId};
+use crate::kernel::{AggCta, CtaDirectory, KernelKind, KernelRt};
+use crate::mem::{coalesce_lines, MemSystem};
+use crate::smx::{CtaRt, Smx, WarpRt};
+use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
+use crate::trace::{Trace, TraceEvent};
+use crate::work::{DpSpec, KernelDesc, ThreadSource, ThreadWork};
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A kernel (host or child) arrives in the GMU pending pool.
+    KernelArrive(KernelId),
+    /// DTBL-aggregated CTAs become dispatchable.
+    AggArrive { kernel: KernelId, count: u32 },
+    /// Run the CTA dispatcher.
+    Dispatch,
+    /// A dispatched CTA begins on its SMX.
+    CtaStart { smx: SmxId, cta_slot: u32 },
+    /// Issue warps on one SMX this cycle.
+    SmxTick(SmxId),
+    /// A warp is ready to issue its next round (or has finished).
+    WarpReady { smx: SmxId, slot: u32 },
+    /// A completed kernel's HWQ slot frees after the turnaround floor.
+    HwqRelease(KernelId),
+    /// Periodic timeline sample.
+    Sample,
+}
+
+/// A complete simulated execution of one DP program under one launch
+/// policy.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dynapar_gpu::{
+///     GpuConfig, InlineAll, KernelDesc, Simulation, ThreadSource, ThreadWork, WorkClass,
+/// };
+///
+/// let cfg = GpuConfig::test_small();
+/// let mut sim = Simulation::new(cfg, Box::new(InlineAll));
+/// sim.launch_host(KernelDesc {
+///     name: "demo".into(),
+///     cta_threads: 64,
+///     regs_per_thread: 16,
+///     shmem_per_cta: 0,
+///     class: Arc::new(WorkClass::compute_only("demo", 4)),
+///     source: ThreadSource::Derived {
+///         origin: ThreadWork::with_items(256),
+///         items_per_thread: 1,
+///     },
+///     dp: None,
+/// });
+/// let report = sim.run();
+/// assert!(report.total_cycles > 0);
+/// assert_eq!(report.items_total(), 256);
+/// ```
+pub struct Simulation {
+    cfg: GpuConfig,
+    events: EventQueue<Ev>,
+    gmu: Gmu,
+    smxs: Vec<Smx>,
+    mem: MemSystem,
+    kernels: Vec<KernelRt>,
+    controller: Box<dyn LaunchController>,
+    now: Cycle,
+    live_kernels: u32,
+    next_stream: u32,
+    warp_seq: u64,
+    rr_smx: usize,
+    dispatch_at: Option<Cycle>,
+    /// Child kernels whose launch was approved but which have not yet
+    /// arrived at the GMU (they already occupy pending-pool slots — the
+    /// API allocates the slot when it is invoked).
+    inflight_launches: u32,
+    trace: Option<Trace>,
+    // --- statistics ---
+    occupancy: TimeWeighted,
+    parent_ctas_running: u32,
+    child_ctas_running: u32,
+    timeline: Vec<(u64, TimelineSample)>,
+    child_cta_exec: Vec<u64>,
+    child_launch_times: Vec<u64>,
+    queue_lat_sum: u128,
+    queue_lat_count: u64,
+    items_inline: u64,
+    items_child: u64,
+    launch_requests: u64,
+    inlined_requests: u64,
+    redistributed_requests: u64,
+    aggregated_launches: u64,
+    aggregated_cta_count: u64,
+    child_ctas_executed: u64,
+    child_kernels: u64,
+    events_processed: u64,
+    addr_buf: Vec<u64>,
+}
+
+impl Simulation {
+    /// Creates a simulator for `cfg` driven by `controller`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GpuConfig::validate`].
+    pub fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>) -> Self {
+        cfg.validate().expect("invalid GPU configuration");
+        let smxs = (0..cfg.smx_count)
+            .map(|i| Smx::new(SmxId(i as u8), &cfg))
+            .collect();
+        let mem = MemSystem::new(&cfg.mem, cfg.smx_count);
+        let gmu = Gmu::new(cfg.num_hwqs);
+        Simulation {
+            cfg,
+            events: EventQueue::new(),
+            gmu,
+            smxs,
+            mem,
+            kernels: Vec::new(),
+            controller,
+            now: Cycle::ZERO,
+            live_kernels: 0,
+            next_stream: 0,
+            warp_seq: 0,
+            rr_smx: 0,
+            dispatch_at: None,
+            inflight_launches: 0,
+            trace: None,
+            occupancy: TimeWeighted::new(),
+            parent_ctas_running: 0,
+            child_ctas_running: 0,
+            timeline: Vec::new(),
+            child_cta_exec: Vec::new(),
+            child_launch_times: Vec::new(),
+            queue_lat_sum: 0,
+            queue_lat_count: 0,
+            items_inline: 0,
+            items_child: 0,
+            launch_requests: 0,
+            inlined_requests: 0,
+            redistributed_requests: 0,
+            aggregated_launches: 0,
+            aggregated_cta_count: 0,
+            child_ctas_executed: 0,
+            child_kernels: 0,
+            events_processed: 0,
+            addr_buf: Vec::with_capacity(128),
+        }
+    }
+
+    /// Enables structured tracing, keeping at most `capacity` events.
+    /// Retrieve the log with [`run_traced`](Simulation::run_traced).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    #[inline]
+    fn trace(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(ev());
+        }
+    }
+
+    /// Enqueues a host-side kernel launch at time zero on the default
+    /// stream: successive host launches serialize, exactly like CUDA's
+    /// NULL stream (the level-synchronous BFS driver depends on this).
+    /// Use [`launch_host_on_stream`](Simulation::launch_host_on_stream)
+    /// for concurrent host kernels.
+    pub fn launch_host(&mut self, desc: KernelDesc) {
+        self.launch_host_on_stream(desc, Self::DEFAULT_STREAM);
+    }
+
+    /// The host-side default (NULL) stream.
+    pub const DEFAULT_STREAM: StreamId = StreamId(0);
+
+    /// Enqueues a host-side kernel launch at time zero on an explicit
+    /// stream; kernels on distinct streams may execute concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description fails [`KernelDesc::validate`].
+    pub fn launch_host_on_stream(&mut self, desc: KernelDesc, stream: StreamId) {
+        desc.validate().expect("invalid kernel description");
+        let id = KernelId(self.kernels.len() as u32);
+        self.next_stream = self.next_stream.max(stream.0 + 1);
+        let total_threads = desc.thread_count();
+        let grid = desc.grid_ctas();
+        self.kernels.push(KernelRt {
+            id,
+            name: desc.name,
+            kind: KernelKind::Host,
+            parent: None,
+            depth: 0,
+            stream,
+            origin_smx: None,
+            cta_threads: desc.cta_threads,
+            regs_per_thread: desc.regs_per_thread,
+            shmem_per_cta: desc.shmem_per_cta,
+            class: desc.class,
+            dp: desc.dp,
+            dir: CtaDirectory::Uniform {
+                source: desc.source,
+                total_threads,
+            },
+            grid_ctas: grid,
+            dispatchable_ctas: 0,
+            next_cta: 0,
+            live_ctas: 0,
+            live_children: 0,
+            agg_children: Vec::new(),
+            own_done: false,
+            fully_done: false,
+            created_at: Cycle::ZERO,
+            arrived_at: None,
+            first_dispatch: None,
+            own_done_at: None,
+        });
+        self.live_kernels += 1;
+        self.trace(|| TraceEvent::KernelCreated {
+            at: Cycle::ZERO,
+            kernel: id,
+            parent: None,
+        });
+        self.events.push(Cycle::ZERO, Ev::KernelArrive(id));
+    }
+
+    /// Runs to completion, returning the report *and* the controller so
+    /// callers can inspect policy-side statistics (e.g. SPAWN's decision
+    /// counters) after the run.
+    ///
+    /// # Panics
+    ///
+    /// As for [`run`](Simulation::run).
+    pub fn run_with_controller(mut self) -> (SimReport, Box<dyn LaunchController>) {
+        self.run_to_completion();
+        let report = self.build_report();
+        (report, self.controller)
+    }
+
+    /// Runs to completion and returns the report together with the trace
+    /// (empty unless [`enable_trace`](Simulation::enable_trace) was
+    /// called).
+    ///
+    /// # Panics
+    ///
+    /// As for [`run`](Simulation::run).
+    pub fn run_traced(mut self) -> (SimReport, Trace) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new(1));
+        }
+        self.run_to_completion();
+        let report = self.build_report();
+        (report, self.trace.expect("trace installed above"))
+    }
+
+    /// Runs to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds `cfg.max_cycles` (a stall/runaway
+    /// guard) or deadlocks with live kernels and no pending events — both
+    /// indicate an internal invariant violation or a malformed workload.
+    pub fn run(mut self) -> SimReport {
+        self.run_to_completion();
+        self.build_report()
+    }
+
+    fn run_to_completion(&mut self) {
+        self.events.push(Cycle::ZERO, Ev::Sample);
+        while let Some((t, ev)) = self.events.pop() {
+            assert!(
+                t.as_u64() <= self.cfg.max_cycles,
+                "simulation exceeded max_cycles={} (stall or runaway workload)",
+                self.cfg.max_cycles
+            );
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            self.handle(t, ev);
+            if self.live_kernels == 0 {
+                break;
+            }
+        }
+        assert!(
+            self.live_kernels == 0,
+            "simulation stalled with {} live kernels and no events",
+            self.live_kernels
+        );
+        self.occupancy.finish(self.now);
+    }
+
+    fn handle(&mut self, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::KernelArrive(k) => self.on_kernel_arrive(now, k),
+            Ev::AggArrive { kernel, count } => {
+                self.kernels[kernel.index()].dispatchable_ctas += count;
+                self.schedule_dispatch(now);
+            }
+            Ev::Dispatch => {
+                if self.dispatch_at == Some(now) {
+                    self.dispatch_at = None;
+                }
+                self.do_dispatch(now);
+            }
+            Ev::CtaStart { smx, cta_slot } => self.on_cta_start(now, smx, cta_slot),
+            Ev::SmxTick(smx) => self.on_smx_tick(now, smx),
+            Ev::WarpReady { smx, slot } => self.on_warp_ready(now, smx, slot),
+            Ev::HwqRelease(kernel) => {
+                let stream = self.kernels[kernel.index()].stream;
+                self.gmu.kernel_complete(kernel, stream);
+                self.schedule_dispatch(now);
+            }
+            Ev::Sample => self.on_sample(now),
+        }
+    }
+
+    // ----- kernel arrival & dispatch ------------------------------------
+
+    fn on_kernel_arrive(&mut self, now: Cycle, id: KernelId) {
+        let k = &mut self.kernels[id.index()];
+        debug_assert!(k.arrived_at.is_none(), "kernel arrived twice");
+        if matches!(k.kind, KernelKind::Child) {
+            debug_assert!(self.inflight_launches > 0);
+            self.inflight_launches -= 1;
+        }
+        k.arrived_at = Some(now);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::KernelArrived { at: now, kernel: id });
+        }
+        if let CtaDirectory::Uniform { .. } = k.dir {
+            k.dispatchable_ctas = k.grid_ctas;
+        }
+        let stream = k.stream;
+        self.gmu.enqueue(id, stream);
+        self.schedule_dispatch(now);
+    }
+
+    fn schedule_dispatch(&mut self, at: Cycle) {
+        if self.dispatch_at.is_none_or(|t| t > at) {
+            self.dispatch_at = Some(at);
+            self.events.push(at, Ev::Dispatch);
+        }
+    }
+
+    fn do_dispatch(&mut self, now: Cycle) {
+        let candidates = self.gmu.dispatch_candidates();
+        loop {
+            let mut placed_any = false;
+            for &kid in &candidates {
+                let k = &self.kernels[kid.index()];
+                if k.next_cta >= k.dispatchable_ctas {
+                    continue;
+                }
+                let threads = k.cta_threads;
+                let regs = threads * k.regs_per_thread;
+                let shmem = k.shmem_per_cta;
+                let warps_needed = threads.div_ceil(self.cfg.warp_size);
+                let n = self.smxs.len();
+                let mut placed = None;
+                // Locality-aware placement: try the parent's SMX first so
+                // the child's reads hit the parent-warmed L1.
+                if self.cfg.cta_placement == CtaPlacement::ParentAffinity {
+                    if let Some(home) = k.origin_smx {
+                        let s = home.index();
+                        if self.smxs[s].can_fit(threads, regs, shmem, warps_needed) {
+                            placed = Some(s);
+                        }
+                    }
+                }
+                if placed.is_none() {
+                    for i in 0..n {
+                        let s = (self.rr_smx + i) % n;
+                        if self.smxs[s].can_fit(threads, regs, shmem, warps_needed) {
+                            placed = Some(s);
+                            break;
+                        }
+                    }
+                    if let Some(s) = placed {
+                        self.rr_smx = (s + 1) % n;
+                    }
+                }
+                let Some(s) = placed else { continue };
+                let k = &mut self.kernels[kid.index()];
+                let cta_index = k.next_cta;
+                k.next_cta += 1;
+                k.live_ctas += 1;
+                let is_child = k.is_child_work();
+                if k.first_dispatch.is_none() {
+                    k.first_dispatch = Some(now);
+                    if matches!(k.kind, KernelKind::Child) {
+                        let waited = now - k.arrived_at.expect("dispatched after arrival");
+                        self.queue_lat_sum += waited.as_u64() as u128;
+                        self.queue_lat_count += 1;
+                    }
+                }
+                let cta_slot = self.smxs[s].reserve_cta(CtaRt {
+                    kernel: kid,
+                    cta_index,
+                    live_warps: 0,
+                    start_cycle: now,
+                    threads,
+                    regs,
+                    shmem,
+                    is_child_work: is_child,
+                    cta_stream: None,
+                });
+                self.trace(|| TraceEvent::CtaDispatched {
+                    at: now,
+                    kernel: kid,
+                    cta: cta_index,
+                    smx: SmxId(s as u8),
+                });
+                self.events.push(
+                    now + self.cfg.cta_dispatch_latency,
+                    Ev::CtaStart {
+                        smx: SmxId(s as u8),
+                        cta_slot,
+                    },
+                );
+                placed_any = true;
+            }
+            if !placed_any {
+                break;
+            }
+        }
+    }
+
+    // ----- CTA & warp lifecycle -----------------------------------------
+
+    fn on_cta_start(&mut self, now: Cycle, smx: SmxId, cta_slot: u32) {
+        let si = smx.index();
+        let (kernel_id, cta_index) = {
+            let cta = self.smxs[si].cta(cta_slot);
+            (cta.kernel, cta.cta_index)
+        };
+        // Gather lane assignments (immutable borrow of kernels).
+        let (lane_groups, is_child, depth, class, dp) = {
+            let k = &self.kernels[kernel_id.index()];
+            let ct = k.cta_threads(cta_index);
+            let stride = k.class.seq_bytes_per_item;
+            let ws = self.cfg.warp_size;
+            let mut groups: Vec<Vec<ThreadWork>> = Vec::new();
+            let mut i = 0;
+            while i < ct.count {
+                let hi = (i + ws).min(ct.count);
+                groups.push(
+                    (i..hi)
+                        .map(|t| ct.source.thread(ct.base_tid + t, stride))
+                        .collect(),
+                );
+                i = hi;
+            }
+            (groups, k.is_child_work(), k.depth, k.class.clone(), k.dp.clone())
+        };
+        let warp_count = lane_groups.len() as u32;
+        {
+            let cta = self.smxs[si].cta_mut(cta_slot);
+            cta.start_cycle = now;
+            cta.live_warps = warp_count;
+            cta.is_child_work = is_child;
+        }
+        for lanes in lane_groups {
+            let age = self.warp_seq;
+            self.warp_seq += 1;
+            let slot = self.smxs[si].add_warp(WarpRt {
+                cta_slot,
+                kernel: kernel_id,
+                is_child_work: is_child,
+                depth,
+                lanes,
+                rounds_done: 0,
+                rounds_total: 0,
+                started: false,
+                launches: 0,
+                start_cycle: now,
+                age,
+                class: class.clone(),
+                dp: dp.clone(),
+                outstanding_mem: std::collections::VecDeque::new(),
+            });
+            self.smxs[si].mark_ready(slot);
+        }
+        self.occupancy.add(now, warp_count as i64);
+        if is_child {
+            self.child_ctas_running += 1;
+            self.controller.on_child_cta_start(now);
+        } else {
+            self.parent_ctas_running += 1;
+        }
+        if warp_count == 0 {
+            // Degenerate empty CTA: complete immediately.
+            self.finish_cta(now, si, cta_slot);
+        } else {
+            self.ensure_tick(si, now);
+        }
+    }
+
+    fn ensure_tick(&mut self, si: usize, at: Cycle) {
+        if self.smxs[si].tick_at.is_none_or(|t| t > at) {
+            self.smxs[si].tick_at = Some(at);
+            self.events.push(at, Ev::SmxTick(SmxId(si as u8)));
+        }
+    }
+
+    fn on_smx_tick(&mut self, now: Cycle, smx: SmxId) {
+        let si = smx.index();
+        if self.smxs[si].tick_at == Some(now) {
+            self.smxs[si].tick_at = None;
+        }
+        for _ in 0..self.cfg.issue_width {
+            let Some(slot) = self.smxs[si].select_ready() else {
+                break;
+            };
+            if self.smxs[si].warp(slot).started {
+                self.run_round(now, si, slot);
+            } else {
+                self.start_warp(now, si, slot);
+            }
+        }
+        if self.smxs[si].has_ready() {
+            self.ensure_tick(si, now + 1);
+        }
+    }
+
+    fn on_warp_ready(&mut self, now: Cycle, smx: SmxId, slot: u32) {
+        let si = smx.index();
+        let w = self.smxs[si].warp(slot);
+        if w.started && w.rounds_done >= w.rounds_total {
+            self.finish_warp(now, si, slot);
+        } else {
+            self.smxs[si].mark_ready(slot);
+            self.ensure_tick(si, now);
+        }
+    }
+
+    /// First issue of a warp: make the launch decisions for every
+    /// candidate lane, then charge the prologue (init + API calls).
+    fn start_warp(&mut self, now: Cycle, si: usize, slot: u32) {
+        let (kernel_id, cta_slot, depth, dp_opt) = {
+            let w = self.smxs[si].warp(slot);
+            (w.kernel, w.cta_slot, w.depth, w.dp.clone())
+        };
+        let mut api_cost: u64 = 0;
+        // CUDA bounds device-launch nesting; sites past the limit fail
+        // at the API and fall back to in-thread execution.
+        let dp_opt = dp_opt.filter(|_| depth < self.cfg.max_nesting_depth);
+        if let Some(dp) = dp_opt {
+            let min_items = dp.min_items.max(1);
+            let candidates: Vec<(usize, ThreadWork)> = self.smxs[si]
+                .warp(slot)
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.items >= min_items)
+                .map(|(i, l)| (i, *l))
+                .collect();
+            for (lane_idx, work) in candidates {
+                let (ctas, threads) = dp.child_geometry(work.items);
+                let prior = self.smxs[si].warp(slot).launches;
+                let req = ChildRequest {
+                    now,
+                    parent_kernel: kernel_id,
+                    depth: depth + 1,
+                    items: work.items,
+                    child_ctas: ctas,
+                    child_threads: threads,
+                    child_warps_per_cta: dp.child_warps_per_cta(self.cfg.warp_size),
+                    warp_prior_launches: prior,
+                    default_threshold: dp.default_threshold,
+                    pending_kernels: self.gmu.pending() + self.inflight_launches,
+                };
+                self.launch_requests += 1;
+                let mut decision = self.controller.decide(&req);
+                self.trace(|| TraceEvent::Decision {
+                    at: now,
+                    parent: kernel_id,
+                    items: work.items,
+                    decision,
+                });
+                let pool_occupancy = self.gmu.pending() + self.inflight_launches;
+                if decision == LaunchDecision::Kernel && pool_occupancy >= self.cfg.pending_pool_cap {
+                    // The device launch API returns "fail": compute inline
+                    // (the §IV-B translated-source contract).
+                    decision = LaunchDecision::Inline;
+                }
+                match decision {
+                    LaunchDecision::Kernel => {
+                        let x = {
+                            let w = self.smxs[si].warp_mut(slot);
+                            w.launches += 1;
+                            w.lanes[lane_idx].items = 0;
+                            w.launches as u64
+                        };
+                        api_cost += self.cfg.launch.api_call_cycles;
+                        let stream = self.child_stream(si, cta_slot);
+                        let child = self.create_child_kernel(
+                            kernel_id,
+                            &dp,
+                            work,
+                            ctas,
+                            threads,
+                            stream,
+                            now,
+                            depth + 1,
+                            Some(SmxId(si as u8)),
+                        );
+                        self.trace(|| TraceEvent::KernelCreated {
+                            at: now,
+                            kernel: child,
+                            parent: Some(kernel_id),
+                        });
+                        let delay = self.cfg.launch.kernel_latency(x);
+                        self.inflight_launches += 1;
+                        self.events.push(now + delay, Ev::KernelArrive(child));
+                        self.child_launch_times.push(now.as_u64());
+                        self.child_kernels += 1;
+                    }
+                    LaunchDecision::Aggregated => {
+                        self.smxs[si].warp_mut(slot).lanes[lane_idx].items = 0;
+                        api_cost += self.cfg.launch.api_call_cycles;
+                        let agg = self.agg_kernel_for(kernel_id, &dp, now);
+                        let source = ThreadSource::Derived {
+                            origin: work,
+                            items_per_thread: dp.child_items_per_thread,
+                        };
+                        let k = &mut self.kernels[agg.index()];
+                        if let CtaDirectory::Aggregated { entries } = &mut k.dir {
+                            for local in 0..ctas {
+                                entries.push(AggCta {
+                                    source: source.clone(),
+                                    local_cta: local,
+                                    child_threads: threads,
+                                });
+                            }
+                        }
+                        k.grid_ctas += ctas;
+                        self.events.push(
+                            now + self.cfg.launch.dtbl_per_cta_cycles,
+                            Ev::AggArrive { kernel: agg, count: ctas },
+                        );
+                        self.aggregated_launches += 1;
+                        self.aggregated_cta_count += ctas as u64;
+                    }
+                    LaunchDecision::Redistribute => {
+                        // Free-Launch: spread the items across the whole
+                        // warp. Work is conserved exactly; the first
+                        // `items % lanes` lanes take the remainder.
+                        let w = self.smxs[si].warp_mut(slot);
+                        let lanes = w.lanes.len() as u32;
+                        let items = w.lanes[lane_idx].items;
+                        w.lanes[lane_idx].items = 0;
+                        let share = items / lanes;
+                        let rem = (items % lanes) as usize;
+                        for (i, lane) in w.lanes.iter_mut().enumerate() {
+                            lane.items += share + u32::from(i < rem);
+                        }
+                        self.redistributed_requests += 1;
+                    }
+                    LaunchDecision::Inline => {
+                        self.inlined_requests += 1;
+                    }
+                }
+            }
+        }
+        let w = self.smxs[si].warp_mut(slot);
+        w.started = true;
+        w.rounds_total = w.max_items();
+        let busy = w.class.init_cycles as u64 + api_cost + 1;
+        self.events.push(
+            now + busy,
+            Ev::WarpReady {
+                smx: SmxId(si as u8),
+                slot,
+            },
+        );
+    }
+
+    fn child_stream(&mut self, si: usize, cta_slot: u32) -> StreamId {
+        match self.cfg.stream_policy {
+            StreamPolicy::PerChildKernel => {
+                let s = StreamId(self.next_stream);
+                self.next_stream += 1;
+                s
+            }
+            StreamPolicy::PerParentCta => {
+                let next = &mut self.next_stream;
+                let cta = self.smxs[si].cta_mut(cta_slot);
+                *cta.cta_stream.get_or_insert_with(|| {
+                    let s = StreamId(*next);
+                    *next += 1;
+                    s
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_child_kernel(
+        &mut self,
+        parent: KernelId,
+        dp: &Arc<DpSpec>,
+        work: ThreadWork,
+        ctas: u32,
+        threads: u32,
+        stream: StreamId,
+        now: Cycle,
+        depth: u8,
+        origin_smx: Option<SmxId>,
+    ) -> KernelId {
+        let id = KernelId(self.kernels.len() as u32);
+        self.kernels.push(KernelRt {
+            id,
+            name: dp.child_class.label.into(),
+            kind: KernelKind::Child,
+            parent: Some(parent),
+            depth,
+            stream,
+            origin_smx,
+            cta_threads: dp.child_cta_threads,
+            regs_per_thread: dp.child_regs_per_thread,
+            shmem_per_cta: dp.child_shmem_per_cta,
+            class: dp.child_class.clone(),
+            dp: dp.nested.clone(),
+            dir: CtaDirectory::Uniform {
+                source: ThreadSource::Derived {
+                    origin: work,
+                    items_per_thread: dp.child_items_per_thread,
+                },
+                total_threads: threads,
+            },
+            grid_ctas: ctas,
+            dispatchable_ctas: 0,
+            next_cta: 0,
+            live_ctas: 0,
+            live_children: 0,
+            agg_children: Vec::new(),
+            own_done: false,
+            fully_done: false,
+            created_at: now,
+            arrived_at: None,
+            first_dispatch: None,
+            own_done_at: None,
+        });
+        self.kernels[parent.index()].live_children += 1;
+        self.live_kernels += 1;
+        id
+    }
+
+    /// Returns (creating on first use) the DTBL aggregation kernel that
+    /// collects coalesced child CTAs of `parent`.
+    fn agg_kernel_for(&mut self, parent: KernelId, dp: &Arc<DpSpec>, now: Cycle) -> KernelId {
+        if let Some(&agg) = self.kernels[parent.index()].agg_children.first() {
+            return agg;
+        }
+        let id = KernelId(self.kernels.len() as u32);
+        let depth = self.kernels[parent.index()].depth + 1;
+        self.kernels.push(KernelRt {
+            id,
+            name: format!("{}-agg", dp.child_class.label).into(),
+            kind: KernelKind::Aggregated,
+            parent: Some(parent),
+            depth,
+            stream: StreamId(u32::MAX - id.0), // never enters an HWQ
+            origin_smx: None,
+            cta_threads: dp.child_cta_threads,
+            regs_per_thread: dp.child_regs_per_thread,
+            shmem_per_cta: dp.child_shmem_per_cta,
+            class: dp.child_class.clone(),
+            dp: dp.nested.clone(),
+            dir: CtaDirectory::Aggregated {
+                entries: Vec::new(),
+            },
+            grid_ctas: 0,
+            dispatchable_ctas: 0,
+            next_cta: 0,
+            live_ctas: 0,
+            live_children: 0,
+            agg_children: Vec::new(),
+            own_done: false,
+            fully_done: false,
+            created_at: now,
+            arrived_at: Some(now),
+            first_dispatch: None,
+            own_done_at: None,
+        });
+        self.kernels[parent.index()].agg_children.push(id);
+        self.kernels[parent.index()].live_children += 1;
+        self.live_kernels += 1;
+        self.gmu.register_aggregated(id);
+        id
+    }
+
+    /// Executes one round of a started warp.
+    fn run_round(&mut self, now: Cycle, si: usize, slot: u32) {
+        let mut addrs = std::mem::take(&mut self.addr_buf);
+        addrs.clear();
+        let (compute, active, write_line, is_child) = {
+            let w = self.smxs[si].warp(slot);
+            let r = w.rounds_done;
+            let class = &w.class;
+            let mut active = 0u32;
+            let mut first_seed = None;
+            for lane in &w.lanes {
+                if lane.items > r {
+                    active += 1;
+                    if first_seed.is_none() {
+                        first_seed = Some(lane.rand_seed);
+                    }
+                    if class.seq_bytes_per_item > 0 {
+                        addrs.push(lane.seq_base + r as u64 * class.seq_bytes_per_item as u64);
+                    }
+                    for k in 0..class.rand_refs_per_item {
+                        addrs.push(class.rand_addr(lane.rand_seed, r, k));
+                    }
+                }
+            }
+            let write_line = if class.writes_per_item > 0 && class.rand_region_bytes > 0 {
+                first_seed.map(|s| {
+                    class.rand_addr(s ^ 0x5757_5757, r, 0)
+                        >> self.cfg.mem.line_bytes.trailing_zeros()
+                })
+            } else {
+                None
+            };
+            (class.compute_per_item as u64, active, write_line, w.is_child_work)
+        };
+        coalesce_lines(&mut addrs, self.cfg.mem.line_bytes);
+        let mem_done = if addrs.is_empty() {
+            now
+        } else {
+            self.mem.warp_read(now, si, &addrs)
+        };
+        if let Some(line) = write_line {
+            self.mem.warp_write(now, si, line);
+        }
+        addrs.clear();
+        self.addr_buf = addrs;
+        if is_child {
+            self.items_child += active as u64;
+        } else {
+            self.items_inline += active as u64;
+        }
+        let mlp = self.cfg.mlp_depth as usize;
+        let w = self.smxs[si].warp_mut(slot);
+        w.rounds_done += 1;
+        // Loop-level memory pipelining: the warp only stalls on a round's
+        // memory once `mlp_depth` requests are in flight, except at its
+        // final round where everything must drain (results are consumed).
+        let mut done = now + compute + 1;
+        if mem_done > now {
+            w.outstanding_mem.push_back(mem_done);
+        }
+        if w.rounds_done >= w.rounds_total {
+            for &d in &w.outstanding_mem {
+                done = done.max(d);
+            }
+            w.outstanding_mem.clear();
+        } else {
+            while w.outstanding_mem.len() > mlp.saturating_sub(1) {
+                let oldest = w.outstanding_mem.pop_front().expect("non-empty");
+                done = done.max(oldest);
+            }
+        }
+        self.events.push(
+            done,
+            Ev::WarpReady {
+                smx: SmxId(si as u8),
+                slot,
+            },
+        );
+    }
+
+    fn finish_warp(&mut self, now: Cycle, si: usize, slot: u32) {
+        let w = self.smxs[si].take_warp(slot);
+        self.occupancy.add(now, -1);
+        if w.is_child_work {
+            self.controller
+                .on_child_warp_finish(now, (now - w.start_cycle).as_u64());
+        }
+        let cta_slot = w.cta_slot;
+        let cta = self.smxs[si].cta_mut(cta_slot);
+        debug_assert!(cta.live_warps > 0);
+        cta.live_warps -= 1;
+        if cta.live_warps == 0 {
+            self.finish_cta(now, si, cta_slot);
+        }
+    }
+
+    fn finish_cta(&mut self, now: Cycle, si: usize, cta_slot: u32) {
+        let cta = self.smxs[si].release_cta(cta_slot);
+        if cta.is_child_work {
+            debug_assert!(self.child_ctas_running > 0);
+            self.child_ctas_running -= 1;
+            self.child_ctas_executed += 1;
+            let exec = (now - cta.start_cycle).as_u64();
+            self.child_cta_exec.push(exec);
+            self.controller.on_child_cta_finish(now, exec);
+        } else {
+            debug_assert!(self.parent_ctas_running > 0);
+            self.parent_ctas_running -= 1;
+        }
+        let kid = cta.kernel;
+        self.kernels[kid.index()].live_ctas -= 1;
+        self.maybe_complete_kernel(now, kid);
+        self.schedule_dispatch(now);
+    }
+
+    // ----- completion cascade -------------------------------------------
+
+    fn maybe_complete_kernel(&mut self, now: Cycle, kid: KernelId) {
+        if !self.kernels[kid.index()].own_done {
+            let own = {
+                let k = &self.kernels[kid.index()];
+                match k.kind {
+                    KernelKind::Aggregated => {
+                        let parent_done = self.kernels
+                            [k.parent.expect("agg kernels have parents").index()]
+                        .own_done;
+                        parent_done && k.own_work_drained()
+                    }
+                    _ => k.arrived_at.is_some() && k.own_work_drained(),
+                }
+            };
+            if !own {
+                return;
+            }
+            let (kind, stream, agg_children) = {
+                let k = &mut self.kernels[kid.index()];
+                k.own_done = true;
+                k.own_done_at = Some(now);
+                (k.kind, k.stream, k.agg_children.clone())
+            };
+            self.trace(|| TraceEvent::KernelCompleted { at: now, kernel: kid });
+            match kind {
+                KernelKind::Aggregated => self.gmu.aggregated_complete(kid),
+                _ => {
+                    // The HWQ slot stays occupied until the turnaround
+                    // floor elapses, bounding back-to-back kernel rate.
+                    let floor = self.kernels[kid.index()]
+                        .first_dispatch
+                        .expect("own-complete implies dispatched")
+                        + self.cfg.launch.hwq_turnaround_cycles;
+                    if floor > now {
+                        self.events.push(floor, Ev::HwqRelease(kid));
+                    } else {
+                        self.gmu.kernel_complete(kid, stream);
+                    }
+                }
+            }
+            self.schedule_dispatch(now);
+            // Our own completion may unblock our aggregation kernels.
+            for agg in agg_children {
+                self.maybe_complete_kernel(now, agg);
+            }
+        }
+        self.try_fully_complete(kid);
+    }
+
+    fn try_fully_complete(&mut self, kid: KernelId) {
+        let k = &self.kernels[kid.index()];
+        if k.fully_done || !k.own_done || k.live_children > 0 {
+            return;
+        }
+        let parent = k.parent;
+        self.kernels[kid.index()].fully_done = true;
+        debug_assert!(self.live_kernels > 0);
+        self.live_kernels -= 1;
+        if let Some(p) = parent {
+            let pk = &mut self.kernels[p.index()];
+            debug_assert!(pk.live_children > 0);
+            pk.live_children -= 1;
+            self.try_fully_complete(p);
+        }
+    }
+
+    // ----- sampling & report --------------------------------------------
+
+    fn utilization_now(&self) -> f64 {
+        let mut used_t = 0u64;
+        let mut used_r = 0u64;
+        let mut used_m = 0u64;
+        for s in &self.smxs {
+            used_t += s.used_threads as u64;
+            used_r += s.used_regs as u64;
+            used_m += s.used_shmem as u64;
+        }
+        let n = self.smxs.len() as u64;
+        let t = used_t as f64 / (n * self.cfg.max_threads_per_smx as u64) as f64;
+        let r = used_r as f64 / (n * self.cfg.regs_per_smx as u64) as f64;
+        let m = used_m as f64 / (n * self.cfg.shmem_per_smx as u64) as f64;
+        t.max(r).max(m)
+    }
+
+    fn on_sample(&mut self, now: Cycle) {
+        let peak = self
+            .smxs
+            .iter()
+            .map(|s| {
+                let (t, r, m) = s.utilization();
+                t.max(r).max(m)
+            })
+            .fold(0.0f64, f64::max);
+        self.timeline.push((
+            now.as_u64(),
+            TimelineSample {
+                parent_ctas: self.parent_ctas_running,
+                child_ctas: self.child_ctas_running,
+                utilization: self.utilization_now(),
+                concurrent_kernels: self.gmu.concurrent_kernels(),
+                peak_smx_utilization: peak,
+            },
+        ));
+        if self.live_kernels > 0 {
+            self.events
+                .push(now + self.cfg.sample_period, Ev::Sample);
+        }
+    }
+
+    fn build_report(&mut self) -> SimReport {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| KernelSummary {
+                id: k.id.0,
+                name: k.name.clone(),
+                role: match k.kind {
+                    KernelKind::Host => KernelRole::Host,
+                    KernelKind::Child => KernelRole::Child,
+                    KernelKind::Aggregated => KernelRole::Aggregated,
+                },
+                depth: k.depth,
+                grid_ctas: k.grid_ctas,
+                created_at: k.created_at.as_u64(),
+                arrived_at: k.arrived_at.map(Cycle::as_u64),
+                first_dispatch: k.first_dispatch.map(Cycle::as_u64),
+                own_done_at: k.own_done_at.map(Cycle::as_u64),
+            })
+            .collect();
+        let total = self.now;
+        let warp_capacity =
+            self.cfg.smx_count as u64 * self.cfg.max_warps_per_smx() as u64;
+        let occupancy = if total == Cycle::ZERO {
+            0.0
+        } else {
+            self.occupancy.mean(Cycle::ZERO, total) / warp_capacity as f64
+        };
+        SimReport {
+            controller: self.controller.name().to_string(),
+
+            total_cycles: total.as_u64(),
+            child_kernels_launched: self.child_kernels,
+            launch_requests: self.launch_requests,
+            inlined_requests: self.inlined_requests,
+            redistributed_requests: self.redistributed_requests,
+            aggregated_launches: self.aggregated_launches,
+            aggregated_ctas: self.aggregated_cta_count,
+            child_ctas_executed: self.child_ctas_executed,
+            items_inline: self.items_inline,
+            items_child: self.items_child,
+            occupancy,
+            mem: self.mem.stats(),
+            dram_row_hit_rate: self.mem.dram_row_hit_rate(),
+            avg_child_queue_latency: if self.queue_lat_count == 0 {
+                0.0
+            } else {
+                self.queue_lat_sum as f64 / self.queue_lat_count as f64
+            },
+            max_pending_kernels: self.gmu.max_pending_seen(),
+            timeline: std::mem::take(&mut self.timeline),
+            child_cta_exec_cycles: std::mem::take(&mut self.child_cta_exec),
+            child_launch_cycles: std::mem::take(&mut self.child_launch_times),
+            events_processed: self.events_processed,
+            kernels,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("live_kernels", &self.live_kernels)
+            .field("kernels", &self.kernels.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use crate::work::WorkClass;
+
+    /// Test policy: launch a kernel whenever the workload exceeds the
+    /// app threshold (what Baseline-DP does; re-implemented here so the
+    /// gpu crate's tests do not depend on dynapar-core).
+    struct LaunchOverThreshold;
+    impl LaunchController for LaunchOverThreshold {
+        fn name(&self) -> &str {
+            "test-threshold"
+        }
+        fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+            if req.items > req.default_threshold {
+                LaunchDecision::Kernel
+            } else {
+                LaunchDecision::Inline
+            }
+        }
+    }
+
+    /// Test policy: DTBL-style aggregation over the threshold.
+    struct AggregateOverThreshold;
+    impl LaunchController for AggregateOverThreshold {
+        fn name(&self) -> &str {
+            "test-dtbl"
+        }
+        fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+            if req.items > req.default_threshold {
+                LaunchDecision::Aggregated
+            } else {
+                LaunchDecision::Inline
+            }
+        }
+    }
+
+    fn mem_class(label: &'static str, compute: u32) -> Arc<WorkClass> {
+        Arc::new(WorkClass {
+            label,
+            compute_per_item: compute,
+            init_cycles: 10,
+            seq_bytes_per_item: 8,
+            rand_refs_per_item: 1,
+            rand_region_base: 0x1000_0000,
+            rand_region_bytes: 1 << 22,
+            writes_per_item: 1,
+        })
+    }
+
+    fn dp_spec(threshold: u32) -> Arc<DpSpec> {
+        Arc::new(DpSpec {
+            child_class: mem_class("child", 20),
+            child_cta_threads: 64,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 32,
+            default_threshold: threshold,
+            nested: None,
+        })
+    }
+
+    /// Imbalanced parent: most threads have 2 items, every 64th has 500.
+    fn imbalanced_kernel(dp: Option<Arc<DpSpec>>) -> KernelDesc {
+        let threads: Vec<ThreadWork> = (0..512u32)
+            .map(|t| ThreadWork {
+                items: if t % 64 == 0 { 500 } else { 2 },
+                seq_base: t as u64 * 8192,
+                rand_seed: t as u64,
+            })
+            .collect();
+        KernelDesc {
+            name: "imbalanced".into(),
+            cta_threads: 128,
+            regs_per_thread: 24,
+            shmem_per_cta: 0,
+            class: mem_class("parent", 24),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp,
+        }
+    }
+
+    fn total_items() -> u64 {
+        (0..512u64).map(|t| if t % 64 == 0 { 500 } else { 2 }).sum()
+    }
+
+    fn run_with(controller: Box<dyn LaunchController>, dp: Option<Arc<DpSpec>>) -> SimReport {
+        let mut sim = Simulation::new(GpuConfig::test_small(), controller);
+        sim.launch_host(imbalanced_kernel(dp));
+        sim.run()
+    }
+
+    #[test]
+    fn flat_run_executes_every_item_inline() {
+        let r = run_with(Box::new(crate::InlineAll), Some(dp_spec(64)));
+        assert_eq!(r.items_total(), total_items());
+        assert_eq!(r.items_child, 0);
+        assert_eq!(r.child_kernels_launched, 0);
+        assert!(r.total_cycles > 0);
+        assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn dp_run_conserves_work_and_offloads() {
+        let r = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        assert_eq!(r.items_total(), total_items());
+        // 8 heavy threads (every 64th of 512) launch children.
+        assert_eq!(r.child_kernels_launched, 8);
+        assert_eq!(r.items_child, 8 * 500);
+        assert!(r.child_ctas_executed > 0);
+        assert_eq!(r.child_ctas_executed as usize, r.child_cta_exec_cycles.len());
+        assert_eq!(r.child_launch_cycles.len(), 8);
+    }
+
+    #[test]
+    fn dp_beats_flat_on_imbalanced_workload() {
+        let flat = run_with(Box::new(crate::InlineAll), Some(dp_spec(64)));
+        let dp = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        assert!(
+            dp.total_cycles < flat.total_cycles,
+            "DP {} should beat flat {} on heavy imbalance",
+            dp.total_cycles,
+            flat.total_cycles
+        );
+    }
+
+    #[test]
+    fn launch_overhead_delays_children() {
+        let r = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        // Child kernels cannot start before b = 20210 cycles of overhead.
+        assert!(r.avg_child_queue_latency >= 0.0);
+        let first_launch = *r.child_launch_cycles.iter().min().expect("launches");
+        assert!(first_launch < 20_210, "launch call happens early");
+        // The run must outlast the launch overhead.
+        assert!(r.total_cycles > 20_210);
+    }
+
+    #[test]
+    fn aggregated_path_avoids_kernels() {
+        let r = run_with(Box::new(AggregateOverThreshold), Some(dp_spec(64)));
+        assert_eq!(r.child_kernels_launched, 0);
+        assert_eq!(r.aggregated_launches, 8);
+        assert!(r.aggregated_ctas >= 8);
+        assert_eq!(r.items_total(), total_items());
+        assert_eq!(r.items_child, 8 * 500);
+    }
+
+    #[test]
+    fn dtbl_starts_children_sooner_than_kernel_launch() {
+        let kern = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        let dtbl = run_with(Box::new(AggregateOverThreshold), Some(dp_spec(64)));
+        // DTBL pays no A*x+b overhead, so on this launch-bound workload it
+        // should not be slower.
+        assert!(dtbl.total_cycles <= kern.total_cycles);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_report() {
+        let a = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        let b = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.child_kernels_launched, b.child_kernels_launched);
+        assert_eq!(a.items_inline, b.items_inline);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn no_dp_spec_means_no_requests() {
+        let r = run_with(Box::new(LaunchOverThreshold), None);
+        assert_eq!(r.launch_requests, 0);
+        assert_eq!(r.items_total(), total_items());
+    }
+
+    #[test]
+    fn timeline_and_samples_are_recorded() {
+        let r = run_with(Box::new(LaunchOverThreshold), Some(dp_spec(64)));
+        assert!(!r.timeline.is_empty());
+        // Samples are time-ordered and CTAs bounded by the hardware limit.
+        let cfg = GpuConfig::test_small();
+        let max = cfg.max_concurrent_ctas();
+        for w in r.timeline.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (_, s) in &r.timeline {
+            assert!(s.total_ctas() <= max);
+            assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn schedulers_both_complete_with_same_work() {
+        for sched in [SchedulerKind::Gto, SchedulerKind::RoundRobin] {
+            let mut cfg = GpuConfig::test_small();
+            cfg.scheduler = sched;
+            let mut sim = Simulation::new(cfg, Box::new(LaunchOverThreshold));
+            sim.launch_host(imbalanced_kernel(Some(dp_spec(64))));
+            let r = sim.run();
+            assert_eq!(r.items_total(), total_items(), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn stream_policies_both_complete() {
+        // Many children per parent CTA, and more HWQs than parent CTAs, so
+        // per-parent-CTA streams actually serialize children (Fig. 8).
+        let threads: Vec<ThreadWork> = (0..512u32)
+            .map(|t| ThreadWork {
+                items: if t % 8 == 0 { 300 } else { 2 },
+                seq_base: t as u64 * 8192,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let expected: u64 = (0..512u64).map(|t| if t % 8 == 0 { 300 } else { 2 }).sum();
+        let mk = || KernelDesc {
+            name: "streams".into(),
+            cta_threads: 128,
+            regs_per_thread: 24,
+            shmem_per_cta: 0,
+            class: mem_class("parent", 24),
+            source: ThreadSource::Explicit(Arc::new(threads.clone())),
+            dp: Some(dp_spec(64)),
+        };
+        let mut totals = Vec::new();
+        for policy in [StreamPolicy::PerChildKernel, StreamPolicy::PerParentCta] {
+            let mut cfg = GpuConfig::test_small();
+            cfg.num_hwqs = 32;
+            cfg.stream_policy = policy;
+            let mut sim = Simulation::new(cfg, Box::new(LaunchOverThreshold));
+            sim.launch_host(mk());
+            let r = sim.run();
+            assert_eq!(r.items_total(), expected, "{policy:?}");
+            totals.push(r.total_cycles);
+        }
+        // Per-child streams should be at least as fast (Fig. 8 direction).
+        assert!(
+            totals[0] <= totals[1],
+            "per-child {} vs per-CTA {}",
+            totals[0],
+            totals[1]
+        );
+    }
+
+    #[test]
+    fn nested_launch_executes_grandchildren() {
+        let grandchild = Arc::new(DpSpec {
+            child_class: mem_class("grandchild", 10),
+            child_cta_threads: 32,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 16,
+            default_threshold: 32,
+            nested: None,
+        });
+        let spec = Arc::new(DpSpec {
+            child_class: mem_class("child", 20),
+            child_cta_threads: 64,
+            // Child threads get 64 items each so they can re-offload.
+            child_items_per_thread: 64,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 64,
+            default_threshold: 128,
+            nested: Some(grandchild),
+        });
+        let threads: Vec<ThreadWork> = (0..64u32)
+            .map(|t| ThreadWork {
+                items: 1024,
+                seq_base: t as u64 * 65536,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchOverThreshold));
+        sim.launch_host(KernelDesc {
+            name: "nested".into(),
+            cta_threads: 64,
+            regs_per_thread: 24,
+            shmem_per_cta: 0,
+            class: mem_class("parent", 24),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp: Some(spec),
+        });
+        let r = sim.run();
+        assert_eq!(r.items_total(), 64 * 1024);
+        // Parent threads (1024 items > 128) launch children; child threads
+        // (64 items > 32) launch grandchildren, so launches > 64.
+        assert!(
+            r.child_kernels_launched > 64,
+            "expected nested launches, got {}",
+            r.child_kernels_launched
+        );
+    }
+
+    #[test]
+    fn empty_simulation_terminates() {
+        let sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let r = sim.run();
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.items_total(), 0);
+    }
+
+    #[test]
+    fn multiple_host_kernels_all_complete() {
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        for _ in 0..3 {
+            sim.launch_host(imbalanced_kernel(None));
+        }
+        let r = sim.run();
+        assert_eq!(r.items_total(), 3 * total_items());
+    }
+
+    #[test]
+    fn divergence_penalizes_imbalanced_warps() {
+        // Same total items, balanced vs one hot lane per warp.
+        let balanced: Vec<ThreadWork> = (0..256u32)
+            .map(|t| ThreadWork {
+                items: 32,
+                seq_base: t as u64 * 4096,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let imbalanced: Vec<ThreadWork> = (0..256u32)
+            .map(|t| ThreadWork {
+                items: if t % 32 == 0 { 32 * 32 } else { 0 },
+                seq_base: t as u64 * 4096,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mk = |threads: Vec<ThreadWork>| KernelDesc {
+            name: "div".into(),
+            cta_threads: 128,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("div", 16)),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp: None,
+        };
+        let mut s1 = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        s1.launch_host(mk(balanced));
+        let r1 = s1.run();
+        let mut s2 = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        s2.launch_host(mk(imbalanced));
+        let r2 = s2.run();
+        assert_eq!(r1.items_total(), r2.items_total());
+        assert!(
+            r2.total_cycles > r1.total_cycles * 3 / 2,
+            "imbalanced {} should be much slower than balanced {}",
+            r2.total_cycles,
+            r1.total_cycles
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::stats::KernelRole;
+    use crate::work::WorkClass;
+
+    struct LaunchAll;
+    impl LaunchController for LaunchAll {
+        fn name(&self) -> &str {
+            "launch-all"
+        }
+        fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+            LaunchDecision::Kernel
+        }
+    }
+
+    fn spec(threshold: u32) -> Arc<DpSpec> {
+        Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("c", 8)),
+            child_cta_threads: 32,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 8,
+            child_shmem_per_cta: 0,
+            min_items: 8,
+            default_threshold: threshold,
+            nested: None,
+        })
+    }
+
+    fn kernel_with(dp: Option<Arc<DpSpec>>, threads: Vec<ThreadWork>) -> KernelDesc {
+        KernelDesc {
+            name: "t".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("p", 8)),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp,
+        }
+    }
+
+    #[test]
+    fn pending_pool_overflow_forces_inline() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.pending_pool_cap = 2; // absurdly small pool
+        let threads: Vec<ThreadWork> = (0..256)
+            .map(|t| ThreadWork {
+                items: 64,
+                seq_base: t as u64 * 1024,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        sim.launch_host(kernel_with(Some(spec(8)), threads));
+        let r = sim.run();
+        // The controller said "launch" every time, but the pool cap turned
+        // most of those into inline execution (API returns "fail").
+        assert!(r.inlined_requests > 0, "pool-full path never exercised");
+        assert_eq!(r.items_total(), 256 * 64);
+        assert!(r.max_pending_kernels <= 2);
+    }
+
+    #[test]
+    fn hwq_turnaround_defers_queue_release() {
+        // One stream, two kernels: the second cannot arrive at the SMX
+        // before the first's HWQ seat is released at the turnaround floor.
+        let mk = || kernel_with(None, vec![ThreadWork::with_items(1); 32]);
+        let run_with_turnaround = |ta: u64| {
+            let mut cfg = GpuConfig::test_small();
+            cfg.num_hwqs = 1; // force both host kernels onto one HWQ
+            cfg.launch.hwq_turnaround_cycles = ta;
+            let mut sim = Simulation::new(cfg, Box::new(crate::InlineAll));
+            sim.launch_host(mk());
+            sim.launch_host(mk());
+            sim.run().total_cycles
+        };
+        let fast = run_with_turnaround(0);
+        let slow = run_with_turnaround(50_000);
+        assert!(
+            slow >= fast + 40_000,
+            "turnaround floor must delay the second kernel: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn kernel_summaries_describe_the_run() {
+        let threads: Vec<ThreadWork> = (0..64)
+            .map(|t| ThreadWork {
+                items: if t == 0 { 100 } else { 2 },
+                seq_base: 0,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
+        sim.launch_host(kernel_with(Some(spec(8)), threads));
+        let r = sim.run();
+        assert_eq!(r.kernels.len(), 1 + r.child_kernels_launched as usize);
+        let host = &r.kernels[0];
+        assert_eq!(host.role, KernelRole::Host);
+        assert_eq!(host.depth, 0);
+        assert_eq!(host.created_at, 0);
+        assert!(host.own_done_at.is_some());
+        for child in &r.kernels[1..] {
+            assert_eq!(child.role, KernelRole::Child);
+            assert_eq!(child.depth, 1);
+            // Launch latency covers at least the fixed overhead b.
+            let lat = child.launch_latency().expect("child arrived");
+            assert!(lat >= GpuConfig::test_small().launch.b, "latency {lat}");
+            assert!(child.queue_latency().is_some());
+            assert!(child.own_done_at.is_some());
+        }
+    }
+
+    #[test]
+    fn per_warp_launch_latency_grows() {
+        // One warp whose lanes all launch: the i-th child's launch latency
+        // must grow by `a` per prior launch (A·x + b).
+        let threads: Vec<ThreadWork> = (0..8)
+            .map(|t| ThreadWork {
+                items: 64,
+                seq_base: 0,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let cfg = GpuConfig::test_small();
+        let (a, b) = (cfg.launch.a, cfg.launch.b);
+        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        sim.launch_host(kernel_with(Some(spec(8)), threads));
+        let r = sim.run();
+        assert_eq!(r.child_kernels_launched, 8);
+        let lats: Vec<u64> = r.kernels[1..]
+            .iter()
+            .map(|k| k.launch_latency().expect("arrived"))
+            .collect();
+        for (i, &lat) in lats.iter().enumerate() {
+            assert_eq!(lat, a * (i as u64 + 1) + b, "launch {i}");
+        }
+    }
+
+    #[test]
+    fn timeline_tracks_concurrent_kernels_within_hwq_limit() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.num_hwqs = 4;
+        let threads: Vec<ThreadWork> = (0..512)
+            .map(|t| ThreadWork {
+                items: 40,
+                seq_base: t as u64 * 512,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        sim.launch_host(kernel_with(Some(spec(8)), threads));
+        let r = sim.run();
+        assert!(r.timeline.iter().any(|(_, s)| s.concurrent_kernels > 0));
+        for (_, s) in &r.timeline {
+            assert!(s.concurrent_kernels <= 4, "HWQ limit violated");
+            assert!(s.peak_smx_utilization >= s.utilization - 1e-9);
+        }
+    }
+
+    #[test]
+    fn queue_latency_reflects_contention() {
+        // Many kernels, few HWQs: average queue latency grows vs many HWQs.
+        let threads: Vec<ThreadWork> = (0..512)
+            .map(|t| ThreadWork {
+                items: 40,
+                seq_base: t as u64 * 512,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let run_with_hwqs = |n: u32| {
+            let mut cfg = GpuConfig::test_small();
+            cfg.num_hwqs = n;
+            let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+            sim.launch_host(kernel_with(Some(spec(8)), threads.clone()));
+            sim.run().avg_child_queue_latency
+        };
+        let narrow = run_with_hwqs(1);
+        let wide = run_with_hwqs(32);
+        assert!(
+            narrow > wide,
+            "1 HWQ ({narrow}) must queue longer than 32 ({wide})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use crate::work::WorkClass;
+
+    struct LaunchAll;
+    impl LaunchController for LaunchAll {
+        fn name(&self) -> &str {
+            "launch-all"
+        }
+        fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+            LaunchDecision::Kernel
+        }
+    }
+
+    fn traced_run() -> (SimReport, crate::trace::Trace) {
+        let threads: Vec<ThreadWork> = (0..64)
+            .map(|t| ThreadWork {
+                items: if t % 8 == 0 { 100 } else { 2 },
+                seq_base: 0,
+                rand_seed: t as u64,
+            })
+            .collect();
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
+        sim.enable_trace(100_000);
+        sim.launch_host(KernelDesc {
+            name: "traced".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("p", 8)),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp: Some(Arc::new(DpSpec {
+                child_class: Arc::new(WorkClass::compute_only("c", 8)),
+                child_cta_threads: 32,
+                child_items_per_thread: 1,
+                child_regs_per_thread: 8,
+                child_shmem_per_cta: 0,
+                min_items: 8,
+                default_threshold: 8,
+                nested: None,
+            })),
+        });
+        sim.run_traced()
+    }
+
+    #[test]
+    fn trace_correlates_with_report() {
+        let (report, trace) = traced_run();
+        assert_eq!(trace.dropped(), 0);
+        assert_eq!(
+            trace.decisions().count() as u64,
+            report.launch_requests,
+            "one Decision event per request"
+        );
+        let created = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::KernelCreated { parent: Some(_), .. }))
+            .count() as u64;
+        assert_eq!(created, report.child_kernels_launched);
+        let dispatched = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CtaDispatched { .. }))
+            .count() as u64;
+        assert!(dispatched >= report.child_ctas_executed);
+    }
+
+    #[test]
+    fn trace_events_are_time_ordered() {
+        let (_, trace) = traced_run();
+        for w in trace.events().windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+    }
+
+    #[test]
+    fn kernel_lifecycle_is_complete_in_trace() {
+        let (report, trace) = traced_run();
+        // Every child kernel has create -> arrive -> dispatch -> complete.
+        for k in &report.kernels {
+            let evs = trace.kernel_events(crate::KernelId(k.id));
+            assert!(
+                evs.len() >= 3,
+                "kernel {} has only {} events",
+                k.id,
+                evs.len()
+            );
+            assert!(evs
+                .iter()
+                .any(|e| matches!(e, TraceEvent::KernelCompleted { .. })));
+        }
+    }
+
+    #[test]
+    fn run_traced_without_enable_gives_empty_bounded_trace() {
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        sim.launch_host(KernelDesc {
+            name: "mini".into(),
+            cta_threads: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("p", 2)),
+            source: ThreadSource::Derived {
+                origin: ThreadWork::with_items(32),
+                items_per_thread: 1,
+            },
+            dp: None,
+        });
+        let (report, trace) = sim.run_traced();
+        assert!(report.total_cycles > 0);
+        // Capacity-1 stub records the host kernel creation then drops.
+        assert!(trace.events().len() <= 1);
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+    use crate::config::CtaPlacement;
+    use crate::work::WorkClass;
+
+    struct LaunchAll;
+    impl LaunchController for LaunchAll {
+        fn name(&self) -> &str {
+            "launch-all"
+        }
+        fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+            LaunchDecision::Kernel
+        }
+    }
+
+    fn dp_kernel() -> KernelDesc {
+        let mk = |label: &'static str| WorkClass {
+            label,
+            compute_per_item: 10,
+            init_cycles: 10,
+            seq_bytes_per_item: 8,
+            rand_refs_per_item: 1,
+            rand_region_base: 0x8000_0000,
+            rand_region_bytes: 1 << 18,
+            writes_per_item: 0,
+        };
+        let threads: Vec<ThreadWork> = (0..256)
+            .map(|t| ThreadWork {
+                items: if t % 8 == 0 { 200 } else { 4 },
+                seq_base: 0x1000_0000 + t as u64 * 8192,
+                rand_seed: t as u64,
+            })
+            .collect();
+        KernelDesc {
+            name: "aff".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(mk("aff-parent")),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp: Some(Arc::new(DpSpec {
+                child_class: Arc::new(mk("aff-child")),
+                child_cta_threads: 32,
+                child_items_per_thread: 1,
+                child_regs_per_thread: 8,
+                child_shmem_per_cta: 0,
+                min_items: 8,
+                default_threshold: 8,
+                nested: None,
+            })),
+        }
+    }
+
+    fn run_with_placement(p: CtaPlacement) -> SimReport {
+        let mut cfg = GpuConfig::test_small();
+        cfg.cta_placement = p;
+        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        sim.launch_host(dp_kernel());
+        sim.run()
+    }
+
+    #[test]
+    fn parent_affinity_improves_l1_reuse() {
+        let rr = run_with_placement(CtaPlacement::RoundRobin);
+        let aff = run_with_placement(CtaPlacement::ParentAffinity);
+        assert_eq!(rr.items_total(), aff.items_total());
+        // Children re-read the parent's streams: placing them on the
+        // parent's SMX must not reduce L1 hit rate, and typically raises it.
+        assert!(
+            aff.mem.l1_hit_rate() >= rr.mem.l1_hit_rate() - 1e-9,
+            "affinity L1 {} vs RR {}",
+            aff.mem.l1_hit_rate(),
+            rr.mem.l1_hit_rate()
+        );
+    }
+
+    #[test]
+    fn host_kernels_on_default_stream_serialize() {
+        // Two host kernels on the default stream: the second cannot start
+        // before the first's own work completes.
+        let mk = || KernelDesc {
+            name: "seq".into(),
+            cta_threads: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("seq", 50)),
+            source: ThreadSource::Derived {
+                origin: ThreadWork::with_items(32 * 20),
+                items_per_thread: 20,
+            },
+            dp: None,
+        };
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        sim.launch_host(mk());
+        sim.launch_host(mk());
+        let r = sim.run();
+        let k0_done = r.kernels[0].own_done_at.expect("done");
+        let k1_start = r.kernels[1].first_dispatch.expect("dispatched");
+        assert!(
+            k1_start >= k0_done,
+            "K1 started at {k1_start} before K0 finished at {k0_done}"
+        );
+
+        // Distinct streams run concurrently.
+        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        sim.launch_host_on_stream(mk(), StreamId(0));
+        sim.launch_host_on_stream(mk(), StreamId(1));
+        let r = sim.run();
+        let k0_done = r.kernels[0].own_done_at.expect("done");
+        let k1_start = r.kernels[1].first_dispatch.expect("dispatched");
+        assert!(
+            k1_start < k0_done,
+            "independent streams should overlap: K1 at {k1_start}, K0 done {k0_done}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use crate::work::WorkClass;
+
+    #[test]
+    #[should_panic(expected = "max_cycles")]
+    fn runaway_guard_fires() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.max_cycles = 50; // absurdly small budget
+        let mut sim = Simulation::new(cfg, Box::new(crate::InlineAll));
+        sim.launch_host(KernelDesc {
+            name: "busy".into(),
+            cta_threads: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("busy", 50)),
+            source: ThreadSource::Derived {
+                origin: ThreadWork::with_items(32 * 100),
+                items_per_thread: 100,
+            },
+            dp: None,
+        });
+        let _ = sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GPU configuration")]
+    fn invalid_config_rejected_at_construction() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.smx_count = 0;
+        let _ = Simulation::new(cfg, Box::new(crate::InlineAll));
+    }
+}
+
+#[cfg(test)]
+mod nesting_tests {
+    use super::*;
+    use crate::work::WorkClass;
+
+    struct LaunchAll;
+    impl LaunchController for LaunchAll {
+        fn name(&self) -> &str {
+            "la"
+        }
+        fn decide(&mut self, _r: &ChildRequest) -> LaunchDecision {
+            LaunchDecision::Kernel
+        }
+    }
+
+    /// A self-similar spec: children carry the same nested spec, so an
+    /// unbounded launch-everything policy would recurse forever without
+    /// the depth limit.
+    fn recursive_spec(levels: u8) -> Arc<DpSpec> {
+        let mut spec = Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("leaf", 4)),
+            child_cta_threads: 32,
+            child_items_per_thread: 32,
+            child_regs_per_thread: 8,
+            child_shmem_per_cta: 0,
+            min_items: 32,
+            default_threshold: 0,
+            nested: None,
+        });
+        for _ in 0..levels {
+            spec = Arc::new(DpSpec {
+                child_class: Arc::new(WorkClass::compute_only("mid", 4)),
+                child_cta_threads: 32,
+                child_items_per_thread: 64,
+                child_regs_per_thread: 8,
+                child_shmem_per_cta: 0,
+                min_items: 32,
+                default_threshold: 0,
+                nested: Some(spec),
+            });
+        }
+        spec
+    }
+
+    fn run_with_depth_limit(limit: u8) -> SimReport {
+        let mut cfg = GpuConfig::test_small();
+        cfg.max_nesting_depth = limit;
+        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        sim.launch_host(KernelDesc {
+            name: "nest".into(),
+            cta_threads: 32,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("root", 4)),
+            source: ThreadSource::Explicit(Arc::new(vec![ThreadWork::with_items(256); 8])),
+            dp: Some(recursive_spec(8)),
+        });
+        sim.run()
+    }
+
+    #[test]
+    fn nesting_depth_limit_caps_recursion() {
+        let shallow = run_with_depth_limit(1);
+        let deep = run_with_depth_limit(4);
+        // Work is conserved either way.
+        assert_eq!(shallow.items_total(), 8 * 256);
+        assert_eq!(deep.items_total(), 8 * 256);
+        // A deeper limit admits strictly more kernels.
+        assert!(
+            deep.child_kernels_launched > shallow.child_kernels_launched,
+            "deep {} vs shallow {}",
+            deep.child_kernels_launched,
+            shallow.child_kernels_launched
+        );
+        // The deepest kernels respect the limit.
+        let max_depth = deep.kernels.iter().map(|k| k.depth).max().unwrap_or(0);
+        assert!(max_depth <= 4, "depth {max_depth} exceeds limit");
+    }
+}

@@ -1,0 +1,444 @@
+//! One streaming multiprocessor: resident CTAs, warp contexts, resource
+//! accounting, and the warp issue scheduler.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dynapar_engine::Cycle;
+
+use crate::config::{GpuConfig, SchedulerKind};
+use crate::ids::{KernelId, SmxId, StreamId};
+use crate::work::{DpSpec, ThreadWork, WorkClass};
+
+/// A resident warp's execution context.
+#[derive(Debug)]
+pub(crate) struct WarpRt {
+    /// Slot of the owning CTA within the SMX.
+    pub cta_slot: u32,
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Work performed by dynamically-launched code?
+    pub is_child_work: bool,
+    /// Nesting depth of the owning kernel.
+    pub depth: u8,
+    /// Per-lane work (≤ warp_size entries).
+    pub lanes: Vec<ThreadWork>,
+    /// Rounds (work items per lane) completed so far.
+    pub rounds_done: u32,
+    /// Rounds to execute (`max` items across lanes); valid once `started`.
+    pub rounds_total: u32,
+    /// Prologue executed (launch decisions made, `rounds_total` fixed)?
+    pub started: bool,
+    /// Child kernels launched by this warp (the `x` of `A·x + b`).
+    pub launches: u32,
+    /// Cycle the warp was created (for execution-time stats).
+    pub start_cycle: Cycle,
+    /// Global creation sequence — the scheduler's age key.
+    pub age: u64,
+    /// Work class (cloned from the kernel for hot-path access).
+    pub class: Arc<WorkClass>,
+    /// DP spec, present if this warp's lanes may spawn children.
+    pub dp: Option<Arc<DpSpec>>,
+    /// Completion times of in-flight memory rounds (bounded by the
+    /// configured MLP depth): the warp stalls on the oldest when full and
+    /// on all of them at its final round.
+    pub outstanding_mem: VecDeque<Cycle>,
+}
+
+impl WarpRt {
+    /// Largest remaining item count across lanes.
+    pub fn max_items(&self) -> u32 {
+        self.lanes.iter().map(|l| l.items).max().unwrap_or(0)
+    }
+}
+
+/// A resident CTA's bookkeeping.
+#[derive(Debug)]
+pub(crate) struct CtaRt {
+    pub kernel: KernelId,
+    pub cta_index: u32,
+    pub live_warps: u32,
+    pub start_cycle: Cycle,
+    /// Resources to release on completion.
+    pub threads: u32,
+    pub regs: u32,
+    pub shmem: u32,
+    pub is_child_work: bool,
+    /// Stream shared by children of this CTA under
+    /// [`StreamPolicy::PerParentCta`](crate::StreamPolicy::PerParentCta).
+    pub cta_stream: Option<StreamId>,
+}
+
+/// One SMX: capacity limits, resident CTAs/warps, and the issue scheduler.
+pub(crate) struct Smx {
+    pub id: SmxId,
+    max_threads: u32,
+    max_ctas: u32,
+    max_regs: u32,
+    max_shmem: u32,
+    max_warps: u32,
+    pub used_threads: u32,
+    pub used_regs: u32,
+    pub used_shmem: u32,
+    pub used_ctas: u32,
+    ctas: Vec<Option<CtaRt>>,
+    warps: Vec<Option<WarpRt>>,
+    free_cta_slots: Vec<u32>,
+    free_warp_slots: Vec<u32>,
+    /// Warp slots ready to issue.
+    ready: Vec<u32>,
+    last_issued: Option<u32>,
+    rr_cursor: usize,
+    scheduler: SchedulerKind,
+    /// Cycle of the currently scheduled issue tick, if any (dedupe).
+    pub tick_at: Option<Cycle>,
+}
+
+impl Smx {
+    pub fn new(id: SmxId, cfg: &GpuConfig) -> Self {
+        let max_warps = cfg.max_warps_per_smx();
+        Smx {
+            id,
+            max_threads: cfg.max_threads_per_smx,
+            max_ctas: cfg.max_ctas_per_smx,
+            max_regs: cfg.regs_per_smx,
+            max_shmem: cfg.shmem_per_smx,
+            max_warps,
+            used_threads: 0,
+            used_regs: 0,
+            used_shmem: 0,
+            used_ctas: 0,
+            ctas: (0..cfg.max_ctas_per_smx).map(|_| None).collect(),
+            warps: (0..max_warps).map(|_| None).collect(),
+            free_cta_slots: (0..cfg.max_ctas_per_smx).rev().collect(),
+            free_warp_slots: (0..max_warps).rev().collect(),
+            ready: Vec::new(),
+            last_issued: None,
+            rr_cursor: 0,
+            scheduler: cfg.scheduler,
+            tick_at: None,
+        }
+    }
+
+    /// Can a CTA with these requirements be placed here right now?
+    ///
+    /// `warps_needed` guards the warp-context limit: a CTA of 2048/32 = 64
+    /// warps cannot land on an SMX that has only 10 warp slots free even if
+    /// threads/regs/shmem would fit.
+    pub fn can_fit(&self, threads: u32, regs: u32, shmem: u32, warps_needed: u32) -> bool {
+        self.used_ctas < self.max_ctas
+            && self.used_threads + threads <= self.max_threads
+            && self.used_regs + regs <= self.max_regs
+            && self.used_shmem + shmem <= self.max_shmem
+            && self.free_warp_slots.len() >= warps_needed as usize
+    }
+
+    /// Reserves resources and a CTA slot; returns the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a prior successful [`can_fit`](Smx::can_fit).
+    pub fn reserve_cta(&mut self, cta: CtaRt) -> u32 {
+        assert!(
+            self.can_fit(cta.threads, cta.regs, cta.shmem, 0),
+            "reserve_cta without capacity"
+        );
+        self.used_threads += cta.threads;
+        self.used_regs += cta.regs;
+        self.used_shmem += cta.shmem;
+        self.used_ctas += 1;
+        let slot = self.free_cta_slots.pop().expect("CTA slot available");
+        self.ctas[slot as usize] = Some(cta);
+        slot
+    }
+
+    pub fn cta(&self, slot: u32) -> &CtaRt {
+        self.ctas[slot as usize].as_ref().expect("live CTA")
+    }
+
+    pub fn cta_mut(&mut self, slot: u32) -> &mut CtaRt {
+        self.ctas[slot as usize].as_mut().expect("live CTA")
+    }
+
+    /// Releases the CTA's resources and returns its record.
+    pub fn release_cta(&mut self, slot: u32) -> CtaRt {
+        let cta = self.ctas[slot as usize].take().expect("live CTA");
+        self.used_threads -= cta.threads;
+        self.used_regs -= cta.regs;
+        self.used_shmem -= cta.shmem;
+        self.used_ctas -= 1;
+        self.free_cta_slots.push(slot);
+        cta
+    }
+
+    /// Installs a warp; returns its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no warp slot is free (callers must check via `can_fit`).
+    pub fn add_warp(&mut self, warp: WarpRt) -> u32 {
+        let slot = self.free_warp_slots.pop().expect("warp slot available");
+        self.warps[slot as usize] = Some(warp);
+        slot
+    }
+
+    pub fn warp(&self, slot: u32) -> &WarpRt {
+        self.warps[slot as usize].as_ref().expect("live warp")
+    }
+
+    pub fn warp_mut(&mut self, slot: u32) -> &mut WarpRt {
+        self.warps[slot as usize].as_mut().expect("live warp")
+    }
+
+    /// Removes a finished warp and frees its slot.
+    pub fn take_warp(&mut self, slot: u32) -> WarpRt {
+        let w = self.warps[slot as usize].take().expect("live warp");
+        self.free_warp_slots.push(slot);
+        if self.last_issued == Some(slot) {
+            self.last_issued = None;
+        }
+        w
+    }
+
+    /// Number of resident (live) warps.
+    pub fn resident_warps(&self) -> u32 {
+        self.max_warps - self.free_warp_slots.len() as u32
+    }
+
+    /// Marks a warp ready to issue.
+    pub fn mark_ready(&mut self, slot: u32) {
+        debug_assert!(!self.ready.contains(&slot), "double-ready");
+        self.ready.push(slot);
+    }
+
+    /// True when at least one warp awaits issue.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Picks the next warp to issue according to the scheduling discipline;
+    /// removes it from the ready set.
+    pub fn select_ready(&mut self) -> Option<u32> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let pick_pos = match self.scheduler {
+            SchedulerKind::Gto => {
+                // Greedy: continue the last-issued warp if it is ready;
+                // otherwise the oldest warp wins.
+                if let Some(last) = self.last_issued {
+                    if let Some(pos) = self.ready.iter().position(|&s| s == last) {
+                        pos
+                    } else {
+                        self.oldest_ready_pos()
+                    }
+                } else {
+                    self.oldest_ready_pos()
+                }
+            }
+            SchedulerKind::RoundRobin => {
+                // Rotate across slots: pick the smallest slot strictly
+                // greater than the cursor, wrapping.
+                // Priority order cursor+1, cursor+2, …, cursor (wrapping),
+                // so the last-picked slot is re-picked only when alone.
+                let cursor = self.rr_cursor as u32;
+                let mut best: Option<(u32, usize)> = None; // (distance, pos)
+                for (pos, &s) in self.ready.iter().enumerate() {
+                    let dist = (s + 2 * self.max_warps - cursor - 1) % self.max_warps;
+                    if best.is_none_or(|(bd, _)| dist < bd) {
+                        best = Some((dist, pos));
+                    }
+                }
+                best.expect("non-empty ready set").1
+            }
+        };
+        let slot = self.ready.swap_remove(pick_pos);
+        self.last_issued = Some(slot);
+        self.rr_cursor = slot as usize;
+        Some(slot)
+    }
+
+    fn oldest_ready_pos(&self) -> usize {
+        let mut best = 0;
+        let mut best_age = u64::MAX;
+        for (pos, &s) in self.ready.iter().enumerate() {
+            let age = self.warps[s as usize].as_ref().expect("ready warp").age;
+            if age < best_age {
+                best_age = age;
+                best = pos;
+            }
+        }
+        best
+    }
+
+    /// Utilization components `(threads, regs, shmem)` as used/capacity.
+    pub fn utilization(&self) -> (f64, f64, f64) {
+        (
+            self.used_threads as f64 / self.max_threads as f64,
+            self.used_regs as f64 / self.max_regs as f64,
+            self.used_shmem as f64 / self.max_shmem as f64,
+        )
+    }
+}
+
+impl std::fmt::Debug for Smx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Smx")
+            .field("id", &self.id)
+            .field("used_ctas", &self.used_ctas)
+            .field("used_threads", &self.used_threads)
+            .field("resident_warps", &self.resident_warps())
+            .field("ready", &self.ready.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smx() -> Smx {
+        Smx::new(SmxId(0), &GpuConfig::test_small())
+    }
+
+    fn cta(threads: u32, regs: u32, shmem: u32) -> CtaRt {
+        CtaRt {
+            kernel: KernelId(0),
+            cta_index: 0,
+            live_warps: 0,
+            start_cycle: Cycle::ZERO,
+            threads,
+            regs,
+            shmem,
+            is_child_work: false,
+            cta_stream: None,
+        }
+    }
+
+    fn warp(age: u64) -> WarpRt {
+        WarpRt {
+            cta_slot: 0,
+            kernel: KernelId(0),
+            is_child_work: false,
+            depth: 0,
+            lanes: vec![ThreadWork::with_items(1)],
+            rounds_done: 0,
+            rounds_total: 0,
+            started: false,
+            launches: 0,
+            start_cycle: Cycle::ZERO,
+            age,
+            class: Arc::new(WorkClass::compute_only("t", 1)),
+            dp: None,
+            outstanding_mem: VecDeque::new(),
+        }
+    }
+
+    #[test]
+    fn resource_accounting_roundtrip() {
+        let mut s = smx();
+        assert!(s.can_fit(256, 4096, 1024, 8));
+        let slot = s.reserve_cta(cta(256, 4096, 1024));
+        assert_eq!(s.used_threads, 256);
+        assert_eq!(s.used_ctas, 1);
+        s.release_cta(slot);
+        assert_eq!(s.used_threads, 0);
+        assert_eq!(s.used_ctas, 0);
+        assert_eq!(s.used_regs, 0);
+        assert_eq!(s.used_shmem, 0);
+    }
+
+    #[test]
+    fn capacity_limits_enforced() {
+        let mut s = smx(); // test_small: 512 threads, 4 CTAs, 16K regs, 16KB shmem
+        assert!(!s.can_fit(513, 0, 0, 0));
+        assert!(!s.can_fit(0, 16_385, 0, 0));
+        assert!(!s.can_fit(0, 0, 16 * 1024 + 1, 0));
+        for _ in 0..4 {
+            s.reserve_cta(cta(1, 1, 1));
+        }
+        assert!(!s.can_fit(1, 1, 1, 0), "CTA-slot limit");
+    }
+
+    #[test]
+    fn warp_slot_limit_guards_fit() {
+        let mut s = smx(); // 512/32 = 16 warp slots
+        for _ in 0..16 {
+            s.add_warp(warp(0));
+        }
+        assert!(!s.can_fit(32, 32, 0, 1));
+        assert_eq!(s.resident_warps(), 16);
+    }
+
+    #[test]
+    fn gto_prefers_last_issued_then_oldest() {
+        let mut s = smx();
+        let a = s.add_warp(warp(10));
+        let b = s.add_warp(warp(5)); // older
+        s.mark_ready(a);
+        s.mark_ready(b);
+        // Nothing issued yet: oldest (b) first.
+        assert_eq!(s.select_ready(), Some(b));
+        s.mark_ready(b);
+        // b was last issued and is ready again: greedy keeps b.
+        assert_eq!(s.select_ready(), Some(b));
+        // b not ready now: falls to a.
+        assert_eq!(s.select_ready(), Some(a));
+        assert_eq!(s.select_ready(), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.scheduler = SchedulerKind::RoundRobin;
+        let mut s = Smx::new(SmxId(0), &cfg);
+        let a = s.add_warp(warp(1));
+        let b = s.add_warp(warp(2));
+        let c = s.add_warp(warp(3));
+        s.mark_ready(a);
+        s.mark_ready(b);
+        s.mark_ready(c);
+        let first = s.select_ready().expect("warp");
+        s.mark_ready(first);
+        let second = s.select_ready().expect("warp");
+        assert_ne!(first, second, "RR must not re-pick the same warp");
+    }
+
+    #[test]
+    fn take_warp_clears_greedy_hint() {
+        let mut s = smx();
+        let a = s.add_warp(warp(1));
+        s.mark_ready(a);
+        assert_eq!(s.select_ready(), Some(a));
+        let w = s.take_warp(a);
+        assert_eq!(w.age, 1);
+        assert_eq!(s.resident_warps(), 0);
+        // Freed slot is reusable.
+        let b = s.add_warp(warp(2));
+        s.mark_ready(b);
+        assert_eq!(s.select_ready(), Some(b));
+    }
+
+    #[test]
+    fn utilization_components() {
+        let mut s = smx();
+        s.reserve_cta(cta(256, 8192, 8 * 1024));
+        let (t, r, m) = s.utilization();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_max_items() {
+        let mut w = warp(0);
+        w.lanes = vec![
+            ThreadWork::with_items(3),
+            ThreadWork::with_items(9),
+            ThreadWork::with_items(1),
+        ];
+        assert_eq!(w.max_items(), 9);
+        w.lanes.clear();
+        assert_eq!(w.max_items(), 0);
+    }
+}

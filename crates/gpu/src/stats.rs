@@ -1,0 +1,342 @@
+//! Run-level statistics and the final simulation report.
+
+use std::sync::Arc;
+
+use crate::mem::MemStats;
+
+/// Why a kernel existed (public mirror of the internal kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelRole {
+    /// Host-launched parent kernel.
+    Host,
+    /// Device-launched child kernel.
+    Child,
+    /// DTBL aggregation kernel.
+    Aggregated,
+}
+
+/// Lifecycle summary of one kernel instance, for post-run analysis
+/// (launch CDFs, queue-latency distributions, per-kernel tracing).
+#[derive(Debug, Clone)]
+pub struct KernelSummary {
+    /// Dense kernel id (creation order).
+    pub id: u32,
+    /// Kernel name (work-class label for children).
+    pub name: Arc<str>,
+    /// Host / child / aggregated.
+    pub role: KernelRole,
+    /// Nesting depth (0 = host kernel).
+    pub depth: u8,
+    /// CTAs in the grid (final count for aggregation kernels).
+    pub grid_ctas: u32,
+    /// Cycle the launch was decided (0 for host kernels).
+    pub created_at: u64,
+    /// Cycle the kernel entered the GMU pending pool.
+    pub arrived_at: Option<u64>,
+    /// Cycle the first CTA was dispatched.
+    pub first_dispatch: Option<u64>,
+    /// Cycle the kernel's own CTAs all completed.
+    pub own_done_at: Option<u64>,
+}
+
+impl KernelSummary {
+    /// GMU queuing latency (arrival to first dispatch), if dispatched.
+    pub fn queue_latency(&self) -> Option<u64> {
+        Some(self.first_dispatch? - self.arrived_at?)
+    }
+
+    /// Launch-path latency (decision to GMU arrival) — the `A·x + b`
+    /// overhead for child kernels.
+    pub fn launch_latency(&self) -> Option<u64> {
+        Some(self.arrived_at? - self.created_at)
+    }
+}
+
+/// One timeline sample (Figs. 6 and 19): concurrent CTA counts and the
+/// resource-utilization metric of §III-A1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// CTAs of parent (host-launched) kernels resident on SMXs.
+    pub parent_ctas: u32,
+    /// CTAs of child / aggregated kernels resident on SMXs.
+    pub child_ctas: u32,
+    /// `max(register util, shared-memory util, thread-slot util)` across
+    /// all SMXs — the paper's *resource utilization*.
+    pub utilization: f64,
+    /// Kernels concurrently executable (occupied HWQ heads) — bounded by
+    /// the 32-HWQ hardware limit.
+    pub concurrent_kernels: u32,
+    /// The busiest single SMX's utilization (hotspot diagnostic).
+    pub peak_smx_utilization: f64,
+}
+
+impl TimelineSample {
+    /// Total concurrently-resident CTAs.
+    pub fn total_ctas(&self) -> u32 {
+        self.parent_ctas + self.child_ctas
+    }
+}
+
+/// Everything measured during one simulation run.
+///
+/// Produced by [`Simulation::run`](crate::Simulation::run); the benchmark
+/// harness consumes these to regenerate the paper's tables and figures.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the launch policy that drove the run.
+    pub controller: String,
+    /// End-to-end execution time in cycles.
+    pub total_cycles: u64,
+    /// Device-launched child kernels actually created (Fig. 18).
+    pub child_kernels_launched: u64,
+    /// Launch-site evaluations (candidate threads that consulted the
+    /// controller).
+    pub launch_requests: u64,
+    /// Requests resolved to inline execution in the parent thread.
+    pub inlined_requests: u64,
+    /// Requests resolved by Free-Launch-style intra-warp redistribution.
+    pub redistributed_requests: u64,
+    /// DTBL-aggregated logical launches.
+    pub aggregated_launches: u64,
+    /// CTAs pushed through the DTBL aggregated path.
+    pub aggregated_ctas: u64,
+    /// Child CTAs executed (kernel-launched and aggregated).
+    pub child_ctas_executed: u64,
+    /// Work items executed inside parent threads.
+    pub items_inline: u64,
+    /// Work items executed by child/aggregated kernels.
+    pub items_child: u64,
+    /// Time-averaged resident warps / warp capacity (Fig. 16's occupancy).
+    pub occupancy: f64,
+    /// Memory system counters (Fig. 17 uses `mem.l2_hit_rate()`).
+    pub mem: MemStats,
+    /// Mean DRAM row-buffer hit rate (diagnostic).
+    pub dram_row_hit_rate: f64,
+    /// Average cycles a child kernel waited between GMU arrival and first
+    /// CTA dispatch (the paper's *queuing latency*).
+    pub avg_child_queue_latency: f64,
+    /// High-water mark of the GMU pending pool.
+    pub max_pending_kernels: u32,
+    /// Periodic samples: `(cycle, sample)`.
+    pub timeline: Vec<(u64, TimelineSample)>,
+    /// Execution time of every child CTA (Fig. 12's PDF input).
+    pub child_cta_exec_cycles: Vec<u64>,
+    /// Launch timestamp of every child kernel (Fig. 20's CDF input).
+    pub child_launch_cycles: Vec<u64>,
+    /// Total events processed (simulator diagnostic).
+    pub events_processed: u64,
+    /// Per-kernel lifecycle summaries, in creation order.
+    pub kernels: Vec<KernelSummary>,
+}
+
+impl SimReport {
+    /// Speedup of this run relative to a baseline run of the same program
+    /// (`baseline_cycles / self.total_cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run reported zero cycles.
+    pub fn speedup_over(&self, baseline_cycles: u64) -> f64 {
+        assert!(self.total_cycles > 0, "run must have taken time");
+        baseline_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Total work items executed anywhere.
+    pub fn items_total(&self) -> u64 {
+        self.items_inline + self.items_child
+    }
+
+    /// Fraction of work executed by dynamically-launched code — the
+    /// x-axis of Fig. 5 ("percentage of workload offloaded").
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.items_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.items_child as f64 / total as f64
+        }
+    }
+
+    /// Mean child-CTA execution time in cycles (the `t_cta` the controller
+    /// converged to), 0 when no child CTAs ran.
+    pub fn mean_child_cta_exec(&self) -> f64 {
+        if self.child_cta_exec_cycles.is_empty() {
+            0.0
+        } else {
+            self.child_cta_exec_cycles.iter().sum::<u64>() as f64
+                / self.child_cta_exec_cycles.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(super) fn report() -> SimReport {
+        SimReport {
+            controller: "test".into(),
+            total_cycles: 100,
+            child_kernels_launched: 2,
+            launch_requests: 4,
+            inlined_requests: 2,
+            redistributed_requests: 0,
+            aggregated_launches: 0,
+            aggregated_ctas: 0,
+            child_ctas_executed: 4,
+            items_inline: 30,
+            items_child: 70,
+            occupancy: 0.5,
+            mem: MemStats::default(),
+            dram_row_hit_rate: 0.0,
+            avg_child_queue_latency: 10.0,
+            max_pending_kernels: 3,
+            timeline: vec![],
+            child_cta_exec_cycles: vec![10, 20, 30, 40],
+            child_launch_cycles: vec![1, 2],
+            events_processed: 123,
+            kernels: vec![],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.speedup_over(200) - 2.0).abs() < 1e-12);
+        assert_eq!(r.items_total(), 100);
+        assert!((r.offload_fraction() - 0.7).abs() < 1e-12);
+        assert!((r.mean_child_cta_exec() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let mut r = report();
+        r.items_inline = 0;
+        r.items_child = 0;
+        r.child_cta_exec_cycles.clear();
+        assert_eq!(r.offload_fraction(), 0.0);
+        assert_eq!(r.mean_child_cta_exec(), 0.0);
+    }
+
+    #[test]
+    fn timeline_sample_total() {
+        let s = TimelineSample {
+            parent_ctas: 3,
+            child_ctas: 4,
+            utilization: 0.5,
+            concurrent_kernels: 2,
+            peak_smx_utilization: 0.9,
+        };
+        assert_eq!(s.total_ctas(), 7);
+    }
+
+    #[test]
+    fn kernel_summary_latencies() {
+        let k = KernelSummary {
+            id: 1,
+            name: "k".into(),
+            role: KernelRole::Child,
+            depth: 1,
+            grid_ctas: 4,
+            created_at: 100,
+            arrived_at: Some(22_031),
+            first_dispatch: Some(25_000),
+            own_done_at: Some(30_000),
+        };
+        assert_eq!(k.launch_latency(), Some(21_931));
+        assert_eq!(k.queue_latency(), Some(2_969));
+        let never = KernelSummary {
+            arrived_at: None,
+            first_dispatch: None,
+            own_done_at: None,
+            ..k
+        };
+        assert_eq!(never.queue_latency(), None);
+        assert_eq!(never.launch_latency(), None);
+    }
+}
+
+impl SimReport {
+    /// The timeline as CSV (`cycle,parent_ctas,child_ctas,utilization,
+    /// concurrent_kernels,peak_smx_utilization`) for external plotting.
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from(
+            "cycle,parent_ctas,child_ctas,utilization,concurrent_kernels,peak_smx_utilization\n",
+        );
+        for (t, s) in &self.timeline {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{},{:.4}\n",
+                t,
+                s.parent_ctas,
+                s.child_ctas,
+                s.utilization,
+                s.concurrent_kernels,
+                s.peak_smx_utilization
+            ));
+        }
+        out
+    }
+
+    /// Per-kernel lifecycle table as CSV (`id,name,role,depth,grid_ctas,
+    /// created,arrived,first_dispatch,own_done,launch_latency,queue_latency`).
+    pub fn kernels_csv(&self) -> String {
+        let mut out = String::from(
+            "id,name,role,depth,grid_ctas,created,arrived,first_dispatch,own_done,launch_latency,queue_latency\n",
+        );
+        let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{},{},{:?},{},{},{},{},{},{},{},{}\n",
+                k.id,
+                k.name,
+                k.role,
+                k.depth,
+                k.grid_ctas,
+                k.created_at,
+                opt(k.arrived_at),
+                opt(k.first_dispatch),
+                opt(k.own_done_at),
+                opt(k.launch_latency()),
+                opt(k.queue_latency()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_outputs_have_headers_and_rows() {
+        let mut r = super::tests::report();
+        r.timeline.push((
+            1000,
+            TimelineSample {
+                parent_ctas: 2,
+                child_ctas: 3,
+                utilization: 0.5,
+                concurrent_kernels: 1,
+                peak_smx_utilization: 0.75,
+            },
+        ));
+        r.kernels.push(KernelSummary {
+            id: 0,
+            name: "host".into(),
+            role: KernelRole::Host,
+            depth: 0,
+            grid_ctas: 2,
+            created_at: 0,
+            arrived_at: Some(0),
+            first_dispatch: Some(10),
+            own_done_at: Some(90),
+        });
+        let t = r.timeline_csv();
+        assert!(t.starts_with("cycle,"));
+        assert!(t.contains("1000,2,3,0.5000,1,0.7500"));
+        let k = r.kernels_csv();
+        assert!(k.starts_with("id,"));
+        assert!(k.contains("0,host,Host,0,2,0,0,10,90,0,10"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Crafted end-to-end scenarios exercising the simulator's resource
+//! limits, geometry edge cases, and mixed launch decisions.
+
+use std::sync::Arc;
+
+use dynapar_gpu::{
+    ChildRequest, DpSpec, GpuConfig, KernelDesc, LaunchController, LaunchDecision, SimReport,
+    Simulation, ThreadSource, ThreadWork, WorkClass,
+};
+
+fn compute_kernel(
+    threads: u32,
+    items_per_thread: u32,
+    cta_threads: u32,
+    regs: u32,
+    shmem: u32,
+) -> KernelDesc {
+    KernelDesc {
+        name: "scenario".into(),
+        cta_threads,
+        regs_per_thread: regs,
+        shmem_per_cta: shmem,
+        class: Arc::new(WorkClass::compute_only("s", 8)),
+        source: ThreadSource::Derived {
+            origin: ThreadWork::with_items(threads * items_per_thread),
+            items_per_thread,
+        },
+        dp: None,
+    }
+}
+
+fn run(cfg: GpuConfig, desc: KernelDesc) -> SimReport {
+    let mut sim = Simulation::new(cfg, Box::new(dynapar_gpu::InlineAll));
+    sim.launch_host(desc);
+    sim.run()
+}
+
+#[test]
+fn giant_cta_of_64_warps_fits_and_runs() {
+    // One CTA of 2048 threads consumes a whole SMX.
+    let cfg = GpuConfig::kepler_k20m();
+    let r = run(cfg, compute_kernel(2048, 4, 2048, 16, 0));
+    assert_eq!(r.items_total(), 2048 * 4);
+}
+
+#[test]
+fn cta_smaller_than_a_warp_still_works() {
+    let cfg = GpuConfig::test_small();
+    let r = run(cfg, compute_kernel(40, 2, 8, 8, 0));
+    assert_eq!(r.items_total(), 80);
+}
+
+#[test]
+fn register_pressure_limits_residency() {
+    // regs 64/thread, CTA 256 -> 16384 regs/CTA -> only 4 fit in a 64K
+    // register file even though 8 would fit by thread count.
+    let cfg = GpuConfig::kepler_k20m();
+    let heavy = run(cfg.clone(), compute_kernel(16 * 256, 64, 256, 64, 0));
+    let light = run(cfg, compute_kernel(16 * 256, 64, 256, 8, 0));
+    assert_eq!(heavy.items_total(), light.items_total());
+    assert!(
+        heavy.total_cycles >= light.total_cycles,
+        "register-starved run ({}) cannot beat the light one ({})",
+        heavy.total_cycles,
+        light.total_cycles
+    );
+    assert!(heavy.occupancy <= light.occupancy + 1e-9);
+}
+
+#[test]
+fn shared_memory_pressure_limits_residency() {
+    // 48KB shmem/SMX; 24KB per CTA -> 2 resident CTAs per SMX.
+    let cfg = GpuConfig::kepler_k20m();
+    let heavy = run(cfg.clone(), compute_kernel(64 * 128, 32, 128, 8, 24 * 1024));
+    let light = run(cfg, compute_kernel(64 * 128, 32, 128, 8, 0));
+    assert!(heavy.total_cycles >= light.total_cycles);
+}
+
+#[test]
+fn single_thread_kernel_terminates() {
+    let cfg = GpuConfig::test_small();
+    let r = run(cfg, compute_kernel(1, 1, 32, 8, 0));
+    assert_eq!(r.items_total(), 1);
+    assert!(r.total_cycles > 0);
+}
+
+/// A policy that alternates Kernel / Aggregated / Inline decisions,
+/// exercising all three launch paths in one run.
+struct RoundRobinPolicy {
+    i: u32,
+}
+
+impl LaunchController for RoundRobinPolicy {
+    fn name(&self) -> &str {
+        "rr-mixed"
+    }
+    fn decide(&mut self, _req: &ChildRequest) -> LaunchDecision {
+        self.i += 1;
+        match self.i % 3 {
+            0 => LaunchDecision::Kernel,
+            1 => LaunchDecision::Aggregated,
+            _ => LaunchDecision::Inline,
+        }
+    }
+}
+
+#[test]
+fn mixed_decisions_conserve_work_across_all_three_paths() {
+    let threads: Vec<ThreadWork> = (0..256)
+        .map(|t| ThreadWork {
+            items: 96,
+            seq_base: t as u64 * 4096,
+            rand_seed: t as u64,
+        })
+        .collect();
+    let desc = KernelDesc {
+        name: "mixed".into(),
+        cta_threads: 64,
+        regs_per_thread: 16,
+        shmem_per_cta: 0,
+        class: Arc::new(WorkClass::compute_only("mix-p", 8)),
+        source: ThreadSource::Explicit(Arc::new(threads)),
+        dp: Some(Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("mix-c", 8)),
+            child_cta_threads: 32,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 8,
+            child_shmem_per_cta: 0,
+            min_items: 8,
+            default_threshold: 8,
+            nested: None,
+        })),
+    };
+    let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(RoundRobinPolicy { i: 0 }));
+    sim.launch_host(desc);
+    let r = sim.run();
+    assert_eq!(r.items_total(), 256 * 96);
+    assert!(r.child_kernels_launched > 0, "Kernel path used");
+    assert!(r.aggregated_launches > 0, "Aggregated path used");
+    assert!(r.inlined_requests > 0, "Inline path used");
+    assert_eq!(
+        r.launch_requests,
+        r.child_kernels_launched + r.aggregated_launches + r.inlined_requests
+    );
+}
+
+#[test]
+fn zero_item_threads_cost_nothing_extra() {
+    // Threads with zero items should not generate rounds.
+    let mut threads = vec![ThreadWork::with_items(0); 512];
+    threads[0].items = 10;
+    let desc = KernelDesc {
+        name: "sparse".into(),
+        cta_threads: 64,
+        regs_per_thread: 8,
+        shmem_per_cta: 0,
+        class: Arc::new(WorkClass::compute_only("sp", 8)),
+        source: ThreadSource::Explicit(Arc::new(threads)),
+        dp: None,
+    };
+    let r = run(GpuConfig::test_small(), desc);
+    assert_eq!(r.items_total(), 10);
+}
+
+#[test]
+fn memory_heavy_class_is_slower_than_compute_only() {
+    let mk = |mem: bool| {
+        let class = if mem {
+            WorkClass {
+                label: "mem",
+                compute_per_item: 8,
+                init_cycles: 0,
+                seq_bytes_per_item: 8,
+                rand_refs_per_item: 2,
+                rand_region_base: 0x8000_0000,
+                rand_region_bytes: 1 << 24,
+                writes_per_item: 1,
+            }
+        } else {
+            WorkClass::compute_only("cpu", 8)
+        };
+        KernelDesc {
+            name: "m".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(class),
+            source: ThreadSource::Derived {
+                origin: ThreadWork {
+                    items: 4096,
+                    seq_base: 0x1000_0000,
+                    rand_seed: 3,
+                },
+                items_per_thread: 16,
+            },
+            dp: None,
+        }
+    };
+    let cpu = run(GpuConfig::test_small(), mk(false));
+    let mem = run(GpuConfig::test_small(), mk(true));
+    assert!(mem.total_cycles > cpu.total_cycles);
+    assert!(mem.mem.l1_accesses > 0);
+    assert_eq!(cpu.mem.l1_accesses, 0);
+}
+
+#[test]
+fn more_items_never_run_faster() {
+    let cfg = GpuConfig::test_small();
+    let mut last = 0u64;
+    for scale in [1u32, 2, 4, 8] {
+        let r = run(cfg.clone(), compute_kernel(256, 16 * scale, 64, 8, 0));
+        assert!(
+            r.total_cycles >= last,
+            "items x{scale} ran faster than x{}",
+            scale / 2
+        );
+        last = r.total_cycles;
+    }
+}
+
+#[test]
+fn huge_fanout_of_tiny_kernels_drains() {
+    // Every thread launches: hundreds of 8-item kernels through a tiny
+    // 4-HWQ config — a stress of the HWQ/turnaround path.
+    struct LaunchAll;
+    impl LaunchController for LaunchAll {
+        fn name(&self) -> &str {
+            "la"
+        }
+        fn decide(&mut self, _r: &ChildRequest) -> LaunchDecision {
+            LaunchDecision::Kernel
+        }
+    }
+    let threads: Vec<ThreadWork> = (0..512)
+        .map(|t| ThreadWork {
+            items: 8,
+            seq_base: t as u64 * 512,
+            rand_seed: t as u64,
+        })
+        .collect();
+    let desc = KernelDesc {
+        name: "fanout".into(),
+        cta_threads: 64,
+        regs_per_thread: 8,
+        shmem_per_cta: 0,
+        class: Arc::new(WorkClass::compute_only("f", 4)),
+        source: ThreadSource::Explicit(Arc::new(threads)),
+        dp: Some(Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("fc", 4)),
+            child_cta_threads: 32,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 8,
+            child_shmem_per_cta: 0,
+            min_items: 1,
+            default_threshold: 0,
+            nested: None,
+        })),
+    };
+    let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
+    sim.launch_host(desc);
+    let r = sim.run();
+    assert_eq!(r.child_kernels_launched, 512);
+    assert_eq!(r.items_child, 512 * 8);
+    assert_eq!(r.items_inline, 0);
+}

@@ -1,0 +1,280 @@
+//! Breadth-First Search (Table I: BFS-citation, BFS-graph500).
+//!
+//! One parent thread per frontier vertex; the workload is the vertex's
+//! out-degree (edges to traverse, Fig. 1). Each edge costs a sequential
+//! edge-list read plus a random `visited[neighbour]` probe and a frontier
+//! store. Threads over the source-level `THRESHOLD` of 128 (the paper's
+//! Fig. 3 example) launch a child kernel with one thread per edge.
+
+use crate::apps::graph_common::{build as graph_build, GraphAppSpec};
+use crate::apps::GraphInput;
+use crate::program::{Benchmark, Scale};
+
+/// Default source-level `THRESHOLD` (the Fig. 3 example value).
+pub const DEFAULT_THRESHOLD: u32 = 8;
+
+/// Builds a BFS benchmark on the given graph input.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{apps::{bfs, GraphInput}, Scale};
+///
+/// let b = bfs::build(GraphInput::Graph500, Scale::Tiny, 42);
+/// assert_eq!(b.name(), "BFS-graph500");
+/// assert!(b.total_items() > 0);
+/// ```
+pub fn build(input: GraphInput, scale: Scale, seed: u64) -> Benchmark {
+    graph_build(
+        GraphAppSpec {
+            app: "BFS",
+            parent_label: "bfs-parent",
+            child_label: "bfs-child",
+            compute_per_edge: 20,
+            rand_refs: 1,
+            writes: 1,
+            child_cta_threads: 64,
+            child_regs: 16,
+            threshold: DEFAULT_THRESHOLD,
+            min_items: 8,
+            seed_salt: 0xBF5,
+            degree_cap_citation: 192,
+            degree_cap_graph500: 512,
+        },
+        input,
+        scale,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapar_core::BaselineDp;
+    use dynapar_gpu::GpuConfig;
+
+    #[test]
+    fn both_inputs_build() {
+        for input in [GraphInput::Citation, GraphInput::Graph500] {
+            let b = build(input, Scale::Tiny, 1);
+            assert_eq!(b.app(), "BFS");
+            assert!(b.total_items() > 0);
+        }
+    }
+
+    #[test]
+    fn baseline_dp_launches_children_on_skewed_graph() {
+        let b = build(GraphInput::Graph500, Scale::Tiny, 1);
+        let r = b.run(&GpuConfig::test_small(), Box::new(BaselineDp::new()));
+        assert!(r.child_kernels_launched > 0, "hubs must spawn children");
+        assert_eq!(r.items_total(), b.total_items());
+    }
+
+    #[test]
+    fn flat_run_is_pure_inline() {
+        let b = build(GraphInput::Citation, Scale::Tiny, 1);
+        let r = b.run_flat(&GpuConfig::test_small());
+        assert_eq!(r.items_child, 0);
+        assert_eq!(r.items_inline, b.total_items());
+    }
+}
+
+/// A full level-synchronous BFS traversal: one parent kernel per frontier
+/// level, each thread owning one frontier vertex whose workload is its
+/// out-degree. This is the multi-kernel execution shape real BFS codes
+/// have (the single-kernel [`build`] variant models one representative
+/// frontier expansion, which is what the paper's per-kernel statistics
+/// describe).
+///
+/// Returns the per-level kernels plus the traversal's level structure for
+/// validation.
+pub mod levels {
+    use std::sync::Arc;
+
+    use dynapar_gpu::{
+        DpSpec, GpuConfig, KernelDesc, LaunchController, SimReport, Simulation, ThreadSource,
+        ThreadWork, WorkClass,
+    };
+
+    use crate::apps::GraphInput;
+    use crate::graphs::Csr;
+    use crate::program::{regions, Scale};
+
+    /// The frontier decomposition of a BFS traversal from a source vertex.
+    #[derive(Debug, Clone)]
+    pub struct Traversal {
+        /// Frontier vertex lists, one per level (level 0 = the source).
+        pub frontiers: Vec<Vec<u32>>,
+        /// Vertices never reached from the source.
+        pub unreached: usize,
+    }
+
+    /// Runs a host-side BFS over `g` from `source`, returning the level
+    /// structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn traverse(g: &Csr, source: u32) -> Traversal {
+        assert!((source as usize) < g.vertex_count(), "source out of range");
+        let mut level = vec![u32::MAX; g.vertex_count()];
+        level[source as usize] = 0;
+        let mut frontiers = vec![vec![source]];
+        loop {
+            let current = frontiers.last().expect("at least the source");
+            let depth = frontiers.len() as u32;
+            let mut next = Vec::new();
+            for &v in current {
+                for &n in g.neighbors(v) {
+                    if level[n as usize] == u32::MAX {
+                        level[n as usize] = depth;
+                        next.push(n);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontiers.push(next);
+        }
+        let unreached = level.iter().filter(|&&l| l == u32::MAX).count();
+        Traversal {
+            frontiers,
+            unreached,
+        }
+    }
+
+    /// Per-thread workload cap, matching the single-kernel BFS benchmark's
+    /// tail truncation (see `GraphAppSpec::degree_cap_graph500`).
+    pub const DEGREE_CAP: u32 = 512;
+
+    /// Builds one parent kernel per BFS level (skipping empty-work levels)
+    /// for the given graph input.
+    pub fn build_kernels(input: GraphInput, scale: Scale, seed: u64) -> Vec<KernelDesc> {
+        let g = input.generate(scale, seed);
+        let t = traverse(&g, 0);
+        let state_bytes = (g.vertex_count() as u64 * 8).max(4096);
+        let mk_class = |label: &'static str, init: u32| WorkClass {
+            label,
+            compute_per_item: 20,
+            init_cycles: init,
+            seq_bytes_per_item: 4,
+            rand_refs_per_item: 1,
+            rand_region_base: regions::AUX_BASE,
+            rand_region_bytes: state_bytes,
+            writes_per_item: 1,
+        };
+        let dp = Arc::new(DpSpec {
+            child_class: Arc::new(mk_class("bfs-level-child", 24)),
+            child_cta_threads: 64,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 8,
+            default_threshold: super::DEFAULT_THRESHOLD,
+            nested: None,
+        });
+        let class = Arc::new(mk_class("bfs-level-parent", 40));
+        t.frontiers
+            .iter()
+            .enumerate()
+            .filter_map(|(lvl, frontier)| {
+                let threads: Vec<ThreadWork> = frontier
+                    .iter()
+                    .map(|&v| ThreadWork {
+                        items: g.degree(v).min(DEGREE_CAP),
+                        seq_base: regions::STREAM_BASE + g.row_offset(v) as u64 * 4,
+                        rand_seed: seed ^ v as u64,
+                    })
+                    .collect();
+                if threads.iter().all(|t| t.items == 0) {
+                    return None;
+                }
+                Some(KernelDesc {
+                    name: format!("bfs-level-{lvl}").into(),
+                    cta_threads: 64,
+                    regs_per_thread: 32,
+                    shmem_per_cta: 0,
+                    class: class.clone(),
+                    source: ThreadSource::Explicit(Arc::new(threads)),
+                    dp: Some(dp.clone()),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs the whole traversal (all level kernels enqueued on the host
+    /// stream) under `controller`.
+    pub fn run(
+        input: GraphInput,
+        scale: Scale,
+        seed: u64,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+    ) -> SimReport {
+        let mut sim = Simulation::new(cfg.clone(), controller);
+        for k in build_kernels(input, scale, seed) {
+            sim.launch_host(k);
+        }
+        sim.run()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use dynapar_engine::DetRng;
+
+        #[test]
+        fn traversal_covers_reachable_vertices_once() {
+            let mut rng = DetRng::new(5);
+            let g = crate::graphs::rmat(8, 4, &mut rng);
+            let t = traverse(&g, 0);
+            let visited: usize = t.frontiers.iter().map(Vec::len).sum();
+            assert_eq!(visited + t.unreached, g.vertex_count());
+            // No vertex appears in two frontiers.
+            let mut seen = std::collections::HashSet::new();
+            for f in &t.frontiers {
+                for &v in f {
+                    assert!(seen.insert(v), "vertex {v} visited twice");
+                }
+            }
+            assert_eq!(t.frontiers[0], vec![0]);
+        }
+
+        #[test]
+        fn frontier_levels_are_shortest_distances() {
+            // A path graph 0 -> 1 -> 2 -> 3 has one vertex per level.
+            let g = crate::graphs::Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+            let t = traverse(&g, 0);
+            assert_eq!(t.frontiers.len(), 4);
+            for (lvl, f) in t.frontiers.iter().enumerate() {
+                assert_eq!(f, &vec![lvl as u32]);
+            }
+        }
+
+        #[test]
+        fn level_kernels_execute_all_reachable_edges() {
+            let cfg = dynapar_gpu::GpuConfig::test_small();
+            let input = GraphInput::Graph500;
+            let (scale, seed) = (Scale::Tiny, 5);
+            let g = input.generate(scale, seed);
+            let t = traverse(&g, 0);
+            let expected: u64 = t
+                .frontiers
+                .iter()
+                .flatten()
+                .map(|&v| g.degree(v).min(DEGREE_CAP) as u64)
+                .sum();
+            let r = run(input, scale, seed, &cfg, Box::new(dynapar_gpu::InlineAll));
+            assert_eq!(r.items_total(), expected);
+            let r = run(
+                input,
+                scale,
+                seed,
+                &cfg,
+                Box::new(dynapar_core::BaselineDp::new()),
+            );
+            assert_eq!(r.items_total(), expected);
+        }
+    }
+}

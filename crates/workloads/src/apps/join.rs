@@ -1,0 +1,144 @@
+//! Relational Join (Table I: JOIN-uniform, JOIN-gaussian), after the
+//! multi-bulk-synchronous relational algorithms of Diamos et al.
+//!
+//! One parent thread per left-relation tuple; the workload is the number
+//! of right-relation matches for the tuple's key. Each match streams the
+//! matching tuple (8 B), probes the hash directory (random read), and
+//! emits an output row (store).
+//!
+//! * **uniform** keys: every tuple matches a handful of rows — the
+//!   balanced case. The paper finds this input prefers *no* offloading
+//!   (Fig. 5's best point is 0%): there is no imbalance for DP to fix, so
+//!   launches only add overhead.
+//! * **gaussian** keys: match counts are normally distributed with a wide
+//!   spread — mild imbalance, modest DP gains (~4%).
+
+use std::sync::Arc;
+
+use dynapar_engine::DetRng;
+use dynapar_gpu::{DpSpec, KernelDesc, WorkClass};
+
+use crate::program::{explicit_source, regions, Benchmark, Scale};
+
+/// Which key distribution the right relation was generated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinInput {
+    /// Uniform keys: balanced per-tuple match counts.
+    Uniform,
+    /// Gaussian keys: wide spread of match counts.
+    Gaussian,
+}
+
+impl JoinInput {
+    /// Lower-case label for benchmark names.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinInput::Uniform => "uniform",
+            JoinInput::Gaussian => "gaussian",
+        }
+    }
+}
+
+/// Default source-level `THRESHOLD`.
+pub const DEFAULT_THRESHOLD: u32 = 96;
+
+/// Builds a join benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{apps::join::{self, JoinInput}, Scale};
+///
+/// let b = join::build(JoinInput::Gaussian, Scale::Tiny, 42);
+/// assert_eq!(b.name(), "JOIN-gaussian");
+/// ```
+pub fn build(input: JoinInput, scale: Scale, seed: u64) -> Benchmark {
+    let tuples = match (input, scale) {
+        (JoinInput::Uniform, Scale::Tiny) => 2_048,
+        (JoinInput::Uniform, Scale::Small) => 65_536,
+        (JoinInput::Uniform, Scale::Paper) => 262_144,
+        (JoinInput::Gaussian, Scale::Tiny) => 1_024,
+        (JoinInput::Gaussian, Scale::Small) => 32_768,
+        (JoinInput::Gaussian, Scale::Paper) => 131_072,
+    };
+    let mut rng = DetRng::new(seed ^ 0x101_AE57);
+    let matches: Vec<u32> = (0..tuples)
+        .map(|_| match input {
+            // Tight band around 64: essentially balanced.
+            JoinInput::Uniform => rng.range_inclusive(48, 80) as u32,
+            // Wide spread: some tuples match hundreds of rows.
+            JoinInput::Gaussian => rng.normal_clamped(64.0, 56.0, 2, 640) as u32,
+        })
+        .collect();
+    let hash_dir_bytes = (tuples as u64 * 16).max(4096);
+    let mk_class = |label: &'static str, init: u32| WorkClass {
+        label,
+        compute_per_item: 18,
+        init_cycles: init,
+        seq_bytes_per_item: 8, // matched right-tuple stream
+        rand_refs_per_item: 1, // hash-directory probe
+        rand_region_base: regions::AUX_BASE,
+        rand_region_bytes: hash_dir_bytes,
+        writes_per_item: 1, // output row
+    };
+    let dp = Arc::new(DpSpec {
+        child_class: Arc::new(mk_class("join-child", 24)),
+        child_cta_threads: 64,
+        child_items_per_thread: 1,
+        child_regs_per_thread: 20,
+        child_shmem_per_cta: 0,
+        min_items: 32,
+        default_threshold: DEFAULT_THRESHOLD,
+        nested: None,
+    });
+    let desc = KernelDesc {
+        name: format!("JOIN-{}", input.label()).into(),
+        cta_threads: 64,
+        regs_per_thread: 28,
+        shmem_per_cta: 2048, // staging buffers for the probe phase
+        class: Arc::new(mk_class("join-parent", 40)),
+        source: explicit_source(&matches, 8, seed ^ 0x70_1E),
+        dp: Some(dp),
+    };
+    Benchmark::new(
+        format!("JOIN-{}", input.label()),
+        "JOIN",
+        input.label(),
+        desc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapar_core::BaselineDp;
+    use dynapar_gpu::GpuConfig;
+
+    #[test]
+    fn uniform_is_balanced_gaussian_is_not() {
+        let u = build(JoinInput::Uniform, Scale::Tiny, 1);
+        let g = build(JoinInput::Gaussian, Scale::Tiny, 1);
+        let (umin, _, umax) = u.workload_spread();
+        let (gmin, _, gmax) = g.workload_spread();
+        assert!(umax - umin <= 32, "uniform spread must be tight");
+        assert!(gmax - gmin > 100, "gaussian spread must be wide");
+    }
+
+    #[test]
+    fn uniform_never_exceeds_threshold() {
+        let u = build(JoinInput::Uniform, Scale::Tiny, 1);
+        let r = u.run(&GpuConfig::test_small(), Box::new(BaselineDp::new()));
+        assert_eq!(
+            r.child_kernels_launched, 0,
+            "balanced tuples stay below THRESHOLD"
+        );
+        assert_eq!(r.items_total(), u.total_items());
+    }
+
+    #[test]
+    fn gaussian_launches_some_children() {
+        let g = build(JoinInput::Gaussian, Scale::Tiny, 1);
+        let r = g.run(&GpuConfig::test_small(), Box::new(BaselineDp::new()));
+        assert!(r.child_kernels_launched > 0);
+    }
+}

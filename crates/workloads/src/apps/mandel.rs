@@ -1,0 +1,168 @@
+//! Mandelbrot Set (Table I: Mandel).
+//!
+//! The classic dynamic-parallelism demo: a coarse kernel walks image
+//! tiles; tiles that need deep iteration (near or inside the set) launch
+//! child kernels to refine per-pixel. The workload here is *real*: the
+//! generator runs the escape-time iteration over the complex plane and
+//! converts per-tile iteration totals into work items (one item ≈ 8
+//! iterations), so the imbalance pattern is the genuine Mandelbrot one —
+//! cheap exterior tiles, expensive boundary/interior tiles.
+
+use std::sync::Arc;
+
+use dynapar_engine::DetRng;
+use dynapar_gpu::{DpSpec, KernelDesc, WorkClass};
+
+use crate::program::{explicit_source, Benchmark, Scale};
+
+/// Escape-time iteration count for point `(cx, cy)`, capped at `max_iter`.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::apps::mandel::escape_iters;
+///
+/// assert_eq!(escape_iters(0.0, 0.0, 256), 256); // origin is in the set
+/// assert!(escape_iters(2.0, 2.0, 256) < 5);     // far outside escapes fast
+/// ```
+pub fn escape_iters(cx: f64, cy: f64, max_iter: u32) -> u32 {
+    let mut x = 0.0f64;
+    let mut y = 0.0f64;
+    let mut i = 0;
+    while i < max_iter && x * x + y * y <= 4.0 {
+        let xt = x * x - y * y + cx;
+        y = 2.0 * x * y + cy;
+        x = xt;
+        i += 1;
+    }
+    i
+}
+
+/// Iterations folded into one work item.
+pub const ITERS_PER_ITEM: u32 = 8;
+
+/// Maximum escape iterations per pixel at [`Scale::Paper`]; smaller
+/// scales reduce the cap proportionally so runs stay quick.
+pub const MAX_ITER: u32 = 4096;
+
+/// Per-scale iteration cap.
+pub fn max_iter_at(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 512,
+        Scale::Small => 2048,
+        Scale::Paper => MAX_ITER,
+    }
+}
+
+/// Pixels per tile (one parent thread per tile).
+pub const TILE_PIXELS: u32 = 32;
+
+/// Default source-level `THRESHOLD` in work items.
+pub const DEFAULT_THRESHOLD: u32 = 256;
+
+/// Builds the Mandelbrot benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{apps::mandel, Scale};
+///
+/// let b = mandel::build(Scale::Tiny, 42);
+/// assert_eq!(b.name(), "Mandel");
+/// ```
+pub fn build(scale: Scale, seed: u64) -> Benchmark {
+    // Image dims: width fixed, height scales.
+    let width = 256u32;
+    let height = match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 256,
+        Scale::Paper => 1024,
+    };
+    let max_iter = max_iter_at(scale);
+    let (x0, x1) = (-2.2f64, 1.0);
+    let (y0, y1) = (-1.2f64, 1.2);
+    let mut items: Vec<u32> = Vec::with_capacity((width * height / TILE_PIXELS) as usize);
+    for py in 0..height {
+        let cy = y0 + (y1 - y0) * (py as f64 + 0.5) / height as f64;
+        let mut px = 0;
+        while px < width {
+            let mut tile_iters = 0u32;
+            for dx in 0..TILE_PIXELS {
+                let cx = x0 + (x1 - x0) * ((px + dx) as f64 + 0.5) / width as f64;
+                tile_iters += escape_iters(cx, cy, max_iter);
+            }
+            items.push(tile_iters.div_ceil(ITERS_PER_ITEM).max(1));
+            px += TILE_PIXELS;
+        }
+    }
+    // The DP implementation hands tiles to threads through a work queue,
+    // so consecutive threads do not own adjacent (similar-depth) tiles;
+    // shuffling reproduces that decorrelated assignment and the intra-warp
+    // divergence it causes.
+    let mut rng = DetRng::new(seed ^ 0x3A_4D55);
+    rng.shuffle(&mut items);
+    // Pure compute: the iteration loop is register-resident.
+    let parent_class = Arc::new(WorkClass {
+        init_cycles: 20,
+        ..WorkClass::compute_only("mandel-parent", 12)
+    });
+    let child_class = Arc::new(WorkClass {
+        init_cycles: 16,
+        ..WorkClass::compute_only("mandel-child", 12)
+    });
+    let dp = Arc::new(DpSpec {
+        child_class,
+        child_cta_threads: 64,
+        child_items_per_thread: 8, // ~two pixels' refinement per thread
+        child_regs_per_thread: 24,
+        child_shmem_per_cta: 0,
+        min_items: 32,
+        default_threshold: DEFAULT_THRESHOLD,
+        nested: None,
+    });
+    let desc = KernelDesc {
+        name: "Mandel".into(),
+        cta_threads: 64,
+        regs_per_thread: 28,
+        shmem_per_cta: 0,
+        class: parent_class,
+        source: explicit_source(&items, 0, 0x3A_4DE1),
+        dp: Some(dp),
+    };
+    Benchmark::new("Mandel", "Mandel", "escape-time grid", desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapar_core::BaselineDp;
+    use dynapar_gpu::GpuConfig;
+
+    #[test]
+    fn escape_iteration_sanity() {
+        assert_eq!(escape_iters(0.0, 0.0, 100), 100);
+        assert_eq!(escape_iters(-1.0, 0.0, 100), 100); // period-2 bulb
+        assert!(escape_iters(1.5, 1.5, 100) < 3);
+    }
+
+    #[test]
+    fn workload_is_bimodal() {
+        let b = build(Scale::Tiny, 0);
+        let (min, _, max) = b.workload_spread();
+        // Exterior tiles are cheap, interior tiles hit the iteration cap.
+        assert!(min <= 4, "exterior tiles should be tiny, min={min}");
+        assert_eq!(
+            max,
+            TILE_PIXELS * max_iter_at(Scale::Tiny) / ITERS_PER_ITEM,
+            "interior tiles saturate"
+        );
+    }
+
+    #[test]
+    fn dp_run_offloads_deep_tiles() {
+        let b = build(Scale::Tiny, 0);
+        let r = b.run(&GpuConfig::test_small(), Box::new(BaselineDp::new()));
+        assert!(r.child_kernels_launched > 0);
+        assert_eq!(r.items_total(), b.total_items());
+    }
+}

@@ -1,0 +1,139 @@
+//! Sparse Matrix–Dense Matrix Multiplication (Table I: MM-small,
+//! MM-large).
+//!
+//! One parent thread multiplies one row of the sparse multiplicand with
+//! the entire dense multiplier; its workload is `nnz(row) × column
+//! strips`. Row populations are heavily skewed (power-law nonzero counts),
+//! so a few rows dominate. In the DP version a heavy row launches a child
+//! kernel whose threads each take a column strip — the paper's example of
+//! *few, heavyweight* children whose launch overhead is easily hidden
+//! (Observation 3: MM prefers offloading most of its work).
+
+use std::sync::Arc;
+
+use dynapar_engine::DetRng;
+use dynapar_gpu::{DpSpec, KernelDesc, WorkClass};
+
+use crate::program::{explicit_source, regions, Benchmark, Scale};
+
+/// Which sparse input (Table I lists a small and a large sparse matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MmInput {
+    /// Small sparse matrix.
+    Small,
+    /// Large sparse matrix.
+    Large,
+}
+
+impl MmInput {
+    /// Lower-case label for benchmark names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MmInput::Small => "small",
+            MmInput::Large => "large",
+        }
+    }
+}
+
+/// Column strips of the dense multiplier per nonzero (work-item scaling).
+pub const STRIPS_PER_NNZ: u32 = 16;
+
+/// Default source-level `THRESHOLD`.
+pub const DEFAULT_THRESHOLD: u32 = 64;
+
+/// Builds an MM benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{apps::mm::{self, MmInput}, Scale};
+///
+/// let b = mm::build(MmInput::Small, Scale::Tiny, 42);
+/// assert_eq!(b.name(), "MM-small");
+/// ```
+pub fn build(input: MmInput, scale: Scale, seed: u64) -> Benchmark {
+    let rows = match input {
+        MmInput::Small => 448 * scale.factor() as usize,
+        MmInput::Large => 896 * scale.factor() as usize,
+    };
+    let mut rng = DetRng::new(seed ^ 0x33_4D4D);
+    // Power-law nonzeros per row: most rows sparse, a few dense.
+    let items: Vec<u32> = (0..rows)
+        .map(|_| {
+            let nnz = rng.power_law(1, 256, 1.7) as u32;
+            nnz * STRIPS_PER_NNZ
+        })
+        .collect();
+    let dense_bytes = match input {
+        MmInput::Small => 1u64 << 20,
+        MmInput::Large => 1u64 << 22,
+    };
+    let mk_class = |label: &'static str, init: u32| WorkClass {
+        label,
+        compute_per_item: 16, // a strip of fused multiply-adds
+        init_cycles: init,
+        seq_bytes_per_item: 8, // sparse values + column indices stream
+        rand_refs_per_item: 1, // dense-matrix gather
+        rand_region_base: regions::AUX_BASE,
+        rand_region_bytes: dense_bytes,
+        writes_per_item: 1, // C accumulation
+    };
+    let dp = Arc::new(DpSpec {
+        child_class: Arc::new(mk_class("mm-child", 24)),
+        child_cta_threads: 128,
+        // Heavyweight children: each child thread owns a run of strips.
+        child_items_per_thread: 8,
+        child_regs_per_thread: 32,
+        child_shmem_per_cta: 4096, // tile of the dense multiplier
+        min_items: 64,
+        default_threshold: DEFAULT_THRESHOLD,
+        nested: None,
+    });
+    let desc = KernelDesc {
+        name: format!("MM-{}", input.label()).into(),
+        cta_threads: 64,
+        regs_per_thread: 32,
+        shmem_per_cta: 4096,
+        class: Arc::new(mk_class("mm-parent", 40)),
+        source: explicit_source(&items, 8, seed ^ 0x4D4D),
+        dp: Some(dp),
+    };
+    Benchmark::new(format!("MM-{}", input.label()), "MM", input.label(), desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynapar_core::BaselineDp;
+    use dynapar_gpu::GpuConfig;
+
+    #[test]
+    fn large_has_more_rows_than_small() {
+        let s = build(MmInput::Small, Scale::Tiny, 1);
+        let l = build(MmInput::Large, Scale::Tiny, 1);
+        assert!(l.threads() > s.threads());
+    }
+
+    #[test]
+    fn children_are_few_and_heavyweight() {
+        let b = build(MmInput::Small, Scale::Tiny, 1);
+        let r = b.run(&GpuConfig::test_small(), Box::new(BaselineDp::new()));
+        assert_eq!(r.items_total(), b.total_items());
+        if let Some(per_child) = r.items_child.checked_div(r.child_kernels_launched) {
+            assert!(
+                per_child > 128,
+                "children should be heavyweight, got {per_child} items each"
+            );
+        }
+    }
+
+    #[test]
+    fn row_skew_is_power_law() {
+        let b = build(MmInput::Large, Scale::Small, 1);
+        let (_, median, max) = b.workload_spread();
+        assert!(
+            max as f64 > 10.0 * median as f64,
+            "heavy rows must dwarf the median: median={median} max={max}"
+        );
+    }
+}

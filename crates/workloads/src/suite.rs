@@ -1,0 +1,152 @@
+//! The full 13-benchmark suite of Table I.
+
+use crate::apps::join::JoinInput;
+use crate::apps::mm::MmInput;
+use crate::apps::sa::SaInput;
+use crate::apps::{amr, bfs, gc, join, mandel, mm, sa, sssp, GraphInput};
+use crate::program::{Benchmark, Scale};
+
+/// Default seed used by the experiment harness (fixed so every figure is
+/// reproducible bit-for-bit).
+pub const DEFAULT_SEED: u64 = 0xD7_2017;
+
+/// Names of the 13 Table I benchmarks, in the paper's order.
+pub const NAMES: [&str; 13] = [
+    "AMR",
+    "BFS-citation",
+    "BFS-graph500",
+    "SSSP-citation",
+    "SSSP-graph500",
+    "JOIN-uniform",
+    "JOIN-gaussian",
+    "GC-citation",
+    "GC-graph500",
+    "Mandel",
+    "MM-small",
+    "MM-large",
+    "SA-thaliana",
+];
+
+/// Builds every Table I benchmark at the given scale.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{suite, Scale};
+///
+/// let benches = suite::all(Scale::Tiny, suite::DEFAULT_SEED);
+/// assert_eq!(benches.len(), 13);
+/// assert_eq!(benches[0].name(), "AMR");
+/// ```
+pub fn all(scale: Scale, seed: u64) -> Vec<Benchmark> {
+    NAMES
+        .iter()
+        .map(|n| by_name(n, scale, seed).expect("NAMES entries all resolve"))
+        .collect()
+}
+
+/// Builds one benchmark by its Table I name, plus two extension inputs:
+/// `"SA-elegans"` (the Fig. 21 DTBL comparison) and `"BFS-road"` (a
+/// near-regular road-network control where DP can only add overhead).
+/// Returns `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_workloads::{suite, Scale};
+///
+/// let b = suite::by_name("BFS-graph500", Scale::Tiny, 1).unwrap();
+/// assert_eq!(b.app(), "BFS");
+/// assert!(suite::by_name("nope", Scale::Tiny, 1).is_none());
+/// ```
+pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Benchmark> {
+    Some(match name {
+        "AMR" => amr::build(scale, seed),
+        "BFS-citation" => bfs::build(GraphInput::Citation, scale, seed),
+        "BFS-graph500" => bfs::build(GraphInput::Graph500, scale, seed),
+        "SSSP-citation" => sssp::build(GraphInput::Citation, scale, seed),
+        "SSSP-graph500" => sssp::build(GraphInput::Graph500, scale, seed),
+        "JOIN-uniform" => join::build(JoinInput::Uniform, scale, seed),
+        "JOIN-gaussian" => join::build(JoinInput::Gaussian, scale, seed),
+        "GC-citation" => gc::build(GraphInput::Citation, scale, seed),
+        "GC-graph500" => gc::build(GraphInput::Graph500, scale, seed),
+        "Mandel" => mandel::build(scale, seed),
+        "MM-small" => mm::build(MmInput::Small, scale, seed),
+        "MM-large" => mm::build(MmInput::Large, scale, seed),
+        "SA-thaliana" => sa::build(SaInput::Thaliana, scale, seed),
+        "SA-elegans" => sa::build(SaInput::Elegans, scale, seed),
+        "BFS-road" => bfs::build(GraphInput::Road, scale, seed),
+        _ => return None,
+    })
+}
+
+/// Geometric mean of a sequence of ratios (the paper's average-speedup
+/// aggregation).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive entry.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_build() {
+        let benches = all(Scale::Tiny, DEFAULT_SEED);
+        assert_eq!(benches.len(), 13);
+        let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+        assert_eq!(names, NAMES.to_vec());
+        for b in &benches {
+            assert!(b.total_items() > 0, "{} is empty", b.name());
+            assert!(b.threads() > 0);
+        }
+    }
+
+    #[test]
+    fn bfs_road_control_is_buildable() {
+        let b = by_name("BFS-road", Scale::Tiny, 1).expect("extension input");
+        assert_eq!(b.input(), "road");
+        // Near-regular degrees: nothing exceeds the min-launchable floor,
+        // so the whole sweep stays at ~0% offload.
+        let (_, _, max) = b.workload_spread();
+        assert!(max <= 8, "road max degree {max}");
+    }
+
+    #[test]
+    fn sa_elegans_is_buildable_for_fig21() {
+        let b = by_name("SA-elegans", Scale::Tiny, 1).expect("extra input");
+        assert_eq!(b.name(), "SA-elegans");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = by_name("MM-small", Scale::Tiny, 7).expect("known");
+        let b = by_name("MM-small", Scale::Tiny, 7).expect("known");
+        assert_eq!(a.total_items(), b.total_items());
+        assert_eq!(a.workload_spread(), b.workload_spread());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn geomean_rejects_empty() {
+        geomean(&[]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests for the benchmark spec format.
+
+use proptest::prelude::*;
+
+use dynapar_workloads::BenchmarkSpec;
+
+fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
+    (
+        prop::collection::vec(0u32..1000, 1..200),
+        1u32..512,
+        1u32..512,
+        1u32..16,
+        0u32..1000,
+        "[a-z][a-z0-9-]{0,20}",
+    )
+        .prop_map(|(items, cta, child_cta, ipt, threshold, name)| {
+            let mut s = BenchmarkSpec {
+                name,
+                items,
+                cta_threads: cta,
+                child_cta_threads: child_cta,
+                child_items_per_thread: ipt,
+                threshold,
+                ..BenchmarkSpec::default()
+            };
+            s.min_items = s.min_items.max(1);
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn to_text_parse_roundtrip(spec in spec_strategy()) {
+        let text = spec.to_text();
+        let parsed = BenchmarkSpec::parse(&text).expect("serialized specs are valid");
+        prop_assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn built_benchmarks_preserve_totals(spec in spec_strategy()) {
+        let bench = spec.build(1);
+        let total: u64 = spec.items.iter().map(|&i| i as u64).sum();
+        prop_assert_eq!(bench.total_items(), total);
+        prop_assert_eq!(bench.threads(), spec.items.len());
+        prop_assert_eq!(bench.default_threshold(), spec.threshold);
+    }
+
+    #[test]
+    fn garbage_never_panics(text in ".{0,200}") {
+        let _ = BenchmarkSpec::parse(&text);
+    }
+}

@@ -1,0 +1,59 @@
+//! # dynapar
+//!
+//! A from-scratch Rust reproduction of **SPAWN** — *Controlled Kernel
+//! Launch for Dynamic Parallelism in GPUs* (Tang et al., HPCA 2017) —
+//! including the GPU simulator it runs on, the 13-benchmark suite it is
+//! evaluated with, and the harness that regenerates every table and
+//! figure of the paper.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`engine`] — deterministic discrete-event engine + statistics,
+//! * [`gpu`] — the GPU performance simulator (SMXs, GMU, HWQs, memory
+//!   hierarchy, device-launch path),
+//! * [`core`] — the SPAWN runtime, CCQS, and all baseline launch policies,
+//! * [`workloads`] — the Table I benchmarks with synthetic inputs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynapar::core::{BaselineDp, SpawnPolicy};
+//! use dynapar::gpu::GpuConfig;
+//! use dynapar::workloads::{suite, Scale};
+//!
+//! let cfg = GpuConfig::test_small();
+//! let bench = suite::by_name("SA-thaliana", Scale::Tiny, 42).unwrap();
+//!
+//! let flat = bench.run_flat(&cfg);
+//! let spawn = bench.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
+//!
+//! println!(
+//!     "SPAWN speedup over flat: {:.2}x",
+//!     spawn.speedup_over(flat.total_cycles)
+//! );
+//! # assert!(spawn.total_cycles > 0);
+//! ```
+//!
+//! See `examples/` for runnable walk-throughs and `crates/bench` for the
+//! figure-regeneration binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dynapar_core as core;
+pub use dynapar_engine as engine;
+pub use dynapar_gpu as gpu;
+pub use dynapar_workloads as workloads;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use dynapar_core::{
+        AdaptiveThreshold, AlwaysLaunch, BaselineDp, Dtbl, FixedThreshold, FreeLaunch, InlineAll,
+        SpawnPolicy,
+    };
+    pub use dynapar_gpu::{
+        DpSpec, GpuConfig, KernelDesc, LaunchController, LaunchDecision, SimReport, Simulation,
+        StreamPolicy, ThreadSource, ThreadWork, WorkClass,
+    };
+    pub use dynapar_workloads::{suite, Benchmark, Scale};
+}

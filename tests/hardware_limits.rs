@@ -1,0 +1,142 @@
+//! Integration tests for the hardware-limit mechanisms the paper's
+//! argument rests on: the HWQ concurrency cap, launch overhead, stream
+//! serialization, and the memory hierarchy knobs.
+
+use dynapar::core::{AlwaysLaunch, BaselineDp};
+use dynapar::gpu::{GpuConfig, StreamPolicy};
+use dynapar::workloads::{suite, Scale};
+
+#[test]
+fn fewer_hwqs_hurt_launch_heavy_runs() {
+    // SA launches thousands of children; squeezing the HWQ count must
+    // increase queuing and never speed the run up.
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cycles = Vec::new();
+    for hwqs in [64u32, 8] {
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.num_hwqs = hwqs;
+        let r = bench.run(&cfg, Box::new(BaselineDp::new()));
+        cycles.push(r.total_cycles);
+    }
+    assert!(
+        cycles[1] >= cycles[0],
+        "8 HWQs ({}) must not beat 64 HWQs ({})",
+        cycles[1],
+        cycles[0]
+    );
+}
+
+#[test]
+fn launch_overhead_slows_dp_runs() {
+    // Doubling the fixed launch cost must not make a launch-heavy DP run
+    // faster.
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    let base = bench.run(&cfg, Box::new(BaselineDp::new()));
+    cfg.launch.b *= 4;
+    let slow = bench.run(&cfg, Box::new(BaselineDp::new()));
+    assert!(
+        slow.total_cycles >= base.total_cycles,
+        "4x launch overhead: {} vs {}",
+        slow.total_cycles,
+        base.total_cycles
+    );
+}
+
+#[test]
+fn launch_overhead_does_not_affect_flat() {
+    let bench = suite::by_name("BFS-graph500", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    let base = bench.run_flat(&cfg);
+    cfg.launch.b *= 10;
+    cfg.launch.a *= 10;
+    cfg.launch.api_call_cycles *= 10;
+    let again = bench.run_flat(&cfg);
+    assert_eq!(base.total_cycles, again.total_cycles);
+}
+
+#[test]
+fn stream_per_child_beats_stream_per_cta_under_storm() {
+    // Fig. 8's direction, exercised end to end on a launch-heavy app.
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    cfg.stream_policy = StreamPolicy::PerChildKernel;
+    let per_child = bench.run(&cfg, Box::new(AlwaysLaunch::new()));
+    cfg.stream_policy = StreamPolicy::PerParentCta;
+    let per_cta = bench.run(&cfg, Box::new(AlwaysLaunch::new()));
+    assert!(
+        per_child.total_cycles <= per_cta.total_cycles,
+        "per-child {} vs per-CTA {}",
+        per_child.total_cycles,
+        per_cta.total_cycles
+    );
+}
+
+#[test]
+fn more_smxs_never_slow_a_run() {
+    let bench = suite::by_name("MM-small", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    let r13 = bench.run(&cfg, Box::new(BaselineDp::new()));
+    cfg.smx_count = 26;
+    let r26 = bench.run(&cfg, Box::new(BaselineDp::new()));
+    assert!(
+        r26.total_cycles <= r13.total_cycles,
+        "26 SMXs ({}) must not lose to 13 ({})",
+        r26.total_cycles,
+        r13.total_cycles
+    );
+}
+
+#[test]
+fn deeper_mlp_speeds_serial_loops() {
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    cfg.mlp_depth = 1;
+    let shallow = bench.run_flat(&cfg);
+    cfg.mlp_depth = 8;
+    let deep = bench.run_flat(&cfg);
+    assert!(
+        deep.total_cycles < shallow.total_cycles,
+        "mlp 8 ({}) must beat mlp 1 ({}) on a loop-heavy flat run",
+        deep.total_cycles,
+        shallow.total_cycles
+    );
+}
+
+#[test]
+fn bigger_l2_does_not_reduce_hit_rate() {
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    let small = bench.run_flat(&cfg);
+    cfg.mem.l2_partition_bytes *= 4;
+    let big = bench.run_flat(&cfg);
+    assert!(big.mem.l2_hit_rate() >= small.mem.l2_hit_rate() - 1e-9);
+}
+
+#[test]
+fn scheduler_kinds_complete_identically_in_work() {
+    use dynapar::gpu::SchedulerKind;
+    let bench = suite::by_name("GC-graph500", Scale::Tiny, 1).expect("known");
+    for sched in [SchedulerKind::Gto, SchedulerKind::RoundRobin] {
+        let mut cfg = GpuConfig::kepler_k20m();
+        cfg.scheduler = sched;
+        let r = bench.run(&cfg, Box::new(BaselineDp::new()));
+        assert_eq!(r.items_total(), bench.total_items(), "{sched:?}");
+    }
+}
+
+#[test]
+fn turnaround_floor_slows_kernel_storms() {
+    let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
+    let mut cfg = GpuConfig::kepler_k20m();
+    cfg.launch.hwq_turnaround_cycles = 0;
+    let fast = bench.run(&cfg, Box::new(AlwaysLaunch::new()));
+    cfg.launch.hwq_turnaround_cycles = 5_000;
+    let slow = bench.run(&cfg, Box::new(AlwaysLaunch::new()));
+    assert!(
+        slow.total_cycles > fast.total_cycles,
+        "5000cy turnaround ({}) must slow the storm ({})",
+        slow.total_cycles,
+        fast.total_cycles
+    );
+}

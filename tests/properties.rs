@@ -1,0 +1,147 @@
+//! Property-based integration tests: random work-model programs through
+//! the full stack must conserve work, stay within hardware limits, and be
+//! deterministic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dynapar::core::{BaselineDp, SpawnPolicy};
+use dynapar::gpu::{
+    DpSpec, GpuConfig, KernelDesc, SimReport, Simulation, ThreadSource, ThreadWork, WorkClass,
+};
+
+/// A random but valid DP program description.
+#[derive(Debug, Clone)]
+struct Program {
+    items: Vec<u32>,
+    cta_threads: u32,
+    child_cta_threads: u32,
+    items_per_thread: u32,
+    threshold: u32,
+    compute: u32,
+    rand_refs: u8,
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(0u32..400, 1..300),
+        prop::sample::select(vec![32u32, 64, 128, 256]),
+        prop::sample::select(vec![32u32, 64, 128]),
+        1u32..8,
+        0u32..200,
+        1u32..40,
+        0u8..3,
+    )
+        .prop_map(
+            |(items, cta_threads, child_cta_threads, items_per_thread, threshold, compute, rand_refs)| Program {
+                items,
+                cta_threads,
+                child_cta_threads,
+                items_per_thread,
+                threshold,
+                compute,
+                rand_refs,
+            },
+        )
+}
+
+fn build(p: &Program) -> KernelDesc {
+    let mk = |label: &'static str| WorkClass {
+        label,
+        compute_per_item: p.compute,
+        init_cycles: 10,
+        seq_bytes_per_item: 8,
+        rand_refs_per_item: p.rand_refs,
+        rand_region_base: 0x8000_0000,
+        rand_region_bytes: 1 << 20,
+        writes_per_item: 1,
+    };
+    let threads: Vec<ThreadWork> = p
+        .items
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| ThreadWork {
+            items: n,
+            seq_base: 0x1000_0000 + t as u64 * 8192,
+            rand_seed: t as u64,
+        })
+        .collect();
+    KernelDesc {
+        name: "prop".into(),
+        cta_threads: p.cta_threads,
+        regs_per_thread: 24,
+        shmem_per_cta: 0,
+        class: Arc::new(mk("prop-parent")),
+        source: ThreadSource::Explicit(Arc::new(threads)),
+        dp: Some(Arc::new(DpSpec {
+            child_class: Arc::new(mk("prop-child")),
+            child_cta_threads: p.child_cta_threads,
+            child_items_per_thread: p.items_per_thread,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 8,
+            default_threshold: p.threshold,
+            nested: None,
+        })),
+    }
+}
+
+fn run(p: &Program, spawn: bool) -> SimReport {
+    let cfg = GpuConfig::test_small();
+    let controller: Box<dyn dynapar::gpu::LaunchController> = if spawn {
+        Box::new(SpawnPolicy::from_config(&cfg))
+    } else {
+        Box::new(BaselineDp::new())
+    };
+    let mut sim = Simulation::new(cfg, controller);
+    sim.launch_host(build(p));
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_conserve_work(p in program_strategy()) {
+        let expected: u64 = p.items.iter().map(|&i| i as u64).sum();
+        let r = run(&p, false);
+        prop_assert_eq!(r.items_total(), expected);
+        let r = run(&p, true);
+        prop_assert_eq!(r.items_total(), expected);
+    }
+
+    #[test]
+    fn random_programs_are_deterministic(p in program_strategy()) {
+        let a = run(&p, true);
+        let b = run(&p, true);
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.child_kernels_launched, b.child_kernels_launched);
+    }
+
+    #[test]
+    fn cta_limit_never_violated(p in program_strategy()) {
+        let cfg = GpuConfig::test_small();
+        let max = cfg.max_concurrent_ctas();
+        let r = run(&p, false);
+        for (_, s) in &r.timeline {
+            prop_assert!(s.total_ctas() <= max);
+            prop_assert!(s.utilization >= 0.0 && s.utilization <= 1.0001);
+        }
+    }
+
+    #[test]
+    fn launch_accounting_balances(p in program_strategy()) {
+        let r = run(&p, false);
+        // Every candidate request resolves to exactly one of the paths.
+        prop_assert_eq!(
+            r.launch_requests,
+            r.child_kernels_launched + r.inlined_requests + r.aggregated_launches
+        );
+        // Offloaded work exists iff something was launched.
+        if r.child_kernels_launched == 0 && r.aggregated_launches == 0 {
+            prop_assert_eq!(r.items_child, 0);
+        }
+    }
+}

@@ -1,21 +1,25 @@
 //! Diagnostic dump: per-scheme internals for one benchmark
 //! (`--bench <name>` plus the usual `--scale`/`--seed`).
 
-use dynapar_bench::Options;
+use dynapar_bench::{usage_error, Options};
 use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let name = args
-        .iter()
-        .position(|a| a == "--bench")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BFS-graph500");
+    let (opts, rest) = Options::parse_known();
+    let mut name = "BFS-graph500".to_string();
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--bench" => match rest.next() {
+                Some(n) => name = n,
+                None => usage_error("--bench expects a benchmark name"),
+            },
+            other => usage_error(&format!("unknown argument {other:?} (diag adds --bench NAME)")),
+        }
+    }
     let cfg = opts.config();
-    let bench = suite::by_name(name, opts.scale, opts.seed).expect("known benchmark");
+    let bench = suite::by_name(&name, opts.scale, opts.seed).expect("known benchmark");
     println!(
         "# {} threads={} items={} spread={:?}",
         bench.name(),
@@ -23,14 +27,25 @@ fn main() {
         bench.total_items(),
         bench.workload_spread()
     );
+    let perf = |r: &dynapar_gpu::SimReport| {
+        format!(
+            "events={} wall={:.1}ms rate={:.0}ev/s",
+            r.events_processed,
+            r.wall_ms,
+            r.events_per_sec()
+        )
+    };
     let flat = bench.run_flat(&cfg);
     println!(
-        "flat    : cycles={} occ={:.2} l2={:.2}",
-        flat.total_cycles, flat.occupancy, flat.mem.l2_hit_rate()
+        "flat    : cycles={} occ={:.2} l2={:.2} {}",
+        flat.total_cycles,
+        flat.occupancy,
+        flat.mem.l2_hit_rate(),
+        perf(&flat)
     );
     let base = bench.run(&cfg, Box::new(BaselineDp::new()));
     println!(
-        "baseline: cycles={} (x{:.2}) kernels={} offload={:.2} qlat={:.0} occ={:.2} agg_ctas={}",
+        "baseline: cycles={} (x{:.2}) kernels={} offload={:.2} qlat={:.0} occ={:.2} agg_ctas={} {}",
         base.total_cycles,
         base.speedup_over(flat.total_cycles),
         base.child_kernels_launched,
@@ -38,6 +53,7 @@ fn main() {
         base.avg_child_queue_latency,
         base.occupancy,
         base.aggregated_ctas,
+        perf(&base),
     );
     for frac in dynapar_bench::SWEEP_FRACTIONS {
         let t = bench.threshold_for_offload(frac);
@@ -76,7 +92,7 @@ fn main() {
     let spawn_policy = SpawnPolicy::from_config(&cfg);
     let spawn = bench.run(&cfg, Box::new(spawn_policy));
     println!(
-        "spawn   : cycles={} (x{:.2}) kernels={} offload={:.2} qlat={:.0} occ={:.2} inlined={} requests={}",
+        "spawn   : cycles={} (x{:.2}) kernels={} offload={:.2} qlat={:.0} occ={:.2} inlined={} requests={} {}",
         spawn.total_cycles,
         spawn.speedup_over(flat.total_cycles),
         spawn.child_kernels_launched,
@@ -85,6 +101,7 @@ fn main() {
         spawn.occupancy,
         spawn.inlined_requests,
         spawn.launch_requests,
+        perf(&spawn),
     );
     println!("phase   : spawn parents end {}", parent_end(&spawn));
     let spawn_analysis = dynapar_core::LaunchAnalysis::of(&spawn);

@@ -17,7 +17,7 @@ fn main() {
         grid.push(bench.default_threshold());
         grid.sort_unstable();
         grid.dedup();
-        let sweep = offline::sweep(&grid, |policy| bench.run(&cfg, policy));
+        let sweep = offline::sweep_par(&grid, opts.jobs, |policy| bench.run(&cfg, policy));
         print!("{:<14}", bench.name());
         for p in sweep.points() {
             print!(

@@ -1,7 +1,7 @@
 //! Fig. 15: speedup of Baseline-DP, Offline-Search, and SPAWN over the
 //! flat (non-DP) implementation, per benchmark plus geometric mean.
 
-use dynapar_bench::{fmt2, print_header, print_row, run_schemes, Options};
+use dynapar_bench::{fmt2, print_header, print_row, run_suite_schemes, Options};
 use dynapar_workloads::suite::geomean;
 
 fn main() {
@@ -13,8 +13,7 @@ fn main() {
     let mut base = Vec::new();
     let mut offl = Vec::new();
     let mut spawn = Vec::new();
-    for bench in opts.suite() {
-        let runs = run_schemes(&bench, &cfg);
+    for runs in run_suite_schemes(&opts.suite(), &cfg, opts.jobs) {
         let (b, o, s) = runs.speedups();
         base.push(b);
         offl.push(o);

@@ -1,6 +1,6 @@
 //! Fig. 16: SMX occupancy under Baseline-DP, Offline-Search, and SPAWN.
 
-use dynapar_bench::{pct, print_header, print_row, run_schemes, Options};
+use dynapar_bench::{pct, print_header, print_row, run_suite_schemes, Options};
 
 fn main() {
     let opts = Options::from_args();
@@ -10,8 +10,7 @@ fn main() {
     print_header(&["benchmark", "Flat", "Baseline-DP", "Offline-Search", "SPAWN"], &widths);
     let mut sums = [0.0f64; 3];
     let mut n = 0u32;
-    for bench in opts.suite() {
-        let runs = run_schemes(&bench, &cfg);
+    for runs in run_suite_schemes(&opts.suite(), &cfg, opts.jobs) {
         let (b, o, s) = (
             runs.baseline.occupancy,
             runs.offline_best().occupancy,

@@ -1,7 +1,7 @@
 //! Fig. 18: number of child kernels launched under Baseline-DP,
 //! Offline-Search, and SPAWN.
 
-use dynapar_bench::{print_header, print_row, run_schemes, Options};
+use dynapar_bench::{print_header, print_row, run_suite_schemes, Options};
 
 fn main() {
     let opts = Options::from_args();
@@ -11,8 +11,7 @@ fn main() {
     print_header(&["benchmark", "Baseline-DP", "Offline-Search", "SPAWN"], &widths);
     let mut base_total = 0u64;
     let mut spawn_total = 0u64;
-    for bench in opts.suite() {
-        let runs = run_schemes(&bench, &cfg);
+    for runs in run_suite_schemes(&opts.suite(), &cfg, opts.jobs) {
         base_total += runs.baseline.child_kernels_launched;
         spawn_total += runs.spawn.child_kernels_launched;
         print_row(

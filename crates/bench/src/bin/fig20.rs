@@ -33,7 +33,7 @@ fn main() {
     grid.push(bench.default_threshold());
     grid.sort_unstable();
     grid.dedup();
-    let sweep = offline::sweep(&grid, |policy| bench.run(&cfg, policy));
+    let sweep = offline::sweep_par(&grid, opts.jobs, |policy| bench.run(&cfg, policy));
     series("Offline-Search", &sweep.best().report);
     let spawn = bench.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
     series("SPAWN", &spawn);

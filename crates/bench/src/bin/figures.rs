@@ -10,19 +10,25 @@ use std::fs;
 use std::path::PathBuf;
 
 use dynapar_bench::svg::{BarChart, LineChart};
-use dynapar_bench::{run_schemes, Options, SWEEP_FRACTIONS};
+use dynapar_bench::{run_suite_schemes, usage_error, Options, SWEEP_FRACTIONS};
 use dynapar_core::{offline, BaselineDp, SpawnPolicy};
 use dynapar_gpu::SimReport;
 use dynapar_workloads::suite;
 
-fn out_dir() -> PathBuf {
-    let args: Vec<String> = std::env::args().collect();
-    let dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+/// Consumes `--out DIR` from the leftovers; any other leftover argument
+/// is an error.
+fn out_dir(rest: Vec<String>) -> PathBuf {
+    let mut dir = PathBuf::from("results");
+    let mut args = rest.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => usage_error("--out expects a directory"),
+            },
+            other => usage_error(&format!("unknown argument {other:?} (figures adds --out DIR)")),
+        }
+    }
     fs::create_dir_all(&dir).expect("create output directory");
     dir
 }
@@ -44,9 +50,9 @@ fn timeline_series(r: &SimReport) -> (Series, Series) {
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, rest) = Options::parse_known();
     let cfg = opts.config();
-    let dir = out_dir();
+    let dir = out_dir(rest);
     let mut written = Vec::new();
 
     // --- Fig. 15 / 18: run the three schemes across the suite once. ---
@@ -57,8 +63,7 @@ fn main() {
     let mut base_kernels = Vec::new();
     let mut offl_kernels = Vec::new();
     let mut spawn_kernels = Vec::new();
-    for bench in opts.suite() {
-        let runs = run_schemes(&bench, &cfg);
+    for runs in run_suite_schemes(&opts.suite(), &cfg, opts.jobs) {
         let (b, o, s) = runs.speedups();
         cats.push(runs.name.clone());
         base_speedup.push(b);
@@ -101,7 +106,7 @@ fn main() {
         grid.push(bench.default_threshold());
         grid.sort_unstable();
         grid.dedup();
-        let sweep = offline::sweep(&grid, |policy| bench.run(&cfg, policy));
+        let sweep = offline::sweep_par(&grid, opts.jobs, |policy| bench.run(&cfg, policy));
         let mut pts: Vec<(f64, f64)> = sweep
             .points()
             .iter()

@@ -1,0 +1,92 @@
+//! Simulator throughput harness: runs a handful of representative
+//! benchmark × scheme pairs and reports events/sec for each, plus an
+//! aggregate. Replaces the old criterion benches with something that
+//! builds offline and prints numbers suitable for EXPERIMENTS.md.
+//!
+//! Runs are serial by default so the wall-clock of one simulation is
+//! not polluted by siblings competing for cores; pass `--jobs N` to
+//! measure aggregate throughput with the parallel runner instead.
+
+use dynapar_bench::{usage_error, Options};
+use dynapar_core::{BaselineDp, SpawnPolicy};
+use dynapar_engine::par::par_map;
+use dynapar_gpu::SimReport;
+use dynapar_workloads::suite;
+
+fn main() {
+    let (mut opts, rest) = Options::parse_known();
+    let mut serial = true;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            // --jobs is already consumed by Options; this extra flag
+            // only switches perf from its serial default to the pool.
+            "--parallel" => serial = false,
+            other => {
+                usage_error(&format!("unknown argument {other:?} (perf adds --parallel)"))
+            }
+        }
+    }
+    if serial {
+        opts.jobs = 1;
+    }
+    let cfg = opts.config();
+    let names = ["BFS-graph500", "AMR", "SA-thaliana", "MM-small"];
+    let benches: Vec<_> = names
+        .iter()
+        .map(|n| suite::by_name(n, opts.scale, opts.seed).expect("known benchmark"))
+        .collect();
+    type Job<'a> = (String, Box<dyn Fn() -> SimReport + Send + Sync + 'a>);
+    let mut jobs: Vec<Job> = Vec::new();
+    for b in &benches {
+        let cfg = &cfg;
+        jobs.push((format!("{}/flat", b.name()), Box::new(move || b.run_flat(cfg))));
+        jobs.push((
+            format!("{}/baseline", b.name()),
+            Box::new(move || b.run(cfg, Box::new(BaselineDp::new()))),
+        ));
+        jobs.push((
+            format!("{}/spawn", b.name()),
+            Box::new(move || b.run(cfg, Box::new(SpawnPolicy::from_config(cfg)))),
+        ));
+    }
+    println!(
+        "# perf (scale {:?}, seed {}, jobs {})",
+        opts.scale, opts.seed, opts.jobs
+    );
+    println!("{:<28} {:>12} {:>10} {:>12}", "run", "events", "wall_ms", "events/sec");
+    let started = std::time::Instant::now();
+    let reports = par_map(jobs, opts.jobs, |(label, job)| (label, job()));
+    let harness_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut total_events = 0u64;
+    let mut total_ms = 0.0f64;
+    for (label, r) in &reports {
+        println!(
+            "{:<28} {:>12} {:>10.1} {:>12.0}",
+            label,
+            r.events_processed,
+            r.wall_ms,
+            r.events_per_sec()
+        );
+        total_events += r.events_processed;
+        total_ms += r.wall_ms;
+    }
+    let sim_rate = if total_ms > 0.0 {
+        total_events as f64 / (total_ms / 1e3)
+    } else {
+        0.0
+    };
+    let wall_rate = if harness_ms > 0.0 {
+        total_events as f64 / (harness_ms / 1e3)
+    } else {
+        0.0
+    };
+    println!(
+        "{:<28} {:>12} {:>10.1} {:>12.0}",
+        "TOTAL (in-sim)", total_events, total_ms, sim_rate
+    );
+    println!(
+        "{:<28} {:>12} {:>10.1} {:>12.0}",
+        "TOTAL (harness wall)", total_events, harness_ms, wall_rate
+    );
+}

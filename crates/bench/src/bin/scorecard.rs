@@ -7,8 +7,10 @@
 
 use std::process::ExitCode;
 
-use dynapar_bench::{fmt2, run_schemes, Options};
+use dynapar_bench::{fmt2, run_suite_schemes, Options};
 use dynapar_core::{AlwaysLaunch, BaselineDp, Dtbl, SpawnPolicy};
+use dynapar_engine::par::par_map;
+use dynapar_gpu::SimReport;
 use dynapar_workloads::suite::{self, geomean};
 use dynapar_workloads::Scale;
 
@@ -55,8 +57,8 @@ fn main() -> ExitCode {
     let mut occ_spawn = 0.0;
     let mut kernels_base = 0u64;
     let mut kernels_spawn = 0u64;
-    for bench in opts.suite() {
-        let runs = run_schemes(&bench, &cfg);
+    // One flat job list across the whole benchmark × scheme matrix.
+    for runs in run_suite_schemes(&opts.suite(), &cfg, opts.jobs) {
         let (b, o, s) = runs.speedups();
         base.push(b);
         offl.push(o);
@@ -111,10 +113,39 @@ fn main() -> ExitCode {
     );
 
     // ---- Per-benchmark dichotomies (Fig. 5 / Observations 2-3). ----
+    // These one-off runs are independent simulations too: dispatch them
+    // as a single job list through par_map and take results positionally.
     let amr = suite::by_name("AMR", opts.scale, opts.seed).expect("known");
-    let amr_flat = amr.run_flat(&cfg);
-    let amr_all = amr.run(&cfg, Box::new(AlwaysLaunch::new()));
-    let amr_spawn = amr.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
+    let sa = suite::by_name("SA-thaliana", opts.scale, opts.seed).expect("known");
+    let ju = suite::by_name("JOIN-uniform", opts.scale, opts.seed).expect("known");
+    let sssp = suite::by_name("SSSP-graph500", opts.scale, opts.seed).expect("known");
+    use dynapar_workloads::apps::{bfs::levels, GraphInput};
+    let bfs = |opts: &Options, cfg, controller| {
+        levels::run(GraphInput::Graph500, opts.scale, opts.seed, cfg, controller)
+    };
+    type Job<'a> = Box<dyn Fn() -> SimReport + Send + Sync + 'a>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| amr.run_flat(&cfg)),
+        Box::new(|| amr.run(&cfg, Box::new(AlwaysLaunch::new()))),
+        Box::new(|| amr.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)))),
+        Box::new(|| sa.run_flat(&cfg)),
+        Box::new(|| sa.run(&cfg, Box::new(BaselineDp::new()))),
+        Box::new(|| ju.run_flat(&cfg)),
+        Box::new(|| ju.run(&cfg, Box::new(BaselineDp::new()))),
+        Box::new(|| sssp.run_flat(&cfg)),
+        Box::new(|| sssp.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)))),
+        Box::new(|| sssp.run(&cfg, Box::new(Dtbl::new()))),
+        Box::new(|| bfs(&opts, &cfg, Box::new(dynapar_gpu::InlineAll))),
+        Box::new(|| bfs(&opts, &cfg, Box::new(BaselineDp::new()))),
+        Box::new(|| bfs(&opts, &cfg, Box::new(SpawnPolicy::from_config(&cfg)))),
+    ];
+    let mut reports = par_map(jobs, opts.jobs, |job| job()).into_iter();
+    let mut next = || reports.next().expect("one report per job");
+    let (amr_flat, amr_all, amr_spawn) = (next(), next(), next());
+    let (sa_flat, sa_dp) = (next(), next());
+    let (ju_flat, ju_dp) = (next(), next());
+    let (sssp_flat, sssp_spawn, sssp_dtbl) = (next(), next(), next());
+    let (bfs_flat, bfs_base, bfs_spawn) = (next(), next(), next());
     card.check(
         true,
         amr_all.total_cycles > amr_flat.total_cycles,
@@ -134,9 +165,6 @@ fn main() -> ExitCode {
         ),
     );
 
-    let sa = suite::by_name("SA-thaliana", opts.scale, opts.seed).expect("known");
-    let sa_flat = sa.run_flat(&cfg);
-    let sa_dp = sa.run(&cfg, Box::new(BaselineDp::new()));
     card.check(
         true,
         sa_dp.total_cycles < sa_flat.total_cycles,
@@ -144,9 +172,6 @@ fn main() -> ExitCode {
         format!("dp {} vs flat {}", sa_dp.total_cycles, sa_flat.total_cycles),
     );
 
-    let ju = suite::by_name("JOIN-uniform", opts.scale, opts.seed).expect("known");
-    let ju_flat = ju.run_flat(&cfg);
-    let ju_dp = ju.run(&cfg, Box::new(BaselineDp::new()));
     card.check(
         true,
         ju_dp.total_cycles == ju_flat.total_cycles,
@@ -155,10 +180,6 @@ fn main() -> ExitCode {
     );
 
     // ---- DTBL comparison directions (Fig. 21). ----
-    let sssp = suite::by_name("SSSP-graph500", opts.scale, opts.seed).expect("known");
-    let sssp_flat = sssp.run_flat(&cfg);
-    let sssp_spawn = sssp.run(&cfg, Box::new(SpawnPolicy::from_config(&cfg)));
-    let sssp_dtbl = sssp.run(&cfg, Box::new(Dtbl::new()));
     card.check(
         false,
         sssp_dtbl.total_cycles <= sssp_spawn.total_cycles,
@@ -171,40 +192,16 @@ fn main() -> ExitCode {
     );
 
     // ---- Multi-kernel headline (level-synchronous BFS). ----
-    {
-        use dynapar_workloads::apps::{bfs::levels, GraphInput};
-        let flat = levels::run(
-            GraphInput::Graph500,
-            opts.scale,
-            opts.seed,
-            &cfg,
-            Box::new(dynapar_gpu::InlineAll),
-        );
-        let b = levels::run(
-            GraphInput::Graph500,
-            opts.scale,
-            opts.seed,
-            &cfg,
-            Box::new(BaselineDp::new()),
-        );
-        let s = levels::run(
-            GraphInput::Graph500,
-            opts.scale,
-            opts.seed,
-            &cfg,
-            Box::new(SpawnPolicy::from_config(&cfg)),
-        );
-        card.check(
-            false,
-            s.total_cycles < b.total_cycles,
-            "level-BFS: SPAWN beats baseline (warm metrics across levels)",
-            format!(
-                "spawn {:.2}x vs baseline {:.2}x",
-                flat.total_cycles as f64 / s.total_cycles as f64,
-                flat.total_cycles as f64 / b.total_cycles as f64
-            ),
-        );
-    }
+    card.check(
+        false,
+        bfs_spawn.total_cycles < bfs_base.total_cycles,
+        "level-BFS: SPAWN beats baseline (warm metrics across levels)",
+        format!(
+            "spawn {:.2}x vs baseline {:.2}x",
+            bfs_flat.total_cycles as f64 / bfs_spawn.total_cycles as f64,
+            bfs_flat.total_cycles as f64 / bfs_base.total_cycles as f64
+        ),
+    );
 
     println!(
         "# scorecard: {} hard failures, {} warnings",

@@ -2,7 +2,7 @@
 //! seeds, to show the reproduction's conclusions do not hinge on one
 //! synthetic-input draw.
 
-use dynapar_bench::{fmt2, print_header, print_row, run_schemes, Options};
+use dynapar_bench::{fmt2, print_header, print_row, run_suite_schemes, Options};
 use dynapar_workloads::suite::{self, geomean};
 
 fn main() {
@@ -21,8 +21,7 @@ fn main() {
         let mut base = Vec::new();
         let mut offl = Vec::new();
         let mut spawn = Vec::new();
-        for bench in suite::all(opts.scale, seed) {
-            let runs = run_schemes(&bench, &cfg);
+        for runs in run_suite_schemes(&suite::all(opts.scale, seed), &cfg, opts.jobs) {
             let (b, o, s) = runs.speedups();
             base.push(b);
             offl.push(o);

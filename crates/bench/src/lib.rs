@@ -6,14 +6,22 @@
 //! `EXPERIMENTS.md` for recorded results).
 //!
 //! Each binary prints machine-grep-friendly rows to stdout. Common CLI:
-//! `--scale tiny|small|paper` (default `paper`) and `--seed N`.
+//! `--scale tiny|small|paper` (default `paper`), `--seed N`, and
+//! `--jobs N` (worker threads for independent simulations; defaults to
+//! `DYNAPAR_JOBS` or the machine's core count).
+//!
+//! Every simulation is single-threaded and deterministic; `--jobs` only
+//! fans *independent* runs (schemes × benchmarks × thresholds) across
+//! cores via [`par_map`], so all outputs are bit-identical for any job
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod svg;
 
-use dynapar_core::{offline, BaselineDp, SpawnPolicy, SweepResult};
+use dynapar_core::{offline::SweepPoint, BaselineDp, SpawnPolicy, SweepResult};
+use dynapar_engine::par::{default_jobs, par_map};
 use dynapar_gpu::{GpuConfig, SimReport};
 use dynapar_workloads::{suite, Benchmark, Scale};
 
@@ -54,28 +62,142 @@ impl SchemeRuns {
     }
 }
 
-/// Runs a benchmark under flat, Baseline-DP, the Offline-Search sweep and
-/// SPAWN, with identical configuration.
-pub fn run_schemes(bench: &Benchmark, cfg: &GpuConfig) -> SchemeRuns {
-    let flat = bench.run_flat(cfg);
-    let baseline = bench.run(cfg, Box::new(BaselineDp::new()));
-    // Exhaustive static search: the offload-fraction grid plus the
-    // application's own threshold and the launch-everything extreme, so
-    // Offline-Search can never lose to Baseline-DP by grid omission.
+/// One independent simulation of the scheme comparison: which policy to
+/// run a benchmark under. A [`SchemeRuns`] is the result of one job per
+/// variant of this enum (with one `Threshold` job per sweep grid point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeJob {
+    /// Flat (non-DP) run — the normalization baseline.
+    Flat,
+    /// Baseline-DP with the application's own `THRESHOLD`.
+    Baseline,
+    /// One Offline-Search sweep point at this fixed threshold.
+    Threshold(u32),
+    /// SPAWN.
+    Spawn,
+}
+
+/// The Offline-Search threshold grid for one benchmark: the
+/// offload-fraction grid plus the application's own threshold and the
+/// launch-everything extreme, so Offline-Search can never lose to
+/// Baseline-DP by grid omission.
+pub fn sweep_grid(bench: &Benchmark) -> Vec<u32> {
     let mut grid = bench.threshold_grid(&SWEEP_FRACTIONS);
     grid.push(bench.default_threshold());
     grid.push(0);
     grid.sort_unstable();
     grid.dedup();
-    let sweep = offline::sweep(&grid, |policy| bench.run(cfg, policy));
-    let spawn = bench.run(cfg, Box::new(SpawnPolicy::from_config(cfg)));
+    grid
+}
+
+/// The full job list for one benchmark's scheme comparison, in the order
+/// [`collect_schemes`] expects its reports back.
+pub fn scheme_jobs(bench: &Benchmark) -> Vec<SchemeJob> {
+    let mut jobs = vec![SchemeJob::Flat, SchemeJob::Baseline];
+    jobs.extend(sweep_grid(bench).into_iter().map(SchemeJob::Threshold));
+    jobs.push(SchemeJob::Spawn);
+    jobs
+}
+
+/// Runs one scheme job to completion (one full simulation).
+pub fn run_scheme_job(bench: &Benchmark, cfg: &GpuConfig, job: SchemeJob) -> SimReport {
+    match job {
+        SchemeJob::Flat => bench.run_flat(cfg),
+        SchemeJob::Baseline => bench.run(cfg, Box::new(BaselineDp::new())),
+        SchemeJob::Threshold(t) => {
+            bench.run(cfg, Box::new(dynapar_core::FixedThreshold::new(t)))
+        }
+        SchemeJob::Spawn => bench.run(cfg, Box::new(SpawnPolicy::from_config(cfg))),
+    }
+}
+
+/// Reassembles the reports of one benchmark's [`scheme_jobs`] (in job
+/// order) into a [`SchemeRuns`].
+///
+/// # Panics
+///
+/// Panics if `reports` does not match the job list shape.
+fn collect_schemes(bench: &Benchmark, jobs: &[SchemeJob], reports: Vec<SimReport>) -> SchemeRuns {
+    assert_eq!(jobs.len(), reports.len(), "one report per job");
+    let mut flat = None;
+    let mut baseline = None;
+    let mut spawn = None;
+    let mut points = Vec::new();
+    for (job, report) in jobs.iter().zip(reports) {
+        match *job {
+            SchemeJob::Flat => flat = Some(report),
+            SchemeJob::Baseline => baseline = Some(report),
+            SchemeJob::Threshold(threshold) => points.push(SweepPoint { threshold, report }),
+            SchemeJob::Spawn => spawn = Some(report),
+        }
+    }
     SchemeRuns {
         name: bench.name().to_string(),
-        flat,
-        baseline,
-        sweep,
-        spawn,
+        flat: flat.expect("job list contains Flat"),
+        baseline: baseline.expect("job list contains Baseline"),
+        sweep: SweepResult::from_points(points),
+        spawn: spawn.expect("job list contains Spawn"),
     }
+}
+
+/// Runs a benchmark under flat, Baseline-DP, the Offline-Search sweep and
+/// SPAWN, with identical configuration, fanning the independent
+/// simulations across up to `jobs` worker threads. Results are
+/// bit-identical for any `jobs` value.
+pub fn run_schemes(bench: &Benchmark, cfg: &GpuConfig, jobs: usize) -> SchemeRuns {
+    let list = scheme_jobs(bench);
+    let reports = par_map(list.clone(), jobs, |job| run_scheme_job(bench, cfg, job));
+    collect_schemes(bench, &list, reports)
+}
+
+/// Runs the scheme comparison for every benchmark, flattening the whole
+/// `benchmark × scheme` matrix into one job list so the worker pool stays
+/// saturated across benchmark boundaries (a per-benchmark fan-out would
+/// stall on each benchmark's slowest run).
+pub fn run_suite_schemes(benches: &[Benchmark], cfg: &GpuConfig, jobs: usize) -> Vec<SchemeRuns> {
+    let per_bench: Vec<Vec<SchemeJob>> = benches.iter().map(scheme_jobs).collect();
+    let flat_jobs: Vec<(usize, SchemeJob)> = per_bench
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, list)| list.iter().map(move |&j| (bi, j)))
+        .collect();
+    let mut reports: Vec<std::collections::VecDeque<SimReport>> =
+        benches.iter().map(|_| std::collections::VecDeque::new()).collect();
+    for ((bi, _), report) in flat_jobs
+        .iter()
+        .zip(par_map(flat_jobs.clone(), jobs, |(bi, job)| {
+            run_scheme_job(&benches[bi], cfg, job)
+        }))
+    {
+        reports[*bi].push_back(report);
+    }
+    benches
+        .iter()
+        .zip(per_bench)
+        .zip(reports)
+        .map(|((bench, list), r)| collect_schemes(bench, &list, r.into()))
+        .collect()
+}
+
+/// Name of the running harness binary, for error messages.
+pub fn binary_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem())
+        .and_then(|s| s.to_str())
+        .map(str::to_string)
+        .unwrap_or_else(|| "dynapar-bench".to_string())
+}
+
+/// Prints `msg` (prefixed with the binary's name) plus the shared usage
+/// line to stderr and exits with status 2.
+pub fn usage_error(msg: &str) -> ! {
+    let bin = binary_name();
+    eprintln!("{bin}: error: {msg}");
+    eprintln!("{bin}: shared flags: [--scale tiny|small|paper] [--seed N] [--jobs N]");
+    std::process::exit(2)
 }
 
 /// CLI options shared by every harness binary.
@@ -85,6 +207,9 @@ pub struct Options {
     pub scale: Scale,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads for independent simulations ([`par_map`]'s fan-out;
+    /// never parallelism inside one simulation).
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -92,44 +217,74 @@ impl Default for Options {
         Options {
             scale: Scale::Paper,
             seed: suite::DEFAULT_SEED,
+            jobs: default_jobs(),
         }
     }
 }
 
 impl Options {
-    /// Parses `--scale` / `--seed` from the process arguments; unknown
-    /// arguments are ignored so binaries can add their own.
+    /// Parses `--scale` / `--seed` / `--jobs` from the process arguments.
+    /// Any argument not recognized here is an error: binaries that add
+    /// their own flags must use [`Options::parse_known`] and reject the
+    /// leftovers they don't consume.
     ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on a malformed value.
+    /// On a malformed or unknown argument, prints a usage message naming
+    /// the binary and exits with status 2.
     pub fn from_args() -> Self {
+        let (opts, rest) = Self::parse_known();
+        if let Some(unknown) = rest.first() {
+            usage_error(&format!("unknown argument {unknown:?}"));
+        }
+        opts
+    }
+
+    /// Parses the shared flags from the process arguments, returning the
+    /// unrecognized arguments in order for the binary's own parsing.
+    /// Exits (status 2, naming the binary) on a malformed shared flag.
+    pub fn parse_known() -> (Self, Vec<String>) {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(pair) => pair,
+            Err(msg) => usage_error(&msg),
+        }
+    }
+
+    /// Pure parser behind [`Options::from_args`] / [`Options::parse_known`]:
+    /// consumes the shared flags from `args`, returns the leftovers.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(Self, Vec<String>), String> {
         let mut opts = Options::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
+        let mut rest = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
                 "--scale" => {
-                    i += 1;
-                    opts.scale = match args.get(i).map(String::as_str) {
+                    opts.scale = match args.next().as_deref() {
                         Some("tiny") => Scale::Tiny,
                         Some("small") => Scale::Small,
                         Some("paper") => Scale::Paper,
-                        other => panic!("--scale expects tiny|small|paper, got {other:?}"),
+                        other => {
+                            return Err(format!("--scale expects tiny|small|paper, got {other:?}"))
+                        }
                     };
                 }
                 "--seed" => {
-                    i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed expects an integer");
+                    let v = args.next().ok_or("--seed expects an integer")?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
                 }
-                _ => {}
+                "--jobs" => {
+                    let v = args.next().ok_or("--jobs expects a positive integer")?;
+                    opts.jobs = match v.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            return Err(format!("--jobs expects a positive integer, got {v:?}"))
+                        }
+                    };
+                }
+                _ => rest.push(arg),
             }
-            i += 1;
         }
-        opts
+        Ok((opts, rest))
     }
 
     /// Builds the Table II configuration for this run.
@@ -181,7 +336,7 @@ mod tests {
     fn scheme_runs_have_consistent_work() {
         let cfg = GpuConfig::test_small();
         let bench = suite::by_name("GC-citation", Scale::Tiny, 1).expect("known");
-        let runs = run_schemes(&bench, &cfg);
+        let runs = run_schemes(&bench, &cfg, 1);
         let t = runs.flat.items_total();
         assert_eq!(runs.baseline.items_total(), t);
         assert_eq!(runs.spawn.items_total(), t);
@@ -206,8 +361,59 @@ mod tests {
         let o = Options::default();
         assert_eq!(o.scale, Scale::Paper);
         assert_eq!(o.seed, suite::DEFAULT_SEED);
+        assert!(o.jobs >= 1);
         assert_eq!(o.config().smx_count, 13);
         assert_eq!(o.suite().len(), 13);
+    }
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_consumes_shared_flags_and_returns_leftovers() {
+        let (o, rest) = Options::parse(v(&[
+            "--bench", "SSSP-road", "--scale", "tiny", "--jobs", "3", "--out", "x.svg", "--seed",
+            "9",
+        ]))
+        .expect("valid");
+        assert_eq!(o.scale, Scale::Tiny);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(rest, v(&["--bench", "SSSP-road", "--out", "x.svg"]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values() {
+        assert!(Options::parse(v(&["--scale", "huge"])).is_err());
+        assert!(Options::parse(v(&["--scale"])).is_err());
+        assert!(Options::parse(v(&["--seed", "abc"])).is_err());
+        assert!(Options::parse(v(&["--jobs", "0"])).is_err());
+        assert!(Options::parse(v(&["--jobs", "-2"])).is_err());
+        assert!(Options::parse(v(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn suite_schemes_match_per_bench_runs() {
+        let cfg = GpuConfig::test_small();
+        let benches: Vec<Benchmark> = ["GC-citation", "MM-small"]
+            .iter()
+            .map(|n| suite::by_name(n, Scale::Tiny, 1).expect("known"))
+            .collect();
+        let all = run_suite_schemes(&benches, &cfg, 2);
+        assert_eq!(all.len(), 2);
+        for (bench, got) in benches.iter().zip(&all) {
+            let solo = run_schemes(bench, &cfg, 1);
+            assert_eq!(got.name, solo.name);
+            assert_eq!(got.flat.total_cycles, solo.flat.total_cycles);
+            assert_eq!(got.baseline.total_cycles, solo.baseline.total_cycles);
+            assert_eq!(got.spawn.total_cycles, solo.spawn.total_cycles);
+            assert_eq!(got.sweep.points().len(), solo.sweep.points().len());
+            for (a, b) in got.sweep.points().iter().zip(solo.sweep.points()) {
+                assert_eq!(a.threshold, b.threshold);
+                assert_eq!(a.report.total_cycles, b.report.total_cycles);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Parallel dispatch must not change results: running the scheme matrix
+//! with `jobs = 8` has to produce byte-identical reports to `jobs = 1`.
+//!
+//! `wall_ms` is the one deliberately nondeterministic field (host timing),
+//! so the canonical form zeroes it before comparing Debug renderings.
+
+use dynapar_bench::run_schemes;
+use dynapar_gpu::{GpuConfig, SimReport};
+use dynapar_workloads::{suite, Scale};
+
+/// Renders a report with the nondeterministic wall-clock field zeroed.
+fn canonical(r: &SimReport) -> String {
+    let mut r = r.clone();
+    r.wall_ms = 0.0;
+    format!("{r:?}")
+}
+
+#[test]
+fn jobs_eight_matches_jobs_one() {
+    let cfg = GpuConfig::kepler_k20m();
+    for name in ["GC-citation", "MM-small"] {
+        let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+        let serial = run_schemes(&bench, &cfg, 1);
+        let parallel = run_schemes(&bench, &cfg, 8);
+        assert_eq!(serial.name, parallel.name);
+        assert_eq!(canonical(&serial.flat), canonical(&parallel.flat), "{name} flat");
+        assert_eq!(
+            canonical(&serial.baseline),
+            canonical(&parallel.baseline),
+            "{name} baseline"
+        );
+        assert_eq!(
+            canonical(&serial.spawn),
+            canonical(&parallel.spawn),
+            "{name} spawn"
+        );
+        let sp = serial.sweep.points();
+        let pp = parallel.sweep.points();
+        assert_eq!(sp.len(), pp.len(), "{name} sweep length");
+        for (s, p) in sp.iter().zip(pp) {
+            assert_eq!(s.threshold, p.threshold, "{name} sweep order");
+            assert_eq!(
+                canonical(&s.report),
+                canonical(&p.report),
+                "{name} sweep threshold {}",
+                s.threshold
+            );
+        }
+    }
+}

@@ -133,6 +133,9 @@ pub struct Cli {
     pub scale: Scale,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads for multi-simulation subcommands (sweep,
+    /// compare, suite). Each simulation stays single-threaded.
+    pub jobs: usize,
 }
 
 /// Usage text.
@@ -152,6 +155,8 @@ USAGE:
 
 POLICIES:  flat | baseline | spawn | dtbl | always | adaptive | freelaunch | threshold:N
 OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
+           --jobs N (worker threads for sweep/compare/suite;
+           default: DYNAPAR_JOBS or the CPU count)
 BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
 ";
 
@@ -174,6 +179,7 @@ fn take_value<'a>(
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut scale = Scale::Paper;
     let mut seed = dynapar_workloads::suite::DEFAULT_SEED;
+    let mut jobs = dynapar_engine::par::default_jobs();
     let mut bench: Option<String> = None;
     let mut policy: Option<PolicyArg> = None;
     let mut trace: Option<usize> = None;
@@ -199,6 +205,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 seed = take_value(args, &mut i, "--seed")?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--jobs" => {
+                jobs = take_value(args, &mut i, "--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             "--bench" => bench = Some(take_value(args, &mut i, "--bench")?.to_string()),
             "--policy" => policy = Some(PolicyArg::parse(take_value(args, &mut i, "--policy")?)?),
@@ -263,6 +277,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         command,
         scale,
         seed,
+        jobs,
     })
 }
 
@@ -314,6 +329,16 @@ mod tests {
         assert!(parse(&v(&["frobnicate"])).is_err());
         assert!(parse(&v(&["run", "--wat"])).is_err());
         assert!(parse(&v(&["run", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn jobs_flag() {
+        let cli = parse(&v(&["suite", "--policy", "spawn", "--jobs", "4"])).expect("valid");
+        assert_eq!(cli.jobs, 4);
+        assert!(parse(&v(&["suite", "--policy", "spawn", "--jobs", "0"])).is_err());
+        assert!(parse(&v(&["suite", "--policy", "spawn", "--jobs", "many"])).is_err());
+        let cli = parse(&v(&["list"])).expect("valid");
+        assert!(cli.jobs >= 1);
     }
 
     #[test]

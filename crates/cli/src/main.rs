@@ -19,6 +19,7 @@ use dynapar_core::{
     offline, AdaptiveThreshold, AlwaysLaunch, BaselineDp, Dtbl, FixedThreshold, FreeLaunch,
     SpawnPolicy,
 };
+use dynapar_engine::par::par_map;
 use dynapar_gpu::{GpuConfig, LaunchController, SimReport};
 use dynapar_workloads::{suite, Benchmark};
 
@@ -150,16 +151,20 @@ fn exec(cli: Cli) -> Result<(), String> {
             let b = get_bench(bench, &cli)?;
             let flat = b.run_flat(&cfg);
             summarize("flat", &flat, None);
-            for p in [
+            let policies = vec![
                 PolicyArg::Baseline,
                 PolicyArg::Spawn,
                 PolicyArg::Dtbl,
                 PolicyArg::Always,
                 PolicyArg::Adaptive,
                 PolicyArg::FreeLaunch,
-            ] {
+            ];
+            let runs = par_map(policies, cli.jobs, |p| {
                 let r = b.run(&cfg, controller(&p, &cfg, &b));
-                summarize(&p.label(), &r, Some(flat.total_cycles));
+                (p, r)
+            });
+            for (p, r) in &runs {
+                summarize(&p.label(), r, Some(flat.total_cycles));
             }
         }
         Command::Sweep { bench, points } => {
@@ -172,7 +177,7 @@ fn exec(cli: Cli) -> Result<(), String> {
             grid.push(b.default_threshold());
             grid.sort_unstable();
             grid.dedup();
-            let sweep = offline::sweep(&grid, |policy| b.run(&cfg, policy));
+            let sweep = offline::sweep_par(&grid, cli.jobs, |policy| b.run(&cfg, policy));
             println!("{:>10} {:>9} {:>8} {:>9}", "THRESHOLD", "offload%", "speedup", "kernels");
             for p in sweep.points() {
                 println!(
@@ -193,14 +198,17 @@ fn exec(cli: Cli) -> Result<(), String> {
         Command::Suite { policy } => {
             println!("{:<15} {:>9} {:>9}", "benchmark", policy.label(), "kernels");
             let mut speedups = Vec::new();
-            for b in suite::all(cli.scale, cli.seed) {
+            let runs = par_map(suite::all(cli.scale, cli.seed), cli.jobs, |b| {
                 let flat = b.run_flat(&cfg);
                 let r = b.run(&cfg, controller(policy, &cfg, &b));
+                (b.name().to_string(), flat, r)
+            });
+            for (name, flat, r) in &runs {
                 let s = r.speedup_over(flat.total_cycles);
                 speedups.push(s);
                 println!(
                     "{:<15} {:>8.2}x {:>9}",
-                    b.name(),
+                    name,
                     s,
                     r.child_kernels_launched
                 );

@@ -86,7 +86,7 @@ pub use analysis::LaunchAnalysis;
 pub use ccqs::Ccqs;
 pub use dtbl::Dtbl;
 pub use free_launch::FreeLaunch;
-pub use offline::{sweep, SweepPoint, SweepResult};
+pub use offline::{sweep, sweep_par, SweepPoint, SweepResult};
 pub use policies::{AlwaysLaunch, BaselineDp, FixedThreshold};
 pub use spawn::{SpawnPolicy, SpawnStats};
 

@@ -33,6 +33,18 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
+    /// Builds a result from already-simulated points (the parallel runner
+    /// produces points with [`par_map`](dynapar_engine::par::par_map) and
+    /// assembles them here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        assert!(!points.is_empty(), "sweep must contain at least one point");
+        SweepResult { points }
+    }
+
     /// All points, in the order swept.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
@@ -110,6 +122,29 @@ where
     SweepResult { points }
 }
 
+/// [`sweep`] across up to `jobs` worker threads.
+///
+/// Each threshold's simulation is independent, so the points (and thus
+/// the sweep result) are bit-identical to the serial [`sweep`] for any
+/// `jobs` value; `jobs <= 1` runs serially on the calling thread. The
+/// closure is shared across workers and must therefore be `Fn + Sync`
+/// rather than `FnMut`.
+///
+/// # Panics
+///
+/// Panics if `thresholds` is empty, or propagates a panic from `simulate`.
+pub fn sweep_par<F>(thresholds: &[u32], jobs: usize, simulate: F) -> SweepResult
+where
+    F: Fn(Box<dyn dynapar_gpu::LaunchController>) -> SimReport + Sync,
+{
+    assert!(!thresholds.is_empty(), "sweep needs at least one threshold");
+    let points = dynapar_engine::par::par_map(thresholds.to_vec(), jobs, |t| SweepPoint {
+        threshold: t,
+        report: simulate(Box::new(FixedThreshold::new(t))),
+    });
+    SweepResult::from_points(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +172,7 @@ mod tests {
             child_cta_exec_cycles: vec![],
             child_launch_cycles: vec![],
             events_processed: 0,
+            wall_ms: 0.0,
             kernels: vec![],
         }
     }
@@ -172,5 +208,47 @@ mod tests {
     #[should_panic(expected = "at least one threshold")]
     fn empty_sweep_rejected() {
         sweep(&[], |_| fake_report(1, 1, 0));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let grid = [1u32, 2, 4, 8, 16, 32];
+        let run = |mut policy: Box<dyn dynapar_gpu::LaunchController>| {
+            // Deterministic pseudo-simulation keyed off the policy's
+            // threshold (recovered by probing decisions), so any
+            // order mix-up in the parallel path would be visible.
+            let t = (1..=64u32)
+                .filter(|&items| {
+                    policy.decide(&dynapar_gpu::ChildRequest {
+                        now: dynapar_engine::Cycle(0),
+                        parent_kernel: dynapar_gpu::KernelId(0),
+                        depth: 1,
+                        items,
+                        child_ctas: 1,
+                        child_threads: 32,
+                        child_warps_per_cta: 1,
+                        warp_prior_launches: 0,
+                        default_threshold: 0,
+                        pending_kernels: 0,
+                    }) == dynapar_gpu::LaunchDecision::Inline
+                })
+                .count() as u64;
+            fake_report(1000 - t * 3, 100 - t, t)
+        };
+        let serial = sweep(&grid, run);
+        let parallel = sweep_par(&grid, 4, run);
+        assert_eq!(serial.points().len(), parallel.points().len());
+        for (s, p) in serial.points().iter().zip(parallel.points()) {
+            assert_eq!(s.threshold, p.threshold);
+            assert_eq!(s.report.total_cycles, p.report.total_cycles);
+            assert_eq!(s.report.items_child, p.report.items_child);
+        }
+        assert_eq!(serial.best().threshold, parallel.best().threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_rejected() {
+        SweepResult::from_points(vec![]);
     }
 }

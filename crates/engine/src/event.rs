@@ -1,7 +1,7 @@
 //! Stable time-ordered event queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Cycle;
 
@@ -55,6 +55,20 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Same-cycle fast lane: events all scheduled for `lane_time`, in push
+    /// order. The simulator's hot loop schedules bursts of events for the
+    /// current cycle (warp round-robin, launch cascades); routing those
+    /// through a FIFO instead of the heap turns the dominant push/pop pair
+    /// from O(log n) sift into O(1).
+    ///
+    /// Invariant: while `lane` is non-empty, the heap holds no entry at
+    /// exactly `lane_time` — a lane is only opened when the heap minimum is
+    /// strictly later than `at`, and every push at `lane_time` while the
+    /// lane is open joins the lane. Pop order therefore needs no seq
+    /// comparison across the two structures: heap entries earlier than
+    /// `lane_time` go first, the lane drains next, later heap entries after.
+    lane: VecDeque<E>,
+    lane_time: Cycle,
     next_seq: u64,
     pushed: u64,
 }
@@ -64,6 +78,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            lane: VecDeque::new(),
+            lane_time: Cycle::ZERO,
             next_seq: 0,
             pushed: 0,
         }
@@ -71,30 +87,55 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at cycle `at`.
     pub fn push(&mut self, at: Cycle, event: E) {
+        self.pushed += 1;
+        if !self.lane.is_empty() {
+            if at == self.lane_time {
+                self.lane.push_back(event);
+                return;
+            }
+        } else if self.heap.peek().map_or(true, |min| min.at > at) {
+            // No earlier-or-equal heap entry exists, so this event is next
+            // up and same-cycle followers can join it FIFO.
+            self.lane_time = at;
+            self.lane.push_back(event);
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pushed += 1;
         self.heap.push(Entry { at, seq, event });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        if !self.lane.is_empty() {
+            // Heap entries at lane_time cannot exist (see invariant), so
+            // the lane wins unless the heap has something strictly earlier.
+            if self.heap.peek().map_or(true, |min| min.at > self.lane_time) {
+                let event = self.lane.pop_front().expect("lane checked non-empty");
+                return Some((self.lane_time, event));
+            }
+        }
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
     /// Returns the firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        let heap_min = self.heap.peek().map(|e| e.at);
+        if self.lane.is_empty() {
+            heap_min
+        } else {
+            Some(heap_min.map_or(self.lane_time, |h| h.min(self.lane_time)))
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty()
     }
 
     /// Total number of events ever pushed (diagnostic counter).
@@ -112,7 +153,8 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
+            .field("lane", &self.lane.len())
             .field("total_pushed", &self.pushed)
             .finish()
     }
@@ -176,6 +218,37 @@ mod tests {
     fn debug_is_nonempty() {
         let q: EventQueue<u8> = EventQueue::new();
         assert!(!format!("{q:?}").is_empty());
+    }
+
+    #[test]
+    fn lane_respects_earlier_heap_events() {
+        // Open a lane at t=10, then schedule something earlier: the heap
+        // event must pop first, then the lane drains FIFO.
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), "lane-a");
+        q.push(Cycle(5), "early");
+        q.push(Cycle(10), "lane-b");
+        assert_eq!(q.peek_time(), Some(Cycle(5)));
+        assert_eq!(q.pop(), Some((Cycle(5), "early")));
+        assert_eq!(q.pop(), Some((Cycle(10), "lane-a")));
+        assert_eq!(q.pop(), Some((Cycle(10), "lane-b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn closed_lane_ties_stay_fifo_via_heap() {
+        // Once a lane at t=10 closes (drains), later t=10 pushes that find
+        // an equal heap minimum must fall back to the heap and keep FIFO
+        // order through seq numbers.
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 0);
+        assert_eq!(q.pop(), Some((Cycle(10), 0)));
+        q.push(Cycle(12), 1); // heap (lane would need min > 12? no: lane opens at 12)
+        q.push(Cycle(10), 2); // earlier than lane_time: heap
+        q.push(Cycle(10), 3); // heap again (lane busy at 12)
+        assert_eq!(q.pop(), Some((Cycle(10), 2)));
+        assert_eq!(q.pop(), Some((Cycle(10), 3)));
+        assert_eq!(q.pop(), Some((Cycle(12), 1)));
     }
 }
 

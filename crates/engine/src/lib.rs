@@ -13,11 +13,16 @@
 //!   needed by the workload generators (uniform, normal, Zipf, power law),
 //! * [`stats`] — windowed averages, histograms, CDFs, time-weighted
 //!   integrators and time-series samplers used to regenerate the paper's
-//!   figures.
+//!   figures,
+//! * [`par`] — an order-preserving [`par::par_map`] for running many
+//!   *independent* simulations on multiple cores.
 //!
 //! Everything in this crate is deterministic: given the same inputs and
 //! seeds, every structure reproduces bit-identical results. There is no
-//! global state, no wall-clock access, and no threading.
+//! global state and no wall-clock access. Each individual simulation is
+//! single-threaded; the only threading lives in [`par`], which
+//! parallelizes *across* independent simulations and returns results in
+//! input order, so outputs never depend on the worker count.
 //!
 //! # Examples
 //!
@@ -40,6 +45,7 @@
 
 mod cycle;
 mod event;
+pub mod par;
 mod rng;
 pub mod stats;
 

@@ -1,0 +1,172 @@
+//! Order-preserving parallel map over independent simulation jobs.
+//!
+//! The experiment drivers (scheme comparisons, threshold sweeps, figure
+//! scripts) run many *independent* simulations; each simulation stays
+//! single-threaded and deterministic, so running N of them on N cores
+//! changes nothing about any individual result. [`par_map`] is the one
+//! primitive they share: a chunk-free work queue on scoped threads that
+//! returns results in input order, so the output is bit-identical to the
+//! serial `items.into_iter().map(f).collect()`.
+//!
+//! There is no dependency on a thread-pool crate: workers are
+//! [`std::thread::scope`] threads that claim item indices from a shared
+//! atomic counter and write results into per-slot mailboxes. A panic in
+//! any job propagates to the caller when the scope joins, exactly like
+//! the serial loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynapar_engine::par::par_map;
+//!
+//! let squares = par_map((0u64..8).collect(), 4, |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`default_jobs`]; same meaning as
+/// the `--jobs` flag on the experiment binaries.
+pub const JOBS_ENV: &str = "DYNAPAR_JOBS";
+
+/// Resolves the worker count to use when the caller gave no explicit
+/// `--jobs`: the `DYNAPAR_JOBS` environment variable if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to `jobs` worker threads, returning
+/// results in input order.
+///
+/// The output is identical to `items.into_iter().map(f).collect()` for
+/// any `jobs` value: parallelism only changes wall-clock time, never
+/// results. With `jobs <= 1` (or one item or fewer) the map runs on the
+/// calling thread with no thread machinery at all, so `--jobs 1` is a
+/// faithful serial baseline.
+///
+/// If any invocation of `f` panics, the panic propagates to the caller
+/// (other in-flight jobs run to completion first; queued jobs are
+/// abandoned).
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Per-item mailboxes: workers take the item out of its slot and put
+    // the result into the matching result slot, so order is positional
+    // and never depends on completion order.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope join guarantees every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map(items.clone(), jobs, |x| x * 3 + 1), expect, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(empty, 8, |x: u32| x).is_empty());
+        assert_eq!(par_map(vec![41], 8, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn handles_non_clone_items_and_results() {
+        // T and R only need Send: boxed values exercise the move path.
+        let items: Vec<Box<u64>> = (0..20).map(Box::new).collect();
+        let out = par_map(items, 4, |b| Box::new(*b + 100));
+        for (i, b) in out.iter().enumerate() {
+            assert_eq!(**b, i as u64 + 100);
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Early items take longest, so completion order inverts input
+        // order — results must not.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map(items, 8, |x| {
+            let mut acc = x;
+            for _ in 0..(16 - x) * 50_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map((0..8).collect::<Vec<u32>>(), 4, |x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

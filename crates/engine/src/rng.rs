@@ -3,12 +3,10 @@
 //!
 //! The generators need uniform, normal (Gaussian join-key frequencies),
 //! Zipf (sequence-alignment candidate counts) and discrete power-law
-//! (citation-network degrees) samples. Rather than pulling in a
-//! distributions crate, the few samplers required are implemented here on
-//! top of [`rand`]'s `StdRng`, keeping runs reproducible from a single seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! (citation-network degrees) samples. Everything is implemented in-house
+//! — the core is a SplitMix64-seeded xoshiro256** — so the workspace
+//! builds with no external crates (and therefore with no network), and
+//! runs stay reproducible from a single seed.
 
 /// A 64-bit mix function (SplitMix64 finalizer) used for *stateless*
 /// pseudo-random address generation.
@@ -37,9 +35,10 @@ pub fn hash_mix(mut x: u64) -> u64 {
 
 /// Deterministic random-number generator for workload synthesis.
 ///
-/// Wraps a seeded `StdRng` and adds the distribution samplers the
-/// benchmarks need. Two `DetRng`s created with the same seed produce the
-/// same sequence forever.
+/// The core is xoshiro256** with its 256-bit state expanded from the
+/// 64-bit seed by SplitMix64 (the construction the xoshiro authors
+/// recommend), plus the distribution samplers the benchmarks need. Two
+/// `DetRng`s created with the same seed produce the same sequence forever.
 ///
 /// # Examples
 ///
@@ -50,32 +49,65 @@ pub fn hash_mix(mut x: u64) -> u64 {
 /// let mut b = DetRng::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
+        // SplitMix64 stream: decorrelates the four state words even for
+        // adjacent seeds, and can never produce the all-zero state (the
+        // one state xoshiro must avoid) because hash_mix is a bijection
+        // of four distinct inputs.
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
         }
+        if state == [0; 4] {
+            state[0] = 1;
+        }
+        DetRng { state }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (one xoshiro256** step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased, division-free on the common path).
     ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
@@ -85,12 +117,17 @@ impl DetRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 explicit mantissa bits).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

@@ -113,7 +113,13 @@ pub struct Simulation {
     child_ctas_executed: u64,
     child_kernels: u64,
     events_processed: u64,
+    /// Wall-clock duration of `run_to_completion` (host time, reporting
+    /// only — never feeds back into simulated behavior).
+    wall_ms: f64,
     addr_buf: Vec<u64>,
+    /// Recycled `outstanding_mem` buffers from finished warps, so the
+    /// steady-state warp churn performs no per-warp allocations.
+    warp_mem_pool: Vec<std::collections::VecDeque<Cycle>>,
 }
 
 impl Simulation {
@@ -163,7 +169,9 @@ impl Simulation {
             child_ctas_executed: 0,
             child_kernels: 0,
             events_processed: 0,
+            wall_ms: 0.0,
             addr_buf: Vec::with_capacity(128),
+            warp_mem_pool: Vec::new(),
         }
     }
 
@@ -285,6 +293,7 @@ impl Simulation {
     }
 
     fn run_to_completion(&mut self) {
+        let started = std::time::Instant::now();
         self.events.push(Cycle::ZERO, Ev::Sample);
         while let Some((t, ev)) = self.events.pop() {
             assert!(
@@ -306,6 +315,7 @@ impl Simulation {
             self.live_kernels
         );
         self.occupancy.finish(self.now);
+        self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
     }
 
     fn handle(&mut self, now: Cycle, ev: Ev) {
@@ -452,8 +462,10 @@ impl Simulation {
             let cta = self.smxs[si].cta(cta_slot);
             (cta.kernel, cta.cta_index)
         };
-        // Gather lane assignments (immutable borrow of kernels).
-        let (lane_groups, is_child, depth, class, dp) = {
+        // Gather lane assignments (immutable borrow of kernels). The work
+        // class and DP spec stay interned in the kernel table — warps hold
+        // only `kernel_id` and look them up, so no Arc clones happen here.
+        let (lane_groups, is_child, depth) = {
             let k = &self.kernels[kernel_id.index()];
             let ct = k.cta_threads(cta_index);
             let stride = k.class.seq_bytes_per_item;
@@ -469,7 +481,7 @@ impl Simulation {
                 );
                 i = hi;
             }
-            (groups, k.is_child_work(), k.depth, k.class.clone(), k.dp.clone())
+            (groups, k.is_child_work(), k.depth)
         };
         let warp_count = lane_groups.len() as u32;
         {
@@ -481,6 +493,7 @@ impl Simulation {
         for lanes in lane_groups {
             let age = self.warp_seq;
             self.warp_seq += 1;
+            let outstanding_mem = self.warp_mem_pool.pop().unwrap_or_default();
             let slot = self.smxs[si].add_warp(WarpRt {
                 cta_slot,
                 kernel: kernel_id,
@@ -493,9 +506,7 @@ impl Simulation {
                 launches: 0,
                 start_cycle: now,
                 age,
-                class: class.clone(),
-                dp: dp.clone(),
-                outstanding_mem: std::collections::VecDeque::new(),
+                outstanding_mem,
             });
             self.smxs[si].mark_ready(slot);
         }
@@ -555,10 +566,13 @@ impl Simulation {
     /// First issue of a warp: make the launch decisions for every
     /// candidate lane, then charge the prologue (init + API calls).
     fn start_warp(&mut self, now: Cycle, si: usize, slot: u32) {
-        let (kernel_id, cta_slot, depth, dp_opt) = {
+        let (kernel_id, cta_slot, depth) = {
             let w = self.smxs[si].warp(slot);
-            (w.kernel, w.cta_slot, w.depth, w.dp.clone())
+            (w.kernel, w.cta_slot, w.depth)
         };
+        // One Option<Arc> clone per warp start (not per lane/round); the
+        // spec itself stays interned in the kernel table.
+        let dp_opt = self.kernels[kernel_id.index()].dp.clone();
         let mut api_cost: u64 = 0;
         // CUDA bounds device-launch nesting; sites past the limit fail
         // at the API and fall back to in-thread execution.
@@ -681,10 +695,11 @@ impl Simulation {
                 }
             }
         }
+        let init_cycles = self.kernels[kernel_id.index()].class.init_cycles;
         let w = self.smxs[si].warp_mut(slot);
         w.started = true;
         w.rounds_total = w.max_items();
-        let busy = w.class.init_cycles as u64 + api_cost + 1;
+        let busy = init_cycles as u64 + api_cost + 1;
         self.events.push(
             now + busy,
             Ev::WarpReady {
@@ -816,7 +831,9 @@ impl Simulation {
         let (compute, active, write_line, is_child) = {
             let w = self.smxs[si].warp(slot);
             let r = w.rounds_done;
-            let class = &w.class;
+            // Disjoint immutable borrows: warp state from the SMX, the
+            // interned work class from the kernel table.
+            let class = &self.kernels[w.kernel.index()].class;
             let mut active = 0u32;
             let mut first_seed = None;
             for lane in &w.lanes {
@@ -890,7 +907,9 @@ impl Simulation {
     }
 
     fn finish_warp(&mut self, now: Cycle, si: usize, slot: u32) {
-        let w = self.smxs[si].take_warp(slot);
+        let mut w = self.smxs[si].take_warp(slot);
+        w.outstanding_mem.clear();
+        self.warp_mem_pool.push(std::mem::take(&mut w.outstanding_mem));
         self.occupancy.add(now, -1);
         if w.is_child_work {
             self.controller
@@ -1089,6 +1108,7 @@ impl Simulation {
             child_cta_exec_cycles: std::mem::take(&mut self.child_cta_exec),
             child_launch_cycles: std::mem::take(&mut self.child_launch_times),
             events_processed: self.events_processed,
+            wall_ms: self.wall_ms,
             kernels,
         }
     }

@@ -2,13 +2,12 @@
 //! accounting, and the warp issue scheduler.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use dynapar_engine::Cycle;
 
 use crate::config::{GpuConfig, SchedulerKind};
 use crate::ids::{KernelId, SmxId, StreamId};
-use crate::work::{DpSpec, ThreadWork, WorkClass};
+use crate::work::ThreadWork;
 
 /// A resident warp's execution context.
 #[derive(Debug)]
@@ -34,11 +33,11 @@ pub(crate) struct WarpRt {
     /// Cycle the warp was created (for execution-time stats).
     pub start_cycle: Cycle,
     /// Global creation sequence — the scheduler's age key.
+    ///
+    /// The warp's work class and DP spec are *not* stored here: they are
+    /// shared per kernel and read through `kernel` from the simulation's
+    /// kernel table, so creating a warp never clones an `Arc`.
     pub age: u64,
-    /// Work class (cloned from the kernel for hot-path access).
-    pub class: Arc<WorkClass>,
-    /// DP spec, present if this warp's lanes may spawn children.
-    pub dp: Option<Arc<DpSpec>>,
     /// Completion times of in-flight memory rounds (bounded by the
     /// configured MLP depth): the warp stalls on the oldest when full and
     /// on all of them at its final round.
@@ -328,8 +327,6 @@ mod tests {
             launches: 0,
             start_cycle: Cycle::ZERO,
             age,
-            class: Arc::new(WorkClass::compute_only("t", 1)),
-            dp: None,
             outstanding_mem: VecDeque::new(),
         }
     }

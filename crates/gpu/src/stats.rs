@@ -125,6 +125,10 @@ pub struct SimReport {
     pub child_launch_cycles: Vec<u64>,
     /// Total events processed (simulator diagnostic).
     pub events_processed: u64,
+    /// Host wall-clock time of the run in milliseconds. Measured, not
+    /// simulated — this is the only nondeterministic field in the report,
+    /// so determinism comparisons must ignore it.
+    pub wall_ms: f64,
     /// Per-kernel lifecycle summaries, in creation order.
     pub kernels: Vec<KernelSummary>,
 }
@@ -167,6 +171,16 @@ impl SimReport {
                 / self.child_cta_exec_cycles.len() as f64
         }
     }
+
+    /// Simulator throughput in events per wall-clock second, 0 when the
+    /// run was too fast to time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / (self.wall_ms / 1e3)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +209,7 @@ mod tests {
             child_cta_exec_cycles: vec![10, 20, 30, 40],
             child_launch_cycles: vec![1, 2],
             events_processed: 123,
+            wall_ms: 2.0,
             kernels: vec![],
         }
     }
@@ -206,6 +221,7 @@ mod tests {
         assert_eq!(r.items_total(), 100);
         assert!((r.offload_fraction() - 0.7).abs() < 1e-12);
         assert!((r.mean_child_cta_exec() - 25.0).abs() < 1e-12);
+        assert!((r.events_per_sec() - 61_500.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Offline CI gate: build, test, and smoke the whole workspace without
+# touching the network. Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# The workspace has no external dependencies by policy (see README), so
+# --offline must always succeed; a failure here means someone added a
+# crates.io dependency or broke the build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== scorecard smoke (tiny scale) =="
+./target/release/scorecard --scale tiny
+
+echo "== ci: all green =="

@@ -58,8 +58,12 @@ fn launch_overhead_does_not_affect_flat() {
 #[test]
 fn stream_per_child_beats_stream_per_cta_under_storm() {
     // Fig. 8's direction, exercised end to end on a launch-heavy app.
+    // Lift the HWQ cap so stream assignment, not HWQ contention, is the
+    // binding constraint — at Tiny scale the default 32 HWQs dominate and
+    // the stream-policy delta is noise.
     let bench = suite::by_name("SA-thaliana", Scale::Tiny, 1).expect("known");
     let mut cfg = GpuConfig::kepler_k20m();
+    cfg.num_hwqs = 1024;
     cfg.stream_policy = StreamPolicy::PerChildKernel;
     let per_child = bench.run(&cfg, Box::new(AlwaysLaunch::new()));
     cfg.stream_policy = StreamPolicy::PerParentCta;

@@ -1,15 +1,17 @@
-//! Property-based integration tests: random work-model programs through
-//! the full stack must conserve work, stay within hardware limits, and be
-//! deterministic.
+//! Randomized integration tests: random work-model programs through the
+//! full stack must conserve work, stay within hardware limits, and be
+//! deterministic. Programs are generated from a seeded [`DetRng`] (no
+//! external test dependencies); failures report the case index.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use dynapar::core::{BaselineDp, SpawnPolicy};
+use dynapar::engine::DetRng;
 use dynapar::gpu::{
     DpSpec, GpuConfig, KernelDesc, SimReport, Simulation, ThreadSource, ThreadWork, WorkClass,
 };
+
+const CASES: u64 = 24;
 
 /// A random but valid DP program description.
 #[derive(Debug, Clone)]
@@ -23,27 +25,19 @@ struct Program {
     rand_refs: u8,
 }
 
-fn program_strategy() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(0u32..400, 1..300),
-        prop::sample::select(vec![32u32, 64, 128, 256]),
-        prop::sample::select(vec![32u32, 64, 128]),
-        1u32..8,
-        0u32..200,
-        1u32..40,
-        0u8..3,
-    )
-        .prop_map(
-            |(items, cta_threads, child_cta_threads, items_per_thread, threshold, compute, rand_refs)| Program {
-                items,
-                cta_threads,
-                child_cta_threads,
-                items_per_thread,
-                threshold,
-                compute,
-                rand_refs,
-            },
-        )
+fn random_program(rng: &mut DetRng) -> Program {
+    let items: Vec<u32> = (0..1 + rng.below(299)).map(|_| rng.below(400) as u32).collect();
+    let cta_choices = [32u32, 64, 128, 256];
+    let child_choices = [32u32, 64, 128];
+    Program {
+        items,
+        cta_threads: cta_choices[rng.below(4) as usize],
+        child_cta_threads: child_choices[rng.below(3) as usize],
+        items_per_thread: 1 + rng.below(7) as u32,
+        threshold: rng.below(200) as u32,
+        compute: 1 + rng.below(39) as u32,
+        rand_refs: rng.below(3) as u8,
+    }
 }
 
 fn build(p: &Program) -> KernelDesc {
@@ -99,49 +93,68 @@ fn run(p: &Program, spawn: bool) -> SimReport {
     sim.run()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_conserve_work(p in program_strategy()) {
+#[test]
+fn random_programs_conserve_work() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xc095_0000 + case);
+        let p = random_program(&mut rng);
         let expected: u64 = p.items.iter().map(|&i| i as u64).sum();
         let r = run(&p, false);
-        prop_assert_eq!(r.items_total(), expected);
+        assert_eq!(r.items_total(), expected, "case {case}");
         let r = run(&p, true);
-        prop_assert_eq!(r.items_total(), expected);
+        assert_eq!(r.items_total(), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn random_programs_are_deterministic(p in program_strategy()) {
+#[test]
+fn random_programs_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xde7e_0000 + case);
+        let p = random_program(&mut rng);
         let a = run(&p, true);
         let b = run(&p, true);
-        prop_assert_eq!(a.total_cycles, b.total_cycles);
-        prop_assert_eq!(a.events_processed, b.events_processed);
-        prop_assert_eq!(a.child_kernels_launched, b.child_kernels_launched);
+        assert_eq!(a.total_cycles, b.total_cycles, "case {case}");
+        assert_eq!(a.events_processed, b.events_processed, "case {case}");
+        assert_eq!(
+            a.child_kernels_launched, b.child_kernels_launched,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn cta_limit_never_violated(p in program_strategy()) {
+#[test]
+fn cta_limit_never_violated() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11fa_0000 + case);
+        let p = random_program(&mut rng);
         let cfg = GpuConfig::test_small();
         let max = cfg.max_concurrent_ctas();
         let r = run(&p, false);
         for (_, s) in &r.timeline {
-            prop_assert!(s.total_ctas() <= max);
-            prop_assert!(s.utilization >= 0.0 && s.utilization <= 1.0001);
+            assert!(s.total_ctas() <= max, "case {case}");
+            assert!(
+                s.utilization >= 0.0 && s.utilization <= 1.0001,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn launch_accounting_balances(p in program_strategy()) {
+#[test]
+fn launch_accounting_balances() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xacc7_0000 + case);
+        let p = random_program(&mut rng);
         let r = run(&p, false);
         // Every candidate request resolves to exactly one of the paths.
-        prop_assert_eq!(
+        assert_eq!(
             r.launch_requests,
-            r.child_kernels_launched + r.inlined_requests + r.aggregated_launches
+            r.child_kernels_launched + r.inlined_requests + r.aggregated_launches,
+            "case {case}"
         );
         // Offloaded work exists iff something was launched.
         if r.child_kernels_launched == 0 && r.aggregated_launches == 0 {
-            prop_assert_eq!(r.items_child, 0);
+            assert_eq!(r.items_child, 0, "case {case}");
         }
     }
 }

@@ -7,7 +7,7 @@ use dynapar_core::SpawnPolicy;
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let benches = ["BFS-graph500", "SA-thaliana", "AMR"];
 
     println!("# Ablation — SPAWN variants (speedup over flat)");

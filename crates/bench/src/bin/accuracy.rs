@@ -13,16 +13,20 @@ use dynapar_gpu::{KernelRole, Simulation};
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Eq. 1 accuracy — predicted vs actual child completion time");
     for name in ["BFS-graph500", "SA-thaliana", "MM-small", "AMR"] {
         let bench = suite::by_name(name, opts.scale, opts.seed).expect("known");
         let policy = SpawnPolicy::from_config(&cfg).with_prediction_log();
-        let mut sim = Simulation::new(cfg.clone(), Box::new(policy));
+        let mut sim = Simulation::builder(cfg.clone())
+            .controller(Box::new(policy))
+            .build();
         sim.launch_host(bench.kernel());
-        let (report, controller) = sim.run_with_controller();
-        let policy = controller
+        let outcome = sim.run();
+        let report = outcome.report;
+        let policy = outcome
+            .controller
             .as_any()
             .and_then(|a| a.downcast_ref::<SpawnPolicy>())
             .expect("controller is SPAWN");

@@ -6,7 +6,7 @@ use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_workloads::suite;
 
 fn main() {
-    let (opts, rest) = Options::parse_known();
+    let (opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let mut name = "BFS-graph500".to_string();
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
@@ -32,7 +32,7 @@ fn main() {
             "events={} wall={:.1}ms rate={:.0}ev/s",
             r.events_processed,
             r.wall_ms,
-            r.events_per_sec()
+            r.events_per_sec().unwrap_or(0.0)
         )
     };
     let flat = bench.run_flat(&cfg);

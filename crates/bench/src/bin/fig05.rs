@@ -5,7 +5,7 @@ use dynapar_bench::{fmt2, pct, Options, SWEEP_FRACTIONS};
 use dynapar_core::offline;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!(
         "# Fig. 5 — speedup vs workload distribution (scale {:?}, seed {})",

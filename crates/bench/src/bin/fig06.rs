@@ -6,7 +6,7 @@ use dynapar_core::BaselineDp;
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     let bench = suite::by_name("BFS-graph500", opts.scale, opts.seed).expect("known");
     let r = bench.run(&cfg, Box::new(BaselineDp::new()));

@@ -5,7 +5,7 @@ use dynapar_bench::{fmt2, print_header, print_row, Options};
 use dynapar_core::BaselineDp;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 7 — child CTA size sensitivity (scale {:?})", opts.scale);
     let widths = [14, 8, 8, 8];

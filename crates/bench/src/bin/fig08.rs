@@ -6,7 +6,7 @@ use dynapar_core::BaselineDp;
 use dynapar_gpu::StreamPolicy;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     println!("# Fig. 8 — per-child-kernel SWQ speedup over per-parent-CTA SWQ");
     let widths = [14, 10];
     print_header(&["benchmark", "speedup"], &widths);

@@ -7,7 +7,7 @@ use dynapar_engine::stats::Histogram;
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 12 — child CTA execution time PDF around the mean");
     for name in ["MM-small", "SA-thaliana", "BFS-graph500", "SSSP-graph500"] {

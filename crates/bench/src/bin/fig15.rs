@@ -5,7 +5,7 @@ use dynapar_bench::{fmt2, print_header, print_row, run_suite_schemes, Options};
 use dynapar_workloads::suite::geomean;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 15 — speedup over flat (scale {:?}, seed {})", opts.scale, opts.seed);
     let widths = [14, 12, 14, 8, 12];

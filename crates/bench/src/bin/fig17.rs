@@ -3,7 +3,7 @@
 use dynapar_bench::{pct, print_header, print_row, run_suite_schemes, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 17 — L2 hit rate (scale {:?})", opts.scale);
     let widths = [14, 8, 12, 14, 8];

@@ -4,7 +4,7 @@
 use dynapar_bench::{print_header, print_row, run_suite_schemes, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 18 — child kernels launched (scale {:?})", opts.scale);
     let widths = [14, 12, 14, 8];

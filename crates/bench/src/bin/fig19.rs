@@ -19,7 +19,7 @@ fn dump(label: &str, r: &SimReport) {
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     let bench = suite::by_name("BFS-graph500", opts.scale, opts.seed).expect("known");
     println!("# Fig. 19 — BFS-graph500 concurrency timeline");

@@ -23,7 +23,7 @@ fn series(label: &str, r: &SimReport) {
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     let bench = suite::by_name("BFS-graph500", opts.scale, opts.seed).expect("known");
     println!("# Fig. 20 — cumulative child-kernel launches over time");

@@ -7,7 +7,7 @@ use dynapar_core::{Dtbl, SpawnPolicy};
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!("# Fig. 21 — SPAWN vs DTBL, speedup over flat (scale {:?})", opts.scale);
     let widths = [16, 8, 8, 12, 10];

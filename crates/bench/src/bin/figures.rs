@@ -50,7 +50,7 @@ fn timeline_series(r: &SimReport) -> (Series, Series) {
 }
 
 fn main() {
-    let (opts, rest) = Options::parse_known();
+    let (opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     let dir = out_dir(rest);
     let mut written = Vec::new();

@@ -10,7 +10,7 @@ use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_workloads::suite;
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let bench = suite::by_name("BFS-graph500", opts.scale, opts.seed).expect("known");
 
     println!("# Future hardware — launch overhead sweep (BFS-graph500)");

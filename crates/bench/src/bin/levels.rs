@@ -8,7 +8,7 @@ use dynapar_core::{BaselineDp, Dtbl, SpawnPolicy};
 use dynapar_workloads::apps::{bfs::levels, GraphInput};
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!(
         "# Level-synchronous BFS (one kernel per frontier level, scale {:?})",

@@ -36,7 +36,7 @@ fn build(policy: &str, cfg: &GpuConfig, bench: &Benchmark) -> Box<dyn LaunchCont
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!(
         "# policy x benchmark matrix — speedup over flat (scale {:?})",

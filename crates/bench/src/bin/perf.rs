@@ -14,7 +14,7 @@ use dynapar_gpu::SimReport;
 use dynapar_workloads::suite;
 
 fn main() {
-    let (mut opts, rest) = Options::parse_known();
+    let (mut opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let mut serial = true;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
@@ -66,7 +66,7 @@ fn main() {
             label,
             r.events_processed,
             r.wall_ms,
-            r.events_per_sec()
+            r.events_per_sec().unwrap_or(0.0)
         );
         total_events += r.events_processed;
         total_ms += r.wall_ms;

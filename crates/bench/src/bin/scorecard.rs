@@ -35,7 +35,7 @@ impl Card {
 }
 
 fn main() -> ExitCode {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     let mut card = Card {
         failures: 0,

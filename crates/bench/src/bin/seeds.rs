@@ -6,7 +6,7 @@ use dynapar_bench::{fmt2, print_header, print_row, run_suite_schemes, Options};
 use dynapar_workloads::suite::{self, geomean};
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     let cfg = opts.config();
     println!(
         "# seed sensitivity — headline geomeans across seeds (scale {:?})",

@@ -4,7 +4,7 @@
 use dynapar_bench::{print_header, print_row, Options};
 
 fn main() {
-    let opts = Options::from_args();
+    let opts = Options::from_args().unwrap_or_else(|e| e.exit());
     println!(
         "# Table I — benchmarks (scale {:?}, seed {})",
         opts.scale, opts.seed

@@ -3,7 +3,7 @@
 use dynapar_bench::Options;
 
 fn main() {
-    let cfg = Options::from_args().config();
+    let cfg = Options::from_args().unwrap_or_else(|e| e.exit()).config();
     println!("# Table II — GPU configuration (Tesla K20m-like)");
     println!("SMXs                      : {}", cfg.smx_count);
     println!("warp size                 : {}", cfg.warp_size);

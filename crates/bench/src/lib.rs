@@ -194,11 +194,49 @@ pub fn binary_name() -> String {
 /// Prints `msg` (prefixed with the binary's name) plus the shared usage
 /// line to stderr and exits with status 2.
 pub fn usage_error(msg: &str) -> ! {
-    let bin = binary_name();
-    eprintln!("{bin}: error: {msg}");
-    eprintln!("{bin}: shared flags: [--scale tiny|small|paper] [--seed N] [--jobs N]");
-    std::process::exit(2)
+    OptionsError::BadValue(msg.to_string()).exit()
 }
+
+/// A malformed harness command line.
+///
+/// Parsing never terminates the process: library callers get the typed
+/// error back, and binaries opt into the classic behaviour with
+/// [`OptionsError::exit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptionsError {
+    /// An argument none of the parsers recognized.
+    UnknownArgument(String),
+    /// A recognized flag whose value is missing or malformed.
+    BadValue(String),
+}
+
+impl OptionsError {
+    /// The human-readable description (without the binary-name prefix).
+    pub fn message(&self) -> String {
+        match self {
+            OptionsError::UnknownArgument(arg) => format!("unknown argument {arg:?}"),
+            OptionsError::BadValue(msg) => msg.clone(),
+        }
+    }
+
+    /// Prints the error (prefixed with the binary's name) plus the shared
+    /// usage line to stderr and exits with status 2 — the conventional
+    /// ending for a harness binary's `unwrap_or_else(|e| e.exit())`.
+    pub fn exit(self) -> ! {
+        let bin = binary_name();
+        eprintln!("{bin}: error: {}", self.message());
+        eprintln!("{bin}: shared flags: [--scale tiny|small|paper] [--seed N] [--jobs N]");
+        std::process::exit(2)
+    }
+}
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for OptionsError {}
 
 /// CLI options shared by every harness binary.
 #[derive(Debug, Clone, Copy)]
@@ -223,34 +261,55 @@ impl Default for Options {
 }
 
 impl Options {
+    /// Builder-style scale override.
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style worker-thread override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs >= 1, "jobs must be positive");
+        self.jobs = jobs;
+        self
+    }
+
     /// Parses `--scale` / `--seed` / `--jobs` from the process arguments.
     /// Any argument not recognized here is an error: binaries that add
     /// their own flags must use [`Options::parse_known`] and reject the
     /// leftovers they don't consume.
     ///
-    /// On a malformed or unknown argument, prints a usage message naming
-    /// the binary and exits with status 2.
-    pub fn from_args() -> Self {
-        let (opts, rest) = Self::parse_known();
+    /// Binaries conventionally end the error path with
+    /// `.unwrap_or_else(|e| e.exit())`.
+    pub fn from_args() -> Result<Self, OptionsError> {
+        let (opts, rest) = Self::parse_known()?;
         if let Some(unknown) = rest.first() {
-            usage_error(&format!("unknown argument {unknown:?}"));
+            return Err(OptionsError::UnknownArgument(unknown.clone()));
         }
-        opts
+        Ok(opts)
     }
 
     /// Parses the shared flags from the process arguments, returning the
     /// unrecognized arguments in order for the binary's own parsing.
-    /// Exits (status 2, naming the binary) on a malformed shared flag.
-    pub fn parse_known() -> (Self, Vec<String>) {
-        match Self::parse(std::env::args().skip(1)) {
-            Ok(pair) => pair,
-            Err(msg) => usage_error(&msg),
-        }
+    pub fn parse_known() -> Result<(Self, Vec<String>), OptionsError> {
+        Self::parse(std::env::args().skip(1))
     }
 
     /// Pure parser behind [`Options::from_args`] / [`Options::parse_known`]:
     /// consumes the shared flags from `args`, returns the leftovers.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(Self, Vec<String>), String> {
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), OptionsError> {
         let mut opts = Options::default();
         let mut rest = Vec::new();
         let mut args = args.into_iter();
@@ -262,22 +321,30 @@ impl Options {
                         Some("small") => Scale::Small,
                         Some("paper") => Scale::Paper,
                         other => {
-                            return Err(format!("--scale expects tiny|small|paper, got {other:?}"))
+                            return Err(OptionsError::BadValue(format!(
+                                "--scale expects tiny|small|paper, got {other:?}"
+                            )))
                         }
                     };
                 }
                 "--seed" => {
-                    let v = args.next().ok_or("--seed expects an integer")?;
-                    opts.seed = v
-                        .parse()
-                        .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+                    let v = args
+                        .next()
+                        .ok_or(OptionsError::BadValue("--seed expects an integer".into()))?;
+                    opts.seed = v.parse().map_err(|_| {
+                        OptionsError::BadValue(format!("--seed expects an integer, got {v:?}"))
+                    })?;
                 }
                 "--jobs" => {
-                    let v = args.next().ok_or("--jobs expects a positive integer")?;
+                    let v = args.next().ok_or(OptionsError::BadValue(
+                        "--jobs expects a positive integer".into(),
+                    ))?;
                     opts.jobs = match v.parse() {
                         Ok(n) if n >= 1 => n,
                         _ => {
-                            return Err(format!("--jobs expects a positive integer, got {v:?}"))
+                            return Err(OptionsError::BadValue(format!(
+                                "--jobs expects a positive integer, got {v:?}"
+                            )))
                         }
                     };
                 }
@@ -381,6 +448,26 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert_eq!(o.jobs, 3);
         assert_eq!(rest, v(&["--bench", "SSSP-road", "--out", "x.svg"]));
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let o = Options::default()
+            .with_scale(Scale::Tiny)
+            .with_seed(5)
+            .with_jobs(2);
+        assert_eq!(o.scale, Scale::Tiny);
+        assert_eq!(o.seed, 5);
+        assert_eq!(o.jobs, 2);
+    }
+
+    #[test]
+    fn errors_are_typed_and_displayable() {
+        let e = Options::parse(v(&["--scale", "huge"])).unwrap_err();
+        assert!(matches!(e, OptionsError::BadValue(_)));
+        assert!(e.to_string().contains("--scale"));
+        let e = OptionsError::UnknownArgument("--frobnicate".into());
+        assert!(e.to_string().contains("--frobnicate"));
     }
 
     #[test]

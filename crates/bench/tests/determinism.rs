@@ -5,7 +5,9 @@
 //! so the canonical form zeroes it before comparing Debug renderings.
 
 use dynapar_bench::run_schemes;
-use dynapar_gpu::{GpuConfig, SimReport};
+use dynapar_core::SpawnPolicy;
+use dynapar_engine::par::par_map;
+use dynapar_gpu::{GpuConfig, MetricsLevel, RunArtifact, SimReport};
 use dynapar_workloads::{suite, Scale};
 
 /// Renders a report with the nondeterministic wall-clock field zeroed.
@@ -13,6 +15,34 @@ fn canonical(r: &SimReport) -> String {
     let mut r = r.clone();
     r.wall_ms = 0.0;
     format!("{r:?}")
+}
+
+/// Renders each benchmark's full-metrics run artifact, fanning the runs
+/// across `jobs` workers.
+fn artifact_jsons(jobs: usize) -> Vec<String> {
+    let cfg = GpuConfig::kepler_k20m();
+    let names = vec!["GC-citation", "MM-small", "BFS-graph500"];
+    par_map(names, jobs, |name| {
+        let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+        let policy = SpawnPolicy::from_config(&cfg).with_prediction_log();
+        let out = bench.run_full(&cfg, Box::new(policy), Some(100_000), MetricsLevel::Full);
+        format!("{}", out.artifact.expect("full metrics emit an artifact"))
+    })
+}
+
+#[test]
+fn run_artifacts_are_byte_identical_across_job_counts() {
+    // The artifact deliberately excludes `wall_ms`, so no canonicalization
+    // is needed: the emitted JSON itself must be byte-stable.
+    let serial = artifact_jsons(1);
+    let parallel = artifact_jsons(4);
+    assert_eq!(serial, parallel, "artifact JSON differs across job counts");
+    for json in &serial {
+        let artifact = RunArtifact::parse(json).expect("artifact round-trips");
+        assert_eq!(&artifact.to_string(), json, "parse/emit is lossless");
+        assert!(json.contains("\"ccqs_samples\""));
+        assert!(!json.contains("wall_ms"), "artifact must omit host timing");
+    }
 }
 
 #[test]

@@ -2,6 +2,7 @@
 //! dependency-free on purpose — the workspace's sanctioned crates don't
 //! include an argument parser).
 
+use dynapar_gpu::MetricsLevel;
 use dynapar_workloads::Scale;
 
 /// Which launch policy to run.
@@ -84,6 +85,10 @@ pub enum Command {
         timeline_csv: Option<String>,
         /// Write the per-kernel table as CSV to this path.
         kernels_csv: Option<String>,
+        /// Write the run artifact (JSON) to this path.
+        emit_json: Option<String>,
+        /// Metrics collection level for the run artifact.
+        metrics: MetricsLevel,
     },
     /// Level-synchronous BFS (multi-kernel) under one policy vs flat.
     Levels {
@@ -116,6 +121,11 @@ pub enum Command {
         /// Policy to run it under.
         policy: PolicyArg,
     },
+    /// Parse and validate a run-artifact JSON file.
+    CheckArtifact {
+        /// Path to the artifact file.
+        file: String,
+    },
     /// Print the simulated-GPU configuration.
     Config,
     /// List available benchmarks.
@@ -144,12 +154,14 @@ dynapar — GPU dynamic-parallelism simulator (SPAWN, HPCA 2017)
 
 USAGE:
   dynapar run --bench <NAME> --policy <POLICY> [--trace N]
-              [--timeline-csv F] [--kernels-csv F] [options]
+              [--timeline-csv F] [--kernels-csv F]
+              [--metrics off|summary|full] [--emit-json F] [options]
   dynapar levels --input citation|graph500 --policy <POLICY> [options]
   dynapar sweep --bench <NAME> [--points N] [options]
   dynapar compare --bench <NAME> [options]
   dynapar suite --policy <POLICY> [options]
   dynapar spec --file <PATH> --policy <POLICY> [options]
+  dynapar check-artifact --file <PATH>
   dynapar config
   dynapar list
 
@@ -158,6 +170,9 @@ OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
            --jobs N (worker threads for sweep/compare/suite;
            default: DYNAPAR_JOBS or the CPU count)
 BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
+ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
+           (implies --metrics full unless --metrics is given);
+           `check-artifact` re-parses and validates such a file
 ";
 
 fn take_value<'a>(
@@ -188,6 +203,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut kernels_csv: Option<String> = None;
     let mut input: Option<String> = None;
     let mut file: Option<String> = None;
+    let mut emit_json: Option<String> = None;
+    let mut metrics: Option<MetricsLevel> = None;
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
     let mut i = 1;
@@ -230,6 +247,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 kernels_csv = Some(take_value(args, &mut i, "--kernels-csv")?.to_string());
             }
             "--input" => input = Some(take_value(args, &mut i, "--input")?.to_string()),
+            "--emit-json" => {
+                emit_json = Some(take_value(args, &mut i, "--emit-json")?.to_string());
+            }
+            "--metrics" => {
+                let v = take_value(args, &mut i, "--metrics")?;
+                metrics = Some(
+                    MetricsLevel::parse(v)
+                        .ok_or_else(|| format!("--metrics expects off|summary|full, got {v:?}"))?,
+                );
+            }
             "--file" => file = Some(take_value(args, &mut i, "--file")?.to_string()),
             "--points" => {
                 points = take_value(args, &mut i, "--points")?
@@ -249,6 +276,15 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             trace,
             timeline_csv,
             kernels_csv,
+            // --emit-json without an explicit level means "collect
+            // everything": an artifact request should never silently
+            // produce no artifact.
+            metrics: metrics.unwrap_or(if emit_json.is_some() {
+                MetricsLevel::Full
+            } else {
+                MetricsLevel::Off
+            }),
+            emit_json,
         },
         "levels" => Command::Levels {
             input: input.ok_or("--input is required (citation|graph500)")?,
@@ -267,6 +303,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "spec" => Command::Spec {
             file: file.ok_or("--file is required")?,
             policy: policy.ok_or("--policy is required")?,
+        },
+        "check-artifact" => Command::CheckArtifact {
+            file: file.ok_or("--file is required")?,
         },
         "config" => Command::Config,
         "list" => Command::List,
@@ -303,6 +342,8 @@ mod tests {
                 trace: None,
                 timeline_csv: None,
                 kernels_csv: None,
+                emit_json: None,
+                metrics: MetricsLevel::Off,
             }
         );
         assert_eq!(cli.scale, Scale::Tiny);
@@ -402,6 +443,46 @@ mod tests {
             }
         );
         assert!(parse(&v(&["spec", "--policy", "baseline"])).is_err());
+    }
+
+    #[test]
+    fn artifact_flags() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--emit-json", "out.json",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run {
+                emit_json, metrics, ..
+            } => {
+                assert_eq!(emit_json.as_deref(), Some("out.json"));
+                assert_eq!(metrics, MetricsLevel::Full, "--emit-json implies full");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--metrics", "summary",
+            "--emit-json", "out.json",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run { metrics, .. } => assert_eq!(metrics, MetricsLevel::Summary),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "flat", "--metrics", "loud"]))
+            .is_err());
+    }
+
+    #[test]
+    fn check_artifact_subcommand() {
+        let cli = parse(&v(&["check-artifact", "--file", "a.json"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::CheckArtifact {
+                file: "a.json".into()
+            }
+        );
+        assert!(parse(&v(&["check-artifact"])).is_err());
     }
 
     #[test]

@@ -109,6 +109,8 @@ fn exec(cli: Cli) -> Result<(), String> {
             trace,
             timeline_csv,
             kernels_csv,
+            emit_json,
+            metrics,
         } => {
             let b = get_bench(bench, &cli)?;
             println!(
@@ -118,13 +120,20 @@ fn exec(cli: Cli) -> Result<(), String> {
                 b.threads(),
                 b.total_items()
             );
-            let ctrl = controller(policy, &cfg, &b);
-            if let Some(capacity) = trace {
-                let mut sim = dynapar_gpu::Simulation::new(cfg.clone(), ctrl);
-                sim.enable_trace(*capacity);
-                sim.launch_host(b.kernel());
-                let (r, tr) = sim.run_traced();
-                summarize(&policy.label(), &r, None);
+            // An artifact-emitting SPAWN run logs its Eq. 1 predictions so
+            // the artifact's ccqs_samples section has estimate-vs-actual
+            // pairs to report.
+            let ctrl = if *metrics != dynapar_gpu::MetricsLevel::Off
+                && *policy == PolicyArg::Spawn
+            {
+                Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
+            } else {
+                controller(policy, &cfg, &b)
+            };
+            let out = b.run_full(&cfg, ctrl, *trace, *metrics);
+            let r = &out.report;
+            summarize(&policy.label(), r, None);
+            if let Some(tr) = &out.trace {
                 println!("# trace: {} events ({} dropped)", tr.events().len(), tr.dropped());
                 for ev in tr.events().iter().take(40) {
                     println!("  {ev}");
@@ -132,20 +141,37 @@ fn exec(cli: Cli) -> Result<(), String> {
                 if tr.events().len() > 40 {
                     println!("  ... ({} more)", tr.events().len() - 40);
                 }
-            } else {
-                let r = b.run(&cfg, ctrl);
-                summarize(&policy.label(), &r, None);
-                if let Some(path) = timeline_csv {
-                    std::fs::write(path, r.timeline_csv())
-                        .map_err(|e| format!("writing {path}: {e}"))?;
-                    println!("# timeline written to {path}");
-                }
-                if let Some(path) = kernels_csv {
-                    std::fs::write(path, r.kernels_csv())
-                        .map_err(|e| format!("writing {path}: {e}"))?;
-                    println!("# kernel table written to {path}");
-                }
             }
+            if let Some(path) = timeline_csv {
+                std::fs::write(path, r.timeline_csv())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# timeline written to {path}");
+            }
+            if let Some(path) = kernels_csv {
+                std::fs::write(path, r.kernels_csv())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# kernel table written to {path}");
+            }
+            if let Some(path) = emit_json {
+                let artifact = out
+                    .artifact
+                    .as_ref()
+                    .ok_or("--emit-json needs --metrics summary|full")?;
+                std::fs::write(path, format!("{artifact}\n"))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# artifact written to {path}");
+            }
+        }
+        Command::CheckArtifact { file } => {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let artifact = dynapar_gpu::RunArtifact::parse(&text).map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} level={:?} ccqs_samples={}",
+                dynapar_gpu::ARTIFACT_SCHEMA,
+                artifact.level(),
+                artifact.ccqs_samples().len()
+            );
         }
         Command::Compare { bench } => {
             let b = get_bench(bench, &cli)?;

@@ -14,7 +14,7 @@
 //! the paper's design argues for.
 
 use dynapar_engine::Cycle;
-use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision};
+use dynapar_gpu::{ChildRequest, ControllerEvent, LaunchController, LaunchDecision, MetricsRegistry};
 
 /// Hill-climbing state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,9 +122,16 @@ impl LaunchController for AdaptiveThreshold {
         }
     }
 
-    fn on_child_cta_finish(&mut self, now: Cycle, _exec_cycles: u64) {
-        self.finished_this_epoch += 1;
-        self.maybe_rollover(now);
+    fn observe(&mut self, ev: &ControllerEvent) {
+        if let ControllerEvent::ChildCtaFinish { now, .. } = *ev {
+            self.finished_this_epoch += 1;
+            self.maybe_rollover(now);
+        }
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.adaptive.threshold", self.threshold as u64);
+        reg.counter("policy.adaptive.adjustments", self.adjustments as u64);
     }
 }
 
@@ -171,7 +178,10 @@ mod tests {
         let mut p = AdaptiveThreshold::new(64, 1_000);
         // Epoch 1: strong completion rate.
         for i in 0..50 {
-            p.on_child_cta_finish(Cycle(i), 10);
+            p.observe(&ControllerEvent::ChildCtaFinish {
+                now: Cycle(i),
+                exec_cycles: 10,
+            });
         }
         p.decide(&req(1_001, 1)); // rollover 1 (initial direction: Down)
         let t1 = p.threshold();

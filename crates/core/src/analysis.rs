@@ -138,7 +138,9 @@ mod tests {
             })
             .collect();
         let cfg = GpuConfig::test_small();
-        let mut sim = Simulation::new(cfg, Box::new(crate::AlwaysLaunch::new()));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(crate::AlwaysLaunch::new()))
+            .build();
         sim.launch_host(KernelDesc {
             name: "an".into(),
             cta_threads: 64,
@@ -157,7 +159,7 @@ mod tests {
                 nested: None,
             })),
         });
-        sim.run()
+        sim.run().report
     }
 
     #[test]
@@ -196,7 +198,7 @@ mod tests {
     #[test]
     fn empty_run_yields_empty_analysis() {
         let cfg = GpuConfig::test_small();
-        let mut sim = Simulation::new(cfg, Box::new(crate::InlineAll));
+        let mut sim = Simulation::builder(cfg).build();
         sim.launch_host(KernelDesc {
             name: "empty".into(),
             cta_threads: 32,
@@ -209,7 +211,7 @@ mod tests {
             },
             dp: None,
         });
-        let r = sim.run();
+        let r = sim.run().report;
         let a = LaunchAnalysis::of(&r);
         assert_eq!(a.total_children(), 0);
         assert_eq!(a.peak_in_flight(), 0);

@@ -10,7 +10,7 @@
 //! bottlenecked by the concurrent-CTA limit still queue.
 
 use dynapar_engine::stats::RunningMean;
-use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision};
+use dynapar_gpu::{ChildRequest, ControllerEvent, LaunchController, LaunchDecision, MetricsRegistry};
 
 /// The DTBL launch policy: aggregate every candidate above the
 /// application's own `THRESHOLD` (like Baseline-DP, but through the
@@ -67,8 +67,16 @@ impl LaunchController for Dtbl {
         }
     }
 
-    fn on_child_cta_finish(&mut self, _now: dynapar_engine::Cycle, exec_cycles: u64) {
-        self.cta_exec.add(exec_cycles);
+    fn observe(&mut self, ev: &ControllerEvent) {
+        if let ControllerEvent::ChildCtaFinish { exec_cycles, .. } = *ev {
+            self.cta_exec.add(exec_cycles);
+        }
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.dtbl.aggregated", self.aggregated);
+        reg.counter("policy.dtbl.inlined", self.inlined);
+        reg.counter("policy.dtbl.mean_cta_exec", self.cta_exec.mean());
     }
 }
 
@@ -113,8 +121,14 @@ mod tests {
     #[test]
     fn tracks_cta_exec() {
         let mut p = Dtbl::new();
-        p.on_child_cta_finish(Cycle(10), 100);
-        p.on_child_cta_finish(Cycle(20), 200);
+        p.observe(&ControllerEvent::ChildCtaFinish {
+            now: Cycle(10),
+            exec_cycles: 100,
+        });
+        p.observe(&ControllerEvent::ChildCtaFinish {
+            now: Cycle(20),
+            exec_cycles: 200,
+        });
         assert_eq!(p.mean_cta_exec(), 150);
     }
 }

@@ -10,7 +10,7 @@
 //! work stays on the parent's core — there is no extra parallelism, which
 //! is exactly the trade-off that distinguishes Free Launch from DP.
 
-use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision};
+use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision, MetricsRegistry};
 
 /// The Free-Launch policy: redistribute every candidate above the
 /// application's own `THRESHOLD`; smaller workloads run inline as usual.
@@ -59,6 +59,11 @@ impl LaunchController for FreeLaunch {
             LaunchDecision::Inline
         }
     }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.free_launch.redistributed", self.redistributed);
+        reg.counter("policy.free_launch.inlined", self.inlined);
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +94,25 @@ mod tests {
         assert_eq!(p.decide(&req(100)), LaunchDecision::Inline);
         assert_eq!(p.redistributed(), 1);
         assert_eq!(p.inlined(), 1);
+    }
+
+    #[test]
+    fn exports_decision_counters() {
+        use dynapar_gpu::{MetricsLevel, MetricsRegistry};
+        let mut p = FreeLaunch::new();
+        p.decide(&req(101));
+        p.decide(&req(1));
+        let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+        p.export_metrics(&mut reg);
+        let json = reg.to_json();
+        assert_eq!(
+            json.get("policy.free_launch.redistributed").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("policy.free_launch.inlined").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -140,13 +164,15 @@ mod tests {
         #[test]
         fn redistribution_conserves_work_and_beats_flat_on_divergence() {
             let cfg = GpuConfig::test_small();
-            let mut sim = Simulation::new(cfg.clone(), Box::new(dynapar_gpu::InlineAll));
+            let mut sim = Simulation::builder(cfg.clone()).build();
             sim.launch_host(imbalanced());
-            let flat = sim.run();
+            let flat = sim.run().report;
 
-            let mut sim = Simulation::new(cfg, Box::new(FreeLaunch::new()));
+            let mut sim = Simulation::builder(cfg)
+                .controller(Box::new(FreeLaunch::new()))
+                .build();
             sim.launch_host(imbalanced());
-            let fl = sim.run();
+            let fl = sim.run().report;
 
             assert_eq!(flat.items_total(), fl.items_total());
             assert_eq!(fl.child_kernels_launched, 0);

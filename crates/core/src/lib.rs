@@ -39,7 +39,7 @@
 //!
 //! let cfg = GpuConfig::test_small();
 //! let policy = SpawnPolicy::from_config(&cfg);
-//! let mut sim = Simulation::new(cfg, Box::new(policy));
+//! let mut sim = Simulation::builder(cfg).controller(Box::new(policy)).build();
 //! let threads: Vec<ThreadWork> = (0..256)
 //!     .map(|t| ThreadWork {
 //!         items: if t % 32 == 0 { 400 } else { 2 },
@@ -65,7 +65,7 @@
 //!         nested: None,
 //!     })),
 //! });
-//! let report = sim.run();
+//! let report = sim.run().report;
 //! assert_eq!(report.controller, "SPAWN");
 //! ```
 

@@ -89,7 +89,9 @@ impl SweepResult {
 /// };
 ///
 /// let result = sweep(&[8, 64, 1024], |policy| {
-///     let mut sim = Simulation::new(GpuConfig::test_small(), policy);
+///     let mut sim = Simulation::builder(GpuConfig::test_small())
+///         .controller(policy)
+///         .build();
 ///     sim.launch_host(KernelDesc {
 ///         name: "sweep-demo".into(),
 ///         cta_threads: 64,
@@ -102,7 +104,7 @@ impl SweepResult {
 ///         },
 ///         dp: None,
 ///     });
-///     sim.run()
+///     sim.run().report
 /// });
 /// assert_eq!(result.points().len(), 3);
 /// let _ = result.best();

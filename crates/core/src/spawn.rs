@@ -1,6 +1,9 @@
 //! The SPAWN controller — Algorithm 1 of the paper.
 
-use dynapar_gpu::{ChildRequest, LaunchController, LaunchDecision, LaunchOverheadModel};
+use dynapar_gpu::{
+    ChildRequest, ControllerEvent, LaunchController, LaunchDecision, LaunchOverheadModel,
+    MetricsRegistry,
+};
 
 use crate::ccqs::Ccqs;
 
@@ -242,16 +245,33 @@ impl LaunchController for SpawnPolicy {
         }
     }
 
-    fn on_child_cta_start(&mut self, now: dynapar_engine::Cycle) {
-        self.ccqs.on_cta_start(now);
+    fn observe(&mut self, ev: &ControllerEvent) {
+        match *ev {
+            ControllerEvent::ChildCtaStart { now } => self.ccqs.on_cta_start(now),
+            ControllerEvent::ChildCtaFinish { now, exec_cycles } => {
+                self.ccqs.on_cta_finish(now, exec_cycles)
+            }
+            ControllerEvent::ChildWarpFinish { now, exec_cycles } => {
+                self.ccqs.on_warp_finish(now, exec_cycles)
+            }
+        }
     }
 
-    fn on_child_cta_finish(&mut self, now: dynapar_engine::Cycle, exec_cycles: u64) {
-        self.ccqs.on_cta_finish(now, exec_cycles);
+    fn predictions(&self) -> Option<&[u64]> {
+        self.prediction_log.as_deref()
     }
 
-    fn on_child_warp_finish(&mut self, now: dynapar_engine::Cycle, exec_cycles: u64) {
-        self.ccqs.on_warp_finish(now, exec_cycles);
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.spawn.bootstrap_launches", self.stats.bootstrap_launches);
+        reg.counter("policy.spawn.modeled_launches", self.stats.modeled_launches);
+        reg.counter("policy.spawn.inlined", self.stats.inlined);
+        reg.counter("policy.spawn.queue_rejections", self.stats.queue_rejections);
+        reg.counter("policy.spawn.ccqs.in_system", self.ccqs.in_system());
+        reg.counter("policy.spawn.ccqs.peak_in_system", self.ccqs.peak_in_system());
+        reg.counter("policy.spawn.ccqs.finished_ctas", self.ccqs.finished_ctas());
+        reg.counter("policy.spawn.ccqs.t_cta", self.ccqs.t_cta());
+        reg.counter("policy.spawn.ccqs.t_warp", self.ccqs.t_warp());
+        reg.counter("policy.spawn.ccqs.n_con", self.ccqs.n_con());
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -301,11 +321,17 @@ mod tests {
             p.decide(&request(0, 1000, 1, 0));
         }
         for i in 0..conc {
-            p.on_child_cta_start(Cycle(i as u64));
+            p.observe(&ControllerEvent::ChildCtaStart { now: Cycle(i as u64) });
         }
         for i in 0..conc {
-            p.on_child_warp_finish(Cycle(100 + i as u64), warp_exec);
-            p.on_child_cta_finish(Cycle(100 + i as u64), cta_exec);
+            p.observe(&ControllerEvent::ChildWarpFinish {
+                now: Cycle(100 + i as u64),
+                exec_cycles: warp_exec,
+            });
+            p.observe(&ControllerEvent::ChildCtaFinish {
+                now: Cycle(100 + i as u64),
+                exec_cycles: cta_exec,
+            });
         }
     }
 
@@ -381,7 +407,9 @@ mod integration_tests {
     #[test]
     fn stats_are_inspectable_after_a_run() {
         let cfg = GpuConfig::test_small();
-        let mut sim = Simulation::new(cfg.clone(), Box::new(SpawnPolicy::from_config(&cfg)));
+        let mut sim = Simulation::builder(cfg.clone())
+            .controller(Box::new(SpawnPolicy::from_config(&cfg)))
+            .build();
         let threads: Vec<ThreadWork> = (0..128)
             .map(|t| ThreadWork {
                 items: if t % 16 == 0 { 300 } else { 2 },
@@ -407,14 +435,25 @@ mod integration_tests {
                 nested: None,
             })),
         });
-        let (report, controller) = sim.run_with_controller();
+        let outcome = sim.run();
+        let report = &outcome.report;
         // Recover the concrete policy to read its counters.
         let stats_total = report.launch_requests;
         assert!(stats_total > 0);
         // The controller's own accounting must agree with the simulator's.
-        let name = controller.name().to_string();
+        let name = outcome.controller.name().to_string();
         assert_eq!(name, "SPAWN");
         assert_eq!(report.controller, "SPAWN");
+        let policy = outcome
+            .controller
+            .as_any()
+            .and_then(|a| a.downcast_ref::<SpawnPolicy>())
+            .expect("downcast to SpawnPolicy");
+        let s = policy.stats();
+        assert_eq!(
+            s.bootstrap_launches + s.modeled_launches + s.inlined,
+            report.launch_requests
+        );
     }
 }
 

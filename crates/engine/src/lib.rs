@@ -15,7 +15,9 @@
 //!   integrators and time-series samplers used to regenerate the paper's
 //!   figures,
 //! * [`par`] — an order-preserving [`par::par_map`] for running many
-//!   *independent* simulations on multiple cores.
+//!   *independent* simulations on multiple cores,
+//! * [`json`] / [`metrics`] — a dependency-free JSON tree and a metrics
+//!   registry, the foundation of the run-artifact observability layer.
 //!
 //! Everything in this crate is deterministic: given the same inputs and
 //! seeds, every structure reproduces bit-identical results. There is no
@@ -45,6 +47,8 @@
 
 mod cycle;
 mod event;
+pub mod json;
+pub mod metrics;
 pub mod par;
 mod rng;
 pub mod stats;

@@ -1,0 +1,281 @@
+//! A zero-dependency metrics registry for run observability.
+//!
+//! Simulation components (the GMU, the SMXs, the launch controller)
+//! register named counters, gauges and histogram summaries into a
+//! [`MetricsRegistry`]; the registry renders to a deterministic JSON
+//! object ([`MetricsRegistry::to_json`]) that lands in the run artifact.
+//!
+//! Names are conventionally dotted paths namespaced by component
+//! (`gmu.kernels_enqueued`, `policy.spawn.inlined`). The registry sorts
+//! entries by name at export time so emission order never depends on the
+//! order components happened to report.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+//! reg.counter("gmu.kernels_enqueued", 12);
+//! reg.gauge("sim.occupancy", 0.5);
+//! reg.histogram("smx.cta_exec_cycles", &[100, 200, 300]);
+//! let json = reg.to_json();
+//! assert_eq!(json.get("gmu.kernels_enqueued").unwrap().as_u64(), Some(12));
+//! ```
+
+use crate::json::Json;
+use crate::stats::Summary;
+
+/// How much observability a run should record.
+///
+/// `Off` skips artifact construction entirely; `Summary` records scalar
+/// metrics and per-kernel summaries; `Full` additionally keeps bulky
+/// vectors (timeline, per-CTA latencies) in the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsLevel {
+    /// Record nothing; `run()` produces no artifact.
+    #[default]
+    Off,
+    /// Scalars, per-kernel summaries and controller samples.
+    Summary,
+    /// Everything, including timeline and per-CTA latency vectors.
+    Full,
+}
+
+impl MetricsLevel {
+    /// Parses the CLI spelling (`off` / `summary` / `full`).
+    pub fn parse(s: &str) -> Option<MetricsLevel> {
+        match s {
+            "off" => Some(MetricsLevel::Off),
+            "summary" => Some(MetricsLevel::Summary),
+            "full" => Some(MetricsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, inverse of [`parse`](MetricsLevel::parse).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Summary => "summary",
+            MetricsLevel::Full => "full",
+        }
+    }
+
+    /// True unless the level is [`Off`](MetricsLevel::Off).
+    pub fn enabled(self) -> bool {
+        self != MetricsLevel::Off
+    }
+}
+
+/// Seven-number condensation of a sample vector, stored instead of the
+/// raw samples so `Summary`-level artifacts stay small.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Computes the summary of `samples` via [`Summary`].
+    pub fn of(samples: &[u64]) -> Self {
+        let s = Summary::of(samples);
+        HistSummary {
+            count: s.count as u64,
+            min: s.min,
+            max: s.max,
+            mean: s.mean,
+            p50: s.p50,
+            p95: s.p95,
+            p99: s.p99,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("min", Json::U64(self.min)),
+            ("max", Json::U64(self.max)),
+            ("mean", Json::F64(self.mean)),
+            ("p50", Json::U64(self.p50)),
+            ("p95", Json::U64(self.p95)),
+            ("p99", Json::U64(self.p99)),
+        ])
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count of discrete events.
+    Counter(u64),
+    /// Point-in-time or averaged measurement.
+    Gauge(f64),
+    /// Distribution summary of a sample vector.
+    Histogram(HistSummary),
+}
+
+impl MetricValue {
+    fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Counter(v) => Json::U64(*v),
+            MetricValue::Gauge(v) => Json::F64(*v),
+            MetricValue::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// Collects named metrics from simulation components for one run.
+///
+/// Registering the same name twice replaces the earlier value: exporters
+/// run once per component at end of run, and last-write-wins keeps that
+/// idempotent.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    level: MetricsLevel,
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry recording at `level`.
+    pub fn new(level: MetricsLevel) -> Self {
+        MetricsRegistry {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The recording level this registry was built with.
+    pub fn level(&self) -> MetricsLevel {
+        self.level
+    }
+
+    /// True unless the level is [`MetricsLevel::Off`].
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    fn set(&mut self, name: &str, value: MetricValue) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Records a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.set(name, MetricValue::Counter(value));
+    }
+
+    /// Records a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.set(name, MetricValue::Gauge(value));
+    }
+
+    /// Records the distribution summary of `samples`.
+    pub fn histogram(&mut self, name: &str, samples: &[u64]) {
+        self.set(name, MetricValue::Histogram(HistSummary::of(samples)));
+    }
+
+    /// All recorded entries, in registration order.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Renders the registry as a JSON object, sorted by metric name.
+    pub fn to_json(&self) -> Json {
+        let mut sorted: Vec<&(String, MetricValue)> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [MetricsLevel::Off, MetricsLevel::Summary, MetricsLevel::Full] {
+            assert_eq!(MetricsLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(MetricsLevel::parse("verbose"), None);
+        assert!(!MetricsLevel::Off.enabled());
+        assert!(MetricsLevel::Summary.enabled());
+    }
+
+    #[test]
+    fn off_registry_records_nothing() {
+        let mut reg = MetricsRegistry::new(MetricsLevel::Off);
+        reg.counter("a", 1);
+        reg.gauge("b", 2.0);
+        assert!(reg.entries().is_empty());
+        assert_eq!(reg.to_json().to_string(), "{}");
+    }
+
+    #[test]
+    fn export_is_sorted_by_name() {
+        let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+        reg.counter("z.last", 1);
+        reg.counter("a.first", 2);
+        reg.gauge("m.middle", 0.5);
+        let json = reg.to_json();
+        let keys: Vec<&str> = json
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn re_registering_replaces() {
+        let mut reg = MetricsRegistry::new(MetricsLevel::Full);
+        reg.counter("x", 1);
+        reg.counter("x", 7);
+        assert_eq!(reg.entries().len(), 1);
+        assert_eq!(reg.to_json().get("x").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn histogram_summarizes() {
+        let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+        reg.histogram("lat", &[10, 20, 30, 40]);
+        let h = reg.to_json();
+        let h = h.get("lat").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(h.get("min").unwrap().as_u64(), Some(10));
+        assert_eq!(h.get("max").unwrap().as_u64(), Some(40));
+        assert_eq!(h.get("mean").unwrap().as_f64(), Some(25.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = HistSummary::of(&[]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean, 0.0);
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulated-GPU configuration (Table II of the paper).
 
+use dynapar_engine::json::Json;
+
 /// Warp scheduling discipline within an SMX.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
@@ -358,6 +360,79 @@ impl GpuConfig {
         }
         Ok(())
     }
+
+    /// Renders the full configuration as a JSON object (the artifact's
+    /// config echo). Enum knobs render as their `Debug` spellings;
+    /// `max_cycles` at `u64::MAX` renders as `null` (disabled).
+    pub fn to_json(&self) -> Json {
+        let l = &self.launch;
+        let m = &self.mem;
+        Json::obj([
+            ("smx_count", Json::U64(self.smx_count as u64)),
+            ("warp_size", Json::U64(self.warp_size as u64)),
+            (
+                "max_threads_per_smx",
+                Json::U64(self.max_threads_per_smx as u64),
+            ),
+            ("max_ctas_per_smx", Json::U64(self.max_ctas_per_smx as u64)),
+            ("regs_per_smx", Json::U64(self.regs_per_smx as u64)),
+            ("shmem_per_smx", Json::U64(self.shmem_per_smx as u64)),
+            ("issue_width", Json::U64(self.issue_width as u64)),
+            ("mlp_depth", Json::U64(self.mlp_depth as u64)),
+            ("num_hwqs", Json::U64(self.num_hwqs as u64)),
+            ("pending_pool_cap", Json::U64(self.pending_pool_cap as u64)),
+            ("max_nesting_depth", Json::U64(self.max_nesting_depth as u64)),
+            ("cta_dispatch_latency", Json::U64(self.cta_dispatch_latency)),
+            ("scheduler", Json::str(format!("{:?}", self.scheduler))),
+            ("cta_placement", Json::str(format!("{:?}", self.cta_placement))),
+            ("stream_policy", Json::str(format!("{:?}", self.stream_policy))),
+            (
+                "launch",
+                Json::obj([
+                    ("a", Json::U64(l.a)),
+                    ("b", Json::U64(l.b)),
+                    ("api_call_cycles", Json::U64(l.api_call_cycles)),
+                    ("dtbl_per_cta_cycles", Json::U64(l.dtbl_per_cta_cycles)),
+                    ("hwq_turnaround_cycles", Json::U64(l.hwq_turnaround_cycles)),
+                ]),
+            ),
+            (
+                "mem",
+                Json::obj([
+                    ("line_bytes", Json::U64(m.line_bytes as u64)),
+                    ("l1_bytes", Json::U64(m.l1_bytes as u64)),
+                    ("l1_ways", Json::U64(m.l1_ways as u64)),
+                    ("l1_hit_latency", Json::U64(m.l1_hit_latency)),
+                    ("l1_mshrs", Json::U64(m.l1_mshrs as u64)),
+                    ("l2_partitions", Json::U64(m.l2_partitions as u64)),
+                    ("l2_partition_bytes", Json::U64(m.l2_partition_bytes as u64)),
+                    ("l2_ways", Json::U64(m.l2_ways as u64)),
+                    ("l2_hit_latency", Json::U64(m.l2_hit_latency)),
+                    ("l2_service_interval", Json::U64(m.l2_service_interval)),
+                    ("xbar_latency", Json::U64(m.xbar_latency)),
+                    ("memory_controllers", Json::U64(m.memory_controllers as u64)),
+                    (
+                        "dram_banks_per_channel",
+                        Json::U64(m.dram_banks_per_channel as u64),
+                    ),
+                    ("dram_row_bytes", Json::U64(m.dram_row_bytes as u64)),
+                    ("dram_row_hit_latency", Json::U64(m.dram_row_hit_latency)),
+                    ("dram_row_miss_latency", Json::U64(m.dram_row_miss_latency)),
+                    ("dram_service_interval", Json::U64(m.dram_service_interval)),
+                ]),
+            ),
+            ("sample_period", Json::U64(self.sample_period)),
+            ("metric_window_log2", Json::U64(self.metric_window_log2 as u64)),
+            (
+                "max_cycles",
+                if self.max_cycles == u64::MAX {
+                    Json::Null
+                } else {
+                    Json::U64(self.max_cycles)
+                },
+            ),
+        ])
+    }
 }
 
 impl Default for GpuConfig {
@@ -430,6 +505,25 @@ mod tests {
         let mut cfg = GpuConfig::kepler_k20m();
         cfg.mem.l2_partitions = 7; // not a multiple of 6 MCs
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn json_echo_covers_every_knob() {
+        let cfg = GpuConfig::kepler_k20m();
+        let json = cfg.to_json();
+        assert_eq!(json.get("smx_count").unwrap().as_u64(), Some(13));
+        assert_eq!(json.get("scheduler").unwrap().as_str(), Some("Gto"));
+        assert_eq!(json.get("max_cycles"), Some(&Json::Null));
+        assert_eq!(
+            json.get("launch").unwrap().get("b").unwrap().as_u64(),
+            Some(20210)
+        );
+        assert_eq!(
+            json.get("mem").unwrap().get("l2_partitions").unwrap().as_u64(),
+            Some(12)
+        );
+        let text = json.to_string();
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
     }
 
     #[test]

@@ -7,9 +7,37 @@
 //! controller also receives the CCQS feedback events of §IV-A: child CTA
 //! start/finish and child warp finish.
 
+use dynapar_engine::metrics::MetricsRegistry;
 use dynapar_engine::Cycle;
 
 use crate::ids::KernelId;
+
+/// A monitoring event delivered to [`LaunchController::observe`].
+///
+/// These are the CCQS feedback signals of §IV-A, unified into one enum so
+/// the trait surface grows by variant instead of by method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerEvent {
+    /// A child CTA began executing on an SMX.
+    ChildCtaStart {
+        /// Current simulated time.
+        now: Cycle,
+    },
+    /// A child CTA finished executing.
+    ChildCtaFinish {
+        /// Current simulated time.
+        now: Cycle,
+        /// The CTA's on-core execution time.
+        exec_cycles: u64,
+    },
+    /// A child warp finished executing.
+    ChildWarpFinish {
+        /// Current simulated time.
+        now: Cycle,
+        /// The warp's execution time.
+        exec_cycles: u64,
+    },
+}
 
 /// Everything a policy may inspect when deciding one launch.
 #[derive(Debug, Clone)]
@@ -70,26 +98,60 @@ pub trait LaunchController {
     /// Decide the fate of one would-be child kernel.
     fn decide(&mut self, req: &ChildRequest) -> LaunchDecision;
 
+    /// Receives one monitoring event (the CCQS feedback of §IV-A).
+    ///
+    /// The default forwards to the deprecated `on_child_*` shims so
+    /// not-yet-migrated policies keep working; new policies override
+    /// `observe` directly and ignore the shims.
+    fn observe(&mut self, ev: &ControllerEvent) {
+        #[allow(deprecated)]
+        match *ev {
+            ControllerEvent::ChildCtaStart { now } => self.on_child_cta_start(now),
+            ControllerEvent::ChildCtaFinish { now, exec_cycles } => {
+                self.on_child_cta_finish(now, exec_cycles)
+            }
+            ControllerEvent::ChildWarpFinish { now, exec_cycles } => {
+                self.on_child_warp_finish(now, exec_cycles)
+            }
+        }
+    }
+
     /// A child CTA began executing on an SMX.
+    #[deprecated(note = "implement `observe(ControllerEvent::ChildCtaStart)` instead")]
     fn on_child_cta_start(&mut self, now: Cycle) {
         let _ = now;
     }
 
     /// A child CTA finished; `exec_cycles` is its on-core execution time.
+    #[deprecated(note = "implement `observe(ControllerEvent::ChildCtaFinish)` instead")]
     fn on_child_cta_finish(&mut self, now: Cycle, exec_cycles: u64) {
         let _ = (now, exec_cycles);
     }
 
     /// A child warp finished; `exec_cycles` is its execution time.
+    #[deprecated(note = "implement `observe(ControllerEvent::ChildWarpFinish)` instead")]
     fn on_child_warp_finish(&mut self, now: Cycle, exec_cycles: u64) {
         let _ = (now, exec_cycles);
     }
 
-    /// Downcast hook so callers of
-    /// [`Simulation::run_with_controller`](crate::Simulation::run_with_controller)
-    /// can recover concrete policy state (e.g. SPAWN's decision log)
-    /// after a run. Policies with post-run state should override this
-    /// with `Some(self)`.
+    /// The policy's completion-time predictions (Eq. 1 outputs) in
+    /// decision order, if it logs them. Entry `i` pairs with the `i`-th
+    /// child kernel in creation order, which is how the run artifact
+    /// builds its estimate-vs-actual samples.
+    fn predictions(&self) -> Option<&[u64]> {
+        None
+    }
+
+    /// Contributes policy-internal metrics (namespaced `policy.*`) to the
+    /// run artifact's registry. Default: nothing to report.
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let _ = reg;
+    }
+
+    /// Downcast hook so callers of [`Simulation::run`](crate::Simulation::run)
+    /// can recover concrete policy state (e.g. SPAWN's decision log) from
+    /// [`RunOutcome::controller`](crate::RunOutcome) after a run. Policies
+    /// with post-run state should override this with `Some(self)`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
@@ -151,8 +213,18 @@ mod tests {
     #[test]
     fn default_hooks_are_noops() {
         let mut p = InlineAll;
-        p.on_child_cta_start(Cycle(1));
-        p.on_child_cta_finish(Cycle(2), 100);
-        p.on_child_warp_finish(Cycle(3), 50);
+        p.observe(&ControllerEvent::ChildCtaStart { now: Cycle(1) });
+        p.observe(&ControllerEvent::ChildCtaFinish {
+            now: Cycle(2),
+            exec_cycles: 100,
+        });
+        p.observe(&ControllerEvent::ChildWarpFinish {
+            now: Cycle(3),
+            exec_cycles: 50,
+        });
+        assert_eq!(p.predictions(), None);
+        let mut reg = MetricsRegistry::new(dynapar_engine::metrics::MetricsLevel::Full);
+        p.export_metrics(&mut reg);
+        assert!(reg.entries().is_empty());
     }
 }

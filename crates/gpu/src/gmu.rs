@@ -3,6 +3,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use dynapar_engine::metrics::MetricsRegistry;
+
 use crate::ids::{HwqId, KernelId, StreamId};
 
 /// Grid Management Unit state.
@@ -22,6 +24,10 @@ pub(crate) struct Gmu {
     /// Kernels currently resident in the pool (arrived, not own-complete).
     pending: u32,
     max_pending_seen: u32,
+    /// Lifetime count of kernels ever enqueued (host + child).
+    kernels_enqueued: u64,
+    /// Lifetime count of DTBL aggregation kernels registered.
+    aggregated_registered: u64,
     /// DTBL aggregation kernels with directly dispatchable CTAs.
     agg_kernels: Vec<KernelId>,
 }
@@ -36,6 +42,8 @@ impl Gmu {
             rr_hwq: 0,
             pending: 0,
             max_pending_seen: 0,
+            kernels_enqueued: 0,
+            aggregated_registered: 0,
             agg_kernels: Vec::new(),
         }
     }
@@ -56,11 +64,13 @@ impl Gmu {
         let h = self.hwq_of(stream);
         self.hwqs[h.index()].push_back(kernel);
         self.pending += 1;
+        self.kernels_enqueued += 1;
         self.max_pending_seen = self.max_pending_seen.max(self.pending);
     }
 
     /// Registers a DTBL aggregation kernel (bypasses HWQs).
     pub fn register_aggregated(&mut self, kernel: KernelId) {
+        self.aggregated_registered += 1;
         self.agg_kernels.push(kernel);
     }
 
@@ -118,6 +128,14 @@ impl Gmu {
     /// heads (the "concurrent kernels" the 32-HWQ limit caps).
     pub fn concurrent_kernels(&self) -> u32 {
         self.hwqs.iter().filter(|q| !q.is_empty()).count() as u32
+    }
+
+    /// Contributes `gmu.*` entries to the run artifact's registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("gmu.kernels_enqueued", self.kernels_enqueued);
+        reg.counter("gmu.aggregated_registered", self.aggregated_registered);
+        reg.counter("gmu.max_pending_kernels", self.max_pending_seen as u64);
+        reg.counter("gmu.streams_mapped", self.stream_map.len() as u64);
     }
 }
 
@@ -207,6 +225,29 @@ mod tests {
         assert!(g.dispatch_candidates().contains(&KernelId(9)));
         g.aggregated_complete(KernelId(9));
         assert!(!g.dispatch_candidates().contains(&KernelId(9)));
+    }
+
+    #[test]
+    fn metrics_export_counts_traffic() {
+        use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+        let mut g = Gmu::new(2);
+        g.enqueue(KernelId(0), StreamId(0));
+        g.enqueue(KernelId(1), StreamId(1));
+        g.kernel_complete(KernelId(0), StreamId(0));
+        g.register_aggregated(KernelId(9));
+        let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+        g.export_metrics(&mut reg);
+        let json = reg.to_json();
+        assert_eq!(json.get("gmu.kernels_enqueued").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            json.get("gmu.aggregated_registered").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("gmu.max_pending_kernels").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(json.get("gmu.streams_mapped").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -35,16 +35,29 @@
 //! in the `dynapar-core` crate; [`InlineAll`] (never launch — the *flat*
 //! program) ships here as the null policy.
 //!
+//! ## Observability
+//!
+//! Simulations are assembled through [`Simulation::builder`]: pick the
+//! config, the controller, and opt into tracing and metrics. A run
+//! returns a [`RunOutcome`]; with metrics enabled it carries a
+//! [`RunArtifact`] — a deterministic JSON record (config echo, report,
+//! component metrics, CCQS estimate-vs-actual samples, decision trace)
+//! emitted and re-parsed by the in-house [`dynapar_engine::json`] tree.
+//!
 //! # Examples
 //!
 //! ```
 //! use std::sync::Arc;
 //! use dynapar_gpu::{
-//!     GpuConfig, InlineAll, KernelDesc, Simulation, ThreadSource, ThreadWork, WorkClass,
+//!     GpuConfig, InlineAll, KernelDesc, MetricsLevel, Simulation, ThreadSource, ThreadWork,
+//!     WorkClass,
 //! };
 //!
 //! // 8192 threads' worth of items, 8 items per thread, pure compute.
-//! let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(InlineAll));
+//! let mut sim = Simulation::builder(GpuConfig::test_small())
+//!     .controller(Box::new(InlineAll))
+//!     .metrics(MetricsLevel::Summary)
+//!     .build();
 //! sim.launch_host(KernelDesc {
 //!     name: "quick".into(),
 //!     cta_threads: 128,
@@ -57,13 +70,16 @@
 //!     },
 //!     dp: None,
 //! });
-//! let report = sim.run();
-//! assert_eq!(report.items_total(), 8 * 1024);
+//! let outcome = sim.run();
+//! assert_eq!(outcome.report.items_total(), 8 * 1024);
+//! let artifact = outcome.artifact.expect("metrics were enabled");
+//! assert!(artifact.to_string().contains("\"schema\""));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 pub mod config;
 mod controller;
 mod gmu;
@@ -76,12 +92,17 @@ mod stats;
 pub mod trace;
 pub mod work;
 
+pub use artifact::{ArtifactError, CcqsSample, RunArtifact, RunOutcome, ARTIFACT_SCHEMA};
 pub use config::{
     CtaPlacement, GpuConfig, LaunchOverheadModel, MemConfig, SchedulerKind, StreamPolicy,
 };
-pub use controller::{ChildRequest, InlineAll, LaunchController, LaunchDecision};
+pub use controller::{
+    ChildRequest, ControllerEvent, InlineAll, LaunchController, LaunchDecision,
+};
+pub use dynapar_engine::json::Json;
+pub use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 pub use ids::{CtaKey, HwqId, KernelId, SmxId, StreamId};
-pub use sim::Simulation;
+pub use sim::{Simulation, SimulationBuilder};
 pub use stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 pub use trace::{Trace, TraceEvent};
 pub use work::{DpSpec, KernelDesc, ThreadSource, ThreadWork, WorkClass};

@@ -11,11 +11,15 @@
 
 use std::sync::Arc;
 
+use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 use dynapar_engine::stats::TimeWeighted;
 use dynapar_engine::{Cycle, EventQueue};
 
+use crate::artifact::{CcqsSample, RunArtifact, RunOutcome};
 use crate::config::{CtaPlacement, GpuConfig, StreamPolicy};
-use crate::controller::{ChildRequest, LaunchController, LaunchDecision};
+use crate::controller::{
+    ChildRequest, ControllerEvent, InlineAll, LaunchController, LaunchDecision,
+};
 use crate::gmu::Gmu;
 use crate::ids::{KernelId, SmxId, StreamId};
 use crate::kernel::{AggCta, CtaDirectory, KernelKind, KernelRt};
@@ -46,8 +50,107 @@ enum Ev {
     Sample,
 }
 
+/// Configures and seals a [`Simulation`].
+///
+/// The builder is the only way to construct a simulation: pick the
+/// hardware [`config`](SimulationBuilder::config), plug in a
+/// [`controller`](SimulationBuilder::controller) (default:
+/// [`InlineAll`]), and opt into observability with
+/// [`trace`](SimulationBuilder::trace) and
+/// [`metrics`](SimulationBuilder::metrics). Everything chosen here is
+/// fixed for the simulation's lifetime; the only mutation left on the
+/// sealed [`Simulation`] is enqueueing host kernels before
+/// [`run`](Simulation::run).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_gpu::{GpuConfig, MetricsLevel, Simulation};
+///
+/// let sim = Simulation::builder(GpuConfig::test_small())
+///     .metrics(MetricsLevel::Summary)
+///     .trace(10_000)
+///     .build();
+/// let outcome = sim.run(); // empty run: terminates immediately
+/// assert!(outcome.artifact.is_some());
+/// assert!(outcome.trace.is_some());
+/// ```
+pub struct SimulationBuilder {
+    cfg: GpuConfig,
+    controller: Box<dyn LaunchController>,
+    trace_capacity: Option<usize>,
+    metrics: MetricsLevel,
+    stream_policy: Option<StreamPolicy>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder for `cfg` with the defaults: [`InlineAll`]
+    /// controller, no trace, metrics [`Off`](MetricsLevel::Off).
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimulationBuilder {
+            cfg,
+            controller: Box::new(InlineAll),
+            trace_capacity: None,
+            metrics: MetricsLevel::default(),
+            stream_policy: None,
+        }
+    }
+
+    /// Replaces the hardware configuration wholesale.
+    pub fn config(mut self, cfg: GpuConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Installs the launch policy consulted at every device-launch site.
+    pub fn controller(mut self, controller: Box<dyn LaunchController>) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Enables structured tracing, keeping at most `capacity` events;
+    /// the log comes back in [`RunOutcome::trace`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the observability level; anything above
+    /// [`Off`](MetricsLevel::Off) makes [`Simulation::run`] produce a
+    /// [`RunArtifact`].
+    pub fn metrics(mut self, level: MetricsLevel) -> Self {
+        self.metrics = level;
+        self
+    }
+
+    /// Overrides the device-side stream policy without rebuilding the
+    /// whole config.
+    pub fn stream(mut self, policy: StreamPolicy) -> Self {
+        self.stream_policy = Some(policy);
+        self
+    }
+
+    /// Seals the builder into a runnable [`Simulation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GpuConfig::validate`] or the
+    /// trace capacity is zero.
+    pub fn build(self) -> Simulation {
+        let mut cfg = self.cfg;
+        if let Some(p) = self.stream_policy {
+            cfg.stream_policy = p;
+        }
+        let mut sim = Simulation::new(cfg, self.controller);
+        sim.trace = self.trace_capacity.map(Trace::new);
+        sim.metrics_level = self.metrics;
+        sim
+    }
+}
+
 /// A complete simulated execution of one DP program under one launch
-/// policy.
+/// policy. Built via [`Simulation::builder`]; consumed by
+/// [`run`](Simulation::run), which returns a [`RunOutcome`].
 ///
 /// # Examples
 ///
@@ -57,8 +160,9 @@ enum Ev {
 ///     GpuConfig, InlineAll, KernelDesc, Simulation, ThreadSource, ThreadWork, WorkClass,
 /// };
 ///
-/// let cfg = GpuConfig::test_small();
-/// let mut sim = Simulation::new(cfg, Box::new(InlineAll));
+/// let mut sim = Simulation::builder(GpuConfig::test_small())
+///     .controller(Box::new(InlineAll))
+///     .build();
 /// sim.launch_host(KernelDesc {
 ///     name: "demo".into(),
 ///     cta_threads: 64,
@@ -71,7 +175,7 @@ enum Ev {
 ///     },
 ///     dp: None,
 /// });
-/// let report = sim.run();
+/// let report = sim.run().report;
 /// assert!(report.total_cycles > 0);
 /// assert_eq!(report.items_total(), 256);
 /// ```
@@ -94,6 +198,7 @@ pub struct Simulation {
     /// API allocates the slot when it is invoked).
     inflight_launches: u32,
     trace: Option<Trace>,
+    metrics_level: MetricsLevel,
     // --- statistics ---
     occupancy: TimeWeighted,
     parent_ctas_running: u32,
@@ -123,12 +228,14 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Creates a simulator for `cfg` driven by `controller`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`GpuConfig::validate`].
-    pub fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>) -> Self {
+    /// Starts a [`SimulationBuilder`] for `cfg`.
+    pub fn builder(cfg: GpuConfig) -> SimulationBuilder {
+        SimulationBuilder::new(cfg)
+    }
+
+    /// Creates a simulator for `cfg` driven by `controller`; reached only
+    /// through [`SimulationBuilder::build`], which validates upfront.
+    fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>) -> Self {
         cfg.validate().expect("invalid GPU configuration");
         let smxs = (0..cfg.smx_count)
             .map(|i| Smx::new(SmxId(i as u8), &cfg))
@@ -151,6 +258,7 @@ impl Simulation {
             dispatch_at: None,
             inflight_launches: 0,
             trace: None,
+            metrics_level: MetricsLevel::default(),
             occupancy: TimeWeighted::new(),
             parent_ctas_running: 0,
             child_ctas_running: 0,
@@ -173,12 +281,6 @@ impl Simulation {
             addr_buf: Vec::with_capacity(128),
             warp_mem_pool: Vec::new(),
         }
-    }
-
-    /// Enables structured tracing, keeping at most `capacity` events.
-    /// Retrieve the log with [`run_traced`](Simulation::run_traced).
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
     }
 
     #[inline]
@@ -251,45 +353,30 @@ impl Simulation {
         self.events.push(Cycle::ZERO, Ev::KernelArrive(id));
     }
 
-    /// Runs to completion, returning the report *and* the controller so
-    /// callers can inspect policy-side statistics (e.g. SPAWN's decision
-    /// counters) after the run.
-    ///
-    /// # Panics
-    ///
-    /// As for [`run`](Simulation::run).
-    pub fn run_with_controller(mut self) -> (SimReport, Box<dyn LaunchController>) {
-        self.run_to_completion();
-        let report = self.build_report();
-        (report, self.controller)
-    }
-
-    /// Runs to completion and returns the report together with the trace
-    /// (empty unless [`enable_trace`](Simulation::enable_trace) was
-    /// called).
-    ///
-    /// # Panics
-    ///
-    /// As for [`run`](Simulation::run).
-    pub fn run_traced(mut self) -> (SimReport, Trace) {
-        if self.trace.is_none() {
-            self.trace = Some(Trace::new(1));
-        }
-        self.run_to_completion();
-        let report = self.build_report();
-        (report, self.trace.expect("trace installed above"))
-    }
-
-    /// Runs to completion and returns the report.
+    /// Runs to completion and returns the [`RunOutcome`]: the report,
+    /// the trace (if the builder enabled one), the controller, and the
+    /// JSON [`RunArtifact`] (unless metrics were
+    /// [`Off`](MetricsLevel::Off)).
     ///
     /// # Panics
     ///
     /// Panics if the simulation exceeds `cfg.max_cycles` (a stall/runaway
     /// guard) or deadlocks with live kernels and no pending events — both
     /// indicate an internal invariant violation or a malformed workload.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(mut self) -> RunOutcome {
         self.run_to_completion();
-        self.build_report()
+        let report = self.build_report();
+        let artifact = if self.metrics_level.enabled() {
+            Some(self.build_artifact(&report))
+        } else {
+            None
+        };
+        RunOutcome {
+            report,
+            trace: self.trace,
+            controller: self.controller,
+            artifact,
+        }
     }
 
     fn run_to_completion(&mut self) {
@@ -513,7 +600,8 @@ impl Simulation {
         self.occupancy.add(now, warp_count as i64);
         if is_child {
             self.child_ctas_running += 1;
-            self.controller.on_child_cta_start(now);
+            self.controller
+                .observe(&ControllerEvent::ChildCtaStart { now });
         } else {
             self.parent_ctas_running += 1;
         }
@@ -912,8 +1000,10 @@ impl Simulation {
         self.warp_mem_pool.push(std::mem::take(&mut w.outstanding_mem));
         self.occupancy.add(now, -1);
         if w.is_child_work {
-            self.controller
-                .on_child_warp_finish(now, (now - w.start_cycle).as_u64());
+            self.controller.observe(&ControllerEvent::ChildWarpFinish {
+                now,
+                exec_cycles: (now - w.start_cycle).as_u64(),
+            });
         }
         let cta_slot = w.cta_slot;
         let cta = self.smxs[si].cta_mut(cta_slot);
@@ -932,7 +1022,10 @@ impl Simulation {
             self.child_ctas_executed += 1;
             let exec = (now - cta.start_cycle).as_u64();
             self.child_cta_exec.push(exec);
-            self.controller.on_child_cta_finish(now, exec);
+            self.controller.observe(&ControllerEvent::ChildCtaFinish {
+                now,
+                exec_cycles: exec,
+            });
         } else {
             debug_assert!(self.parent_ctas_running > 0);
             self.parent_ctas_running -= 1;
@@ -1112,6 +1205,64 @@ impl Simulation {
             kernels,
         }
     }
+
+    /// Assembles the JSON run artifact: config echo, report, component
+    /// metrics (GMU, SMXs, memory, controller), CCQS estimate-vs-actual
+    /// samples, and the trace (when enabled).
+    fn build_artifact(&self, report: &SimReport) -> RunArtifact {
+        let mut reg = MetricsRegistry::new(self.metrics_level);
+        reg.counter("sim.events_processed", self.events_processed);
+        reg.gauge("sim.occupancy", report.occupancy);
+        reg.histogram("sim.child_cta_exec_cycles", &report.child_cta_exec_cycles);
+        reg.histogram("sim.child_launch_cycles", &report.child_launch_cycles);
+        self.gmu.export_metrics(&mut reg);
+        let per_smx: Vec<u64> = self.smxs.iter().map(|s| s.ctas_executed).collect();
+        reg.histogram("smx.ctas_executed", &per_smx);
+        let peak = self
+            .smxs
+            .iter()
+            .map(|s| s.peak_resident_warps)
+            .max()
+            .unwrap_or(0);
+        reg.gauge("smx.peak_resident_warps", peak as f64);
+        if self.metrics_level == MetricsLevel::Full {
+            for s in &self.smxs {
+                s.export_metrics(&mut reg);
+            }
+        }
+        self.controller.export_metrics(&mut reg);
+        let samples = self.ccqs_samples(report);
+        RunArtifact::build(
+            self.metrics_level,
+            &self.cfg,
+            report,
+            &reg,
+            &samples,
+            self.trace.as_ref(),
+        )
+    }
+
+    /// Pairs the controller's Eq. 1 completion-time predictions (decision
+    /// order) with the child kernels' observed completion latencies
+    /// (creation order) — the artifact's estimate-vs-actual samples.
+    fn ccqs_samples(&self, report: &SimReport) -> Vec<CcqsSample> {
+        let Some(preds) = self.controller.predictions() else {
+            return Vec::new();
+        };
+        let children = report
+            .kernels
+            .iter()
+            .filter(|k| k.role == KernelRole::Child);
+        preds
+            .iter()
+            .zip(children)
+            .map(|(&estimate, k)| CcqsSample {
+                kernel: k.id,
+                estimate,
+                actual: k.own_done_at.map(|done| done - k.created_at),
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for Simulation {
@@ -1214,9 +1365,11 @@ mod tests {
     }
 
     fn run_with(controller: Box<dyn LaunchController>, dp: Option<Arc<DpSpec>>) -> SimReport {
-        let mut sim = Simulation::new(GpuConfig::test_small(), controller);
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(controller)
+            .build();
         sim.launch_host(imbalanced_kernel(dp));
-        sim.run()
+        sim.run().report
     }
 
     #[test]
@@ -1322,9 +1475,11 @@ mod tests {
         for sched in [SchedulerKind::Gto, SchedulerKind::RoundRobin] {
             let mut cfg = GpuConfig::test_small();
             cfg.scheduler = sched;
-            let mut sim = Simulation::new(cfg, Box::new(LaunchOverThreshold));
+            let mut sim = Simulation::builder(cfg)
+                .controller(Box::new(LaunchOverThreshold))
+                .build();
             sim.launch_host(imbalanced_kernel(Some(dp_spec(64))));
-            let r = sim.run();
+            let r = sim.run().report;
             assert_eq!(r.items_total(), total_items(), "{sched:?}");
         }
     }
@@ -1355,9 +1510,11 @@ mod tests {
             let mut cfg = GpuConfig::test_small();
             cfg.num_hwqs = 32;
             cfg.stream_policy = policy;
-            let mut sim = Simulation::new(cfg, Box::new(LaunchOverThreshold));
+            let mut sim = Simulation::builder(cfg)
+                .controller(Box::new(LaunchOverThreshold))
+                .build();
             sim.launch_host(mk());
-            let r = sim.run();
+            let r = sim.run().report;
             assert_eq!(r.items_total(), expected, "{policy:?}");
             totals.push(r.total_cycles);
         }
@@ -1400,7 +1557,9 @@ mod tests {
                 rand_seed: t as u64,
             })
             .collect();
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchOverThreshold));
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(Box::new(LaunchOverThreshold))
+            .build();
         sim.launch_host(KernelDesc {
             name: "nested".into(),
             cta_threads: 64,
@@ -1410,7 +1569,7 @@ mod tests {
             source: ThreadSource::Explicit(Arc::new(threads)),
             dp: Some(spec),
         });
-        let r = sim.run();
+        let r = sim.run().report;
         assert_eq!(r.items_total(), 64 * 1024);
         // Parent threads (1024 items > 128) launch children; child threads
         // (64 items > 32) launch grandchildren, so launches > 64.
@@ -1423,19 +1582,19 @@ mod tests {
 
     #[test]
     fn empty_simulation_terminates() {
-        let sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
-        let r = sim.run();
+        let sim = Simulation::builder(GpuConfig::test_small()).build();
+        let r = sim.run().report;
         assert_eq!(r.total_cycles, 0);
         assert_eq!(r.items_total(), 0);
     }
 
     #[test]
     fn multiple_host_kernels_all_complete() {
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let mut sim = Simulation::builder(GpuConfig::test_small()).build();
         for _ in 0..3 {
             sim.launch_host(imbalanced_kernel(None));
         }
-        let r = sim.run();
+        let r = sim.run().report;
         assert_eq!(r.items_total(), 3 * total_items());
     }
 
@@ -1465,12 +1624,12 @@ mod tests {
             source: ThreadSource::Explicit(Arc::new(threads)),
             dp: None,
         };
-        let mut s1 = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let mut s1 = Simulation::builder(GpuConfig::test_small()).build();
         s1.launch_host(mk(balanced));
-        let r1 = s1.run();
-        let mut s2 = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let r1 = s1.run().report;
+        let mut s2 = Simulation::builder(GpuConfig::test_small()).build();
         s2.launch_host(mk(imbalanced));
-        let r2 = s2.run();
+        let r2 = s2.run().report;
         assert_eq!(r1.items_total(), r2.items_total());
         assert!(
             r2.total_cycles > r1.total_cycles * 3 / 2,
@@ -1533,9 +1692,11 @@ mod more_tests {
                 rand_seed: t as u64,
             })
             .collect();
-        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(kernel_with(Some(spec(8)), threads));
-        let r = sim.run();
+        let r = sim.run().report;
         // The controller said "launch" every time, but the pool cap turned
         // most of those into inline execution (API returns "fail").
         assert!(r.inlined_requests > 0, "pool-full path never exercised");
@@ -1552,10 +1713,10 @@ mod more_tests {
             let mut cfg = GpuConfig::test_small();
             cfg.num_hwqs = 1; // force both host kernels onto one HWQ
             cfg.launch.hwq_turnaround_cycles = ta;
-            let mut sim = Simulation::new(cfg, Box::new(crate::InlineAll));
+            let mut sim = Simulation::builder(cfg).build();
             sim.launch_host(mk());
             sim.launch_host(mk());
-            sim.run().total_cycles
+            sim.run().report.total_cycles
         };
         let fast = run_with_turnaround(0);
         let slow = run_with_turnaround(50_000);
@@ -1574,9 +1735,11 @@ mod more_tests {
                 rand_seed: t as u64,
             })
             .collect();
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(kernel_with(Some(spec(8)), threads));
-        let r = sim.run();
+        let r = sim.run().report;
         assert_eq!(r.kernels.len(), 1 + r.child_kernels_launched as usize);
         let host = &r.kernels[0];
         assert_eq!(host.role, KernelRole::Host);
@@ -1607,9 +1770,11 @@ mod more_tests {
             .collect();
         let cfg = GpuConfig::test_small();
         let (a, b) = (cfg.launch.a, cfg.launch.b);
-        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(kernel_with(Some(spec(8)), threads));
-        let r = sim.run();
+        let r = sim.run().report;
         assert_eq!(r.child_kernels_launched, 8);
         let lats: Vec<u64> = r.kernels[1..]
             .iter()
@@ -1631,9 +1796,11 @@ mod more_tests {
                 rand_seed: t as u64,
             })
             .collect();
-        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(kernel_with(Some(spec(8)), threads));
-        let r = sim.run();
+        let r = sim.run().report;
         assert!(r.timeline.iter().any(|(_, s)| s.concurrent_kernels > 0));
         for (_, s) in &r.timeline {
             assert!(s.concurrent_kernels <= 4, "HWQ limit violated");
@@ -1654,9 +1821,11 @@ mod more_tests {
         let run_with_hwqs = |n: u32| {
             let mut cfg = GpuConfig::test_small();
             cfg.num_hwqs = n;
-            let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+            let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
             sim.launch_host(kernel_with(Some(spec(8)), threads.clone()));
-            sim.run().avg_child_queue_latency
+            sim.run().report.avg_child_queue_latency
         };
         let narrow = run_with_hwqs(1);
         let wide = run_with_hwqs(32);
@@ -1691,8 +1860,10 @@ mod trace_tests {
                 rand_seed: t as u64,
             })
             .collect();
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
-        sim.enable_trace(100_000);
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(Box::new(LaunchAll))
+            .trace(100_000)
+            .build();
         sim.launch_host(KernelDesc {
             name: "traced".into(),
             cta_threads: 64,
@@ -1711,7 +1882,8 @@ mod trace_tests {
                 nested: None,
             })),
         });
-        sim.run_traced()
+        let out = sim.run();
+        (out.report, out.trace.expect("trace enabled on builder"))
     }
 
     #[test]
@@ -1764,8 +1936,8 @@ mod trace_tests {
     }
 
     #[test]
-    fn run_traced_without_enable_gives_empty_bounded_trace() {
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+    fn run_without_trace_opt_in_yields_none() {
+        let mut sim = Simulation::builder(GpuConfig::test_small()).build();
         sim.launch_host(KernelDesc {
             name: "mini".into(),
             cta_threads: 32,
@@ -1778,10 +1950,12 @@ mod trace_tests {
             },
             dp: None,
         });
-        let (report, trace) = sim.run_traced();
-        assert!(report.total_cycles > 0);
-        // Capacity-1 stub records the host kernel creation then drops.
-        assert!(trace.events().len() <= 1);
+        let out = sim.run();
+        assert!(out.report.total_cycles > 0);
+        // Tracing is strictly opt-in on the builder.
+        assert!(out.trace.is_none());
+        // Metrics default to Off: no artifact either.
+        assert!(out.artifact.is_none());
     }
 }
 
@@ -1842,9 +2016,11 @@ mod placement_tests {
     fn run_with_placement(p: CtaPlacement) -> SimReport {
         let mut cfg = GpuConfig::test_small();
         cfg.cta_placement = p;
-        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(dp_kernel());
-        sim.run()
+        sim.run().report
     }
 
     #[test]
@@ -1878,10 +2054,10 @@ mod placement_tests {
             },
             dp: None,
         };
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let mut sim = Simulation::builder(GpuConfig::test_small()).build();
         sim.launch_host(mk());
         sim.launch_host(mk());
-        let r = sim.run();
+        let r = sim.run().report;
         let k0_done = r.kernels[0].own_done_at.expect("done");
         let k1_start = r.kernels[1].first_dispatch.expect("dispatched");
         assert!(
@@ -1890,10 +2066,10 @@ mod placement_tests {
         );
 
         // Distinct streams run concurrently.
-        let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(crate::InlineAll));
+        let mut sim = Simulation::builder(GpuConfig::test_small()).build();
         sim.launch_host_on_stream(mk(), StreamId(0));
         sim.launch_host_on_stream(mk(), StreamId(1));
-        let r = sim.run();
+        let r = sim.run().report;
         let k0_done = r.kernels[0].own_done_at.expect("done");
         let k1_start = r.kernels[1].first_dispatch.expect("dispatched");
         assert!(
@@ -1913,7 +2089,7 @@ mod guard_tests {
     fn runaway_guard_fires() {
         let mut cfg = GpuConfig::test_small();
         cfg.max_cycles = 50; // absurdly small budget
-        let mut sim = Simulation::new(cfg, Box::new(crate::InlineAll));
+        let mut sim = Simulation::builder(cfg).build();
         sim.launch_host(KernelDesc {
             name: "busy".into(),
             cta_threads: 32,
@@ -1934,7 +2110,7 @@ mod guard_tests {
     fn invalid_config_rejected_at_construction() {
         let mut cfg = GpuConfig::test_small();
         cfg.smx_count = 0;
-        let _ = Simulation::new(cfg, Box::new(crate::InlineAll));
+        let _ = Simulation::builder(cfg).build();
     }
 }
 
@@ -1985,7 +2161,9 @@ mod nesting_tests {
     fn run_with_depth_limit(limit: u8) -> SimReport {
         let mut cfg = GpuConfig::test_small();
         cfg.max_nesting_depth = limit;
-        let mut sim = Simulation::new(cfg, Box::new(LaunchAll));
+        let mut sim = Simulation::builder(cfg)
+            .controller(Box::new(LaunchAll))
+            .build();
         sim.launch_host(KernelDesc {
             name: "nest".into(),
             cta_threads: 32,
@@ -1995,7 +2173,7 @@ mod nesting_tests {
             source: ThreadSource::Explicit(Arc::new(vec![ThreadWork::with_items(256); 8])),
             dp: Some(recursive_spec(8)),
         });
-        sim.run()
+        sim.run().report
     }
 
     #[test]
@@ -2015,5 +2193,171 @@ mod nesting_tests {
         // The deepest kernels respect the limit.
         let max_depth = deep.kernels.iter().map(|k| k.depth).max().unwrap_or(0);
         assert!(max_depth <= 4, "depth {max_depth} exceeds limit");
+    }
+}
+
+#[cfg(test)]
+mod artifact_tests {
+    use super::*;
+    use crate::work::WorkClass;
+
+    /// Launches everything and logs a fake Eq. 1 prediction per decision,
+    /// exercising the artifact's estimate-vs-actual pairing without
+    /// depending on `dynapar-core`.
+    struct PredictAll {
+        preds: Vec<u64>,
+    }
+
+    impl LaunchController for PredictAll {
+        fn name(&self) -> &str {
+            "predict-all"
+        }
+        fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+            self.preds.push(20_210 + req.items as u64);
+            LaunchDecision::Kernel
+        }
+        fn predictions(&self) -> Option<&[u64]> {
+            Some(&self.preds)
+        }
+        fn export_metrics(&self, reg: &mut MetricsRegistry) {
+            reg.counter("policy.decisions", self.preds.len() as u64);
+        }
+    }
+
+    fn dp_kernel() -> KernelDesc {
+        let threads: Vec<ThreadWork> = (0..64)
+            .map(|t| ThreadWork {
+                items: if t % 8 == 0 { 100 } else { 2 },
+                seq_base: 0,
+                rand_seed: t as u64,
+            })
+            .collect();
+        KernelDesc {
+            name: "artifact".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass::compute_only("p", 8)),
+            source: ThreadSource::Explicit(Arc::new(threads)),
+            dp: Some(Arc::new(DpSpec {
+                child_class: Arc::new(WorkClass::compute_only("c", 8)),
+                child_cta_threads: 32,
+                child_items_per_thread: 1,
+                child_regs_per_thread: 8,
+                child_shmem_per_cta: 0,
+                min_items: 8,
+                default_threshold: 8,
+                nested: None,
+            })),
+        }
+    }
+
+    fn run_at(level: MetricsLevel) -> RunOutcome {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(Box::new(PredictAll { preds: Vec::new() }))
+            .metrics(level)
+            .trace(100_000)
+            .build();
+        sim.launch_host(dp_kernel());
+        sim.run()
+    }
+
+    #[test]
+    fn metrics_off_produces_no_artifact() {
+        let out = run_at(MetricsLevel::Off);
+        assert!(out.artifact.is_none());
+        assert!(out.trace.is_some(), "trace is independent of metrics");
+    }
+
+    #[test]
+    fn artifact_carries_every_section_and_round_trips() {
+        let out = run_at(MetricsLevel::Full);
+        let artifact = out.artifact.expect("metrics enabled");
+        assert_eq!(artifact.level(), MetricsLevel::Full);
+
+        // Byte-stable round trip through the in-house parser.
+        let text = artifact.to_string();
+        let back = RunArtifact::parse(&text).expect("self-emitted artifact parses");
+        assert_eq!(back, artifact);
+        assert_eq!(back.to_string(), text);
+
+        let json = artifact.json();
+        // Config echo.
+        let cfg = json.get("config").expect("config section");
+        assert_eq!(
+            cfg.get("smx_count").unwrap().as_u64(),
+            Some(GpuConfig::test_small().smx_count as u64)
+        );
+        // Report, without the nondeterministic wall-clock field.
+        let report = json.get("report").expect("report section");
+        assert!(report.get("wall_ms").is_none());
+        assert_eq!(
+            report.get("total_cycles").unwrap().as_u64(),
+            Some(out.report.total_cycles)
+        );
+        assert_eq!(
+            report.get("kernels").unwrap().as_array().unwrap().len(),
+            out.report.kernels.len()
+        );
+        // Component metrics from the GMU, the SMXs, and the policy.
+        let metrics = json.get("metrics").expect("metrics section");
+        assert!(metrics.get("gmu.kernels_enqueued").unwrap().as_u64().unwrap() > 0);
+        assert!(metrics.get("smx.ctas_executed").is_some());
+        assert_eq!(
+            metrics.get("policy.decisions").unwrap().as_u64(),
+            Some(out.report.launch_requests)
+        );
+        // Trace export rides along.
+        assert!(json.get("trace").unwrap().get("events").is_some());
+    }
+
+    #[test]
+    fn ccqs_samples_pair_estimates_with_child_kernels() {
+        let out = run_at(MetricsLevel::Summary);
+        let artifact = out.artifact.expect("metrics enabled");
+        let samples = artifact.ccqs_samples();
+        assert_eq!(samples.len() as u64, out.report.child_kernels_launched);
+        assert!(!samples.is_empty(), "workload must launch children");
+        for s in &samples {
+            let k = out
+                .report
+                .kernels
+                .iter()
+                .find(|k| k.id == s.kernel)
+                .expect("sample references a real kernel");
+            assert_eq!(k.role, KernelRole::Child);
+            let actual = s.actual.expect("children completed");
+            assert_eq!(actual, k.own_done_at.unwrap() - k.created_at);
+            assert!(s.estimate > 20_210);
+        }
+    }
+
+    #[test]
+    fn summary_level_omits_bulk_sections() {
+        let full = run_at(MetricsLevel::Full);
+        let summary = run_at(MetricsLevel::Summary);
+        let f = full.artifact.unwrap();
+        let s = summary.artifact.unwrap();
+        assert!(f.json().get("report").unwrap().get("timeline").is_some());
+        assert!(s.json().get("report").unwrap().get("timeline").is_none());
+        // Per-SMX entries only appear at Full.
+        let has_per_smx = |a: &RunArtifact| {
+            a.json()
+                .get("metrics")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .iter()
+                .any(|(k, _)| k.starts_with("smx.0."))
+        };
+        assert!(has_per_smx(&f));
+        assert!(!has_per_smx(&s));
+    }
+
+    #[test]
+    fn artifact_json_is_deterministic_across_runs() {
+        let a = run_at(MetricsLevel::Full).artifact.unwrap().to_string();
+        let b = run_at(MetricsLevel::Full).artifact.unwrap().to_string();
+        assert_eq!(a, b);
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use dynapar_engine::metrics::MetricsRegistry;
 use dynapar_engine::Cycle;
 
 use crate::config::{GpuConfig, SchedulerKind};
@@ -91,6 +92,12 @@ pub(crate) struct Smx {
     scheduler: SchedulerKind,
     /// Cycle of the currently scheduled issue tick, if any (dedupe).
     pub tick_at: Option<Cycle>,
+    /// Lifetime count of CTAs that completed on this SMX.
+    pub ctas_executed: u64,
+    /// Lifetime count of warps installed on this SMX.
+    pub warps_launched: u64,
+    /// High-water mark of resident warps.
+    pub peak_resident_warps: u32,
 }
 
 impl Smx {
@@ -116,6 +123,9 @@ impl Smx {
             rr_cursor: 0,
             scheduler: cfg.scheduler,
             tick_at: None,
+            ctas_executed: 0,
+            warps_launched: 0,
+            peak_resident_warps: 0,
         }
     }
 
@@ -167,6 +177,7 @@ impl Smx {
         self.used_shmem -= cta.shmem;
         self.used_ctas -= 1;
         self.free_cta_slots.push(slot);
+        self.ctas_executed += 1;
         cta
     }
 
@@ -178,6 +189,8 @@ impl Smx {
     pub fn add_warp(&mut self, warp: WarpRt) -> u32 {
         let slot = self.free_warp_slots.pop().expect("warp slot available");
         self.warps[slot as usize] = Some(warp);
+        self.warps_launched += 1;
+        self.peak_resident_warps = self.peak_resident_warps.max(self.resident_warps());
         slot
     }
 
@@ -268,6 +281,18 @@ impl Smx {
             }
         }
         best
+    }
+
+    /// Contributes this SMX's per-core entries (`smx.<id>.*`) to the run
+    /// artifact's registry; the simulation adds the cross-SMX aggregates.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let i = self.id.index();
+        reg.counter(&format!("smx.{i}.ctas_executed"), self.ctas_executed);
+        reg.counter(&format!("smx.{i}.warps_launched"), self.warps_launched);
+        reg.gauge(
+            &format!("smx.{i}.peak_resident_warps"),
+            self.peak_resident_warps as f64,
+        );
     }
 
     /// Utilization components `(threads, regs, shmem)` as used/capacity.
@@ -424,6 +449,29 @@ mod tests {
         assert!((t - 0.5).abs() < 1e-12);
         assert!((r - 0.5).abs() < 1e-12);
         assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_counters_and_export() {
+        use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+        let mut s = smx();
+        let slot = s.reserve_cta(cta(64, 64, 0));
+        s.release_cta(slot);
+        s.add_warp(warp(1));
+        s.add_warp(warp(2));
+        s.take_warp(0);
+        assert_eq!(s.ctas_executed, 1);
+        assert_eq!(s.warps_launched, 2);
+        assert_eq!(s.peak_resident_warps, 2);
+        let mut reg = MetricsRegistry::new(MetricsLevel::Full);
+        s.export_metrics(&mut reg);
+        let json = reg.to_json();
+        assert_eq!(json.get("smx.0.ctas_executed").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("smx.0.warps_launched").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            json.get("smx.0.peak_resident_warps").unwrap().as_f64(),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use std::sync::Arc;
 
+use dynapar_engine::json::Json;
+use dynapar_engine::metrics::MetricsLevel;
+
 use crate::mem::MemStats;
 
 /// Why a kernel existed (public mirror of the internal kind).
@@ -49,6 +52,22 @@ impl KernelSummary {
     /// overhead for child kernels.
     pub fn launch_latency(&self) -> Option<u64> {
         Some(self.arrived_at? - self.created_at)
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+        Json::obj([
+            ("id", Json::U64(self.id as u64)),
+            ("name", Json::str(self.name.as_ref())),
+            ("role", Json::str(format!("{:?}", self.role))),
+            ("depth", Json::U64(self.depth as u64)),
+            ("grid_ctas", Json::U64(self.grid_ctas as u64)),
+            ("created_at", Json::U64(self.created_at)),
+            ("arrived_at", opt(self.arrived_at)),
+            ("first_dispatch", opt(self.first_dispatch)),
+            ("own_done_at", opt(self.own_done_at)),
+        ])
     }
 }
 
@@ -172,14 +191,115 @@ impl SimReport {
         }
     }
 
-    /// Simulator throughput in events per wall-clock second, 0 when the
-    /// run was too fast to time.
-    pub fn events_per_sec(&self) -> f64 {
+    /// Simulator throughput in events per wall-clock second, or `None`
+    /// when the run was too fast to time (so callers cannot silently fold
+    /// a zero rate into an average).
+    pub fn events_per_sec(&self) -> Option<f64> {
         if self.wall_ms <= 0.0 {
-            0.0
+            None
         } else {
-            self.events_processed as f64 / (self.wall_ms / 1e3)
+            Some(self.events_processed as f64 / (self.wall_ms / 1e3))
         }
+    }
+
+    /// Renders the report as a JSON object for the run artifact.
+    ///
+    /// Deliberately excludes `wall_ms` (and the throughput derived from
+    /// it): host timing is the report's only nondeterministic field, and
+    /// leaving it out keeps artifacts byte-identical across reruns and
+    /// job counts. The bulky vectors (timeline, per-CTA and per-launch
+    /// cycles) are included only at [`MetricsLevel::Full`].
+    pub fn to_json(&self, level: MetricsLevel) -> Json {
+        let mut members = vec![
+            ("controller".to_string(), Json::str(self.controller.clone())),
+            ("total_cycles".to_string(), Json::U64(self.total_cycles)),
+            (
+                "child_kernels_launched".to_string(),
+                Json::U64(self.child_kernels_launched),
+            ),
+            ("launch_requests".to_string(), Json::U64(self.launch_requests)),
+            ("inlined_requests".to_string(), Json::U64(self.inlined_requests)),
+            (
+                "redistributed_requests".to_string(),
+                Json::U64(self.redistributed_requests),
+            ),
+            (
+                "aggregated_launches".to_string(),
+                Json::U64(self.aggregated_launches),
+            ),
+            ("aggregated_ctas".to_string(), Json::U64(self.aggregated_ctas)),
+            (
+                "child_ctas_executed".to_string(),
+                Json::U64(self.child_ctas_executed),
+            ),
+            ("items_inline".to_string(), Json::U64(self.items_inline)),
+            ("items_child".to_string(), Json::U64(self.items_child)),
+            ("occupancy".to_string(), Json::F64(self.occupancy)),
+            (
+                "mem".to_string(),
+                Json::obj([
+                    ("l1_accesses", Json::U64(self.mem.l1_accesses)),
+                    ("l1_hits", Json::U64(self.mem.l1_hits)),
+                    ("l2_accesses", Json::U64(self.mem.l2_accesses)),
+                    ("l2_hits", Json::U64(self.mem.l2_hits)),
+                    ("dram_accesses", Json::U64(self.mem.dram_accesses)),
+                    ("writes", Json::U64(self.mem.writes)),
+                    ("mshr_stalls", Json::U64(self.mem.mshr_stalls)),
+                ]),
+            ),
+            (
+                "dram_row_hit_rate".to_string(),
+                Json::F64(self.dram_row_hit_rate),
+            ),
+            (
+                "avg_child_queue_latency".to_string(),
+                Json::F64(self.avg_child_queue_latency),
+            ),
+            (
+                "max_pending_kernels".to_string(),
+                Json::U64(self.max_pending_kernels as u64),
+            ),
+            ("events_processed".to_string(), Json::U64(self.events_processed)),
+            (
+                "kernels".to_string(),
+                Json::Arr(self.kernels.iter().map(KernelSummary::to_json).collect()),
+            ),
+        ];
+        if level == MetricsLevel::Full {
+            members.push((
+                "timeline".to_string(),
+                Json::Arr(
+                    self.timeline
+                        .iter()
+                        .map(|(t, s)| {
+                            Json::obj([
+                                ("cycle", Json::U64(*t)),
+                                ("parent_ctas", Json::U64(s.parent_ctas as u64)),
+                                ("child_ctas", Json::U64(s.child_ctas as u64)),
+                                ("utilization", Json::F64(s.utilization)),
+                                (
+                                    "concurrent_kernels",
+                                    Json::U64(s.concurrent_kernels as u64),
+                                ),
+                                (
+                                    "peak_smx_utilization",
+                                    Json::F64(s.peak_smx_utilization),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            members.push((
+                "child_cta_exec_cycles".to_string(),
+                Json::Arr(self.child_cta_exec_cycles.iter().map(|&c| Json::U64(c)).collect()),
+            ));
+            members.push((
+                "child_launch_cycles".to_string(),
+                Json::Arr(self.child_launch_cycles.iter().map(|&c| Json::U64(c)).collect()),
+            ));
+        }
+        Json::Obj(members)
     }
 }
 
@@ -221,7 +341,54 @@ mod tests {
         assert_eq!(r.items_total(), 100);
         assert!((r.offload_fraction() - 0.7).abs() < 1e-12);
         assert!((r.mean_child_cta_exec() - 25.0).abs() < 1e-12);
-        assert!((r.events_per_sec() - 61_500.0).abs() < 1e-6);
+        let rate = r.events_per_sec().expect("timed run");
+        assert!((rate - 61_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untimed_run_has_no_throughput() {
+        let mut r = report();
+        r.wall_ms = 0.0;
+        assert_eq!(r.events_per_sec(), None);
+        r.wall_ms = -1.0;
+        assert_eq!(r.events_per_sec(), None);
+    }
+
+    #[test]
+    fn json_export_excludes_wall_ms_and_scales_with_level() {
+        let mut r = report();
+        r.kernels.push(KernelSummary {
+            id: 0,
+            name: "host".into(),
+            role: KernelRole::Host,
+            depth: 0,
+            grid_ctas: 2,
+            created_at: 0,
+            arrived_at: Some(0),
+            first_dispatch: Some(10),
+            own_done_at: Some(90),
+        });
+        let summary = r.to_json(MetricsLevel::Summary);
+        assert_eq!(summary.get("wall_ms"), None, "wall_ms is nondeterministic");
+        assert_eq!(summary.get("total_cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(summary.get("timeline"), None, "bulk vectors need Full");
+        assert_eq!(
+            summary.get("kernels").unwrap().as_array().unwrap().len(),
+            1,
+            "kernel summaries present at every enabled level"
+        );
+        let full = r.to_json(MetricsLevel::Full);
+        assert_eq!(
+            full.get("child_cta_exec_cycles")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            4
+        );
+        // Emission must survive a parse round trip byte-identically.
+        let text = full.to_string();
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
     }
 
     #[test]

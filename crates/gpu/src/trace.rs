@@ -1,6 +1,6 @@
 //! Structured execution tracing.
 //!
-//! When enabled via [`Simulation::enable_trace`](crate::Simulation::enable_trace),
+//! When enabled via [`SimulationBuilder::trace`](crate::SimulationBuilder::trace),
 //! the simulator records a bounded log of launch decisions and
 //! kernel/CTA lifecycle events — the raw material for debugging policy
 //! behaviour (e.g. watching SPAWN's decisions flip as the CCQS backlog
@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use dynapar_engine::json::Json;
 use dynapar_engine::Cycle;
 
 use crate::controller::LaunchDecision;
@@ -72,6 +73,55 @@ impl TraceEvent {
             | TraceEvent::KernelArrived { at, .. }
             | TraceEvent::CtaDispatched { at, .. }
             | TraceEvent::KernelCompleted { at, .. } => at,
+        }
+    }
+
+    /// Renders the event as a JSON object tagged by `kind`.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            TraceEvent::Decision {
+                at,
+                parent,
+                items,
+                decision,
+            } => Json::obj([
+                ("kind", Json::str("decision")),
+                ("at", Json::U64(at.as_u64())),
+                ("parent", Json::U64(parent.0 as u64)),
+                ("items", Json::U64(items as u64)),
+                ("decision", Json::str(format!("{decision:?}"))),
+            ]),
+            TraceEvent::KernelCreated { at, kernel, parent } => Json::obj([
+                ("kind", Json::str("kernel_created")),
+                ("at", Json::U64(at.as_u64())),
+                ("kernel", Json::U64(kernel.0 as u64)),
+                (
+                    "parent",
+                    parent.map_or(Json::Null, |p| Json::U64(p.0 as u64)),
+                ),
+            ]),
+            TraceEvent::KernelArrived { at, kernel } => Json::obj([
+                ("kind", Json::str("kernel_arrived")),
+                ("at", Json::U64(at.as_u64())),
+                ("kernel", Json::U64(kernel.0 as u64)),
+            ]),
+            TraceEvent::CtaDispatched {
+                at,
+                kernel,
+                cta,
+                smx,
+            } => Json::obj([
+                ("kind", Json::str("cta_dispatched")),
+                ("at", Json::U64(at.as_u64())),
+                ("kernel", Json::U64(kernel.0 as u64)),
+                ("cta", Json::U64(cta as u64)),
+                ("smx", Json::U64(smx.0 as u64)),
+            ]),
+            TraceEvent::KernelCompleted { at, kernel } => Json::obj([
+                ("kind", Json::str("kernel_completed")),
+                ("at", Json::U64(at.as_u64())),
+                ("kernel", Json::U64(kernel.0 as u64)),
+            ]),
         }
     }
 }
@@ -155,6 +205,19 @@ impl Trace {
             .filter(|e| matches!(e, TraceEvent::Decision { .. }))
     }
 
+    /// Renders the trace as a JSON object: capacity, drop count, and the
+    /// recorded events in simulation order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity", Json::U64(self.capacity as u64)),
+            ("dropped", Json::U64(self.dropped)),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
     /// Events concerning one kernel (created/arrived/dispatched/completed).
     pub fn kernel_events(&self, kernel: KernelId) -> Vec<&TraceEvent> {
         self.events
@@ -227,5 +290,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         Trace::new(0);
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let mut t = Trace::new(8);
+        t.record(TraceEvent::Decision {
+            at: Cycle(5),
+            parent: KernelId(0),
+            items: 42,
+            decision: LaunchDecision::Kernel,
+        });
+        t.record(TraceEvent::KernelCreated {
+            at: Cycle(6),
+            kernel: KernelId(1),
+            parent: Some(KernelId(0)),
+        });
+        t.record(TraceEvent::CtaDispatched {
+            at: Cycle(9),
+            kernel: KernelId(1),
+            cta: 0,
+            smx: SmxId(3),
+        });
+        let json = t.to_json();
+        let text = json.to_string();
+        let back = Json::parse(&text).expect("valid JSON");
+        assert_eq!(back, json);
+        let events = back.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("decision"));
+        assert_eq!(events[0].get("decision").unwrap().as_str(), Some("Kernel"));
+        assert_eq!(events[1].get("parent").unwrap().as_u64(), Some(0));
+        assert_eq!(events[2].get("smx").unwrap().as_u64(), Some(3));
+        assert_eq!(back.get("dropped").unwrap().as_u64(), Some(0));
     }
 }

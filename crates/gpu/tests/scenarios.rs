@@ -30,9 +30,9 @@ fn compute_kernel(
 }
 
 fn run(cfg: GpuConfig, desc: KernelDesc) -> SimReport {
-    let mut sim = Simulation::new(cfg, Box::new(dynapar_gpu::InlineAll));
+    let mut sim = Simulation::builder(cfg).build();
     sim.launch_host(desc);
-    sim.run()
+    sim.run().report
 }
 
 #[test]
@@ -131,9 +131,11 @@ fn mixed_decisions_conserve_work_across_all_three_paths() {
             nested: None,
         })),
     };
-    let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(RoundRobinPolicy { i: 0 }));
+    let mut sim = Simulation::builder(GpuConfig::test_small())
+        .controller(Box::new(RoundRobinPolicy { i: 0 }))
+        .build();
     sim.launch_host(desc);
-    let r = sim.run();
+    let r = sim.run().report;
     assert_eq!(r.items_total(), 256 * 96);
     assert!(r.child_kernels_launched > 0, "Kernel path used");
     assert!(r.aggregated_launches > 0, "Aggregated path used");
@@ -256,9 +258,11 @@ fn huge_fanout_of_tiny_kernels_drains() {
             nested: None,
         })),
     };
-    let mut sim = Simulation::new(GpuConfig::test_small(), Box::new(LaunchAll));
+    let mut sim = Simulation::builder(GpuConfig::test_small())
+        .controller(Box::new(LaunchAll))
+        .build();
     sim.launch_host(desc);
-    let r = sim.run();
+    let r = sim.run().report;
     assert_eq!(r.child_kernels_launched, 512);
     assert_eq!(r.items_child, 512 * 8);
     assert_eq!(r.items_inline, 0);

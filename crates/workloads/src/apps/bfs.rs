@@ -212,11 +212,13 @@ pub mod levels {
         cfg: &GpuConfig,
         controller: Box<dyn LaunchController>,
     ) -> SimReport {
-        let mut sim = Simulation::new(cfg.clone(), controller);
+        let mut sim = Simulation::builder(cfg.clone())
+            .controller(controller)
+            .build();
         for k in build_kernels(input, scale, seed) {
             sim.launch_host(k);
         }
-        sim.run()
+        sim.run().report
     }
 
     #[cfg(test)]

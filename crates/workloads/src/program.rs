@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use dynapar_gpu::{
-    GpuConfig, KernelDesc, LaunchController, SimReport, Simulation, ThreadSource, ThreadWork,
+    GpuConfig, KernelDesc, LaunchController, MetricsLevel, RunOutcome, SimReport, Simulation,
+    ThreadSource, ThreadWork,
 };
 
 /// Input-size presets.
@@ -156,7 +157,27 @@ impl Benchmark {
 
     /// Runs the benchmark on `cfg` under `controller`.
     pub fn run(&self, cfg: &GpuConfig, controller: Box<dyn LaunchController>) -> SimReport {
-        let mut sim = Simulation::new(cfg.clone(), controller);
+        self.run_full(cfg, controller, None, MetricsLevel::Off).report
+    }
+
+    /// Runs the benchmark with full observability control: optional
+    /// bounded decision trace and a metrics level selecting whether (and
+    /// how much of) a [`RunArtifact`](dynapar_gpu::RunArtifact) the run
+    /// emits.
+    pub fn run_full(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        trace_capacity: Option<usize>,
+        metrics: MetricsLevel,
+    ) -> RunOutcome {
+        let mut builder = Simulation::builder(cfg.clone())
+            .controller(controller)
+            .metrics(metrics);
+        if let Some(cap) = trace_capacity {
+            builder = builder.trace(cap);
+        }
+        let mut sim = builder.build();
         sim.launch_host(self.kernel());
         sim.run()
     }

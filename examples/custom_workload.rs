@@ -75,9 +75,11 @@ fn main() {
     let seed = 2017;
 
     let run = |label: &str, controller: Box<dyn dynapar::gpu::LaunchController>| {
-        let mut sim = Simulation::new(cfg.clone(), controller);
+        let mut sim = Simulation::builder(cfg.clone())
+            .controller(controller)
+            .build();
         sim.launch_host(build_kernel(seed));
-        let r = sim.run();
+        let r = sim.run().report;
         println!(
             "{label:<12} {:>9} cycles | {:>5} kernels | occupancy {:>4.0}% | L2 hit {:>4.0}%",
             r.total_cycles,

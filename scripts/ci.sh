@@ -20,4 +20,17 @@ cargo test -q --offline --workspace
 echo "== scorecard smoke (tiny scale) =="
 ./target/release/scorecard --scale tiny
 
+echo "== artifact smoke (emit + validate round trip) =="
+artifact_dir="$(mktemp -d)"
+trap 'rm -rf "$artifact_dir"' EXIT
+./target/release/dynapar run --bench GC-citation --policy spawn --scale tiny \
+    --metrics full --emit-json "$artifact_dir/run.json"
+./target/release/dynapar check-artifact --file "$artifact_dir/run.json"
+grep -q '"ccqs_samples"' "$artifact_dir/run.json"
+grep -q '"estimate"' "$artifact_dir/run.json"
+
+echo "== deprecated-API gate (workspace must not call shims) =="
+CARGO_TARGET_DIR=target/ci-deprecated RUSTFLAGS="-D deprecated" \
+    cargo check -q --offline --workspace --all-targets
+
 echo "== ci: all green =="

@@ -88,9 +88,9 @@ fn run(p: &Program, spawn: bool) -> SimReport {
     } else {
         Box::new(BaselineDp::new())
     };
-    let mut sim = Simulation::new(cfg, controller);
+    let mut sim = Simulation::builder(cfg).controller(controller).build();
     sim.launch_host(build(p));
-    sim.run()
+    sim.run().report
 }
 
 #[test]

@@ -251,10 +251,13 @@ fn traced_run_matches_untraced_run() {
     let cfg = cfg();
     let bench = suite::by_name("GC-citation", Scale::Tiny, 3).expect("known");
     let plain = bench.run(&cfg, Box::new(BaselineDp::new()));
-    let mut sim = dynapar::gpu::Simulation::new(cfg.clone(), Box::new(BaselineDp::new()));
-    sim.enable_trace(1_000_000);
+    let mut sim = dynapar::gpu::Simulation::builder(cfg.clone())
+        .controller(Box::new(BaselineDp::new()))
+        .trace(1_000_000)
+        .build();
     sim.launch_host(bench.kernel());
-    let (traced, trace) = sim.run_traced();
+    let out = sim.run();
+    let (traced, trace) = (out.report, out.trace.expect("trace enabled on builder"));
     assert_eq!(plain.total_cycles, traced.total_cycles);
     assert_eq!(plain.events_processed, traced.events_processed);
     assert_eq!(

@@ -6,25 +6,81 @@
 //! Runs are serial by default so the wall-clock of one simulation is
 //! not polluted by siblings competing for cores; pass `--jobs N` to
 //! measure aggregate throughput with the parallel runner instead.
+//!
+//! Beyond the shared flags, `perf` adds:
+//!
+//! - `--parallel` — use the worker pool instead of the serial default.
+//! - `--queue heap|wheel` — event-queue backend (default wheel), for
+//!   head-to-head backend comparisons on identical work.
+//! - `--emit-json PATH` — write the results as a perf artifact
+//!   (`results/BENCH_3.json` is the committed baseline).
+//! - `--baseline PATH` — compare against a previously emitted artifact
+//!   and exit non-zero on regression.
+//! - `--max-regress F` — allowed fractional throughput drop before the
+//!   baseline comparison fails (default 0.30: wall-clock on a noisy
+//!   machine swings ±15–30% run to run, so the gate only catches
+//!   collapses, not jitter).
 
 use dynapar_bench::{usage_error, Options};
 use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_engine::par::par_map;
-use dynapar_gpu::SimReport;
-use dynapar_workloads::suite;
+use dynapar_gpu::{InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimReport};
+use dynapar_workloads::{suite, Scale};
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Schema tag of the perf artifact this binary emits and consumes.
+const PERF_SCHEMA: &str = "dynapar-perf/1";
 
 fn main() {
     let (mut opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let mut serial = true;
+    let mut queue = QueueBackend::default();
+    let mut emit_json: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut max_regress = 0.30f64;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
             // --jobs is already consumed by Options; this extra flag
             // only switches perf from its serial default to the pool.
             "--parallel" => serial = false,
-            other => {
-                usage_error(&format!("unknown argument {other:?} (perf adds --parallel)"))
+            "--queue" => {
+                queue = rest
+                    .next()
+                    .as_deref()
+                    .and_then(QueueBackend::parse)
+                    .unwrap_or_else(|| usage_error("--queue expects heap|wheel"));
             }
+            "--emit-json" => {
+                emit_json =
+                    Some(rest.next().unwrap_or_else(|| usage_error("--emit-json expects a path")));
+            }
+            "--baseline" => {
+                baseline =
+                    Some(rest.next().unwrap_or_else(|| usage_error("--baseline expects a path")));
+            }
+            "--max-regress" => {
+                let v = rest
+                    .next()
+                    .unwrap_or_else(|| usage_error("--max-regress expects a fraction in [0, 1)"));
+                max_regress = match v.parse() {
+                    Ok(f) if (0.0..1.0).contains(&f) => f,
+                    _ => usage_error(&format!(
+                        "--max-regress expects a fraction in [0, 1), got {v:?}"
+                    )),
+                };
+            }
+            other => usage_error(&format!(
+                "unknown argument {other:?} (perf adds --parallel, --queue, \
+                 --emit-json, --baseline, --max-regress)"
+            )),
         }
     }
     if serial {
@@ -40,19 +96,28 @@ fn main() {
     let mut jobs: Vec<Job> = Vec::new();
     for b in &benches {
         let cfg = &cfg;
-        jobs.push((format!("{}/flat", b.name()), Box::new(move || b.run_flat(cfg))));
+        let full = move |ctl: Box<dyn LaunchController>| {
+            b.run_full_on(cfg, ctl, None, MetricsLevel::Off, queue).report
+        };
+        jobs.push((
+            format!("{}/flat", b.name()),
+            Box::new(move || full(Box::new(InlineAll))),
+        ));
         jobs.push((
             format!("{}/baseline", b.name()),
-            Box::new(move || b.run(cfg, Box::new(BaselineDp::new()))),
+            Box::new(move || full(Box::new(BaselineDp::new()))),
         ));
         jobs.push((
             format!("{}/spawn", b.name()),
-            Box::new(move || b.run(cfg, Box::new(SpawnPolicy::from_config(cfg)))),
+            Box::new(move || full(Box::new(SpawnPolicy::from_config(cfg)))),
         ));
     }
     println!(
-        "# perf (scale {:?}, seed {}, jobs {})",
-        opts.scale, opts.seed, opts.jobs
+        "# perf (scale {}, seed {}, jobs {}, queue {})",
+        scale_name(opts.scale),
+        opts.seed,
+        opts.jobs,
+        queue.name()
     );
     println!("{:<28} {:>12} {:>10} {:>12}", "run", "events", "wall_ms", "events/sec");
     let started = std::time::Instant::now();
@@ -60,16 +125,37 @@ fn main() {
     let harness_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut total_events = 0u64;
     let mut total_ms = 0.0f64;
+    let mut rows = Vec::new();
     for (label, r) in &reports {
+        let rate = r.events_per_sec().unwrap_or(0.0);
         println!(
             "{:<28} {:>12} {:>10.1} {:>12.0}",
-            label,
-            r.events_processed,
-            r.wall_ms,
-            r.events_per_sec().unwrap_or(0.0)
+            label, r.events_processed, r.wall_ms, rate
         );
         total_events += r.events_processed;
         total_ms += r.wall_ms;
+        rows.push(Json::obj([
+            ("name", Json::str(label.clone())),
+            ("events", Json::U64(r.events_processed)),
+            ("wall_ms", Json::F64(r.wall_ms)),
+            ("events_per_sec", Json::F64(rate)),
+        ]));
+        if std::env::var_os("DYNAPAR_PERF_DEBUG").is_some() {
+            eprintln!(
+                "  {label}: l1 {} (hit {:.3}) l2 {} (hit {:.3}) dram {} writes {} \
+                 mshr_stalls {} ev_g {} ev_l {} dead_wakeups {}",
+                r.mem.l1_accesses,
+                r.mem.l1_hit_rate(),
+                r.mem.l2_accesses,
+                r.mem.l2_hit_rate(),
+                r.mem.dram_accesses,
+                r.mem.writes,
+                r.mem.mshr_stalls,
+                r.events_global,
+                r.events_local,
+                r.dead_wakeups,
+            );
+        }
     }
     let sim_rate = if total_ms > 0.0 {
         total_events as f64 / (total_ms / 1e3)
@@ -89,4 +175,104 @@ fn main() {
         "{:<28} {:>12} {:>10.1} {:>12.0}",
         "TOTAL (harness wall)", total_events, harness_ms, wall_rate
     );
+    // Geometric mean of the per-run rates: the aggregate rate weights
+    // runs by their event counts, so one slow giant dominates it; the
+    // geomean tracks proportional changes across the whole suite.
+    let geomean = {
+        let rates: Vec<f64> = reports
+            .iter()
+            .filter_map(|(_, r)| r.events_per_sec())
+            .filter(|&r| r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            (rates.iter().map(|r| r.ln()).sum::<f64>() / rates.len() as f64).exp()
+        }
+    };
+    println!("{:<28} {:>12} {:>10} {:>12.0}", "GEOMEAN (per-run)", "", "", geomean);
+    // The artifact totals use the in-sim aggregate (sum of each
+    // simulation's own wall-clock): it is independent of --jobs, so a
+    // baseline recorded serially still gates a parallel run.
+    let doc = Json::obj([
+        ("schema", Json::str(PERF_SCHEMA)),
+        ("scale", Json::str(scale_name(opts.scale))),
+        ("seed", Json::U64(opts.seed)),
+        ("queue", Json::str(queue.name())),
+        ("runs", Json::Arr(rows)),
+        (
+            "total",
+            Json::obj([
+                ("events", Json::U64(total_events)),
+                ("wall_ms", Json::F64(total_ms)),
+                ("events_per_sec", Json::F64(sim_rate)),
+                ("events_per_sec_geomean", Json::F64(geomean)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = &emit_json {
+        let text = format!("{}\n", doc.pretty());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("perf: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        match gate_against_baseline(path, &doc, max_regress) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("perf: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Compares this run's totals against a previously emitted artifact.
+///
+/// Fails on: unreadable/mismatched artifact settings, a changed total
+/// event count (the event count is a pure function of the simulated
+/// behavior, so any drift means the simulation itself changed — that is
+/// a correctness signal, not a perf one), or a throughput drop larger
+/// than `max_regress`.
+fn gate_against_baseline(path: &str, current: &Json, max_regress: f64) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let base = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+    for key in ["schema", "scale", "seed", "queue"] {
+        let (b, c) = (base.get(key), current.get(key));
+        if b != c {
+            return Err(format!(
+                "baseline {path} was recorded with {key} {}, this run has {} \
+                 — rerun with matching flags or regenerate via --emit-json",
+                b.map_or("<missing>".into(), Json::to_string),
+                c.map_or("<missing>".into(), Json::to_string),
+            ));
+        }
+    }
+    let total = |doc: &Json, field: &str| {
+        doc.get("total").and_then(|t| t.get(field)).and_then(Json::as_f64)
+    };
+    let b_events = total(&base, "events").ok_or(format!("baseline {path} lacks total.events"))?;
+    let c_events = total(current, "events").expect("emitted artifact has totals");
+    if b_events != c_events {
+        return Err(format!(
+            "total event count changed: baseline {b_events}, this run {c_events} \
+             — simulated behavior drifted; investigate before regenerating the baseline"
+        ));
+    }
+    let b_rate =
+        total(&base, "events_per_sec").ok_or(format!("baseline {path} lacks total rate"))?;
+    let c_rate = total(current, "events_per_sec").expect("emitted artifact has totals");
+    let floor = b_rate * (1.0 - max_regress);
+    if c_rate < floor {
+        return Err(format!(
+            "throughput regression: {c_rate:.0} events/sec vs baseline {b_rate:.0} \
+             (floor {floor:.0} at --max-regress {max_regress})"
+        ));
+    }
+    Ok(format!(
+        "perf gate: {c_rate:.0} events/sec vs baseline {b_rate:.0} (floor {floor:.0}) — ok"
+    ))
 }

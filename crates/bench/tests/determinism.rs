@@ -7,7 +7,7 @@
 use dynapar_bench::run_schemes;
 use dynapar_core::SpawnPolicy;
 use dynapar_engine::par::par_map;
-use dynapar_gpu::{GpuConfig, MetricsLevel, RunArtifact, SimReport};
+use dynapar_gpu::{GpuConfig, MetricsLevel, QueueBackend, RunArtifact, SimReport};
 use dynapar_workloads::{suite, Scale};
 
 /// Renders a report with the nondeterministic wall-clock field zeroed.
@@ -17,15 +17,15 @@ fn canonical(r: &SimReport) -> String {
     format!("{r:?}")
 }
 
-/// Renders each benchmark's full-metrics run artifact, fanning the runs
-/// across `jobs` workers.
-fn artifact_jsons(jobs: usize) -> Vec<String> {
+/// Renders each benchmark's full-metrics run artifact on the given queue
+/// backend, fanning the runs across `jobs` workers.
+fn artifact_jsons(jobs: usize, queue: QueueBackend) -> Vec<String> {
     let cfg = GpuConfig::kepler_k20m();
     let names = vec!["GC-citation", "MM-small", "BFS-graph500"];
     par_map(names, jobs, |name| {
         let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
         let policy = SpawnPolicy::from_config(&cfg).with_prediction_log();
-        let out = bench.run_full(&cfg, Box::new(policy), Some(100_000), MetricsLevel::Full);
+        let out = bench.run_full_on(&cfg, Box::new(policy), Some(100_000), MetricsLevel::Full, queue);
         format!("{}", out.artifact.expect("full metrics emit an artifact"))
     })
 }
@@ -33,15 +33,51 @@ fn artifact_jsons(jobs: usize) -> Vec<String> {
 #[test]
 fn run_artifacts_are_byte_identical_across_job_counts() {
     // The artifact deliberately excludes `wall_ms`, so no canonicalization
-    // is needed: the emitted JSON itself must be byte-stable.
-    let serial = artifact_jsons(1);
-    let parallel = artifact_jsons(4);
-    assert_eq!(serial, parallel, "artifact JSON differs across job counts");
-    for json in &serial {
-        let artifact = RunArtifact::parse(json).expect("artifact round-trips");
-        assert_eq!(&artifact.to_string(), json, "parse/emit is lossless");
-        assert!(json.contains("\"ccqs_samples\""));
-        assert!(!json.contains("wall_ms"), "artifact must omit host timing");
+    // is needed: the emitted JSON itself must be byte-stable. Both
+    // backends must uphold the same invariant.
+    for queue in [QueueBackend::Wheel, QueueBackend::Heap] {
+        let serial = artifact_jsons(1, queue);
+        let parallel = artifact_jsons(4, queue);
+        assert_eq!(
+            serial, parallel,
+            "artifact JSON differs across job counts on {}",
+            queue.name()
+        );
+        for json in &serial {
+            let artifact = RunArtifact::parse(json).expect("artifact round-trips");
+            assert_eq!(&artifact.to_string(), json, "parse/emit is lossless");
+            assert!(json.contains("\"ccqs_samples\""));
+            assert!(!json.contains("wall_ms"), "artifact must omit host timing");
+        }
+    }
+}
+
+#[test]
+fn heap_and_wheel_backends_are_byte_identical() {
+    // The queue backend is a host-side implementation detail: every
+    // simulated observable — the full-metrics artifact and the whole
+    // report — must match byte for byte between the comparison heap and
+    // the timing wheel.
+    assert_eq!(
+        artifact_jsons(1, QueueBackend::Wheel),
+        artifact_jsons(1, QueueBackend::Heap),
+        "artifact JSON differs between queue backends"
+    );
+    let cfg = GpuConfig::kepler_k20m();
+    for name in ["GC-citation", "MM-small", "BFS-graph500"] {
+        let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+        let run = |queue| {
+            let policy = SpawnPolicy::from_config(&cfg);
+            bench
+                .run_full_on(&cfg, Box::new(policy), None, MetricsLevel::Off, queue)
+                .report
+        };
+        let wheel = run(QueueBackend::Wheel);
+        let heap = run(QueueBackend::Heap);
+        assert_eq!(canonical(&wheel), canonical(&heap), "{name} report differs");
+        // Anchor maintenance must be exact: a wakeup that fires with
+        // nothing to do means the per-SMX lists leaked a stale tick.
+        assert_eq!(wheel.dead_wakeups, 0, "{name} leaked dead wakeups");
     }
 }
 

@@ -174,6 +174,11 @@ mod tests {
             child_cta_exec_cycles: vec![],
             child_launch_cycles: vec![],
             events_processed: 0,
+            events_global: 0,
+            events_local: 0,
+            dead_wakeups: 0,
+            peak_queue_depth: 0,
+            peak_local_backlog: 0,
             wall_ms: 0.0,
             kernels: vec![],
         }

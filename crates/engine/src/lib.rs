@@ -8,7 +8,10 @@
 //! The crate provides four building blocks:
 //!
 //! * [`Cycle`] — a newtype for simulated GPU clock cycles,
-//! * [`EventQueue`] — a stable (FIFO-on-ties) time-ordered event queue,
+//! * [`EventQueue`] / [`TimingWheel`] — two stable (FIFO-on-ties)
+//!   time-ordered event queues with an identical ordering contract: a
+//!   comparison heap and an O(1)-amortized hierarchical timing wheel,
+//!   selectable at run time via [`SchedQueue`],
 //! * [`DetRng`] — a seeded random-number generator with the distributions
 //!   needed by the workload generators (uniform, normal, Zipf, power law),
 //! * [`stats`] — windowed averages, histograms, CDFs, time-weighted
@@ -51,8 +54,12 @@ pub mod json;
 pub mod metrics;
 pub mod par;
 mod rng;
+mod sched;
 pub mod stats;
+mod wheel;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
 pub use rng::{hash_mix, DetRng};
+pub use sched::{QueueBackend, SchedQueue};
+pub use wheel::TimingWheel;

@@ -1,0 +1,175 @@
+//! Runtime-selectable scheduler queue backend.
+//!
+//! The simulator's event queue has two interchangeable implementations
+//! with an identical ordering contract (time-ordered, FIFO among
+//! same-cycle events): the comparison-heap [`EventQueue`] and the
+//! hierarchical [`TimingWheel`]. [`SchedQueue`] wraps either behind one
+//! API so a simulation can be built on whichever backend the caller
+//! picks — the wheel for speed, the heap for differential testing.
+//!
+//! The backend is a property of the *run*, not of the simulated machine:
+//! it is deliberately not part of the GPU configuration, so run artifacts
+//! (which echo the config) stay byte-identical across backends — which is
+//! exactly the invariant the determinism tests pin.
+
+use crate::{Cycle, EventQueue, TimingWheel};
+
+/// Which event-queue implementation a simulation schedules on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Binary-heap [`EventQueue`]: no constraints on push times, kept as
+    /// the reference implementation for differential testing.
+    Heap,
+    /// Hierarchical [`TimingWheel`]: O(1)-amortized, requires pushes at or
+    /// after the pop frontier (always true inside the simulator).
+    Wheel,
+}
+
+impl Default for QueueBackend {
+    /// The wheel is the production default; the heap remains available
+    /// for head-to-head comparison.
+    fn default() -> Self {
+        QueueBackend::Wheel
+    }
+}
+
+impl QueueBackend {
+    /// Stable lower-case name, used in CLI flags and perf artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::Heap => "heap",
+            QueueBackend::Wheel => "wheel",
+        }
+    }
+
+    /// Parses the name produced by [`QueueBackend::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" => Some(QueueBackend::Heap),
+            "wheel" => Some(QueueBackend::Wheel),
+            _ => None,
+        }
+    }
+}
+
+/// An event queue dispatching to the backend chosen at construction.
+///
+/// Both variants share the stability contract documented on
+/// [`EventQueue`]: pops are non-decreasing in time and same-cycle events
+/// pop in push order.
+#[derive(Debug)]
+pub enum SchedQueue<E> {
+    /// Heap-backed queue.
+    Heap(EventQueue<E>),
+    /// Wheel-backed queue.
+    Wheel(TimingWheel<E>),
+}
+
+impl<E> SchedQueue<E> {
+    /// Creates an empty queue on the given backend.
+    pub fn new(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Heap => SchedQueue::Heap(EventQueue::new()),
+            QueueBackend::Wheel => SchedQueue::Wheel(TimingWheel::new()),
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self {
+            SchedQueue::Heap(_) => QueueBackend::Heap,
+            SchedQueue::Wheel(_) => QueueBackend::Wheel,
+        }
+    }
+
+    /// Schedules `event` at cycle `at`.
+    #[inline]
+    pub fn push(&mut self, at: Cycle, event: E) {
+        match self {
+            SchedQueue::Heap(q) => q.push(at, event),
+            SchedQueue::Wheel(w) => w.push(at, event),
+        }
+    }
+
+    /// Removes and returns the earliest event (FIFO among ties).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        match self {
+            SchedQueue::Heap(q) => q.pop(),
+            SchedQueue::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        match self {
+            SchedQueue::Heap(q) => q.peek_time(),
+            SchedQueue::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            SchedQueue::Heap(q) => q.len(),
+            SchedQueue::Wheel(w) => w.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        match self {
+            SchedQueue::Heap(q) => q.total_pushed(),
+            SchedQueue::Wheel(w) => w.total_pushed(),
+        }
+    }
+}
+
+impl<E> Default for SchedQueue<E> {
+    fn default() -> Self {
+        SchedQueue::new(QueueBackend::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_share_the_contract() {
+        for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+            let mut q = SchedQueue::new(backend);
+            assert_eq!(q.backend(), backend);
+            q.push(Cycle(9), "late");
+            q.push(Cycle(2), "early");
+            q.push(Cycle(9), "late-second");
+            assert_eq!(q.peek_time(), Some(Cycle(2)));
+            assert_eq!(q.pop(), Some((Cycle(2), "early")));
+            assert_eq!(q.pop(), Some((Cycle(9), "late")));
+            assert_eq!(q.pop(), Some((Cycle(9), "late-second")));
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.total_pushed(), 3);
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+            assert_eq!(QueueBackend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(QueueBackend::parse("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_wheel() {
+        assert_eq!(QueueBackend::default(), QueueBackend::Wheel);
+        let q: SchedQueue<u8> = SchedQueue::default();
+        assert_eq!(q.backend(), QueueBackend::Wheel);
+    }
+}

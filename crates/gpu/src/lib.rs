@@ -101,6 +101,7 @@ pub use controller::{
 };
 pub use dynapar_engine::json::Json;
 pub use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+pub use dynapar_engine::QueueBackend;
 pub use ids::{CtaKey, HwqId, KernelId, SmxId, StreamId};
 pub use sim::{Simulation, SimulationBuilder};
 pub use stats::{KernelRole, KernelSummary, SimReport, TimelineSample};

@@ -1,10 +1,26 @@
 //! A set-associative, LRU tag array.
 
+/// Tag value of a never-filled way. Line ids are byte addresses shifted
+/// right by the line size, so no real line can reach `u64::MAX`.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// One way of one set: the cached line id and its LRU timestamp. Packing
+/// tag and stamp side by side keeps a whole 4-way set inside a single
+/// host cache line, which matters because [`Cache::probe_fill`] is the
+/// hottest function in the simulator.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+}
+
 /// A set-associative cache modeled as a tag store (no data payloads — the
 /// simulator only needs hit/miss behaviour and replacement state).
 ///
 /// Indexed by *line id* (byte address >> log2(line size)); the caller picks
-/// the granularity. Replacement is true LRU via per-way timestamps.
+/// the granularity. Replacement is true LRU via per-way timestamps: invalid
+/// ways keep stamp 0 while the tick counter starts at 1, so "lowest stamp,
+/// first on ties" is exactly "first invalid way, else least recently used".
 ///
 /// # Examples
 ///
@@ -19,9 +35,7 @@
 pub struct Cache {
     sets: usize,
     ways: usize,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    stamps: Vec<u64>,
+    lines: Vec<Way>,
     tick: u64,
     accesses: u64,
     hits: u64,
@@ -38,9 +52,13 @@ impl Cache {
         Cache {
             sets,
             ways,
-            tags: vec![0; sets * ways],
-            valid: vec![false; sets * ways],
-            stamps: vec![0; sets * ways],
+            lines: vec![
+                Way {
+                    tag: INVALID_TAG,
+                    stamp: 0,
+                };
+                sets * ways
+            ],
             tick: 0,
             accesses: 0,
             hits: 0,
@@ -63,44 +81,86 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets as u64) as usize
+        // Every real geometry has power-of-two sets; the branch predicts
+        // perfectly and saves an integer division on the hot path.
+        if self.sets.is_power_of_two() {
+            (line & (self.sets as u64 - 1)) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
     }
 
     /// Probes for `line`; on a miss, fills it (evicting LRU). Returns
     /// whether the probe hit.
+    ///
+    /// Dispatches to a const-width probe for the associativities every
+    /// real geometry uses (Table II: 4-way L1, 8-way L2) so the way scan
+    /// fully unrolls with no bounds checks.
     pub fn probe_fill(&mut self, line: u64) -> bool {
+        match self.ways {
+            4 => self.probe_fill_n::<4>(line),
+            8 => self.probe_fill_n::<8>(line),
+            _ => self.probe_fill_dyn(line),
+        }
+    }
+
+    #[inline]
+    fn probe_fill_n<const W: usize>(&mut self, line: u64) -> bool {
+        debug_assert_ne!(line, INVALID_TAG, "line id collides with the invalid sentinel");
         self.tick += 1;
         self.accesses += 1;
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        let ways = &mut self.tags[base..base + self.ways];
-        // Hit path.
-        for (w, tag) in ways.iter().enumerate() {
-            if self.valid[base + w] && *tag == line {
-                self.stamps[base + w] = self.tick;
+        let base = self.set_of(line) * W;
+        let set: &mut [Way; W] = (&mut self.lines[base..base + W]).try_into().expect("set width");
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (w, way) in set.iter_mut().enumerate() {
+            if way.tag == line {
+                way.stamp = self.tick;
                 self.hits += 1;
                 return true;
             }
+            if way.stamp < victim_stamp {
+                victim_stamp = way.stamp;
+                victim = w;
+            }
         }
-        // Miss: fill an invalid way, else evict LRU.
-        let victim = (0..self.ways)
-            .find(|w| !self.valid[base + w])
-            .unwrap_or_else(|| {
-                (0..self.ways)
-                    .min_by_key(|w| self.stamps[base + w])
-                    .expect("ways > 0")
-            });
-        self.tags[base + victim] = line;
-        self.valid[base + victim] = true;
-        self.stamps[base + victim] = self.tick;
+        set[victim] = Way {
+            tag: line,
+            stamp: self.tick,
+        };
+        false
+    }
+
+    fn probe_fill_dyn(&mut self, line: u64) -> bool {
+        debug_assert_ne!(line, INVALID_TAG, "line id collides with the invalid sentinel");
+        self.tick += 1;
+        self.accesses += 1;
+        let base = self.set_of(line) * self.ways;
+        let set = &mut self.lines[base..base + self.ways];
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for (w, way) in set.iter_mut().enumerate() {
+            if way.tag == line {
+                way.stamp = self.tick;
+                self.hits += 1;
+                return true;
+            }
+            if way.stamp < victim_stamp {
+                victim_stamp = way.stamp;
+                victim = w;
+            }
+        }
+        set[victim] = Way {
+            tag: line,
+            stamp: self.tick,
+        };
         false
     }
 
     /// Probes without filling (used for diagnostics/tests).
     pub fn contains(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        (0..self.ways).any(|w| self.valid[base + w] && self.tags[base + w] == line)
+        let base = self.set_of(line) * self.ways;
+        self.lines[base..base + self.ways].iter().any(|w| w.tag == line)
     }
 
     /// Total probes so far.
@@ -155,12 +215,35 @@ mod tests {
     }
 
     #[test]
+    fn invalid_ways_fill_before_any_eviction() {
+        let mut c = Cache::new(1, 4);
+        c.probe_fill(1);
+        c.probe_fill(2);
+        c.probe_fill(3); // three cold misses must use the three empty ways
+        assert!(c.contains(1) && c.contains(2) && c.contains(3));
+        c.probe_fill(4); // last empty way, still no eviction
+        assert!(c.contains(1) && c.contains(4));
+    }
+
+    #[test]
     fn different_sets_do_not_conflict() {
         let mut c = Cache::new(2, 1);
         c.probe_fill(0); // set 0
         c.probe_fill(1); // set 1
         assert!(c.contains(0));
         assert!(c.contains(1));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_still_index_correctly() {
+        let mut c = Cache::new(3, 1);
+        c.probe_fill(0); // set 0
+        c.probe_fill(1); // set 1
+        c.probe_fill(2); // set 2
+        assert!(c.contains(0) && c.contains(1) && c.contains(2));
+        c.probe_fill(3); // set 0 again: evicts line 0
+        assert!(c.contains(3));
+        assert!(!c.contains(0));
     }
 
     #[test]

@@ -26,11 +26,88 @@
 pub fn coalesce_lines(addrs: &mut Vec<u64>, line_bytes: u32) {
     debug_assert!(line_bytes.is_power_of_two());
     let shift = line_bytes.trailing_zeros();
+    // Lanes push their sequential-stream addresses in ascending order, so
+    // after the shift the buffer is usually already sorted; detecting that
+    // during the shift pass skips the sort entirely on the hot path.
+    let mut sorted = true;
+    let mut prev = 0u64;
     for a in addrs.iter_mut() {
         *a >>= shift;
+        sorted &= *a >= prev;
+        prev = *a;
     }
-    addrs.sort_unstable();
+    if !sorted {
+        addrs.sort_unstable();
+    }
     addrs.dedup();
+}
+
+/// [`coalesce_lines`] for a buffer built as two blocks: `addrs[..seq_len]`
+/// holds the lanes' sequential-stream addresses (almost always already
+/// ascending) and `addrs[seq_len..]` the random references. Produces the
+/// identical sorted unique line set, but only sorts the blocks that are
+/// actually unsorted and merges them linearly — the random block is
+/// typically half the buffer, and the sequential block sorts for free.
+///
+/// `scratch` is clobbered and used as the merge target; the result lands
+/// back in `addrs` (the two vectors swap allocations).
+pub fn coalesce_lines_parts(
+    addrs: &mut Vec<u64>,
+    seq_len: usize,
+    scratch: &mut Vec<u64>,
+    line_bytes: u32,
+) {
+    debug_assert!(seq_len <= addrs.len());
+    let rand_empty = seq_len == addrs.len();
+    if rand_empty || seq_len == 0 {
+        coalesce_lines(addrs, line_bytes);
+        return;
+    }
+    debug_assert!(line_bytes.is_power_of_two());
+    let shift = line_bytes.trailing_zeros();
+    let (seq, rand) = addrs.split_at_mut(seq_len);
+    let shift_block = |block: &mut [u64]| {
+        let mut sorted = true;
+        let mut prev = 0u64;
+        for a in block.iter_mut() {
+            *a >>= shift;
+            sorted &= *a >= prev;
+            prev = *a;
+        }
+        sorted
+    };
+    if !shift_block(seq) {
+        seq.sort_unstable();
+    }
+    if !shift_block(rand) {
+        rand.sort_unstable();
+    }
+    // Merge the two sorted runs, dropping duplicates within and across.
+    scratch.clear();
+    let mut last = None;
+    let mut push_dedup = |v: u64| {
+        if last != Some(v) {
+            scratch.push(v);
+            last = Some(v);
+        }
+    };
+    let (mut i, mut j) = (0, 0);
+    while i < seq.len() && j < rand.len() {
+        if seq[i] <= rand[j] {
+            push_dedup(seq[i]);
+            i += 1;
+        } else {
+            push_dedup(rand[j]);
+            j += 1;
+        }
+    }
+    for &v in &seq[i..] {
+        push_dedup(v);
+    }
+    for &v in &rand[j..] {
+        push_dedup(v);
+    }
+    std::mem::swap(addrs, scratch);
 }
 
 #[cfg(test)]
@@ -64,5 +141,35 @@ mod tests {
         let mut v = vec![100u64, 130];
         coalesce_lines(&mut v, 128);
         assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn unsorted_input_still_sorted_unique() {
+        let mut v = vec![5000u64, 0, 260, 0, 5000, 130];
+        coalesce_lines(&mut v, 128);
+        assert_eq!(v, vec![0, 1, 2, 39]);
+    }
+
+    #[test]
+    fn parts_matches_flat_coalesce() {
+        // Property: the two-block variant must produce exactly what
+        // coalesce_lines produces on the concatenated buffer, for every
+        // split point and assorted (un)sorted contents.
+        let cases: &[(&[u64], &[u64])] = &[
+            (&[0, 4, 64, 124], &[]),
+            (&[], &[900, 100, 100]),
+            (&[0, 128, 256], &[256, 0, 70_000]),
+            (&[512, 128, 0], &[1, 2, 3]),
+            (&[7, 7, 7], &[7, 135, 7]),
+            (&[0, 1000, 2000, 3000], &[2500, 1500, 500, 3500]),
+        ];
+        for (seq, rand) in cases {
+            let mut flat: Vec<u64> = seq.iter().chain(rand.iter()).copied().collect();
+            coalesce_lines(&mut flat, 128);
+            let mut parts: Vec<u64> = seq.iter().chain(rand.iter()).copied().collect();
+            let mut scratch = Vec::new();
+            coalesce_lines_parts(&mut parts, seq.len(), &mut scratch, 128);
+            assert_eq!(parts, flat, "seq={seq:?} rand={rand:?}");
+        }
     }
 }

@@ -50,6 +50,27 @@ impl DramChannel {
         }
     }
 
+    /// Maps a line to its DRAM row, avoiding the division when the row
+    /// holds a power-of-two number of lines (every real geometry does).
+    #[inline]
+    fn row_of(&self, line: u64) -> u64 {
+        if self.lines_per_row.is_power_of_two() {
+            line >> self.lines_per_row.trailing_zeros()
+        } else {
+            line / self.lines_per_row
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, row: u64) -> usize {
+        let banks = self.banks.len() as u64;
+        if banks.is_power_of_two() {
+            (row & (banks - 1)) as usize
+        } else {
+            (row % banks) as usize
+        }
+    }
+
     /// Services a read of cache line `line` arriving at `arrive`; returns
     /// the completion time.
     pub fn access(&mut self, arrive: Cycle, line: u64) -> Cycle {
@@ -57,8 +78,8 @@ impl DramChannel {
         self.next_free = start + self.service_interval;
         self.accesses += 1;
 
-        let row = line / self.lines_per_row;
-        let bank = (row % self.banks.len() as u64) as usize;
+        let row = self.row_of(line);
+        let bank = self.bank_of(row);
         let latency = if self.banks[bank] == Some(row) {
             self.row_hits += 1;
             self.row_hit_latency
@@ -74,8 +95,8 @@ impl DramChannel {
     pub fn write(&mut self, arrive: Cycle, line: u64) {
         let start = arrive.max(self.next_free);
         self.next_free = start + self.service_interval;
-        let row = line / self.lines_per_row;
-        let bank = (row % self.banks.len() as u64) as usize;
+        let row = self.row_of(line);
+        let bank = self.bank_of(row);
         if self.banks[bank] != Some(row) {
             self.banks[bank] = Some(row);
         }

@@ -7,11 +7,8 @@ mod coalesce;
 mod dram;
 
 pub use cache::Cache;
-pub use coalesce::coalesce_lines;
+pub use coalesce::{coalesce_lines, coalesce_lines_parts};
 pub use dram::DramChannel;
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use dynapar_engine::Cycle;
 
@@ -66,32 +63,43 @@ struct L2Partition {
 /// Per-SMX miss-status holding registers: completion times of in-flight
 /// L1 misses. A new miss entering a full set stalls until the earliest
 /// outstanding one returns.
+///
+/// Returned completions are reclaimed lazily: the heap is only drained of
+/// expired entries once it apparently reaches capacity. Stale entries
+/// inflate `len` in between, but every decision that depends on occupancy
+/// drains first, so admission times and stall counts are identical to
+/// eager reclamation — while a set that never fills never pays a pop.
+/// (A 4-ary heap and a monotone radix heap were both measured here and
+/// lost to `BinaryHeap`'s bottom-sift pops in the at-capacity regime.)
 #[derive(Debug, Default)]
 struct MshrSet {
-    inflight: BinaryHeap<Reverse<u64>>,
+    inflight: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
 }
 
 impl MshrSet {
     /// Admits a miss issued at `now`; returns the cycle it may actually
     /// enter the memory system.
     fn admit(&mut self, now: Cycle, capacity: usize) -> Cycle {
-        while let Some(&Reverse(done)) = self.inflight.peek() {
-            if done <= now.as_u64() {
-                self.inflight.pop();
-            } else {
-                break;
+        use std::cmp::Reverse;
+        if self.inflight.len() >= capacity {
+            while let Some(&Reverse(done)) = self.inflight.peek() {
+                if done <= now.as_u64() {
+                    self.inflight.pop();
+                } else {
+                    break;
+                }
             }
         }
         if self.inflight.len() < capacity {
             now
         } else {
-            let Reverse(earliest) = self.inflight.pop().expect("full set is non-empty");
+            let std::cmp::Reverse(earliest) = self.inflight.pop().expect("full set is non-empty");
             Cycle(earliest.max(now.as_u64()))
         }
     }
 
     fn complete_at(&mut self, done: Cycle) {
-        self.inflight.push(Reverse(done.as_u64()));
+        self.inflight.push(std::cmp::Reverse(done.as_u64()));
     }
 }
 
@@ -121,6 +129,9 @@ pub struct MemSystem {
     mshrs: Vec<MshrSet>,
     l2: Vec<L2Partition>,
     dram: Vec<DramChannel>,
+    /// L2 partitions per memory controller, precomputed so the miss path
+    /// does not re-derive it (with a division) on every transaction.
+    parts_per_mc: usize,
     stats: MemStats,
 }
 
@@ -155,13 +166,21 @@ impl MemSystem {
             mshrs,
             l2,
             dram,
+            parts_per_mc: (cfg.l2_partitions / cfg.memory_controllers) as usize,
             stats: MemStats::default(),
         }
     }
 
     #[inline]
     fn partition_of(&self, line: u64) -> usize {
-        (line % self.cfg.l2_partitions as u64) as usize
+        // Specialize the divisors real configs use (12 on the GK110,
+        // 16 in the test fixture) so LLVM strength-reduces the modulo
+        // to a multiply-shift instead of an integer division.
+        match self.cfg.l2_partitions {
+            12 => (line % 12) as usize,
+            16 => (line & 15) as usize,
+            p => (line % p as u64) as usize,
+        }
     }
 
     /// Services one warp's read transactions (unique `lines`) issued from
@@ -203,8 +222,7 @@ impl MemSystem {
             l2_done
         } else {
             self.stats.dram_accesses += 1;
-            let per_mc = (self.cfg.l2_partitions / self.cfg.memory_controllers) as usize;
-            let ch = &mut self.dram[pid / per_mc];
+            let ch = &mut self.dram[pid / self.parts_per_mc];
             ch.access(l2_done, line)
         };
         let done = completion + self.cfg.xbar_latency;
@@ -223,8 +241,7 @@ impl MemSystem {
         let start = arrive.max(part.next_free);
         part.next_free = start + self.cfg.l2_service_interval;
         if !part.cache.probe_fill(line) {
-            let per_mc = (self.cfg.l2_partitions / self.cfg.memory_controllers) as usize;
-            self.dram[pid / per_mc].write(start + self.cfg.l2_hit_latency, line);
+            self.dram[pid / self.parts_per_mc].write(start + self.cfg.l2_hit_latency, line);
         }
     }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 use dynapar_engine::stats::TimeWeighted;
-use dynapar_engine::{Cycle, EventQueue};
+use dynapar_engine::{Cycle, QueueBackend, SchedQueue};
 
 use crate::artifact::{CcqsSample, RunArtifact, RunOutcome};
 use crate::config::{CtaPlacement, GpuConfig, StreamPolicy};
@@ -23,7 +23,7 @@ use crate::controller::{
 use crate::gmu::Gmu;
 use crate::ids::{KernelId, SmxId, StreamId};
 use crate::kernel::{AggCta, CtaDirectory, KernelKind, KernelRt};
-use crate::mem::{coalesce_lines, MemSystem};
+use crate::mem::{coalesce_lines_parts, MemSystem};
 use crate::smx::{CtaRt, Smx, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 use crate::trace::{Trace, TraceEvent};
@@ -40,10 +40,11 @@ enum Ev {
     Dispatch,
     /// A dispatched CTA begins on its SMX.
     CtaStart { smx: SmxId, cta_slot: u32 },
-    /// Issue warps on one SMX this cycle.
-    SmxTick(SmxId),
-    /// A warp is ready to issue its next round (or has finished).
-    WarpReady { smx: SmxId, slot: u32 },
+    /// Anchor: one SMX has work at this cycle — local wakeups to drain
+    /// and/or ready warps to issue. Per-warp wakeups themselves live in
+    /// the SMX's local wheel and never enter the global queue; at most one
+    /// anchor per SMX is pending for any given cycle.
+    SmxWork(SmxId),
     /// A completed kernel's HWQ slot frees after the turnaround floor.
     HwqRelease(KernelId),
     /// Periodic timeline sample.
@@ -81,6 +82,7 @@ pub struct SimulationBuilder {
     trace_capacity: Option<usize>,
     metrics: MetricsLevel,
     stream_policy: Option<StreamPolicy>,
+    queue: QueueBackend,
 }
 
 impl SimulationBuilder {
@@ -93,6 +95,7 @@ impl SimulationBuilder {
             trace_capacity: None,
             metrics: MetricsLevel::default(),
             stream_policy: None,
+            queue: QueueBackend::default(),
         }
     }
 
@@ -130,6 +133,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the global scheduler queue implementation (default:
+    /// [`QueueBackend::Wheel`]). Both backends share the same ordering
+    /// contract, so reports and artifacts are byte-identical across them;
+    /// the heap stays available for differential testing and head-to-head
+    /// benchmarking. Deliberately not part of [`GpuConfig`]: the backend
+    /// is a property of the run, not of the simulated machine, and must
+    /// not leak into the artifact's config echo.
+    pub fn queue(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
+        self
+    }
+
     /// Seals the builder into a runnable [`Simulation`].
     ///
     /// # Panics
@@ -141,7 +156,7 @@ impl SimulationBuilder {
         if let Some(p) = self.stream_policy {
             cfg.stream_policy = p;
         }
-        let mut sim = Simulation::new(cfg, self.controller);
+        let mut sim = Simulation::new(cfg, self.controller, self.queue);
         sim.trace = self.trace_capacity.map(Trace::new);
         sim.metrics_level = self.metrics;
         sim
@@ -181,7 +196,7 @@ impl SimulationBuilder {
 /// ```
 pub struct Simulation {
     cfg: GpuConfig,
-    events: EventQueue<Ev>,
+    events: SchedQueue<Ev>,
     gmu: Gmu,
     smxs: Vec<Smx>,
     mem: MemSystem,
@@ -217,11 +232,17 @@ pub struct Simulation {
     aggregated_cta_count: u64,
     child_ctas_executed: u64,
     child_kernels: u64,
-    events_processed: u64,
+    events_global: u64,
+    events_local: u64,
+    dead_wakeups: u64,
+    peak_queue_depth: u64,
+    peak_local_backlog: u64,
     /// Wall-clock duration of `run_to_completion` (host time, reporting
     /// only — never feeds back into simulated behavior).
     wall_ms: f64,
     addr_buf: Vec<u64>,
+    /// Merge target for the two-block coalescer; swaps with `addr_buf`.
+    scratch_buf: Vec<u64>,
     /// Recycled `outstanding_mem` buffers from finished warps, so the
     /// steady-state warp churn performs no per-warp allocations.
     warp_mem_pool: Vec<std::collections::VecDeque<Cycle>>,
@@ -235,7 +256,7 @@ impl Simulation {
 
     /// Creates a simulator for `cfg` driven by `controller`; reached only
     /// through [`SimulationBuilder::build`], which validates upfront.
-    fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>) -> Self {
+    fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>, queue: QueueBackend) -> Self {
         cfg.validate().expect("invalid GPU configuration");
         let smxs = (0..cfg.smx_count)
             .map(|i| Smx::new(SmxId(i as u8), &cfg))
@@ -244,7 +265,7 @@ impl Simulation {
         let gmu = Gmu::new(cfg.num_hwqs);
         Simulation {
             cfg,
-            events: EventQueue::new(),
+            events: SchedQueue::new(queue),
             gmu,
             smxs,
             mem,
@@ -276,9 +297,14 @@ impl Simulation {
             aggregated_cta_count: 0,
             child_ctas_executed: 0,
             child_kernels: 0,
-            events_processed: 0,
+            events_global: 0,
+            events_local: 0,
+            dead_wakeups: 0,
+            peak_queue_depth: 0,
+            peak_local_backlog: 0,
             wall_ms: 0.0,
             addr_buf: Vec::with_capacity(128),
+            scratch_buf: Vec::with_capacity(128),
             warp_mem_pool: Vec::new(),
         }
     }
@@ -382,7 +408,9 @@ impl Simulation {
     fn run_to_completion(&mut self) {
         let started = std::time::Instant::now();
         self.events.push(Cycle::ZERO, Ev::Sample);
-        while let Some((t, ev)) = self.events.pop() {
+        loop {
+            self.peak_queue_depth = self.peak_queue_depth.max(self.events.len() as u64);
+            let Some((t, ev)) = self.events.pop() else { break };
             assert!(
                 t.as_u64() <= self.cfg.max_cycles,
                 "simulation exceeded max_cycles={} (stall or runaway workload)",
@@ -390,7 +418,7 @@ impl Simulation {
             );
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
-            self.events_processed += 1;
+            self.events_global += 1;
             self.handle(t, ev);
             if self.live_kernels == 0 {
                 break;
@@ -419,8 +447,7 @@ impl Simulation {
                 self.do_dispatch(now);
             }
             Ev::CtaStart { smx, cta_slot } => self.on_cta_start(now, smx, cta_slot),
-            Ev::SmxTick(smx) => self.on_smx_tick(now, smx),
-            Ev::WarpReady { smx, slot } => self.on_warp_ready(now, smx, slot),
+            Ev::SmxWork(smx) => self.on_smx_work(now, smx),
             Ev::HwqRelease(kernel) => {
                 let stream = self.kernels[kernel.index()].stream;
                 self.gmu.kernel_complete(kernel, stream);
@@ -609,45 +636,83 @@ impl Simulation {
             // Degenerate empty CTA: complete immediately.
             self.finish_cta(now, si, cta_slot);
         } else {
-            self.ensure_tick(si, now);
+            self.ensure_anchor(si, now);
         }
     }
 
-    fn ensure_tick(&mut self, si: usize, at: Cycle) {
-        if self.smxs[si].tick_at.is_none_or(|t| t > at) {
-            self.smxs[si].tick_at = Some(at);
-            self.events.push(at, Ev::SmxTick(SmxId(si as u8)));
+    /// Guarantees a global `SmxWork` anchor covers cycle `at` for SMX
+    /// `si`: one is pushed only when `at` precedes every pending anchor.
+    /// An anchor at `a ≤ at` already covers `at` — its handler re-anchors
+    /// the SMX's next interesting cycle before returning — so the anchor
+    /// set stays strictly decreasing on insert and never holds two events
+    /// for the same cycle. This is what the old per-cycle `SmxTick` dedupe
+    /// could not do: lowering `tick_at` leaked the superseded event into
+    /// the queue as a dead pop.
+    fn ensure_anchor(&mut self, si: usize, at: Cycle) {
+        if self.smxs[si].anchors.iter().all(|&a| a > at) {
+            self.smxs[si].anchors.push(at);
+            self.events.push(at, Ev::SmxWork(SmxId(si as u8)));
         }
     }
 
-    fn on_smx_tick(&mut self, now: Cycle, smx: SmxId) {
+    /// Schedules a warp wakeup on the SMX's local wheel and makes sure a
+    /// global anchor will fire by then.
+    fn schedule_wakeup(&mut self, si: usize, at: Cycle, slot: u32) {
+        self.smxs[si].local.push(at, slot);
+        let backlog = self.smxs[si].local.len() as u64;
+        self.peak_local_backlog = self.peak_local_backlog.max(backlog);
+        self.ensure_anchor(si, at);
+    }
+
+    /// The per-SMX anchor handler: drain local wakeups due this cycle,
+    /// run the issue loop, then re-anchor the SMX's next interesting
+    /// cycle (pending ready warps → `now + 1`, else the next local
+    /// wakeup). An anchor always finds work or a future wakeup to relay:
+    /// local entries drain only at their own cycle, and a drained ready
+    /// set implies freshly scheduled wakeups — `dead_wakeups` counts the
+    /// remaining "fired with nothing at all" case, which is structurally
+    /// impossible and pinned at zero by the determinism tests.
+    fn on_smx_work(&mut self, now: Cycle, smx: SmxId) {
         let si = smx.index();
-        if self.smxs[si].tick_at == Some(now) {
-            self.smxs[si].tick_at = None;
-        }
-        for _ in 0..self.cfg.issue_width {
-            let Some(slot) = self.smxs[si].select_ready() else {
-                break;
-            };
-            if self.smxs[si].warp(slot).started {
-                self.run_round(now, si, slot);
+        let anchors = &mut self.smxs[si].anchors;
+        let pos = anchors
+            .iter()
+            .position(|&a| a == now)
+            .expect("anchor fired without registration");
+        anchors.swap_remove(pos);
+        let mut idle = true;
+        while self.smxs[si].local.peek_time() == Some(now) {
+            let (_, slot) = self.smxs[si].local.pop().expect("peeked wakeup");
+            self.events_local += 1;
+            idle = false;
+            let w = self.smxs[si].warp(slot);
+            if w.started && w.rounds_done >= w.rounds_total {
+                self.finish_warp(now, si, slot);
             } else {
-                self.start_warp(now, si, slot);
+                self.smxs[si].mark_ready(slot);
             }
         }
         if self.smxs[si].has_ready() {
-            self.ensure_tick(si, now + 1);
+            idle = false;
+            for _ in 0..self.cfg.issue_width {
+                let Some(slot) = self.smxs[si].select_ready() else {
+                    break;
+                };
+                if self.smxs[si].warp(slot).started {
+                    self.run_round(now, si, slot);
+                } else {
+                    self.start_warp(now, si, slot);
+                }
+            }
+            if self.smxs[si].has_ready() {
+                self.ensure_anchor(si, now + 1);
+            }
         }
-    }
-
-    fn on_warp_ready(&mut self, now: Cycle, smx: SmxId, slot: u32) {
-        let si = smx.index();
-        let w = self.smxs[si].warp(slot);
-        if w.started && w.rounds_done >= w.rounds_total {
-            self.finish_warp(now, si, slot);
-        } else {
-            self.smxs[si].mark_ready(slot);
-            self.ensure_tick(si, now);
+        if let Some(next) = self.smxs[si].local.peek_time() {
+            debug_assert!(next > now, "undrained wakeup at the anchor cycle");
+            self.ensure_anchor(si, next);
+        } else if idle {
+            self.dead_wakeups += 1;
         }
     }
 
@@ -788,13 +853,7 @@ impl Simulation {
         w.started = true;
         w.rounds_total = w.max_items();
         let busy = init_cycles as u64 + api_cost + 1;
-        self.events.push(
-            now + busy,
-            Ev::WarpReady {
-                smx: SmxId(si as u8),
-                slot,
-            },
-        );
+        self.schedule_wakeup(si, now + busy, slot);
     }
 
     fn child_stream(&mut self, si: usize, cta_slot: u32) -> StreamId {
@@ -915,8 +974,10 @@ impl Simulation {
     /// Executes one round of a started warp.
     fn run_round(&mut self, now: Cycle, si: usize, slot: u32) {
         let mut addrs = std::mem::take(&mut self.addr_buf);
+        let mut scratch = std::mem::take(&mut self.scratch_buf);
         addrs.clear();
-        let (compute, active, write_line, is_child) = {
+        scratch.clear();
+        let (compute, active, write_line, is_child, seq_len) = {
             let w = self.smxs[si].warp(slot);
             let r = w.rounds_done;
             // Disjoint immutable borrows: warp state from the SMX, the
@@ -924,6 +985,12 @@ impl Simulation {
             let class = &self.kernels[w.kernel.index()].class;
             let mut active = 0u32;
             let mut first_seed = None;
+            // Block-ordered generation in one pass over the lanes:
+            // sequential addresses to `addrs`, random references to
+            // `scratch`, concatenated below. Coalescing canonicalizes to
+            // a sorted unique set, so the set is identical to lane-major
+            // order — but the block split lets the coalescer skip sorting
+            // the (already ascending) sequential run.
             for lane in &w.lanes {
                 if lane.items > r {
                     active += 1;
@@ -934,10 +1001,12 @@ impl Simulation {
                         addrs.push(lane.seq_base + r as u64 * class.seq_bytes_per_item as u64);
                     }
                     for k in 0..class.rand_refs_per_item {
-                        addrs.push(class.rand_addr(lane.rand_seed, r, k));
+                        scratch.push(class.rand_addr(lane.rand_seed, r, k));
                     }
                 }
             }
+            let seq_len = addrs.len();
+            addrs.extend_from_slice(&scratch);
             let write_line = if class.writes_per_item > 0 && class.rand_region_bytes > 0 {
                 first_seed.map(|s| {
                     class.rand_addr(s ^ 0x5757_5757, r, 0)
@@ -946,9 +1015,10 @@ impl Simulation {
             } else {
                 None
             };
-            (class.compute_per_item as u64, active, write_line, w.is_child_work)
+            (class.compute_per_item as u64, active, write_line, w.is_child_work, seq_len)
         };
-        coalesce_lines(&mut addrs, self.cfg.mem.line_bytes);
+        coalesce_lines_parts(&mut addrs, seq_len, &mut scratch, self.cfg.mem.line_bytes);
+        self.scratch_buf = scratch;
         let mem_done = if addrs.is_empty() {
             now
         } else {
@@ -985,13 +1055,7 @@ impl Simulation {
                 done = done.max(oldest);
             }
         }
-        self.events.push(
-            done,
-            Ev::WarpReady {
-                smx: SmxId(si as u8),
-                slot,
-            },
-        );
+        self.schedule_wakeup(si, done, slot);
     }
 
     fn finish_warp(&mut self, now: Cycle, si: usize, slot: u32) {
@@ -1200,7 +1264,12 @@ impl Simulation {
             timeline: std::mem::take(&mut self.timeline),
             child_cta_exec_cycles: std::mem::take(&mut self.child_cta_exec),
             child_launch_cycles: std::mem::take(&mut self.child_launch_times),
-            events_processed: self.events_processed,
+            events_processed: self.events_global + self.events_local,
+            events_global: self.events_global,
+            events_local: self.events_local,
+            dead_wakeups: self.dead_wakeups,
+            peak_queue_depth: self.peak_queue_depth,
+            peak_local_backlog: self.peak_local_backlog,
             wall_ms: self.wall_ms,
             kernels,
         }
@@ -1211,7 +1280,12 @@ impl Simulation {
     /// samples, and the trace (when enabled).
     fn build_artifact(&self, report: &SimReport) -> RunArtifact {
         let mut reg = MetricsRegistry::new(self.metrics_level);
-        reg.counter("sim.events_processed", self.events_processed);
+        reg.counter("sim.events_processed", report.events_processed);
+        reg.counter("sim.events_global", self.events_global);
+        reg.counter("sim.events_local", self.events_local);
+        reg.counter("sim.dead_wakeups", self.dead_wakeups);
+        reg.counter("sim.peak_queue_depth", self.peak_queue_depth);
+        reg.counter("sim.peak_local_backlog", self.peak_local_backlog);
         reg.gauge("sim.occupancy", report.occupancy);
         reg.histogram("sim.child_cta_exec_cycles", &report.child_cta_exec_cycles);
         reg.histogram("sim.child_launch_cycles", &report.child_launch_cycles);
@@ -1976,12 +2050,17 @@ mod placement_tests {
     }
 
     fn dp_kernel() -> KernelDesc {
+        // Purely sequential streams: the child re-reads exactly the
+        // parent's lines, so co-placement's L1 benefit is the dominant
+        // signal rather than being diluted by random-region misses (which
+        // would leave the comparison at the mercy of same-cycle memory
+        // interleaving noise at this tiny scale).
         let mk = |label: &'static str| WorkClass {
             label,
             compute_per_item: 10,
             init_cycles: 10,
             seq_bytes_per_item: 8,
-            rand_refs_per_item: 1,
+            rand_refs_per_item: 0,
             rand_region_base: 0x8000_0000,
             rand_region_bytes: 1 << 18,
             writes_per_item: 0,

@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 
 use dynapar_engine::metrics::MetricsRegistry;
-use dynapar_engine::Cycle;
+use dynapar_engine::{Cycle, TimingWheel};
 
 use crate::config::{GpuConfig, SchedulerKind};
 use crate::ids::{KernelId, SmxId, StreamId};
@@ -85,13 +85,28 @@ pub(crate) struct Smx {
     warps: Vec<Option<WarpRt>>,
     free_cta_slots: Vec<u32>,
     free_warp_slots: Vec<u32>,
-    /// Warp slots ready to issue.
-    ready: Vec<u32>,
+    /// Warp slots ready to issue, as a bitmask (bit `s % 64` of word
+    /// `s / 64`). The issue loop runs once per warp round, so selection
+    /// must not walk `warps` chasing pointers: the mask plus the flat
+    /// [`ages`](Self::ages) array keep both scheduling disciplines inside
+    /// two small contiguous arrays.
+    ready_mask: Vec<u64>,
+    ready_count: u32,
+    /// Per-slot warp age (creation sequence), mirrored out of `WarpRt` on
+    /// install so GTO's oldest-first scan stays cache-resident.
+    ages: Vec<u64>,
     last_issued: Option<u32>,
     rr_cursor: usize,
     scheduler: SchedulerKind,
-    /// Cycle of the currently scheduled issue tick, if any (dedupe).
-    pub tick_at: Option<Cycle>,
+    /// Near-horizon wakeup list: warp slots keyed by the cycle they become
+    /// ready (or finish). Per-warp traffic never enters the global event
+    /// queue — the simulation drains this wheel inline when the SMX's
+    /// anchor event fires (see `Simulation::on_smx_work`).
+    pub local: TimingWheel<u32>,
+    /// Cycles with a pending global anchor (`Ev::SmxWork`) for this SMX.
+    /// Kept strictly decreasing on insert (an anchor is only added below
+    /// the current minimum), so it stays tiny; linear scans are fine.
+    pub anchors: Vec<Cycle>,
     /// Lifetime count of CTAs that completed on this SMX.
     pub ctas_executed: u64,
     /// Lifetime count of warps installed on this SMX.
@@ -118,11 +133,14 @@ impl Smx {
             warps: (0..max_warps).map(|_| None).collect(),
             free_cta_slots: (0..cfg.max_ctas_per_smx).rev().collect(),
             free_warp_slots: (0..max_warps).rev().collect(),
-            ready: Vec::new(),
+            ready_mask: vec![0; max_warps.div_ceil(64) as usize],
+            ready_count: 0,
+            ages: vec![0; max_warps as usize],
             last_issued: None,
             rr_cursor: 0,
             scheduler: cfg.scheduler,
-            tick_at: None,
+            local: TimingWheel::new(),
+            anchors: Vec::new(),
             ctas_executed: 0,
             warps_launched: 0,
             peak_resident_warps: 0,
@@ -188,6 +206,7 @@ impl Smx {
     /// Panics if no warp slot is free (callers must check via `can_fit`).
     pub fn add_warp(&mut self, warp: WarpRt) -> u32 {
         let slot = self.free_warp_slots.pop().expect("warp slot available");
+        self.ages[slot as usize] = warp.age;
         self.warps[slot as usize] = Some(warp);
         self.warps_launched += 1;
         self.peak_resident_warps = self.peak_resident_warps.max(self.resident_warps());
@@ -219,68 +238,89 @@ impl Smx {
 
     /// Marks a warp ready to issue.
     pub fn mark_ready(&mut self, slot: u32) {
-        debug_assert!(!self.ready.contains(&slot), "double-ready");
-        self.ready.push(slot);
+        let (w, b) = (slot as usize / 64, slot % 64);
+        debug_assert!(self.ready_mask[w] & (1 << b) == 0, "double-ready");
+        self.ready_mask[w] |= 1 << b;
+        self.ready_count += 1;
     }
 
     /// True when at least one warp awaits issue.
     pub fn has_ready(&self) -> bool {
-        !self.ready.is_empty()
+        self.ready_count > 0
+    }
+
+    #[inline]
+    fn is_ready(&self, slot: u32) -> bool {
+        self.ready_mask[slot as usize / 64] & (1 << (slot % 64)) != 0
     }
 
     /// Picks the next warp to issue according to the scheduling discipline;
     /// removes it from the ready set.
     pub fn select_ready(&mut self) -> Option<u32> {
-        if self.ready.is_empty() {
+        if self.ready_count == 0 {
             return None;
         }
-        let pick_pos = match self.scheduler {
+        let slot = match self.scheduler {
             SchedulerKind::Gto => {
                 // Greedy: continue the last-issued warp if it is ready;
-                // otherwise the oldest warp wins.
-                if let Some(last) = self.last_issued {
-                    if let Some(pos) = self.ready.iter().position(|&s| s == last) {
-                        pos
-                    } else {
-                        self.oldest_ready_pos()
-                    }
-                } else {
-                    self.oldest_ready_pos()
+                // otherwise the oldest warp wins (ages are a global
+                // creation sequence, so they never tie).
+                match self.last_issued {
+                    Some(last) if self.is_ready(last) => last,
+                    _ => self.oldest_ready(),
                 }
             }
             SchedulerKind::RoundRobin => {
-                // Rotate across slots: pick the smallest slot strictly
-                // greater than the cursor, wrapping.
-                // Priority order cursor+1, cursor+2, …, cursor (wrapping),
-                // so the last-picked slot is re-picked only when alone.
-                let cursor = self.rr_cursor as u32;
-                let mut best: Option<(u32, usize)> = None; // (distance, pos)
-                for (pos, &s) in self.ready.iter().enumerate() {
-                    let dist = (s + 2 * self.max_warps - cursor - 1) % self.max_warps;
-                    if best.is_none_or(|(bd, _)| dist < bd) {
-                        best = Some((dist, pos));
-                    }
-                }
-                best.expect("non-empty ready set").1
+                // Rotate across slots: priority order cursor+1, cursor+2,
+                // …, cursor (wrapping), so the last-picked slot is
+                // re-picked only when alone: the first ready slot at or
+                // after cursor+1, else the first ready slot overall.
+                let from = (self.rr_cursor as u32 + 1) % self.max_warps;
+                self.first_ready_at_or_after(from)
+                    .or_else(|| self.first_ready_at_or_after(0))
+                    .expect("non-empty ready set")
             }
         };
-        let slot = self.ready.swap_remove(pick_pos);
+        let (w, b) = (slot as usize / 64, slot % 64);
+        self.ready_mask[w] &= !(1 << b);
+        self.ready_count -= 1;
         self.last_issued = Some(slot);
         self.rr_cursor = slot as usize;
         Some(slot)
     }
 
-    fn oldest_ready_pos(&self) -> usize {
-        let mut best = 0;
+    fn oldest_ready(&self) -> u32 {
+        let mut best_slot = 0;
         let mut best_age = u64::MAX;
-        for (pos, &s) in self.ready.iter().enumerate() {
-            let age = self.warps[s as usize].as_ref().expect("ready warp").age;
-            if age < best_age {
-                best_age = age;
-                best = pos;
+        for (wi, &word) in self.ready_mask.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let s = wi as u32 * 64 + w.trailing_zeros();
+                let age = self.ages[s as usize];
+                if age < best_age {
+                    best_age = age;
+                    best_slot = s;
+                }
+                w &= w - 1;
             }
         }
-        best
+        best_slot
+    }
+
+    fn first_ready_at_or_after(&self, from: u32) -> Option<u32> {
+        let mut wi = from as usize / 64;
+        let masked = self.ready_mask.get(wi)? & (!0u64 << (from % 64));
+        if masked != 0 {
+            return Some(wi as u32 * 64 + masked.trailing_zeros());
+        }
+        wi += 1;
+        while let Some(&word) = self.ready_mask.get(wi) {
+            if word != 0 {
+                return Some(wi as u32 * 64 + word.trailing_zeros());
+            }
+            wi += 1;
+        }
+        None
     }
 
     /// Contributes this SMX's per-core entries (`smx.<id>.*`) to the run
@@ -312,7 +352,7 @@ impl std::fmt::Debug for Smx {
             .field("used_ctas", &self.used_ctas)
             .field("used_threads", &self.used_threads)
             .field("resident_warps", &self.resident_warps())
-            .field("ready", &self.ready.len())
+            .field("ready", &self.ready_count)
             .finish()
     }
 }

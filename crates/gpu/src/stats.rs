@@ -142,8 +142,23 @@ pub struct SimReport {
     pub child_cta_exec_cycles: Vec<u64>,
     /// Launch timestamp of every child kernel (Fig. 20's CDF input).
     pub child_launch_cycles: Vec<u64>,
-    /// Total events processed (simulator diagnostic).
+    /// Total events processed (simulator diagnostic): global scheduler
+    /// pops plus per-SMX local wakeups.
     pub events_processed: u64,
+    /// Events popped from the global scheduler queue.
+    pub events_global: u64,
+    /// Warp wakeups drained from per-SMX local wheels (never routed
+    /// through the global queue).
+    pub events_local: u64,
+    /// SMX anchor events that fired with nothing to drain, issue, or
+    /// relay. Structurally zero — the determinism tests assert it — and
+    /// kept as a counter so a future scheduling change that reintroduces
+    /// dead pops is caught, not silent.
+    pub dead_wakeups: u64,
+    /// High-water mark of the global scheduler queue depth.
+    pub peak_queue_depth: u64,
+    /// High-water mark of any single SMX's local wakeup backlog.
+    pub peak_local_backlog: u64,
     /// Host wall-clock time of the run in milliseconds. Measured, not
     /// simulated — this is the only nondeterministic field in the report,
     /// so determinism comparisons must ignore it.
@@ -260,6 +275,17 @@ impl SimReport {
                 Json::U64(self.max_pending_kernels as u64),
             ),
             ("events_processed".to_string(), Json::U64(self.events_processed)),
+            ("events_global".to_string(), Json::U64(self.events_global)),
+            ("events_local".to_string(), Json::U64(self.events_local)),
+            ("dead_wakeups".to_string(), Json::U64(self.dead_wakeups)),
+            (
+                "peak_queue_depth".to_string(),
+                Json::U64(self.peak_queue_depth),
+            ),
+            (
+                "peak_local_backlog".to_string(),
+                Json::U64(self.peak_local_backlog),
+            ),
             (
                 "kernels".to_string(),
                 Json::Arr(self.kernels.iter().map(KernelSummary::to_json).collect()),
@@ -329,6 +355,11 @@ mod tests {
             child_cta_exec_cycles: vec![10, 20, 30, 40],
             child_launch_cycles: vec![1, 2],
             events_processed: 123,
+            events_global: 100,
+            events_local: 23,
+            dead_wakeups: 0,
+            peak_queue_depth: 16,
+            peak_local_backlog: 4,
             wall_ms: 2.0,
             kernels: vec![],
         }
@@ -371,6 +402,9 @@ mod tests {
         let summary = r.to_json(MetricsLevel::Summary);
         assert_eq!(summary.get("wall_ms"), None, "wall_ms is nondeterministic");
         assert_eq!(summary.get("total_cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(summary.get("events_global").unwrap().as_u64(), Some(100));
+        assert_eq!(summary.get("events_local").unwrap().as_u64(), Some(23));
+        assert_eq!(summary.get("dead_wakeups").unwrap().as_u64(), Some(0));
         assert_eq!(summary.get("timeline"), None, "bulk vectors need Full");
         assert_eq!(
             summary.get("kernels").unwrap().as_array().unwrap().len(),

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use dynapar_gpu::{
-    GpuConfig, KernelDesc, LaunchController, MetricsLevel, RunOutcome, SimReport, Simulation,
-    ThreadSource, ThreadWork,
+    GpuConfig, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome, SimReport,
+    Simulation, ThreadSource, ThreadWork,
 };
 
 /// Input-size presets.
@@ -171,9 +171,25 @@ impl Benchmark {
         trace_capacity: Option<usize>,
         metrics: MetricsLevel,
     ) -> RunOutcome {
+        self.run_full_on(cfg, controller, trace_capacity, metrics, QueueBackend::default())
+    }
+
+    /// [`Benchmark::run_full`] on an explicit event-queue backend. The
+    /// backend changes only how fast the host simulates, never what is
+    /// simulated: reports and artifacts are byte-identical across
+    /// backends (the determinism suite pins this).
+    pub fn run_full_on(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        trace_capacity: Option<usize>,
+        metrics: MetricsLevel,
+        queue: QueueBackend,
+    ) -> RunOutcome {
         let mut builder = Simulation::builder(cfg.clone())
             .controller(controller)
-            .metrics(metrics);
+            .metrics(metrics)
+            .queue(queue);
         if let Some(cap) = trace_capacity {
             builder = builder.trace(cap);
         }

@@ -29,6 +29,20 @@ trap 'rm -rf "$artifact_dir"' EXIT
 grep -q '"ccqs_samples"' "$artifact_dir/run.json"
 grep -q '"estimate"' "$artifact_dir/run.json"
 
+echo "== perf smoke (regression gate vs results/BENCH_3.json) =="
+# The committed baseline records throughput on the machine that produced
+# it, so the gate is only meaningful on comparable hardware; set
+# DYNAPAR_SKIP_PERF=1 to skip it (e.g. in cross-machine CI), and
+# regenerate the baseline with `perf --emit-json results/BENCH_3.json`
+# after intentional behavior or performance changes.
+if [ "${DYNAPAR_SKIP_PERF:-0}" = "1" ]; then
+    echo "skipped (DYNAPAR_SKIP_PERF=1)"
+else
+    ./target/release/perf --emit-json "$artifact_dir/perf.json" \
+        --baseline results/BENCH_3.json
+    grep -q '"dynapar-perf/1"' "$artifact_dir/perf.json"
+fi
+
 echo "== deprecated-API gate (workspace must not call shims) =="
 CARGO_TARGET_DIR=target/ci-deprecated RUSTFLAGS="-D deprecated" \
     cargo check -q --offline --workspace --all-targets

@@ -20,10 +20,21 @@
 //!   baseline comparison fails (default 0.30: wall-clock on a noisy
 //!   machine swings ±15–30% run to run, so the gate only catches
 //!   collapses, not jitter).
+//! - `--runs N` — repeat every job N times and report the median
+//!   wall-clock of each (events must be bit-identical across repeats;
+//!   any drift aborts). Use N=3 or 5 when recording a baseline.
+//! - `--profile` — run with the simulator's self-profiler and print a
+//!   per-phase table; requires building with `--features profile`.
+//!   With `--emit-json` the artifact gains a `profile` section
+//!   (schema `dynapar-profile/1`).
+//! - `--check-profile PATH` — standalone: validate the `profile`
+//!   section of a previously emitted artifact (schema tag, non-empty
+//!   phases, coverage ≥ 0.95) and exit; runs nothing.
 
 use dynapar_bench::{usage_error, Options};
 use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_engine::par::par_map;
+use dynapar_engine::profile::ProfileReport;
 use dynapar_gpu::{InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimReport};
 use dynapar_workloads::{suite, Scale};
 
@@ -38,6 +49,9 @@ fn scale_name(scale: Scale) -> &'static str {
 /// Schema tag of the perf artifact this binary emits and consumes.
 const PERF_SCHEMA: &str = "dynapar-perf/1";
 
+/// Schema tag of the `profile` section emitted under `--profile`.
+const PROFILE_SCHEMA: &str = "dynapar-profile/1";
+
 fn main() {
     let (mut opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let mut serial = true;
@@ -45,6 +59,9 @@ fn main() {
     let mut emit_json: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.30f64;
+    let mut runs = 1usize;
+    let mut profile = false;
+    let mut check_profile: Option<String> = None;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -77,10 +94,44 @@ fn main() {
                     )),
                 };
             }
+            "--runs" => {
+                let v = rest.next().unwrap_or_else(|| usage_error("--runs expects a count ≥ 1"));
+                runs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => usage_error(&format!("--runs expects a count ≥ 1, got {v:?}")),
+                };
+            }
+            "--profile" => {
+                if !cfg!(feature = "profile") {
+                    usage_error(
+                        "--profile requires a profiled build: \
+                         cargo run --release --features profile --bin perf",
+                    );
+                }
+                profile = true;
+            }
+            "--check-profile" => {
+                check_profile = Some(
+                    rest.next().unwrap_or_else(|| usage_error("--check-profile expects a path")),
+                );
+            }
             other => usage_error(&format!(
                 "unknown argument {other:?} (perf adds --parallel, --queue, \
-                 --emit-json, --baseline, --max-regress)"
+                 --emit-json, --baseline, --max-regress, --runs, --profile, \
+                 --check-profile)"
             )),
+        }
+    }
+    if let Some(path) = &check_profile {
+        match validate_profile_artifact(path) {
+            Ok(msg) => {
+                println!("{msg}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("perf: {msg}");
+                std::process::exit(1);
+            }
         }
     }
     if serial {
@@ -92,37 +143,84 @@ fn main() {
         .iter()
         .map(|n| suite::by_name(n, opts.scale, opts.seed).expect("known benchmark"))
         .collect();
-    type Job<'a> = (String, Box<dyn Fn() -> SimReport + Send + Sync + 'a>);
+    type Rep = (SimReport, Option<ProfileReport>);
+    type Job<'a> = (String, Box<dyn Fn() -> Vec<Rep> + Send + Sync + 'a>);
     let mut jobs: Vec<Job> = Vec::new();
     for b in &benches {
         let cfg = &cfg;
-        let full = move |ctl: Box<dyn LaunchController>| {
-            b.run_full_on(cfg, ctl, None, MetricsLevel::Off, queue).report
+        // Each job repeats `runs` times so the harness can take a median
+        // wall-clock; the simulation itself is deterministic, so every
+        // repeat must produce the same event count.
+        let full = move |make: &dyn Fn() -> Box<dyn LaunchController>| -> Vec<Rep> {
+            (0..runs)
+                .map(|_| {
+                    if profile {
+                        let out = b.run_full_profiled(cfg, make(), queue);
+                        (out.report, out.profile)
+                    } else {
+                        (b.run_full_on(cfg, make(), None, MetricsLevel::Off, queue).report, None)
+                    }
+                })
+                .collect()
         };
         jobs.push((
             format!("{}/flat", b.name()),
-            Box::new(move || full(Box::new(InlineAll))),
+            Box::new(move || full(&|| Box::new(InlineAll))),
         ));
         jobs.push((
             format!("{}/baseline", b.name()),
-            Box::new(move || full(Box::new(BaselineDp::new()))),
+            Box::new(move || full(&|| Box::new(BaselineDp::new()))),
         ));
         jobs.push((
             format!("{}/spawn", b.name()),
-            Box::new(move || full(Box::new(SpawnPolicy::from_config(cfg)))),
+            Box::new(move || full(&|| Box::new(SpawnPolicy::from_config(cfg)))),
         ));
     }
     println!(
-        "# perf (scale {}, seed {}, jobs {}, queue {})",
+        "# perf (scale {}, seed {}, jobs {}, queue {}, runs {})",
         scale_name(opts.scale),
         opts.seed,
         opts.jobs,
-        queue.name()
+        queue.name(),
+        runs
     );
     println!("{:<28} {:>12} {:>10} {:>12}", "run", "events", "wall_ms", "events/sec");
     let started = std::time::Instant::now();
-    let reports = par_map(jobs, opts.jobs, |(label, job)| (label, job()));
+    let results = par_map(jobs, opts.jobs, |(label, job)| (label, job()));
     let harness_ms = started.elapsed().as_secs_f64() * 1e3;
+    // Reduce each job's repeats: bit-identical events are a hard
+    // invariant (the simulator is deterministic); the median wall-clock
+    // is the reported one, and every repeat's profile is merged.
+    let mut merged_profile = ProfileReport::default();
+    let mut profiled_wall_ns = 0u64;
+    let mut reports: Vec<(String, SimReport)> = Vec::new();
+    for (label, reps) in results {
+        let events = reps[0].0.events_processed;
+        for (r, _) in &reps {
+            if r.events_processed != events {
+                eprintln!(
+                    "perf: {label}: event count varies across repeats \
+                     ({events} vs {}) — the simulator is nondeterministic",
+                    r.events_processed
+                );
+                std::process::exit(1);
+            }
+        }
+        for (r, p) in &reps {
+            if let Some(p) = p {
+                merged_profile.merge(p);
+                profiled_wall_ns += (r.wall_ms * 1e6) as u64;
+            }
+        }
+        let mut walls: Vec<f64> = reps.iter().map(|(r, _)| r.wall_ms).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let median = walls[walls.len() / 2];
+        let (report, _) = reps
+            .into_iter()
+            .find(|(r, _)| r.wall_ms == median)
+            .expect("median came from this list");
+        reports.push((label, report));
+    }
     let mut total_events = 0u64;
     let mut total_ms = 0.0f64;
     let mut rows = Vec::new();
@@ -191,14 +289,49 @@ fn main() {
         }
     };
     println!("{:<28} {:>12} {:>10} {:>12.0}", "GEOMEAN (per-run)", "", "", geomean);
+    let profile_json = if profile {
+        let p = &merged_profile;
+        let attributed = p.attributed_ns();
+        let coverage = p.coverage(profiled_wall_ns);
+        println!(
+            "# profile ({} runs, {:.1} ms instrumented, coverage {:.4})",
+            reports.len() * runs,
+            profiled_wall_ns as f64 / 1e6,
+            coverage
+        );
+        println!("{:<12} {:>14} {:>12} {:>8}", "phase", "ns", "count", "share");
+        let mut phases = Vec::new();
+        for s in &p.phases {
+            let share = if attributed > 0 { s.ns as f64 / attributed as f64 } else { 0.0 };
+            println!("{:<12} {:>14} {:>12} {:>7.1}%", s.name, s.ns, s.count, share * 100.0);
+            phases.push(Json::obj([
+                ("name", Json::str(s.name)),
+                ("ns", Json::U64(s.ns)),
+                ("count", Json::U64(s.count)),
+                ("share", Json::F64(share)),
+            ]));
+        }
+        Some(Json::obj([
+            ("schema", Json::str(PROFILE_SCHEMA)),
+            ("wall_ns", Json::U64(profiled_wall_ns)),
+            ("attributed_ns", Json::U64(attributed)),
+            ("coverage", Json::F64(coverage)),
+            ("phases", Json::Arr(phases)),
+        ]))
+    } else {
+        None
+    };
     // The artifact totals use the in-sim aggregate (sum of each
     // simulation's own wall-clock): it is independent of --jobs, so a
-    // baseline recorded serially still gates a parallel run.
-    let doc = Json::obj([
+    // baseline recorded serially still gates a parallel run. The
+    // `profile` section is only present under --profile, so unprofiled
+    // artifacts keep the exact historical shape.
+    let mut fields = vec![
         ("schema", Json::str(PERF_SCHEMA)),
         ("scale", Json::str(scale_name(opts.scale))),
         ("seed", Json::U64(opts.seed)),
         ("queue", Json::str(queue.name())),
+        ("repeats", Json::U64(runs as u64)),
         ("runs", Json::Arr(rows)),
         (
             "total",
@@ -209,7 +342,11 @@ fn main() {
                 ("events_per_sec_geomean", Json::F64(geomean)),
             ]),
         ),
-    ]);
+    ];
+    if let Some(p) = profile_json {
+        fields.push(("profile", p));
+    }
+    let doc = Json::obj(fields);
     if let Some(path) = &emit_json {
         let text = format!("{}\n", doc.pretty());
         if let Err(e) = std::fs::write(path, text) {
@@ -272,7 +409,62 @@ fn gate_against_baseline(path: &str, current: &Json, max_regress: f64) -> Result
              (floor {floor:.0} at --max-regress {max_regress})"
         ));
     }
+    // The geomean row weights every run equally, so it catches a single
+    // benchmark collapsing even when the aggregate rate (dominated by
+    // the largest run) hides it. Older baselines may predate the field.
+    if let Some(b_geo) = total(&base, "events_per_sec_geomean") {
+        let c_geo = total(current, "events_per_sec_geomean").expect("emitted artifact has geomean");
+        let geo_floor = b_geo * (1.0 - max_regress);
+        if c_geo < geo_floor {
+            return Err(format!(
+                "geomean regression: {c_geo:.0} events/sec vs baseline {b_geo:.0} \
+                 (floor {geo_floor:.0} at --max-regress {max_regress})"
+            ));
+        }
+    }
     Ok(format!(
         "perf gate: {c_rate:.0} events/sec vs baseline {b_rate:.0} (floor {floor:.0}) — ok"
+    ))
+}
+
+/// Validates the `profile` section of a previously emitted perf
+/// artifact: schema tag, non-empty phase table, and coverage ≥ 0.95
+/// (the profiler's phases must account for essentially all of the
+/// instrumented wall time — a hole means an unattributed hot path).
+fn validate_profile_artifact(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let p = doc
+        .get("profile")
+        .ok_or(format!("{path} has no `profile` section (was it run with --profile?)"))?;
+    let schema = p
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or(format!("{path}: profile section lacks a schema tag"))?;
+    if schema != PROFILE_SCHEMA {
+        return Err(format!(
+            "{path}: profile schema {schema:?}, expected {PROFILE_SCHEMA:?}"
+        ));
+    }
+    let phases = p
+        .get("phases")
+        .and_then(Json::as_array)
+        .ok_or(format!("{path}: profile section lacks a phases array"))?;
+    if phases.is_empty() {
+        return Err(format!("{path}: profile phase table is empty"));
+    }
+    let coverage = p
+        .get("coverage")
+        .and_then(Json::as_f64)
+        .ok_or(format!("{path}: profile section lacks coverage"))?;
+    if coverage < 0.95 {
+        return Err(format!(
+            "{path}: profile coverage {coverage:.4} < 0.95 — \
+             a hot path is running outside every named phase"
+        ));
+    }
+    Ok(format!(
+        "profile ok: {} phases, coverage {coverage:.4}",
+        phases.len()
     ))
 }

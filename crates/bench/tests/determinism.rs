@@ -5,7 +5,7 @@
 //! so the canonical form zeroes it before comparing Debug renderings.
 
 use dynapar_bench::run_schemes;
-use dynapar_core::SpawnPolicy;
+use dynapar_core::{Dtbl, SpawnPolicy};
 use dynapar_engine::par::par_map;
 use dynapar_gpu::{GpuConfig, MetricsLevel, QueueBackend, RunArtifact, SimReport};
 use dynapar_workloads::{suite, Scale};
@@ -21,11 +21,22 @@ fn canonical(r: &SimReport) -> String {
 /// backend, fanning the runs across `jobs` workers.
 fn artifact_jsons(jobs: usize, queue: QueueBackend) -> Vec<String> {
     let cfg = GpuConfig::kepler_k20m();
-    let names = vec!["GC-citation", "MM-small", "BFS-graph500"];
+    // AMR is the deepest-nesting workload in the suite; the extra DTBL
+    // pass on BFS exercises the aggregated-launch path (child naming,
+    // agg-kernel bookkeeping), which plain SPAWN runs never take.
+    let names = vec!["GC-citation", "MM-small", "BFS-graph500", "AMR", "BFS-graph500/dtbl"];
     par_map(names, jobs, |name| {
-        let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
-        let policy = SpawnPolicy::from_config(&cfg).with_prediction_log();
-        let out = bench.run_full_on(&cfg, Box::new(policy), Some(100_000), MetricsLevel::Full, queue);
+        let (bench_name, dtbl) = match name.strip_suffix("/dtbl") {
+            Some(base) => (base, true),
+            None => (name, false),
+        };
+        let bench = suite::by_name(bench_name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+        let policy: Box<dyn dynapar_gpu::LaunchController> = if dtbl {
+            Box::new(Dtbl::new())
+        } else {
+            Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
+        };
+        let out = bench.run_full_on(&cfg, policy, Some(100_000), MetricsLevel::Full, queue);
         format!("{}", out.artifact.expect("full metrics emit an artifact"))
     })
 }
@@ -64,7 +75,7 @@ fn heap_and_wheel_backends_are_byte_identical() {
         "artifact JSON differs between queue backends"
     );
     let cfg = GpuConfig::kepler_k20m();
-    for name in ["GC-citation", "MM-small", "BFS-graph500"] {
+    for name in ["GC-citation", "MM-small", "BFS-graph500", "AMR"] {
         let bench = suite::by_name(name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
         let run = |queue| {
             let policy = SpawnPolicy::from_config(&cfg);

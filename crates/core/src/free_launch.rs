@@ -147,7 +147,7 @@ mod tests {
                 regs_per_thread: 16,
                 shmem_per_cta: 0,
                 class: Arc::new(WorkClass::compute_only("fl-parent", 16)),
-                source: ThreadSource::Explicit(Arc::new(threads)),
+                source: ThreadSource::Explicit(threads.into()),
                 dp: Some(Arc::new(DpSpec {
                     child_class: Arc::new(WorkClass::compute_only("fl-child", 16)),
                     child_cta_threads: 64,

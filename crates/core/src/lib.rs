@@ -53,7 +53,7 @@
 //!     regs_per_thread: 24,
 //!     shmem_per_cta: 0,
 //!     class: Arc::new(WorkClass::compute_only("parent", 20)),
-//!     source: ThreadSource::Explicit(Arc::new(threads)),
+//!     source: ThreadSource::Explicit(threads.into()),
 //!     dp: Some(Arc::new(DpSpec {
 //!         child_class: Arc::new(WorkClass::compute_only("child", 20)),
 //!         child_cta_threads: 64,

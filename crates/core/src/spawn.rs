@@ -423,7 +423,7 @@ mod integration_tests {
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("p", 16)),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: Some(Arc::new(DpSpec {
                 child_class: Arc::new(WorkClass::compute_only("c", 16)),
                 child_cta_threads: 32,

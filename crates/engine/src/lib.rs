@@ -19,6 +19,8 @@
 //!   figures,
 //! * [`par`] — an order-preserving [`par::par_map`] for running many
 //!   *independent* simulations on multiple cores,
+//! * [`profile`] — a feature-gated self-profiler attributing host wall
+//!   time to simulator phases (compiled out by default),
 //! * [`json`] / [`metrics`] — a dependency-free JSON tree and a metrics
 //!   registry, the foundation of the run-artifact observability layer.
 //!
@@ -53,6 +55,7 @@ mod event;
 pub mod json;
 pub mod metrics;
 pub mod par;
+pub mod profile;
 mod rng;
 mod sched;
 pub mod stats;

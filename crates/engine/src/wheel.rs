@@ -94,6 +94,14 @@ pub struct TimingWheel<E> {
     /// which makes the peek-then-pop loops the simulator runs per wakeup
     /// batch constant-time instead of bucket scans.
     peek_cache: std::cell::Cell<Option<u64>>,
+    /// Recycled buffer for [`advance`](Self::advance): the drained
+    /// bucket's allocation parks here between cascades instead of being
+    /// dropped (and the emptied slot re-allocating on its next use).
+    /// Cascades happen every few dozen pops in steady state, so without
+    /// this the wheel churns the allocator for the whole run.
+    cascade_buf: VecDeque<Entry<E>>,
+    /// Same recycling for the overflow fold-in.
+    spill_buf: Vec<Entry<E>>,
 }
 
 impl<E> TimingWheel<E> {
@@ -107,6 +115,8 @@ impl<E> TimingWheel<E> {
             len: 0,
             pushed: 0,
             peek_cache: std::cell::Cell::new(None),
+            cascade_buf: VecDeque::new(),
+            spill_buf: Vec::new(),
         }
     }
 
@@ -214,25 +224,30 @@ impl<E> TimingWheel<E> {
             }
             let slot = self.occupied[level].trailing_zeros() as usize;
             let idx = level * SLOTS + slot;
-            let bucket = std::mem::take(&mut self.buckets[idx]);
+            // Swap the full bucket out against the recycled cascade
+            // buffer (empty), so neither side's allocation is dropped.
+            let mut bucket =
+                std::mem::replace(&mut self.buckets[idx], std::mem::take(&mut self.cascade_buf));
             self.occupied[level] &= !(1 << slot);
             // The lowest occupied slot of the lowest occupied level holds
             // the earliest pending entries; jump the frontier to their
             // minimum so every entry re-files strictly below this level.
             self.now = bucket.iter().map(|e| e.at).min().expect("non-empty bucket");
-            for entry in bucket {
+            for entry in bucket.drain(..) {
                 debug_assert!(Self::level_of(self.now, entry.at) < level);
                 self.place(entry);
             }
+            self.cascade_buf = bucket;
             return;
         }
         // Wheel empty: fold the overflow back in around the new frontier.
         debug_assert!(!self.overflow.is_empty(), "len > 0 with empty wheel");
-        let spill = std::mem::take(&mut self.overflow);
+        let mut spill = std::mem::replace(&mut self.overflow, std::mem::take(&mut self.spill_buf));
         self.now = spill.iter().map(|e| e.at).min().expect("non-empty overflow");
-        for entry in spill {
+        for entry in spill.drain(..) {
             self.place(entry);
         }
+        self.spill_buf = spill;
     }
 
     /// Returns the firing time of the earliest event without removing it.

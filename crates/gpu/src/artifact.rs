@@ -13,6 +13,7 @@ use std::fmt;
 
 use dynapar_engine::json::{Json, ParseError};
 use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+use dynapar_engine::profile::ProfileReport;
 
 use crate::config::GpuConfig;
 use crate::controller::LaunchController;
@@ -34,6 +35,12 @@ pub struct RunOutcome {
     /// The JSON run artifact, unless metrics were
     /// [`Off`](MetricsLevel::Off).
     pub artifact: Option<RunArtifact>,
+    /// Host-side phase profile, when profiling was requested via
+    /// [`SimulationBuilder::profile`](crate::SimulationBuilder::profile)
+    /// *and* the `profile` cargo feature is compiled in. Deliberately
+    /// not part of [`RunArtifact`]: artifacts stay byte-identical
+    /// whether or not the run was profiled.
+    pub profile: Option<ProfileReport>,
 }
 
 impl fmt::Debug for RunOutcome {
@@ -43,6 +50,7 @@ impl fmt::Debug for RunOutcome {
             .field("trace", &self.trace.is_some())
             .field("controller", &self.controller.name())
             .field("artifact", &self.artifact.is_some())
+            .field("profile", &self.profile.is_some())
             .finish()
     }
 }

@@ -1,11 +1,16 @@
 //! The Grid Management Unit: pending-kernel pool, SWQ→HWQ mapping, and
 //! head-of-line kernel selection (§II-C, Fig. 4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dynapar_engine::metrics::MetricsRegistry;
 
 use crate::ids::{HwqId, KernelId, StreamId};
+
+/// Sentinel in the dense stream table: stream not yet assigned an HWQ.
+/// Entries are `u16` (not `HwqId`'s `u8`) so the sentinel stays distinct
+/// even when `num_hwqs > 256` puts every `u8` value in use.
+const UNMAPPED: u16 = u16::MAX;
 
 /// Grid Management Unit state.
 ///
@@ -18,7 +23,14 @@ use crate::ids::{HwqId, KernelId, StreamId};
 #[derive(Debug)]
 pub(crate) struct Gmu {
     hwqs: Vec<VecDeque<KernelId>>,
-    stream_map: HashMap<StreamId, HwqId>,
+    /// Dense stream→HWQ table indexed by stream id. The simulator hands
+    /// out stream ids sequentially, so the table stays as small as the
+    /// stream count and a lookup is one bounds check plus a load — this
+    /// sits on the per-child-launch path, where the previous `HashMap`
+    /// lookup was measurable.
+    stream_map: Vec<u16>,
+    /// Streams that have been assigned an HWQ (== mapped table entries).
+    streams_mapped: u64,
     assign_counter: u32,
     rr_hwq: usize,
     /// Kernels currently resident in the pool (arrived, not own-complete).
@@ -37,7 +49,8 @@ impl Gmu {
         assert!(num_hwqs > 0, "need at least one HWQ");
         Gmu {
             hwqs: (0..num_hwqs).map(|_| VecDeque::new()).collect(),
-            stream_map: HashMap::new(),
+            stream_map: Vec::new(),
+            streams_mapped: 0,
             assign_counter: 0,
             rr_hwq: 0,
             pending: 0,
@@ -50,13 +63,25 @@ impl Gmu {
 
     /// HWQ that services `stream`, assigning one round-robin on first use.
     pub fn hwq_of(&mut self, stream: StreamId) -> HwqId {
-        if let Some(&h) = self.stream_map.get(&stream) {
-            return h;
+        let idx = stream.0 as usize;
+        // Stream ids are sequential by construction (the simulator's
+        // `next_stream` counter; aggregation pseudo-streams never reach
+        // the HWQs), so growing a dense table is bounded by the stream
+        // count. Catch accidental sparse ids before they allocate.
+        debug_assert!(idx < 1 << 24, "stream ids must stay dense");
+        if idx >= self.stream_map.len() {
+            self.stream_map.resize(idx + 1, UNMAPPED);
         }
-        let h = HwqId((self.assign_counter % self.hwqs.len() as u32) as u8);
-        self.assign_counter += 1;
-        self.stream_map.insert(stream, h);
-        h
+        let slot = &mut self.stream_map[idx];
+        if *slot == UNMAPPED {
+            // `as u8` truncation matches the original assignment exactly
+            // (HwqId is a u8); with >256 HWQs only the low 256 are ever
+            // addressed, same as before this table existed.
+            *slot = ((self.assign_counter % self.hwqs.len() as u32) as u8) as u16;
+            self.assign_counter += 1;
+            self.streams_mapped += 1;
+        }
+        HwqId(*slot as u8)
     }
 
     /// Enqueues an arrived kernel on its stream's HWQ.
@@ -100,9 +125,13 @@ impl Gmu {
 
     /// Kernels eligible to dispatch CTAs right now: each HWQ's head
     /// (rotated for round-robin fairness) plus all aggregation kernels.
-    pub fn dispatch_candidates(&mut self) -> Vec<KernelId> {
+    ///
+    /// Clears and fills `out` so the caller can reuse one buffer across
+    /// dispatch rounds. Each call advances the round-robin rotation, so
+    /// call it exactly once per dispatch round.
+    pub fn dispatch_candidates_into(&mut self, out: &mut Vec<KernelId>) {
+        out.clear();
         let n = self.hwqs.len();
-        let mut out = Vec::new();
         for i in 0..n {
             let q = &self.hwqs[(self.rr_hwq + i) % n];
             if let Some(&head) = q.front() {
@@ -111,6 +140,14 @@ impl Gmu {
         }
         self.rr_hwq = (self.rr_hwq + 1) % n;
         out.extend(self.agg_kernels.iter().copied());
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`dispatch_candidates_into`](Gmu::dispatch_candidates_into).
+    #[cfg(test)]
+    pub fn dispatch_candidates(&mut self) -> Vec<KernelId> {
+        let mut out = Vec::new();
+        self.dispatch_candidates_into(&mut out);
         out
     }
 
@@ -135,7 +172,7 @@ impl Gmu {
         reg.counter("gmu.kernels_enqueued", self.kernels_enqueued);
         reg.counter("gmu.aggregated_registered", self.aggregated_registered);
         reg.counter("gmu.max_pending_kernels", self.max_pending_seen as u64);
-        reg.counter("gmu.streams_mapped", self.stream_map.len() as u64);
+        reg.counter("gmu.streams_mapped", self.streams_mapped);
     }
 }
 

@@ -53,6 +53,125 @@ pub(crate) enum KernelKind {
     Aggregated,
 }
 
+/// Index of an interned [`WorkClass`] in the simulation's [`SpecTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ClassId(pub u32);
+
+/// Index of an interned [`DpSpec`] in the simulation's [`SpecTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DpId(pub u32);
+
+/// The launch-relevant fields of a [`DpSpec`], flattened into a `Copy`
+/// value at interning time so the warp-start hot path — executed once per
+/// warp, thousands of times per run — reads plain integers instead of
+/// chasing and refcounting `Arc`s.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DpParams {
+    /// Back-reference into the table (for the interned child/agg names).
+    pub id: DpId,
+    /// Interned [`DpSpec::child_class`].
+    pub class: ClassId,
+    /// Interned [`DpSpec::nested`].
+    pub nested: Option<DpId>,
+    pub child_cta_threads: u32,
+    pub child_items_per_thread: u32,
+    pub child_regs_per_thread: u32,
+    pub child_shmem_per_cta: u32,
+    pub min_items: u32,
+    pub default_threshold: u32,
+}
+
+impl DpParams {
+    /// `(c_grid, total_child_threads)`; mirrors [`DpSpec::child_geometry`].
+    pub fn child_geometry(&self, items: u32) -> (u32, u32) {
+        let threads = items.div_ceil(self.child_items_per_thread);
+        let ctas = threads.div_ceil(self.child_cta_threads);
+        (ctas, threads)
+    }
+
+    /// Warps per child CTA; mirrors [`DpSpec::child_warps_per_cta`].
+    pub fn child_warps_per_cta(&self, warp_size: u32) -> u32 {
+        self.child_cta_threads.div_ceil(warp_size)
+    }
+}
+
+#[derive(Debug)]
+struct DpEntry {
+    /// The interned spec; kept for pointer-identity dedup.
+    spec: Arc<DpSpec>,
+    params: DpParams,
+    /// Child-kernel display name, allocated once at interning time (the
+    /// old launch path built a fresh `Arc<str>` per child launch).
+    child_name: Arc<str>,
+    /// `"<child>-agg"` display name for the DTBL aggregation kernel.
+    agg_name: Arc<str>,
+}
+
+/// Interning table for the work classes and DP specs a simulation's
+/// kernels reference. Specs are registered once per host launch (by
+/// pointer identity), after which every child launch copies plain ids
+/// around instead of cloning `Arc`s on the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct SpecTable {
+    classes: Vec<Arc<WorkClass>>,
+    dps: Vec<DpEntry>,
+}
+
+impl SpecTable {
+    /// Interns `class`, deduplicating by pointer identity (registration
+    /// happens once per host launch, so a linear scan is fine).
+    pub fn intern_class(&mut self, class: &Arc<WorkClass>) -> ClassId {
+        if let Some(i) = self.classes.iter().position(|c| Arc::ptr_eq(c, class)) {
+            return ClassId(i as u32);
+        }
+        self.classes.push(Arc::clone(class));
+        ClassId(self.classes.len() as u32 - 1)
+    }
+
+    /// Interns `spec` and (recursively) its child class and nested spec.
+    pub fn intern_dp(&mut self, spec: &Arc<DpSpec>) -> DpId {
+        if let Some(i) = self.dps.iter().position(|d| Arc::ptr_eq(&d.spec, spec)) {
+            return DpId(i as u32);
+        }
+        let class = self.intern_class(&spec.child_class);
+        let nested = spec.nested.as_ref().map(|n| self.intern_dp(n));
+        let id = DpId(self.dps.len() as u32);
+        self.dps.push(DpEntry {
+            spec: Arc::clone(spec),
+            params: DpParams {
+                id,
+                class,
+                nested,
+                child_cta_threads: spec.child_cta_threads,
+                child_items_per_thread: spec.child_items_per_thread,
+                child_regs_per_thread: spec.child_regs_per_thread,
+                child_shmem_per_cta: spec.child_shmem_per_cta,
+                min_items: spec.min_items,
+                default_threshold: spec.default_threshold,
+            },
+            child_name: spec.child_class.label.into(),
+            agg_name: format!("{}-agg", spec.child_class.label).into(),
+        });
+        id
+    }
+
+    pub fn class(&self, id: ClassId) -> &WorkClass {
+        &self.classes[id.0 as usize]
+    }
+
+    pub fn dp(&self, id: DpId) -> DpParams {
+        self.dps[id.0 as usize].params
+    }
+
+    pub fn child_name(&self, id: DpId) -> &Arc<str> {
+        &self.dps[id.0 as usize].child_name
+    }
+
+    pub fn agg_name(&self, id: DpId) -> &Arc<str> {
+        &self.dps[id.0 as usize].agg_name
+    }
+}
+
 /// Full runtime state of one kernel instance.
 #[derive(Debug)]
 pub(crate) struct KernelRt {
@@ -67,8 +186,10 @@ pub(crate) struct KernelRt {
     pub cta_threads: u32,
     pub regs_per_thread: u32,
     pub shmem_per_cta: u32,
-    pub class: Arc<WorkClass>,
-    pub dp: Option<Arc<DpSpec>>,
+    /// Work class, interned in the simulation's [`SpecTable`].
+    pub class: ClassId,
+    /// DP spec, interned in the simulation's [`SpecTable`].
+    pub dp: Option<DpId>,
     pub dir: CtaDirectory,
     /// Total CTAs announced (grows over time for aggregation kernels).
     pub grid_ctas: u32,
@@ -166,7 +287,7 @@ mod tests {
             cta_threads,
             regs_per_thread: 16,
             shmem_per_cta: 0,
-            class: Arc::new(WorkClass::compute_only("t", 1)),
+            class: ClassId(0),
             dp: None,
             dir: CtaDirectory::Uniform {
                 source: ThreadSource::Derived {
@@ -227,6 +348,50 @@ mod tests {
         let c1 = k.cta_threads(1);
         assert_eq!((c1.base_tid, c1.count), (32, 8));
         assert!(k.is_child_work());
+    }
+
+    #[test]
+    fn spec_table_interns_by_identity() {
+        let nested = Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("gc", 1)),
+            child_cta_threads: 32,
+            child_items_per_thread: 1,
+            child_regs_per_thread: 8,
+            child_shmem_per_cta: 0,
+            min_items: 4,
+            default_threshold: 8,
+            nested: None,
+        });
+        let spec = Arc::new(DpSpec {
+            child_class: Arc::new(WorkClass::compute_only("c", 1)),
+            child_cta_threads: 64,
+            child_items_per_thread: 2,
+            child_regs_per_thread: 16,
+            child_shmem_per_cta: 0,
+            min_items: 8,
+            default_threshold: 16,
+            nested: Some(Arc::clone(&nested)),
+        });
+        let mut t = SpecTable::default();
+        let id = t.intern_dp(&spec);
+        assert_eq!(t.intern_dp(&spec), id, "same Arc interns to same id");
+        let p = t.dp(id);
+        assert_eq!(p.id, id);
+        // The flattened params must agree with the spec they mirror.
+        for items in [1, 63, 64, 127, 128, 1000] {
+            assert_eq!(p.child_geometry(items), spec.child_geometry(items));
+        }
+        assert_eq!(p.child_warps_per_cta(32), spec.child_warps_per_cta(32));
+        let n = t.dp(p.nested.expect("nested interned"));
+        assert_eq!(n.min_items, 4);
+        assert_eq!(
+            t.intern_dp(&nested),
+            p.nested.unwrap(),
+            "nested spec dedups against its recursive registration"
+        );
+        assert_eq!(&**t.child_name(id), "c");
+        assert_eq!(&**t.agg_name(id), "c-agg");
+        assert_eq!(t.class(p.class).label, "c");
     }
 
     #[test]

@@ -86,6 +86,7 @@ mod gmu;
 mod ids;
 mod kernel;
 pub mod mem;
+mod profile;
 mod sim;
 mod smx;
 mod stats;

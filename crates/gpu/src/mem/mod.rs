@@ -10,9 +10,11 @@ pub use cache::Cache;
 pub use coalesce::{coalesce_lines, coalesce_lines_parts};
 pub use dram::DramChannel;
 
+use dynapar_engine::profile::Profiler;
 use dynapar_engine::Cycle;
 
 use crate::config::MemConfig;
+use crate::profile::DRAM;
 
 /// Aggregate memory-system counters for a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,12 +116,13 @@ impl MshrSet {
 /// # Examples
 ///
 /// ```
-/// use dynapar_engine::Cycle;
+/// use dynapar_engine::{profile::Profiler, Cycle};
 /// use dynapar_gpu::{config::MemConfig, mem::MemSystem};
 ///
+/// let mut prof = Profiler::new(&[]); // disabled: attribution off
 /// let mut m = MemSystem::new(&MemConfig::default(), 2);
-/// let cold = m.warp_read(Cycle(0), 0, &[0]);
-/// let warm = m.warp_read(cold, 0, &[0]);
+/// let cold = m.warp_read(Cycle(0), 0, &[0], &mut prof);
+/// let warm = m.warp_read(cold, 0, &[0], &mut prof);
 /// assert!(warm - cold < cold - Cycle(0)); // L1 hit is much cheaper
 /// ```
 #[derive(Debug)]
@@ -132,6 +135,9 @@ pub struct MemSystem {
     /// L2 partitions per memory controller, precomputed so the miss path
     /// does not re-derive it (with a division) on every transaction.
     parts_per_mc: usize,
+    /// L1-miss lines of the warp transaction in flight, reused across
+    /// calls by `warp_read`'s two-pass split.
+    miss_buf: Vec<u64>,
     stats: MemStats,
 }
 
@@ -167,6 +173,7 @@ impl MemSystem {
             l2,
             dram,
             parts_per_mc: (cfg.l2_partitions / cfg.memory_controllers) as usize,
+            miss_buf: Vec::with_capacity(64),
             stats: MemStats::default(),
         }
     }
@@ -186,26 +193,51 @@ impl MemSystem {
     /// Services one warp's read transactions (unique `lines`) issued from
     /// SMX `smx` at time `now`; returns when the slowest completes.
     ///
+    /// The batch is processed in two passes: every line probes the L1
+    /// first (in input order, so tag state evolves exactly as per-line
+    /// dispatch), then the collected misses cross to L2/DRAM, also in
+    /// input order. Hits never touch the MSHRs or lower levels and all
+    /// misses issue at the same `now`, so the split is invisible to the
+    /// simulated timing — it exists to keep each pass's working set (L1
+    /// tags, then L2/DRAM state) hot instead of ping-ponging between
+    /// them per line.
+    ///
+    /// `prof` attributes the DRAM share of the call when profiling is
+    /// compiled in and enabled; pass a disabled profiler otherwise.
+    ///
     /// # Panics
     ///
     /// Panics if `smx` is out of range.
-    pub fn warp_read(&mut self, now: Cycle, smx: usize, lines: &[u64]) -> Cycle {
-        let mut done = now;
+    pub fn warp_read(&mut self, now: Cycle, smx: usize, lines: &[u64], prof: &mut Profiler) -> Cycle {
+        self.stats.l1_accesses += lines.len() as u64;
+        let mut misses = std::mem::take(&mut self.miss_buf);
+        misses.clear();
+        let l1 = &mut self.l1[smx];
+        let mut hits = 0u64;
         for &line in lines {
-            let completion = self.read_line(now, smx, line);
+            if l1.probe_fill(line) {
+                hits += 1;
+            } else {
+                misses.push(line);
+            }
+        }
+        self.stats.l1_hits += hits;
+        let mut done = if hits > 0 {
+            now + self.cfg.l1_hit_latency
+        } else {
+            now
+        };
+        for &line in &misses {
+            let completion = self.miss_line(now, smx, line, prof);
             done = done.max(completion);
         }
+        self.miss_buf = misses;
         done
     }
 
-    fn read_line(&mut self, now: Cycle, smx: usize, line: u64) -> Cycle {
-        self.stats.l1_accesses += 1;
-        if self.l1[smx].probe_fill(line) {
-            self.stats.l1_hits += 1;
-            return now + self.cfg.l1_hit_latency;
-        }
-        // L1 miss: allocate an MSHR (stalling if the core's set is full),
-        // then cross the interconnect to the home L2 partition.
+    /// One L1 miss: allocate an MSHR (stalling if the core's set is
+    /// full), then cross the interconnect to the home L2 partition.
+    fn miss_line(&mut self, now: Cycle, smx: usize, line: u64, prof: &mut Profiler) -> Cycle {
         self.stats.l2_accesses += 1;
         let issue = self.mshrs[smx].admit(now, self.cfg.l1_mshrs as usize);
         if issue > now {
@@ -222,8 +254,10 @@ impl MemSystem {
             l2_done
         } else {
             self.stats.dram_accesses += 1;
-            let ch = &mut self.dram[pid / self.parts_per_mc];
-            ch.access(l2_done, line)
+            prof.enter(DRAM);
+            let c = self.dram[pid / self.parts_per_mc].access(l2_done, line);
+            prof.exit();
+            c
         };
         let done = completion + self.cfg.xbar_latency;
         self.mshrs[smx].complete_at(done);
@@ -233,7 +267,7 @@ impl MemSystem {
     /// Issues one coalesced store transaction for `line` from SMX `smx`;
     /// consumes L2 (and, on an L2 write miss, DRAM) bandwidth but returns
     /// no latency — stores retire asynchronously.
-    pub fn warp_write(&mut self, now: Cycle, _smx: usize, line: u64) {
+    pub fn warp_write(&mut self, now: Cycle, _smx: usize, line: u64, prof: &mut Profiler) {
         self.stats.writes += 1;
         let pid = self.partition_of(line);
         let part = &mut self.l2[pid];
@@ -241,7 +275,9 @@ impl MemSystem {
         let start = arrive.max(part.next_free);
         part.next_free = start + self.cfg.l2_service_interval;
         if !part.cache.probe_fill(line) {
+            prof.enter(DRAM);
             self.dram[pid / self.parts_per_mc].write(start + self.cfg.l2_hit_latency, line);
+            prof.exit();
         }
     }
 
@@ -270,6 +306,11 @@ impl MemSystem {
 mod tests {
     use super::*;
 
+    /// A disabled profiler for exercising the memory system directly.
+    fn np() -> Profiler {
+        Profiler::new(&[])
+    }
+
     fn small_cfg() -> MemConfig {
         MemConfig {
             l1_bytes: 2 * 128 * 4, // 8 lines, 4-way, 2 sets
@@ -281,9 +322,9 @@ mod tests {
     #[test]
     fn l1_hit_is_fast_and_counted() {
         let mut m = MemSystem::new(&small_cfg(), 1);
-        m.warp_read(Cycle(0), 0, &[7]);
+        m.warp_read(Cycle(0), 0, &[7], &mut np());
         let t0 = Cycle(10_000);
-        let done = m.warp_read(t0, 0, &[7]);
+        let done = m.warp_read(t0, 0, &[7], &mut np());
         assert_eq!(done, t0 + m.cfg.l1_hit_latency);
         assert_eq!(m.stats().l1_hits, 1);
         assert_eq!(m.stats().l1_accesses, 2);
@@ -292,10 +333,10 @@ mod tests {
     #[test]
     fn l2_hit_when_another_smx_fetched_the_line() {
         let mut m = MemSystem::new(&small_cfg(), 2);
-        m.warp_read(Cycle(0), 0, &[7]); // SMX0 pulls through L2
+        m.warp_read(Cycle(0), 0, &[7], &mut np()); // SMX0 pulls through L2
         let before = m.stats();
         assert_eq!(before.l2_hits, 0);
-        m.warp_read(Cycle(10_000), 1, &[7]); // SMX1 misses L1, hits L2
+        m.warp_read(Cycle(10_000), 1, &[7], &mut np()); // SMX1 misses L1, hits L2
         let after = m.stats();
         assert_eq!(after.l2_hits, 1);
         assert_eq!(after.dram_accesses, before.dram_accesses);
@@ -304,23 +345,23 @@ mod tests {
     #[test]
     fn miss_chain_latency_ordering() {
         let mut m = MemSystem::new(&small_cfg(), 1);
-        let dram_done = m.warp_read(Cycle(0), 0, &[3]);
+        let dram_done = m.warp_read(Cycle(0), 0, &[3], &mut np());
         let mut m2 = MemSystem::new(&small_cfg(), 1);
-        m2.warp_read(Cycle(0), 0, &[3]);
+        m2.warp_read(Cycle(0), 0, &[3], &mut np());
         // Refetch from a cold L1 but warm L2 by thrashing L1 only:
         // simplest check: L2-resident latency must be below DRAM latency.
         let mut m3 = MemSystem::new(&small_cfg(), 2);
-        m3.warp_read(Cycle(0), 0, &[3]);
-        let l2_done = m3.warp_read(Cycle(100_000), 1, &[3]) - Cycle(100_000);
+        m3.warp_read(Cycle(0), 0, &[3], &mut np());
+        let l2_done = m3.warp_read(Cycle(100_000), 1, &[3], &mut np()) - Cycle(100_000);
         assert!(l2_done < dram_done - Cycle(0), "L2 {l2_done:?} vs DRAM {dram_done:?}");
     }
 
     #[test]
     fn many_lines_return_max_completion() {
         let mut m = MemSystem::new(&small_cfg(), 1);
-        let one = m.warp_read(Cycle(0), 0, &[100]);
+        let one = m.warp_read(Cycle(0), 0, &[100], &mut np());
         let mut m2 = MemSystem::new(&small_cfg(), 1);
-        let many = m2.warp_read(Cycle(0), 0, &[100, 101, 102, 103, 104, 105, 106, 107]);
+        let many = m2.warp_read(Cycle(0), 0, &[100, 101, 102, 103, 104, 105, 106, 107], &mut np());
         assert!(many >= one, "more transactions can only finish later");
     }
 
@@ -330,16 +371,16 @@ mod tests {
         let parts = cfg.l2_partitions as u64;
         let mut m = MemSystem::new(&cfg, 1);
         // Two lines in the same partition vs two in different partitions.
-        let same = m.warp_read(Cycle(0), 0, &[0, parts]);
+        let same = m.warp_read(Cycle(0), 0, &[0, parts], &mut np());
         let mut m2 = MemSystem::new(&cfg, 1);
-        let diff = m2.warp_read(Cycle(0), 0, &[0, 1]);
+        let diff = m2.warp_read(Cycle(0), 0, &[0, 1], &mut np());
         assert!(same >= diff);
     }
 
     #[test]
     fn writes_count_but_do_not_block() {
         let mut m = MemSystem::new(&small_cfg(), 1);
-        m.warp_write(Cycle(0), 0, 55);
+        m.warp_write(Cycle(0), 0, 55, &mut np());
         assert_eq!(m.stats().writes, 1);
     }
 
@@ -363,6 +404,11 @@ mod tests {
 #[cfg(test)]
 mod mshr_tests {
     use super::*;
+
+    /// A disabled profiler for exercising the memory system directly.
+    fn np() -> Profiler {
+        Profiler::new(&[])
+    }
 
     #[test]
     fn mshr_set_admits_until_full_then_stalls() {
@@ -393,8 +439,8 @@ mod mshr_tests {
         let lines: Vec<u64> = (0..64).collect();
         let mut m_tight = MemSystem::new(&tight, 1);
         let mut m_loose = MemSystem::new(&loose, 1);
-        let t_tight = m_tight.warp_read(Cycle(0), 0, &lines);
-        let t_loose = m_loose.warp_read(Cycle(0), 0, &lines);
+        let t_tight = m_tight.warp_read(Cycle(0), 0, &lines, &mut np());
+        let t_loose = m_loose.warp_read(Cycle(0), 0, &lines, &mut np());
         assert!(
             t_tight > t_loose,
             "2 MSHRs ({t_tight:?}) must be slower than 64 ({t_loose:?})"
@@ -410,10 +456,10 @@ mod mshr_tests {
             ..MemConfig::default()
         };
         let mut m = MemSystem::new(&cfg, 1);
-        m.warp_read(Cycle(0), 0, &[7]); // miss fills L1
+        m.warp_read(Cycle(0), 0, &[7], &mut np()); // miss fills L1
         let before = m.stats().mshr_stalls;
         for i in 0..10 {
-            m.warp_read(Cycle(100_000 + i), 0, &[7]); // all hits
+            m.warp_read(Cycle(100_000 + i), 0, &[7], &mut np()); // all hits
         }
         assert_eq!(m.stats().mshr_stalls, before);
     }

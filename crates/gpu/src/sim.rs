@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+use dynapar_engine::profile::Profiler;
 use dynapar_engine::stats::TimeWeighted;
 use dynapar_engine::{Cycle, QueueBackend, SchedQueue};
 
@@ -22,12 +23,15 @@ use crate::controller::{
 };
 use crate::gmu::Gmu;
 use crate::ids::{KernelId, SmxId, StreamId};
-use crate::kernel::{AggCta, CtaDirectory, KernelKind, KernelRt};
+use crate::kernel::{AggCta, CtaDirectory, DpParams, KernelKind, KernelRt, SpecTable};
 use crate::mem::{coalesce_lines_parts, MemSystem};
+use crate::profile as ph;
 use crate::smx::{CtaRt, Smx, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 use crate::trace::{Trace, TraceEvent};
-use crate::work::{DpSpec, KernelDesc, ThreadSource, ThreadWork};
+use crate::work::{KernelDesc, ThreadSource, ThreadWork};
+#[cfg(test)]
+use crate::work::DpSpec;
 
 /// Simulator events.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +54,13 @@ enum Ev {
     /// Periodic timeline sample.
     Sample,
 }
+
+/// Upper bound on each recycled-buffer free-list (`warp_mem_pool`,
+/// `lane_pool`). Steady state needs at most one buffer per resident
+/// warp/CTA — far below this — so the cap never bites in practice; it
+/// exists so a pathological burst cannot pin memory for the rest of a
+/// long run. Pinned by the `buffer_pools_are_bounded` test.
+const POOL_CAP: usize = 1024;
 
 /// Configures and seals a [`Simulation`].
 ///
@@ -83,6 +94,7 @@ pub struct SimulationBuilder {
     metrics: MetricsLevel,
     stream_policy: Option<StreamPolicy>,
     queue: QueueBackend,
+    profile: bool,
 }
 
 impl SimulationBuilder {
@@ -96,6 +108,7 @@ impl SimulationBuilder {
             metrics: MetricsLevel::default(),
             stream_policy: None,
             queue: QueueBackend::default(),
+            profile: false,
         }
     }
 
@@ -145,6 +158,19 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the host-side self-profiler: wall time and counts are
+    /// attributed to simulator phases and come back in
+    /// [`RunOutcome::profile`]. Profiling never influences simulated
+    /// behavior — reports and artifacts stay byte-identical with it on.
+    ///
+    /// Requires the `profile` cargo feature; without it this is a no-op
+    /// and `RunOutcome::profile` is always `None` (the instrumentation
+    /// compiles down to nothing, which is the point of the gate).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Seals the builder into a runnable [`Simulation`].
     ///
     /// # Panics
@@ -159,6 +185,7 @@ impl SimulationBuilder {
         let mut sim = Simulation::new(cfg, self.controller, self.queue);
         sim.trace = self.trace_capacity.map(Trace::new);
         sim.metrics_level = self.metrics;
+        sim.prof.set_enabled(self.profile);
         sim
     }
 }
@@ -244,8 +271,22 @@ pub struct Simulation {
     /// Merge target for the two-block coalescer; swaps with `addr_buf`.
     scratch_buf: Vec<u64>,
     /// Recycled `outstanding_mem` buffers from finished warps, so the
-    /// steady-state warp churn performs no per-warp allocations.
+    /// steady-state warp churn performs no per-warp allocations. Bounded
+    /// by [`POOL_CAP`] like every free-list here.
     warp_mem_pool: Vec<std::collections::VecDeque<Cycle>>,
+    /// Recycled CTA lane tables (see [`CtaRt::lanes`]); bounded by
+    /// [`POOL_CAP`].
+    lane_pool: Vec<Vec<ThreadWork>>,
+    /// Host-side self-profiler (a no-op ZST unless the `profile` cargo
+    /// feature is on; runtime-disabled unless the builder asked for it).
+    prof: Profiler,
+    /// Interned work classes and DP specs (see [`SpecTable`]); kernels
+    /// hold plain ids into this table.
+    specs: SpecTable,
+    /// Reused across dispatch rounds for the GMU's candidate list.
+    dispatch_buf: Vec<KernelId>,
+    /// Reused across warp starts for the per-lane launch candidates.
+    cand_buf: Vec<(u32, ThreadWork)>,
 }
 
 impl Simulation {
@@ -306,6 +347,11 @@ impl Simulation {
             addr_buf: Vec::with_capacity(128),
             scratch_buf: Vec::with_capacity(128),
             warp_mem_pool: Vec::new(),
+            lane_pool: Vec::new(),
+            prof: Profiler::new(ph::NAMES),
+            specs: SpecTable::default(),
+            dispatch_buf: Vec::new(),
+            cand_buf: Vec::new(),
         }
     }
 
@@ -340,6 +386,11 @@ impl Simulation {
         self.next_stream = self.next_stream.max(stream.0 + 1);
         let total_threads = desc.thread_count();
         let grid = desc.grid_ctas();
+        // Intern the class and the DP spec chain once, here at
+        // registration time; the launch hot path then deals in copyable
+        // ids instead of cloning `Arc`s per child kernel.
+        let class = self.specs.intern_class(&desc.class);
+        let dp = desc.dp.as_ref().map(|d| self.specs.intern_dp(d));
         self.kernels.push(KernelRt {
             id,
             name: desc.name,
@@ -351,8 +402,8 @@ impl Simulation {
             cta_threads: desc.cta_threads,
             regs_per_thread: desc.regs_per_thread,
             shmem_per_cta: desc.shmem_per_cta,
-            class: desc.class,
-            dp: desc.dp,
+            class,
+            dp,
             dir: CtaDirectory::Uniform {
                 source: desc.source,
                 total_threads,
@@ -391,6 +442,7 @@ impl Simulation {
     /// indicate an internal invariant violation or a malformed workload.
     pub fn run(mut self) -> RunOutcome {
         self.run_to_completion();
+        let profile = self.prof.report();
         let report = self.build_report();
         let artifact = if self.metrics_level.enabled() {
             Some(self.build_artifact(&report))
@@ -402,12 +454,18 @@ impl Simulation {
             trace: self.trace,
             controller: self.controller,
             artifact,
+            profile,
         }
     }
 
     fn run_to_completion(&mut self) {
         let started = std::time::Instant::now();
         self.events.push(Cycle::ZERO, Ev::Sample);
+        // The whole loop runs under the outer "sched" phase; `handle`
+        // nests the per-event phases inside it, so "sched" is left
+        // holding exactly the queue-pop and loop overhead and the
+        // phases sum to the loop's wall time (coverage ≈ 1).
+        self.prof.enter(ph::SCHED);
         loop {
             self.peak_queue_depth = self.peak_queue_depth.max(self.events.len() as u64);
             let Some((t, ev)) = self.events.pop() else { break };
@@ -424,6 +482,7 @@ impl Simulation {
                 break;
             }
         }
+        self.prof.exit();
         assert!(
             self.live_kernels == 0,
             "simulation stalled with {} live kernels and no events",
@@ -434,6 +493,14 @@ impl Simulation {
     }
 
     fn handle(&mut self, now: Cycle, ev: Ev) {
+        let phase = match ev {
+            Ev::KernelArrive(_) | Ev::AggArrive { .. } | Ev::HwqRelease(_) => ph::GMU,
+            Ev::Dispatch => ph::DISPATCH,
+            Ev::CtaStart { .. } => ph::CTA_START,
+            Ev::SmxWork(_) => ph::WAKEUP,
+            Ev::Sample => ph::SAMPLE,
+        };
+        self.prof.enter(phase);
         match ev {
             Ev::KernelArrive(k) => self.on_kernel_arrive(now, k),
             Ev::AggArrive { kernel, count } => {
@@ -455,6 +522,7 @@ impl Simulation {
             }
             Ev::Sample => self.on_sample(now),
         }
+        self.prof.exit();
     }
 
     // ----- kernel arrival & dispatch ------------------------------------
@@ -486,7 +554,8 @@ impl Simulation {
     }
 
     fn do_dispatch(&mut self, now: Cycle) {
-        let candidates = self.gmu.dispatch_candidates();
+        let mut candidates = std::mem::take(&mut self.dispatch_buf);
+        self.gmu.dispatch_candidates_into(&mut candidates);
         loop {
             let mut placed_any = false;
             for &kid in &candidates {
@@ -541,6 +610,7 @@ impl Simulation {
                     cta_index,
                     live_warps: 0,
                     start_cycle: now,
+                    lanes: Vec::new(),
                     threads,
                     regs,
                     shmem,
@@ -566,6 +636,7 @@ impl Simulation {
                 break;
             }
         }
+        self.dispatch_buf = candidates;
     }
 
     // ----- CTA & warp lifecycle -----------------------------------------
@@ -576,35 +647,34 @@ impl Simulation {
             let cta = self.smxs[si].cta(cta_slot);
             (cta.kernel, cta.cta_index)
         };
-        // Gather lane assignments (immutable borrow of kernels). The work
-        // class and DP spec stay interned in the kernel table — warps hold
-        // only `kernel_id` and look them up, so no Arc clones happen here.
-        let (lane_groups, is_child, depth) = {
+        // Fill the CTA's flat lane table (immutable borrow of kernels).
+        // The work class and DP spec stay interned in the kernel table —
+        // warps hold only `kernel_id` and look them up, so no Arc clones
+        // happen here; the table buffer itself is recycled through
+        // `lane_pool` and warps view `(lane_start, lane_count)` slices of
+        // it, so the whole CTA start performs no steady-state allocation.
+        let mut lanes = self.lane_pool.pop().unwrap_or_default();
+        debug_assert!(lanes.is_empty());
+        let (is_child, depth) = {
             let k = &self.kernels[kernel_id.index()];
             let ct = k.cta_threads(cta_index);
-            let stride = k.class.seq_bytes_per_item;
-            let ws = self.cfg.warp_size;
-            let mut groups: Vec<Vec<ThreadWork>> = Vec::new();
-            let mut i = 0;
-            while i < ct.count {
-                let hi = (i + ws).min(ct.count);
-                groups.push(
-                    (i..hi)
-                        .map(|t| ct.source.thread(ct.base_tid + t, stride))
-                        .collect(),
-                );
-                i = hi;
-            }
-            (groups, k.is_child_work(), k.depth)
+            let stride = self.specs.class(k.class).seq_bytes_per_item;
+            lanes.extend((0..ct.count).map(|t| ct.source.thread(ct.base_tid + t, stride)));
+            (k.is_child_work(), k.depth)
         };
-        let warp_count = lane_groups.len() as u32;
+        let ws = self.cfg.warp_size;
+        let total = lanes.len() as u32;
+        let warp_count = total.div_ceil(ws);
         {
             let cta = self.smxs[si].cta_mut(cta_slot);
             cta.start_cycle = now;
             cta.live_warps = warp_count;
             cta.is_child_work = is_child;
+            cta.lanes = lanes;
         }
-        for lanes in lane_groups {
+        let mut lane_start = 0;
+        while lane_start < total {
+            let lane_count = ws.min(total - lane_start);
             let age = self.warp_seq;
             self.warp_seq += 1;
             let outstanding_mem = self.warp_mem_pool.pop().unwrap_or_default();
@@ -613,7 +683,8 @@ impl Simulation {
                 kernel: kernel_id,
                 is_child_work: is_child,
                 depth,
-                lanes,
+                lane_start,
+                lane_count,
                 rounds_done: 0,
                 rounds_total: 0,
                 started: false,
@@ -623,12 +694,15 @@ impl Simulation {
                 outstanding_mem,
             });
             self.smxs[si].mark_ready(slot);
+            lane_start += lane_count;
         }
         self.occupancy.add(now, warp_count as i64);
         if is_child {
             self.child_ctas_running += 1;
+            self.prof.enter(ph::CCQS);
             self.controller
                 .observe(&ControllerEvent::ChildCtaStart { now });
+            self.prof.exit();
         } else {
             self.parent_ctas_running += 1;
         }
@@ -719,28 +793,33 @@ impl Simulation {
     /// First issue of a warp: make the launch decisions for every
     /// candidate lane, then charge the prologue (init + API calls).
     fn start_warp(&mut self, now: Cycle, si: usize, slot: u32) {
+        self.prof.enter(ph::LAUNCH);
         let (kernel_id, cta_slot, depth) = {
             let w = self.smxs[si].warp(slot);
             (w.kernel, w.cta_slot, w.depth)
         };
-        // One Option<Arc> clone per warp start (not per lane/round); the
-        // spec itself stays interned in the kernel table.
-        let dp_opt = self.kernels[kernel_id.index()].dp.clone();
+        let dp_opt = self.kernels[kernel_id.index()].dp;
         let mut api_cost: u64 = 0;
         // CUDA bounds device-launch nesting; sites past the limit fail
         // at the API and fall back to in-thread execution.
         let dp_opt = dp_opt.filter(|_| depth < self.cfg.max_nesting_depth);
-        if let Some(dp) = dp_opt {
+        if let Some(dp_id) = dp_opt {
+            // All-`Copy` params: the per-lane loop below touches no `Arc`
+            // refcount at all.
+            let dp = self.specs.dp(dp_id);
             let min_items = dp.min_items.max(1);
-            let candidates: Vec<(usize, ThreadWork)> = self.smxs[si]
-                .warp(slot)
-                .lanes
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.items >= min_items)
-                .map(|(i, l)| (i, *l))
-                .collect();
-            for (lane_idx, work) in candidates {
+            let mut candidates = std::mem::take(&mut self.cand_buf);
+            candidates.clear();
+            candidates.extend(
+                self.smxs[si]
+                    .warp_lanes(slot)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.items >= min_items)
+                    .map(|(i, l)| (i as u32, *l)),
+            );
+            for (lane_idx, work) in candidates.drain(..) {
+                let lane_idx = lane_idx as usize;
                 let (ctas, threads) = dp.child_geometry(work.items);
                 let prior = self.smxs[si].warp(slot).launches;
                 let req = ChildRequest {
@@ -756,7 +835,9 @@ impl Simulation {
                     pending_kernels: self.gmu.pending() + self.inflight_launches,
                 };
                 self.launch_requests += 1;
+                self.prof.enter(ph::CCQS);
                 let mut decision = self.controller.decide(&req);
+                self.prof.exit();
                 self.trace(|| TraceEvent::Decision {
                     at: now,
                     parent: kernel_id,
@@ -774,14 +855,14 @@ impl Simulation {
                         let x = {
                             let w = self.smxs[si].warp_mut(slot);
                             w.launches += 1;
-                            w.lanes[lane_idx].items = 0;
                             w.launches as u64
                         };
+                        self.smxs[si].warp_lanes_mut(slot)[lane_idx].items = 0;
                         api_cost += self.cfg.launch.api_call_cycles;
                         let stream = self.child_stream(si, cta_slot);
                         let child = self.create_child_kernel(
                             kernel_id,
-                            &dp,
+                            dp,
                             work,
                             ctas,
                             threads,
@@ -802,9 +883,9 @@ impl Simulation {
                         self.child_kernels += 1;
                     }
                     LaunchDecision::Aggregated => {
-                        self.smxs[si].warp_mut(slot).lanes[lane_idx].items = 0;
+                        self.smxs[si].warp_lanes_mut(slot)[lane_idx].items = 0;
                         api_cost += self.cfg.launch.api_call_cycles;
-                        let agg = self.agg_kernel_for(kernel_id, &dp, now);
+                        let agg = self.agg_kernel_for(kernel_id, dp, now);
                         let source = ThreadSource::Derived {
                             origin: work,
                             items_per_thread: dp.child_items_per_thread,
@@ -830,14 +911,14 @@ impl Simulation {
                     LaunchDecision::Redistribute => {
                         // Free-Launch: spread the items across the whole
                         // warp. Work is conserved exactly; the first
-                        // `items % lanes` lanes take the remainder.
-                        let w = self.smxs[si].warp_mut(slot);
-                        let lanes = w.lanes.len() as u32;
-                        let items = w.lanes[lane_idx].items;
-                        w.lanes[lane_idx].items = 0;
-                        let share = items / lanes;
-                        let rem = (items % lanes) as usize;
-                        for (i, lane) in w.lanes.iter_mut().enumerate() {
+                        // `items % n` lanes take the remainder.
+                        let lanes = self.smxs[si].warp_lanes_mut(slot);
+                        let n = lanes.len() as u32;
+                        let items = lanes[lane_idx].items;
+                        lanes[lane_idx].items = 0;
+                        let share = items / n;
+                        let rem = (items % n) as usize;
+                        for (i, lane) in lanes.iter_mut().enumerate() {
                             lane.items += share + u32::from(i < rem);
                         }
                         self.redistributed_requests += 1;
@@ -847,13 +928,24 @@ impl Simulation {
                     }
                 }
             }
+            self.cand_buf = candidates;
         }
-        let init_cycles = self.kernels[kernel_id.index()].class.init_cycles;
+        let init_cycles = {
+            let k = &self.kernels[kernel_id.index()];
+            self.specs.class(k.class).init_cycles
+        };
+        let rounds_total = self.smxs[si]
+            .warp_lanes(slot)
+            .iter()
+            .map(|l| l.items)
+            .max()
+            .unwrap_or(0);
         let w = self.smxs[si].warp_mut(slot);
         w.started = true;
-        w.rounds_total = w.max_items();
+        w.rounds_total = rounds_total;
         let busy = init_cycles as u64 + api_cost + 1;
         self.schedule_wakeup(si, now + busy, slot);
+        self.prof.exit();
     }
 
     fn child_stream(&mut self, si: usize, cta_slot: u32) -> StreamId {
@@ -879,7 +971,7 @@ impl Simulation {
     fn create_child_kernel(
         &mut self,
         parent: KernelId,
-        dp: &Arc<DpSpec>,
+        dp: DpParams,
         work: ThreadWork,
         ctas: u32,
         threads: u32,
@@ -891,7 +983,7 @@ impl Simulation {
         let id = KernelId(self.kernels.len() as u32);
         self.kernels.push(KernelRt {
             id,
-            name: dp.child_class.label.into(),
+            name: Arc::clone(self.specs.child_name(dp.id)),
             kind: KernelKind::Child,
             parent: Some(parent),
             depth,
@@ -900,8 +992,8 @@ impl Simulation {
             cta_threads: dp.child_cta_threads,
             regs_per_thread: dp.child_regs_per_thread,
             shmem_per_cta: dp.child_shmem_per_cta,
-            class: dp.child_class.clone(),
-            dp: dp.nested.clone(),
+            class: dp.class,
+            dp: dp.nested,
             dir: CtaDirectory::Uniform {
                 source: ThreadSource::Derived {
                     origin: work,
@@ -929,7 +1021,7 @@ impl Simulation {
 
     /// Returns (creating on first use) the DTBL aggregation kernel that
     /// collects coalesced child CTAs of `parent`.
-    fn agg_kernel_for(&mut self, parent: KernelId, dp: &Arc<DpSpec>, now: Cycle) -> KernelId {
+    fn agg_kernel_for(&mut self, parent: KernelId, dp: DpParams, now: Cycle) -> KernelId {
         if let Some(&agg) = self.kernels[parent.index()].agg_children.first() {
             return agg;
         }
@@ -937,7 +1029,7 @@ impl Simulation {
         let depth = self.kernels[parent.index()].depth + 1;
         self.kernels.push(KernelRt {
             id,
-            name: format!("{}-agg", dp.child_class.label).into(),
+            name: Arc::clone(self.specs.agg_name(dp.id)),
             kind: KernelKind::Aggregated,
             parent: Some(parent),
             depth,
@@ -946,8 +1038,8 @@ impl Simulation {
             cta_threads: dp.child_cta_threads,
             regs_per_thread: dp.child_regs_per_thread,
             shmem_per_cta: dp.child_shmem_per_cta,
-            class: dp.child_class.clone(),
-            dp: dp.nested.clone(),
+            class: dp.class,
+            dp: dp.nested,
             dir: CtaDirectory::Aggregated {
                 entries: Vec::new(),
             },
@@ -973,16 +1065,18 @@ impl Simulation {
 
     /// Executes one round of a started warp.
     fn run_round(&mut self, now: Cycle, si: usize, slot: u32) {
+        self.prof.enter(ph::ROUND);
         let mut addrs = std::mem::take(&mut self.addr_buf);
         let mut scratch = std::mem::take(&mut self.scratch_buf);
         addrs.clear();
         scratch.clear();
+        self.prof.enter(ph::COALESCE);
         let (compute, active, write_line, is_child, seq_len) = {
-            let w = self.smxs[si].warp(slot);
+            let (w, lanes) = self.smxs[si].warp_and_lanes(slot);
             let r = w.rounds_done;
             // Disjoint immutable borrows: warp state from the SMX, the
-            // interned work class from the kernel table.
-            let class = &self.kernels[w.kernel.index()].class;
+            // interned work class from the spec table.
+            let class = self.specs.class(self.kernels[w.kernel.index()].class);
             let mut active = 0u32;
             let mut first_seed = None;
             // Block-ordered generation in one pass over the lanes:
@@ -991,7 +1085,7 @@ impl Simulation {
             // a sorted unique set, so the set is identical to lane-major
             // order — but the block split lets the coalescer skip sorting
             // the (already ascending) sequential run.
-            for lane in &w.lanes {
+            for lane in lanes {
                 if lane.items > r {
                     active += 1;
                     if first_seed.is_none() {
@@ -1018,15 +1112,18 @@ impl Simulation {
             (class.compute_per_item as u64, active, write_line, w.is_child_work, seq_len)
         };
         coalesce_lines_parts(&mut addrs, seq_len, &mut scratch, self.cfg.mem.line_bytes);
+        self.prof.exit(); // coalesce
         self.scratch_buf = scratch;
+        self.prof.enter(ph::CACHE);
         let mem_done = if addrs.is_empty() {
             now
         } else {
-            self.mem.warp_read(now, si, &addrs)
+            self.mem.warp_read(now, si, &addrs, &mut self.prof)
         };
         if let Some(line) = write_line {
-            self.mem.warp_write(now, si, line);
+            self.mem.warp_write(now, si, line, &mut self.prof);
         }
+        self.prof.exit(); // cache
         addrs.clear();
         self.addr_buf = addrs;
         if is_child {
@@ -1056,18 +1153,38 @@ impl Simulation {
             }
         }
         self.schedule_wakeup(si, done, slot);
+        self.prof.exit(); // round
+    }
+
+    /// Returns a finished warp's MLP buffer to the free-list, unless the
+    /// list is already at its [`POOL_CAP`] bound (then the buffer drops).
+    fn recycle_mem_buf(&mut self, buf: &mut std::collections::VecDeque<Cycle>) {
+        buf.clear();
+        if self.warp_mem_pool.len() < POOL_CAP {
+            self.warp_mem_pool.push(std::mem::take(buf));
+        }
+    }
+
+    /// Returns a finished CTA's lane table to the free-list, unless the
+    /// list is already at its [`POOL_CAP`] bound (then the buffer drops).
+    fn recycle_lane_buf(&mut self, mut buf: Vec<ThreadWork>) {
+        if self.lane_pool.len() < POOL_CAP {
+            buf.clear();
+            self.lane_pool.push(buf);
+        }
     }
 
     fn finish_warp(&mut self, now: Cycle, si: usize, slot: u32) {
         let mut w = self.smxs[si].take_warp(slot);
-        w.outstanding_mem.clear();
-        self.warp_mem_pool.push(std::mem::take(&mut w.outstanding_mem));
+        self.recycle_mem_buf(&mut w.outstanding_mem);
         self.occupancy.add(now, -1);
         if w.is_child_work {
+            self.prof.enter(ph::CCQS);
             self.controller.observe(&ControllerEvent::ChildWarpFinish {
                 now,
                 exec_cycles: (now - w.start_cycle).as_u64(),
             });
+            self.prof.exit();
         }
         let cta_slot = w.cta_slot;
         let cta = self.smxs[si].cta_mut(cta_slot);
@@ -1079,17 +1196,21 @@ impl Simulation {
     }
 
     fn finish_cta(&mut self, now: Cycle, si: usize, cta_slot: u32) {
-        let cta = self.smxs[si].release_cta(cta_slot);
+        let mut cta = self.smxs[si].release_cta(cta_slot);
+        let lanes = std::mem::take(&mut cta.lanes);
+        self.recycle_lane_buf(lanes);
         if cta.is_child_work {
             debug_assert!(self.child_ctas_running > 0);
             self.child_ctas_running -= 1;
             self.child_ctas_executed += 1;
             let exec = (now - cta.start_cycle).as_u64();
             self.child_cta_exec.push(exec);
+            self.prof.enter(ph::CCQS);
             self.controller.observe(&ControllerEvent::ChildCtaFinish {
                 now,
                 exec_cycles: exec,
             });
+            self.prof.exit();
         } else {
             debug_assert!(self.parent_ctas_running > 0);
             self.parent_ctas_running -= 1;
@@ -1429,7 +1550,7 @@ mod tests {
             regs_per_thread: 24,
             shmem_per_cta: 0,
             class: mem_class("parent", 24),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp,
         }
     }
@@ -1562,7 +1683,7 @@ mod tests {
     fn stream_policies_both_complete() {
         // Many children per parent CTA, and more HWQs than parent CTAs, so
         // per-parent-CTA streams actually serialize children (Fig. 8).
-        let threads: Vec<ThreadWork> = (0..512u32)
+        let threads: Arc<[ThreadWork]> = (0..512u32)
             .map(|t| ThreadWork {
                 items: if t % 8 == 0 { 300 } else { 2 },
                 seq_base: t as u64 * 8192,
@@ -1576,7 +1697,7 @@ mod tests {
             regs_per_thread: 24,
             shmem_per_cta: 0,
             class: mem_class("parent", 24),
-            source: ThreadSource::Explicit(Arc::new(threads.clone())),
+            source: ThreadSource::Explicit(threads.clone()),
             dp: Some(dp_spec(64)),
         };
         let mut totals = Vec::new();
@@ -1640,7 +1761,7 @@ mod tests {
             regs_per_thread: 24,
             shmem_per_cta: 0,
             class: mem_class("parent", 24),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: Some(spec),
         });
         let r = sim.run().report;
@@ -1695,7 +1816,7 @@ mod tests {
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("div", 16)),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: None,
         };
         let mut s1 = Simulation::builder(GpuConfig::test_small()).build();
@@ -1743,14 +1864,14 @@ mod more_tests {
         })
     }
 
-    fn kernel_with(dp: Option<Arc<DpSpec>>, threads: Vec<ThreadWork>) -> KernelDesc {
+    fn kernel_with(dp: Option<Arc<DpSpec>>, threads: impl Into<Arc<[ThreadWork]>>) -> KernelDesc {
         KernelDesc {
             name: "t".into(),
             cta_threads: 64,
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("p", 8)),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp,
         }
     }
@@ -1885,7 +2006,7 @@ mod more_tests {
     #[test]
     fn queue_latency_reflects_contention() {
         // Many kernels, few HWQs: average queue latency grows vs many HWQs.
-        let threads: Vec<ThreadWork> = (0..512)
+        let threads: Arc<[ThreadWork]> = (0..512)
             .map(|t| ThreadWork {
                 items: 40,
                 seq_base: t as u64 * 512,
@@ -1944,7 +2065,7 @@ mod trace_tests {
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("p", 8)),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: Some(Arc::new(DpSpec {
                 child_class: Arc::new(WorkClass::compute_only("c", 8)),
                 child_cta_threads: 32,
@@ -2078,7 +2199,7 @@ mod placement_tests {
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(mk("aff-parent")),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: Some(Arc::new(DpSpec {
                 child_class: Arc::new(mk("aff-child")),
                 child_cta_threads: 32,
@@ -2194,6 +2315,30 @@ mod guard_tests {
 }
 
 #[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    /// The recycled-buffer free-lists must stop growing at [`POOL_CAP`]:
+    /// a burst that retires more warps/CTAs than the cap drops the
+    /// excess buffers instead of pinning them for the rest of the run.
+    #[test]
+    fn buffer_pools_are_bounded() {
+        let mut sim = Simulation::builder(GpuConfig::test_small()).build();
+        for i in 0..2 * POOL_CAP {
+            let mut mem = std::collections::VecDeque::with_capacity(4);
+            mem.push_back(Cycle(i as u64));
+            sim.recycle_mem_buf(&mut mem);
+            sim.recycle_lane_buf(vec![ThreadWork::with_items(1); 4]);
+        }
+        assert_eq!(sim.warp_mem_pool.len(), POOL_CAP);
+        assert_eq!(sim.lane_pool.len(), POOL_CAP);
+        // Recycled buffers come back empty, ready for reuse.
+        assert!(sim.warp_mem_pool.iter().all(|b| b.is_empty()));
+        assert!(sim.lane_pool.iter().all(|b| b.is_empty()));
+    }
+}
+
+#[cfg(test)]
 mod nesting_tests {
     use super::*;
     use crate::work::WorkClass;
@@ -2249,7 +2394,7 @@ mod nesting_tests {
             regs_per_thread: 8,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("root", 4)),
-            source: ThreadSource::Explicit(Arc::new(vec![ThreadWork::with_items(256); 8])),
+            source: ThreadSource::Explicit(vec![ThreadWork::with_items(256); 8].into()),
             dp: Some(recursive_spec(8)),
         });
         sim.run().report
@@ -2317,7 +2462,7 @@ mod artifact_tests {
             regs_per_thread: 16,
             shmem_per_cta: 0,
             class: Arc::new(WorkClass::compute_only("p", 8)),
-            source: ThreadSource::Explicit(Arc::new(threads)),
+            source: ThreadSource::Explicit(threads.into()),
             dp: Some(Arc::new(DpSpec {
                 child_class: Arc::new(WorkClass::compute_only("c", 8)),
                 child_cta_threads: 32,

@@ -21,8 +21,16 @@ pub(crate) struct WarpRt {
     pub is_child_work: bool,
     /// Nesting depth of the owning kernel.
     pub depth: u8,
-    /// Per-lane work (≤ warp_size entries).
-    pub lanes: Vec<ThreadWork>,
+    /// First lane in the owning CTA's flat [`CtaRt::lanes`] buffer.
+    ///
+    /// Warps do not own their lane records: each CTA holds one
+    /// contiguous (pooled) buffer and every warp views a
+    /// `[lane_start, lane_start + lane_count)` slice of it, so creating
+    /// a warp allocates nothing. Resolve the slice through
+    /// [`Smx::warp_lanes`] / [`Smx::warp_lanes_mut`].
+    pub lane_start: u32,
+    /// Number of lanes in this warp's slice (≤ warp_size).
+    pub lane_count: u32,
     /// Rounds (work items per lane) completed so far.
     pub rounds_done: u32,
     /// Rounds to execute (`max` items across lanes); valid once `started`.
@@ -45,13 +53,6 @@ pub(crate) struct WarpRt {
     pub outstanding_mem: VecDeque<Cycle>,
 }
 
-impl WarpRt {
-    /// Largest remaining item count across lanes.
-    pub fn max_items(&self) -> u32 {
-        self.lanes.iter().map(|l| l.items).max().unwrap_or(0)
-    }
-}
-
 /// A resident CTA's bookkeeping.
 #[derive(Debug)]
 pub(crate) struct CtaRt {
@@ -59,6 +60,10 @@ pub(crate) struct CtaRt {
     pub cta_index: u32,
     pub live_warps: u32,
     pub start_cycle: Cycle,
+    /// Flat per-lane work table for every warp of this CTA; warps index
+    /// into it via `(lane_start, lane_count)`. The buffer is recycled
+    /// through the simulation's lane pool when the CTA completes.
+    pub lanes: Vec<ThreadWork>,
     /// Resources to release on completion.
     pub threads: u32,
     pub regs: u32,
@@ -221,6 +226,27 @@ impl Smx {
         self.warps[slot as usize].as_mut().expect("live warp")
     }
 
+    /// The warp's lane slice within its CTA's flat lane table.
+    pub fn warp_lanes(&self, slot: u32) -> &[ThreadWork] {
+        self.warp_and_lanes(slot).1
+    }
+
+    /// Mutable view of the warp's lane slice.
+    pub fn warp_lanes_mut(&mut self, slot: u32) -> &mut [ThreadWork] {
+        let w = self.warps[slot as usize].as_ref().expect("live warp");
+        let (cta, lo, n) = (w.cta_slot, w.lane_start as usize, w.lane_count as usize);
+        let c = self.ctas[cta as usize].as_mut().expect("live CTA");
+        &mut c.lanes[lo..lo + n]
+    }
+
+    /// The warp together with its lane slice (one borrow of the SMX).
+    pub fn warp_and_lanes(&self, slot: u32) -> (&WarpRt, &[ThreadWork]) {
+        let w = self.warps[slot as usize].as_ref().expect("live warp");
+        let (lo, n) = (w.lane_start as usize, w.lane_count as usize);
+        let c = self.ctas[w.cta_slot as usize].as_ref().expect("live CTA");
+        (w, &c.lanes[lo..lo + n])
+    }
+
     /// Removes a finished warp and frees its slot.
     pub fn take_warp(&mut self, slot: u32) -> WarpRt {
         let w = self.warps[slot as usize].take().expect("live warp");
@@ -371,6 +397,7 @@ mod tests {
             cta_index: 0,
             live_warps: 0,
             start_cycle: Cycle::ZERO,
+            lanes: Vec::new(),
             threads,
             regs,
             shmem,
@@ -385,7 +412,8 @@ mod tests {
             kernel: KernelId(0),
             is_child_work: false,
             depth: 0,
-            lanes: vec![ThreadWork::with_items(1)],
+            lane_start: 0,
+            lane_count: 1,
             rounds_done: 0,
             rounds_total: 0,
             started: false,
@@ -515,15 +543,25 @@ mod tests {
     }
 
     #[test]
-    fn warp_max_items() {
-        let mut w = warp(0);
-        w.lanes = vec![
-            ThreadWork::with_items(3),
-            ThreadWork::with_items(9),
-            ThreadWork::with_items(1),
-        ];
-        assert_eq!(w.max_items(), 9);
-        w.lanes.clear();
-        assert_eq!(w.max_items(), 0);
+    fn warp_lane_slices_view_the_cta_table() {
+        let mut s = smx();
+        let mut c = cta(64, 64, 0);
+        c.lanes = (1..=5).map(ThreadWork::with_items).collect();
+        let cta_slot = s.reserve_cta(c);
+        let mut w0 = warp(0);
+        (w0.cta_slot, w0.lane_start, w0.lane_count) = (cta_slot, 0, 3);
+        let mut w1 = warp(1);
+        (w1.cta_slot, w1.lane_start, w1.lane_count) = (cta_slot, 3, 2);
+        let s0 = s.add_warp(w0);
+        let s1 = s.add_warp(w1);
+        let items = |l: &[ThreadWork]| l.iter().map(|t| t.items).collect::<Vec<_>>();
+        assert_eq!(items(s.warp_lanes(s0)), [1, 2, 3]);
+        assert_eq!(items(s.warp_lanes(s1)), [4, 5]);
+        // Mutations through one warp's slice land in the shared table.
+        s.warp_lanes_mut(s1)[0].items = 40;
+        assert_eq!(s.cta(cta_slot).lanes[3].items, 40);
+        let (w, lanes) = s.warp_and_lanes(s1);
+        assert_eq!(w.lane_start, 3);
+        assert_eq!(items(lanes), [40, 5]);
     }
 }

@@ -129,8 +129,9 @@ impl ThreadWork {
 pub enum ThreadSource {
     /// One explicit entry per thread — used for host-launched parent
     /// kernels whose per-thread workloads come from the input (e.g. vertex
-    /// degrees).
-    Explicit(Arc<Vec<ThreadWork>>),
+    /// degrees). The slice is shared, never copied: cloning the source
+    /// (kernel descriptions, aggregated CTAs) only bumps a refcount.
+    Explicit(Arc<[ThreadWork]>),
     /// Threads derived procedurally from one origin assignment — used for
     /// child kernels: thread `t` handles items
     /// `[t·ipt, min((t+1)·ipt, origin.items))` of the offloaded work, and
@@ -282,7 +283,7 @@ impl DpSpec {
 ///     regs_per_thread: 32,
 ///     shmem_per_cta: 0,
 ///     class: Arc::new(WorkClass::compute_only("demo", 10)),
-///     source: ThreadSource::Explicit(Arc::new(threads)),
+///     source: ThreadSource::Explicit(threads.into()),
 ///     dp: None,
 /// };
 /// assert_eq!(k.thread_count(), 100);
@@ -380,7 +381,7 @@ mod tests {
     #[test]
     fn explicit_source_lookup() {
         let v = vec![ThreadWork::with_items(3), ThreadWork::with_items(7)];
-        let src = ThreadSource::Explicit(Arc::new(v));
+        let src = ThreadSource::Explicit(v.into());
         assert_eq!(src.thread_count(), 2);
         assert_eq!(src.thread(1, 4).items, 7);
         assert_eq!(src.thread(99, 4).items, 0); // out of range -> empty
@@ -493,7 +494,7 @@ mod tests {
             regs_per_thread: 1,
             shmem_per_cta: 0,
             class: class_with_stride(0),
-            source: ThreadSource::Explicit(Arc::new(Vec::new())),
+            source: ThreadSource::Explicit(Arc::from(Vec::new())),
             dp: None,
         };
         assert_eq!(k.grid_ctas(), 1);

@@ -159,7 +159,7 @@ fn explicit_source_is_faithful() {
             .iter()
             .map(|&c| ThreadWork::with_items(c))
             .collect();
-        let src = ThreadSource::Explicit(std::sync::Arc::new(threads));
+        let src = ThreadSource::Explicit(threads.into());
         assert_eq!(src.thread_count() as usize, counts.len(), "case {case}");
         assert_eq!(
             src.total_items(),

@@ -119,7 +119,7 @@ fn mixed_decisions_conserve_work_across_all_three_paths() {
         regs_per_thread: 16,
         shmem_per_cta: 0,
         class: Arc::new(WorkClass::compute_only("mix-p", 8)),
-        source: ThreadSource::Explicit(Arc::new(threads)),
+        source: ThreadSource::Explicit(threads.into()),
         dp: Some(Arc::new(DpSpec {
             child_class: Arc::new(WorkClass::compute_only("mix-c", 8)),
             child_cta_threads: 32,
@@ -157,7 +157,7 @@ fn zero_item_threads_cost_nothing_extra() {
         regs_per_thread: 8,
         shmem_per_cta: 0,
         class: Arc::new(WorkClass::compute_only("sp", 8)),
-        source: ThreadSource::Explicit(Arc::new(threads)),
+        source: ThreadSource::Explicit(threads.into()),
         dp: None,
     };
     let r = run(GpuConfig::test_small(), desc);
@@ -246,7 +246,7 @@ fn huge_fanout_of_tiny_kernels_drains() {
         regs_per_thread: 8,
         shmem_per_cta: 0,
         class: Arc::new(WorkClass::compute_only("f", 4)),
-        source: ThreadSource::Explicit(Arc::new(threads)),
+        source: ThreadSource::Explicit(threads.into()),
         dp: Some(Arc::new(DpSpec {
             child_class: Arc::new(WorkClass::compute_only("fc", 4)),
             child_cta_threads: 32,

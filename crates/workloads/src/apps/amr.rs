@@ -134,7 +134,6 @@ mod tests {
 /// moved. Exercises the repeated-kernel shape of real AMR time loops
 /// (and gives SPAWN's metrics a warm start from step 1 on).
 pub mod timesteps {
-    use std::sync::Arc;
 
     use dynapar_engine::{hash_mix, DetRng};
     use dynapar_gpu::{
@@ -201,7 +200,7 @@ pub mod timesteps {
                     regs_per_thread: 32,
                     shmem_per_cta: 4096,
                     class: class.clone(),
-                    source: ThreadSource::Explicit(Arc::new(threads)),
+                    source: ThreadSource::Explicit(threads.into()),
                     dp: Some(dp.clone()),
                 }
             })

@@ -196,7 +196,7 @@ pub mod rounds {
                     regs_per_thread: 32,
                     shmem_per_cta: 0,
                     class: class.clone(),
-                    source: ThreadSource::Explicit(Arc::new(threads)),
+                    source: ThreadSource::Explicit(threads.into()),
                     dp: Some(dp.clone()),
                 })
             })

@@ -198,6 +198,28 @@ impl Benchmark {
         sim.run()
     }
 
+    /// [`Benchmark::run_full_on`] with the host-side self-profiler
+    /// enabled (no trace, metrics off — the profiling configuration the
+    /// `perf` harness uses). [`RunOutcome::profile`] carries the phase
+    /// report when the `profile` cargo feature is compiled into
+    /// `dynapar-gpu`; without the feature it is always `None`. Profiling
+    /// never changes simulated behavior, only observes host time.
+    pub fn run_full_profiled(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        queue: QueueBackend,
+    ) -> RunOutcome {
+        let mut sim = Simulation::builder(cfg.clone())
+            .controller(controller)
+            .metrics(MetricsLevel::Off)
+            .queue(queue)
+            .profile(true)
+            .build();
+        sim.launch_host(self.kernel());
+        sim.run()
+    }
+
     /// Runs the flat (non-DP) variant: same program, launches disabled.
     pub fn run_flat(&self, cfg: &GpuConfig) -> SimReport {
         self.run(cfg, Box::new(dynapar_gpu::InlineAll))
@@ -302,7 +324,7 @@ pub fn explicit_source(items: &[u32], seq_stride: u32, seed_salt: u64) -> Thread
             w
         })
         .collect();
-    ThreadSource::Explicit(Arc::new(threads))
+    ThreadSource::Explicit(threads.into())
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ fn build_kernel(seed: u64) -> KernelDesc {
         regs_per_thread: 32,
         shmem_per_cta: 0,
         class: Arc::new(scan_class("session-scan")),
-        source: ThreadSource::Explicit(Arc::new(threads)),
+        source: ThreadSource::Explicit(threads.into()),
         dp: Some(Arc::new(DpSpec {
             child_class: Arc::new(scan_class("event-scan-child")),
             child_cta_threads: 64,

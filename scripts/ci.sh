@@ -29,19 +29,30 @@ trap 'rm -rf "$artifact_dir"' EXIT
 grep -q '"ccqs_samples"' "$artifact_dir/run.json"
 grep -q '"estimate"' "$artifact_dir/run.json"
 
-echo "== perf smoke (regression gate vs results/BENCH_3.json) =="
+echo "== perf smoke (regression gate vs results/BENCH_4.json) =="
 # The committed baseline records throughput on the machine that produced
 # it, so the gate is only meaningful on comparable hardware; set
 # DYNAPAR_SKIP_PERF=1 to skip it (e.g. in cross-machine CI), and
-# regenerate the baseline with `perf --emit-json results/BENCH_3.json`
-# after intentional behavior or performance changes.
+# regenerate the baseline with `perf --runs 3 --emit-json
+# results/BENCH_4.json` after intentional behavior or performance
+# changes. The gate checks the aggregate rate and the per-run geomean
+# (the geomean catches one benchmark collapsing behind a healthy total).
 if [ "${DYNAPAR_SKIP_PERF:-0}" = "1" ]; then
     echo "skipped (DYNAPAR_SKIP_PERF=1)"
 else
     ./target/release/perf --emit-json "$artifact_dir/perf.json" \
-        --baseline results/BENCH_3.json
+        --baseline results/BENCH_4.json
     grep -q '"dynapar-perf/1"' "$artifact_dir/perf.json"
 fi
+
+echo "== profile smoke (perf --profile emits a valid dynapar-profile/1) =="
+# Separate target dir: the profile feature changes the compiled code, so
+# sharing target/ with the default build would thrash the cache.
+CARGO_TARGET_DIR=target/ci-profile \
+    cargo build -q --release --offline -p dynapar-bench --features profile --bin perf
+CARGO_TARGET_DIR=target/ci-profile ./target/ci-profile/release/perf \
+    --scale tiny --profile --emit-json "$artifact_dir/perf-profile.json"
+./target/release/perf --check-profile "$artifact_dir/perf-profile.json"
 
 echo "== deprecated-API gate (workspace must not call shims) =="
 CARGO_TARGET_DIR=target/ci-deprecated RUSTFLAGS="-D deprecated" \

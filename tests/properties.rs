@@ -67,7 +67,7 @@ fn build(p: &Program) -> KernelDesc {
         regs_per_thread: 24,
         shmem_per_cta: 0,
         class: Arc::new(mk("prop-parent")),
-        source: ThreadSource::Explicit(Arc::new(threads)),
+        source: ThreadSource::Explicit(threads.into()),
         dp: Some(Arc::new(DpSpec {
             child_class: Arc::new(mk("prop-child")),
             child_cta_threads: p.child_cta_threads,

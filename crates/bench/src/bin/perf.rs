@@ -30,8 +30,15 @@
 //! - `--check-profile PATH` — standalone: validate the `profile`
 //!   section of a previously emitted artifact (schema tag, non-empty
 //!   phases, coverage ≥ 0.95) and exit; runs nothing.
+//! - `--metrics LEVEL` — run the jobs at an observability level other
+//!   than the default `off`: `perf --metrics timeseries --baseline
+//!   results/BENCH_4.json` measures the telemetry layer's overhead
+//!   against an off-baseline (the event counts must still match — the
+//!   telemetry contract is that observation never changes simulated
+//!   behavior). Not combinable with `--profile`, which measures the
+//!   `off` configuration by definition.
 
-use dynapar_bench::{usage_error, Options};
+use dynapar_bench::{parse_metrics_level, usage_error, Options};
 use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_engine::par::par_map;
 use dynapar_engine::profile::ProfileReport;
@@ -62,6 +69,7 @@ fn main() {
     let mut runs = 1usize;
     let mut profile = false;
     let mut check_profile: Option<String> = None;
+    let mut metrics = MetricsLevel::Off;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -115,10 +123,14 @@ fn main() {
                     rest.next().unwrap_or_else(|| usage_error("--check-profile expects a path")),
                 );
             }
+            "--metrics" => {
+                let v = rest.next().unwrap_or_else(|| usage_error("--metrics expects a level"));
+                metrics = parse_metrics_level(&v).unwrap_or_else(|e| e.exit());
+            }
             other => usage_error(&format!(
                 "unknown argument {other:?} (perf adds --parallel, --queue, \
                  --emit-json, --baseline, --max-regress, --runs, --profile, \
-                 --check-profile)"
+                 --check-profile, --metrics)"
             )),
         }
     }
@@ -133,6 +145,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if profile && metrics != MetricsLevel::Off {
+        usage_error("--profile measures the `off` configuration; drop --metrics");
     }
     if serial {
         opts.jobs = 1;
@@ -158,7 +173,7 @@ fn main() {
                         let out = b.run_full_profiled(cfg, make(), queue);
                         (out.report, out.profile)
                     } else {
-                        (b.run_full_on(cfg, make(), None, MetricsLevel::Off, queue).report, None)
+                        (b.run_full_on(cfg, make(), None, metrics, queue).report, None)
                     }
                 })
                 .collect()
@@ -177,12 +192,13 @@ fn main() {
         ));
     }
     println!(
-        "# perf (scale {}, seed {}, jobs {}, queue {}, runs {})",
+        "# perf (scale {}, seed {}, jobs {}, queue {}, runs {}, metrics {})",
         scale_name(opts.scale),
         opts.seed,
         opts.jobs,
         queue.name(),
-        runs
+        runs,
+        metrics.as_str()
     );
     println!("{:<28} {:>12} {:>10} {:>12}", "run", "events", "wall_ms", "events/sec");
     let started = std::time::Instant::now();
@@ -345,6 +361,11 @@ fn main() {
     ];
     if let Some(p) = profile_json {
         fields.push(("profile", p));
+    }
+    // Only non-default levels stamp the artifact, so off-level artifacts
+    // (like the committed baselines) keep the exact historical shape.
+    if metrics != MetricsLevel::Off {
+        fields.push(("metrics", Json::str(metrics.as_str())));
     }
     let doc = Json::obj(fields);
     if let Some(path) = &emit_json {

@@ -238,6 +238,19 @@ impl std::fmt::Display for OptionsError {
 
 impl std::error::Error for OptionsError {}
 
+/// Parses a `--metrics` value for harness binaries: case-insensitive,
+/// rejecting unknown input with the valid-values list as a typed
+/// [`OptionsError`] (so library callers can test the error path and
+/// binaries can `.unwrap_or_else(|e| e.exit())`).
+pub fn parse_metrics_level(v: &str) -> Result<dynapar_gpu::MetricsLevel, OptionsError> {
+    dynapar_gpu::MetricsLevel::parse(v).ok_or_else(|| {
+        OptionsError::BadValue(format!(
+            "--metrics expects {}, got {v:?}",
+            dynapar_gpu::MetricsLevel::VALID_VALUES
+        ))
+    })
+}
+
 /// CLI options shared by every harness binary.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
@@ -421,6 +434,23 @@ mod tests {
             .min()
             .expect("non-empty sweep");
         assert_eq!(runs.offline_best().total_cycles, sweep_min);
+    }
+
+    #[test]
+    fn metrics_level_parser_is_typed_and_lists_valid_values() {
+        use dynapar_gpu::MetricsLevel;
+        assert_eq!(parse_metrics_level("off"), Ok(MetricsLevel::Off));
+        assert_eq!(
+            parse_metrics_level("TIMESERIES"),
+            Ok(MetricsLevel::Timeseries),
+            "parser is case-insensitive"
+        );
+        let err = parse_metrics_level("loud").unwrap_err();
+        assert!(matches!(err, OptionsError::BadValue(_)));
+        assert!(
+            err.message().contains(MetricsLevel::VALID_VALUES),
+            "error must list valid values: {err}"
+        );
     }
 
     #[test]

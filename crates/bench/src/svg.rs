@@ -161,6 +161,8 @@ pub struct LineChart {
     x_label: String,
     y_label: String,
     series: Vec<(String, Vec<(f64, f64)>)>,
+    y2_label: String,
+    secondary: Vec<(String, Vec<(f64, f64)>)>,
 }
 
 impl LineChart {
@@ -175,6 +177,8 @@ impl LineChart {
             x_label: x_label.into(),
             y_label: y_label.into(),
             series: Vec::new(),
+            y2_label: String::new(),
+            secondary: Vec::new(),
         }
     }
 
@@ -184,11 +188,32 @@ impl LineChart {
         self
     }
 
+    /// Labels the secondary (right) y-axis; shown once any
+    /// [`secondary_series`](LineChart::secondary_series) is added.
+    pub fn secondary_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.y2_label = label.into();
+        self
+    }
+
+    /// Adds one `(x, y)` series scaled against the secondary (right)
+    /// y-axis; drawn dashed so the two scales are distinguishable.
+    /// Lets one figure overlay quantities of different magnitudes —
+    /// e.g. `n_con` (CTAs) against pending-queue depth (kernels).
+    pub fn secondary_series(
+        &mut self,
+        name: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        self.secondary.push((name.into(), points));
+        self
+    }
+
     /// Renders the chart to an SVG string.
     pub fn render(&self) -> String {
         let xs = self
             .series
             .iter()
+            .chain(self.secondary.iter())
             .flat_map(|(_, p)| p.iter().map(|&(x, _)| x));
         let x_max = xs.fold(1e-9f64, f64::max);
         let y_max = self
@@ -197,7 +222,19 @@ impl LineChart {
             .flat_map(|(_, p)| p.iter().map(|&(_, y)| y))
             .fold(1e-9f64, f64::max)
             * 1.08;
-        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let y2_max = self
+            .secondary
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|&(_, y)| y))
+            .fold(1e-9f64, f64::max)
+            * 1.08;
+        // Widen the right margin only when a second scale needs ticks.
+        let margin_r = if self.secondary.is_empty() {
+            MARGIN_R
+        } else {
+            64.0
+        };
+        let plot_w = WIDTH - MARGIN_L - margin_r;
         let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
 
         let mut s = svg_header(&self.title);
@@ -238,6 +275,48 @@ impl LineChart {
                 path.join(" ")
             );
             legend_entry(&mut s, si, name);
+        }
+        if !self.secondary.is_empty() {
+            // Right-axis ticks and label for the second scale.
+            for i in 0..=4 {
+                let frac = i as f64 / 4.0;
+                let y = MARGIN_T + plot_h * (1.0 - frac);
+                let _ = writeln!(
+                    s,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="start">{:.2}</text>"##,
+                    MARGIN_L + plot_w + 6.0,
+                    y + 4.0,
+                    y2_max * frac
+                );
+            }
+            let x = WIDTH - 10.0;
+            let _ = writeln!(
+                s,
+                r##"<text x="{x:.1}" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(90 {x:.1} {:.1})">{}</text>"##,
+                MARGIN_T + plot_h / 2.0,
+                MARGIN_T + plot_h / 2.0,
+                esc(&self.y2_label)
+            );
+            for (si, (name, pts)) in self.secondary.iter().enumerate() {
+                let idx = self.series.len() + si;
+                let color = PALETTE[idx % PALETTE.len()];
+                let path: Vec<String> = pts
+                    .iter()
+                    .map(|&(x, y)| {
+                        format!(
+                            "{:.1},{:.1}",
+                            MARGIN_L + plot_w * (x / x_max).clamp(0.0, 1.0),
+                            MARGIN_T + plot_h * (1.0 - (y / y2_max).clamp(0.0, 1.0))
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8" stroke-dasharray="6,3"/>"##,
+                    path.join(" ")
+                );
+                legend_entry(&mut s, idx, name);
+            }
         }
         s.push_str("</svg>\n");
         s
@@ -344,6 +423,20 @@ mod tests {
         assert_eq!(svg.matches("<polyline").count(), 2);
         assert!(svg.contains("one"));
         assert!(svg.contains("two"));
+    }
+
+    #[test]
+    fn secondary_axis_renders_dashed_on_its_own_scale() {
+        let mut c = LineChart::new("t", "cycles", "n_con");
+        c.series("n_con", vec![(0.0, 0.0), (10.0, 4.0)]);
+        c.secondary_label("queue depth");
+        c.secondary_series("queue", vec![(0.0, 0.0), (10.0, 4000.0)]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("stroke-dasharray=\"6,3\""));
+        assert!(svg.contains("queue depth"));
+        // The right axis tops out near the secondary max, not the primary's.
+        assert!(svg.contains("4320.00"), "right-axis tick missing: {svg}");
     }
 
     #[test]

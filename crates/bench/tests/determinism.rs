@@ -20,6 +20,11 @@ fn canonical(r: &SimReport) -> String {
 /// Renders each benchmark's full-metrics run artifact on the given queue
 /// backend, fanning the runs across `jobs` workers.
 fn artifact_jsons(jobs: usize, queue: QueueBackend) -> Vec<String> {
+    artifact_jsons_at(jobs, queue, MetricsLevel::Full)
+}
+
+/// Same matrix at an explicit metrics level (the timeseries test reuses it).
+fn artifact_jsons_at(jobs: usize, queue: QueueBackend, level: MetricsLevel) -> Vec<String> {
     let cfg = GpuConfig::kepler_k20m();
     // AMR is the deepest-nesting workload in the suite; the extra DTBL
     // pass on BFS exercises the aggregated-launch path (child naming,
@@ -36,9 +41,34 @@ fn artifact_jsons(jobs: usize, queue: QueueBackend) -> Vec<String> {
         } else {
             Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
         };
-        let out = bench.run_full_on(&cfg, policy, Some(100_000), MetricsLevel::Full, queue);
+        let out = bench.run_full_on(&cfg, policy, Some(100_000), level, queue);
         format!("{}", out.artifact.expect("full metrics emit an artifact"))
     })
+}
+
+#[test]
+fn timeseries_artifacts_are_byte_identical_across_jobs_and_backends() {
+    // The telemetry layer samples on the simulated clock, not the host
+    // clock, so the `dynapar-timeseries/1` section must be exactly as
+    // deterministic as the rest of the artifact: byte-identical across
+    // worker counts and queue backends.
+    let wheel = artifact_jsons_at(1, QueueBackend::Wheel, MetricsLevel::Timeseries);
+    assert_eq!(
+        wheel,
+        artifact_jsons_at(4, QueueBackend::Wheel, MetricsLevel::Timeseries),
+        "timeseries artifact differs across job counts"
+    );
+    assert_eq!(
+        wheel,
+        artifact_jsons_at(1, QueueBackend::Heap, MetricsLevel::Timeseries),
+        "timeseries artifact differs between queue backends"
+    );
+    for json in &wheel {
+        assert!(json.contains("\"dynapar-timeseries/1\""));
+        let artifact = RunArtifact::parse(json).expect("artifact round-trips");
+        assert_eq!(&artifact.to_string(), json, "parse/emit is lossless");
+        assert!(artifact.timeseries().is_some());
+    }
 }
 
 #[test]

@@ -87,6 +87,8 @@ pub enum Command {
         kernels_csv: Option<String>,
         /// Write the run artifact (JSON) to this path.
         emit_json: Option<String>,
+        /// Write a Perfetto/Chrome `trace_event` timeline to this path.
+        emit_timeline: Option<String>,
         /// Metrics collection level for the run artifact.
         metrics: MetricsLevel,
     },
@@ -126,6 +128,11 @@ pub enum Command {
         /// Path to the artifact file.
         file: String,
     },
+    /// Parse and sanity-check a Perfetto timeline JSON file.
+    CheckTimeline {
+        /// Path to the timeline file.
+        file: String,
+    },
     /// Print the simulated-GPU configuration.
     Config,
     /// List available benchmarks.
@@ -155,13 +162,15 @@ dynapar — GPU dynamic-parallelism simulator (SPAWN, HPCA 2017)
 USAGE:
   dynapar run --bench <NAME> --policy <POLICY> [--trace N]
               [--timeline-csv F] [--kernels-csv F]
-              [--metrics off|summary|full] [--emit-json F] [options]
+              [--metrics off|summary|full|timeseries] [--emit-json F]
+              [--emit-timeline F] [options]
   dynapar levels --input citation|graph500 --policy <POLICY> [options]
   dynapar sweep --bench <NAME> [--points N] [options]
   dynapar compare --bench <NAME> [options]
   dynapar suite --policy <POLICY> [options]
   dynapar spec --file <PATH> --policy <POLICY> [options]
   dynapar check-artifact --file <PATH>
+  dynapar check-timeline --file <PATH>
   dynapar config
   dynapar list
 
@@ -172,7 +181,12 @@ OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
 BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
 ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
            (implies --metrics full unless --metrics is given);
-           `check-artifact` re-parses and validates such a file
+           `check-artifact` re-parses and validates such a file.
+           --metrics timeseries adds the windowed-telemetry section
+           (dynapar-timeseries/1) to the artifact.
+TIMELINE:  --emit-timeline writes a Perfetto/Chrome trace_event JSON
+           (implies --trace 100000 unless --trace is given); open it
+           at ui.perfetto.dev. `check-timeline` validates such a file
 ";
 
 fn take_value<'a>(
@@ -204,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut input: Option<String> = None;
     let mut file: Option<String> = None;
     let mut emit_json: Option<String> = None;
+    let mut emit_timeline: Option<String> = None;
     let mut metrics: Option<MetricsLevel> = None;
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
@@ -250,12 +265,17 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--emit-json" => {
                 emit_json = Some(take_value(args, &mut i, "--emit-json")?.to_string());
             }
+            "--emit-timeline" => {
+                emit_timeline = Some(take_value(args, &mut i, "--emit-timeline")?.to_string());
+            }
             "--metrics" => {
                 let v = take_value(args, &mut i, "--metrics")?;
-                metrics = Some(
-                    MetricsLevel::parse(v)
-                        .ok_or_else(|| format!("--metrics expects off|summary|full, got {v:?}"))?,
-                );
+                metrics = Some(MetricsLevel::parse(v).ok_or_else(|| {
+                    format!(
+                        "--metrics expects {}, got {v:?}",
+                        MetricsLevel::VALID_VALUES
+                    )
+                })?);
             }
             "--file" => file = Some(take_value(args, &mut i, "--file")?.to_string()),
             "--points" => {
@@ -273,7 +293,6 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "run" => Command::Run {
             bench: need_bench()?,
             policy: policy.ok_or("--policy is required")?,
-            trace,
             timeline_csv,
             kernels_csv,
             // --emit-json without an explicit level means "collect
@@ -285,6 +304,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 MetricsLevel::Off
             }),
             emit_json,
+            // --emit-timeline without --trace implies a default trace
+            // capacity: a timeline request should never come out empty.
+            trace: trace.or(if emit_timeline.is_some() {
+                Some(100_000)
+            } else {
+                None
+            }),
+            emit_timeline,
         },
         "levels" => Command::Levels {
             input: input.ok_or("--input is required (citation|graph500)")?,
@@ -305,6 +332,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             policy: policy.ok_or("--policy is required")?,
         },
         "check-artifact" => Command::CheckArtifact {
+            file: file.ok_or("--file is required")?,
+        },
+        "check-timeline" => Command::CheckTimeline {
             file: file.ok_or("--file is required")?,
         },
         "config" => Command::Config,
@@ -343,6 +373,7 @@ mod tests {
                 timeline_csv: None,
                 kernels_csv: None,
                 emit_json: None,
+                emit_timeline: None,
                 metrics: MetricsLevel::Off,
             }
         );
@@ -471,6 +502,63 @@ mod tests {
         }
         assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "flat", "--metrics", "loud"]))
             .is_err());
+    }
+
+    #[test]
+    fn metrics_errors_list_valid_values_and_accept_any_case() {
+        let err = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--metrics", "loud",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains(MetricsLevel::VALID_VALUES),
+            "error must list the valid values: {err}"
+        );
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "flat", "--metrics", "TimeSeries",
+        ]))
+        .expect("case-insensitive");
+        match cli.command {
+            Command::Run { metrics, .. } => assert_eq!(metrics, MetricsLevel::Timeseries),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeline_flags() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--emit-timeline", "t.json",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run {
+                emit_timeline,
+                trace,
+                ..
+            } => {
+                assert_eq!(emit_timeline.as_deref(), Some("t.json"));
+                assert_eq!(trace, Some(100_000), "--emit-timeline implies tracing");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An explicit --trace wins over the implied default.
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--emit-timeline", "t.json",
+            "--trace", "64",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run { trace, .. } => assert_eq!(trace, Some(64)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse(&v(&["check-timeline", "--file", "t.json"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::CheckTimeline {
+                file: "t.json".into()
+            }
+        );
+        assert!(parse(&v(&["check-timeline"])).is_err());
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn exec(cli: Cli) -> Result<(), String> {
             timeline_csv,
             kernels_csv,
             emit_json,
+            emit_timeline,
             metrics,
         } => {
             let b = get_bench(bench, &cli)?;
@@ -156,10 +157,20 @@ fn exec(cli: Cli) -> Result<(), String> {
                 let artifact = out
                     .artifact
                     .as_ref()
-                    .ok_or("--emit-json needs --metrics summary|full")?;
+                    .ok_or("--emit-json needs --metrics summary|full|timeseries")?;
                 std::fs::write(path, format!("{artifact}\n"))
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 println!("# artifact written to {path}");
+            }
+            if let Some(path) = emit_timeline {
+                let tr = out
+                    .trace
+                    .as_ref()
+                    .expect("--emit-timeline implies tracing");
+                let doc = dynapar_gpu::perfetto::timeline_json(tr);
+                std::fs::write(path, format!("{}\n", doc.pretty()))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# perfetto timeline written to {path} (open at ui.perfetto.dev)");
             }
         }
         Command::CheckArtifact { file } => {
@@ -172,6 +183,23 @@ fn exec(cli: Cli) -> Result<(), String> {
                 artifact.level(),
                 artifact.ccqs_samples().len()
             );
+        }
+        Command::CheckTimeline { file } => {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let json = dynapar_gpu::Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+            let events = json
+                .get("traceEvents")
+                .and_then(dynapar_gpu::Json::as_array)
+                .ok_or("timeline has no `traceEvents` array")?;
+            if events.is_empty() {
+                return Err("timeline has an empty `traceEvents` array".into());
+            }
+            let spans = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(dynapar_gpu::Json::as_str) == Some("X"))
+                .count();
+            println!("ok: {} trace events ({spans} spans)", events.len());
         }
         Command::Compare { bench } => {
             let b = get_bench(bench, &cli)?;

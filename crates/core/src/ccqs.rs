@@ -235,4 +235,67 @@ mod tests {
         q.advance(Cycle(16));
         assert_eq!(q.t_warp(), 50);
     }
+
+    /// `n_con` at the paper's 1024-cycle window edge: cycle 1023 is the last
+    /// cycle of window 0 (`1023 >> 10 == 0`), cycle 1024 the first of window
+    /// 1 (`1024 >> 10 == 1`). A decision exactly at `Cycle(1024)` must read
+    /// the shift-divided average of window 0, and a one-cycle-earlier
+    /// decision must still read the pre-window bootstrap value of 0.
+    #[test]
+    fn n_con_at_the_1024_cycle_window_edge() {
+        let mut q = Ccqs::new(10, 65_536);
+        q.on_decided_launch(3);
+        q.on_cta_start(Cycle(0));
+        q.on_cta_start(Cycle(256)); // 2 concurrent from 256
+        q.on_cta_start(Cycle(768)); // 3 concurrent from 768
+
+        q.advance(Cycle(1023)); // one cycle short: window 0 not complete
+        assert_eq!(q.n_con(), 0, "no completed window before cycle 1024");
+
+        q.advance(Cycle(1024)); // window edge: the shift happens here
+        // 1*256 + 2*512 + 3*256 = 2048; 2048 >> 10 = 2.
+        assert_eq!(q.n_con(), 2);
+        assert_eq!(q.in_system(), 3, "advance never perturbs `n`");
+    }
+
+    /// Events on either side of the power-of-two shift land in different
+    /// windows: a start at 1023 counts toward window 0's average, a start at
+    /// 1024 only toward window 1's, and the window-0 report holds unchanged
+    /// until the *next* edge at 2048.
+    #[test]
+    fn n_con_splits_events_across_the_shift_boundary() {
+        let mut q = Ccqs::new(10, 65_536);
+        q.on_decided_launch(2);
+        q.on_cta_start(Cycle(1023)); // last cycle of window 0
+        q.on_cta_start(Cycle(1024)); // first cycle of window 1
+        q.advance(Cycle(1024));
+        // Window 0 saw 1 CTA for exactly 1 cycle: 1 >> 10 = 0.
+        assert_eq!(q.n_con(), 0);
+        q.advance(Cycle(2047)); // window 1 still open: report unchanged
+        assert_eq!(q.n_con(), 0);
+        q.advance(Cycle(2048));
+        // Window 1: 2 concurrent for all 1024 cycles -> 2048 >> 10 = 2.
+        assert_eq!(q.n_con(), 2);
+    }
+
+    /// `t_warp` across the 1024-cycle edge: the all-time-mean fallback gives
+    /// way to the per-window mean once the first window containing samples
+    /// closes, and samples recorded at exactly `Cycle(1024)` belong to the
+    /// second window. Deterministic seeded sample values throughout.
+    #[test]
+    fn t_warp_switches_from_fallback_at_the_1024_cycle_edge() {
+        let mut q = Ccqs::new(10, 65_536);
+        q.on_warp_finish(Cycle(100), 200);
+        q.on_warp_finish(Cycle(1023), 400); // still window 0
+        q.advance(Cycle(1023));
+        assert_eq!(q.t_warp(), 300, "open window reads the all-time mean");
+
+        q.on_warp_finish(Cycle(1024), 1_000); // first sample of window 1
+        // Recording at 1024 closed window 0: its mean (300) is now the
+        // reported value, and the 1_000 sample does not leak into it.
+        assert_eq!(q.t_warp(), 300);
+
+        q.advance(Cycle(2048)); // window 1 closes
+        assert_eq!(q.t_warp(), 1_000);
+    }
 }

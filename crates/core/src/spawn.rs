@@ -2,7 +2,7 @@
 
 use dynapar_gpu::{
     ChildRequest, ControllerEvent, LaunchController, LaunchDecision, LaunchOverheadModel,
-    MetricsRegistry,
+    MetricsRegistry, MonitoredMetrics,
 };
 
 use crate::ccqs::Ccqs;
@@ -255,6 +255,18 @@ impl LaunchController for SpawnPolicy {
                 self.ccqs.on_warp_finish(now, exec_cycles)
             }
         }
+    }
+
+    fn monitored(&self) -> Option<MonitoredMetrics> {
+        // Read-only by contract: the windowed metrics are reported as of
+        // the last `advance` (the most recent decision), never rolled
+        // forward here, so telemetry sampling cannot change decisions.
+        Some(MonitoredMetrics {
+            in_system: self.ccqs.in_system(),
+            t_cta: self.ccqs.t_cta(),
+            n_con: self.ccqs.n_con(),
+            t_warp: self.ccqs.t_warp(),
+        })
     }
 
     fn predictions(&self) -> Option<&[u64]> {

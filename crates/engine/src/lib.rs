@@ -17,6 +17,9 @@
 //! * [`stats`] — windowed averages, histograms, CDFs, time-weighted
 //!   integrators and time-series samplers used to regenerate the paper's
 //!   figures,
+//! * [`timeseries`] — bounded-memory windowed telemetry series
+//!   (counter/gauge buckets with in-place decimation), the storage
+//!   behind the `--metrics timeseries` observability level,
 //! * [`par`] — an order-preserving [`par::par_map`] for running many
 //!   *independent* simulations on multiple cores,
 //! * [`profile`] — a feature-gated self-profiler attributing host wall
@@ -59,6 +62,7 @@ pub mod profile;
 mod rng;
 mod sched;
 pub mod stats;
+pub mod timeseries;
 mod wheel;
 
 pub use cycle::Cycle;

@@ -30,7 +30,11 @@ use crate::stats::Summary;
 ///
 /// `Off` skips artifact construction entirely; `Summary` records scalar
 /// metrics and per-kernel summaries; `Full` additionally keeps bulky
-/// vectors (timeline, per-CTA latencies) in the artifact.
+/// vectors (timeline, per-CTA latencies) in the artifact; `Timeseries`
+/// extends `Full` with windowed telemetry series (queue depth, CCQS
+/// monitored metrics, decision rates) in a `dynapar-timeseries/1`
+/// artifact section. Levels are strictly ordered: each records a
+/// superset of the one before it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MetricsLevel {
     /// Record nothing; `run()` produces no artifact.
@@ -40,15 +44,22 @@ pub enum MetricsLevel {
     Summary,
     /// Everything, including timeline and per-CTA latency vectors.
     Full,
+    /// `Full` plus windowed time-series telemetry.
+    Timeseries,
 }
 
 impl MetricsLevel {
-    /// Parses the CLI spelling (`off` / `summary` / `full`).
+    /// The accepted spellings, for CLI error messages.
+    pub const VALID_VALUES: &'static str = "off|summary|full|timeseries";
+
+    /// Parses the CLI spelling (`off` / `summary` / `full` /
+    /// `timeseries`), case-insensitively.
     pub fn parse(s: &str) -> Option<MetricsLevel> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "off" => Some(MetricsLevel::Off),
             "summary" => Some(MetricsLevel::Summary),
             "full" => Some(MetricsLevel::Full),
+            "timeseries" => Some(MetricsLevel::Timeseries),
             _ => None,
         }
     }
@@ -59,6 +70,7 @@ impl MetricsLevel {
             MetricsLevel::Off => "off",
             MetricsLevel::Summary => "summary",
             MetricsLevel::Full => "full",
+            MetricsLevel::Timeseries => "timeseries",
         }
     }
 
@@ -66,10 +78,27 @@ impl MetricsLevel {
     pub fn enabled(self) -> bool {
         self != MetricsLevel::Off
     }
+
+    /// True for [`Full`](MetricsLevel::Full) and everything above it —
+    /// the gate for the bulky artifact members. Comparison sites use
+    /// this instead of `== Full` so higher levels keep recording a
+    /// superset and `off|summary|full` artifacts stay byte-identical.
+    pub fn at_least_full(self) -> bool {
+        matches!(self, MetricsLevel::Full | MetricsLevel::Timeseries)
+    }
+
+    /// True only for [`Timeseries`](MetricsLevel::Timeseries).
+    pub fn timeseries(self) -> bool {
+        self == MetricsLevel::Timeseries
+    }
 }
 
 /// Seven-number condensation of a sample vector, stored instead of the
 /// raw samples so `Summary`-level artifacts stay small.
+///
+/// The in-memory struct keeps zeroed statistics for an empty input, but
+/// [`to_json`](HistSummary::to_json) emits `null` for them so a reader
+/// can tell "no samples" apart from "a real all-zero sample".
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistSummary {
     /// Number of samples.
@@ -104,14 +133,31 @@ impl HistSummary {
     }
 
     fn to_json(self) -> Json {
+        // An empty input has no min/max/mean: emitting 0 for them would
+        // be indistinguishable from a genuine all-zero sample, so the
+        // statistics come out as `null` when `count` is 0.
+        let stat_u64 = |v: u64| {
+            if self.count == 0 {
+                Json::Null
+            } else {
+                Json::U64(v)
+            }
+        };
         Json::obj([
             ("count", Json::U64(self.count)),
-            ("min", Json::U64(self.min)),
-            ("max", Json::U64(self.max)),
-            ("mean", Json::F64(self.mean)),
-            ("p50", Json::U64(self.p50)),
-            ("p95", Json::U64(self.p95)),
-            ("p99", Json::U64(self.p99)),
+            ("min", stat_u64(self.min)),
+            ("max", stat_u64(self.max)),
+            (
+                "mean",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    Json::F64(self.mean)
+                },
+            ),
+            ("p50", stat_u64(self.p50)),
+            ("p95", stat_u64(self.p95)),
+            ("p99", stat_u64(self.p99)),
         ])
     }
 }
@@ -217,12 +263,44 @@ mod tests {
 
     #[test]
     fn level_parse_round_trips() {
-        for level in [MetricsLevel::Off, MetricsLevel::Summary, MetricsLevel::Full] {
+        for level in [
+            MetricsLevel::Off,
+            MetricsLevel::Summary,
+            MetricsLevel::Full,
+            MetricsLevel::Timeseries,
+        ] {
             assert_eq!(MetricsLevel::parse(level.as_str()), Some(level));
+            assert!(
+                MetricsLevel::VALID_VALUES.contains(level.as_str()),
+                "{} missing from VALID_VALUES",
+                level.as_str()
+            );
         }
         assert_eq!(MetricsLevel::parse("verbose"), None);
         assert!(!MetricsLevel::Off.enabled());
         assert!(MetricsLevel::Summary.enabled());
+    }
+
+    #[test]
+    fn level_parse_is_case_insensitive() {
+        assert_eq!(MetricsLevel::parse("FULL"), Some(MetricsLevel::Full));
+        assert_eq!(MetricsLevel::parse("Summary"), Some(MetricsLevel::Summary));
+        assert_eq!(
+            MetricsLevel::parse("TimeSeries"),
+            Some(MetricsLevel::Timeseries)
+        );
+        assert_eq!(MetricsLevel::parse("oFF"), Some(MetricsLevel::Off));
+    }
+
+    #[test]
+    fn timeseries_is_at_least_full() {
+        assert!(MetricsLevel::Timeseries.at_least_full());
+        assert!(MetricsLevel::Full.at_least_full());
+        assert!(!MetricsLevel::Summary.at_least_full());
+        assert!(!MetricsLevel::Off.at_least_full());
+        assert!(MetricsLevel::Timeseries.timeseries());
+        assert!(!MetricsLevel::Full.timeseries());
+        assert!(MetricsLevel::Timeseries.enabled());
     }
 
     #[test]
@@ -277,5 +355,24 @@ mod tests {
         assert_eq!(h.count, 0);
         assert_eq!(h.max, 0);
         assert_eq!(h.mean, 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_statistics() {
+        let mut reg = MetricsRegistry::new(MetricsLevel::Summary);
+        reg.histogram("none", &[]);
+        let j = reg.to_json();
+        let h = j.get("none").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(0));
+        for key in ["min", "max", "mean", "p50", "p95", "p99"] {
+            assert_eq!(h.get(key), Some(&Json::Null), "{key} should be null");
+        }
+        // A genuine all-zero sample keeps numeric statistics, so the two
+        // cases are distinguishable in the artifact.
+        reg.histogram("zero", &[0]);
+        let j = reg.to_json();
+        let z = j.get("zero").unwrap();
+        assert_eq!(z.get("min").unwrap().as_u64(), Some(0));
+        assert_eq!(z.get("mean").unwrap().as_f64(), Some(0.0));
     }
 }

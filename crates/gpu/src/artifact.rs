@@ -125,9 +125,10 @@ impl RunArtifact {
         report: &SimReport,
         registry: &MetricsRegistry,
         samples: &[CcqsSample],
+        timeseries: Option<Json>,
         trace: Option<&Trace>,
     ) -> Self {
-        let json = Json::obj([
+        let mut members: Vec<(&str, Json)> = vec![
             ("schema", Json::str(ARTIFACT_SCHEMA)),
             ("metrics_level", Json::str(level.as_str())),
             ("config", cfg.to_json()),
@@ -137,9 +138,16 @@ impl RunArtifact {
                 "ccqs_samples",
                 Json::Arr(samples.iter().map(|s| s.to_json()).collect()),
             ),
-            ("trace", trace.map_or(Json::Null, Trace::to_json)),
-        ]);
-        RunArtifact { json }
+        ];
+        // Only the timeseries level carries the section at all; lower
+        // levels keep their key sets (and thus their bytes) unchanged.
+        if let Some(ts) = timeseries {
+            members.push(("timeseries", ts));
+        }
+        members.push(("trace", trace.map_or(Json::Null, Trace::to_json)));
+        RunArtifact {
+            json: Json::obj(members),
+        }
     }
 
     /// The underlying JSON tree.
@@ -154,6 +162,13 @@ impl RunArtifact {
             .and_then(Json::as_str)
             .and_then(MetricsLevel::parse)
             .unwrap_or(MetricsLevel::Summary)
+    }
+
+    /// The windowed-telemetry section (`dynapar-timeseries/1`), present
+    /// only when the run recorded at
+    /// [`Timeseries`](MetricsLevel::Timeseries).
+    pub fn timeseries(&self) -> Option<&Json> {
+        self.json.get("timeseries")
     }
 
     /// The CCQS estimate-vs-actual samples, decoded from the tree.
@@ -215,6 +230,20 @@ impl RunArtifact {
                 return Err(ArtifactError::Schema(format!(
                     "report section missing `{key}`"
                 )));
+            }
+        }
+        if let Some(ts) = json.get("timeseries") {
+            let schema = ts.get("schema").and_then(Json::as_str);
+            if schema != Some(crate::telemetry::TIMESERIES_SCHEMA) {
+                return Err(ArtifactError::Schema(format!(
+                    "timeseries section has schema {schema:?} (expected `{}`)",
+                    crate::telemetry::TIMESERIES_SCHEMA
+                )));
+            }
+            if ts.get("series").and_then(Json::as_array).is_none() {
+                return Err(ArtifactError::Schema(
+                    "timeseries section missing `series` array".into(),
+                ));
             }
         }
         Ok(RunArtifact { json })

@@ -66,6 +66,21 @@ pub struct ChildRequest {
     pub pending_kernels: u32,
 }
 
+/// A point-in-time view of a policy's monitored launch metrics — the
+/// four §IV-B quantities, exposed so the telemetry layer can sample
+/// them each window without reaching into policy internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitoredMetrics {
+    /// `n`: child CTAs in the system (pending + running).
+    pub in_system: u64,
+    /// `t_cta`: average child-CTA execution time (cycles).
+    pub t_cta: u64,
+    /// `n_con`: windowed average of concurrently-executing child CTAs.
+    pub n_con: u64,
+    /// `t_warp`: windowed average child-warp execution time (cycles).
+    pub t_warp: u64,
+}
+
 /// The outcome of one launch decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaunchDecision {
@@ -132,6 +147,16 @@ pub trait LaunchController {
     #[deprecated(note = "implement `observe(ControllerEvent::ChildWarpFinish)` instead")]
     fn on_child_warp_finish(&mut self, now: Cycle, exec_cycles: u64) {
         let _ = (now, exec_cycles);
+    }
+
+    /// The policy's current monitored-metric values, if it monitors any
+    /// (SPAWN's CCQS does; trivial policies return `None`). Sampled by
+    /// the `--metrics timeseries` telemetry layer at each window. The
+    /// read must be side-effect free: windowed values are reported as of
+    /// the policy's last decision, *not* rolled forward to the sampling
+    /// instant, so sampling can never perturb simulated behavior.
+    fn monitored(&self) -> Option<MonitoredMetrics> {
+        None
     }
 
     /// The policy's completion-time predictions (Eq. 1 outputs) in

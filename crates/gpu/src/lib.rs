@@ -86,10 +86,12 @@ mod gmu;
 mod ids;
 mod kernel;
 pub mod mem;
+pub mod perfetto;
 mod profile;
 mod sim;
 mod smx;
 mod stats;
+mod telemetry;
 pub mod trace;
 pub mod work;
 
@@ -99,6 +101,7 @@ pub use config::{
 };
 pub use controller::{
     ChildRequest, ControllerEvent, InlineAll, LaunchController, LaunchDecision,
+    MonitoredMetrics,
 };
 pub use dynapar_engine::json::Json;
 pub use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
@@ -106,5 +109,6 @@ pub use dynapar_engine::QueueBackend;
 pub use ids::{CtaKey, HwqId, KernelId, SmxId, StreamId};
 pub use sim::{Simulation, SimulationBuilder};
 pub use stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
+pub use telemetry::TIMESERIES_SCHEMA;
 pub use trace::{Trace, TraceEvent};
 pub use work::{DpSpec, KernelDesc, ThreadSource, ThreadWork, WorkClass};

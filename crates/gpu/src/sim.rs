@@ -28,6 +28,7 @@ use crate::mem::{coalesce_lines_parts, MemSystem};
 use crate::profile as ph;
 use crate::smx::{CtaRt, Smx, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
+use crate::telemetry::SimSeries;
 use crate::trace::{Trace, TraceEvent};
 use crate::work::{KernelDesc, ThreadSource, ThreadWork};
 #[cfg(test)]
@@ -185,6 +186,9 @@ impl SimulationBuilder {
         let mut sim = Simulation::new(cfg, self.controller, self.queue);
         sim.trace = self.trace_capacity.map(Trace::new);
         sim.metrics_level = self.metrics;
+        if self.metrics.timeseries() {
+            sim.timeseries = Some(Box::new(SimSeries::new(&sim.cfg)));
+        }
         sim.prof.set_enabled(self.profile);
         sim
     }
@@ -241,6 +245,10 @@ pub struct Simulation {
     inflight_launches: u32,
     trace: Option<Trace>,
     metrics_level: MetricsLevel,
+    /// Windowed telemetry series; allocated only at
+    /// [`MetricsLevel::Timeseries`], so every other level pays one
+    /// `Option` check per sample/decision and nothing else.
+    timeseries: Option<Box<SimSeries>>,
     // --- statistics ---
     occupancy: TimeWeighted,
     parent_ctas_running: u32,
@@ -321,6 +329,7 @@ impl Simulation {
             inflight_launches: 0,
             trace: None,
             metrics_level: MetricsLevel::default(),
+            timeseries: None,
             occupancy: TimeWeighted::new(),
             parent_ctas_running: 0,
             child_ctas_running: 0,
@@ -850,6 +859,9 @@ impl Simulation {
                     // (the §IV-B translated-source contract).
                     decision = LaunchDecision::Inline;
                 }
+                if let Some(ts) = self.timeseries.as_deref_mut() {
+                    ts.decision(now.as_u64(), decision);
+                }
                 match decision {
                     LaunchDecision::Kernel => {
                         let x = {
@@ -1326,6 +1338,15 @@ impl Simulation {
                 peak_smx_utilization: peak,
             },
         ));
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.sample(
+                now.as_u64(),
+                (self.gmu.pending() + self.inflight_launches) as f64,
+                self.gmu.concurrent_kernels() as f64 / self.cfg.num_hwqs as f64,
+                self.controller.monitored(),
+                &self.smxs,
+            );
+        }
         if self.live_kernels > 0 {
             self.events
                 .push(now + self.cfg.sample_period, Ev::Sample);
@@ -1420,7 +1441,7 @@ impl Simulation {
             .max()
             .unwrap_or(0);
         reg.gauge("smx.peak_resident_warps", peak as f64);
-        if self.metrics_level == MetricsLevel::Full {
+        if self.metrics_level.at_least_full() {
             for s in &self.smxs {
                 s.export_metrics(&mut reg);
             }
@@ -1433,6 +1454,7 @@ impl Simulation {
             report,
             &reg,
             &samples,
+            self.timeseries.as_deref().map(SimSeries::to_json),
             self.trace.as_ref(),
         )
     }
@@ -2424,6 +2446,7 @@ mod nesting_tests {
 mod artifact_tests {
     use super::*;
     use crate::work::WorkClass;
+    use dynapar_engine::json::Json;
 
     /// Launches everything and logs a fake Eq. 1 prediction per decision,
     /// exercising the artifact's estimate-vs-actual pairing without
@@ -2583,5 +2606,96 @@ mod artifact_tests {
         let a = run_at(MetricsLevel::Full).artifact.unwrap().to_string();
         let b = run_at(MetricsLevel::Full).artifact.unwrap().to_string();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeseries_level_adds_the_telemetry_section() {
+        let out = run_at(MetricsLevel::Timeseries);
+        let artifact = out.artifact.expect("metrics enabled");
+        let ts = artifact.timeseries().expect("timeseries section");
+        assert_eq!(
+            ts.get("schema").unwrap().as_str(),
+            Some(crate::telemetry::TIMESERIES_SCHEMA)
+        );
+        let series = ts.get("series").unwrap().as_array().unwrap();
+        let names: Vec<&str> = series
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for required in ["queue_depth", "n_con", "t_cta", "decisions_allowed"] {
+            assert!(names.contains(&required), "missing series {required}");
+        }
+        // The run samples periodically, so the gauges carry data.
+        let depth = series
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("queue_depth"))
+            .unwrap();
+        assert!(depth.get("samples").unwrap().as_u64().unwrap() > 0);
+        // Every launch decision lands in exactly one rate series.
+        let total_of = |name: &str| -> u64 {
+            series
+                .iter()
+                .find(|s| s.get("name").unwrap().as_str() == Some(name))
+                .and_then(|s| s.get("values"))
+                .and_then(Json::as_array)
+                .map(|v| v.iter().filter_map(Json::as_u64).sum())
+                .unwrap_or(0)
+        };
+        let counted = total_of("decisions_allowed")
+            + total_of("decisions_denied")
+            + total_of("decisions_deferred");
+        assert_eq!(counted, out.report.launch_requests);
+        // The section survives a parse round trip byte-for-byte.
+        let text = artifact.to_string();
+        let back = RunArtifact::parse(&text).expect("parses");
+        assert_eq!(back.to_string(), text);
+        assert!(back.timeseries().is_some());
+    }
+
+    #[test]
+    fn lower_levels_omit_the_telemetry_section() {
+        for level in [MetricsLevel::Summary, MetricsLevel::Full] {
+            let artifact = run_at(level).artifact.unwrap();
+            assert!(
+                artifact.timeseries().is_none(),
+                "level {level:?} must not carry timeseries"
+            );
+            assert!(!artifact.to_string().contains("\"timeseries\""));
+        }
+    }
+
+    #[test]
+    fn timeseries_report_matches_full_report() {
+        // Timeseries is "Full plus telemetry": the report and metrics
+        // sections are identical between the two levels except for the
+        // level tag itself and the extra section.
+        let f = run_at(MetricsLevel::Full).artifact.unwrap();
+        let t = run_at(MetricsLevel::Timeseries).artifact.unwrap();
+        assert_eq!(
+            f.json().get("report").unwrap(),
+            t.json().get("report").unwrap()
+        );
+        assert_eq!(
+            f.json().get("metrics").unwrap(),
+            t.json().get("metrics").unwrap()
+        );
+    }
+
+    #[test]
+    fn over_capacity_trace_reports_drops_in_artifact() {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(Box::new(PredictAll { preds: Vec::new() }))
+            .metrics(MetricsLevel::Summary)
+            .trace(4)
+            .build();
+        sim.launch_host(dp_kernel());
+        let out = sim.run();
+        let trace = out.trace.as_ref().expect("tracing enabled");
+        assert!(trace.dropped() > 0, "workload must overflow 4 slots");
+        let json = out.artifact.expect("metrics enabled");
+        let t = json.json().get("trace").expect("trace section");
+        assert_eq!(t.get("events").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(t.get("capacity").unwrap().as_u64(), Some(4));
+        assert_eq!(t.get("dropped").unwrap().as_u64(), Some(trace.dropped()));
     }
 }

@@ -223,7 +223,7 @@ impl SimReport {
     /// it): host timing is the report's only nondeterministic field, and
     /// leaving it out keeps artifacts byte-identical across reruns and
     /// job counts. The bulky vectors (timeline, per-CTA and per-launch
-    /// cycles) are included only at [`MetricsLevel::Full`].
+    /// cycles) are included only at [`MetricsLevel::Full`] and above.
     pub fn to_json(&self, level: MetricsLevel) -> Json {
         let mut members = vec![
             ("controller".to_string(), Json::str(self.controller.clone())),
@@ -291,7 +291,7 @@ impl SimReport {
                 Json::Arr(self.kernels.iter().map(KernelSummary::to_json).collect()),
             ),
         ];
-        if level == MetricsLevel::Full {
+        if level.at_least_full() {
             members.push((
                 "timeline".to_string(),
                 Json::Arr(

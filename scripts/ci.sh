@@ -29,6 +29,27 @@ trap 'rm -rf "$artifact_dir"' EXIT
 grep -q '"ccqs_samples"' "$artifact_dir/run.json"
 grep -q '"estimate"' "$artifact_dir/run.json"
 
+echo "== timeline smoke (emit + validate perfetto JSON) =="
+./target/release/dynapar run --bench BFS-citation --policy spawn --scale tiny \
+    --emit-timeline "$artifact_dir/timeline.json"
+./target/release/dynapar check-timeline --file "$artifact_dir/timeline.json"
+grep -q '"traceEvents"' "$artifact_dir/timeline.json"
+
+echo "== summary artifact byte-identity (timeline export must not perturb it) =="
+# The timeseries section is gated on --metrics timeseries: at summary the
+# artifact must be byte-identical whether or not a timeline is exported,
+# and must not contain the timeseries key at all.
+./target/release/dynapar run --bench GC-citation --policy spawn --scale tiny \
+    --trace 4096 --metrics summary --emit-json "$artifact_dir/summary-a.json"
+./target/release/dynapar run --bench GC-citation --policy spawn --scale tiny \
+    --trace 4096 --metrics summary --emit-json "$artifact_dir/summary-b.json" \
+    --emit-timeline "$artifact_dir/timeline-b.json"
+cmp "$artifact_dir/summary-a.json" "$artifact_dir/summary-b.json"
+if grep -q '"timeseries"' "$artifact_dir/summary-a.json"; then
+    echo "summary artifact leaked a timeseries section" >&2
+    exit 1
+fi
+
 echo "== perf smoke (regression gate vs results/BENCH_4.json) =="
 # The committed baseline records throughput on the machine that produced
 # it, so the gate is only meaningful on comparable hardware; set

@@ -12,6 +12,11 @@
 //! - `--parallel` — use the worker pool instead of the serial default.
 //! - `--queue heap|wheel` — event-queue backend (default wheel), for
 //!   head-to-head backend comparisons on identical work.
+//! - `--sim-jobs N` — run every simulation on the deterministic
+//!   parallel backend with N workers (default: sequential). Events are
+//!   byte-identical either way; the artifact records the setting
+//!   (`sim_jobs`, present only for parallel runs) and the baseline
+//!   gate requires it to match, so seq baselines gate seq runs.
 //! - `--emit-json PATH` — write the results as a perf artifact
 //!   (`results/BENCH_3.json` is the committed baseline).
 //! - `--baseline PATH` — compare against a previously emitted artifact
@@ -42,7 +47,9 @@ use dynapar_bench::{parse_metrics_level, usage_error, Options};
 use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_engine::par::par_map;
 use dynapar_engine::profile::ProfileReport;
-use dynapar_gpu::{InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimReport};
+use dynapar_gpu::{
+    InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimBackend, SimReport,
+};
 use dynapar_workloads::{suite, Scale};
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -63,6 +70,7 @@ fn main() {
     let (mut opts, rest) = Options::parse_known().unwrap_or_else(|e| e.exit());
     let mut serial = true;
     let mut queue = QueueBackend::default();
+    let mut backend = SimBackend::Seq;
     let mut emit_json: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.30f64;
@@ -82,6 +90,15 @@ fn main() {
                     .as_deref()
                     .and_then(QueueBackend::parse)
                     .unwrap_or_else(|| usage_error("--queue expects heap|wheel"));
+            }
+            "--sim-jobs" => {
+                let v = rest
+                    .next()
+                    .unwrap_or_else(|| usage_error("--sim-jobs expects a count ≥ 1"));
+                backend = match v.parse() {
+                    Ok(n) if n >= 1 => SimBackend::Par(n),
+                    _ => usage_error(&format!("--sim-jobs expects a count ≥ 1, got {v:?}")),
+                };
             }
             "--emit-json" => {
                 emit_json =
@@ -129,8 +146,8 @@ fn main() {
             }
             other => usage_error(&format!(
                 "unknown argument {other:?} (perf adds --parallel, --queue, \
-                 --emit-json, --baseline, --max-regress, --runs, --profile, \
-                 --check-profile, --metrics)"
+                 --sim-jobs, --emit-json, --baseline, --max-regress, --runs, \
+                 --profile, --check-profile, --metrics)"
             )),
         }
     }
@@ -170,10 +187,13 @@ fn main() {
             (0..runs)
                 .map(|_| {
                     if profile {
-                        let out = b.run_full_profiled(cfg, make(), queue);
+                        let out = b.run_full_profiled(cfg, make(), queue, backend);
                         (out.report, out.profile)
                     } else {
-                        (b.run_full_on(cfg, make(), None, metrics, queue).report, None)
+                        (
+                            b.run_full_with(cfg, make(), None, metrics, queue, backend).report,
+                            None,
+                        )
                     }
                 })
                 .collect()
@@ -191,12 +211,17 @@ fn main() {
             Box::new(move || full(&|| Box::new(SpawnPolicy::from_config(cfg)))),
         ));
     }
+    let sim_jobs_label = match backend {
+        SimBackend::Seq => "seq".to_string(),
+        SimBackend::Par(n) => format!("par:{n}"),
+    };
     println!(
-        "# perf (scale {}, seed {}, jobs {}, queue {}, runs {}, metrics {})",
+        "# perf (scale {}, seed {}, jobs {}, queue {}, sim {}, runs {}, metrics {})",
         scale_name(opts.scale),
         opts.seed,
         opts.jobs,
         queue.name(),
+        sim_jobs_label,
         runs,
         metrics.as_str()
     );
@@ -348,6 +373,14 @@ fn main() {
         ("seed", Json::U64(opts.seed)),
         ("queue", Json::str(queue.name())),
         ("repeats", Json::U64(runs as u64)),
+    ];
+    // Present only for parallel runs: an absent key matches the
+    // committed sequential baselines, so old artifacts keep gating
+    // sequential runs without a schema bump.
+    if let SimBackend::Par(n) = backend {
+        fields.push(("sim_jobs", Json::U64(n as u64)));
+    }
+    fields.extend([
         ("runs", Json::Arr(rows)),
         (
             "total",
@@ -358,7 +391,7 @@ fn main() {
                 ("events_per_sec_geomean", Json::F64(geomean)),
             ]),
         ),
-    ];
+    ]);
     if let Some(p) = profile_json {
         fields.push(("profile", p));
     }
@@ -398,7 +431,7 @@ fn gate_against_baseline(path: &str, current: &Json, max_regress: f64) -> Result
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let base = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
-    for key in ["schema", "scale", "seed", "queue"] {
+    for key in ["schema", "scale", "seed", "queue", "sim_jobs"] {
         let (b, c) = (base.get(key), current.get(key));
         if b != c {
             return Err(format!(

@@ -7,7 +7,7 @@
 use dynapar_bench::run_schemes;
 use dynapar_core::{Dtbl, SpawnPolicy};
 use dynapar_engine::par::par_map;
-use dynapar_gpu::{GpuConfig, MetricsLevel, QueueBackend, RunArtifact, SimReport};
+use dynapar_gpu::{GpuConfig, MetricsLevel, QueueBackend, RunArtifact, SimBackend, SimReport};
 use dynapar_workloads::{suite, Scale};
 
 /// Renders a report with the nondeterministic wall-clock field zeroed.
@@ -25,6 +25,18 @@ fn artifact_jsons(jobs: usize, queue: QueueBackend) -> Vec<String> {
 
 /// Same matrix at an explicit metrics level (the timeseries test reuses it).
 fn artifact_jsons_at(jobs: usize, queue: QueueBackend, level: MetricsLevel) -> Vec<String> {
+    artifact_jsons_on(jobs, queue, level, SimBackend::Seq)
+}
+
+/// Same matrix on an explicit simulation backend (the seq/par matrix
+/// test reuses it): `jobs` fans benchmarks across worker processes while
+/// `backend` picks how each individual simulation ticks its SMXs.
+fn artifact_jsons_on(
+    jobs: usize,
+    queue: QueueBackend,
+    level: MetricsLevel,
+    backend: SimBackend,
+) -> Vec<String> {
     let cfg = GpuConfig::kepler_k20m();
     // AMR is the deepest-nesting workload in the suite; the extra DTBL
     // pass on BFS exercises the aggregated-launch path (child naming,
@@ -41,7 +53,7 @@ fn artifact_jsons_at(jobs: usize, queue: QueueBackend, level: MetricsLevel) -> V
         } else {
             Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
         };
-        let out = bench.run_full_on(&cfg, policy, Some(100_000), level, queue);
+        let out = bench.run_full_with(&cfg, policy, Some(100_000), level, queue, backend);
         format!("{}", out.artifact.expect("full metrics emit an artifact"))
     })
 }
@@ -119,6 +131,32 @@ fn heap_and_wheel_backends_are_byte_identical() {
         // Anchor maintenance must be exact: a wakeup that fires with
         // nothing to do means the per-SMX lists leaked a stale tick.
         assert_eq!(wheel.dead_wakeups, 0, "{name} leaked dead wakeups");
+    }
+}
+
+#[test]
+fn parallel_sim_backend_is_byte_identical_to_sequential() {
+    // The intra-run parallel backend (conservative-window tick of the
+    // per-SMX wheels) must be invisible in every simulated observable:
+    // the full-metrics artifact has to match byte for byte against the
+    // sequential wheel run AND the sequential comparison heap, at every
+    // worker count. jobs=1 exercises the batching/merge machinery with
+    // the pool in serial mode; 2/4/7 exercise real thread interleaving
+    // (7 deliberately exceeds the 13-SMX batch width unevenly).
+    let wheel_seq = artifact_jsons_at(1, QueueBackend::Wheel, MetricsLevel::Full);
+    let heap_seq = artifact_jsons_at(1, QueueBackend::Heap, MetricsLevel::Full);
+    assert_eq!(wheel_seq, heap_seq, "seq artifact differs between queue backends");
+    for sim_jobs in [1usize, 2, 4, 7] {
+        let wheel_par = artifact_jsons_on(
+            1,
+            QueueBackend::Wheel,
+            MetricsLevel::Full,
+            SimBackend::Par(sim_jobs),
+        );
+        assert_eq!(
+            wheel_seq, wheel_par,
+            "artifact JSON differs between seq and par({sim_jobs}) backends"
+        );
     }
 }
 

@@ -151,8 +151,12 @@ pub struct Cli {
     /// Generator seed.
     pub seed: u64,
     /// Worker threads for multi-simulation subcommands (sweep,
-    /// compare, suite). Each simulation stays single-threaded.
+    /// compare, suite). Orthogonal to `sim_jobs`.
     pub jobs: usize,
+    /// Worker threads *inside* each simulation (the deterministic
+    /// parallel backend); `None` runs the sequential backend. Results
+    /// are byte-identical either way.
+    pub sim_jobs: Option<usize>,
 }
 
 /// Usage text.
@@ -178,6 +182,8 @@ POLICIES:  flat | baseline | spawn | dtbl | always | adaptive | freelaunch | thr
 OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
            --jobs N (worker threads for sweep/compare/suite;
            default: DYNAPAR_JOBS or the CPU count)
+           --sim-jobs N (parallel backend inside each simulation;
+           default: sequential. Results are byte-identical)
 BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
 ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
            (implies --metrics full unless --metrics is given);
@@ -209,6 +215,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut scale = Scale::Paper;
     let mut seed = dynapar_workloads::suite::DEFAULT_SEED;
     let mut jobs = dynapar_engine::par::default_jobs();
+    let mut sim_jobs: Option<usize> = None;
     let mut bench: Option<String> = None;
     let mut policy: Option<PolicyArg> = None;
     let mut trace: Option<usize> = None;
@@ -245,6 +252,15 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 if jobs == 0 {
                     return Err("--jobs must be at least 1".to_string());
                 }
+            }
+            "--sim-jobs" => {
+                let n: usize = take_value(args, &mut i, "--sim-jobs")?
+                    .parse()
+                    .map_err(|_| "--sim-jobs expects an integer".to_string())?;
+                if n == 0 {
+                    return Err("--sim-jobs must be at least 1".to_string());
+                }
+                sim_jobs = Some(n);
             }
             "--bench" => bench = Some(take_value(args, &mut i, "--bench")?.to_string()),
             "--policy" => policy = Some(PolicyArg::parse(take_value(args, &mut i, "--policy")?)?),
@@ -347,6 +363,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         scale,
         seed,
         jobs,
+        sim_jobs,
     })
 }
 
@@ -411,6 +428,21 @@ mod tests {
         assert!(parse(&v(&["suite", "--policy", "spawn", "--jobs", "many"])).is_err());
         let cli = parse(&v(&["list"])).expect("valid");
         assert!(cli.jobs >= 1);
+    }
+
+    #[test]
+    fn sim_jobs_flag() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--sim-jobs", "4",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.sim_jobs, Some(4));
+        let cli = parse(&v(&["run", "--bench", "AMR", "--policy", "spawn"])).expect("valid");
+        assert_eq!(cli.sim_jobs, None, "default is the sequential backend");
+        assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "spawn", "--sim-jobs", "0"]))
+            .is_err());
+        assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "spawn", "--sim-jobs", "x"]))
+            .is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use dynapar_core::{
     SpawnPolicy,
 };
 use dynapar_engine::par::par_map;
-use dynapar_gpu::{GpuConfig, LaunchController, SimReport};
+use dynapar_gpu::{GpuConfig, LaunchController, QueueBackend, SimBackend, SimReport};
 use dynapar_workloads::{suite, Benchmark};
 
 fn controller(policy: &PolicyArg, cfg: &GpuConfig, bench: &Benchmark) -> Box<dyn LaunchController> {
@@ -131,7 +131,18 @@ fn exec(cli: Cli) -> Result<(), String> {
             } else {
                 controller(policy, &cfg, &b)
             };
-            let out = b.run_full(&cfg, ctrl, *trace, *metrics);
+            let backend = match cli.sim_jobs {
+                Some(n) => SimBackend::Par(n),
+                None => SimBackend::Seq,
+            };
+            let out = b.run_full_with(
+                &cfg,
+                ctrl,
+                *trace,
+                *metrics,
+                QueueBackend::default(),
+                backend,
+            );
             let r = &out.report;
             summarize(&policy.label(), r, None);
             if let Some(tr) = &out.trace {

@@ -1,18 +1,20 @@
-//! Order-preserving parallel map over independent simulation jobs.
+//! Deterministic parallelism primitives: a reusable scoped worker pool
+//! and an order-preserving parallel map built on it.
 //!
-//! The experiment drivers (scheme comparisons, threshold sweeps, figure
-//! scripts) run many *independent* simulations; each simulation stays
-//! single-threaded and deterministic, so running N of them on N cores
-//! changes nothing about any individual result. [`par_map`] is the one
-//! primitive they share: a chunk-free work queue on scoped threads that
-//! returns results in input order, so the output is bit-identical to the
-//! serial `items.into_iter().map(f).collect()`.
+//! Two layers share this module. The experiment drivers (scheme
+//! comparisons, threshold sweeps, figure scripts) run many *independent*
+//! simulations through [`par_map`]; each simulation stays deterministic,
+//! so running N of them on N cores changes nothing about any individual
+//! result. The parallel simulation backend (`--sim-jobs`) instead needs
+//! a *persistent* pool it can feed thousands of tiny per-cycle shard
+//! ticks without spawning threads per window — that is [`Pool`], and
+//! `par_map` is now a thin client of it.
 //!
 //! There is no dependency on a thread-pool crate: workers are
-//! [`std::thread::scope`] threads that claim item indices from a shared
-//! atomic counter and write results into per-slot mailboxes. A panic in
-//! any job propagates to the caller when the scope joins, exactly like
-//! the serial loop.
+//! [`std::thread::scope`] threads looping on a mutex-protected task
+//! queue with a condvar, returning results over a bounded channel. A
+//! panic in any job is caught on the worker and re-raised on the caller
+//! at the matching [`Pool::recv`], exactly like the serial loop.
 //!
 //! # Examples
 //!
@@ -23,27 +25,212 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 
 /// Environment variable consulted by [`default_jobs`]; same meaning as
 /// the `--jobs` flag on the experiment binaries.
 pub const JOBS_ENV: &str = "DYNAPAR_JOBS";
 
 /// Resolves the worker count to use when the caller gave no explicit
-/// `--jobs`: the `DYNAPAR_JOBS` environment variable if set to a positive
-/// integer, else the machine's available parallelism, else 1.
+/// `--jobs`: the `DYNAPAR_JOBS` environment variable if set to a
+/// positive integer, else the machine's available parallelism, else 1.
+///
+/// The environment value is capped at the available parallelism:
+/// oversubscribing cores cannot make deterministic simulations faster,
+/// it only adds scheduler churn, so `DYNAPAR_JOBS=64` on a 4-core box
+/// means 4. Degenerate environments (no detectable parallelism) get 1.
 pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var(JOBS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    jobs_from_env(std::env::var(JOBS_ENV).ok().as_deref(), hw)
+}
+
+/// Pure core of [`default_jobs`], split out so both paths (env override
+/// capped at hardware, fallback to hardware) are testable without
+/// process-global environment mutation.
+fn jobs_from_env(env: Option<&str>, hw: usize) -> usize {
+    let hw = hw.max(1);
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(hw),
+        _ => hw,
+    }
+}
+
+/// Task queue shared between the submitting thread and the workers.
+struct Queue<T> {
+    tasks: VecDeque<T>,
+    /// Set once the pool scope is over; woken workers exit instead of
+    /// sleeping again.
+    shutdown: bool,
+}
+
+struct Shared<T> {
+    queue: Mutex<Queue<T>>,
+    cv: Condvar,
+}
+
+/// Sets `shutdown` and wakes every worker. Runs on drop so workers are
+/// released even when the pool body panics — otherwise
+/// `std::thread::scope` would join blocked workers forever.
+struct ShutdownGuard<'a, T>(&'a Shared<T>);
+
+impl<T> Drop for ShutdownGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Ok(mut q) = self.0.queue.lock() {
+            q.shutdown = true;
+        }
+        self.0.cv.notify_all();
+    }
+}
+
+enum Mode<'a, T, R> {
+    /// `jobs <= 1`: tasks run inline on `send`, results queue locally.
+    /// A faithful serial baseline with zero thread machinery.
+    Serial {
+        f: &'a dyn Fn(T) -> R,
+        ready: VecDeque<R>,
+    },
+    /// Worker threads drain the shared queue; results come back over a
+    /// bounded channel in completion order.
+    Threads {
+        shared: &'a Shared<T>,
+        rx: mpsc::Receiver<std::thread::Result<R>>,
+    },
+}
+
+/// A scoped worker pool: submit tasks with [`send`](Pool::send), collect
+/// results with [`recv`](Pool::recv). Results arrive in *completion*
+/// order (serial mode: submission order); callers that need positional
+/// order tag tasks with their index, as [`par_map`] does.
+///
+/// Built by [`Pool::scope`], which fixes the worker function for the
+/// pool's whole lifetime — the same N threads serve every task, so
+/// feeding the pool from a hot loop costs a queue push and a condvar
+/// signal, not a thread spawn.
+pub struct Pool<'a, T, R> {
+    mode: Mode<'a, T, R>,
+    pending: usize,
+}
+
+impl<T: Send, R: Send> Pool<'_, T, R> {
+    /// Runs `body` with a pool of `jobs` workers all executing `f`, and
+    /// returns `body`'s result. Workers live exactly as long as `body`:
+    /// they are scoped threads, joined before `scope` returns, so `f`
+    /// may borrow from the caller's stack.
+    ///
+    /// `capacity` pre-sizes the task queue and result channel; sized to
+    /// the maximum number of in-flight tasks, the steady state allocates
+    /// nothing per task. With `jobs <= 1` no threads are created and
+    /// every task runs inline on `send`.
+    pub fn scope<F, B, Out>(jobs: usize, capacity: usize, f: F, body: B) -> Out
+    where
+        F: Fn(T) -> R + Sync,
+        B: FnOnce(&mut Pool<'_, T, R>) -> Out,
+    {
+        if jobs <= 1 {
+            let mut pool = Pool {
+                mode: Mode::Serial {
+                    f: &f,
+                    ready: VecDeque::with_capacity(capacity),
+                },
+                pending: 0,
+            };
+            return body(&mut pool);
+        }
+        let shared = Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::with_capacity(capacity),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        };
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        std::thread::scope(|scope| {
+            let _guard = ShutdownGuard(&shared);
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let shared = &shared;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let task = {
+                        let mut q = shared.queue.lock().expect("pool queue poisoned");
+                        loop {
+                            if let Some(t) = q.tasks.pop_front() {
+                                break Some(t);
+                            }
+                            if q.shutdown {
+                                break None;
+                            }
+                            q = shared.cv.wait(q).expect("pool queue poisoned");
+                        }
+                    };
+                    let Some(task) = task else { return };
+                    // Catch so one panicking task reaches the caller as
+                    // a result instead of deadlocking its `recv`.
+                    let res = catch_unwind(AssertUnwindSafe(|| f(task)));
+                    if tx.send(res).is_err() {
+                        return; // caller gone (body panicked); stop
+                    }
+                });
+            }
+            let mut pool = Pool {
+                mode: Mode::Threads {
+                    shared: &shared,
+                    rx,
+                },
+                pending: 0,
+            };
+            body(&mut pool)
+            // _guard drops here: shutdown + notify_all, then the scope
+            // joins the (now exiting) workers.
+        })
+    }
+
+    /// Submits one task. Serial mode runs it immediately on the calling
+    /// thread; threaded mode enqueues it and wakes one worker.
+    pub fn send(&mut self, task: T) {
+        self.pending += 1;
+        match &mut self.mode {
+            Mode::Serial { f, ready } => ready.push_back(f(task)),
+            Mode::Threads { shared, .. } => {
+                shared
+                    .queue
+                    .lock()
+                    .expect("pool queue poisoned")
+                    .tasks
+                    .push_back(task);
+                shared.cv.notify_one();
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+
+    /// Receives one result, blocking until a task completes. Results
+    /// arrive in completion order (serial mode: submission order). If
+    /// the corresponding task panicked, the panic resumes here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no outstanding [`send`](Pool::send).
+    pub fn recv(&mut self) -> R {
+        assert!(self.pending > 0, "Pool::recv without a matching send");
+        self.pending -= 1;
+        match &mut self.mode {
+            Mode::Serial { ready, .. } => ready.pop_front().expect("serial result is ready"),
+            Mode::Threads { rx, .. } => match rx.recv().expect("pool workers alive") {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            },
+        }
+    }
+
+    /// Number of submitted tasks whose results have not been received.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
 }
 
 /// Maps `f` over `items` using up to `jobs` worker threads, returning
@@ -68,40 +255,26 @@ where
     if jobs <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-
-    // Per-item mailboxes: workers take the item out of its slot and put
-    // the result into the matching result slot, so order is positional
-    // and never depends on completion order.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = jobs.min(n);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    return;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each slot is claimed exactly once");
-                let r = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("scope join guarantees every slot is filled")
-        })
+    // Tag each item with its index so completion order cannot leak into
+    // the output: results land positionally.
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    Pool::scope(
+        jobs.min(n),
+        n,
+        |(i, item): (usize, T)| (i, f(item)),
+        |pool| {
+            for task in items.into_iter().enumerate() {
+                pool.send(task);
+            }
+            for _ in 0..n {
+                let (i, r) = pool.recv();
+                out[i] = Some(r);
+            }
+        },
+    );
+    out.into_iter()
+        .map(|slot| slot.expect("every index receives exactly one result"))
         .collect()
 }
 
@@ -168,5 +341,100 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn env_jobs_capped_at_available_parallelism() {
+        // DYNAPAR_JOBS above the machine's parallelism is clamped down.
+        assert_eq!(jobs_from_env(Some("64"), 4), 4);
+        assert_eq!(jobs_from_env(Some("3"), 4), 3);
+        assert_eq!(jobs_from_env(Some("4"), 4), 4);
+        assert_eq!(jobs_from_env(Some(" 2 "), 8), 2);
+    }
+
+    #[test]
+    fn degenerate_environments_resolve_to_at_least_one() {
+        // No detectable parallelism never yields 0 and never panics.
+        assert_eq!(jobs_from_env(None, 0), 1);
+        assert_eq!(jobs_from_env(Some("16"), 0), 1);
+        // Unset / invalid / zero env falls back to the hardware count.
+        assert_eq!(jobs_from_env(None, 6), 6);
+        assert_eq!(jobs_from_env(Some("zap"), 6), 6);
+        assert_eq!(jobs_from_env(Some("0"), 6), 6);
+        assert_eq!(jobs_from_env(Some(""), 6), 6);
+    }
+
+    #[test]
+    fn pool_runs_tasks_and_returns_results() {
+        for jobs in [1, 2, 4] {
+            let total: u64 = Pool::scope(jobs, 16, |x: u64| x * 2, |pool| {
+                for x in 0..16u64 {
+                    pool.send(x);
+                }
+                (0..16).map(|_| pool.recv()).sum()
+            });
+            assert_eq!(total, (0..16u64).map(|x| x * 2).sum(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_waves() {
+        // The sim backend's shape: many small send/recv waves against
+        // the same pool, with full drains between waves.
+        Pool::scope(3, 8, |x: u32| x + 1, |pool| {
+            for wave in 0..200u32 {
+                let k = (wave % 5) + 1;
+                for i in 0..k {
+                    pool.send(wave * 10 + i);
+                }
+                let mut got: Vec<u32> = (0..k).map(|_| pool.recv()).collect();
+                got.sort_unstable();
+                let want: Vec<u32> = (0..k).map(|i| wave * 10 + i + 1).collect();
+                assert_eq!(got, want);
+                assert_eq!(pool.pending(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn pool_serial_mode_runs_inline_in_order() {
+        Pool::scope(1, 4, |x: u32| x * x, |pool| {
+            pool.send(2);
+            pool.send(3);
+            assert_eq!(pool.pending(), 2);
+            assert_eq!(pool.recv(), 4);
+            assert_eq!(pool.recv(), 9);
+        });
+    }
+
+    #[test]
+    fn pool_task_panic_reaches_recv() {
+        for jobs in [1, 4] {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Pool::scope(jobs, 4, |x: u32| {
+                    if x == 1 {
+                        panic!("task boom");
+                    }
+                    x
+                }, |pool| {
+                    pool.send(1);
+                    pool.recv()
+                })
+            }));
+            assert!(r.is_err(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_body_panic_does_not_deadlock_workers() {
+        // Body panics with tasks still queued; the shutdown guard must
+        // release the sleeping workers so the scope can join them.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::scope(2, 4, |x: u32| x, |pool| {
+                pool.send(7);
+                panic!("body boom");
+            })
+        }));
+        assert!(r.is_err());
     }
 }

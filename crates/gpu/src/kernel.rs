@@ -95,7 +95,7 @@ impl DpParams {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DpEntry {
     /// The interned spec; kept for pointer-identity dedup.
     spec: Arc<DpSpec>,
@@ -111,7 +111,12 @@ struct DpEntry {
 /// kernels reference. Specs are registered once per host launch (by
 /// pointer identity), after which every child launch copies plain ids
 /// around instead of cloning `Arc`s on the hot path.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists for the parallel backend: the table is frozen once the
+/// run starts (interning happens only at host-launch registration), so
+/// worker threads read a cheap `Arc`-sharing snapshot while the main
+/// thread keeps the original.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct SpecTable {
     classes: Vec<Arc<WorkClass>>,
     dps: Vec<DpEntry>,

@@ -88,6 +88,7 @@ mod kernel;
 pub mod mem;
 pub mod perfetto;
 mod profile;
+mod shard;
 mod sim;
 mod smx;
 mod stats;
@@ -107,7 +108,7 @@ pub use dynapar_engine::json::Json;
 pub use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 pub use dynapar_engine::QueueBackend;
 pub use ids::{CtaKey, HwqId, KernelId, SmxId, StreamId};
-pub use sim::{Simulation, SimulationBuilder};
+pub use sim::{SimBackend, Simulation, SimulationBuilder};
 pub use stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 pub use telemetry::TIMESERIES_SCHEMA;
 pub use trace::{Trace, TraceEvent};

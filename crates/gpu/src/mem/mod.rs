@@ -105,7 +105,53 @@ impl MshrSet {
     }
 }
 
-/// The full memory system.
+/// One SMX's private slice of the memory hierarchy: its L1 data cache
+/// and MSHR set.
+///
+/// Split out of [`MemSystem`] so the parallel backend can probe L1 tags
+/// shard-locally (each shard owns its `SmxL1`) while the shared
+/// L2/DRAM/stats state stays behind the in-order merge phase. The
+/// sequential backend uses the exact same two-step path
+/// ([`SmxL1::probe`] then [`MemSystem::service_read`]), so the split is
+/// invisible to simulated timing and counters.
+#[derive(Debug)]
+pub struct SmxL1 {
+    cache: Cache,
+    mshrs: MshrSet,
+}
+
+impl SmxL1 {
+    /// Builds one SMX's L1 cache and (empty) MSHR set.
+    pub fn new(cfg: &MemConfig) -> Self {
+        SmxL1 {
+            cache: Cache::with_geometry(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways),
+            mshrs: MshrSet::default(),
+        }
+    }
+
+    /// Probes every line of one warp transaction against the L1 tags in
+    /// input order, filling on miss; returns the hit count and appends
+    /// the missing lines to `misses` (also in input order).
+    ///
+    /// Pure tag work: no statistics, no MSHRs, no lower levels — safe to
+    /// run concurrently across SMXs. Timing and counting happen when the
+    /// result is handed to [`MemSystem::service_read`].
+    pub fn probe(&mut self, lines: &[u64], misses: &mut Vec<u64>) -> u64 {
+        let mut hits = 0u64;
+        for &line in lines {
+            if self.cache.probe_fill(line) {
+                hits += 1;
+            } else {
+                misses.push(line);
+            }
+        }
+        hits
+    }
+}
+
+/// The shared half of the memory system: the address-interleaved L2,
+/// the crossbar, the DRAM channels, and the run counters. Each SMX's
+/// private L1/MSHR state lives in an [`SmxL1`] owned by the caller.
 ///
 /// `warp_read` is the hot path: given the unique cache lines touched by one
 /// warp round (already coalesced), it probes the issuing SMX's L1, sends
@@ -117,19 +163,18 @@ impl MshrSet {
 ///
 /// ```
 /// use dynapar_engine::{profile::Profiler, Cycle};
-/// use dynapar_gpu::{config::MemConfig, mem::MemSystem};
+/// use dynapar_gpu::{config::MemConfig, mem::{MemSystem, SmxL1}};
 ///
 /// let mut prof = Profiler::new(&[]); // disabled: attribution off
-/// let mut m = MemSystem::new(&MemConfig::default(), 2);
-/// let cold = m.warp_read(Cycle(0), 0, &[0], &mut prof);
-/// let warm = m.warp_read(cold, 0, &[0], &mut prof);
+/// let mut m = MemSystem::new(&MemConfig::default());
+/// let mut l1 = SmxL1::new(&MemConfig::default());
+/// let cold = m.warp_read(Cycle(0), &mut l1, &[0], &mut prof);
+/// let warm = m.warp_read(cold, &mut l1, &[0], &mut prof);
 /// assert!(warm - cold < cold - Cycle(0)); // L1 hit is much cheaper
 /// ```
 #[derive(Debug)]
 pub struct MemSystem {
     cfg: MemConfig,
-    l1: Vec<Cache>,
-    mshrs: Vec<MshrSet>,
     l2: Vec<L2Partition>,
     dram: Vec<DramChannel>,
     /// L2 partitions per memory controller, precomputed so the miss path
@@ -142,11 +187,8 @@ pub struct MemSystem {
 }
 
 impl MemSystem {
-    /// Builds the hierarchy for `smx_count` SMXs.
-    pub fn new(cfg: &MemConfig, smx_count: u32) -> Self {
-        let l1 = (0..smx_count)
-            .map(|_| Cache::with_geometry(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways))
-            .collect();
+    /// Builds the shared hierarchy (L2 partitions and DRAM channels).
+    pub fn new(cfg: &MemConfig) -> Self {
         let l2 = (0..cfg.l2_partitions)
             .map(|_| L2Partition {
                 cache: Cache::with_geometry(cfg.l2_partition_bytes, cfg.line_bytes, cfg.l2_ways),
@@ -165,11 +207,8 @@ impl MemSystem {
                 )
             })
             .collect();
-        let mshrs = (0..smx_count).map(|_| MshrSet::default()).collect();
         MemSystem {
             cfg: cfg.clone(),
-            l1,
-            mshrs,
             l2,
             dram,
             parts_per_mc: (cfg.l2_partitions / cfg.memory_controllers) as usize,
@@ -190,8 +229,8 @@ impl MemSystem {
         }
     }
 
-    /// Services one warp's read transactions (unique `lines`) issued from
-    /// SMX `smx` at time `now`; returns when the slowest completes.
+    /// Services one warp's read transactions (unique `lines`) issued
+    /// through `l1` at time `now`; returns when the slowest completes.
     ///
     /// The batch is processed in two passes: every line probes the L1
     /// first (in input order, so tag state evolves exactly as per-line
@@ -204,42 +243,57 @@ impl MemSystem {
     ///
     /// `prof` attributes the DRAM share of the call when profiling is
     /// compiled in and enabled; pass a disabled profiler otherwise.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `smx` is out of range.
-    pub fn warp_read(&mut self, now: Cycle, smx: usize, lines: &[u64], prof: &mut Profiler) -> Cycle {
-        self.stats.l1_accesses += lines.len() as u64;
+    pub fn warp_read(
+        &mut self,
+        now: Cycle,
+        l1: &mut SmxL1,
+        lines: &[u64],
+        prof: &mut Profiler,
+    ) -> Cycle {
         let mut misses = std::mem::take(&mut self.miss_buf);
         misses.clear();
-        let l1 = &mut self.l1[smx];
-        let mut hits = 0u64;
-        for &line in lines {
-            if l1.probe_fill(line) {
-                hits += 1;
-            } else {
-                misses.push(line);
-            }
-        }
+        let hits = l1.probe(lines, &mut misses);
+        let done = self.service_read(now, l1, lines.len() as u64, hits, &misses, prof);
+        self.miss_buf = misses;
+        done
+    }
+
+    /// Second half of a warp read whose L1 probe already happened (via
+    /// [`SmxL1::probe`]): books the counters and walks every miss
+    /// through MSHR admission, the crossbar, L2, and DRAM. `total` is
+    /// the transaction's full line count (`hits + misses.len()`).
+    ///
+    /// This is the only place read statistics are updated, so a probe
+    /// deferred to a later merge phase (the parallel backend) books the
+    /// same counts as the inline sequential path.
+    pub(crate) fn service_read(
+        &mut self,
+        now: Cycle,
+        l1: &mut SmxL1,
+        total: u64,
+        hits: u64,
+        misses: &[u64],
+        prof: &mut Profiler,
+    ) -> Cycle {
+        self.stats.l1_accesses += total;
         self.stats.l1_hits += hits;
         let mut done = if hits > 0 {
             now + self.cfg.l1_hit_latency
         } else {
             now
         };
-        for &line in &misses {
-            let completion = self.miss_line(now, smx, line, prof);
+        for &line in misses {
+            let completion = self.miss_line(now, &mut l1.mshrs, line, prof);
             done = done.max(completion);
         }
-        self.miss_buf = misses;
         done
     }
 
     /// One L1 miss: allocate an MSHR (stalling if the core's set is
     /// full), then cross the interconnect to the home L2 partition.
-    fn miss_line(&mut self, now: Cycle, smx: usize, line: u64, prof: &mut Profiler) -> Cycle {
+    fn miss_line(&mut self, now: Cycle, mshrs: &mut MshrSet, line: u64, prof: &mut Profiler) -> Cycle {
         self.stats.l2_accesses += 1;
-        let issue = self.mshrs[smx].admit(now, self.cfg.l1_mshrs as usize);
+        let issue = mshrs.admit(now, self.cfg.l1_mshrs as usize);
         if issue > now {
             self.stats.mshr_stalls += 1;
         }
@@ -260,14 +314,14 @@ impl MemSystem {
             c
         };
         let done = completion + self.cfg.xbar_latency;
-        self.mshrs[smx].complete_at(done);
+        mshrs.complete_at(done);
         done
     }
 
-    /// Issues one coalesced store transaction for `line` from SMX `smx`;
-    /// consumes L2 (and, on an L2 write miss, DRAM) bandwidth but returns
-    /// no latency — stores retire asynchronously.
-    pub fn warp_write(&mut self, now: Cycle, _smx: usize, line: u64, prof: &mut Profiler) {
+    /// Issues one coalesced store transaction for `line`; consumes L2
+    /// (and, on an L2 write miss, DRAM) bandwidth but returns no
+    /// latency — stores retire asynchronously.
+    pub fn warp_write(&mut self, now: Cycle, line: u64, prof: &mut Profiler) {
         self.stats.writes += 1;
         let pid = self.partition_of(line);
         let part = &mut self.l2[pid];
@@ -321,10 +375,11 @@ mod tests {
 
     #[test]
     fn l1_hit_is_fast_and_counted() {
-        let mut m = MemSystem::new(&small_cfg(), 1);
-        m.warp_read(Cycle(0), 0, &[7], &mut np());
+        let mut m = MemSystem::new(&small_cfg());
+        let mut l1 = SmxL1::new(&small_cfg());
+        m.warp_read(Cycle(0), &mut l1, &[7], &mut np());
         let t0 = Cycle(10_000);
-        let done = m.warp_read(t0, 0, &[7], &mut np());
+        let done = m.warp_read(t0, &mut l1, &[7], &mut np());
         assert_eq!(done, t0 + m.cfg.l1_hit_latency);
         assert_eq!(m.stats().l1_hits, 1);
         assert_eq!(m.stats().l1_accesses, 2);
@@ -332,11 +387,13 @@ mod tests {
 
     #[test]
     fn l2_hit_when_another_smx_fetched_the_line() {
-        let mut m = MemSystem::new(&small_cfg(), 2);
-        m.warp_read(Cycle(0), 0, &[7], &mut np()); // SMX0 pulls through L2
+        let mut m = MemSystem::new(&small_cfg());
+        let mut l1a = SmxL1::new(&small_cfg());
+        let mut l1b = SmxL1::new(&small_cfg());
+        m.warp_read(Cycle(0), &mut l1a, &[7], &mut np()); // SMX0 pulls through L2
         let before = m.stats();
         assert_eq!(before.l2_hits, 0);
-        m.warp_read(Cycle(10_000), 1, &[7], &mut np()); // SMX1 misses L1, hits L2
+        m.warp_read(Cycle(10_000), &mut l1b, &[7], &mut np()); // SMX1 misses L1, hits L2
         let after = m.stats();
         assert_eq!(after.l2_hits, 1);
         assert_eq!(after.dram_accesses, before.dram_accesses);
@@ -344,24 +401,32 @@ mod tests {
 
     #[test]
     fn miss_chain_latency_ordering() {
-        let mut m = MemSystem::new(&small_cfg(), 1);
-        let dram_done = m.warp_read(Cycle(0), 0, &[3], &mut np());
-        let mut m2 = MemSystem::new(&small_cfg(), 1);
-        m2.warp_read(Cycle(0), 0, &[3], &mut np());
-        // Refetch from a cold L1 but warm L2 by thrashing L1 only:
-        // simplest check: L2-resident latency must be below DRAM latency.
-        let mut m3 = MemSystem::new(&small_cfg(), 2);
-        m3.warp_read(Cycle(0), 0, &[3], &mut np());
-        let l2_done = m3.warp_read(Cycle(100_000), 1, &[3], &mut np()) - Cycle(100_000);
+        let mut m = MemSystem::new(&small_cfg());
+        let mut l1 = SmxL1::new(&small_cfg());
+        let dram_done = m.warp_read(Cycle(0), &mut l1, &[3], &mut np());
+        // L2-resident latency (second SMX refetching a line the first
+        // pulled through L2) must be below DRAM latency.
+        let mut m3 = MemSystem::new(&small_cfg());
+        let mut l1a = SmxL1::new(&small_cfg());
+        let mut l1b = SmxL1::new(&small_cfg());
+        m3.warp_read(Cycle(0), &mut l1a, &[3], &mut np());
+        let l2_done = m3.warp_read(Cycle(100_000), &mut l1b, &[3], &mut np()) - Cycle(100_000);
         assert!(l2_done < dram_done - Cycle(0), "L2 {l2_done:?} vs DRAM {dram_done:?}");
     }
 
     #[test]
     fn many_lines_return_max_completion() {
-        let mut m = MemSystem::new(&small_cfg(), 1);
-        let one = m.warp_read(Cycle(0), 0, &[100], &mut np());
-        let mut m2 = MemSystem::new(&small_cfg(), 1);
-        let many = m2.warp_read(Cycle(0), 0, &[100, 101, 102, 103, 104, 105, 106, 107], &mut np());
+        let mut m = MemSystem::new(&small_cfg());
+        let mut l1 = SmxL1::new(&small_cfg());
+        let one = m.warp_read(Cycle(0), &mut l1, &[100], &mut np());
+        let mut m2 = MemSystem::new(&small_cfg());
+        let mut l1b = SmxL1::new(&small_cfg());
+        let many = m2.warp_read(
+            Cycle(0),
+            &mut l1b,
+            &[100, 101, 102, 103, 104, 105, 106, 107],
+            &mut np(),
+        );
         assert!(many >= one, "more transactions can only finish later");
     }
 
@@ -369,19 +434,41 @@ mod tests {
     fn bank_contention_serializes_same_partition() {
         let cfg = small_cfg();
         let parts = cfg.l2_partitions as u64;
-        let mut m = MemSystem::new(&cfg, 1);
+        let mut m = MemSystem::new(&cfg);
+        let mut l1 = SmxL1::new(&cfg);
         // Two lines in the same partition vs two in different partitions.
-        let same = m.warp_read(Cycle(0), 0, &[0, parts], &mut np());
-        let mut m2 = MemSystem::new(&cfg, 1);
-        let diff = m2.warp_read(Cycle(0), 0, &[0, 1], &mut np());
+        let same = m.warp_read(Cycle(0), &mut l1, &[0, parts], &mut np());
+        let mut m2 = MemSystem::new(&cfg);
+        let mut l1b = SmxL1::new(&cfg);
+        let diff = m2.warp_read(Cycle(0), &mut l1b, &[0, 1], &mut np());
         assert!(same >= diff);
     }
 
     #[test]
     fn writes_count_but_do_not_block() {
-        let mut m = MemSystem::new(&small_cfg(), 1);
-        m.warp_write(Cycle(0), 0, 55, &mut np());
+        let mut m = MemSystem::new(&small_cfg());
+        m.warp_write(Cycle(0), 55, &mut np());
         assert_eq!(m.stats().writes, 1);
+    }
+
+    #[test]
+    fn deferred_probe_matches_inline_warp_read() {
+        // The parallel backend probes L1 shard-side and services the
+        // result later; the two-step path must book the same latency
+        // and counters as the one-call path.
+        let lines = [7u64, 8, 9, 7 + 256];
+        let mut m1 = MemSystem::new(&small_cfg());
+        let mut a1 = SmxL1::new(&small_cfg());
+        let inline_done = m1.warp_read(Cycle(5), &mut a1, &lines, &mut np());
+
+        let mut m2 = MemSystem::new(&small_cfg());
+        let mut a2 = SmxL1::new(&small_cfg());
+        let mut misses = Vec::new();
+        let hits = a2.probe(&lines, &mut misses);
+        let split_done =
+            m2.service_read(Cycle(5), &mut a2, lines.len() as u64, hits, &misses, &mut np());
+        assert_eq!(inline_done, split_done);
+        assert_eq!(m1.stats(), m2.stats());
     }
 
     #[test]
@@ -437,10 +524,12 @@ mod mshr_tests {
         };
         // A storm of distinct lines (all misses) from one SMX.
         let lines: Vec<u64> = (0..64).collect();
-        let mut m_tight = MemSystem::new(&tight, 1);
-        let mut m_loose = MemSystem::new(&loose, 1);
-        let t_tight = m_tight.warp_read(Cycle(0), 0, &lines, &mut np());
-        let t_loose = m_loose.warp_read(Cycle(0), 0, &lines, &mut np());
+        let mut m_tight = MemSystem::new(&tight);
+        let mut l1_tight = SmxL1::new(&tight);
+        let mut m_loose = MemSystem::new(&loose);
+        let mut l1_loose = SmxL1::new(&loose);
+        let t_tight = m_tight.warp_read(Cycle(0), &mut l1_tight, &lines, &mut np());
+        let t_loose = m_loose.warp_read(Cycle(0), &mut l1_loose, &lines, &mut np());
         assert!(
             t_tight > t_loose,
             "2 MSHRs ({t_tight:?}) must be slower than 64 ({t_loose:?})"
@@ -455,11 +544,12 @@ mod mshr_tests {
             l1_mshrs: 1,
             ..MemConfig::default()
         };
-        let mut m = MemSystem::new(&cfg, 1);
-        m.warp_read(Cycle(0), 0, &[7], &mut np()); // miss fills L1
+        let mut m = MemSystem::new(&cfg);
+        let mut l1 = SmxL1::new(&cfg);
+        m.warp_read(Cycle(0), &mut l1, &[7], &mut np()); // miss fills L1
         let before = m.stats().mshr_stalls;
         for i in 0..10 {
-            m.warp_read(Cycle(100_000 + i), 0, &[7], &mut np()); // all hits
+            m.warp_read(Cycle(100_000 + i), &mut l1, &[7], &mut np()); // all hits
         }
         assert_eq!(m.stats().mshr_stalls, before);
     }

@@ -1,0 +1,244 @@
+//! Per-SMX simulation shards for the deterministic parallel backend.
+//!
+//! A [`SmxShard`] bundles one [`Smx`] with everything its tick mutates
+//! privately: the L1 cache (tag state only — L2/DRAM stay global), the
+//! coalescing scratch buffers, and the tick's outbound effect list. The
+//! shard is `Send`, so [`SimBackend::Par`](crate::SimBackend::Par) can
+//! move same-cycle ticks onto a worker pool and run them concurrently.
+//!
+//! The protocol is a two-phase conservative window (DESIGN.md §12):
+//!
+//! 1. **Local phase** (worker thread, [`SmxShard::local_tick`]): drain
+//!    the SMX's local wakeup wheel at the anchor cycle, run the issue
+//!    loop, and record every effect that would touch state outside the
+//!    shard as a [`TickOp`]. Address generation, coalescing, and the L1
+//!    tag probe happen here — they read only the shard — but *no* stats,
+//!    MSHR admission, L2/DRAM traffic, warp completion, or global event
+//!    pushes.
+//! 2. **Merge phase** (main thread, `Simulation::merge_tick`): replay
+//!    the recorded ops in the exact order the sequential backend would
+//!    have produced them, against the shared `MemSystem`, GMU,
+//!    controller, and global event queue.
+//!
+//! Because the ops are replayed in global pop order and each op carries
+//! everything the merge needs, the merged run is byte-identical to the
+//! sequential one regardless of worker interleaving.
+
+use dynapar_engine::Cycle;
+
+use crate::config::GpuConfig;
+use crate::ids::SmxId;
+use crate::kernel::SpecTable;
+use crate::mem::{coalesce_lines_parts, SmxL1};
+use crate::smx::Smx;
+
+/// One deferred round: everything `merge_round` needs to replay the
+/// global half of `run_round` (L2/DRAM service, stats, warp bookkeeping)
+/// without re-deriving addresses. The coalesced miss lines live in the
+/// shard's `miss_lines` arena; `miss_off`/`miss_len` index into it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RoundOut {
+    /// Warp slot that issued the round.
+    pub slot: u32,
+    /// Active-lane count this round (items accounting).
+    pub active: u32,
+    /// Whether the warp executes child work (items_child vs items_inline).
+    pub is_child: bool,
+    /// The class's per-item compute cost.
+    pub compute: u64,
+    /// Line index of the round's store, if the class writes.
+    pub write_line: Option<u64>,
+    /// Total coalesced lines the L1 was probed with.
+    pub lines: u32,
+    /// How many of them hit in the L1.
+    pub hits: u64,
+    /// Start of this round's miss lines in the shard's `miss_lines`.
+    pub miss_off: u32,
+    /// Number of miss lines.
+    pub miss_len: u32,
+}
+
+/// One deferred effect of a shard-local tick, replayed by the merge
+/// phase in the order the sequential backend would have produced it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TickOp {
+    /// A drained wakeup found the warp past its last round: finish it
+    /// (and possibly its CTA / kernel cascade) on the main thread.
+    Finish { slot: u32 },
+    /// A not-yet-started warp was selected: run the full `start_warp`
+    /// (controller decisions, child-kernel creation) on the main thread.
+    Start { slot: u32 },
+    /// A started warp issued a round; the local half already ran.
+    Round(RoundOut),
+}
+
+/// One SMX plus the per-SMX mutable state the parallel backend ships to
+/// worker threads. Derefs to [`Smx`], so all sequential-path accessors
+/// (`warp`, `select_ready`, `local`, `anchors`, …) keep working
+/// unchanged on `Vec<SmxShard>`.
+pub(crate) struct SmxShard {
+    pub smx: Smx,
+    /// This SMX's private L1 tag + MSHR state (split out of the global
+    /// `MemSystem` so shard ticks can probe tags without touching it).
+    pub l1: SmxL1,
+    /// Coalescing buffer: sequential addresses, then the merged lines.
+    pub addr_buf: Vec<u64>,
+    /// Merge target for the two-block coalescer; swaps with `addr_buf`.
+    pub scratch_buf: Vec<u64>,
+    /// Outbound effects of the current tick, in sequential-replay order.
+    pub ops: Vec<TickOp>,
+    /// Arena of coalesced L1 miss lines referenced by `RoundOut`s.
+    pub miss_lines: Vec<u64>,
+    /// Local wakeups drained by this SMX (summed into the report).
+    pub events_local: u64,
+    /// Did the tick drain nothing and issue nothing? (dead-anchor count)
+    pub tick_idle: bool,
+    /// Were warps still ready after the issue loop? (re-anchor at now+1)
+    pub tick_need_anchor: bool,
+}
+
+impl SmxShard {
+    pub fn new(id: SmxId, cfg: &GpuConfig) -> Self {
+        SmxShard {
+            smx: Smx::new(id, cfg),
+            l1: SmxL1::new(&cfg.mem),
+            addr_buf: Vec::with_capacity(128),
+            scratch_buf: Vec::with_capacity(128),
+            ops: Vec::new(),
+            miss_lines: Vec::new(),
+            events_local: 0,
+            tick_idle: false,
+            tick_need_anchor: false,
+        }
+    }
+
+    /// The local phase of one `SmxWork` anchor at cycle `now`: the exact
+    /// drain + issue structure of `Simulation::on_smx_work`, with every
+    /// effect that leaves the shard recorded as a [`TickOp`] instead of
+    /// applied. Runs on a worker thread; must only touch `self`, the
+    /// (frozen) config, and the (frozen) spec table.
+    pub fn local_tick(&mut self, now: Cycle, cfg: &GpuConfig, specs: &SpecTable) {
+        debug_assert!(self.ops.is_empty() && self.miss_lines.is_empty());
+        let pos = self
+            .smx
+            .anchors
+            .iter()
+            .position(|&a| a == now)
+            .expect("anchor fired without registration");
+        self.smx.anchors.swap_remove(pos);
+        let mut idle = true;
+        while self.smx.local.peek_time() == Some(now) {
+            let (_, slot) = self.smx.local.pop().expect("peeked wakeup");
+            self.events_local += 1;
+            idle = false;
+            let w = self.smx.warp(slot);
+            if w.started && w.rounds_done >= w.rounds_total {
+                // Deferred `finish_warp`: the warp stays resident until
+                // the merge. It is not ready, so the issue loop below
+                // ignores it exactly like the sequential path (where GTO
+                // falls through a non-ready `last_issued` the same way).
+                self.ops.push(TickOp::Finish { slot });
+            } else {
+                self.smx.mark_ready(slot);
+            }
+        }
+        if self.smx.has_ready() {
+            idle = false;
+            for _ in 0..cfg.issue_width {
+                let Some(slot) = self.smx.select_ready() else {
+                    break;
+                };
+                if self.smx.warp(slot).started {
+                    let round = self.local_round(slot, cfg, specs);
+                    self.ops.push(TickOp::Round(round));
+                } else {
+                    self.ops.push(TickOp::Start { slot });
+                }
+            }
+        }
+        self.tick_need_anchor = self.smx.has_ready();
+        self.tick_idle = idle;
+    }
+
+    /// The shard-local half of `Simulation::run_round`: address
+    /// generation, coalescing, and the L1 tag probe. Byte-for-byte the
+    /// same address math as the sequential path; the warp's
+    /// `rounds_done` is deliberately *not* incremented here (the merge
+    /// phase's shared tail does it), which is safe because a warp issues
+    /// at most once per tick.
+    fn local_round(&mut self, slot: u32, cfg: &GpuConfig, specs: &SpecTable) -> RoundOut {
+        let mut addrs = std::mem::take(&mut self.addr_buf);
+        let mut scratch = std::mem::take(&mut self.scratch_buf);
+        addrs.clear();
+        scratch.clear();
+        let (compute, active, write_line, is_child, seq_len) = {
+            let (w, lanes) = self.smx.warp_and_lanes(slot);
+            let r = w.rounds_done;
+            let class = specs.class(w.class);
+            let mut active = 0u32;
+            let mut first_seed = None;
+            for lane in lanes {
+                if lane.items > r {
+                    active += 1;
+                    if first_seed.is_none() {
+                        first_seed = Some(lane.rand_seed);
+                    }
+                    if class.seq_bytes_per_item > 0 {
+                        addrs.push(lane.seq_base + r as u64 * class.seq_bytes_per_item as u64);
+                    }
+                    for k in 0..class.rand_refs_per_item {
+                        scratch.push(class.rand_addr(lane.rand_seed, r, k));
+                    }
+                }
+            }
+            let seq_len = addrs.len();
+            addrs.extend_from_slice(&scratch);
+            let write_line = if class.writes_per_item > 0 && class.rand_region_bytes > 0 {
+                first_seed.map(|s| {
+                    class.rand_addr(s ^ 0x5757_5757, r, 0)
+                        >> cfg.mem.line_bytes.trailing_zeros()
+                })
+            } else {
+                None
+            };
+            (class.compute_per_item as u64, active, write_line, w.is_child_work, seq_len)
+        };
+        coalesce_lines_parts(&mut addrs, seq_len, &mut scratch, cfg.mem.line_bytes);
+        let miss_off = self.miss_lines.len();
+        let hits = if addrs.is_empty() {
+            0
+        } else {
+            self.l1.probe(&addrs, &mut self.miss_lines)
+        };
+        let out = RoundOut {
+            slot,
+            active,
+            is_child,
+            compute,
+            write_line,
+            lines: addrs.len() as u32,
+            hits,
+            miss_off: miss_off as u32,
+            miss_len: (self.miss_lines.len() - miss_off) as u32,
+        };
+        addrs.clear();
+        self.addr_buf = addrs;
+        self.scratch_buf = scratch;
+        out
+    }
+}
+
+impl std::ops::Deref for SmxShard {
+    type Target = Smx;
+    #[inline]
+    fn deref(&self) -> &Smx {
+        &self.smx
+    }
+}
+
+impl std::ops::DerefMut for SmxShard {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Smx {
+        &mut self.smx
+    }
+}

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
+use dynapar_engine::par::Pool;
 use dynapar_engine::profile::Profiler;
 use dynapar_engine::stats::TimeWeighted;
 use dynapar_engine::{Cycle, QueueBackend, SchedQueue};
@@ -26,7 +27,8 @@ use crate::ids::{KernelId, SmxId, StreamId};
 use crate::kernel::{AggCta, CtaDirectory, DpParams, KernelKind, KernelRt, SpecTable};
 use crate::mem::{coalesce_lines_parts, MemSystem};
 use crate::profile as ph;
-use crate::smx::{CtaRt, Smx, WarpRt};
+use crate::shard::{SmxShard, TickOp};
+use crate::smx::{CtaRt, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 use crate::telemetry::SimSeries;
 use crate::trace::{Trace, TraceEvent};
@@ -54,6 +56,27 @@ enum Ev {
     HwqRelease(KernelId),
     /// Periodic timeline sample.
     Sample,
+}
+
+/// Which event-loop drives a run.
+///
+/// Both backends execute the *same* simulation: every report and
+/// artifact byte is identical across `Seq` and `Par(n)` for any `n`
+/// (pinned by the determinism suite). `Par` exploits the per-SMX wakeup
+/// wheels of PR 3: when several SMXs have anchors at the same cycle,
+/// their shard-local ticks (drain + issue + address generation + L1 tag
+/// probe) run concurrently on a persistent [`Pool`], and the outbound
+/// effects are merged into the global queue in pop order — conservative-
+/// window PDES with the window pinned to "one cycle, SMX-local work
+/// only" (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Single-threaded event loop (the default).
+    #[default]
+    Seq,
+    /// Deterministic parallel ticks on a pool of `n` workers; `0`/`1`
+    /// run the same batching machinery inline on the calling thread.
+    Par(usize),
 }
 
 /// Upper bound on each recycled-buffer free-list (`warp_mem_pool`,
@@ -96,6 +119,7 @@ pub struct SimulationBuilder {
     stream_policy: Option<StreamPolicy>,
     queue: QueueBackend,
     profile: bool,
+    backend: SimBackend,
 }
 
 impl SimulationBuilder {
@@ -110,6 +134,7 @@ impl SimulationBuilder {
             stream_policy: None,
             queue: QueueBackend::default(),
             profile: false,
+            backend: SimBackend::default(),
         }
     }
 
@@ -159,6 +184,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the execution backend (default: [`SimBackend::Seq`]).
+    /// Like the queue backend, this is a property of the run, not of the
+    /// simulated machine: results are byte-identical across backends and
+    /// the choice never leaks into the artifact's config echo.
+    pub fn backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Enables the host-side self-profiler: wall time and counts are
     /// attributed to simulator phases and come back in
     /// [`RunOutcome::profile`]. Profiling never influences simulated
@@ -190,6 +224,7 @@ impl SimulationBuilder {
             sim.timeseries = Some(Box::new(SimSeries::new(&sim.cfg)));
         }
         sim.prof.set_enabled(self.profile);
+        sim.backend = self.backend;
         sim
     }
 }
@@ -229,8 +264,9 @@ pub struct Simulation {
     cfg: GpuConfig,
     events: SchedQueue<Ev>,
     gmu: Gmu,
-    smxs: Vec<Smx>,
+    smxs: Vec<SmxShard>,
     mem: MemSystem,
+    backend: SimBackend,
     kernels: Vec<KernelRt>,
     controller: Box<dyn LaunchController>,
     now: Cycle,
@@ -268,16 +304,12 @@ pub struct Simulation {
     child_ctas_executed: u64,
     child_kernels: u64,
     events_global: u64,
-    events_local: u64,
     dead_wakeups: u64,
     peak_queue_depth: u64,
     peak_local_backlog: u64,
     /// Wall-clock duration of `run_to_completion` (host time, reporting
     /// only — never feeds back into simulated behavior).
     wall_ms: f64,
-    addr_buf: Vec<u64>,
-    /// Merge target for the two-block coalescer; swaps with `addr_buf`.
-    scratch_buf: Vec<u64>,
     /// Recycled `outstanding_mem` buffers from finished warps, so the
     /// steady-state warp churn performs no per-warp allocations. Bounded
     /// by [`POOL_CAP`] like every free-list here.
@@ -308,9 +340,9 @@ impl Simulation {
     fn new(cfg: GpuConfig, controller: Box<dyn LaunchController>, queue: QueueBackend) -> Self {
         cfg.validate().expect("invalid GPU configuration");
         let smxs = (0..cfg.smx_count)
-            .map(|i| Smx::new(SmxId(i as u8), &cfg))
+            .map(|i| SmxShard::new(SmxId(i as u8), &cfg))
             .collect();
-        let mem = MemSystem::new(&cfg.mem, cfg.smx_count);
+        let mem = MemSystem::new(&cfg.mem);
         let gmu = Gmu::new(cfg.num_hwqs);
         Simulation {
             cfg,
@@ -318,6 +350,7 @@ impl Simulation {
             gmu,
             smxs,
             mem,
+            backend: SimBackend::Seq,
             kernels: Vec::new(),
             controller,
             now: Cycle::ZERO,
@@ -348,13 +381,10 @@ impl Simulation {
             child_ctas_executed: 0,
             child_kernels: 0,
             events_global: 0,
-            events_local: 0,
             dead_wakeups: 0,
             peak_queue_depth: 0,
             peak_local_backlog: 0,
             wall_ms: 0.0,
-            addr_buf: Vec::with_capacity(128),
-            scratch_buf: Vec::with_capacity(128),
             warp_mem_pool: Vec::new(),
             lane_pool: Vec::new(),
             prof: Profiler::new(ph::NAMES),
@@ -475,6 +505,21 @@ impl Simulation {
         // holding exactly the queue-pop and loop overhead and the
         // phases sum to the loop's wall time (coverage ≈ 1).
         self.prof.enter(ph::SCHED);
+        match self.backend {
+            SimBackend::Seq => self.run_loop_seq(),
+            SimBackend::Par(jobs) => self.run_loop_par(jobs),
+        }
+        self.prof.exit();
+        assert!(
+            self.live_kernels == 0,
+            "simulation stalled with {} live kernels and no events",
+            self.live_kernels
+        );
+        self.occupancy.finish(self.now);
+        self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    fn run_loop_seq(&mut self) {
         loop {
             self.peak_queue_depth = self.peak_queue_depth.max(self.events.len() as u64);
             let Some((t, ev)) = self.events.pop() else { break };
@@ -491,14 +536,195 @@ impl Simulation {
                 break;
             }
         }
-        self.prof.exit();
-        assert!(
-            self.live_kernels == 0,
-            "simulation stalled with {} live kernels and no events",
-            self.live_kernels
+    }
+
+    /// The parallel event loop. Identical to [`run_loop_seq`] except at
+    /// *batches*: when the queue head holds several `SmxWork` anchors for
+    /// the same cycle, their shard-local ticks run concurrently on the
+    /// worker pool, and their outbound effects are merged in pop order —
+    /// so every observable byte matches the sequential backend exactly
+    /// (see DESIGN.md §12 for the argument).
+    ///
+    /// Anchors for distinct SMXs are the only event kind whose handlers
+    /// touch disjoint state up to the merge; everything else (GMU,
+    /// dispatch, CTA starts, samples) stays on this thread.
+    fn run_loop_par(&mut self, jobs: usize) {
+        // Workers read frozen snapshots of the config and spec table
+        // (interning only happens at host-launch registration, before
+        // `run`), so the closure borrows nothing from `self`.
+        let cfg2 = self.cfg.clone();
+        let specs2 = self.specs.clone();
+        let n = self.smxs.len();
+        // Placeholder shards swapped into `self.smxs` while the real
+        // shard is out on a worker; recycled for the whole run.
+        let mut spares: Vec<SmxShard> = (0..n).map(|_| SmxShard::new(SmxId(0), &self.cfg)).collect();
+        let mut batch: Vec<SmxId> = Vec::with_capacity(n);
+        Pool::scope(
+            jobs,
+            n,
+            move |(mut shard, now): (SmxShard, Cycle)| {
+                shard.local_tick(now, &cfg2, &specs2);
+                shard
+            },
+            |pool| loop {
+                let mut level = self.events.len() as u64;
+                self.peak_queue_depth = self.peak_queue_depth.max(level);
+                let Some((t, ev)) = self.events.pop() else { break };
+                assert!(
+                    t.as_u64() <= self.cfg.max_cycles,
+                    "simulation exceeded max_cycles={} (stall or runaway workload)",
+                    self.cfg.max_cycles
+                );
+                debug_assert!(t >= self.now, "event time went backwards");
+                self.now = t;
+                self.events_global += 1;
+                let Ev::SmxWork(s0) = ev else {
+                    self.handle(t, ev);
+                    if self.live_kernels == 0 {
+                        break;
+                    }
+                    continue;
+                };
+                // Batch formation: pop further *same-cycle* events while
+                // they are SmxWork anchors; the first other-kind event is
+                // held and replayed after the batch (pop order preserved
+                // — same-cycle pushes enqueue FIFO behind it either way).
+                batch.clear();
+                batch.push(s0);
+                let mut held: Option<Ev> = None;
+                while self.events.peek_time() == Some(t) {
+                    let (_, e2) = self.events.pop().expect("peeked event");
+                    self.events_global += 1;
+                    match e2 {
+                        Ev::SmxWork(s) => batch.push(s),
+                        other => {
+                            held = Some(other);
+                            break;
+                        }
+                    }
+                }
+                if batch.len() == 1 && held.is_none() {
+                    // Singleton batch: the sequential fast path.
+                    self.handle(t, Ev::SmxWork(s0));
+                    if self.live_kernels == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                self.prof.enter(ph::WAKEUP);
+                if batch.len() > 1 {
+                    // Local phase: ship each anchored shard to the pool
+                    // (swap-out against a spare; zero allocation), then
+                    // collect them all back. Anchors are unique per SMX
+                    // per cycle, so batch entries are distinct shards.
+                    for &s in &batch {
+                        let spare = spares.pop().expect("spare shard available");
+                        let shard = std::mem::replace(&mut self.smxs[s.index()], spare);
+                        pool.send((shard, t));
+                    }
+                    for _ in 0..batch.len() {
+                        let shard = pool.recv();
+                        let si = shard.id.index();
+                        spares.push(std::mem::replace(&mut self.smxs[si], shard));
+                    }
+                } else {
+                    // A lone anchor followed by a held event: tick the
+                    // shard inline, but still through the local/merge
+                    // split so the replay below stays uniform.
+                    let si = s0.index();
+                    let (shard, cfg, specs) = (&mut self.smxs[si], &self.cfg, &self.specs);
+                    shard.local_tick(t, cfg, specs);
+                }
+                // Merge phase, in pop order. `peak_queue_depth` samples
+                // are reconstructed retroactively: the sequential loop
+                // samples the queue before each pop, after the previous
+                // handler's pushes.
+                let mut prev_delta = 0u64;
+                for (j, &s) in batch.iter().enumerate() {
+                    if j > 0 {
+                        level = level - 1 + prev_delta;
+                        self.peak_queue_depth = self.peak_queue_depth.max(level);
+                    }
+                    let before = self.events.len() as u64;
+                    self.merge_tick(t, s.index());
+                    prev_delta = self.events.len() as u64 - before;
+                }
+                self.prof.exit();
+                if let Some(hev) = held {
+                    if self.live_kernels == 0 {
+                        // The sequential loop would have stopped before
+                        // popping this event; un-pop it.
+                        self.events_global -= 1;
+                        break;
+                    }
+                    level = level - 1 + prev_delta;
+                    self.peak_queue_depth = self.peak_queue_depth.max(level);
+                    self.handle(t, hev);
+                }
+                if self.live_kernels == 0 {
+                    break;
+                }
+            },
         );
-        self.occupancy.finish(self.now);
-        self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// Merge phase of one shard tick (see [`SmxShard::local_tick`]):
+    /// replay the recorded ops against the shared state in the order the
+    /// sequential handler would have produced them, then re-anchor.
+    fn merge_tick(&mut self, now: Cycle, si: usize) {
+        let ops = std::mem::take(&mut self.smxs[si].ops);
+        let misses = std::mem::take(&mut self.smxs[si].miss_lines);
+        for &op in &ops {
+            match op {
+                TickOp::Finish { slot } => self.finish_warp(now, si, slot),
+                TickOp::Start { slot } => self.start_warp(now, si, slot),
+                TickOp::Round(r) => {
+                    self.prof.enter(ph::ROUND);
+                    self.prof.enter(ph::CACHE);
+                    let mem_done = if r.lines == 0 {
+                        now
+                    } else {
+                        let miss =
+                            &misses[r.miss_off as usize..(r.miss_off + r.miss_len) as usize];
+                        self.mem.service_read(
+                            now,
+                            &mut self.smxs[si].l1,
+                            r.lines as u64,
+                            r.hits,
+                            miss,
+                            &mut self.prof,
+                        )
+                    };
+                    if let Some(line) = r.write_line {
+                        self.mem.warp_write(now, line, &mut self.prof);
+                    }
+                    self.prof.exit(); // cache
+                    self.finish_round(now, si, r.slot, r.compute, r.active, r.is_child, mem_done);
+                    self.prof.exit(); // round
+                }
+            }
+        }
+        {
+            let shard = &mut self.smxs[si];
+            let mut ops = ops;
+            ops.clear();
+            shard.ops = ops;
+            let mut misses = misses;
+            misses.clear();
+            shard.miss_lines = misses;
+        }
+        // Re-anchor exactly like the tail of `on_smx_work`: ready warps
+        // pull the SMX back at `now + 1`; otherwise relay the next local
+        // wakeup (including any the merge just scheduled).
+        if self.smxs[si].tick_need_anchor {
+            self.ensure_anchor(si, now + 1);
+        }
+        if let Some(next) = self.smxs[si].local.peek_time() {
+            debug_assert!(next > now, "undrained wakeup at the anchor cycle");
+            self.ensure_anchor(si, next);
+        } else if self.smxs[si].tick_idle {
+            self.dead_wakeups += 1;
+        }
     }
 
     fn handle(&mut self, now: Cycle, ev: Ev) {
@@ -664,12 +890,12 @@ impl Simulation {
         // it, so the whole CTA start performs no steady-state allocation.
         let mut lanes = self.lane_pool.pop().unwrap_or_default();
         debug_assert!(lanes.is_empty());
-        let (is_child, depth) = {
+        let (is_child, depth, class) = {
             let k = &self.kernels[kernel_id.index()];
             let ct = k.cta_threads(cta_index);
             let stride = self.specs.class(k.class).seq_bytes_per_item;
             lanes.extend((0..ct.count).map(|t| ct.source.thread(ct.base_tid + t, stride)));
-            (k.is_child_work(), k.depth)
+            (k.is_child_work(), k.depth, k.class)
         };
         let ws = self.cfg.warp_size;
         let total = lanes.len() as u32;
@@ -690,6 +916,7 @@ impl Simulation {
             let slot = self.smxs[si].add_warp(WarpRt {
                 cta_slot,
                 kernel: kernel_id,
+                class,
                 is_child_work: is_child,
                 depth,
                 lane_start,
@@ -766,7 +993,7 @@ impl Simulation {
         let mut idle = true;
         while self.smxs[si].local.peek_time() == Some(now) {
             let (_, slot) = self.smxs[si].local.pop().expect("peeked wakeup");
-            self.events_local += 1;
+            self.smxs[si].events_local += 1;
             idle = false;
             let w = self.smxs[si].warp(slot);
             if w.started && w.rounds_done >= w.rounds_total {
@@ -1078,8 +1305,8 @@ impl Simulation {
     /// Executes one round of a started warp.
     fn run_round(&mut self, now: Cycle, si: usize, slot: u32) {
         self.prof.enter(ph::ROUND);
-        let mut addrs = std::mem::take(&mut self.addr_buf);
-        let mut scratch = std::mem::take(&mut self.scratch_buf);
+        let mut addrs = std::mem::take(&mut self.smxs[si].addr_buf);
+        let mut scratch = std::mem::take(&mut self.smxs[si].scratch_buf);
         addrs.clear();
         scratch.clear();
         self.prof.enter(ph::COALESCE);
@@ -1087,8 +1314,9 @@ impl Simulation {
             let (w, lanes) = self.smxs[si].warp_and_lanes(slot);
             let r = w.rounds_done;
             // Disjoint immutable borrows: warp state from the SMX, the
-            // interned work class from the spec table.
-            let class = self.specs.class(self.kernels[w.kernel.index()].class);
+            // interned work class from the spec table (mirrored onto the
+            // warp at install time).
+            let class = self.specs.class(w.class);
             let mut active = 0u32;
             let mut first_seed = None;
             // Block-ordered generation in one pass over the lanes:
@@ -1125,19 +1353,39 @@ impl Simulation {
         };
         coalesce_lines_parts(&mut addrs, seq_len, &mut scratch, self.cfg.mem.line_bytes);
         self.prof.exit(); // coalesce
-        self.scratch_buf = scratch;
+        self.smxs[si].scratch_buf = scratch;
         self.prof.enter(ph::CACHE);
         let mem_done = if addrs.is_empty() {
             now
         } else {
-            self.mem.warp_read(now, si, &addrs, &mut self.prof)
+            self.mem
+                .warp_read(now, &mut self.smxs[si].l1, &addrs, &mut self.prof)
         };
         if let Some(line) = write_line {
-            self.mem.warp_write(now, si, line, &mut self.prof);
+            self.mem.warp_write(now, line, &mut self.prof);
         }
         self.prof.exit(); // cache
         addrs.clear();
-        self.addr_buf = addrs;
+        self.smxs[si].addr_buf = addrs;
+        self.finish_round(now, si, slot, compute, active, is_child, mem_done);
+        self.prof.exit(); // round
+    }
+
+    /// The backend-shared tail of a round: items accounting, the MLP
+    /// window, and the wakeup at the round's completion time. Runs on
+    /// the main thread in both backends (in the parallel one, as part of
+    /// the merge replay).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_round(
+        &mut self,
+        now: Cycle,
+        si: usize,
+        slot: u32,
+        compute: u64,
+        active: u32,
+        is_child: bool,
+        mem_done: Cycle,
+    ) {
         if is_child {
             self.items_child += active as u64;
         } else {
@@ -1165,7 +1413,6 @@ impl Simulation {
             }
         }
         self.schedule_wakeup(si, done, slot);
-        self.prof.exit(); // round
     }
 
     /// Returns a finished warp's MLP buffer to the free-list, unless the
@@ -1354,6 +1601,7 @@ impl Simulation {
     }
 
     fn build_report(&mut self) -> SimReport {
+        let events_local: u64 = self.smxs.iter().map(|s| s.events_local).sum();
         let kernels = self
             .kernels
             .iter()
@@ -1406,9 +1654,9 @@ impl Simulation {
             timeline: std::mem::take(&mut self.timeline),
             child_cta_exec_cycles: std::mem::take(&mut self.child_cta_exec),
             child_launch_cycles: std::mem::take(&mut self.child_launch_times),
-            events_processed: self.events_global + self.events_local,
+            events_processed: self.events_global + events_local,
             events_global: self.events_global,
-            events_local: self.events_local,
+            events_local,
             dead_wakeups: self.dead_wakeups,
             peak_queue_depth: self.peak_queue_depth,
             peak_local_backlog: self.peak_local_backlog,
@@ -1423,8 +1671,8 @@ impl Simulation {
     fn build_artifact(&self, report: &SimReport) -> RunArtifact {
         let mut reg = MetricsRegistry::new(self.metrics_level);
         reg.counter("sim.events_processed", report.events_processed);
-        reg.counter("sim.events_global", self.events_global);
-        reg.counter("sim.events_local", self.events_local);
+        reg.counter("sim.events_global", report.events_global);
+        reg.counter("sim.events_local", report.events_local);
         reg.counter("sim.dead_wakeups", self.dead_wakeups);
         reg.counter("sim.peak_queue_depth", self.peak_queue_depth);
         reg.counter("sim.peak_local_backlog", self.peak_local_backlog);
@@ -1662,6 +1910,68 @@ mod tests {
         assert_eq!(a.items_inline, b.items_inline);
         assert_eq!(a.mem, b.mem);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    fn run_backend(
+        controller: Box<dyn LaunchController>,
+        dp: Option<Arc<DpSpec>>,
+        backend: SimBackend,
+    ) -> SimReport {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(controller)
+            .backend(backend)
+            .build();
+        sim.launch_host(imbalanced_kernel(dp));
+        sim.run().report
+    }
+
+    /// The parallel backend must be bit-identical to the sequential one
+    /// on every observable report field, for any worker count. The full
+    /// artifact-byte matrix lives in the bench crate; this is the
+    /// in-crate canary.
+    #[test]
+    fn parallel_backend_matches_sequential_report() {
+        type Mk = fn() -> Box<dyn LaunchController>;
+        let controllers: [Mk; 3] = [
+            || Box::new(crate::InlineAll),
+            || Box::new(LaunchOverThreshold),
+            || Box::new(AggregateOverThreshold),
+        ];
+        for mk in controllers {
+            let seq = run_backend(mk(), Some(dp_spec(64)), SimBackend::Seq);
+            for jobs in [1usize, 2, 4, 7] {
+                let par = run_backend(mk(), Some(dp_spec(64)), SimBackend::Par(jobs));
+                let name = format!("{} jobs={jobs}", seq.controller);
+                assert_eq!(seq.total_cycles, par.total_cycles, "{name}");
+                assert_eq!(seq.child_kernels_launched, par.child_kernels_launched, "{name}");
+                assert_eq!(seq.launch_requests, par.launch_requests, "{name}");
+                assert_eq!(seq.inlined_requests, par.inlined_requests, "{name}");
+                assert_eq!(seq.aggregated_launches, par.aggregated_launches, "{name}");
+                assert_eq!(seq.aggregated_ctas, par.aggregated_ctas, "{name}");
+                assert_eq!(seq.child_ctas_executed, par.child_ctas_executed, "{name}");
+                assert_eq!(seq.items_inline, par.items_inline, "{name}");
+                assert_eq!(seq.items_child, par.items_child, "{name}");
+                assert_eq!(seq.mem, par.mem, "{name}");
+                assert_eq!(seq.events_processed, par.events_processed, "{name}");
+                assert_eq!(seq.events_global, par.events_global, "{name}");
+                assert_eq!(seq.events_local, par.events_local, "{name}");
+                assert_eq!(seq.dead_wakeups, par.dead_wakeups, "{name}");
+                assert_eq!(seq.peak_queue_depth, par.peak_queue_depth, "{name}");
+                assert_eq!(seq.peak_local_backlog, par.peak_local_backlog, "{name}");
+                assert_eq!(
+                    seq.occupancy.to_bits(),
+                    par.occupancy.to_bits(),
+                    "{name}"
+                );
+                assert_eq!(
+                    seq.avg_child_queue_latency.to_bits(),
+                    par.avg_child_queue_latency.to_bits(),
+                    "{name}"
+                );
+                assert_eq!(seq.child_cta_exec_cycles, par.child_cta_exec_cycles, "{name}");
+                assert_eq!(seq.child_launch_cycles, par.child_launch_cycles, "{name}");
+            }
+        }
     }
 
     #[test]

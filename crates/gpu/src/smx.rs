@@ -8,6 +8,7 @@ use dynapar_engine::{Cycle, TimingWheel};
 
 use crate::config::{GpuConfig, SchedulerKind};
 use crate::ids::{KernelId, SmxId, StreamId};
+use crate::kernel::ClassId;
 use crate::work::ThreadWork;
 
 /// A resident warp's execution context.
@@ -17,6 +18,11 @@ pub(crate) struct WarpRt {
     pub cta_slot: u32,
     /// Owning kernel.
     pub kernel: KernelId,
+    /// The kernel's interned work class, mirrored here at install time so
+    /// the round hot path (and the parallel backend's shard-local tick,
+    /// which must not read the growing kernel table) resolves the class
+    /// without touching `kernel`.
+    pub class: ClassId,
     /// Work performed by dynamically-launched code?
     pub is_child_work: bool,
     /// Nesting depth of the owning kernel.
@@ -410,6 +416,7 @@ mod tests {
         WarpRt {
             cta_slot: 0,
             kernel: KernelId(0),
+            class: ClassId(0),
             is_child_work: false,
             depth: 0,
             lane_start: 0,

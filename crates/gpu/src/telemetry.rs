@@ -19,7 +19,7 @@ use dynapar_engine::timeseries::TimeSeries;
 
 use crate::config::GpuConfig;
 use crate::controller::{LaunchDecision, MonitoredMetrics};
-use crate::smx::Smx;
+use crate::shard::SmxShard;
 
 /// Schema tag of the artifact's `timeseries` section.
 pub const TIMESERIES_SCHEMA: &str = "dynapar-timeseries/1";
@@ -88,7 +88,7 @@ impl SimSeries {
         queue_depth: f64,
         hwq_utilization: f64,
         monitored: Option<MonitoredMetrics>,
-        smxs: &[Smx],
+        smxs: &[SmxShard],
     ) {
         self.queue_depth.record(now, queue_depth);
         self.hwq_utilization.record(now, hwq_utilization);

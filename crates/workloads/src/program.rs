@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use dynapar_gpu::{
-    GpuConfig, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome, SimReport,
-    Simulation, ThreadSource, ThreadWork,
+    GpuConfig, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome, SimBackend,
+    SimReport, Simulation, ThreadSource, ThreadWork,
 };
 
 /// Input-size presets.
@@ -186,10 +186,28 @@ impl Benchmark {
         metrics: MetricsLevel,
         queue: QueueBackend,
     ) -> RunOutcome {
+        self.run_full_with(cfg, controller, trace_capacity, metrics, queue, SimBackend::Seq)
+    }
+
+    /// [`Benchmark::run_full_on`] on an explicit execution backend as
+    /// well. Like the queue backend, [`SimBackend::Par`] changes only
+    /// host-side wall time: reports and artifacts stay byte-identical
+    /// across backends and worker counts (the determinism suite pins
+    /// this too).
+    pub fn run_full_with(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        trace_capacity: Option<usize>,
+        metrics: MetricsLevel,
+        queue: QueueBackend,
+        backend: SimBackend,
+    ) -> RunOutcome {
         let mut builder = Simulation::builder(cfg.clone())
             .controller(controller)
             .metrics(metrics)
-            .queue(queue);
+            .queue(queue)
+            .backend(backend);
         if let Some(cap) = trace_capacity {
             builder = builder.trace(cap);
         }
@@ -209,11 +227,13 @@ impl Benchmark {
         cfg: &GpuConfig,
         controller: Box<dyn LaunchController>,
         queue: QueueBackend,
+        backend: SimBackend,
     ) -> RunOutcome {
         let mut sim = Simulation::builder(cfg.clone())
             .controller(controller)
             .metrics(MetricsLevel::Off)
             .queue(queue)
+            .backend(backend)
             .profile(true)
             .build();
         sim.launch_host(self.kernel());

@@ -29,6 +29,15 @@ trap 'rm -rf "$artifact_dir"' EXIT
 grep -q '"ccqs_samples"' "$artifact_dir/run.json"
 grep -q '"estimate"' "$artifact_dir/run.json"
 
+echo "== parallel-backend byte identity (seq vs --sim-jobs 4) =="
+# The conservative-window backend (DESIGN.md §12) must be invisible in
+# every artifact byte: the same run with and without --sim-jobs has to
+# emit identical JSON, checkable with cmp because artifacts exclude
+# wall-clock timing.
+./target/release/dynapar run --bench GC-citation --policy spawn --scale tiny \
+    --metrics full --emit-json "$artifact_dir/run-par.json" --sim-jobs 4
+cmp "$artifact_dir/run.json" "$artifact_dir/run-par.json"
+
 echo "== timeline smoke (emit + validate perfetto JSON) =="
 ./target/release/dynapar run --bench BFS-citation --policy spawn --scale tiny \
     --emit-timeline "$artifact_dir/timeline.json"
@@ -64,6 +73,15 @@ else
     ./target/release/perf --emit-json "$artifact_dir/perf.json" \
         --baseline results/BENCH_4.json
     grep -q '"dynapar-perf/1"' "$artifact_dir/perf.json"
+
+    echo "== perf smoke, parallel backend (gate vs results/BENCH_6.json) =="
+    # Same gate on the intra-run parallel backend; the baseline records
+    # sim_jobs=4 and the gate refuses cross-backend comparison, so this
+    # only ever measures par-vs-par. Regenerate with
+    # `perf --runs 3 --sim-jobs 4 --emit-json results/BENCH_6.json`.
+    ./target/release/perf --sim-jobs 4 --emit-json "$artifact_dir/perf-par.json" \
+        --baseline results/BENCH_6.json
+    grep -q '"sim_jobs": 4' "$artifact_dir/perf-par.json"
 fi
 
 echo "== profile smoke (perf --profile emits a valid dynapar-profile/1) =="

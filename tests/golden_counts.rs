@@ -20,7 +20,7 @@
 
 use dynapar::core::{BaselineDp, SpawnPolicy};
 use dynapar::gpu::{
-    GpuConfig, InlineAll, LaunchController, MetricsLevel, QueueBackend,
+    GpuConfig, InlineAll, LaunchController, MetricsLevel, QueueBackend, SimBackend,
 };
 use dynapar::workloads::{suite, Scale};
 
@@ -50,21 +50,22 @@ fn controller(scheme: &str, cfg: &GpuConfig) -> Box<dyn LaunchController> {
     }
 }
 
-#[test]
-fn event_counts_match_golden() {
+fn check_backend(backend: SimBackend) {
     let cfg = GpuConfig::kepler_k20m();
-    let print = std::env::var_os("DYNAPAR_GOLDEN").is_some_and(|v| v == "print");
+    let print =
+        backend == SimBackend::Seq && std::env::var_os("DYNAPAR_GOLDEN").is_some_and(|v| v == "print");
     let mut drift = Vec::new();
     for &(bench, scheme, expected) in GOLDEN {
         let b = suite::by_name(bench, Scale::Tiny, suite::DEFAULT_SEED)
             .expect("known benchmark");
         let got = b
-            .run_full_on(
+            .run_full_with(
                 &cfg,
                 controller(scheme, &cfg),
                 None,
                 MetricsLevel::Off,
                 QueueBackend::default(),
+                backend,
             )
             .report
             .events_processed;
@@ -76,9 +77,22 @@ fn event_counts_match_golden() {
     }
     assert!(
         drift.is_empty(),
-        "simulated behavior drifted from the golden event counts:\n  {}\n\
+        "simulated behavior drifted from the golden event counts ({backend:?} backend):\n  {}\n\
          If the change is intentional, regenerate with \
          DYNAPAR_GOLDEN=print cargo test --test golden_counts -- --nocapture",
         drift.join("\n  ")
     );
+}
+
+#[test]
+fn event_counts_match_golden() {
+    check_backend(SimBackend::Seq);
+}
+
+#[test]
+fn event_counts_match_golden_on_parallel_backend() {
+    // The intra-run parallel backend must reproduce exactly the same
+    // event stream: the golden table is shared, not duplicated, so any
+    // seq/par divergence fails one column and not the other.
+    check_backend(SimBackend::Par(4));
 }

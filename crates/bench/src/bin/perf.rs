@@ -48,7 +48,8 @@ use dynapar_core::{BaselineDp, SpawnPolicy};
 use dynapar_engine::par::par_map;
 use dynapar_engine::profile::ProfileReport;
 use dynapar_gpu::{
-    InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimBackend, SimReport,
+    canonical_json_hash, InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimBackend,
+    SimReport,
 };
 use dynapar_workloads::{suite, Scale};
 
@@ -380,6 +381,31 @@ fn main() {
     if let SimBackend::Par(n) = backend {
         fields.push(("sim_jobs", Json::U64(n as u64)));
     }
+    // One canonical hash over everything that defines comparability.
+    // Unlike the simulation-memoization key (which drops the backend
+    // because run artifacts are byte-identical across backends), the
+    // perf identity keeps queue and sim_jobs: they change wall-clock,
+    // which is the thing this artifact measures. The metrics level
+    // stays out — gating a `--metrics timeseries` run against an off
+    // baseline is the documented way to measure telemetry overhead.
+    let config_hash = {
+        let preimage = Json::obj([
+            ("schema", Json::str("dynapar.perf_config/v1")),
+            ("gpu", cfg.to_json()),
+            ("scale", Json::str(scale_name(opts.scale))),
+            ("seed", Json::U64(opts.seed)),
+            ("queue", Json::str(queue.name())),
+            (
+                "sim_jobs",
+                match backend {
+                    SimBackend::Seq => Json::U64(0),
+                    SimBackend::Par(n) => Json::U64(n as u64),
+                },
+            ),
+        ]);
+        format!("{:016x}", canonical_json_hash(&preimage))
+    };
+    fields.push(("config_hash", Json::str(config_hash)));
     fields.extend([
         ("runs", Json::Arr(rows)),
         (
@@ -431,15 +457,33 @@ fn gate_against_baseline(path: &str, current: &Json, max_regress: f64) -> Result
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let base = Json::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
-    for key in ["schema", "scale", "seed", "queue", "sim_jobs"] {
-        let (b, c) = (base.get(key), current.get(key));
-        if b != c {
+    // Comparability check: when both artifacts carry a canonical
+    // config hash, one comparison covers the full GPU config plus every
+    // perf-relevant setting. Baselines that predate the field fall back
+    // to the original field-by-field check.
+    let hashes = (
+        base.get("config_hash").and_then(Json::as_str),
+        current.get("config_hash").and_then(Json::as_str),
+    );
+    if let (Some(b_hash), Some(c_hash)) = hashes {
+        if b_hash != c_hash {
             return Err(format!(
-                "baseline {path} was recorded with {key} {}, this run has {} \
-                 — rerun with matching flags or regenerate via --emit-json",
-                b.map_or("<missing>".into(), Json::to_string),
-                c.map_or("<missing>".into(), Json::to_string),
+                "baseline {path} was recorded under config hash {b_hash}, this run \
+                 has {c_hash} — the configs are not comparable; rerun with matching \
+                 flags or regenerate via --emit-json"
             ));
+        }
+    } else {
+        for key in ["schema", "scale", "seed", "queue", "sim_jobs"] {
+            let (b, c) = (base.get(key), current.get(key));
+            if b != c {
+                return Err(format!(
+                    "baseline {path} was recorded with {key} {}, this run has {} \
+                     — rerun with matching flags or regenerate via --emit-json",
+                    b.map_or("<missing>".into(), Json::to_string),
+                    c.map_or("<missing>".into(), Json::to_string),
+                ));
+            }
         }
     }
     let total = |doc: &Json, field: &str| {
@@ -521,4 +565,86 @@ fn validate_profile_artifact(path: &str) -> Result<String, String> {
         "profile ok: {} phases, coverage {coverage:.4}",
         phases.len()
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal perf artifact; `hash: None` models a baseline emitted
+    /// before the `config_hash` field existed.
+    fn artifact(scale: &str, hash: Option<&str>, events: u64, rate: f64) -> Json {
+        let mut fields = vec![
+            ("schema", Json::str(PERF_SCHEMA)),
+            ("scale", Json::str(scale)),
+            ("seed", Json::U64(7)),
+            ("queue", Json::str("wheel")),
+        ];
+        if let Some(h) = hash {
+            fields.push(("config_hash", Json::str(h)));
+        }
+        fields.push((
+            "total",
+            Json::obj([
+                ("events", Json::U64(events)),
+                ("wall_ms", Json::F64(10.0)),
+                ("events_per_sec", Json::F64(rate)),
+            ]),
+        ));
+        Json::obj(fields)
+    }
+
+    fn write_baseline(name: &str, doc: &Json) -> String {
+        let path = std::env::temp_dir().join(format!("dynapar_perf_gate_{name}.json"));
+        std::fs::write(&path, format!("{}\n", doc.pretty())).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gate_refuses_cross_config_comparison_by_hash() {
+        // Every legacy field matches; only the hash differs (e.g. the
+        // GPU config changed, which the field loop never saw).
+        let base = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 1000.0);
+        let cur = artifact("small", Some("bbbbbbbbbbbbbbbb"), 100, 1000.0);
+        let path = write_baseline("hash_mismatch", &base);
+        let err = gate_against_baseline(&path, &cur, 0.3).unwrap_err();
+        assert!(err.contains("config hash"), "unexpected error: {err}");
+        assert!(err.contains("aaaaaaaaaaaaaaaa") && err.contains("bbbbbbbbbbbbbbbb"));
+    }
+
+    #[test]
+    fn gate_passes_on_matching_hash_and_totals() {
+        let base = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 1000.0);
+        let cur = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 950.0);
+        let path = write_baseline("hash_match", &base);
+        let msg = gate_against_baseline(&path, &cur, 0.3).unwrap();
+        assert!(msg.contains("ok"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn gate_falls_back_to_fields_for_old_baselines() {
+        // Baseline predates config_hash: the field loop still gates.
+        let base = artifact("small", None, 100, 1000.0);
+        let ok = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 1000.0);
+        let path = write_baseline("old_fallback_ok", &base);
+        assert!(gate_against_baseline(&path, &ok, 0.3).is_ok());
+
+        let bad = artifact("paper", Some("aaaaaaaaaaaaaaaa"), 100, 1000.0);
+        let err = gate_against_baseline(&path, &bad, 0.3).unwrap_err();
+        assert!(err.contains("scale"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn gate_still_catches_event_drift_and_regression_under_matching_hash() {
+        let base = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 1000.0);
+        let path = write_baseline("drift", &base);
+        let drift = artifact("small", Some("aaaaaaaaaaaaaaaa"), 101, 1000.0);
+        assert!(gate_against_baseline(&path, &drift, 0.3)
+            .unwrap_err()
+            .contains("event count changed"));
+        let slow = artifact("small", Some("aaaaaaaaaaaaaaaa"), 100, 500.0);
+        assert!(gate_against_baseline(&path, &slow, 0.3)
+            .unwrap_err()
+            .contains("regression"));
+    }
 }

@@ -1,84 +1,26 @@
 //! Hand-rolled argument parsing for the `dynapar` CLI (kept
 //! dependency-free on purpose — the workspace's sanctioned crates don't
 //! include an argument parser).
+//!
+//! Policy strings parse through [`PolicySpec`] — the same typed spec
+//! the daemon's request API uses — so `--policy spawn` here and
+//! `"policy":"spawn"` on the wire are one code path.
 
+use dynapar_core::PolicySpec;
 use dynapar_gpu::MetricsLevel;
 use dynapar_workloads::Scale;
 
-/// Which launch policy to run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PolicyArg {
-    /// Flat (non-DP).
-    Flat,
-    /// Baseline-DP (the application's own threshold).
-    Baseline,
-    /// SPAWN.
-    Spawn,
-    /// DTBL aggregation.
-    Dtbl,
-    /// Launch every candidate.
-    Always,
-    /// Fixed threshold `N` (`threshold:N`).
-    Threshold(u32),
-    /// Online hill-climbing threshold tuner.
-    Adaptive,
-    /// Free-Launch-style intra-warp redistribution.
-    FreeLaunch,
-}
-
-impl PolicyArg {
-    /// Parses a policy spec.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the accepted forms on unknown input.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "flat" => Ok(PolicyArg::Flat),
-            "baseline" => Ok(PolicyArg::Baseline),
-            "spawn" => Ok(PolicyArg::Spawn),
-            "dtbl" => Ok(PolicyArg::Dtbl),
-            "always" => Ok(PolicyArg::Always),
-            "adaptive" => Ok(PolicyArg::Adaptive),
-            "freelaunch" | "free-launch" => Ok(PolicyArg::FreeLaunch),
-            other => {
-                if let Some(t) = other.strip_prefix("threshold:") {
-                    t.parse()
-                        .map(PolicyArg::Threshold)
-                        .map_err(|_| format!("bad threshold in {other:?}"))
-                } else {
-                    Err(format!(
-                        "unknown policy {other:?}; expected flat|baseline|spawn|dtbl|always|adaptive|freelaunch|threshold:N"
-                    ))
-                }
-            }
-        }
-    }
-
-    /// Human-readable label.
-    pub fn label(&self) -> String {
-        match self {
-            PolicyArg::Flat => "flat".into(),
-            PolicyArg::Baseline => "baseline".into(),
-            PolicyArg::Spawn => "spawn".into(),
-            PolicyArg::Dtbl => "dtbl".into(),
-            PolicyArg::Always => "always".into(),
-            PolicyArg::Threshold(t) => format!("threshold:{t}"),
-            PolicyArg::Adaptive => "adaptive".into(),
-            PolicyArg::FreeLaunch => "free-launch".into(),
-        }
-    }
-}
-
 /// The CLI's subcommands.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run one benchmark under one policy.
+    /// Run one benchmark (or spec file) under one policy.
     Run {
-        /// Benchmark name.
-        bench: String,
+        /// Benchmark name (`--bench`); exclusive with `spec`.
+        bench: Option<String>,
+        /// Spec-file path (`--spec`); exclusive with `bench`.
+        spec: Option<String>,
         /// Policy to run it under.
-        policy: PolicyArg,
+        policy: PolicySpec,
         /// Trace-capacity request, if tracing.
         trace: Option<usize>,
         /// Write the timeline as CSV to this path.
@@ -97,7 +39,7 @@ pub enum Command {
         /// Graph input: citation | graph500.
         input: String,
         /// Policy to evaluate.
-        policy: PolicyArg,
+        policy: PolicySpec,
     },
     /// Threshold sweep on one benchmark.
     Sweep {
@@ -114,14 +56,14 @@ pub enum Command {
     /// Whole Table I suite under one policy vs flat.
     Suite {
         /// Policy to evaluate.
-        policy: PolicyArg,
+        policy: PolicySpec,
     },
     /// Run a benchmark described by a plain-text spec file.
     Spec {
         /// Path to the spec file.
         file: String,
         /// Policy to run it under.
-        policy: PolicyArg,
+        policy: PolicySpec,
     },
     /// Parse and validate a run-artifact JSON file.
     CheckArtifact {
@@ -132,6 +74,41 @@ pub enum Command {
     CheckTimeline {
         /// Path to the timeline file.
         file: String,
+    },
+    /// Start the simulation daemon.
+    Serve {
+        /// Bind address (port 0 = ephemeral).
+        listen: String,
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Write the bound port (one line) to this path once listening.
+        port_file: Option<String>,
+    },
+    /// Submit a job to a running daemon and wait for its artifact.
+    Submit {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+        /// Benchmark name; exclusive with `spec`.
+        bench: Option<String>,
+        /// Spec-file path (shipped to the daemon inline); exclusive
+        /// with `bench`.
+        spec: Option<String>,
+        /// Policy to run under.
+        policy: PolicySpec,
+        /// Metrics collection level.
+        metrics: MetricsLevel,
+        /// Write the returned artifact (JSON) to this path.
+        emit_json: Option<String>,
+    },
+    /// Print a running daemon's lifetime counters.
+    ServerStats {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+    },
+    /// Ask a running daemon to exit.
+    ServerShutdown {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
     },
     /// Print the simulated-GPU configuration.
     Config,
@@ -164,8 +141,8 @@ pub const USAGE: &str = "\
 dynapar — GPU dynamic-parallelism simulator (SPAWN, HPCA 2017)
 
 USAGE:
-  dynapar run --bench <NAME> --policy <POLICY> [--trace N]
-              [--timeline-csv F] [--kernels-csv F]
+  dynapar run (--bench <NAME> | --spec <PATH>) --policy <POLICY>
+              [--trace N] [--timeline-csv F] [--kernels-csv F]
               [--metrics off|summary|full|timeseries] [--emit-json F]
               [--emit-timeline F] [options]
   dynapar levels --input citation|graph500 --policy <POLICY> [options]
@@ -175,6 +152,11 @@ USAGE:
   dynapar spec --file <PATH> --policy <POLICY> [options]
   dynapar check-artifact --file <PATH>
   dynapar check-timeline --file <PATH>
+  dynapar serve [--listen ADDR] [--workers N] [--port-file F]
+  dynapar submit --addr HOST:PORT (--bench <NAME> | --spec <PATH>)
+                 --policy <POLICY> [--metrics L] [--emit-json F] [options]
+  dynapar server-stats --addr HOST:PORT
+  dynapar server-shutdown --addr HOST:PORT
   dynapar config
   dynapar list
 
@@ -193,6 +175,10 @@ ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
 TIMELINE:  --emit-timeline writes a Perfetto/Chrome trace_event JSON
            (implies --trace 100000 unless --trace is given); open it
            at ui.perfetto.dev. `check-timeline` validates such a file
+SERVER:    `serve` starts the line-JSON v1 daemon (docs/SERVER.md);
+           `submit` runs a job on it and waits — identical configs are
+           answered from the daemon's memo cache without re-simulating,
+           and artifacts are byte-identical to a local `run --emit-json`
 ";
 
 fn take_value<'a>(
@@ -217,7 +203,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut jobs = dynapar_engine::par::default_jobs();
     let mut sim_jobs: Option<usize> = None;
     let mut bench: Option<String> = None;
-    let mut policy: Option<PolicyArg> = None;
+    let mut spec: Option<String> = None;
+    let mut policy: Option<PolicySpec> = None;
     let mut trace: Option<usize> = None;
     let mut points = 8usize;
     let mut timeline_csv: Option<String> = None;
@@ -227,18 +214,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut emit_json: Option<String> = None;
     let mut emit_timeline: Option<String> = None;
     let mut metrics: Option<MetricsLevel> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut workers = 1usize;
+    let mut port_file: Option<String> = None;
+    let mut addr: Option<String> = None;
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = match take_value(args, &mut i, "--scale")? {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "paper" => Scale::Paper,
-                    other => return Err(format!("unknown scale {other:?}")),
-                };
+                let v = take_value(args, &mut i, "--scale")?;
+                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale {v:?}"))?;
             }
             "--seed" => {
                 seed = take_value(args, &mut i, "--seed")?
@@ -263,7 +250,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 sim_jobs = Some(n);
             }
             "--bench" => bench = Some(take_value(args, &mut i, "--bench")?.to_string()),
-            "--policy" => policy = Some(PolicyArg::parse(take_value(args, &mut i, "--policy")?)?),
+            "--spec" => spec = Some(take_value(args, &mut i, "--spec")?.to_string()),
+            "--policy" => {
+                policy = Some(PolicySpec::parse(take_value(args, &mut i, "--policy")?)?)
+            }
             "--trace" => {
                 trace = Some(
                     take_value(args, &mut i, "--trace")?
@@ -299,36 +289,59 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| "--points expects an integer".to_string())?;
             }
+            "--listen" => listen = take_value(args, &mut i, "--listen")?.to_string(),
+            "--workers" => {
+                workers = take_value(args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--port-file" => {
+                port_file = Some(take_value(args, &mut i, "--port-file")?.to_string());
+            }
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
     }
 
     let need_bench = || bench.clone().ok_or_else(|| "--bench is required".to_string());
+    let need_addr = || addr.clone().ok_or_else(|| "--addr is required".to_string());
+    let need_workload = |bench: &Option<String>, spec: &Option<String>| match (bench, spec) {
+        (Some(_), Some(_)) => Err("pass --bench or --spec, not both".to_string()),
+        (None, None) => Err("--bench or --spec is required".to_string()),
+        _ => Ok(()),
+    };
     let command = match sub {
-        "run" => Command::Run {
-            bench: need_bench()?,
-            policy: policy.ok_or("--policy is required")?,
-            timeline_csv,
-            kernels_csv,
-            // --emit-json without an explicit level means "collect
-            // everything": an artifact request should never silently
-            // produce no artifact.
-            metrics: metrics.unwrap_or(if emit_json.is_some() {
-                MetricsLevel::Full
-            } else {
-                MetricsLevel::Off
-            }),
-            emit_json,
-            // --emit-timeline without --trace implies a default trace
-            // capacity: a timeline request should never come out empty.
-            trace: trace.or(if emit_timeline.is_some() {
-                Some(100_000)
-            } else {
-                None
-            }),
-            emit_timeline,
-        },
+        "run" => {
+            need_workload(&bench, &spec)?;
+            Command::Run {
+                bench,
+                spec,
+                policy: policy.ok_or("--policy is required")?,
+                timeline_csv,
+                kernels_csv,
+                // --emit-json without an explicit level means "collect
+                // everything": an artifact request should never silently
+                // produce no artifact.
+                metrics: metrics.unwrap_or(if emit_json.is_some() {
+                    MetricsLevel::Full
+                } else {
+                    MetricsLevel::Off
+                }),
+                emit_json,
+                // --emit-timeline without --trace implies a default trace
+                // capacity: a timeline request should never come out empty.
+                trace: trace.or(if emit_timeline.is_some() {
+                    Some(100_000)
+                } else {
+                    None
+                }),
+                emit_timeline,
+            }
+        }
         "levels" => Command::Levels {
             input: input.ok_or("--input is required (citation|graph500)")?,
             policy: policy.ok_or("--policy is required")?,
@@ -353,6 +366,24 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "check-timeline" => Command::CheckTimeline {
             file: file.ok_or("--file is required")?,
         },
+        "serve" => Command::Serve {
+            listen,
+            workers,
+            port_file,
+        },
+        "submit" => {
+            need_workload(&bench, &spec)?;
+            Command::Submit {
+                addr: need_addr()?,
+                bench,
+                spec,
+                policy: policy.ok_or("--policy is required")?,
+                metrics: metrics.unwrap_or(MetricsLevel::Full),
+                emit_json,
+            }
+        }
+        "server-stats" => Command::ServerStats { addr: need_addr()? },
+        "server-shutdown" => Command::ServerShutdown { addr: need_addr()? },
         "config" => Command::Config,
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
@@ -384,8 +415,9 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Run {
-                bench: "AMR".into(),
-                policy: PolicyArg::Spawn,
+                bench: Some("AMR".into()),
+                spec: None,
+                policy: PolicySpec::Spawn,
                 trace: None,
                 timeline_csv: None,
                 kernels_csv: None,
@@ -400,10 +432,13 @@ mod tests {
 
     #[test]
     fn parses_threshold_policy() {
-        assert_eq!(PolicyArg::parse("threshold:42"), Ok(PolicyArg::Threshold(42)));
-        assert!(PolicyArg::parse("threshold:x").is_err());
-        assert!(PolicyArg::parse("nope").is_err());
-        assert_eq!(PolicyArg::Threshold(7).label(), "threshold:7");
+        assert_eq!(
+            PolicySpec::parse("threshold:42"),
+            Ok(PolicySpec::Threshold(42))
+        );
+        assert!(PolicySpec::parse("threshold:x").is_err());
+        assert!(PolicySpec::parse("nope").is_err());
+        assert_eq!(PolicySpec::Threshold(7).label(), "threshold:7");
     }
 
     #[test]
@@ -443,6 +478,24 @@ mod tests {
             .is_err());
         assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "spawn", "--sim-jobs", "x"]))
             .is_err());
+    }
+
+    #[test]
+    fn run_spec_flag_is_exclusive_with_bench() {
+        let cli = parse(&v(&["run", "--spec", "x.spec", "--policy", "spawn"])).expect("valid");
+        match cli.command {
+            Command::Run { bench, spec, .. } => {
+                assert_eq!(bench, None);
+                assert_eq!(spec.as_deref(), Some("x.spec"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&v(&[
+            "run", "--bench", "AMR", "--spec", "x.spec", "--policy", "spawn",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        assert!(parse(&v(&["run", "--policy", "spawn"])).is_err());
     }
 
     #[test]
@@ -489,7 +542,7 @@ mod tests {
             cli.command,
             Command::Levels {
                 input: "graph500".into(),
-                policy: PolicyArg::Spawn
+                policy: PolicySpec::Spawn
             }
         );
         assert!(parse(&v(&["levels", "--policy", "spawn"])).is_err());
@@ -502,7 +555,7 @@ mod tests {
             cli.command,
             Command::Spec {
                 file: "x.spec".into(),
-                policy: PolicyArg::Baseline
+                policy: PolicySpec::Baseline
             }
         );
         assert!(parse(&v(&["spec", "--policy", "baseline"])).is_err());
@@ -623,5 +676,56 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_subcommand() {
+        let cli = parse(&v(&["serve"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                listen: "127.0.0.1:0".into(),
+                workers: 1,
+                port_file: None
+            }
+        );
+        let cli = parse(&v(&[
+            "serve", "--listen", "127.0.0.1:7070", "--workers", "4", "--port-file", "p.txt",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                listen: "127.0.0.1:7070".into(),
+                workers: 4,
+                port_file: Some("p.txt".into())
+            }
+        );
+        assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn submit_subcommand() {
+        let cli = parse(&v(&[
+            "submit", "--addr", "127.0.0.1:7070", "--bench", "AMR", "--policy", "spawn",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::Submit {
+                addr: "127.0.0.1:7070".into(),
+                bench: Some("AMR".into()),
+                spec: None,
+                policy: PolicySpec::Spawn,
+                metrics: MetricsLevel::Full,
+                emit_json: None,
+            }
+        );
+        assert!(parse(&v(&["submit", "--bench", "AMR", "--policy", "spawn"])).is_err());
+        assert!(parse(&v(&["submit", "--addr", "x", "--policy", "spawn"])).is_err());
+        let cli = parse(&v(&["server-stats", "--addr", "h:1"])).expect("valid");
+        assert_eq!(cli.command, Command::ServerStats { addr: "h:1".into() });
+        let cli = parse(&v(&["server-shutdown", "--addr", "h:1"])).expect("valid");
+        assert_eq!(cli.command, Command::ServerShutdown { addr: "h:1".into() });
     }
 }

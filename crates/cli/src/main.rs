@@ -5,7 +5,14 @@
 //! dynapar compare --bench AMR --scale small
 //! dynapar sweep --bench BFS-graph500 --points 6
 //! dynapar suite --policy spawn --scale small
+//! dynapar serve --listen 127.0.0.1:7070
+//! dynapar submit --addr 127.0.0.1:7070 --bench AMR --policy spawn
 //! ```
+//!
+//! Single-run execution goes through the same typed
+//! [`JobRequest`](dynapar_server::JobRequest) API the daemon serves, so
+//! `dynapar run --emit-json` and a server `submit` with equal configs
+//! write byte-identical artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,30 +21,15 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{Cli, Command, PolicyArg, USAGE};
-use dynapar_core::{
-    offline, AdaptiveThreshold, AlwaysLaunch, BaselineDp, Dtbl, FixedThreshold, FreeLaunch,
-    SpawnPolicy,
-};
+use args::{Cli, Command, USAGE};
+use dynapar_core::PolicySpec;
 use dynapar_engine::par::par_map;
-use dynapar_gpu::{GpuConfig, LaunchController, QueueBackend, SimBackend, SimReport};
+use dynapar_gpu::{GpuConfig, MetricsLevel, SimReport};
+use dynapar_server::{
+    Client, GpuPreset, JobRequest, Server, ServerConfig, SweepRequest, WorkloadRef,
+    PROTOCOL_VERSION,
+};
 use dynapar_workloads::{suite, Benchmark};
-
-fn controller(policy: &PolicyArg, cfg: &GpuConfig, bench: &Benchmark) -> Box<dyn LaunchController> {
-    match policy {
-        PolicyArg::Flat => Box::new(dynapar_gpu::InlineAll),
-        PolicyArg::Baseline => Box::new(BaselineDp::new()),
-        PolicyArg::Spawn => Box::new(SpawnPolicy::from_config(cfg)),
-        PolicyArg::Dtbl => Box::new(Dtbl::new()),
-        PolicyArg::Always => Box::new(AlwaysLaunch::new()),
-        PolicyArg::Threshold(t) => Box::new(FixedThreshold::new(*t)),
-        PolicyArg::Adaptive => Box::new(AdaptiveThreshold::new(
-            bench.default_threshold().max(1),
-            1 << 14,
-        )),
-        PolicyArg::FreeLaunch => Box::new(FreeLaunch::new()),
-    }
-}
 
 fn summarize(label: &str, r: &SimReport, flat_cycles: Option<u64>) {
     let speedup = flat_cycles
@@ -59,6 +51,25 @@ fn summarize(label: &str, r: &SimReport, flat_cycles: Option<u64>) {
 fn get_bench(name: &str, cli: &Cli) -> Result<Benchmark, String> {
     suite::by_name(name, cli.scale, cli.seed)
         .ok_or_else(|| format!("unknown benchmark {name:?}; try `dynapar list`"))
+}
+
+/// Builds the workload reference from the mutually-exclusive
+/// `--bench`/`--spec` pair (exclusivity was enforced at parse time).
+fn workload_ref(
+    bench: &Option<String>,
+    spec: &Option<String>,
+    cli: &Cli,
+) -> Result<WorkloadRef, String> {
+    match (bench, spec) {
+        (Some(name), None) => Ok(WorkloadRef::Suite {
+            bench: name.clone(),
+            scale: cli.scale,
+        }),
+        (None, Some(path)) => Ok(WorkloadRef::Spec {
+            text: std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        }),
+        _ => unreachable!("parse() enforces exactly one of --bench/--spec"),
+    }
 }
 
 fn exec(cli: Cli) -> Result<(), String> {
@@ -86,7 +97,8 @@ fn exec(cli: Cli) -> Result<(), String> {
             );
             let flat = b.run_flat(&cfg);
             summarize("flat", &flat, None);
-            let r = b.run(&cfg, controller(policy, &cfg, &b));
+            let ctrl = policy.controller(&cfg, b.default_threshold(), MetricsLevel::Off);
+            let r = b.run(&cfg, ctrl);
             summarize(&policy.label(), &r, Some(flat.total_cycles));
         }
         Command::Levels { input, policy } => {
@@ -100,11 +112,13 @@ fn exec(cli: Cli) -> Result<(), String> {
             summarize("flat", &flat, None);
             // Build a throwaway benchmark handle for policy construction.
             let b = suite::by_name("BFS-graph500", cli.scale, cli.seed).expect("known");
-            let r = levels::run(gi, cli.scale, cli.seed, &cfg, controller(policy, &cfg, &b));
+            let ctrl = policy.controller(&cfg, b.default_threshold(), MetricsLevel::Off);
+            let r = levels::run(gi, cli.scale, cli.seed, &cfg, ctrl);
             summarize(&policy.label(), &r, Some(flat.total_cycles));
         }
         Command::Run {
             bench,
+            spec,
             policy,
             trace,
             timeline_csv,
@@ -113,36 +127,32 @@ fn exec(cli: Cli) -> Result<(), String> {
             emit_timeline,
             metrics,
         } => {
-            let b = get_bench(bench, &cli)?;
+            let job = JobRequest {
+                workload: workload_ref(bench, spec, &cli)?,
+                policy: policy.clone(),
+                seed: cli.seed,
+                metrics: *metrics,
+                gpu: GpuPreset::KeplerK20m,
+                sim_jobs: cli.sim_jobs,
+            };
+            // Built once here for the header line (and the friendly
+            // unknown-benchmark error before any simulation starts);
+            // the run itself rebuilds deterministically inside `job`.
+            let b = job.workload.build(cli.seed).map_err(|e| {
+                if e.starts_with("unknown benchmark") {
+                    format!("{e}; try `dynapar list`")
+                } else {
+                    e
+                }
+            })?;
             println!(
-                "# {} at {:?} scale: {} threads, {} items",
+                "# {} at {} scale: {} threads, {} items",
                 b.name(),
-                cli.scale,
+                cli.scale.name(),
                 b.threads(),
                 b.total_items()
             );
-            // An artifact-emitting SPAWN run logs its Eq. 1 predictions so
-            // the artifact's ccqs_samples section has estimate-vs-actual
-            // pairs to report.
-            let ctrl = if *metrics != dynapar_gpu::MetricsLevel::Off
-                && *policy == PolicyArg::Spawn
-            {
-                Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
-            } else {
-                controller(policy, &cfg, &b)
-            };
-            let backend = match cli.sim_jobs {
-                Some(n) => SimBackend::Par(n),
-                None => SimBackend::Seq,
-            };
-            let out = b.run_full_with(
-                &cfg,
-                ctrl,
-                *trace,
-                *metrics,
-                QueueBackend::default(),
-                backend,
-            );
+            let out = job.run(*trace)?;
             let r = &out.report;
             summarize(&policy.label(), r, None);
             if let Some(tr) = &out.trace {
@@ -217,15 +227,16 @@ fn exec(cli: Cli) -> Result<(), String> {
             let flat = b.run_flat(&cfg);
             summarize("flat", &flat, None);
             let policies = vec![
-                PolicyArg::Baseline,
-                PolicyArg::Spawn,
-                PolicyArg::Dtbl,
-                PolicyArg::Always,
-                PolicyArg::Adaptive,
-                PolicyArg::FreeLaunch,
+                PolicySpec::Baseline,
+                PolicySpec::Spawn,
+                PolicySpec::Dtbl,
+                PolicySpec::Always,
+                PolicySpec::Adaptive,
+                PolicySpec::FreeLaunch,
             ];
             let runs = par_map(policies, cli.jobs, |p| {
-                let r = b.run(&cfg, controller(&p, &cfg, &b));
+                let ctrl = p.controller(&cfg, b.default_threshold(), MetricsLevel::Off);
+                let r = b.run(&cfg, ctrl);
                 (p, r)
             });
             for (p, r) in &runs {
@@ -242,22 +253,47 @@ fn exec(cli: Cli) -> Result<(), String> {
             grid.push(b.default_threshold());
             grid.sort_unstable();
             grid.dedup();
-            let sweep = offline::sweep_par(&grid, cli.jobs, |policy| b.run(&cfg, policy));
+            // The sweep expands through the same SweepRequest the
+            // daemon's `sweep` request uses, so the per-point configs
+            // (and memo keys) are identical on both paths.
+            let sweep = SweepRequest {
+                base: JobRequest {
+                    workload: WorkloadRef::Suite {
+                        bench: bench.clone(),
+                        scale: cli.scale,
+                    },
+                    policy: PolicySpec::Flat,
+                    seed: cli.seed,
+                    metrics: MetricsLevel::Off,
+                    gpu: GpuPreset::KeplerK20m,
+                    sim_jobs: cli.sim_jobs,
+                },
+                policies: grid.iter().map(|&t| PolicySpec::Threshold(t)).collect(),
+            };
+            let jobs: Vec<(u32, JobRequest)> =
+                grid.iter().copied().zip(sweep.expand()).collect();
+            let runs = par_map(jobs, cli.jobs, |(t, job)| {
+                let out = job.run(None).expect("benchmark validated above");
+                (t, out.report)
+            });
             println!("{:>10} {:>9} {:>8} {:>9}", "THRESHOLD", "offload%", "speedup", "kernels");
-            for p in sweep.points() {
+            for (t, r) in &runs {
                 println!(
                     "{:>10} {:>8.1}% {:>7.2}x {:>9}",
-                    p.threshold,
-                    p.offload_fraction() * 100.0,
-                    p.report.speedup_over(flat.total_cycles),
-                    p.report.child_kernels_launched
+                    t,
+                    r.offload_fraction() * 100.0,
+                    r.speedup_over(flat.total_cycles),
+                    r.child_kernels_launched
                 );
             }
-            let best = sweep.best();
+            let best = runs
+                .iter()
+                .min_by_key(|(_, r)| r.total_cycles)
+                .expect("non-empty grid");
             println!(
                 "best: THRESHOLD={} -> {:.2}x",
-                best.threshold,
-                best.report.speedup_over(flat.total_cycles)
+                best.0,
+                best.1.speedup_over(flat.total_cycles)
             );
         }
         Command::Suite { policy } => {
@@ -265,7 +301,8 @@ fn exec(cli: Cli) -> Result<(), String> {
             let mut speedups = Vec::new();
             let runs = par_map(suite::all(cli.scale, cli.seed), cli.jobs, |b| {
                 let flat = b.run_flat(&cfg);
-                let r = b.run(&cfg, controller(policy, &cfg, &b));
+                let ctrl = policy.controller(&cfg, b.default_threshold(), MetricsLevel::Off);
+                let r = b.run(&cfg, ctrl);
                 (b.name().to_string(), flat, r)
             });
             for (name, flat, r) in &runs {
@@ -283,6 +320,73 @@ fn exec(cli: Cli) -> Result<(), String> {
                 "GEOMEAN",
                 suite::geomean(&speedups)
             );
+        }
+        Command::Serve {
+            listen,
+            workers,
+            port_file,
+        } => {
+            let server = Server::bind(&ServerConfig {
+                addr: listen.clone(),
+                workers: *workers,
+            })
+            .map_err(|e| format!("bind {listen}: {e}"))?;
+            let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+            if let Some(path) = port_file {
+                std::fs::write(path, format!("{}\n", addr.port()))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            println!(
+                "# dynapar-server v{PROTOCOL_VERSION} listening on {addr} ({workers} worker{})",
+                if *workers == 1 { "" } else { "s" }
+            );
+            server.run().map_err(|e| format!("serve: {e}"))?;
+            println!("# dynapar-server stopped");
+        }
+        Command::Submit {
+            addr,
+            bench,
+            spec,
+            policy,
+            metrics,
+            emit_json,
+        } => {
+            let job = JobRequest {
+                workload: workload_ref(bench, spec, &cli)?,
+                policy: policy.clone(),
+                seed: cli.seed,
+                metrics: *metrics,
+                gpu: GpuPreset::KeplerK20m,
+                sim_jobs: cli.sim_jobs,
+            };
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let res = client.run(&job)?;
+            println!("# job {} hash {} cached={}", res.id, res.hash, res.cached);
+            if let Some(cycles) = res
+                .artifact
+                .get("report")
+                .and_then(|r| r.get("total_cycles"))
+                .and_then(dynapar_gpu::Json::as_u64)
+            {
+                println!("{:<14} {cycles:>10} cycles", policy.label());
+            }
+            if let Some(path) = emit_json {
+                std::fs::write(path, format!("{}\n", res.artifact))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# artifact written to {path}");
+            }
+        }
+        Command::ServerStats { addr } => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            println!("{}", client.stats()?.pretty());
+        }
+        Command::ServerShutdown { addr } => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            client.shutdown()?;
+            println!("# daemon at {addr} stopping");
         }
     }
     Ok(())

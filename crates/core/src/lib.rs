@@ -79,6 +79,7 @@ mod dtbl;
 mod free_launch;
 pub mod offline;
 mod policies;
+pub mod policy;
 mod spawn;
 
 pub use adaptive::AdaptiveThreshold;
@@ -88,6 +89,7 @@ pub use dtbl::Dtbl;
 pub use free_launch::FreeLaunch;
 pub use offline::{sweep, sweep_par, SweepPoint, SweepResult};
 pub use policies::{AlwaysLaunch, BaselineDp, FixedThreshold};
+pub use policy::PolicySpec;
 pub use spawn::{SpawnPolicy, SpawnStats};
 
 // Re-export the flat policy so downstream users get the full policy set

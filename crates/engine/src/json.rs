@@ -96,6 +96,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -160,6 +168,39 @@ impl Json {
                 out.push('}');
             }
             other => out.push_str(&other.to_string()),
+        }
+    }
+
+    /// Returns a copy with every object's members sorted by key,
+    /// recursively (arrays keep their order — element order is data).
+    ///
+    /// This is the canonical form behind config hashing: two trees that
+    /// differ only in member order emit identical bytes after
+    /// `sorted()`, so a hash of `sorted().to_string()` is stable across
+    /// field reordering. Duplicate keys keep their relative order
+    /// (stable sort); the emitter never produces duplicates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dynapar_engine::json::Json;
+    ///
+    /// let a = Json::parse(r#"{"b":1,"a":{"d":2,"c":3}}"#).unwrap();
+    /// let b = Json::parse(r#"{"a":{"c":3,"d":2},"b":1}"#).unwrap();
+    /// assert_eq!(a.sorted().to_string(), b.sorted().to_string());
+    /// ```
+    pub fn sorted(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::sorted).collect()),
+            Json::Obj(members) => {
+                let mut sorted: Vec<(String, Json)> = members
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.sorted()))
+                    .collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            scalar => scalar.clone(),
         }
     }
 
@@ -541,6 +582,20 @@ mod tests {
         assert_eq!(e.offset, 5);
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("{} x").is_err());
+    }
+
+    #[test]
+    fn sorted_normalizes_member_order_recursively() {
+        let a = Json::parse(r#"{"z":{"b":1,"a":2},"m":[{"y":1,"x":2}],"a":0}"#).unwrap();
+        let b = Json::parse(r#"{"a":0,"m":[{"x":2,"y":1}],"z":{"a":2,"b":1}}"#).unwrap();
+        assert_eq!(a.sorted(), b.sorted());
+        assert_eq!(
+            a.sorted().to_string(),
+            r#"{"a":0,"m":[{"x":2,"y":1}],"z":{"a":2,"b":1}}"#
+        );
+        // Array element order is data, never sorted.
+        let arr = Json::parse("[3,1,2]").unwrap();
+        assert_eq!(arr.sorted().to_string(), "[3,1,2]");
     }
 
     #[test]

@@ -67,6 +67,6 @@ mod wheel;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
-pub use rng::{hash_mix, DetRng};
+pub use rng::{fnv1a_64, hash_mix, DetRng};
 pub use sched::{QueueBackend, SchedQueue};
 pub use wheel::TimingWheel;

@@ -1,20 +1,27 @@
-//! Deterministic parallelism primitives: a reusable scoped worker pool
-//! and an order-preserving parallel map built on it.
+//! Deterministic parallelism primitives: a reusable scoped worker pool,
+//! an order-preserving parallel map built on it, and a long-lived owned
+//! work queue for daemons.
 //!
-//! Two layers share this module. The experiment drivers (scheme
+//! Three layers share this module. The experiment drivers (scheme
 //! comparisons, threshold sweeps, figure scripts) run many *independent*
 //! simulations through [`par_map`]; each simulation stays deterministic,
 //! so running N of them on N cores changes nothing about any individual
 //! result. The parallel simulation backend (`--sim-jobs`) instead needs
 //! a *persistent* pool it can feed thousands of tiny per-cycle shard
 //! ticks without spawning threads per window — that is [`Pool`], and
-//! `par_map` is now a thin client of it.
+//! `par_map` is now a thin client of it. Finally, the `dynapar-server`
+//! daemon needs workers that outlive any one call frame and *survive
+//! panicking jobs*: that is [`WorkQueue`], the owned (non-scoped)
+//! sibling of `Pool` built on the same task-queue internals.
 //!
 //! There is no dependency on a thread-pool crate: workers are
-//! [`std::thread::scope`] threads looping on a mutex-protected task
-//! queue with a condvar, returning results over a bounded channel. A
-//! panic in any job is caught on the worker and re-raised on the caller
-//! at the matching [`Pool::recv`], exactly like the serial loop.
+//! [`std::thread::scope`] (or, for [`WorkQueue`], [`std::thread::spawn`])
+//! threads looping on a mutex-protected task queue with a condvar,
+//! returning results over a bounded channel. A panic in any [`Pool`] job
+//! is caught on the worker and re-raised on the caller at the matching
+//! [`Pool::recv`], exactly like the serial loop; a panic in a
+//! [`WorkQueue`] job is swallowed after the job's own handler had its
+//! chance, and the worker lives on to serve the next task.
 //!
 //! # Examples
 //!
@@ -28,7 +35,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable consulted by [`default_jobs`]; same meaning as
 /// the `--jobs` flag on the experiment binaries.
@@ -68,9 +75,77 @@ struct Queue<T> {
     shutdown: bool,
 }
 
+/// The mutex+condvar task queue both [`Pool`] (scoped, borrowing) and
+/// [`WorkQueue`] (owned, `'static`) workers loop on.
 struct Shared<T> {
     queue: Mutex<Queue<T>>,
     cv: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn with_capacity(capacity: usize) -> Self {
+        Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::with_capacity(capacity),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one task and wakes one sleeping worker.
+    fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .tasks
+            .push_back(task);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a task is available (FIFO) or shutdown is flagged
+    /// with the queue empty. Queued tasks are drained before shutdown
+    /// takes effect, so a graceful stop finishes accepted work.
+    fn next_task(&self) -> Option<T> {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(t) = q.tasks.pop_front() {
+                return Some(t);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.cv.wait(q).expect("pool queue poisoned");
+        }
+    }
+
+    /// Flags shutdown and wakes every worker. With `discard`, queued
+    /// tasks are dropped (prompt stop); without, workers drain them
+    /// first. Returns the tasks discarded, so callers can account for
+    /// work that will never run.
+    fn stop(&self, discard: bool) -> Vec<T> {
+        let dropped = {
+            let mut q = match self.queue.lock() {
+                Ok(q) => q,
+                Err(_) => {
+                    self.cv.notify_all();
+                    return Vec::new();
+                }
+            };
+            q.shutdown = true;
+            if discard {
+                q.tasks.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        self.cv.notify_all();
+        dropped
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.lock().expect("pool queue poisoned").tasks.len()
+    }
 }
 
 /// Sets `shutdown` and wakes every worker. Runs on drop so workers are
@@ -80,10 +155,7 @@ struct ShutdownGuard<'a, T>(&'a Shared<T>);
 
 impl<T> Drop for ShutdownGuard<'_, T> {
     fn drop(&mut self) {
-        if let Ok(mut q) = self.0.queue.lock() {
-            q.shutdown = true;
-        }
-        self.0.cv.notify_all();
+        self.0.stop(false);
     }
 }
 
@@ -141,13 +213,7 @@ impl<T: Send, R: Send> Pool<'_, T, R> {
             };
             return body(&mut pool);
         }
-        let shared = Shared {
-            queue: Mutex::new(Queue {
-                tasks: VecDeque::with_capacity(capacity),
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-        };
+        let shared = Shared::with_capacity(capacity);
         let (tx, rx) = mpsc::sync_channel(capacity.max(1));
         std::thread::scope(|scope| {
             let _guard = ShutdownGuard(&shared);
@@ -155,25 +221,14 @@ impl<T: Send, R: Send> Pool<'_, T, R> {
                 let tx = tx.clone();
                 let shared = &shared;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let task = {
-                        let mut q = shared.queue.lock().expect("pool queue poisoned");
-                        loop {
-                            if let Some(t) = q.tasks.pop_front() {
-                                break Some(t);
-                            }
-                            if q.shutdown {
-                                break None;
-                            }
-                            q = shared.cv.wait(q).expect("pool queue poisoned");
+                scope.spawn(move || {
+                    while let Some(task) = shared.next_task() {
+                        // Catch so one panicking task reaches the caller
+                        // as a result instead of deadlocking its `recv`.
+                        let res = catch_unwind(AssertUnwindSafe(|| f(task)));
+                        if tx.send(res).is_err() {
+                            return; // caller gone (body panicked); stop
                         }
-                    };
-                    let Some(task) = task else { return };
-                    // Catch so one panicking task reaches the caller as
-                    // a result instead of deadlocking its `recv`.
-                    let res = catch_unwind(AssertUnwindSafe(|| f(task)));
-                    if tx.send(res).is_err() {
-                        return; // caller gone (body panicked); stop
                     }
                 });
             }
@@ -196,15 +251,7 @@ impl<T: Send, R: Send> Pool<'_, T, R> {
         self.pending += 1;
         match &mut self.mode {
             Mode::Serial { f, ready } => ready.push_back(f(task)),
-            Mode::Threads { shared, .. } => {
-                shared
-                    .queue
-                    .lock()
-                    .expect("pool queue poisoned")
-                    .tasks
-                    .push_back(task);
-                shared.cv.notify_one();
-            }
+            Mode::Threads { shared, .. } => shared.push(task),
         }
     }
 
@@ -230,6 +277,117 @@ impl<T: Send, R: Send> Pool<'_, T, R> {
     /// Number of submitted tasks whose results have not been received.
     pub fn pending(&self) -> usize {
         self.pending
+    }
+}
+
+/// A long-lived, owned worker queue: the daemon-grade sibling of
+/// [`Pool`].
+///
+/// Where `Pool` is scoped (workers live exactly as long as one call
+/// frame and panics re-raise at `recv`), a `WorkQueue` owns `'static`
+/// worker threads that keep serving tasks for the queue's whole
+/// lifetime. Tasks run strictly FIFO across all submitters, which is
+/// what gives the `dynapar-server` job queue its cross-client fairness.
+///
+/// A panicking task does **not** kill its worker: the handler is
+/// expected to do its own `catch_unwind` bookkeeping (e.g. mark the job
+/// failed), and the queue adds a backstop catch so even a handler that
+/// panics before its own bookkeeping leaves the worker alive for the
+/// next task.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use dynapar_engine::par::WorkQueue;
+///
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let s = sum.clone();
+/// let q = WorkQueue::new(2, move |x: u64| {
+///     s.fetch_add(x, Ordering::SeqCst);
+/// });
+/// for x in 1..=10 {
+///     q.submit(x);
+/// }
+/// q.join(); // graceful: drains queued tasks, then stops the workers
+/// assert_eq!(sum.load(Ordering::SeqCst), 55);
+/// ```
+pub struct WorkQueue<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkQueue<T> {
+    /// Starts `jobs.max(1)` worker threads, each running `f` on every
+    /// task it pops. Unlike [`Pool::scope`] there is no serial mode: a
+    /// daemon must not execute jobs on its control thread, so even
+    /// `jobs = 1` gets a real worker.
+    pub fn new<F>(jobs: usize, f: F) -> Self
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared::with_capacity(64));
+        let f = Arc::new(f);
+        let workers = (0..jobs.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    while let Some(task) = shared.next_task() {
+                        // Backstop only: the handler is responsible for
+                        // recording the failure; this keeps the worker
+                        // alive even if the handler itself panicked.
+                        let _ = catch_unwind(AssertUnwindSafe(|| f(task)));
+                    }
+                })
+            })
+            .collect();
+        WorkQueue { shared, workers }
+    }
+
+    /// Enqueues one task (FIFO). Tasks submitted after
+    /// [`shutdown_now`](WorkQueue::shutdown_now) or
+    /// [`join`](WorkQueue::join) began are never run.
+    pub fn submit(&self, task: T) {
+        self.shared.push(task);
+    }
+
+    /// Number of tasks accepted but not yet popped by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared.queued()
+    }
+
+    /// Prompt stop: discards queued-but-unstarted tasks, waits only for
+    /// tasks already running, and returns the discarded tasks so the
+    /// caller can account for them (the server marks those jobs
+    /// cancelled).
+    pub fn shutdown_now(mut self) -> Vec<T> {
+        let dropped = self.shared.stop(true);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        dropped
+    }
+
+    /// Graceful stop: drains every queued task, then joins the workers.
+    pub fn join(mut self) {
+        self.shared.stop(false);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkQueue<T> {
+    /// Dropping without an explicit `join`/`shutdown_now` stops
+    /// promptly (queued tasks discarded), so an abandoned queue cannot
+    /// wedge process exit behind unbounded queued work.
+    fn drop(&mut self) {
+        self.shared.stop(true);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
 
@@ -423,6 +581,76 @@ mod tests {
             }));
             assert!(r.is_err(), "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn work_queue_runs_tasks_fifo_with_one_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let started = std::sync::Arc::new(AtomicUsize::new(0));
+        let (o, s) = (order.clone(), started.clone());
+        let q = WorkQueue::new(1, move |x: u32| {
+            o.lock().unwrap().push(x);
+            s.fetch_add(1, Ordering::SeqCst);
+        });
+        for x in 0..32 {
+            q.submit(x);
+        }
+        q.join();
+        assert_eq!(*order.lock().unwrap(), (0..32).collect::<Vec<u32>>());
+        assert_eq!(started.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn work_queue_workers_survive_panicking_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        let q = WorkQueue::new(2, move |x: u32| {
+            if x % 3 == 0 {
+                panic!("task {x} boom");
+            }
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        for x in 0..30 {
+            q.submit(x);
+        }
+        q.join();
+        // 10 of the 30 tasks panic; the other 20 must all have run.
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn work_queue_shutdown_now_returns_undrained_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // One worker blocked on a gate; everything behind it stays
+        // queued until shutdown_now discards it.
+        let gate = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let (g, r) = (gate.clone(), ran.clone());
+        let q = WorkQueue::new(1, move |_x: u32| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        for x in 0..5 {
+            q.submit(x);
+        }
+        // Wait until the worker has popped the first task.
+        while q.queued() > 4 {
+            std::thread::yield_now();
+        }
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let dropped = q.shutdown_now();
+        // The running task finishes; between 0 and 4 remain discarded
+        // (the worker may pop more after the gate opens, racing stop).
+        assert!(dropped.len() <= 4, "dropped {:?}", dropped);
+        assert_eq!(ran.load(Ordering::SeqCst) + dropped.len(), 5);
     }
 
     #[test]

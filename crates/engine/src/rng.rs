@@ -33,6 +33,34 @@ pub fn hash_mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// FNV-1a over a byte string, 64-bit.
+///
+/// This is the *stable content hash* of the workspace: canonical config
+/// hashing (`gpu::config::CanonicalConfig::canonical_hash`) and the
+/// server's memoization key both rest on it, so its constants are part
+/// of the frozen v1 wire contract — a given byte string must hash the
+/// same in every future build. FNV-1a is tiny, has no state to seed,
+/// and is plenty for content addressing (these are identity keys, not
+/// adversarial inputs).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::fnv1a_64;
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+/// ```
+#[inline]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Deterministic random-number generator for workload synthesis.
 ///
 /// The core is xoshiro256** with its 256-bit state expanded from the

@@ -1,6 +1,10 @@
-//! Simulated-GPU configuration (Table II of the paper).
+//! Simulated-GPU configuration (Table II of the paper), plus the
+//! canonical run identity ([`CanonicalConfig`]) every config-keyed
+//! subsystem derives from.
 
 use dynapar_engine::json::Json;
+use dynapar_engine::metrics::MetricsLevel;
+use dynapar_engine::fnv1a_64;
 
 /// Warp scheduling discipline within an SMX.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -441,6 +445,122 @@ impl Default for GpuConfig {
     }
 }
 
+/// Schema tag stamped into every canonical-config JSON rendering.
+pub const CANONICAL_CONFIG_SCHEMA: &str = "dynapar.canonical_config/v1";
+
+/// Hashes any JSON tree in canonical form: object keys sorted
+/// recursively, compact emission, FNV-1a 64 over the bytes.
+///
+/// This is the one hashing path in the workspace — the memo key, the
+/// perf-baseline identity, and spec-workload fingerprints all funnel
+/// through it — so two trees that differ only in member order always
+/// hash identically, and any semantic difference (a changed value, an
+/// added field) changes the hash.
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_engine::json::Json;
+/// use dynapar_gpu::config::canonical_json_hash;
+///
+/// let a = Json::parse(r#"{"x":1,"y":2}"#).unwrap();
+/// let b = Json::parse(r#"{"y":2,"x":1}"#).unwrap();
+/// assert_eq!(canonical_json_hash(&a), canonical_json_hash(&b));
+/// ```
+pub fn canonical_json_hash(doc: &Json) -> u64 {
+    fnv1a_64(doc.sorted().to_string().as_bytes())
+}
+
+/// The canonical identity of one simulation run: everything that
+/// determines the run's output bytes, in one struct.
+///
+/// Before this type existed, three subsystems each answered "is this
+/// the same run?" with its own ad-hoc field list: the server's memo key
+/// would have compared request fields, the artifact echoed the raw
+/// [`GpuConfig`], and the perf baseline gate compared `scale`/`seed`/
+/// `queue` one key at a time. `CanonicalConfig` replaces all three with
+/// a single derivation: build the canonical struct, hash it with
+/// [`canonical_hash`](CanonicalConfig::canonical_hash), compare hashes.
+///
+/// **What is included:** the full [`GpuConfig`], the workload identity
+/// string, the policy label, the generator seed, and the metrics level
+/// (metrics change artifact bytes, so two levels are two identities).
+///
+/// **What is deliberately excluded:** host-side execution knobs that
+/// are guaranteed byte-invisible — the event-queue backend, `--jobs`,
+/// and `--sim-jobs` (the parallel backend's artifacts are byte-identical
+/// to sequential at every worker count; the determinism suite pins
+/// this). Excluding them is what lets a server memoize a `--sim-jobs 4`
+/// submit with a sequential one: same identity, same bytes.
+///
+/// The `workload` string is a convention, not free text: suite runs use
+/// `suite:<bench>@<scale>`, spec runs use `spec:<16-hex fnv of the spec
+/// text>` (see `dynapar-server`'s request layer, which is the only
+/// producer).
+///
+/// # Examples
+///
+/// ```
+/// use dynapar_gpu::{CanonicalConfig, GpuConfig};
+/// use dynapar_gpu::MetricsLevel;
+///
+/// let a = CanonicalConfig {
+///     gpu: GpuConfig::kepler_k20m(),
+///     workload: "suite:AMR@tiny".into(),
+///     policy: "spawn".into(),
+///     seed: 7,
+///     metrics: MetricsLevel::Full,
+/// };
+/// let mut b = a.clone();
+/// assert_eq!(a.canonical_hash(), b.canonical_hash());
+/// b.seed = 8;
+/// assert_ne!(a.canonical_hash(), b.canonical_hash());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalConfig {
+    /// The simulated machine.
+    pub gpu: GpuConfig,
+    /// Canonical workload identity (`suite:NAME@SCALE` or `spec:HASH`).
+    pub workload: String,
+    /// Canonical policy label (e.g. `spawn`, `threshold:32`).
+    pub policy: String,
+    /// Workload-generator seed.
+    pub seed: u64,
+    /// Metrics level of the run (changes artifact bytes, so part of
+    /// the identity).
+    pub metrics: MetricsLevel,
+}
+
+impl CanonicalConfig {
+    /// Renders the canonical identity as JSON (the hash preimage, before
+    /// key sorting). The `schema` member means a future v2 identity can
+    /// never collide with v1 hashes.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(CANONICAL_CONFIG_SCHEMA)),
+            ("gpu", self.gpu.to_json()),
+            ("workload", Json::str(self.workload.clone())),
+            ("policy", Json::str(self.policy.clone())),
+            ("seed", Json::U64(self.seed)),
+            ("metrics", Json::str(self.metrics.as_str())),
+        ])
+    }
+
+    /// The stable 64-bit identity hash: FNV-1a over the key-sorted
+    /// compact JSON rendering of [`to_json`](CanonicalConfig::to_json).
+    /// Stable across field reordering by construction; different for
+    /// any semantic field change because every field is in the preimage.
+    pub fn canonical_hash(&self) -> u64 {
+        canonical_json_hash(&self.to_json())
+    }
+
+    /// [`canonical_hash`](CanonicalConfig::canonical_hash) as the
+    /// 16-hex-digit string used on the wire and in artifacts.
+    pub fn canonical_hex(&self) -> String {
+        format!("{:016x}", self.canonical_hash())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +651,70 @@ mod tests {
         assert_eq!(GpuConfig::default(), GpuConfig::kepler_k20m());
         assert_eq!(SchedulerKind::default(), SchedulerKind::Gto);
         assert_eq!(StreamPolicy::default(), StreamPolicy::PerChildKernel);
+    }
+
+    fn canon() -> CanonicalConfig {
+        CanonicalConfig {
+            gpu: GpuConfig::kepler_k20m(),
+            workload: "suite:BFS-graph500@paper".into(),
+            policy: "spawn".into(),
+            seed: 0xD7_2017,
+            metrics: MetricsLevel::Full,
+        }
+    }
+
+    #[test]
+    fn canonical_hash_ignores_member_order() {
+        let doc = canon().to_json();
+        // Reverse the top-level member order and nest-shuffle: the sorted
+        // canonical form must make both trees hash identically.
+        let mut members: Vec<(String, Json)> = match &doc {
+            Json::Obj(m) => m.clone(),
+            _ => unreachable!(),
+        };
+        members.reverse();
+        let shuffled = Json::Obj(members);
+        assert_ne!(doc.to_string(), shuffled.to_string());
+        assert_eq!(canonical_json_hash(&doc), canonical_json_hash(&shuffled));
+    }
+
+    #[test]
+    fn canonical_hash_differs_on_every_semantic_field() {
+        let base = canon().canonical_hash();
+        let mut c = canon();
+        c.gpu.smx_count += 1;
+        assert_ne!(c.canonical_hash(), base, "gpu knob must change hash");
+        let mut c = canon();
+        c.workload = "suite:BFS-graph500@tiny".into();
+        assert_ne!(c.canonical_hash(), base, "workload must change hash");
+        let mut c = canon();
+        c.policy = "threshold:32".into();
+        assert_ne!(c.canonical_hash(), base, "policy must change hash");
+        let mut c = canon();
+        c.seed ^= 1;
+        assert_ne!(c.canonical_hash(), base, "seed must change hash");
+        let mut c = canon();
+        c.metrics = MetricsLevel::Summary;
+        assert_ne!(c.canonical_hash(), base, "metrics level must change hash");
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_and_hex_is_16_digits() {
+        let a = canon();
+        let b = canon();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        let hex = a.canonical_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), a.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_json_embeds_schema_tag() {
+        let doc = canon().to_json();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(CANONICAL_CONFIG_SCHEMA)
+        );
     }
 }

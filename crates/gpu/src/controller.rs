@@ -115,38 +115,10 @@ pub trait LaunchController {
 
     /// Receives one monitoring event (the CCQS feedback of §IV-A).
     ///
-    /// The default forwards to the deprecated `on_child_*` shims so
-    /// not-yet-migrated policies keep working; new policies override
-    /// `observe` directly and ignore the shims.
+    /// The default ignores the event; policies that monitor (SPAWN's
+    /// CCQS) override this and match on the variants they care about.
     fn observe(&mut self, ev: &ControllerEvent) {
-        #[allow(deprecated)]
-        match *ev {
-            ControllerEvent::ChildCtaStart { now } => self.on_child_cta_start(now),
-            ControllerEvent::ChildCtaFinish { now, exec_cycles } => {
-                self.on_child_cta_finish(now, exec_cycles)
-            }
-            ControllerEvent::ChildWarpFinish { now, exec_cycles } => {
-                self.on_child_warp_finish(now, exec_cycles)
-            }
-        }
-    }
-
-    /// A child CTA began executing on an SMX.
-    #[deprecated(note = "implement `observe(ControllerEvent::ChildCtaStart)` instead")]
-    fn on_child_cta_start(&mut self, now: Cycle) {
-        let _ = now;
-    }
-
-    /// A child CTA finished; `exec_cycles` is its on-core execution time.
-    #[deprecated(note = "implement `observe(ControllerEvent::ChildCtaFinish)` instead")]
-    fn on_child_cta_finish(&mut self, now: Cycle, exec_cycles: u64) {
-        let _ = (now, exec_cycles);
-    }
-
-    /// A child warp finished; `exec_cycles` is its execution time.
-    #[deprecated(note = "implement `observe(ControllerEvent::ChildWarpFinish)` instead")]
-    fn on_child_warp_finish(&mut self, now: Cycle, exec_cycles: u64) {
-        let _ = (now, exec_cycles);
+        let _ = ev;
     }
 
     /// The policy's current monitored-metric values, if it monitors any

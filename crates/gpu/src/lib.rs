@@ -98,7 +98,8 @@ pub mod work;
 
 pub use artifact::{ArtifactError, CcqsSample, RunArtifact, RunOutcome, ARTIFACT_SCHEMA};
 pub use config::{
-    CtaPlacement, GpuConfig, LaunchOverheadModel, MemConfig, SchedulerKind, StreamPolicy,
+    canonical_json_hash, CanonicalConfig, CtaPlacement, GpuConfig, LaunchOverheadModel,
+    MemConfig, SchedulerKind, StreamPolicy, CANONICAL_CONFIG_SCHEMA,
 };
 pub use controller::{
     ChildRequest, ControllerEvent, InlineAll, LaunchController, LaunchDecision,

@@ -1,0 +1,200 @@
+//! A minimal blocking client for the v1 protocol — what the CLI's
+//! client subcommands and the protocol test-suite speak through.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use dynapar_engine::json::Json;
+
+use crate::proto::Request;
+use crate::request::JobRequest;
+
+/// A submit acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitAck {
+    /// Daemon-assigned job id.
+    pub id: u64,
+    /// Whether the submit was answered without new simulation work
+    /// (memo hit or coalesced onto an in-flight identical job).
+    pub cached: bool,
+    /// The canonical config hash, 16 hex digits.
+    pub hash: String,
+}
+
+/// A result payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultAck {
+    /// The job id the result belongs to.
+    pub id: u64,
+    /// Whether the artifact came from the cache.
+    pub cached: bool,
+    /// The canonical config hash, 16 hex digits.
+    pub hash: String,
+    /// The run artifact as a JSON tree. Emitting `to_string()` plus a
+    /// trailing newline reproduces `dynapar run --emit-json` byte for
+    /// byte.
+    pub artifact: Json,
+}
+
+/// One connection to a dynapar daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7070`).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed response JSON, or an `ok: false`
+    /// response (the daemon's error message is passed through).
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Json, String> {
+        self.send_raw(&request.to_json().to_string())?;
+        self.read_ok()
+    }
+
+    /// Sends a raw pre-rendered line (testing hook; normal callers use
+    /// [`roundtrip`](Client::roundtrip)).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        let mut line = line.to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads one response line and enforces `ok: true`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed JSON, closed connections, `ok: false`.
+    pub fn read_ok(&mut self) -> Result<Json, String> {
+        let doc = self.read_response()?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => Err(doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("daemon error with no message")
+                .to_string()),
+            None => Err(format!("response has no `ok` member: {doc}")),
+        }
+    }
+
+    /// Reads one response line without interpreting it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed JSON, closed connections.
+    pub fn read_response(&mut self) -> Result<Json, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        Json::parse(line.trim_end()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+
+    /// Submits one job.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-side validation errors and transport failures.
+    pub fn submit(&mut self, job: &JobRequest) -> Result<SubmitAck, String> {
+        let doc = self.roundtrip(&Request::Submit(job.clone()))?;
+        Ok(SubmitAck {
+            id: need_u64(&doc, "id")?,
+            cached: need_bool(&doc, "cached")?,
+            hash: need_str(&doc, "hash")?,
+        })
+    }
+
+    /// Blocks until job `id` finishes and returns its artifact.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, failed/cancelled jobs, transport failures.
+    pub fn result(&mut self, id: u64) -> Result<ResultAck, String> {
+        let doc = self.roundtrip(&Request::Result { id })?;
+        Ok(ResultAck {
+            id: need_u64(&doc, "id")?,
+            cached: need_bool(&doc, "cached")?,
+            hash: need_str(&doc, "hash")?,
+            artifact: doc
+                .get("artifact")
+                .cloned()
+                .ok_or("result response missing `artifact`")?,
+        })
+    }
+
+    /// Submit-and-wait in one call.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](Client::submit) and
+    /// [`result`](Client::result) can report.
+    pub fn run(&mut self, job: &JobRequest) -> Result<ResultAck, String> {
+        let ack = self.submit(job)?;
+        self.result(ack.id)
+    }
+
+    /// Fetches daemon lifetime counters as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Asks the daemon to exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn need_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("response missing numeric `{key}`: {doc}"))
+}
+
+fn need_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("response missing boolean `{key}`: {doc}"))
+}
+
+fn need_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("response missing string `{key}`: {doc}"))
+}

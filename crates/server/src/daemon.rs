@@ -1,0 +1,401 @@
+//! The TCP daemon: accept loop, per-connection handlers, and the
+//! worker pool that executes jobs.
+//!
+//! Concurrency model (threads only — the workspace has no async
+//! runtime, by policy):
+//!
+//! * the accept loop runs on the caller's thread, non-blocking, and
+//!   polls the shutdown flag between accepts;
+//! * each connection gets a handler thread that reads one request line
+//!   at a time (with a read timeout so it also notices shutdown);
+//! * simulations run on a [`WorkQueue`] of `workers` threads — FIFO
+//!   across all connections, panic-isolated per job.
+//!
+//! Clients on the same daemon share the memo cache and the queue, which
+//! is the point: submission order is completion order (per worker), and
+//! an identical config submitted by anyone is answered from cache.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dynapar_engine::json::Json;
+use dynapar_engine::par::WorkQueue;
+use dynapar_gpu::MetricsLevel;
+
+use crate::proto::{
+    error_response, result_response, shutdown_response, stats_response, status_response,
+    submit_response, sweep_response, terminal_error, watch_event, Request, MAX_LINE_BYTES,
+};
+use crate::registry::{Admission, JobState, Registry};
+use crate::request::{JobRequest, CANCEL_SENTINEL};
+
+/// How the daemon is brought up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (read it
+    /// back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+        }
+    }
+}
+
+struct JobTask {
+    id: u64,
+    req: JobRequest,
+}
+
+struct State {
+    registry: Arc<Registry>,
+    queue: WorkQueue<JobTask>,
+    shutdown: AtomicBool,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (bad address, port in use).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let registry = Arc::new(Registry::new());
+        let worker_registry = registry.clone();
+        let queue = WorkQueue::new(cfg.workers.max(1), move |task: JobTask| {
+            run_job(&worker_registry, task);
+        });
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                registry,
+                queue,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` request arrives. Connection handlers
+    /// run on their own threads; this thread only accepts.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors. Per-connection I/O errors only end that
+    /// connection.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = self.state.clone();
+                    std::thread::spawn(move || handle_client(stream, &state));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Dropping `state`'s last clone (handlers exit on their next
+        // timeout tick) joins the worker pool via WorkQueue's Drop;
+        // queued-but-unstarted tasks are discarded, which is the
+        // documented shutdown semantic.
+        Ok(())
+    }
+}
+
+fn run_job(registry: &Registry, task: JobTask) {
+    let Some((progress, cancel)) = registry.start(task.id) else {
+        return; // cancelled while queued
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        task.req
+            .run_observed(None, Some(progress), Some(cancel.clone()))
+    }));
+    match outcome {
+        Ok(Ok(out)) => match out.artifact {
+            Some(artifact) => registry.complete(task.id, artifact),
+            None => registry.fail(
+                task.id,
+                "run produced no artifact (metrics level off)".to_string(),
+            ),
+        },
+        Ok(Err(e)) => registry.fail(task.id, e),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            if msg.contains(CANCEL_SENTINEL) {
+                registry.finish_cancelled(task.id);
+            } else {
+                registry.fail(task.id, format!("worker panic: {msg}"));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Reads one `\n`-terminated line into `buf`, enforcing the line cap
+/// and surviving read timeouts (used to poll the shutdown flag).
+enum LineRead {
+    Line,
+    Eof,
+    TooLong,
+    Closed,
+}
+
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    state: &State,
+) -> LineRead {
+    buf.clear();
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    // Half a line then EOF: treat as a disconnect.
+                    LineRead::Closed
+                };
+            }
+            Ok(_) => {
+                if buf.len() > MAX_LINE_BYTES {
+                    return LineRead::TooLong;
+                }
+                return LineRead::Line;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial bytes stay in `buf`; keep the cap honest even
+                // while the line is still arriving.
+                if buf.len() > MAX_LINE_BYTES {
+                    return LineRead::TooLong;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return LineRead::Closed;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, doc: &Json) -> bool {
+    let mut line = doc.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+fn admit(state: &State, job: JobRequest) -> Result<(u64, bool, u64), String> {
+    if job.metrics == MetricsLevel::Off {
+        return Err(format!(
+            "metrics level `off` produces no artifact to return; use {}",
+            "summary|full|timeseries"
+        ));
+    }
+    let hash = job.canonical_hash();
+    let admission = state.registry.submit(hash);
+    let cached = admission.cached();
+    let id = admission.id();
+    if let Admission::Execute { id } = admission {
+        state.queue.submit(JobTask { id, req: job });
+    }
+    Ok((id, cached, hash))
+}
+
+/// Waits for a terminal snapshot, polling so shutdown can interrupt.
+fn wait_terminal(state: &State, id: u64) -> Option<crate::registry::JobSnapshot> {
+    loop {
+        let snap = state.registry.wait_tick(id, Duration::from_millis(50))?;
+        if snap.state.is_terminal() {
+            return Some(snap);
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Some(snap);
+        }
+    }
+}
+
+fn handle_client(stream: TcpStream, state: &State) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // The timeout makes handler threads poll the shutdown flag; it is
+    // not a protocol deadline — idle connections stay open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_line_capped(&mut reader, &mut buf, state) {
+            LineRead::Eof | LineRead::Closed => return,
+            LineRead::TooLong => {
+                send(
+                    &mut writer,
+                    &error_response(&format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    )),
+                );
+                return;
+            }
+            LineRead::Line => {}
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s.trim_end_matches(['\n', '\r']),
+            Err(_) => {
+                if !send(&mut writer, &error_response("request is not UTF-8")) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let request = match Request::parse_line(line) {
+            Ok(r) => r,
+            Err(e) => {
+                if !send(&mut writer, &error_response(&e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Submit(job) => {
+                let resp = match admit(state, job) {
+                    Ok((id, cached, hash)) => submit_response(id, cached, hash),
+                    Err(e) => error_response(&e),
+                };
+                send(&mut writer, &resp)
+            }
+            Request::Sweep(sw) => {
+                let mut acks = Vec::new();
+                let mut failure = None;
+                for job in sw.expand() {
+                    match admit(state, job) {
+                        Ok(ack) => acks.push(ack),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let resp = match failure {
+                    // Already-admitted points keep running; the error
+                    // names the point that failed validation.
+                    Some(e) => error_response(&format!(
+                        "sweep point {} rejected: {e}",
+                        acks.len()
+                    )),
+                    None => sweep_response(&acks),
+                };
+                send(&mut writer, &resp)
+            }
+            Request::Status { id } => {
+                let resp = match state.registry.snapshot(id) {
+                    Some(snap) => status_response(&snap),
+                    None => error_response(&format!("unknown job id {id}")),
+                };
+                send(&mut writer, &resp)
+            }
+            Request::Result { id } => {
+                let resp = match wait_terminal(state, id) {
+                    None => error_response(&format!("unknown job id {id}")),
+                    Some(snap) if snap.state == JobState::Done => result_response(&snap),
+                    Some(snap) if snap.state.is_terminal() => terminal_error(&snap),
+                    Some(_) => error_response("daemon is shutting down"),
+                };
+                send(&mut writer, &resp)
+            }
+            Request::Watch { id } => stream_watch(state, &mut writer, id),
+            Request::Cancel { id } => {
+                let resp = match state.registry.cancel(id) {
+                    Some(st) => Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("id", Json::U64(id)),
+                        ("state", Json::str(st.name())),
+                    ]),
+                    None => error_response(&format!("unknown job id {id}")),
+                };
+                send(&mut writer, &resp)
+            }
+            Request::Stats => send(
+                &mut writer,
+                &stats_response(&state.registry.stats(), state.queue.queued()),
+            ),
+            Request::Shutdown => {
+                send(&mut writer, &shutdown_response());
+                state.shutdown.store(true, Ordering::SeqCst);
+                false
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Streams `progress` events (one per tick while the job advances) and
+/// a final `end` event. Returns false when the connection died.
+fn stream_watch(state: &State, writer: &mut TcpStream, id: u64) -> bool {
+    let mut last_progress = u64::MAX;
+    loop {
+        let Some(snap) = state.registry.wait_tick(id, Duration::from_millis(50)) else {
+            return send(writer, &error_response(&format!("unknown job id {id}")));
+        };
+        if snap.state.is_terminal() {
+            return send(writer, &watch_event(&snap, true));
+        }
+        if snap.progress_cycles != last_progress {
+            last_progress = snap.progress_cycles;
+            if !send(writer, &watch_event(&snap, false)) {
+                return false;
+            }
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return send(writer, &error_response("daemon is shutting down"));
+        }
+    }
+}

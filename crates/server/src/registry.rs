@@ -1,0 +1,496 @@
+//! The daemon's resumable job registry: per-job state, config-hash
+//! memoization, in-flight coalescing, and lifetime statistics.
+//!
+//! The registry is the single source of truth the worker pool and every
+//! client connection share. Its invariants:
+//!
+//! * **Memoization** — once a job with canonical hash `h` completes,
+//!   its artifact is cached under `h`; any later submit with the same
+//!   hash is answered from the cache without re-simulating (sound
+//!   because artifacts are a pure function of the canonical config —
+//!   the identity [`CanonicalConfig`](dynapar_gpu::CanonicalConfig)
+//!   captures, pinned by the determinism suite).
+//! * **Coalescing** — while a job with hash `h` is queued or running,
+//!   further submits of `h` do not enqueue duplicate work; they become
+//!   *followers* that complete (or fail) together with the primary.
+//! * **FIFO fairness** — primaries execute in submission order
+//!   regardless of which client connection submitted them (the worker
+//!   queue underneath is FIFO).
+//! * **Panic isolation** — a worker that panics mid-simulation fails
+//!   only its own job; the registry records the failure and the daemon
+//!   keeps serving (the queue's workers survive unwinds).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use dynapar_gpu::RunArtifact;
+
+/// Life-cycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker (or for its coalesced primary).
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; the artifact is available.
+    Done,
+    /// The simulation errored or panicked.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Canonical wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the state is final (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// A point-in-time snapshot of one job, as reported to clients.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job id (unique per daemon lifetime, FIFO-ordered).
+    pub id: u64,
+    /// Current state.
+    pub state: JobState,
+    /// Canonical config hash.
+    pub hash: u64,
+    /// Whether the result came from the memo cache (or a coalesced
+    /// primary) instead of a dedicated simulation.
+    pub cached: bool,
+    /// Latest simulated cycle the run has reached (0 until running).
+    pub progress_cycles: u64,
+    /// Failure message, when `state` is `Failed`.
+    pub error: Option<String>,
+    /// The artifact, when `state` is `Done`.
+    pub artifact: Option<Arc<RunArtifact>>,
+}
+
+/// Lifetime counters, reported by the `stats` request. Doubles as the
+/// observable proof of memoization: a memo hit bumps `memo_hits`
+/// without bumping `executed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Jobs accepted (including cached and coalesced ones).
+    pub submitted: u64,
+    /// Jobs that ran a simulation to completion.
+    pub executed: u64,
+    /// Submits answered straight from the memo cache.
+    pub memo_hits: u64,
+    /// Submits coalesced onto an in-flight identical job.
+    pub coalesced: u64,
+    /// Jobs that failed (error or panic).
+    pub failed: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+}
+
+struct Job {
+    state: JobState,
+    hash: u64,
+    cached: bool,
+    error: Option<String>,
+    artifact: Option<Arc<RunArtifact>>,
+    progress: Arc<AtomicU64>,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    memo: HashMap<u64, Arc<RunArtifact>>,
+    /// hash → primary job id, while that primary is queued/running.
+    inflight: HashMap<u64, u64>,
+    next_id: u64,
+    stats: RegistryStats,
+}
+
+/// What [`Registry::submit`] decided to do with a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// New work: the caller must enqueue job `id` on the worker queue.
+    Execute {
+        /// The job id to enqueue.
+        id: u64,
+    },
+    /// Answered from the memo cache; the job is already `Done`.
+    Cached {
+        /// The (already terminal) job id.
+        id: u64,
+    },
+    /// Coalesced onto an in-flight identical job; completes with it.
+    Coalesced {
+        /// The follower job id.
+        id: u64,
+        /// The primary it rides on.
+        primary: u64,
+    },
+}
+
+impl Admission {
+    /// The submitted job's id, whatever the admission path.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Admission::Execute { id }
+            | Admission::Cached { id }
+            | Admission::Coalesced { id, .. } => id,
+        }
+    }
+
+    /// Whether the submit was answered without new simulation work.
+    pub fn cached(&self) -> bool {
+        !matches!(self, Admission::Execute { .. })
+    }
+}
+
+/// The shared job table (see the module docs for invariants).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits one job with canonical hash `hash`. Decides between the
+    /// three admission paths (execute / memo hit / coalesce); the
+    /// caller enqueues worker-side execution only for
+    /// [`Admission::Execute`].
+    pub fn submit(&self, hash: u64) -> Admission {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.stats.submitted += 1;
+        let id = g.next_id;
+        g.next_id += 1;
+        let mut job = Job {
+            state: JobState::Queued,
+            hash,
+            cached: false,
+            error: None,
+            artifact: None,
+            progress: Arc::new(AtomicU64::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let admission = if let Some(artifact) = g.memo.get(&hash).cloned() {
+            g.stats.memo_hits += 1;
+            job.state = JobState::Done;
+            job.cached = true;
+            job.artifact = Some(artifact);
+            Admission::Cached { id }
+        } else if let Some(&primary) = g.inflight.get(&hash) {
+            g.stats.coalesced += 1;
+            job.cached = true;
+            Admission::Coalesced { id, primary }
+        } else {
+            g.inflight.insert(hash, id);
+            Admission::Execute { id }
+        };
+        g.jobs.insert(id, job);
+        drop(g);
+        self.cv.notify_all();
+        admission
+    }
+
+    /// Transitions a queued primary to `Running` and hands back its
+    /// observation handles. Returns `None` if the job was cancelled
+    /// while queued — the worker must skip it.
+    pub fn start(&self, id: u64) -> Option<(Arc<AtomicU64>, Arc<AtomicBool>)> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        let job = g.jobs.get_mut(&id)?;
+        if job.state != JobState::Queued {
+            return None;
+        }
+        job.state = JobState::Running;
+        let handles = (job.progress.clone(), job.cancel.clone());
+        drop(g);
+        self.cv.notify_all();
+        Some(handles)
+    }
+
+    /// Records a completed simulation: memoizes the artifact and
+    /// completes the primary *and every follower* coalesced onto it.
+    pub fn complete(&self, id: u64, artifact: RunArtifact) {
+        let artifact = Arc::new(artifact);
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.stats.executed += 1;
+        let hash = match g.jobs.get(&id) {
+            Some(j) => j.hash,
+            None => return,
+        };
+        g.memo.insert(hash, artifact.clone());
+        if g.inflight.get(&hash) == Some(&id) {
+            g.inflight.remove(&hash);
+        }
+        for job in g.jobs.values_mut() {
+            if job.hash == hash && !job.state.is_terminal() {
+                job.state = JobState::Done;
+                job.artifact = Some(artifact.clone());
+            }
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Records a failed simulation. Followers fail with the primary:
+    /// they represent the same run, and re-running a config that just
+    /// failed deterministically would fail the same way.
+    pub fn fail(&self, id: u64, error: String) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        let inner = &mut *g;
+        let hash = match inner.jobs.get(&id) {
+            Some(j) => j.hash,
+            None => return,
+        };
+        if inner.inflight.get(&hash) == Some(&id) {
+            inner.inflight.remove(&hash);
+        }
+        for job in inner.jobs.values_mut() {
+            if job.hash == hash && !job.state.is_terminal() {
+                job.state = JobState::Failed;
+                job.error = Some(error.clone());
+                inner.stats.failed += 1;
+            }
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Requests cancellation. A queued job (or follower) is cancelled
+    /// immediately; a running job has its cancel flag raised and
+    /// unwinds at its next launch decision. Returns the state after the
+    /// request, or `None` for an unknown id.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        let inner = &mut *g;
+        let (state, hash) = {
+            let job = inner.jobs.get(&id)?;
+            (job.state, job.hash)
+        };
+        let state = match state {
+            JobState::Queued => {
+                // A cancelled primary takes its coalesced followers with
+                // it: they are the same run, and nothing else will ever
+                // complete them.
+                let was_primary = inner.inflight.get(&hash) == Some(&id);
+                if was_primary {
+                    inner.inflight.remove(&hash);
+                }
+                for (jid, job) in inner.jobs.iter_mut() {
+                    let member = *jid == id || (was_primary && job.hash == hash);
+                    if member && !job.state.is_terminal() {
+                        job.state = JobState::Cancelled;
+                        inner.stats.cancelled += 1;
+                    }
+                }
+                JobState::Cancelled
+            }
+            JobState::Running => {
+                inner.jobs[&id].cancel.store(true, Ordering::Relaxed);
+                JobState::Running
+            }
+            terminal => terminal,
+        };
+        drop(g);
+        self.cv.notify_all();
+        Some(state)
+    }
+
+    /// Marks a job cancelled after its worker unwound on the cancel
+    /// sentinel (the running→cancelled transition).
+    pub fn finish_cancelled(&self, id: u64) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        let inner = &mut *g;
+        let hash = match inner.jobs.get(&id) {
+            Some(j) => j.hash,
+            None => return,
+        };
+        if inner.inflight.get(&hash) == Some(&id) {
+            inner.inflight.remove(&hash);
+        }
+        for job in inner.jobs.values_mut() {
+            if job.hash == hash && !job.state.is_terminal() {
+                job.state = JobState::Cancelled;
+                inner.stats.cancelled += 1;
+            }
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// A point-in-time snapshot of one job.
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let g = self.inner.lock().expect("registry poisoned");
+        g.jobs.get(&id).map(|job| JobSnapshot {
+            id,
+            state: job.state,
+            hash: job.hash,
+            cached: job.cached,
+            progress_cycles: job.progress.load(Ordering::Relaxed),
+            error: job.error.clone(),
+            artifact: job.artifact.clone(),
+        })
+    }
+
+    /// Blocks until job `id` reaches a terminal state, then returns its
+    /// snapshot. Returns `None` for an unknown id.
+    pub fn wait_terminal(&self, id: u64) -> Option<JobSnapshot> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        loop {
+            match g.jobs.get(&id) {
+                None => return None,
+                Some(job) if job.state.is_terminal() => {
+                    return Some(JobSnapshot {
+                        id,
+                        state: job.state,
+                        hash: job.hash,
+                        cached: job.cached,
+                        progress_cycles: job.progress.load(Ordering::Relaxed),
+                        error: job.error.clone(),
+                        artifact: job.artifact.clone(),
+                    });
+                }
+                Some(_) => g = self.cv.wait(g).expect("registry poisoned"),
+            }
+        }
+    }
+
+    /// Like [`wait_terminal`](Registry::wait_terminal) but wakes at
+    /// least every `tick` to let the caller stream progress (the
+    /// `watch` request) or notice daemon shutdown. Returns the current
+    /// snapshot each wake-up.
+    pub fn wait_tick(&self, id: u64, tick: std::time::Duration) -> Option<JobSnapshot> {
+        let g = self.inner.lock().expect("registry poisoned");
+        let job = g.jobs.get(&id)?;
+        if !job.state.is_terminal() {
+            let (g2, _timeout) = self
+                .cv
+                .wait_timeout(g, tick)
+                .expect("registry poisoned");
+            drop(g2);
+        } else {
+            drop(g);
+        }
+        self.snapshot(id)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.inner.lock().expect("registry poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_artifact() -> RunArtifact {
+        // The smallest document RunArtifact::parse accepts — a real run
+        // is overkill for registry state-machine tests.
+        RunArtifact::parse(concat!(
+            r#"{"schema":"dynapar.run_artifact/v1","metrics_level":"summary","#,
+            r#""config":{},"report":{"controller":"Flat","total_cycles":1,"kernels":0},"#,
+            r#""metrics":{},"ccqs_samples":[]}"#,
+        ))
+        .expect("valid minimal artifact")
+    }
+
+    #[test]
+    fn memo_hit_after_complete() {
+        let r = Registry::new();
+        let a = r.submit(42);
+        assert_eq!(a, Admission::Execute { id: 0 });
+        r.start(0).expect("queued");
+        r.complete(0, fake_artifact());
+        let b = r.submit(42);
+        assert!(matches!(b, Admission::Cached { .. }));
+        let snap = r.snapshot(b.id()).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(snap.cached);
+        assert!(snap.artifact.is_some());
+        let s = r.stats();
+        assert_eq!((s.submitted, s.executed, s.memo_hits), (2, 1, 1));
+    }
+
+    #[test]
+    fn inflight_submits_coalesce_and_complete_together() {
+        let r = Registry::new();
+        let a = r.submit(7);
+        let b = r.submit(7);
+        assert!(matches!(b, Admission::Coalesced { primary: 0, .. }));
+        r.start(a.id()).expect("queued");
+        r.complete(a.id(), fake_artifact());
+        let snap = r.snapshot(b.id()).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(snap.cached, "follower counts as cached");
+        assert_eq!(r.stats().coalesced, 1);
+        assert_eq!(r.stats().executed, 1, "only the primary simulated");
+    }
+
+    #[test]
+    fn failure_fails_followers_and_clears_inflight() {
+        let r = Registry::new();
+        let a = r.submit(9);
+        let b = r.submit(9);
+        r.start(a.id()).expect("queued");
+        r.fail(a.id(), "boom".into());
+        for id in [a.id(), b.id()] {
+            let snap = r.snapshot(id).unwrap();
+            assert_eq!(snap.state, JobState::Failed);
+            assert_eq!(snap.error.as_deref(), Some("boom"));
+        }
+        // The hash is free again: a new submit executes fresh.
+        assert!(matches!(r.submit(9), Admission::Execute { .. }));
+    }
+
+    #[test]
+    fn cancel_queued_is_immediate_and_skipped_by_workers() {
+        let r = Registry::new();
+        let a = r.submit(1);
+        assert_eq!(r.cancel(a.id()), Some(JobState::Cancelled));
+        assert!(r.start(a.id()).is_none(), "worker must skip");
+        assert_eq!(r.stats().cancelled, 1);
+        assert!(r.cancel(999).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn cancel_running_raises_flag_then_finishes() {
+        let r = Registry::new();
+        let a = r.submit(2);
+        let (_progress, cancel) = r.start(a.id()).expect("queued");
+        assert_eq!(r.cancel(a.id()), Some(JobState::Running));
+        assert!(cancel.load(Ordering::Relaxed), "flag raised");
+        r.finish_cancelled(a.id());
+        assert_eq!(r.snapshot(a.id()).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn wait_terminal_returns_final_snapshot() {
+        let r = Arc::new(Registry::new());
+        let a = r.submit(5);
+        let r2 = r.clone();
+        let id = a.id();
+        let h = std::thread::spawn(move || {
+            r2.start(id).expect("queued");
+            r2.complete(id, fake_artifact());
+        });
+        let snap = r.wait_terminal(id).expect("known");
+        assert_eq!(snap.state, JobState::Done);
+        h.join().unwrap();
+    }
+}

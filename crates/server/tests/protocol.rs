@@ -1,0 +1,245 @@
+//! Wire-protocol and end-to-end determinism tests: every test spins up
+//! a real daemon on an ephemeral loopback port and speaks the v1
+//! line-JSON protocol over TCP.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+use dynapar_core::PolicySpec;
+use dynapar_engine::json::Json;
+use dynapar_gpu::MetricsLevel;
+use dynapar_server::{
+    Client, JobRequest, Request, Server, ServerConfig, SweepRequest, WorkloadRef, GpuPreset,
+    MAX_LINE_BYTES,
+};
+use dynapar_workloads::Scale;
+
+fn start(workers: usize) -> (String, JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("accept loop exits cleanly");
+}
+
+fn tiny_job(bench: &str, policy: PolicySpec, sim_jobs: Option<usize>) -> JobRequest {
+    JobRequest {
+        workload: WorkloadRef::Suite {
+            bench: bench.to_string(),
+            scale: Scale::Tiny,
+        },
+        policy,
+        seed: 7,
+        metrics: MetricsLevel::Full,
+        gpu: GpuPreset::KeplerK20m,
+        sim_jobs,
+    }
+}
+
+#[test]
+fn malformed_json_gets_an_error_and_the_connection_survives() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    client.send_raw("{not json at all").unwrap();
+    let err = client.read_ok().unwrap_err();
+    assert!(
+        err.contains("JSON") || err.contains("parse") || err.contains("invalid"),
+        "unexpected error: {err}"
+    );
+    // Same connection still serves well-formed requests.
+    let stats = client.stats().expect("connection survived the bad line");
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(0));
+    stop(&addr, handle);
+}
+
+#[test]
+fn unknown_request_type_is_rejected_by_name() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    client.send_raw(r#"{"v":1,"type":"frobnicate"}"#).unwrap();
+    let err = client.read_ok().unwrap_err();
+    assert!(err.contains("frobnicate"), "unexpected error: {err}");
+
+    // Missing/wrong protocol version is also refused up front.
+    client.send_raw(r#"{"type":"stats"}"#).unwrap();
+    let err = client.read_ok().unwrap_err();
+    assert!(err.contains('v'), "unexpected error: {err}");
+    stop(&addr, handle);
+}
+
+#[test]
+fn oversized_line_is_refused_and_the_connection_closed() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let huge = "x".repeat(MAX_LINE_BYTES + 1);
+    client.send_raw(&huge).unwrap();
+    let err = client.read_ok().unwrap_err();
+    assert!(err.contains("exceeds"), "unexpected error: {err}");
+    // The daemon hangs up after an oversized line (it cannot resync).
+    assert!(client
+        .read_response()
+        .unwrap_err()
+        .contains("closed"));
+    // The daemon itself is fine: a fresh connection works.
+    let mut again = Client::connect(&addr).unwrap();
+    again.stats().expect("daemon survived the oversized line");
+    stop(&addr, handle);
+}
+
+#[test]
+fn mid_stream_disconnect_does_not_kill_the_daemon() {
+    let (addr, handle) = start(1);
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        // Half a request, no newline, then drop the socket.
+        raw.write_all(br#"{"v":1,"ty"#).unwrap();
+        raw.flush().unwrap();
+    }
+    // Daemon keeps serving new connections.
+    let mut client = Client::connect(&addr).unwrap();
+    client.stats().expect("daemon survived the disconnect");
+    stop(&addr, handle);
+}
+
+#[test]
+fn submit_status_result_round_trip_is_byte_identical_to_direct_run() {
+    // The acceptance bar: a server round-trip must reproduce the CLI
+    // artifact byte for byte, on both the sequential and the parallel
+    // simulation backend.
+    for sim_jobs in [None, Some(4)] {
+        let job = tiny_job("AMR", PolicySpec::Spawn, sim_jobs);
+        let direct = job.run(None).expect("direct run");
+        let expected = format!("{}\n", direct.artifact.expect("metrics full emits artifact"));
+
+        let (addr, handle) = start(1);
+        let mut client = Client::connect(&addr).unwrap();
+        let ack = client.submit(&job).expect("submit");
+        assert!(!ack.cached, "fresh daemon cannot have this cached");
+        assert_eq!(ack.hash, format!("{:016x}", job.canonical_hash()));
+
+        let status = client
+            .roundtrip(&Request::Status { id: ack.id })
+            .expect("status");
+        let state = status.get("state").and_then(Json::as_str).unwrap();
+        assert!(
+            ["queued", "running", "done"].contains(&state),
+            "unexpected state {state}"
+        );
+
+        let res = client.result(ack.id).expect("result");
+        assert_eq!(res.id, ack.id);
+        assert_eq!(res.hash, ack.hash);
+        let wire = format!("{}\n", res.artifact);
+        assert_eq!(
+            wire, expected,
+            "server artifact differs from direct run (sim_jobs {sim_jobs:?})"
+        );
+
+        // Terminal status is now `done`.
+        let status = client
+            .roundtrip(&Request::Status { id: ack.id })
+            .expect("status after result");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        stop(&addr, handle);
+    }
+}
+
+#[test]
+fn sequential_and_parallel_submissions_share_one_memo_entry() {
+    // sim_jobs is not part of the canonical config (artifacts are
+    // byte-identical across backends), so a par:4 submit after a seq
+    // run is a memo hit.
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let seq = tiny_job("GC-citation", PolicySpec::Baseline, None);
+    let par = tiny_job("GC-citation", PolicySpec::Baseline, Some(4));
+    let first = client.run(&seq).expect("seq run");
+    let second = client.run(&par).expect("par run");
+    assert!(!first.cached && second.cached);
+    assert_eq!(first.hash, second.hash);
+    assert_eq!(first.artifact.to_string(), second.artifact.to_string());
+    stop(&addr, handle);
+}
+
+#[test]
+fn memo_hit_is_observable_in_daemon_stats() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let job = tiny_job("MM-small", PolicySpec::Flat, None);
+    let first = client.run(&job).expect("first run");
+    assert!(!first.cached);
+    let second = client.run(&job).expect("second run");
+    assert!(second.cached, "identical config+seed must hit the cache");
+    assert_eq!(first.artifact.to_string(), second.artifact.to_string());
+
+    let stats = client.stats().expect("stats");
+    let get = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(get("submitted"), 2);
+    assert_eq!(get("executed"), 1, "the second submit must not simulate");
+    assert_eq!(get("memo_hits"), 1);
+    assert_eq!(get("failed"), 0);
+    stop(&addr, handle);
+}
+
+#[test]
+fn sweep_request_admits_every_point_and_coalesces_duplicates() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let sweep = SweepRequest {
+        base: tiny_job("AMR", PolicySpec::Flat, None),
+        policies: vec![PolicySpec::Flat, PolicySpec::Spawn, PolicySpec::Flat],
+    };
+    let doc = client.roundtrip(&Request::Sweep(sweep)).expect("sweep");
+    let ids = doc.get("ids").and_then(Json::as_array).unwrap();
+    let cached = doc.get("cached").and_then(Json::as_array).unwrap();
+    let hashes = doc.get("hashes").and_then(Json::as_array).unwrap();
+    assert_eq!(ids.len(), 3);
+    assert_eq!(hashes[0], hashes[2], "same policy, same hash");
+    assert_ne!(hashes[0], hashes[1]);
+    assert_eq!(cached[0].as_bool(), Some(false));
+    assert_eq!(
+        cached[2].as_bool(),
+        Some(true),
+        "duplicate point coalesces onto the first"
+    );
+    // All three ids resolve to results.
+    for id in ids {
+        let id = id.as_u64().unwrap();
+        client.result(id).expect("sweep point result");
+    }
+    stop(&addr, handle);
+}
+
+#[test]
+fn metrics_off_submissions_are_rejected_up_front() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let mut job = tiny_job("AMR", PolicySpec::Flat, None);
+    job.metrics = MetricsLevel::Off;
+    let err = client.submit(&job).unwrap_err();
+    assert!(err.contains("off"), "unexpected error: {err}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("submitted").and_then(Json::as_u64), Some(0));
+    stop(&addr, handle);
+}
+
+#[test]
+fn cancel_of_an_unknown_id_is_an_error_not_a_crash() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let err = client
+        .roundtrip(&Request::Cancel { id: 12345 })
+        .unwrap_err();
+    assert!(err.contains("12345"), "unexpected error: {err}");
+    stop(&addr, handle);
+}

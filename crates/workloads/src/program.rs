@@ -34,6 +34,28 @@ impl Scale {
             Scale::Paper => 16,
         }
     }
+
+    /// The canonical lowercase name: `tiny`, `small`, `paper`. This is
+    /// the spelling used on the CLI, in the server wire protocol, and
+    /// inside canonical workload ids (`suite:NAME@SCALE`) — one string
+    /// for all three, so [`parse`](Scale::parse) round-trips it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a canonical scale name (the inverse of [`name`](Scale::name)).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
 }
 
 /// Shared virtual-address layout so every benchmark's streams land in

@@ -22,7 +22,8 @@ echo "== scorecard smoke (tiny scale) =="
 
 echo "== artifact smoke (emit + validate round trip) =="
 artifact_dir="$(mktemp -d)"
-trap 'rm -rf "$artifact_dir"' EXIT
+server_pid=""
+trap 'rm -rf "$artifact_dir"; [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true' EXIT
 ./target/release/dynapar run --bench GC-citation --policy spawn --scale tiny \
     --metrics full --emit-json "$artifact_dir/run.json"
 ./target/release/dynapar check-artifact --file "$artifact_dir/run.json"
@@ -83,6 +84,44 @@ else
         --baseline results/BENCH_6.json
     grep -q '"sim_jobs": 4' "$artifact_dir/perf-par.json"
 fi
+
+echo "== server smoke (daemon round-trip, memoization, byte identity) =="
+# One daemon on an ephemeral loopback port; the same paper-scale job is
+# run three ways — directly via the CLI, via a first server submit
+# (executes), and via a second identical submit (must be a memo hit,
+# reported as cached=true) — and all three artifacts must be
+# byte-identical, because `dynapar run` and a server submit build the
+# same typed JobRequest (docs/SERVER.md).
+port_file="$artifact_dir/port"
+./target/release/dynapar serve --listen 127.0.0.1:0 --port-file "$port_file" &
+server_pid=$!
+i=0
+while [ ! -s "$port_file" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "daemon never wrote its port file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="127.0.0.1:$(cat "$port_file")"
+./target/release/dynapar run --bench BFS-graph500 --policy spawn --scale paper \
+    --metrics full --emit-json "$artifact_dir/server-cli.json"
+./target/release/dynapar submit --addr "$addr" --bench BFS-graph500 --policy spawn \
+    --scale paper --emit-json "$artifact_dir/server-1.json" \
+    | tee "$artifact_dir/submit-1.out"
+grep -q 'cached=false' "$artifact_dir/submit-1.out"
+./target/release/dynapar submit --addr "$addr" --bench BFS-graph500 --policy spawn \
+    --scale paper --emit-json "$artifact_dir/server-2.json" \
+    | tee "$artifact_dir/submit-2.out"
+grep -q 'cached=true' "$artifact_dir/submit-2.out"
+cmp "$artifact_dir/server-cli.json" "$artifact_dir/server-1.json"
+cmp "$artifact_dir/server-1.json" "$artifact_dir/server-2.json"
+./target/release/dynapar server-stats --addr "$addr" \
+    | grep -q '"memo_hits": 1'
+./target/release/dynapar server-shutdown --addr "$addr"
+wait "$server_pid"
+server_pid=""
 
 echo "== profile smoke (perf --profile emits a valid dynapar-profile/1) =="
 # Separate target dir: the profile feature changes the compiled code, so

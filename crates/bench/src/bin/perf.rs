@@ -42,16 +42,23 @@
 //!   telemetry contract is that observation never changes simulated
 //!   behavior). Not combinable with `--profile`, which measures the
 //!   `off` configuration by definition.
+//! - `--sweep-fork` — standalone mode: measures a four-policy sweep of
+//!   the warm-ramp workload cold (every point from cycle 0) and warm
+//!   (the shared ramp simulated once, every remaining point forked
+//!   from the snapshot), verifies the fork point is policy-pristine
+//!   and covers ≥ 30% of every run, and fails unless the warm sweep
+//!   beats the cold one by ≥ 1.5×. Combines with `--emit-json` /
+//!   `--baseline` (`results/BENCH_8.json` is the committed baseline).
 
 use dynapar_bench::{parse_metrics_level, usage_error, Options};
-use dynapar_core::{BaselineDp, SpawnPolicy};
+use dynapar_core::{BaselineDp, PolicySpec, SpawnPolicy};
 use dynapar_engine::par::par_map;
 use dynapar_engine::profile::ProfileReport;
 use dynapar_gpu::{
-    canonical_json_hash, InlineAll, Json, LaunchController, MetricsLevel, QueueBackend, SimBackend,
-    SimReport,
+    canonical_json_hash, parse_snapshot, InlineAll, Json, LaunchController, MetricsLevel,
+    QueueBackend, SimBackend, SimReport,
 };
-use dynapar_workloads::{suite, Scale};
+use dynapar_workloads::{suite, warm_ramp_spec, RunOptions, Scale};
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -79,6 +86,7 @@ fn main() {
     let mut profile = false;
     let mut check_profile: Option<String> = None;
     let mut metrics = MetricsLevel::Off;
+    let mut sweep_fork = false;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -145,10 +153,11 @@ fn main() {
                 let v = rest.next().unwrap_or_else(|| usage_error("--metrics expects a level"));
                 metrics = parse_metrics_level(&v).unwrap_or_else(|e| e.exit());
             }
+            "--sweep-fork" => sweep_fork = true,
             other => usage_error(&format!(
                 "unknown argument {other:?} (perf adds --parallel, --queue, \
                  --sim-jobs, --emit-json, --baseline, --max-regress, --runs, \
-                 --profile, --check-profile, --metrics)"
+                 --profile, --check-profile, --metrics, --sweep-fork)"
             )),
         }
     }
@@ -166,6 +175,21 @@ fn main() {
     }
     if profile && metrics != MetricsLevel::Off {
         usage_error("--profile measures the `off` configuration; drop --metrics");
+    }
+    if sweep_fork {
+        if profile || metrics != MetricsLevel::Off {
+            usage_error("--sweep-fork measures the `off` configuration; drop --profile/--metrics");
+        }
+        run_sweep_fork(
+            &opts,
+            queue,
+            backend,
+            runs,
+            emit_json.as_deref(),
+            baseline.as_deref(),
+            max_regress,
+        );
+        return;
     }
     if serial {
         opts.jobs = 1;
@@ -436,6 +460,249 @@ fn main() {
         println!("wrote {path}");
     }
     if let Some(path) = &baseline {
+        match gate_against_baseline(path, &doc, max_regress) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("perf: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The fork-point cycle of the `--sweep-fork` workload. Empirically
+/// inside the policy-pristine ramp of the 1200×40 warm-ramp workload
+/// (the boundary is past cycle 150k of a ~194k-cycle run) while
+/// covering well over the 30% floor; the harness re-verifies both
+/// facts on every run rather than trusting this constant.
+const SWEEP_FORK_WARMUP: u64 = 145_000;
+
+/// Minimum fraction of every policy's total cycles the shared ramp
+/// must cover for the amortization claim to be meaningful.
+const SWEEP_FORK_MIN_WARM_FRACTION: f64 = 0.30;
+
+/// Minimum cold-sweep / warm-sweep wall-clock ratio.
+const SWEEP_FORK_MIN_SPEEDUP: f64 = 1.5;
+
+/// `--sweep-fork`: measures the same four-policy sweep twice — every
+/// point cold, then the shared ramp once plus one fork per remaining
+/// point — and gates the amortization. Serial by construction: each
+/// wall-clock must not be polluted by sibling simulations.
+fn run_sweep_fork(
+    opts: &Options,
+    queue: QueueBackend,
+    backend: SimBackend,
+    runs: usize,
+    emit_json: Option<&str>,
+    baseline: Option<&str>,
+    max_regress: f64,
+) {
+    let cfg = opts.config();
+    let b = warm_ramp_spec(1200, 40).build(opts.seed);
+    let policies = [
+        PolicySpec::Spawn,
+        PolicySpec::Dtbl,
+        PolicySpec::FreeLaunch,
+        PolicySpec::Baseline,
+    ];
+    let mk = |p: &PolicySpec| p.controller(&cfg, b.default_threshold(), MetricsLevel::Off);
+    let run_opts = || RunOptions {
+        queue,
+        backend,
+        ..RunOptions::default()
+    };
+    let fail = |msg: &str| -> ! {
+        eprintln!("perf: sweep-fork: {msg}");
+        std::process::exit(1);
+    };
+    // Each repeat measures the full cold sweep then the full warm
+    // sweep; per-label medians absorb scheduler noise.
+    let mut walls: Vec<Vec<f64>> = vec![Vec::new(); policies.len() * 2];
+    let mut events: Vec<u64> = Vec::new();
+    let mut cold_cycles: Vec<u64> = Vec::new();
+    for rep in 0..runs {
+        let mut rep_events = Vec::new();
+        let mut rep_cycles = Vec::new();
+        for (i, p) in policies.iter().enumerate() {
+            let out = b.run_full_opts(&cfg, mk(p), MetricsLevel::Off, run_opts());
+            walls[i].push(out.report.wall_ms);
+            rep_events.push(out.report.events_processed);
+            rep_cycles.push(out.report.total_cycles);
+        }
+        // Warm sweep: the first policy's run doubles as the shared
+        // ramp (arming a snapshot never changes simulated behavior).
+        let armed = b.run_full_opts(
+            &cfg,
+            mk(&policies[0]),
+            MetricsLevel::Off,
+            RunOptions {
+                snapshot_at: Some(SWEEP_FORK_WARMUP),
+                ..run_opts()
+            },
+        );
+        let snap = armed
+            .snapshot
+            .unwrap_or_else(|| fail("the run finished before the fork cycle"));
+        let pristine = parse_snapshot(&snap)
+            .ok()
+            .and_then(|(h, _)| h.get("pristine").and_then(Json::as_bool))
+            == Some(true);
+        if !pristine {
+            fail(&format!(
+                "cycle {SWEEP_FORK_WARMUP} is past the policy-independent ramp — \
+                 the fork would bake the ramp policy's decisions into every branch"
+            ));
+        }
+        walls[policies.len()].push(armed.report.wall_ms);
+        let mut rep_warm_events = vec![armed.report.events_processed];
+        for (i, p) in policies.iter().enumerate().skip(1) {
+            let out = b
+                .run_resumed(&cfg, mk(p), MetricsLevel::Off, run_opts(), &snap)
+                .unwrap_or_else(|e| fail(&format!("resume: {e:?}")));
+            walls[policies.len() + i].push(out.report.wall_ms);
+            rep_warm_events.push(out.report.events_processed);
+            if out.report.total_cycles != rep_cycles[i] {
+                fail(&format!(
+                    "{}: forked run ended at cycle {} but the cold run at {} — \
+                     the fork changed simulated behavior",
+                    p.label(),
+                    out.report.total_cycles,
+                    rep_cycles[i]
+                ));
+            }
+        }
+        rep_events.extend(rep_warm_events);
+        if rep == 0 {
+            events = rep_events;
+            cold_cycles = rep_cycles;
+        } else if events != rep_events {
+            fail("event counts vary across repeats — the simulator is nondeterministic");
+        }
+    }
+    for (p, &cycles) in policies.iter().zip(&cold_cycles) {
+        let frac = SWEEP_FORK_WARMUP as f64 / cycles as f64;
+        if frac < SWEEP_FORK_MIN_WARM_FRACTION {
+            fail(&format!(
+                "{}: the ramp covers only {:.0}% of the {cycles}-cycle run \
+                 (floor {:.0}%) — the workload no longer stresses amortization",
+                p.label(),
+                frac * 100.0,
+                SWEEP_FORK_MIN_WARM_FRACTION * 100.0
+            ));
+        }
+    }
+    let median = |w: &[f64]| {
+        let mut w = w.to_vec();
+        w.sort_by(|a, b| a.total_cmp(b));
+        w[w.len() / 2]
+    };
+    let sim_jobs_label = match backend {
+        SimBackend::Seq => "seq".to_string(),
+        SimBackend::Par(n) => format!("par:{n}"),
+    };
+    println!(
+        "# perf --sweep-fork ({}, seed {}, queue {}, sim {}, runs {}, fork at cycle {})",
+        b.name(),
+        opts.seed,
+        queue.name(),
+        sim_jobs_label,
+        runs,
+        SWEEP_FORK_WARMUP
+    );
+    println!("{:<28} {:>12} {:>10} {:>12}", "run", "events", "wall_ms", "events/sec");
+    let mut rows = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_ms = 0.0f64;
+    let mut cold_ms = 0.0f64;
+    let mut warm_ms = 0.0f64;
+    for (slot, w) in walls.iter().enumerate() {
+        let (kind, p) = if slot < policies.len() {
+            ("cold", &policies[slot])
+        } else if slot == policies.len() {
+            ("ramp", &policies[0])
+        } else {
+            ("fork", &policies[slot - policies.len()])
+        };
+        let label = format!("{kind}/{}", p.label());
+        let wall = median(w);
+        let ev = events[slot];
+        let rate = if wall > 0.0 { ev as f64 / (wall / 1e3) } else { 0.0 };
+        println!("{:<28} {:>12} {:>10.1} {:>12.0}", label, ev, wall, rate);
+        if slot < policies.len() {
+            cold_ms += wall;
+        } else {
+            warm_ms += wall;
+        }
+        total_events += ev;
+        total_ms += wall;
+        rows.push(Json::obj([
+            ("name", Json::str(label)),
+            ("events", Json::U64(ev)),
+            ("wall_ms", Json::F64(wall)),
+            ("events_per_sec", Json::F64(rate)),
+        ]));
+    }
+    let speedup = if warm_ms > 0.0 { cold_ms / warm_ms } else { 0.0 };
+    println!(
+        "{:<28} {:>12} {:>10.1}",
+        "COLD SWEEP", "", cold_ms
+    );
+    println!(
+        "{:<28} {:>12} {:>10.1}   ({speedup:.2}x faster warm)",
+        "WARM SWEEP (ramp + forks)", "", warm_ms
+    );
+    if speedup < SWEEP_FORK_MIN_SPEEDUP {
+        fail(&format!(
+            "warm sweep is only {speedup:.2}x faster than cold \
+             (floor {SWEEP_FORK_MIN_SPEEDUP}x) — the fork path lost its amortization"
+        ));
+    }
+    let config_hash = {
+        let preimage = Json::obj([
+            ("schema", Json::str("dynapar.perf_sweep_fork_config/v1")),
+            ("gpu", cfg.to_json()),
+            ("seed", Json::U64(opts.seed)),
+            ("queue", Json::str(queue.name())),
+            (
+                "sim_jobs",
+                match backend {
+                    SimBackend::Seq => Json::U64(0),
+                    SimBackend::Par(n) => Json::U64(n as u64),
+                },
+            ),
+            ("warmup", Json::U64(SWEEP_FORK_WARMUP)),
+        ]);
+        format!("{:016x}", canonical_json_hash(&preimage))
+    };
+    let sim_rate = if total_ms > 0.0 { total_events as f64 / (total_ms / 1e3) } else { 0.0 };
+    let doc = Json::obj([
+        ("schema", Json::str(PERF_SCHEMA)),
+        ("mode", Json::str("sweep-fork")),
+        ("seed", Json::U64(opts.seed)),
+        ("queue", Json::str(queue.name())),
+        ("repeats", Json::U64(runs as u64)),
+        ("warmup_cycle", Json::U64(SWEEP_FORK_WARMUP)),
+        ("speedup", Json::F64(speedup)),
+        ("config_hash", Json::str(config_hash)),
+        ("runs", Json::Arr(rows)),
+        (
+            "total",
+            Json::obj([
+                ("events", Json::U64(total_events)),
+                ("wall_ms", Json::F64(total_ms)),
+                ("events_per_sec", Json::F64(sim_rate)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = emit_json {
+        let text = format!("{}\n", doc.pretty());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("perf: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = baseline {
         match gate_against_baseline(path, &doc, max_regress) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {

@@ -33,6 +33,12 @@ pub enum Command {
         emit_timeline: Option<String>,
         /// Metrics collection level for the run artifact.
         metrics: MetricsLevel,
+        /// Capture a snapshot once simulated time passes this cycle.
+        snapshot_at: Option<u64>,
+        /// Write the captured snapshot to this path.
+        snapshot_out: Option<String>,
+        /// Resume from a snapshot file instead of starting cold.
+        resume: Option<String>,
     },
     /// Level-synchronous BFS (multi-kernel) under one policy vs flat.
     Levels {
@@ -43,10 +49,15 @@ pub enum Command {
     },
     /// Threshold sweep on one benchmark.
     Sweep {
-        /// Benchmark name.
-        bench: String,
+        /// Benchmark name; exclusive with `spec`.
+        bench: Option<String>,
+        /// Spec-file path; exclusive with `bench`.
+        spec: Option<String>,
         /// Number of sweep points.
         points: usize,
+        /// Warm-start fork point: simulate the shared ramp once up to
+        /// this cycle, then fork every sweep point from the snapshot.
+        fork_warmup: Option<u64>,
     },
     /// All policies side by side on one benchmark.
     Compare {
@@ -83,6 +94,9 @@ pub enum Command {
         workers: usize,
         /// Write the bound port (one line) to this path once listening.
         port_file: Option<String>,
+        /// Artifact store directory: persists the memo cache across
+        /// daemon restarts.
+        store: Option<String>,
     },
     /// Submit a job to a running daemon and wait for its artifact.
     Submit {
@@ -144,15 +158,17 @@ USAGE:
   dynapar run (--bench <NAME> | --spec <PATH>) --policy <POLICY>
               [--trace N] [--timeline-csv F] [--kernels-csv F]
               [--metrics off|summary|full|timeseries] [--emit-json F]
-              [--emit-timeline F] [options]
+              [--emit-timeline F] [--snapshot-at C --snapshot-out F]
+              [--resume F] [options]
   dynapar levels --input citation|graph500 --policy <POLICY> [options]
-  dynapar sweep --bench <NAME> [--points N] [options]
+  dynapar sweep (--bench <NAME> | --spec <PATH>) [--points N]
+                [--fork-warmup C] [options]
   dynapar compare --bench <NAME> [options]
   dynapar suite --policy <POLICY> [options]
   dynapar spec --file <PATH> --policy <POLICY> [options]
   dynapar check-artifact --file <PATH>
   dynapar check-timeline --file <PATH>
-  dynapar serve [--listen ADDR] [--workers N] [--port-file F]
+  dynapar serve [--listen ADDR] [--workers N] [--port-file F] [--store DIR]
   dynapar submit --addr HOST:PORT (--bench <NAME> | --spec <PATH>)
                  --policy <POLICY> [--metrics L] [--emit-json F] [options]
   dynapar server-stats --addr HOST:PORT
@@ -175,10 +191,18 @@ ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
 TIMELINE:  --emit-timeline writes a Perfetto/Chrome trace_event JSON
            (implies --trace 100000 unless --trace is given); open it
            at ui.perfetto.dev. `check-timeline` validates such a file
+SNAPSHOT:  `run --snapshot-at C --snapshot-out F` runs to completion and
+           also captures the deterministic state at cycle C;
+           `run --resume F` warm-starts from it — the resumed run's
+           artifact is byte-identical to an uninterrupted run.
+           `sweep --fork-warmup C` simulates the shared ramp once and
+           forks every sweep point from the cycle-C snapshot.
 SERVER:    `serve` starts the line-JSON v1 daemon (docs/SERVER.md);
            `submit` runs a job on it and waits — identical configs are
            answered from the daemon's memo cache without re-simulating,
-           and artifacts are byte-identical to a local `run --emit-json`
+           and artifacts are byte-identical to a local `run --emit-json`.
+           `serve --store DIR` persists completed artifacts so the memo
+           cache survives daemon restarts
 ";
 
 fn take_value<'a>(
@@ -218,6 +242,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut workers = 1usize;
     let mut port_file: Option<String> = None;
     let mut addr: Option<String> = None;
+    let mut snapshot_at: Option<u64> = None;
+    let mut snapshot_out: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut fork_warmup: Option<u64> = None;
+    let mut store: Option<String> = None;
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
     let mut i = 1;
@@ -302,6 +331,25 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 port_file = Some(take_value(args, &mut i, "--port-file")?.to_string());
             }
             "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
+            "--snapshot-at" => {
+                snapshot_at = Some(
+                    take_value(args, &mut i, "--snapshot-at")?
+                        .parse()
+                        .map_err(|_| "--snapshot-at expects a cycle number".to_string())?,
+                );
+            }
+            "--snapshot-out" => {
+                snapshot_out = Some(take_value(args, &mut i, "--snapshot-out")?.to_string());
+            }
+            "--resume" => resume = Some(take_value(args, &mut i, "--resume")?.to_string()),
+            "--fork-warmup" => {
+                fork_warmup = Some(
+                    take_value(args, &mut i, "--fork-warmup")?
+                        .parse()
+                        .map_err(|_| "--fork-warmup expects a cycle number".to_string())?,
+                );
+            }
+            "--store" => store = Some(take_value(args, &mut i, "--store")?.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -317,6 +365,21 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let command = match sub {
         "run" => {
             need_workload(&bench, &spec)?;
+            // Snapshots and the decision trace are mutually exclusive
+            // (the trace is unsupported across a capture/resume), and
+            // arming without a destination would silently discard the
+            // snapshot.
+            if snapshot_at.is_some() != snapshot_out.is_some() {
+                return Err("--snapshot-at and --snapshot-out go together".to_string());
+            }
+            if resume.is_some() && snapshot_at.is_some() {
+                return Err("--resume cannot also arm a snapshot (--snapshot-at)".to_string());
+            }
+            if (snapshot_at.is_some() || resume.is_some())
+                && (trace.is_some() || emit_timeline.is_some())
+            {
+                return Err("snapshots are incompatible with --trace/--emit-timeline".to_string());
+            }
             Command::Run {
                 bench,
                 spec,
@@ -340,16 +403,24 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     None
                 }),
                 emit_timeline,
+                snapshot_at,
+                snapshot_out,
+                resume,
             }
         }
         "levels" => Command::Levels {
             input: input.ok_or("--input is required (citation|graph500)")?,
             policy: policy.ok_or("--policy is required")?,
         },
-        "sweep" => Command::Sweep {
-            bench: need_bench()?,
-            points,
-        },
+        "sweep" => {
+            need_workload(&bench, &spec)?;
+            Command::Sweep {
+                bench,
+                spec,
+                points,
+                fork_warmup,
+            }
+        }
         "compare" => Command::Compare {
             bench: need_bench()?,
         },
@@ -370,6 +441,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             listen,
             workers,
             port_file,
+            store,
         },
         "submit" => {
             need_workload(&bench, &spec)?;
@@ -424,6 +496,9 @@ mod tests {
                 emit_json: None,
                 emit_timeline: None,
                 metrics: MetricsLevel::Off,
+                snapshot_at: None,
+                snapshot_out: None,
+                resume: None,
             }
         );
         assert_eq!(cli.scale, Scale::Tiny);
@@ -510,10 +585,15 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Sweep {
-                bench: "Mandel".into(),
-                points: 5
+                bench: Some("Mandel".into()),
+                spec: None,
+                points: 5,
+                fork_warmup: None,
             }
         );
+        parse(&v(&["sweep", "--spec", "ramp.spec", "--fork-warmup", "2000"]))
+            .expect("spec sweeps are valid");
+        parse(&v(&["sweep", "--points", "3"])).expect_err("workload is required");
         let cli = parse(&v(&["compare", "--bench", "Mandel"])).expect("valid");
         assert_eq!(
             cli.command,
@@ -686,11 +766,13 @@ mod tests {
             Command::Serve {
                 listen: "127.0.0.1:0".into(),
                 workers: 1,
-                port_file: None
+                port_file: None,
+                store: None,
             }
         );
         let cli = parse(&v(&[
             "serve", "--listen", "127.0.0.1:7070", "--workers", "4", "--port-file", "p.txt",
+            "--store", "cache/",
         ]))
         .expect("valid");
         assert_eq!(
@@ -698,10 +780,64 @@ mod tests {
             Command::Serve {
                 listen: "127.0.0.1:7070".into(),
                 workers: 4,
-                port_file: Some("p.txt".into())
+                port_file: Some("p.txt".into()),
+                store: Some("cache/".into()),
             }
         );
         assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_flags() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--snapshot-at", "5000",
+            "--snapshot-out", "s.snap",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run {
+                snapshot_at,
+                snapshot_out,
+                resume,
+                ..
+            } => {
+                assert_eq!(snapshot_at, Some(5000));
+                assert_eq!(snapshot_out.as_deref(), Some("s.snap"));
+                assert_eq!(resume, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--resume", "s.snap",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Run { resume, .. } => assert_eq!(resume.as_deref(), Some("s.snap")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invalid combinations are rejected with a reason.
+        for bad in [
+            &["run", "--bench", "AMR", "--policy", "spawn", "--snapshot-at", "5"][..],
+            &["run", "--bench", "AMR", "--policy", "spawn", "--snapshot-out", "f"][..],
+            &[
+                "run", "--bench", "AMR", "--policy", "spawn", "--resume", "f",
+                "--snapshot-at", "5", "--snapshot-out", "g",
+            ][..],
+            &[
+                "run", "--bench", "AMR", "--policy", "spawn", "--resume", "f", "--trace", "10",
+            ][..],
+        ] {
+            assert!(parse(&v(bad)).is_err(), "{bad:?} should be rejected");
+        }
+        // Sweep grows the fork point.
+        let cli = parse(&v(&[
+            "sweep", "--bench", "Mandel", "--fork-warmup", "40000",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Sweep { fork_warmup, .. } => assert_eq!(fork_warmup, Some(40000)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use dynapar_core::PolicySpec;
 use dynapar_engine::par::par_map;
 use dynapar_gpu::{GpuConfig, MetricsLevel, SimReport};
 use dynapar_server::{
-    Client, GpuPreset, JobRequest, Server, ServerConfig, SweepRequest, WorkloadRef,
+    Client, GpuPreset, JobRequest, Observation, Server, ServerConfig, SweepRequest, WorkloadRef,
     PROTOCOL_VERSION,
 };
 use dynapar_workloads::{suite, Benchmark};
@@ -126,6 +126,9 @@ fn exec(cli: Cli) -> Result<(), String> {
             emit_json,
             emit_timeline,
             metrics,
+            snapshot_at,
+            snapshot_out,
+            resume,
         } => {
             let job = JobRequest {
                 workload: workload_ref(bench, spec, &cli)?,
@@ -152,7 +155,26 @@ fn exec(cli: Cli) -> Result<(), String> {
                 b.threads(),
                 b.total_items()
             );
-            let out = job.run(*trace)?;
+            let out = if let Some(path) = resume {
+                let snap =
+                    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+                println!("# resuming from snapshot {path} ({} bytes)", snap.len());
+                job.run_forked(&snap, Observation::default())?
+            } else if let Some(cycle) = snapshot_at {
+                job.run_armed(*cycle, Observation::default())?
+            } else {
+                job.run(*trace)?
+            };
+            if let Some(path) = snapshot_out {
+                let snap = out.snapshot.as_ref().ok_or_else(|| {
+                    format!(
+                        "run finished before cycle {} — no snapshot captured",
+                        snapshot_at.expect("--snapshot-out implies --snapshot-at")
+                    )
+                })?;
+                std::fs::write(path, snap).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("# snapshot written to {path} ({} bytes)", snap.len());
+            }
             let r = &out.report;
             summarize(&policy.label(), r, None);
             if let Some(tr) = &out.trace {
@@ -243,8 +265,20 @@ fn exec(cli: Cli) -> Result<(), String> {
                 summarize(&p.label(), r, Some(flat.total_cycles));
             }
         }
-        Command::Sweep { bench, points } => {
-            let b = get_bench(bench, &cli)?;
+        Command::Sweep {
+            bench,
+            spec,
+            points,
+            fork_warmup,
+        } => {
+            let workload = workload_ref(bench, spec, &cli)?;
+            let b = workload.build(cli.seed).map_err(|e| {
+                if e.starts_with("unknown benchmark") {
+                    format!("{e}; try `dynapar list`")
+                } else {
+                    e
+                }
+            })?;
             let flat = b.run_flat(&cfg);
             let fracs: Vec<f64> = (1..=*points)
                 .map(|i| i as f64 / (*points as f64 + 1.0))
@@ -258,10 +292,7 @@ fn exec(cli: Cli) -> Result<(), String> {
             // (and memo keys) are identical on both paths.
             let sweep = SweepRequest {
                 base: JobRequest {
-                    workload: WorkloadRef::Suite {
-                        bench: bench.clone(),
-                        scale: cli.scale,
-                    },
+                    workload,
                     policy: PolicySpec::Flat,
                     seed: cli.seed,
                     metrics: MetricsLevel::Off,
@@ -269,13 +300,57 @@ fn exec(cli: Cli) -> Result<(), String> {
                     sim_jobs: cli.sim_jobs,
                 },
                 policies: grid.iter().map(|&t| PolicySpec::Threshold(t)).collect(),
+                fork_warmup: *fork_warmup,
             };
             let jobs: Vec<(u32, JobRequest)> =
                 grid.iter().copied().zip(sweep.expand()).collect();
-            let runs = par_map(jobs, cli.jobs, |(t, job)| {
-                let out = job.run(None).expect("benchmark validated above");
-                (t, out.report)
-            });
+            // With --fork-warmup, simulate the shared policy-independent
+            // ramp once, then branch every remaining point from the
+            // snapshot. Only a pristine ramp (no launch decisions yet)
+            // is policy-independent; otherwise fall back to cold runs.
+            let warm_snapshot = match fork_warmup {
+                Some(cycle) if jobs.len() > 1 => {
+                    let first = jobs[0].1.clone();
+                    let out = first.run_armed(*cycle, Observation::default())?;
+                    let snap = out.snapshot.filter(|s| {
+                        dynapar_gpu::parse_snapshot(s)
+                            .ok()
+                            .and_then(|(job, _)| {
+                                job.get("pristine").and_then(dynapar_gpu::Json::as_bool)
+                            })
+                            == Some(true)
+                    });
+                    match &snap {
+                        Some(s) => println!(
+                            "# warm-start: ramped to cycle {cycle} once ({} bytes), forking {} branches",
+                            s.len(),
+                            jobs.len() - 1
+                        ),
+                        None => println!(
+                            "# warm-start: cycle {cycle} is past the policy-independent ramp; running cold"
+                        ),
+                    }
+                    snap.map(|s| (s, out.report))
+                }
+                _ => None,
+            };
+            let runs = if let Some((snap, first_report)) = warm_snapshot {
+                let rest: Vec<(u32, JobRequest)> = jobs[1..].to_vec();
+                let mut runs = vec![(jobs[0].0, first_report)];
+                runs.extend(par_map(rest, cli.jobs, |(t, job)| {
+                    let out = job
+                        .run_forked(&snap, Observation::default())
+                        .or_else(|_| job.run(None))
+                        .expect("benchmark validated above");
+                    (t, out.report)
+                }));
+                runs
+            } else {
+                par_map(jobs, cli.jobs, |(t, job)| {
+                    let out = job.run(None).expect("benchmark validated above");
+                    (t, out.report)
+                })
+            };
             println!("{:>10} {:>9} {:>8} {:>9}", "THRESHOLD", "offload%", "speedup", "kernels");
             for (t, r) in &runs {
                 println!(
@@ -325,12 +400,17 @@ fn exec(cli: Cli) -> Result<(), String> {
             listen,
             workers,
             port_file,
+            store,
         } => {
             let server = Server::bind(&ServerConfig {
                 addr: listen.clone(),
                 workers: *workers,
+                store: store.clone().map(std::path::PathBuf::from),
             })
             .map_err(|e| format!("bind {listen}: {e}"))?;
+            if let Some(dir) = store {
+                println!("# memo cache persisted under {dir}");
+            }
             let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
             if let Some(path) = port_file {
                 std::fs::write(path, format!("{}\n", addr.port()))

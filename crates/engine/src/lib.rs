@@ -22,6 +22,8 @@
 //!   behind the `--metrics timeseries` observability level,
 //! * [`par`] — an order-preserving [`par::par_map`] for running many
 //!   *independent* simulations on multiple cores,
+//! * [`snap`] — checked fixed-width binary readers/writers for
+//!   simulation snapshot state (bit-exact `u128`/`f64` round trips),
 //! * [`profile`] — a feature-gated self-profiler attributing host wall
 //!   time to simulator phases (compiled out by default),
 //! * [`json`] / [`metrics`] — a dependency-free JSON tree and a metrics
@@ -61,6 +63,7 @@ pub mod par;
 pub mod profile;
 mod rng;
 mod sched;
+pub mod snap;
 pub mod stats;
 pub mod timeseries;
 mod wheel;

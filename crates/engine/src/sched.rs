@@ -128,6 +128,44 @@ impl<E> SchedQueue<E> {
             SchedQueue::Wheel(w) => w.total_pushed(),
         }
     }
+
+    /// The pop frontier for snapshotting: the wheel's frontier, or 0 for
+    /// the heap (which has no frontier constraint).
+    pub fn frontier(&self) -> u64 {
+        match self {
+            SchedQueue::Heap(_) => 0,
+            SchedQueue::Wheel(w) => w.frontier(),
+        }
+    }
+
+    /// Returns every pending entry in pop order without observably
+    /// mutating the queue (see the backend docs for the exact guarantee).
+    pub fn snapshot_entries(&mut self) -> Vec<(u64, E)>
+    where
+        E: Clone,
+    {
+        match self {
+            SchedQueue::Heap(q) => q.snapshot_entries(),
+            SchedQueue::Wheel(w) => w.snapshot_entries(),
+        }
+    }
+
+    /// Rebuilds a queue on `backend` from snapshot `entries` in pop
+    /// order, the original `frontier`, and the original `total_pushed`
+    /// counter. The heap ignores `frontier`.
+    pub fn restore_entries(
+        backend: QueueBackend,
+        frontier: u64,
+        pushed: u64,
+        entries: Vec<(u64, E)>,
+    ) -> Self {
+        match backend {
+            QueueBackend::Heap => SchedQueue::Heap(EventQueue::restore_entries(pushed, entries)),
+            QueueBackend::Wheel => {
+                SchedQueue::Wheel(TimingWheel::restore_entries(frontier, pushed, entries))
+            }
+        }
+    }
 }
 
 impl<E> Default for SchedQueue<E> {
@@ -164,6 +202,26 @@ mod tests {
             assert_eq!(QueueBackend::parse(backend.name()), Some(backend));
         }
         assert_eq!(QueueBackend::parse("bogus"), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_on_both_backends() {
+        for backend in [QueueBackend::Heap, QueueBackend::Wheel] {
+            let mut q = SchedQueue::new(backend);
+            q.push(Cycle(4), 'a');
+            q.push(Cycle(2), 'b');
+            q.push(Cycle(4), 'c');
+            assert_eq!(q.pop(), Some((Cycle(2), 'b')));
+            let snap = q.snapshot_entries();
+            assert_eq!(snap, vec![(4, 'a'), (4, 'c')]);
+            let mut restored =
+                SchedQueue::restore_entries(backend, q.frontier(), q.total_pushed(), snap);
+            assert_eq!(restored.backend(), backend);
+            assert_eq!(restored.total_pushed(), 3);
+            assert_eq!(restored.pop(), q.pop());
+            assert_eq!(restored.pop(), q.pop());
+            assert_eq!(restored.pop(), None);
+        }
     }
 
     #[test]

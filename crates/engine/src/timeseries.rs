@@ -43,6 +43,7 @@
 //! ```
 
 use crate::json::Json;
+use crate::snap::{ByteReader, ByteWriter, SnapError};
 
 /// The reduction a [`TimeSeries`] applies inside each window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +250,53 @@ impl TimeSeries {
         self.window_log2 += 1;
     }
 
+    /// Serializes the dynamic state (current window exponent, sample
+    /// count, buckets) for a snapshot. The identity fields — name, kind,
+    /// base window, capacity — come from the constructor and are *not*
+    /// serialized: [`decode_state`](Self::decode_state) targets a series
+    /// freshly built with the same construction parameters.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.window_log2);
+        w.put_u64(self.samples);
+        w.put_len(self.buckets.len());
+        for b in &self.buckets {
+            w.put_u64(b.count);
+            w.put_u64(b.total);
+            w.put_f64(b.sum);
+            w.put_f64(b.min);
+            w.put_f64(b.max);
+        }
+    }
+
+    /// Restores [`encode_state`](Self::encode_state) bytes into `self`,
+    /// which must have been constructed with the original parameters.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        let window_log2 = r.get_u32()?;
+        // Decimation can legally grow the exponent past the 32-bit
+        // construction bound, but never past the u64 cycle domain.
+        if window_log2 < self.base_window_log2 || window_log2 >= 64 {
+            return Err(SnapError::Invalid("timeseries window exponent"));
+        }
+        let samples = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > self.max_buckets {
+            return Err(SnapError::Invalid("timeseries bucket count"));
+        }
+        self.window_log2 = window_log2;
+        self.samples = samples;
+        self.buckets.clear();
+        for _ in 0..n {
+            self.buckets.push(Bucket {
+                count: r.get_u64()?,
+                total: r.get_u64()?,
+                sum: r.get_f64()?,
+                min: r.get_f64()?,
+                max: r.get_f64()?,
+            });
+        }
+        Ok(())
+    }
+
     /// The per-window sums of a counter series.
     pub fn counter_values(&self) -> Vec<u64> {
         self.buckets.iter().map(|b| b.total).collect()
@@ -415,5 +463,53 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn rejects_degenerate_capacity() {
         TimeSeries::counter("c", 4, 1);
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let mut g = TimeSeries::gauge("g", 2, 4);
+        g.record(0, 1.5);
+        g.record(3, -2.0);
+        g.record(40, 7.0); // forces decimation
+        let mut w = ByteWriter::new();
+        g.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = TimeSeries::gauge("g", 2, 4);
+        let mut r = ByteReader::new(&bytes);
+        back.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.to_json().to_string(), g.to_json().to_string());
+        // Continuing both must agree, including further decimation.
+        back.record(200, 3.0);
+        g.record(200, 3.0);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn decode_rejects_impossible_state() {
+        let mut s = TimeSeries::counter("c", 4, 4);
+        s.add(1, 1);
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Window exponent below the base is impossible.
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        let mut target = TimeSeries::counter("c", 4, 4);
+        assert!(target.decode_state(&mut ByteReader::new(&bad)).is_err());
+
+        // More buckets than capacity is impossible.
+        let mut target = TimeSeries::counter("c", 4, 4);
+        bad = bytes.clone();
+        bad[12] = 200;
+        assert!(target.decode_state(&mut ByteReader::new(&bad)).is_err());
+
+        // Truncation surfaces as an error, not a panic.
+        let mut target = TimeSeries::counter("c", 4, 4);
+        assert!(target
+            .decode_state(&mut ByteReader::new(&bytes[..bytes.len() - 3]))
+            .is_err());
     }
 }

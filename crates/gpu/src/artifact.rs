@@ -41,6 +41,14 @@ pub struct RunOutcome {
     /// not part of [`RunArtifact`]: artifacts stay byte-identical
     /// whether or not the run was profiled.
     pub profile: Option<ProfileReport>,
+    /// The captured snapshot container
+    /// ([`SNAPSHOT_SCHEMA`](crate::SNAPSHOT_SCHEMA)), when the builder
+    /// armed one via
+    /// [`SimulationBuilder::snapshot_at`](crate::SimulationBuilder::snapshot_at)
+    /// and the run reached that cycle. Feed the bytes back through
+    /// [`SimulationBuilder::build_resumed`](crate::SimulationBuilder::build_resumed)
+    /// or write them to disk as-is.
+    pub snapshot: Option<Vec<u8>>,
 }
 
 impl fmt::Debug for RunOutcome {
@@ -51,6 +59,7 @@ impl fmt::Debug for RunOutcome {
             .field("controller", &self.controller.name())
             .field("artifact", &self.artifact.is_some())
             .field("profile", &self.profile.is_some())
+            .field("snapshot", &self.snapshot.as_ref().map(Vec::len))
             .finish()
     }
 }

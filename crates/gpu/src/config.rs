@@ -559,6 +559,23 @@ impl CanonicalConfig {
     pub fn canonical_hex(&self) -> String {
         format!("{:016x}", self.canonical_hash())
     }
+
+    /// The *warm-up prefix* identity: [`canonical_hash`] with the policy
+    /// masked out. Two sweep points share a warm-up hash exactly when a
+    /// pristine ramp snapshot (no launch decisions yet — see DESIGN.md
+    /// §13) taken under one of them is a valid starting state for the
+    /// other, so fork-sweep drivers group points by this value to
+    /// simulate the shared ramp once.
+    pub fn warmup_hash(&self) -> u64 {
+        let mut masked = self.clone();
+        masked.policy = "\u{0}warmup".into();
+        masked.canonical_hash()
+    }
+
+    /// [`warmup_hash`](CanonicalConfig::warmup_hash) as 16 hex digits.
+    pub fn warmup_hex(&self) -> String {
+        format!("{:016x}", self.warmup_hash())
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use dynapar_engine::metrics::MetricsRegistry;
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 
 use crate::ids::{HwqId, KernelId, StreamId};
 
@@ -167,6 +168,71 @@ impl Gmu {
         self.hwqs.iter().filter(|q| !q.is_empty()).count() as u32
     }
 
+    /// Serializes the full GMU state: every HWQ's kernel FIFO, the
+    /// stream→HWQ table, round-robin cursors, pool occupancy, and the
+    /// lifetime counters.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.hwqs.len());
+        for q in &self.hwqs {
+            w.put_len(q.len());
+            for &k in q {
+                w.put_u32(k.0);
+            }
+        }
+        w.put_len(self.stream_map.len());
+        for &slot in &self.stream_map {
+            w.put_u32(slot as u32);
+        }
+        w.put_u64(self.streams_mapped);
+        w.put_u32(self.assign_counter);
+        w.put_u64(self.rr_hwq as u64);
+        w.put_u32(self.pending);
+        w.put_u32(self.max_pending_seen);
+        w.put_u64(self.kernels_enqueued);
+        w.put_u64(self.aggregated_registered);
+        w.put_len(self.agg_kernels.len());
+        for &k in &self.agg_kernels {
+            w.put_u32(k.0);
+        }
+    }
+
+    /// Restores [`encode_state`](Gmu::encode_state) bytes into a GMU
+    /// built with the same HWQ count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an HWQ count that differs from this GMU's configuration.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        if r.get_len()? != self.hwqs.len() {
+            return Err(SnapError::Invalid("HWQ count differs from config"));
+        }
+        for q in &mut self.hwqs {
+            let n = r.get_len()?;
+            q.clear();
+            for _ in 0..n {
+                q.push_back(KernelId(r.get_u32()?));
+            }
+        }
+        let n = r.get_len()?;
+        self.stream_map.clear();
+        for _ in 0..n {
+            self.stream_map.push(r.get_u32()? as u16);
+        }
+        self.streams_mapped = r.get_u64()?;
+        self.assign_counter = r.get_u32()?;
+        self.rr_hwq = r.get_u64()? as usize;
+        self.pending = r.get_u32()?;
+        self.max_pending_seen = r.get_u32()?;
+        self.kernels_enqueued = r.get_u64()?;
+        self.aggregated_registered = r.get_u64()?;
+        let n = r.get_len()?;
+        self.agg_kernels.clear();
+        for _ in 0..n {
+            self.agg_kernels.push(KernelId(r.get_u32()?));
+        }
+        Ok(())
+    }
+
     /// Contributes `gmu.*` entries to the run artifact's registry.
     pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
         reg.counter("gmu.kernels_enqueued", self.kernels_enqueued);
@@ -285,6 +351,43 @@ mod tests {
             Some(2)
         );
         assert_eq!(json.get("gmu.streams_mapped").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let mut g = Gmu::new(3);
+        for i in 0..5 {
+            g.enqueue(KernelId(i), StreamId(i % 2));
+        }
+        g.register_aggregated(KernelId(9));
+        g.kernel_complete(KernelId(0), StreamId(0));
+        g.dispatch_candidates(); // advance the round-robin cursor
+
+        let mut w = ByteWriter::new();
+        g.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = Gmu::new(3);
+        let mut r = ByteReader::new(&bytes);
+        back.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.pending(), g.pending());
+        assert_eq!(back.max_pending_seen(), g.max_pending_seen());
+        assert_eq!(back.concurrent_kernels(), g.concurrent_kernels());
+        // Same candidate rotation, same stream mapping.
+        assert_eq!(back.dispatch_candidates(), g.dispatch_candidates());
+        assert_eq!(back.hwq_of(StreamId(7)), g.hwq_of(StreamId(7)));
+        assert_eq!(back.dispatch_candidates(), g.dispatch_candidates());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_hwq_count() {
+        let mut w = ByteWriter::new();
+        Gmu::new(3).encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = Gmu::new(4);
+        let mut r = ByteReader::new(&bytes);
+        assert!(other.decode_state(&mut r).is_err());
     }
 
     #[test]

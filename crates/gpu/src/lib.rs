@@ -90,6 +90,7 @@ pub mod perfetto;
 mod profile;
 mod shard;
 mod sim;
+pub mod snap;
 mod smx;
 mod stats;
 mod telemetry;
@@ -109,7 +110,9 @@ pub use dynapar_engine::json::Json;
 pub use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 pub use dynapar_engine::QueueBackend;
 pub use ids::{CtaKey, HwqId, KernelId, SmxId, StreamId};
-pub use sim::{SimBackend, Simulation, SimulationBuilder};
+pub use dynapar_engine::snap::SnapError;
+pub use sim::{SimBackend, Simulation, SimulationBuilder, WatchHook, WatchSample};
+pub use snap::{parse_snapshot, write_snapshot, SNAPSHOT_SCHEMA};
 pub use stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 pub use telemetry::TIMESERIES_SCHEMA;
 pub use trace::{Trace, TraceEvent};

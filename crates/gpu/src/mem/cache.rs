@@ -1,5 +1,7 @@
 //! A set-associative, LRU tag array.
 
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
+
 /// Tag value of a never-filled way. Line ids are byte addresses shifted
 /// right by the line size, so no real line can reach `u64::MAX`.
 const INVALID_TAG: u64 = u64::MAX;
@@ -186,6 +188,51 @@ impl Cache {
     pub fn capacity_lines(&self) -> usize {
         self.sets * self.ways
     }
+
+    /// Serializes the full tag-array state (geometry, LRU stamps,
+    /// counters) for a snapshot.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.sets);
+        w.put_len(self.ways);
+        w.put_u64(self.tick);
+        w.put_u64(self.accesses);
+        w.put_u64(self.hits);
+        for way in &self.lines {
+            w.put_u64(way.tag);
+            w.put_u64(way.stamp);
+        }
+    }
+
+    /// Rebuilds a cache from [`encode_state`](Cache::encode_state) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero-sized geometry and truncated input.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        let sets = r.get_len()?;
+        let ways = r.get_len()?;
+        if sets == 0 || ways == 0 {
+            return Err(SnapError::Invalid("cache must have sets and ways"));
+        }
+        let tick = r.get_u64()?;
+        let accesses = r.get_u64()?;
+        let hits = r.get_u64()?;
+        let mut lines = Vec::with_capacity(sets * ways);
+        for _ in 0..sets * ways {
+            lines.push(Way {
+                tag: r.get_u64()?,
+                stamp: r.get_u64()?,
+            });
+        }
+        Ok(Cache {
+            sets,
+            ways,
+            lines,
+            tick,
+            accesses,
+            hits,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -284,5 +331,27 @@ mod tests {
     #[should_panic(expected = "cache must have sets and ways")]
     fn zero_geometry_rejected() {
         Cache::new(0, 1);
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let mut c = Cache::new(4, 2);
+        for l in [1u64, 9, 1, 5, 13, 2] {
+            c.probe_fill(l);
+        }
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut back = Cache::decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.accesses(), c.accesses());
+        assert_eq!(back.hits(), c.hits());
+        assert_eq!(back.capacity_lines(), c.capacity_lines());
+        // Continuing both must keep identical hit/miss (and LRU) behaviour.
+        for l in [1u64, 9, 17, 5, 13, 21, 1] {
+            assert_eq!(back.probe_fill(l), c.probe_fill(l), "line {l}");
+        }
+        assert_eq!(back.hits(), c.hits());
     }
 }

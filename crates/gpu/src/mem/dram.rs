@@ -1,6 +1,9 @@
 //! Open-row DRAM channel model.
 
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::Cycle;
+
+use crate::snap::{get_opt_u64, put_opt_u64};
 
 /// One DRAM channel (memory controller) with per-bank open-row tracking
 /// and a service-interval bandwidth limit — a lightweight stand-in for the
@@ -115,6 +118,39 @@ impl DramChannel {
             self.row_hits as f64 / self.accesses as f64
         }
     }
+
+    /// Serializes the dynamic channel state (open rows, bandwidth
+    /// frontier, counters); the timing parameters are rebuilt from the
+    /// config at decode time.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.banks.len());
+        for bank in &self.banks {
+            put_opt_u64(w, *bank);
+        }
+        w.put_u64(self.next_free.as_u64());
+        w.put_u64(self.accesses);
+        w.put_u64(self.row_hits);
+    }
+
+    /// Restores [`encode_state`](DramChannel::encode_state) bytes into a
+    /// config-constructed channel.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a bank count that differs from this channel's geometry.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_len()?;
+        if n != self.banks.len() {
+            return Err(SnapError::Invalid("DRAM bank count differs from config"));
+        }
+        for bank in &mut self.banks {
+            *bank = get_opt_u64(r)?;
+        }
+        self.next_free = Cycle(r.get_u64()?);
+        self.accesses = r.get_u64()?;
+        self.row_hits = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +207,36 @@ mod tests {
         let done = c.access(Cycle(0), 16);
         // The read had to wait for the write's service slot.
         assert_eq!(done, Cycle(4 + 250));
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let mut c = ch();
+        c.access(Cycle(0), 0);
+        c.access(Cycle(10), 1);
+        c.write(Cycle(20), 64);
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = ch();
+        let mut r = ByteReader::new(&bytes);
+        back.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.accesses(), c.accesses());
+        assert_eq!(back.row_hit_rate(), c.row_hit_rate());
+        // Next accesses agree exactly (open rows + bandwidth frontier).
+        for (t, l) in [(30u64, 2u64), (31, 4 * 16), (32, 0)] {
+            assert_eq!(back.access(Cycle(t), l), c.access(Cycle(t), l));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_bank_count() {
+        let mut w = ByteWriter::new();
+        ch().encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = DramChannel::new(8, 16, 100, 250, 4);
+        let mut r = ByteReader::new(&bytes);
+        assert!(other.decode_state(&mut r).is_err());
     }
 }

@@ -11,6 +11,7 @@ pub use coalesce::{coalesce_lines, coalesce_lines_parts};
 pub use dram::DramChannel;
 
 use dynapar_engine::profile::Profiler;
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::Cycle;
 
 use crate::config::MemConfig;
@@ -103,6 +104,27 @@ impl MshrSet {
     fn complete_at(&mut self, done: Cycle) {
         self.inflight.push(std::cmp::Reverse(done.as_u64()));
     }
+
+    /// Serializes the in-flight completion times, sorted so the bytes do
+    /// not depend on heap layout (admission behaviour only depends on the
+    /// multiset of times, so sorting is observation-free).
+    fn encode_state(&self, w: &mut ByteWriter) {
+        let mut times: Vec<u64> = self.inflight.iter().map(|r| r.0).collect();
+        times.sort_unstable();
+        w.put_len(times.len());
+        for t in times {
+            w.put_u64(t);
+        }
+    }
+
+    fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_len()?;
+        let mut set = MshrSet::default();
+        for _ in 0..n {
+            set.inflight.push(std::cmp::Reverse(r.get_u64()?));
+        }
+        Ok(set)
+    }
 }
 
 /// One SMX's private slice of the memory hierarchy: its L1 data cache
@@ -146,6 +168,25 @@ impl SmxL1 {
             }
         }
         hits
+    }
+
+    /// Serializes the L1 tag array and MSHR occupancy for a snapshot.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        self.cache.encode_state(w);
+        self.mshrs.encode_state(w);
+    }
+
+    /// Rebuilds one SMX's L1 state from
+    /// [`encode_state`](SmxL1::encode_state) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed cache geometry or truncated input.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, SnapError> {
+        Ok(SmxL1 {
+            cache: Cache::decode_state(r)?,
+            mshrs: MshrSet::decode_state(r)?,
+        })
     }
 }
 
@@ -340,6 +381,62 @@ impl MemSystem {
         self.stats
     }
 
+    /// Serializes the shared hierarchy's dynamic state: every L2
+    /// partition's tags and bandwidth frontier, every DRAM channel, and
+    /// the run counters. The transient miss buffer (empty between
+    /// events) and the config (rebuilt by the caller) are not included.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_len(self.l2.len());
+        for part in &self.l2 {
+            part.cache.encode_state(w);
+            w.put_u64(part.next_free.as_u64());
+        }
+        w.put_len(self.dram.len());
+        for chan in &self.dram {
+            chan.encode_state(w);
+        }
+        w.put_u64(self.stats.l1_accesses);
+        w.put_u64(self.stats.l1_hits);
+        w.put_u64(self.stats.l2_accesses);
+        w.put_u64(self.stats.l2_hits);
+        w.put_u64(self.stats.dram_accesses);
+        w.put_u64(self.stats.writes);
+        w.put_u64(self.stats.mshr_stalls);
+    }
+
+    /// Restores [`encode_state`](MemSystem::encode_state) bytes into a
+    /// config-constructed hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects partition/channel counts that differ from this system's
+    /// configuration.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        if r.get_len()? != self.l2.len() {
+            return Err(SnapError::Invalid("L2 partition count differs from config"));
+        }
+        for part in &mut self.l2 {
+            part.cache = Cache::decode_state(r)?;
+            part.next_free = Cycle(r.get_u64()?);
+        }
+        if r.get_len()? != self.dram.len() {
+            return Err(SnapError::Invalid("DRAM channel count differs from config"));
+        }
+        for chan in &mut self.dram {
+            chan.decode_state(r)?;
+        }
+        self.stats = MemStats {
+            l1_accesses: r.get_u64()?,
+            l1_hits: r.get_u64()?,
+            l2_accesses: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            dram_accesses: r.get_u64()?,
+            writes: r.get_u64()?,
+            mshr_stalls: r.get_u64()?,
+        };
+        Ok(())
+    }
+
     /// Mean DRAM row-buffer hit rate across channels (diagnostic).
     pub fn dram_row_hit_rate(&self) -> f64 {
         let active: Vec<f64> = self
@@ -469,6 +566,51 @@ mod tests {
             m2.service_read(Cycle(5), &mut a2, lines.len() as u64, hits, &misses, &mut np());
         assert_eq!(inline_done, split_done);
         assert_eq!(m1.stats(), m2.stats());
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let cfg = small_cfg();
+        let mut m = MemSystem::new(&cfg);
+        let mut l1 = SmxL1::new(&cfg);
+        // Touch L1, L2, DRAM and the write path so every counter moves.
+        m.warp_read(Cycle(0), &mut l1, &[1, 2, 3, 300], &mut np());
+        m.warp_read(Cycle(50), &mut l1, &[1, 2], &mut np());
+        m.warp_write(Cycle(60), 77, &mut np());
+
+        let mut w = ByteWriter::new();
+        m.encode_state(&mut w);
+        l1.encode_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut m2 = MemSystem::new(&cfg);
+        let mut r = ByteReader::new(&bytes);
+        m2.decode_state(&mut r).unwrap();
+        let mut l1b = SmxL1::decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(m2.stats(), m.stats());
+        assert_eq!(m2.dram_row_hit_rate(), m.dram_row_hit_rate());
+        // Continuing both from the same point must agree cycle-for-cycle.
+        for (t, lines) in [(100u64, [1u64, 4]), (200, [300, 301]), (300, [1, 300])] {
+            let a = m.warp_read(Cycle(t), &mut l1, &lines, &mut np());
+            let b = m2.warp_read(Cycle(t), &mut l1b, &lines, &mut np());
+            assert_eq!(a, b, "t={t}");
+        }
+        assert_eq!(m2.stats(), m.stats());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_partition_count() {
+        let mut w = ByteWriter::new();
+        MemSystem::new(&small_cfg()).encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let other_cfg = MemConfig {
+            l2_partitions: small_cfg().l2_partitions * 2,
+            ..small_cfg()
+        };
+        let mut other = MemSystem::new(&other_cfg);
+        let mut r = ByteReader::new(&bytes);
+        assert!(other.decode_state(&mut r).is_err());
     }
 
     #[test]

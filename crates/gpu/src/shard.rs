@@ -24,6 +24,7 @@
 //! everything the merge needs, the merged run is byte-identical to the
 //! sequential one regardless of worker interleaving.
 
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::Cycle;
 
 use crate::config::GpuConfig;
@@ -110,6 +111,29 @@ impl SmxShard {
             tick_idle: false,
             tick_need_anchor: false,
         }
+    }
+
+    /// Serializes the shard's persistent state: the SMX, its L1/MSHRs,
+    /// and the local-event counter. The tick-scratch buffers (`addr_buf`,
+    /// `scratch_buf`, `ops`, `miss_lines`) are empty between events and
+    /// are not written.
+    pub fn encode_state(&mut self, w: &mut ByteWriter) {
+        self.smx.encode_state(w);
+        self.l1.encode_state(w);
+        w.put_u64(self.events_local);
+    }
+
+    /// Restores [`encode_state`](SmxShard::encode_state) bytes into a
+    /// config-constructed shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry mismatches from the SMX and L1 decoders.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        self.smx.decode_state(r)?;
+        self.l1 = SmxL1::decode_state(r)?;
+        self.events_local = r.get_u64()?;
+        Ok(())
     }
 
     /// The local phase of one `SmxWork` anchor at cycle `now`: the exact

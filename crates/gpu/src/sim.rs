@@ -11,9 +11,11 @@
 
 use std::sync::Arc;
 
+use dynapar_engine::json::Json;
 use dynapar_engine::metrics::{MetricsLevel, MetricsRegistry};
 use dynapar_engine::par::Pool;
 use dynapar_engine::profile::Profiler;
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::stats::TimeWeighted;
 use dynapar_engine::{Cycle, QueueBackend, SchedQueue};
 
@@ -28,6 +30,7 @@ use crate::kernel::{AggCta, CtaDirectory, DpParams, KernelKind, KernelRt, SpecTa
 use crate::mem::{coalesce_lines_parts, MemSystem};
 use crate::profile as ph;
 use crate::shard::{SmxShard, TickOp};
+use crate::snap::{get_opt_cycle, put_opt_cycle};
 use crate::smx::{CtaRt, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
 use crate::telemetry::SimSeries;
@@ -58,6 +61,165 @@ enum Ev {
     Sample,
 }
 
+fn put_ev(w: &mut ByteWriter, ev: Ev) {
+    match ev {
+        Ev::KernelArrive(k) => {
+            w.put_u8(0);
+            w.put_u32(k.0);
+        }
+        Ev::AggArrive { kernel, count } => {
+            w.put_u8(1);
+            w.put_u32(kernel.0);
+            w.put_u32(count);
+        }
+        Ev::Dispatch => w.put_u8(2),
+        Ev::CtaStart { smx, cta_slot } => {
+            w.put_u8(3);
+            w.put_u8(smx.0);
+            w.put_u32(cta_slot);
+        }
+        Ev::SmxWork(s) => {
+            w.put_u8(4);
+            w.put_u8(s.0);
+        }
+        Ev::HwqRelease(k) => {
+            w.put_u8(5);
+            w.put_u32(k.0);
+        }
+        Ev::Sample => w.put_u8(6),
+    }
+}
+
+fn get_ev(r: &mut ByteReader<'_>) -> Result<Ev, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => Ev::KernelArrive(KernelId(r.get_u32()?)),
+        1 => Ev::AggArrive {
+            kernel: KernelId(r.get_u32()?),
+            count: r.get_u32()?,
+        },
+        2 => Ev::Dispatch,
+        3 => Ev::CtaStart {
+            smx: SmxId(r.get_u8()?),
+            cta_slot: r.get_u32()?,
+        },
+        4 => Ev::SmxWork(SmxId(r.get_u8()?)),
+        5 => Ev::HwqRelease(KernelId(r.get_u32()?)),
+        6 => Ev::Sample,
+        tag => return Err(SnapError::BadTag { what: "Ev", tag }),
+    })
+}
+
+/// One recorded controller interaction, kept (only while a snapshot is
+/// armed) so a resumed run can rebuild the policy's internal state by
+/// replaying the exact decide/observe sequence into a fresh controller.
+/// Controllers are deterministic functions of this sequence — the trait
+/// passes values only, never references into simulator state — so the
+/// replayed controller is indistinguishable from the original.
+#[derive(Debug, Clone)]
+enum ReplayEntry {
+    /// A `decide` call with the full request plus the returned decision.
+    /// The decision is stored for *verification only*: resume replays the
+    /// request into the fresh controller and rejects the snapshot if the
+    /// result diverges — which catches a controller that shares its name
+    /// with the snapshot's but carries different parameters (e.g. two
+    /// `Fixed-Threshold` instances with different thresholds).
+    Decide(ChildRequest, LaunchDecision),
+    /// An `observe` call with the delivered event.
+    Observe(ControllerEvent),
+}
+
+fn put_decision(w: &mut ByteWriter, d: LaunchDecision) {
+    w.put_u8(match d {
+        LaunchDecision::Kernel => 0,
+        LaunchDecision::Aggregated => 1,
+        LaunchDecision::Redistribute => 2,
+        LaunchDecision::Inline => 3,
+    });
+}
+
+fn get_decision(r: &mut ByteReader<'_>) -> Result<LaunchDecision, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => LaunchDecision::Kernel,
+        1 => LaunchDecision::Aggregated,
+        2 => LaunchDecision::Redistribute,
+        3 => LaunchDecision::Inline,
+        tag => return Err(SnapError::BadTag { what: "LaunchDecision", tag }),
+    })
+}
+
+fn put_replay(w: &mut ByteWriter, e: &ReplayEntry) {
+    match e {
+        ReplayEntry::Decide(req, decision) => {
+            w.put_u8(0);
+            w.put_u64(req.now.as_u64());
+            w.put_u32(req.parent_kernel.0);
+            w.put_u8(req.depth);
+            w.put_u32(req.items);
+            w.put_u32(req.child_ctas);
+            w.put_u32(req.child_threads);
+            w.put_u32(req.child_warps_per_cta);
+            w.put_u32(req.warp_prior_launches);
+            w.put_u32(req.default_threshold);
+            w.put_u32(req.pending_kernels);
+            put_decision(w, *decision);
+        }
+        ReplayEntry::Observe(ev) => {
+            w.put_u8(1);
+            match *ev {
+                ControllerEvent::ChildCtaStart { now } => {
+                    w.put_u8(0);
+                    w.put_u64(now.as_u64());
+                }
+                ControllerEvent::ChildCtaFinish { now, exec_cycles } => {
+                    w.put_u8(1);
+                    w.put_u64(now.as_u64());
+                    w.put_u64(exec_cycles);
+                }
+                ControllerEvent::ChildWarpFinish { now, exec_cycles } => {
+                    w.put_u8(2);
+                    w.put_u64(now.as_u64());
+                    w.put_u64(exec_cycles);
+                }
+            }
+        }
+    }
+}
+
+fn get_replay(r: &mut ByteReader<'_>) -> Result<ReplayEntry, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => ReplayEntry::Decide(
+            ChildRequest {
+                now: Cycle(r.get_u64()?),
+                parent_kernel: KernelId(r.get_u32()?),
+                depth: r.get_u8()?,
+                items: r.get_u32()?,
+                child_ctas: r.get_u32()?,
+                child_threads: r.get_u32()?,
+                child_warps_per_cta: r.get_u32()?,
+                warp_prior_launches: r.get_u32()?,
+                default_threshold: r.get_u32()?,
+                pending_kernels: r.get_u32()?,
+            },
+            get_decision(r)?,
+        ),
+        1 => ReplayEntry::Observe(match r.get_u8()? {
+            0 => ControllerEvent::ChildCtaStart {
+                now: Cycle(r.get_u64()?),
+            },
+            1 => ControllerEvent::ChildCtaFinish {
+                now: Cycle(r.get_u64()?),
+                exec_cycles: r.get_u64()?,
+            },
+            2 => ControllerEvent::ChildWarpFinish {
+                now: Cycle(r.get_u64()?),
+                exec_cycles: r.get_u64()?,
+            },
+            tag => return Err(SnapError::BadTag { what: "ControllerEvent", tag }),
+        }),
+        tag => return Err(SnapError::BadTag { what: "ReplayEntry", tag }),
+    })
+}
+
 /// Which event-loop drives a run.
 ///
 /// Both backends execute the *same* simulation: every report and
@@ -78,6 +240,31 @@ pub enum SimBackend {
     /// run the same batching machinery inline on the calling thread.
     Par(usize),
 }
+
+/// One periodic observation handed to a [`WatchHook`] at every sampling
+/// tick (`GpuConfig::sample_period` cycles apart) — the same quantities
+/// the windowed telemetry records, surfaced live so a daemon can stream
+/// them while the run is still in flight. Pure observation: installing
+/// a hook never changes simulated behavior or artifact bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchSample {
+    /// Simulated cycle of the sample.
+    pub now: u64,
+    /// GMU pending-pool depth plus approved-but-not-arrived launches.
+    pub queue_depth: f64,
+    /// Occupied fraction of the hardware queues.
+    pub hwq_utilization: f64,
+    /// Device utilization (max of thread/register/shared-memory use).
+    pub utilization: f64,
+    /// Parent CTAs resident across all SMXs.
+    pub parent_ctas: u32,
+    /// Child CTAs resident across all SMXs.
+    pub child_ctas: u32,
+}
+
+/// A shared sampling callback, invoked from the event loop; see
+/// [`SimulationBuilder::watch`].
+pub type WatchHook = std::sync::Arc<dyn Fn(WatchSample) + Send + Sync>;
 
 /// Upper bound on each recycled-buffer free-list (`warp_mem_pool`,
 /// `lane_pool`). Steady state needs at most one buffer per resident
@@ -120,6 +307,9 @@ pub struct SimulationBuilder {
     queue: QueueBackend,
     profile: bool,
     backend: SimBackend,
+    snapshot_at: Option<u64>,
+    snapshot_meta: Option<Json>,
+    watch: Option<WatchHook>,
 }
 
 impl SimulationBuilder {
@@ -135,6 +325,9 @@ impl SimulationBuilder {
             queue: QueueBackend::default(),
             profile: false,
             backend: SimBackend::default(),
+            snapshot_at: None,
+            snapshot_meta: None,
+            watch: None,
         }
     }
 
@@ -206,13 +399,54 @@ impl SimulationBuilder {
         self
     }
 
+    /// Arms a snapshot: the run simulates every event up to and
+    /// including cycle `cycle`, then serializes its full deterministic
+    /// state into [`RunOutcome::snapshot`] and keeps running to
+    /// completion. Resuming the snapshot (on an identically configured
+    /// builder) continues the run as if it had never been interrupted —
+    /// every report and artifact byte matches the uninterrupted run.
+    ///
+    /// If the run completes before reaching `cycle`, no snapshot is
+    /// produced and [`RunOutcome::snapshot`] is `None`.
+    ///
+    /// Snapshots are incompatible with [`trace`](Self::trace):
+    /// [`build`](Self::build) panics when both are requested.
+    pub fn snapshot_at(mut self, cycle: u64) -> Self {
+        self.snapshot_at = Some(cycle);
+        self
+    }
+
+    /// Attaches caller metadata (e.g. the canonical run identity) to the
+    /// snapshot container's header under the `meta` key. Purely
+    /// informational: resume never interprets it.
+    pub fn snapshot_meta(mut self, meta: Json) -> Self {
+        self.snapshot_meta = Some(meta);
+        self
+    }
+
+    /// Installs a live sampling hook: `hook` receives one
+    /// [`WatchSample`] per sampling tick while the run is in flight.
+    /// Works at every metrics level (the sampler always runs — it also
+    /// feeds the report timeline). Pure observation: reports and
+    /// artifacts are byte-identical with or without a hook, which is
+    /// what lets the daemon stream telemetry from a memoizable run.
+    pub fn watch(mut self, hook: WatchHook) -> Self {
+        self.watch = Some(hook);
+        self
+    }
+
     /// Seals the builder into a runnable [`Simulation`].
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`GpuConfig::validate`] or the
-    /// trace capacity is zero.
+    /// Panics if the configuration fails [`GpuConfig::validate`], the
+    /// trace capacity is zero, or a snapshot is armed together with
+    /// tracing (snapshots do not capture trace logs).
     pub fn build(self) -> Simulation {
+        assert!(
+            self.snapshot_at.is_none() || self.trace_capacity.is_none(),
+            "snapshots do not support tracing: disable .trace() or .snapshot_at()"
+        );
         let mut cfg = self.cfg;
         if let Some(p) = self.stream_policy {
             cfg.stream_policy = p;
@@ -225,7 +459,48 @@ impl SimulationBuilder {
         }
         sim.prof.set_enabled(self.profile);
         sim.backend = self.backend;
+        sim.snapshot_at = self.snapshot_at.map(Cycle);
+        sim.snapshot_meta = self.snapshot_meta;
+        sim.watch = self.watch;
+        if sim.snapshot_at.is_some() {
+            sim.replay = Some(Vec::new());
+        }
         sim
+    }
+
+    /// Seals the builder into a [`Simulation`] resumed from `container`
+    /// — bytes previously produced by an armed run's
+    /// [`RunOutcome::snapshot`] (or read back from a snapshot file).
+    ///
+    /// The builder must describe the same run: identical [`GpuConfig`],
+    /// identical metrics level, and a fresh controller of the same
+    /// policy (its state is rebuilt by replaying the snapshot's recorded
+    /// decide/observe log). A snapshot whose warm-up made *no* launch
+    /// decisions is **policy-pristine** and may instead be resumed under
+    /// any controller — that is the warm-start fork the sweep drivers
+    /// build on. Do not call
+    /// [`launch_host`](Simulation::launch_host) on a resumed simulation;
+    /// the snapshot already contains every kernel.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed or corrupted containers, geometry or metrics
+    /// mismatches between the builder and the snapshot, cross-policy
+    /// resume of non-pristine snapshots, and tracing (unsupported).
+    pub fn build_resumed(self, container: &[u8]) -> Result<Simulation, SnapError> {
+        if self.trace_capacity.is_some() {
+            return Err(SnapError::Invalid(
+                "resumed simulations do not support tracing",
+            ));
+        }
+        let (job, state) = crate::snap::parse_snapshot(container)?;
+        // Re-arming a later snapshot on the resumed run is allowed; the
+        // decoded replay log seeds the new one so controller rebuild
+        // stays possible across chained snapshots.
+        let mut sim = self.build();
+        sim.decode_state(&job, state)?;
+        sim.resumed = true;
+        Ok(sim)
     }
 }
 
@@ -327,6 +602,24 @@ pub struct Simulation {
     dispatch_buf: Vec<KernelId>,
     /// Reused across warp starts for the per-lane launch candidates.
     cand_buf: Vec<(u32, ThreadWork)>,
+    /// Arm a snapshot capture once all events with time ≤ this cycle
+    /// have been processed (see [`SimulationBuilder::snapshot_at`]).
+    snapshot_at: Option<Cycle>,
+    /// User metadata echoed into the snapshot header's `meta` member.
+    snapshot_meta: Option<Json>,
+    /// The captured container, moved into [`RunOutcome::snapshot`].
+    snapshot: Option<Vec<u8>>,
+    /// Controller decide/observe log, recorded only while a snapshot is
+    /// armed; serialized so resume can rebuild the (opaque) controller
+    /// by replaying the exact sequence it saw.
+    replay: Option<Vec<ReplayEntry>>,
+    /// True for simulations built by
+    /// [`SimulationBuilder::build_resumed`]: skips the time-zero
+    /// bootstrap (`Ev::Sample`) that the restored queue already carries.
+    resumed: bool,
+    /// Live per-tick observation callback (see
+    /// [`SimulationBuilder::watch`]); read-only, byte-invisible.
+    watch: Option<WatchHook>,
 }
 
 impl Simulation {
@@ -391,6 +684,12 @@ impl Simulation {
             specs: SpecTable::default(),
             dispatch_buf: Vec::new(),
             cand_buf: Vec::new(),
+            snapshot_at: None,
+            snapshot_meta: None,
+            snapshot: None,
+            replay: None,
+            resumed: false,
+            watch: None,
         }
     }
 
@@ -494,20 +793,36 @@ impl Simulation {
             controller: self.controller,
             artifact,
             profile,
+            snapshot: self.snapshot,
         }
     }
 
     fn run_to_completion(&mut self) {
         let started = std::time::Instant::now();
-        self.events.push(Cycle::ZERO, Ev::Sample);
+        if !self.resumed {
+            self.events.push(Cycle::ZERO, Ev::Sample);
+        }
         // The whole loop runs under the outer "sched" phase; `handle`
         // nests the per-event phases inside it, so "sched" is left
         // holding exactly the queue-pop and loop overhead and the
         // phases sum to the loop's wall time (coverage ≈ 1).
         self.prof.enter(ph::SCHED);
-        match self.backend {
-            SimBackend::Seq => self.run_loop_seq(),
-            SimBackend::Par(jobs) => self.run_loop_par(jobs),
+        // While a snapshot is armed the run stays on the sequential
+        // loop — both backends produce byte-identical state (DESIGN.md
+        // §12), so this is invisible in every artifact, and it keeps
+        // the capture point well-defined (between whole events rather
+        // than mid-batch). The requested backend takes over right after
+        // the capture.
+        let finished = if self.snapshot_at.is_some() {
+            self.run_seq_to_snapshot()
+        } else {
+            false
+        };
+        if !finished {
+            match self.backend {
+                SimBackend::Seq => self.run_loop_seq(),
+                SimBackend::Par(jobs) => self.run_loop_par(jobs),
+            }
         }
         self.prof.exit();
         assert!(
@@ -517,6 +832,41 @@ impl Simulation {
         );
         self.occupancy.finish(self.now);
         self.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// The sequential loop with a snapshot trigger: once every event at
+    /// time ≤ `snapshot_at` has been handled, captures the container and
+    /// disarms. Returns `true` when the run finished *before* reaching
+    /// the snapshot cycle (no snapshot is captured then — the caller
+    /// gets a complete run and `RunOutcome::snapshot` stays `None`).
+    fn run_seq_to_snapshot(&mut self) -> bool {
+        let at = self.snapshot_at.expect("armed");
+        loop {
+            self.peak_queue_depth = self.peak_queue_depth.max(self.events.len() as u64);
+            match self.events.peek_time() {
+                Some(t) if t > at => {
+                    self.capture_snapshot();
+                    self.snapshot_at = None;
+                    self.replay = None;
+                    return false;
+                }
+                Some(_) => {}
+                None => return true,
+            }
+            let (t, ev) = self.events.pop().expect("peeked event");
+            assert!(
+                t.as_u64() <= self.cfg.max_cycles,
+                "simulation exceeded max_cycles={} (stall or runaway workload)",
+                self.cfg.max_cycles
+            );
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            self.events_global += 1;
+            self.handle(t, ev);
+            if self.live_kernels == 0 {
+                return true;
+            }
+        }
     }
 
     fn run_loop_seq(&mut self) {
@@ -725,6 +1075,337 @@ impl Simulation {
         } else if self.smxs[si].tick_idle {
             self.dead_wakeups += 1;
         }
+    }
+
+    // ----- snapshot / resume --------------------------------------------
+
+    /// Serializes the full deterministic state into a container image
+    /// (see [`crate::snap`]) and parks it for [`RunOutcome::snapshot`].
+    /// Runs between events, so every transient buffer is empty.
+    fn capture_snapshot(&mut self) {
+        let mut w = ByteWriter::new();
+        self.encode_state(&mut w);
+        let state = w.into_bytes();
+        let mut members: Vec<(&str, Json)> = vec![
+            ("cycle", Json::U64(self.snapshot_at.expect("armed").as_u64())),
+            ("now", Json::U64(self.now.as_u64())),
+            ("controller", Json::str(self.controller.name())),
+            ("metrics", Json::str(self.metrics_level.as_str())),
+            // No decisions yet ⇒ no child work ⇒ the ramp is identical
+            // under every launch policy, so a pristine snapshot may be
+            // resumed with a *different* controller (warm-start forks).
+            ("pristine", Json::Bool(self.launch_requests == 0)),
+            (
+                "config_fnv",
+                Json::U64(crate::config::canonical_json_hash(&self.cfg.to_json())),
+            ),
+        ];
+        if let Some(meta) = self.snapshot_meta.take() {
+            members.push(("meta", meta));
+        }
+        let job = Json::obj(members);
+        self.snapshot = Some(crate::snap::write_snapshot(&job, &state));
+    }
+
+    /// Writes every field of dynamic simulation state, in declaration
+    /// order. The config, the backend choice, tracing, profiling, and
+    /// the buffer free-lists are deliberately excluded: the first two
+    /// are rebuilt by the resuming builder (and never affect artifact
+    /// bytes), the rest are observability/allocation concerns that leave
+    /// no trace in results.
+    fn encode_state(&mut self, w: &mut ByteWriter) {
+        w.put_u64(self.now.as_u64());
+        w.put_u32(self.live_kernels);
+        w.put_u32(self.next_stream);
+        w.put_u64(self.warp_seq);
+        w.put_u64(self.rr_smx as u64);
+        put_opt_cycle(w, self.dispatch_at);
+        w.put_u32(self.inflight_launches);
+        // Global event queue, in pop order (backend-agnostic: a resume
+        // may restore a wheel snapshot into a heap and vice versa).
+        w.put_u64(self.events.total_pushed());
+        let entries = self.events.snapshot_entries();
+        w.put_len(entries.len());
+        for (t, ev) in entries {
+            w.put_u64(t);
+            put_ev(w, ev);
+        }
+        self.gmu.encode_state(w);
+        w.put_len(self.smxs.len());
+        for shard in &mut self.smxs {
+            shard.encode_state(w);
+        }
+        self.mem.encode_state(w);
+        w.put_len(self.kernels.len());
+        for k in &self.kernels {
+            k.encode_state(w);
+        }
+        self.specs.encode_state(w);
+        // Statistics.
+        self.occupancy.encode_state(w);
+        w.put_u32(self.parent_ctas_running);
+        w.put_u32(self.child_ctas_running);
+        w.put_len(self.timeline.len());
+        for &(t, s) in &self.timeline {
+            w.put_u64(t);
+            w.put_u32(s.parent_ctas);
+            w.put_u32(s.child_ctas);
+            w.put_f64(s.utilization);
+            w.put_u32(s.concurrent_kernels);
+            w.put_f64(s.peak_smx_utilization);
+        }
+        w.put_len(self.child_cta_exec.len());
+        for &v in &self.child_cta_exec {
+            w.put_u64(v);
+        }
+        w.put_len(self.child_launch_times.len());
+        for &v in &self.child_launch_times {
+            w.put_u64(v);
+        }
+        w.put_u128(self.queue_lat_sum);
+        w.put_u64(self.queue_lat_count);
+        w.put_u64(self.items_inline);
+        w.put_u64(self.items_child);
+        w.put_u64(self.launch_requests);
+        w.put_u64(self.inlined_requests);
+        w.put_u64(self.redistributed_requests);
+        w.put_u64(self.aggregated_launches);
+        w.put_u64(self.aggregated_cta_count);
+        w.put_u64(self.child_ctas_executed);
+        w.put_u64(self.child_kernels);
+        w.put_u64(self.events_global);
+        w.put_u64(self.dead_wakeups);
+        w.put_u64(self.peak_queue_depth);
+        w.put_u64(self.peak_local_backlog);
+        match self.timeseries.as_deref() {
+            Some(ts) => {
+                w.put_bool(true);
+                ts.encode_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        // Controller decide/observe log since run start (the capture
+        // point is mid-run, so the log covers exactly the ramp).
+        let log = self.replay.as_deref().expect("armed snapshots keep a log");
+        w.put_len(log.len());
+        for e in log {
+            put_replay(w, e);
+        }
+    }
+
+    /// Restores [`encode_state`](Simulation::encode_state) bytes into a
+    /// freshly built simulation and rebuilds the controller by replaying
+    /// the recorded decide/observe log.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a config that differs from the snapshot's, geometry
+    /// mismatches in any component, dangling cross-references (kernel /
+    /// class / DP / SMX ids), and — for a controller other than the one
+    /// that took the snapshot — a non-pristine snapshot or one recorded
+    /// at [`MetricsLevel::Timeseries`] (the monitored series make even a
+    /// pristine timeseries artifact policy-dependent).
+    fn decode_state(&mut self, job: &Json, state: &[u8]) -> Result<(), SnapError> {
+        let want_cfg = job
+            .get("config_fnv")
+            .and_then(Json::as_u64)
+            .ok_or(SnapError::Invalid("snapshot job lacks config_fnv"))?;
+        if want_cfg != crate::config::canonical_json_hash(&self.cfg.to_json()) {
+            return Err(SnapError::Invalid(
+                "snapshot was taken under a different GPU configuration",
+            ));
+        }
+        let snap_metrics = job
+            .get("metrics")
+            .and_then(Json::as_str)
+            .and_then(MetricsLevel::parse)
+            .ok_or(SnapError::Invalid("snapshot job lacks a metrics level"))?;
+        if snap_metrics != self.metrics_level {
+            return Err(SnapError::Invalid(
+                "snapshot was recorded at a different metrics level",
+            ));
+        }
+        let snap_controller = job
+            .get("controller")
+            .and_then(Json::as_str)
+            .ok_or(SnapError::Invalid("snapshot job lacks a controller name"))?;
+        let same_policy = snap_controller == self.controller.name();
+        let pristine = job.get("pristine").and_then(Json::as_bool).unwrap_or(false);
+        if !same_policy {
+            if !pristine {
+                return Err(SnapError::Invalid(
+                    "cross-policy resume requires a pristine snapshot (no launch decisions yet)",
+                ));
+            }
+            if self.metrics_level == MetricsLevel::Timeseries {
+                return Err(SnapError::Invalid(
+                    "cross-policy resume is unsupported at timeseries metrics \
+                     (monitored series are policy-specific)",
+                ));
+            }
+        }
+        let mut reader = ByteReader::new(state);
+        let r = &mut reader;
+        self.now = Cycle(r.get_u64()?);
+        self.live_kernels = r.get_u32()?;
+        self.next_stream = r.get_u32()?;
+        self.warp_seq = r.get_u64()?;
+        self.rr_smx = r.get_u64()? as usize;
+        self.dispatch_at = get_opt_cycle(r)?;
+        self.inflight_launches = r.get_u32()?;
+        let pushed = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = r.get_u64()?;
+            if t < self.now.as_u64() {
+                return Err(SnapError::Invalid("queued event before the snapshot cycle"));
+            }
+            entries.push((t, get_ev(r)?));
+        }
+        self.gmu.decode_state(r)?;
+        let n = r.get_len()?;
+        if n != self.smxs.len() {
+            return Err(SnapError::Invalid("SMX count differs from configuration"));
+        }
+        for shard in &mut self.smxs {
+            shard.decode_state(r)?;
+        }
+        self.mem.decode_state(r)?;
+        let n = r.get_len()?;
+        let mut kernels = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = KernelRt::decode_state(r)?;
+            if k.id.index() != i {
+                return Err(SnapError::Invalid("kernel id does not match its slot"));
+            }
+            kernels.push(k);
+        }
+        self.kernels = kernels;
+        self.specs = SpecTable::decode_state(r)?;
+        for k in &self.kernels {
+            let parent_ok = k.parent.is_none_or(|p| p.index() < self.kernels.len());
+            let class_ok = (k.class.0 as usize) < self.specs.class_count();
+            let dp_ok = k.dp.is_none_or(|d| (d.0 as usize) < self.specs.dp_count());
+            let smx_ok = k.origin_smx.is_none_or(|s| s.index() < self.smxs.len());
+            if !(parent_ok && class_ok && dp_ok && smx_ok) {
+                return Err(SnapError::Invalid("kernel holds a dangling reference"));
+            }
+        }
+        for &(_, ev) in &entries {
+            let ok = match ev {
+                Ev::KernelArrive(k) | Ev::HwqRelease(k) => k.index() < self.kernels.len(),
+                Ev::AggArrive { kernel, .. } => kernel.index() < self.kernels.len(),
+                Ev::CtaStart { smx, .. } | Ev::SmxWork(smx) => smx.index() < self.smxs.len(),
+                Ev::Dispatch | Ev::Sample => true,
+            };
+            if !ok {
+                return Err(SnapError::Invalid("queued event holds a dangling reference"));
+            }
+        }
+        // Safe to restore now that every entry is known to be ≥ now: the
+        // wheel backend requires its frontier ≤ every entry time.
+        self.events =
+            SchedQueue::restore_entries(self.events.backend(), self.now.as_u64(), pushed, entries);
+        self.occupancy = TimeWeighted::decode_state(r)?;
+        self.parent_ctas_running = r.get_u32()?;
+        self.child_ctas_running = r.get_u32()?;
+        let n = r.get_len()?;
+        self.timeline = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = r.get_u64()?;
+            self.timeline.push((
+                t,
+                TimelineSample {
+                    parent_ctas: r.get_u32()?,
+                    child_ctas: r.get_u32()?,
+                    utilization: r.get_f64()?,
+                    concurrent_kernels: r.get_u32()?,
+                    peak_smx_utilization: r.get_f64()?,
+                },
+            ));
+        }
+        let n = r.get_len()?;
+        self.child_cta_exec = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.child_cta_exec.push(r.get_u64()?);
+        }
+        let n = r.get_len()?;
+        self.child_launch_times = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.child_launch_times.push(r.get_u64()?);
+        }
+        self.queue_lat_sum = r.get_u128()?;
+        self.queue_lat_count = r.get_u64()?;
+        self.items_inline = r.get_u64()?;
+        self.items_child = r.get_u64()?;
+        self.launch_requests = r.get_u64()?;
+        self.inlined_requests = r.get_u64()?;
+        self.redistributed_requests = r.get_u64()?;
+        self.aggregated_launches = r.get_u64()?;
+        self.aggregated_cta_count = r.get_u64()?;
+        self.child_ctas_executed = r.get_u64()?;
+        self.child_kernels = r.get_u64()?;
+        self.events_global = r.get_u64()?;
+        self.dead_wakeups = r.get_u64()?;
+        self.peak_queue_depth = r.get_u64()?;
+        self.peak_local_backlog = r.get_u64()?;
+        let has_ts = r.get_bool()?;
+        if has_ts != self.timeseries.is_some() {
+            return Err(SnapError::Invalid(
+                "timeseries presence differs from the builder's metrics level",
+            ));
+        }
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.decode_state(r)?;
+        }
+        if !same_policy && self.launch_requests != 0 {
+            return Err(SnapError::Invalid(
+                "snapshot claims pristine but records launch decisions",
+            ));
+        }
+        let n = r.get_len()?;
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            log.push(get_replay(r)?);
+        }
+        reader.finish()?;
+        if same_policy {
+            // Rebuild the controller's internal state (thresholds, CCQS
+            // predictions, …) by replaying the exact call sequence the
+            // original controller saw during the ramp. Every replayed
+            // decision must reproduce the recorded one — a divergence
+            // means this controller is not the one that took the
+            // snapshot (same name, different parameters).
+            for e in &log {
+                match e {
+                    ReplayEntry::Decide(req, recorded) => {
+                        if self.controller.decide(req) != *recorded {
+                            return Err(SnapError::Invalid(
+                                "controller replay diverged from the snapshot's decisions",
+                            ));
+                        }
+                    }
+                    ReplayEntry::Observe(ev) => self.controller.observe(ev),
+                }
+            }
+        }
+        // If this resumed run arms its own (later) snapshot, seed the new
+        // log with the decoded one so the chained snapshot still carries
+        // the full history from cycle zero.
+        if let Some(replay) = self.replay.as_mut() {
+            *replay = log;
+        }
+        Ok(())
+    }
+
+    /// Delivers `ev` to the controller, recording it first when a
+    /// snapshot is armed (see [`ReplayEntry`]).
+    fn observe_controller(&mut self, ev: ControllerEvent) {
+        if let Some(log) = self.replay.as_mut() {
+            log.push(ReplayEntry::Observe(ev));
+        }
+        self.controller.observe(&ev);
     }
 
     fn handle(&mut self, now: Cycle, ev: Ev) {
@@ -936,8 +1617,7 @@ impl Simulation {
         if is_child {
             self.child_ctas_running += 1;
             self.prof.enter(ph::CCQS);
-            self.controller
-                .observe(&ControllerEvent::ChildCtaStart { now });
+            self.observe_controller(ControllerEvent::ChildCtaStart { now });
             self.prof.exit();
         } else {
             self.parent_ctas_running += 1;
@@ -1074,6 +1754,9 @@ impl Simulation {
                 self.prof.enter(ph::CCQS);
                 let mut decision = self.controller.decide(&req);
                 self.prof.exit();
+                if let Some(log) = self.replay.as_mut() {
+                    log.push(ReplayEntry::Decide(req.clone(), decision));
+                }
                 self.trace(|| TraceEvent::Decision {
                     at: now,
                     parent: kernel_id,
@@ -1439,7 +2122,7 @@ impl Simulation {
         self.occupancy.add(now, -1);
         if w.is_child_work {
             self.prof.enter(ph::CCQS);
-            self.controller.observe(&ControllerEvent::ChildWarpFinish {
+            self.observe_controller(ControllerEvent::ChildWarpFinish {
                 now,
                 exec_cycles: (now - w.start_cycle).as_u64(),
             });
@@ -1465,7 +2148,7 @@ impl Simulation {
             let exec = (now - cta.start_cycle).as_u64();
             self.child_cta_exec.push(exec);
             self.prof.enter(ph::CCQS);
-            self.controller.observe(&ControllerEvent::ChildCtaFinish {
+            self.observe_controller(ControllerEvent::ChildCtaFinish {
                 now,
                 exec_cycles: exec,
             });
@@ -1575,16 +2258,28 @@ impl Simulation {
                 t.max(r).max(m)
             })
             .fold(0.0f64, f64::max);
+        let utilization = self.utilization_now();
         self.timeline.push((
             now.as_u64(),
             TimelineSample {
                 parent_ctas: self.parent_ctas_running,
                 child_ctas: self.child_ctas_running,
-                utilization: self.utilization_now(),
+                utilization,
                 concurrent_kernels: self.gmu.concurrent_kernels(),
                 peak_smx_utilization: peak,
             },
         ));
+        if let Some(hook) = &self.watch {
+            hook(WatchSample {
+                now: now.as_u64(),
+                queue_depth: (self.gmu.pending() + self.inflight_launches) as f64,
+                hwq_utilization: self.gmu.concurrent_kernels() as f64
+                    / self.cfg.num_hwqs as f64,
+                utilization,
+                parent_ctas: self.parent_ctas_running,
+                child_ctas: self.child_ctas_running,
+            });
+        }
         if let Some(ts) = self.timeseries.as_deref_mut() {
             ts.sample(
                 now.as_u64(),
@@ -3007,5 +3702,306 @@ mod artifact_tests {
         assert_eq!(t.get("events").unwrap().as_array().unwrap().len(), 4);
         assert_eq!(t.get("capacity").unwrap().as_u64(), Some(4));
         assert_eq!(t.get("dropped").unwrap().as_u64(), Some(trace.dropped()));
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::work::WorkClass;
+
+    /// Stateful launch-everything policy: the predictions vector makes
+    /// the artifact's `ccqs_samples` depend on the decide sequence, so a
+    /// resumed run only matches if the controller replay is exact.
+    struct PredictAll {
+        preds: Vec<u64>,
+    }
+
+    impl LaunchController for PredictAll {
+        fn name(&self) -> &str {
+            "predict-all"
+        }
+        fn decide(&mut self, req: &ChildRequest) -> LaunchDecision {
+            self.preds.push(20_210 + req.items as u64);
+            LaunchDecision::Kernel
+        }
+        fn predictions(&self) -> Option<&[u64]> {
+            Some(&self.preds)
+        }
+        fn export_metrics(&self, reg: &mut MetricsRegistry) {
+            reg.counter("policy.decisions", self.preds.len() as u64);
+        }
+    }
+
+    fn launcher() -> Box<dyn LaunchController> {
+        Box::new(PredictAll { preds: Vec::new() })
+    }
+
+    fn dp_kernel() -> KernelDesc {
+        let threads: Vec<ThreadWork> = (0..64)
+            .map(|t| ThreadWork {
+                items: if t % 8 == 0 { 80 } else { 2 },
+                seq_base: 64 * t as u64,
+                rand_seed: t as u64,
+            })
+            .collect();
+        KernelDesc {
+            name: "snap".into(),
+            cta_threads: 64,
+            regs_per_thread: 16,
+            shmem_per_cta: 0,
+            class: Arc::new(WorkClass {
+                label: "snap-p",
+                compute_per_item: 8,
+                init_cycles: 20,
+                seq_bytes_per_item: 8,
+                rand_refs_per_item: 1,
+                rand_region_base: 1 << 30,
+                rand_region_bytes: 1 << 20,
+                writes_per_item: 1,
+            }),
+            source: ThreadSource::Explicit(threads.into()),
+            dp: Some(Arc::new(DpSpec {
+                child_class: Arc::new(WorkClass::compute_only("snap-c", 8)),
+                child_cta_threads: 32,
+                child_items_per_thread: 1,
+                child_regs_per_thread: 8,
+                child_shmem_per_cta: 0,
+                min_items: 8,
+                default_threshold: 8,
+                nested: None,
+            })),
+        }
+    }
+
+    fn cold_run(level: MetricsLevel) -> RunOutcome {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(level)
+            .build();
+        sim.launch_host(dp_kernel());
+        sim.run()
+    }
+
+    fn armed_run(level: MetricsLevel, at: u64) -> RunOutcome {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(level)
+            .snapshot_at(at)
+            .build();
+        sim.launch_host(dp_kernel());
+        sim.run()
+    }
+
+    #[test]
+    fn armed_run_is_byte_identical_and_resume_continues_it() {
+        for level in [MetricsLevel::Full, MetricsLevel::Timeseries] {
+            let cold = cold_run(level);
+            let cold_art = cold.artifact.as_ref().unwrap().to_string();
+            for at in [0, cold.report.total_cycles / 2] {
+                let out = armed_run(level, at);
+                assert_eq!(
+                    out.artifact.unwrap().to_string(),
+                    cold_art,
+                    "arming a snapshot must not change the run (at={at})"
+                );
+                let snap = out.snapshot.expect("snapshot captured");
+                let resumed = Simulation::builder(GpuConfig::test_small())
+                    .controller(launcher())
+                    .metrics(level)
+                    .build_resumed(&snap)
+                    .expect("valid snapshot");
+                let back = resumed.run();
+                assert_eq!(
+                    back.artifact.unwrap().to_string(),
+                    cold_art,
+                    "resumed artifact must match the uninterrupted run (at={at})"
+                );
+                assert_eq!(back.report.total_cycles, cold.report.total_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_on_parallel_backend_matches() {
+        let cold = cold_run(MetricsLevel::Full);
+        let cold_art = cold.artifact.as_ref().unwrap().to_string();
+        let snap = armed_run(MetricsLevel::Full, cold.report.total_cycles / 2)
+            .snapshot
+            .unwrap();
+        let resumed = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Full)
+            .backend(SimBackend::Par(2))
+            .build_resumed(&snap)
+            .expect("valid snapshot");
+        assert_eq!(resumed.run().artifact.unwrap().to_string(), cold_art);
+    }
+
+    #[test]
+    fn chained_snapshots_preserve_the_replay_history() {
+        let cold = cold_run(MetricsLevel::Full);
+        let cold_art = cold.artifact.as_ref().unwrap().to_string();
+        let third = cold.report.total_cycles / 3;
+        let snap1 = armed_run(MetricsLevel::Full, third).snapshot.unwrap();
+        let resumed = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Full)
+            .snapshot_at(2 * third)
+            .build_resumed(&snap1)
+            .expect("valid snapshot");
+        let out = resumed.run();
+        assert_eq!(out.artifact.unwrap().to_string(), cold_art);
+        let snap2 = out.snapshot.expect("second snapshot captured");
+        let resumed2 = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Full)
+            .build_resumed(&snap2)
+            .expect("valid chained snapshot");
+        assert_eq!(resumed2.run().artifact.unwrap().to_string(), cold_art);
+    }
+
+    #[test]
+    fn pristine_snapshot_resumes_under_a_different_policy() {
+        // Cycle 0 precedes every launch decision, so the ramp is
+        // policy-independent and the fork may switch controllers.
+        let snap = armed_run(MetricsLevel::Summary, 0).snapshot.unwrap();
+        let job = crate::snap::parse_snapshot(&snap).unwrap().0;
+        assert_eq!(job.get("pristine").and_then(Json::as_bool), Some(true));
+        let forked = Simulation::builder(GpuConfig::test_small())
+            .metrics(MetricsLevel::Summary)
+            .build_resumed(&snap)
+            .expect("pristine cross-policy resume");
+        let flat = forked.run();
+        let mut cold_flat = Simulation::builder(GpuConfig::test_small())
+            .metrics(MetricsLevel::Summary)
+            .build();
+        cold_flat.launch_host(dp_kernel());
+        assert_eq!(
+            flat.artifact.unwrap().to_string(),
+            cold_flat.run().artifact.unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn non_pristine_snapshot_rejects_other_policies() {
+        let cold = cold_run(MetricsLevel::Summary);
+        let snap = armed_run(MetricsLevel::Summary, cold.report.total_cycles / 2)
+            .snapshot
+            .unwrap();
+        let job = crate::snap::parse_snapshot(&snap).unwrap().0;
+        assert_eq!(job.get("pristine").and_then(Json::as_bool), Some(false));
+        let err = Simulation::builder(GpuConfig::test_small())
+            .metrics(MetricsLevel::Summary)
+            .build_resumed(&snap)
+            .err()
+            .expect("cross-policy resume of a non-pristine snapshot");
+        assert!(err.to_string().contains("pristine"), "{err}");
+    }
+
+    #[test]
+    fn resume_validates_config_metrics_and_integrity() {
+        let cold = cold_run(MetricsLevel::Summary);
+        let snap = armed_run(MetricsLevel::Summary, cold.report.total_cycles / 2)
+            .snapshot
+            .unwrap();
+        // Different hardware configuration.
+        let err = Simulation::builder(GpuConfig::kepler_k20m())
+            .controller(launcher())
+            .metrics(MetricsLevel::Summary)
+            .build_resumed(&snap)
+            .err()
+            .expect("config mismatch");
+        assert!(err.to_string().contains("configuration"), "{err}");
+        // Different metrics level.
+        let err = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Full)
+            .build_resumed(&snap)
+            .err()
+            .expect("metrics mismatch");
+        assert!(err.to_string().contains("metrics"), "{err}");
+        // Tracing is unsupported on resumed runs.
+        assert!(Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Summary)
+            .trace(1000)
+            .build_resumed(&snap)
+            .is_err());
+        // Truncation and corruption are rejected by the container layer.
+        assert!(Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Summary)
+            .build_resumed(&snap[..snap.len() - 7])
+            .is_err());
+        let mut bad = snap.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Summary)
+            .build_resumed(&bad)
+            .is_err());
+    }
+
+    #[test]
+    fn run_finishing_before_the_cycle_yields_no_snapshot() {
+        let out = armed_run(MetricsLevel::Summary, u64::MAX);
+        assert!(out.snapshot.is_none());
+    }
+
+    #[test]
+    fn snapshot_meta_lands_in_the_header() {
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Summary)
+            .snapshot_at(0)
+            .snapshot_meta(Json::obj([("tag", Json::str("warm-42"))]))
+            .build();
+        sim.launch_host(dp_kernel());
+        let snap = sim.run().snapshot.unwrap();
+        let job = crate::snap::parse_snapshot(&snap).unwrap().0;
+        assert_eq!(
+            job.get("meta").and_then(|m| m.get("tag")).and_then(Json::as_str),
+            Some("warm-42")
+        );
+        assert!(job.get("cycle").and_then(Json::as_u64).is_some());
+        assert!(job.get("controller").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshots do not support tracing")]
+    fn arming_a_snapshot_with_tracing_panics() {
+        let _ = Simulation::builder(GpuConfig::test_small())
+            .trace(1000)
+            .snapshot_at(5)
+            .build();
+    }
+
+    #[test]
+    fn watch_hook_sees_samples_and_stays_byte_invisible() {
+        let cold = cold_run(MetricsLevel::Full);
+        let cold_art = cold.artifact.as_ref().unwrap().to_string();
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = samples.clone();
+        let mut sim = Simulation::builder(GpuConfig::test_small())
+            .controller(launcher())
+            .metrics(MetricsLevel::Full)
+            .watch(std::sync::Arc::new(move |s: WatchSample| {
+                sink.lock().unwrap().push(s);
+            }))
+            .build();
+        sim.launch_host(dp_kernel());
+        let out = sim.run();
+        assert_eq!(out.artifact.unwrap().to_string(), cold_art);
+        let seen = samples.lock().unwrap();
+        assert!(!seen.is_empty(), "hook never fired");
+        for w in seen.windows(2) {
+            assert!(w[0].now < w[1].now, "samples must be time-ordered");
+        }
+        assert!(
+            seen.iter().any(|s| s.parent_ctas > 0 || s.utilization > 0.0),
+            "samples should observe a busy device"
+        );
     }
 }

@@ -4,11 +4,15 @@
 use std::collections::VecDeque;
 
 use dynapar_engine::metrics::MetricsRegistry;
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::{Cycle, TimingWheel};
 
 use crate::config::{GpuConfig, SchedulerKind};
 use crate::ids::{KernelId, SmxId, StreamId};
 use crate::kernel::ClassId;
+use crate::snap::{
+    decode_thread_work, encode_thread_work, get_cycle, get_opt_u32, put_cycle, put_opt_u32,
+};
 use crate::work::ThreadWork;
 
 /// A resident warp's execution context.
@@ -367,6 +371,154 @@ impl Smx {
         );
     }
 
+    /// Serializes every dynamic field of the SMX: resource accounting,
+    /// resident CTAs/warps, free lists, the ready set, scheduler cursors,
+    /// the local wakeup wheel, pending anchors, and lifetime counters.
+    /// Capacity limits and the scheduling discipline are rebuilt from the
+    /// config. Takes `&mut self` only because the wheel walk does
+    /// (observably unchanged — see `TimingWheel::snapshot_entries`).
+    pub fn encode_state(&mut self, w: &mut ByteWriter) {
+        w.put_u32(self.used_threads);
+        w.put_u32(self.used_regs);
+        w.put_u32(self.used_shmem);
+        w.put_u32(self.used_ctas);
+        w.put_len(self.ctas.len());
+        for slot in &self.ctas {
+            match slot {
+                None => w.put_u8(0),
+                Some(cta) => {
+                    w.put_u8(1);
+                    encode_cta(cta, w);
+                }
+            }
+        }
+        w.put_len(self.warps.len());
+        for slot in &self.warps {
+            match slot {
+                None => w.put_u8(0),
+                Some(warp) => {
+                    w.put_u8(1);
+                    encode_warp(warp, w);
+                }
+            }
+        }
+        w.put_len(self.free_cta_slots.len());
+        for &s in &self.free_cta_slots {
+            w.put_u32(s);
+        }
+        w.put_len(self.free_warp_slots.len());
+        for &s in &self.free_warp_slots {
+            w.put_u32(s);
+        }
+        w.put_len(self.ready_mask.len());
+        for &word in &self.ready_mask {
+            w.put_u64(word);
+        }
+        w.put_u32(self.ready_count);
+        w.put_len(self.ages.len());
+        for &age in &self.ages {
+            w.put_u64(age);
+        }
+        put_opt_u32(w, self.last_issued);
+        w.put_u64(self.rr_cursor as u64);
+        w.put_u64(self.local.frontier());
+        w.put_u64(self.local.total_pushed());
+        let wakeups = self.local.snapshot_entries();
+        w.put_len(wakeups.len());
+        for (at, slot) in wakeups {
+            w.put_u64(at);
+            w.put_u32(slot);
+        }
+        w.put_len(self.anchors.len());
+        for &a in &self.anchors {
+            put_cycle(w, a);
+        }
+        w.put_u64(self.ctas_executed);
+        w.put_u64(self.warps_launched);
+        w.put_u32(self.peak_resident_warps);
+    }
+
+    /// Restores [`encode_state`](Smx::encode_state) bytes into a
+    /// config-constructed SMX.
+    ///
+    /// # Errors
+    ///
+    /// Rejects slot/mask geometries that differ from this SMX's
+    /// configuration, and malformed input.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        self.used_threads = r.get_u32()?;
+        self.used_regs = r.get_u32()?;
+        self.used_shmem = r.get_u32()?;
+        self.used_ctas = r.get_u32()?;
+        if r.get_len()? != self.ctas.len() {
+            return Err(SnapError::Invalid("CTA slot count differs from config"));
+        }
+        for slot in &mut self.ctas {
+            *slot = match r.get_u8()? {
+                0 => None,
+                1 => Some(decode_cta(r)?),
+                tag => return Err(SnapError::BadTag { what: "Option<CtaRt>", tag }),
+            };
+        }
+        if r.get_len()? != self.warps.len() {
+            return Err(SnapError::Invalid("warp slot count differs from config"));
+        }
+        for slot in &mut self.warps {
+            *slot = match r.get_u8()? {
+                0 => None,
+                1 => Some(decode_warp(r)?),
+                tag => return Err(SnapError::BadTag { what: "Option<WarpRt>", tag }),
+            };
+        }
+        let n = r.get_len()?;
+        self.free_cta_slots.clear();
+        for _ in 0..n {
+            self.free_cta_slots.push(r.get_u32()?);
+        }
+        let n = r.get_len()?;
+        self.free_warp_slots.clear();
+        for _ in 0..n {
+            self.free_warp_slots.push(r.get_u32()?);
+        }
+        if r.get_len()? != self.ready_mask.len() {
+            return Err(SnapError::Invalid("ready-mask width differs from config"));
+        }
+        for word in &mut self.ready_mask {
+            *word = r.get_u64()?;
+        }
+        self.ready_count = r.get_u32()?;
+        if r.get_len()? != self.ages.len() {
+            return Err(SnapError::Invalid("age table size differs from config"));
+        }
+        for age in &mut self.ages {
+            *age = r.get_u64()?;
+        }
+        self.last_issued = get_opt_u32(r)?;
+        self.rr_cursor = r.get_u64()? as usize;
+        let frontier = r.get_u64()?;
+        let pushed = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut wakeups = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let slot = r.get_u32()?;
+            if at < frontier {
+                return Err(SnapError::Invalid("local wakeup before wheel frontier"));
+            }
+            wakeups.push((at, slot));
+        }
+        self.local = TimingWheel::restore_entries(frontier, pushed, wakeups);
+        let n = r.get_len()?;
+        self.anchors.clear();
+        for _ in 0..n {
+            self.anchors.push(get_cycle(r)?);
+        }
+        self.ctas_executed = r.get_u64()?;
+        self.warps_launched = r.get_u64()?;
+        self.peak_resident_warps = r.get_u32()?;
+        Ok(())
+    }
+
     /// Utilization components `(threads, regs, shmem)` as used/capacity.
     pub fn utilization(&self) -> (f64, f64, f64) {
         (
@@ -375,6 +527,103 @@ impl Smx {
             self.used_shmem as f64 / self.max_shmem as f64,
         )
     }
+}
+
+fn encode_cta(cta: &CtaRt, w: &mut ByteWriter) {
+    w.put_u32(cta.kernel.0);
+    w.put_u32(cta.cta_index);
+    w.put_u32(cta.live_warps);
+    put_cycle(w, cta.start_cycle);
+    w.put_len(cta.lanes.len());
+    for lane in &cta.lanes {
+        encode_thread_work(lane, w);
+    }
+    w.put_u32(cta.threads);
+    w.put_u32(cta.regs);
+    w.put_u32(cta.shmem);
+    w.put_bool(cta.is_child_work);
+    put_opt_u32(w, cta.cta_stream.map(|s| s.0));
+}
+
+fn decode_cta(r: &mut ByteReader<'_>) -> Result<CtaRt, SnapError> {
+    let kernel = KernelId(r.get_u32()?);
+    let cta_index = r.get_u32()?;
+    let live_warps = r.get_u32()?;
+    let start_cycle = get_cycle(r)?;
+    let n = r.get_len()?;
+    let mut lanes = Vec::with_capacity(n);
+    for _ in 0..n {
+        lanes.push(decode_thread_work(r)?);
+    }
+    Ok(CtaRt {
+        kernel,
+        cta_index,
+        live_warps,
+        start_cycle,
+        lanes,
+        threads: r.get_u32()?,
+        regs: r.get_u32()?,
+        shmem: r.get_u32()?,
+        is_child_work: r.get_bool()?,
+        cta_stream: get_opt_u32(r)?.map(StreamId),
+    })
+}
+
+fn encode_warp(warp: &WarpRt, w: &mut ByteWriter) {
+    w.put_u32(warp.cta_slot);
+    w.put_u32(warp.kernel.0);
+    w.put_u32(warp.class.0);
+    w.put_bool(warp.is_child_work);
+    w.put_u8(warp.depth);
+    w.put_u32(warp.lane_start);
+    w.put_u32(warp.lane_count);
+    w.put_u32(warp.rounds_done);
+    w.put_u32(warp.rounds_total);
+    w.put_bool(warp.started);
+    w.put_u32(warp.launches);
+    put_cycle(w, warp.start_cycle);
+    w.put_u64(warp.age);
+    w.put_len(warp.outstanding_mem.len());
+    for &done in &warp.outstanding_mem {
+        put_cycle(w, done);
+    }
+}
+
+fn decode_warp(r: &mut ByteReader<'_>) -> Result<WarpRt, SnapError> {
+    let cta_slot = r.get_u32()?;
+    let kernel = KernelId(r.get_u32()?);
+    let class = ClassId(r.get_u32()?);
+    let is_child_work = r.get_bool()?;
+    let depth = r.get_u8()?;
+    let lane_start = r.get_u32()?;
+    let lane_count = r.get_u32()?;
+    let rounds_done = r.get_u32()?;
+    let rounds_total = r.get_u32()?;
+    let started = r.get_bool()?;
+    let launches = r.get_u32()?;
+    let start_cycle = get_cycle(r)?;
+    let age = r.get_u64()?;
+    let n = r.get_len()?;
+    let mut outstanding_mem = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        outstanding_mem.push_back(get_cycle(r)?);
+    }
+    Ok(WarpRt {
+        cta_slot,
+        kernel,
+        class,
+        is_child_work,
+        depth,
+        lane_start,
+        lane_count,
+        rounds_done,
+        rounds_total,
+        started,
+        launches,
+        start_cycle,
+        age,
+        outstanding_mem,
+    })
 }
 
 impl std::fmt::Debug for Smx {
@@ -547,6 +796,75 @@ mod tests {
             json.get("smx.0.peak_resident_warps").unwrap().as_f64(),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let mut s = smx();
+        let mut c = cta(64, 64, 0);
+        c.lanes = (1..=5).map(ThreadWork::with_items).collect();
+        c.cta_stream = Some(StreamId(3));
+        let cta_slot = s.reserve_cta(c);
+        let mut w0 = warp(7);
+        (w0.cta_slot, w0.lane_start, w0.lane_count) = (cta_slot, 0, 3);
+        w0.started = true;
+        w0.rounds_total = 5;
+        w0.rounds_done = 2;
+        w0.outstanding_mem.push_back(Cycle(120));
+        w0.outstanding_mem.push_back(Cycle(400));
+        let s0 = s.add_warp(w0);
+        let mut w1 = warp(8);
+        (w1.cta_slot, w1.lane_start, w1.lane_count) = (cta_slot, 3, 2);
+        let s1 = s.add_warp(w1);
+        s.mark_ready(s0);
+        assert_eq!(s.select_ready(), Some(s0)); // sets last_issued
+        s.mark_ready(s1);
+        s.local.push(Cycle(10), s0);
+        s.local.push(Cycle(12), s1);
+        s.anchors.push(Cycle(10));
+
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = smx();
+        let mut r = ByteReader::new(&bytes);
+        back.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.used_threads, s.used_threads);
+        assert_eq!(back.used_ctas, s.used_ctas);
+        assert_eq!(back.resident_warps(), s.resident_warps());
+        assert_eq!(back.anchors, s.anchors);
+        assert_eq!(back.ctas_executed, s.ctas_executed);
+        assert_eq!(back.warps_launched, s.warps_launched);
+        assert_eq!(back.peak_resident_warps, s.peak_resident_warps);
+        let wb = back.warp(s0);
+        assert_eq!(wb.rounds_done, 2);
+        assert_eq!(wb.outstanding_mem, s.warp(s0).outstanding_mem);
+        assert_eq!(back.cta(cta_slot).cta_stream, Some(StreamId(3)));
+        assert_eq!(
+            back.cta(cta_slot).lanes.iter().map(|l| l.items).collect::<Vec<_>>(),
+            [1, 2, 3, 4, 5]
+        );
+        // Scheduler state survives: both pick the same next warp, and the
+        // local wheels drain identically.
+        assert_eq!(back.select_ready(), s.select_ready());
+        assert_eq!(back.local.pop(), s.local.pop());
+        assert_eq!(back.local.pop(), s.local.pop());
+        assert_eq!(back.local.total_pushed(), s.local.total_pushed());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_geometry() {
+        let mut s = smx();
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut big_cfg = GpuConfig::test_small();
+        big_cfg.max_ctas_per_smx *= 2;
+        let mut other = Smx::new(SmxId(0), &big_cfg);
+        let mut r = ByteReader::new(&bytes);
+        assert!(other.decode_state(&mut r).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! the [`TIMESERIES_SCHEMA`] tag.
 
 use dynapar_engine::json::Json;
+use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::timeseries::TimeSeries;
 
 use crate::config::GpuConfig;
@@ -115,6 +116,50 @@ impl SimSeries {
         }
     }
 
+    /// Serializes every series' bucket state in the fixed construction
+    /// order (mirrors [`to_json`](SimSeries::to_json)).
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        self.queue_depth.encode_state(w);
+        self.hwq_utilization.encode_state(w);
+        self.n.encode_state(w);
+        self.n_con.encode_state(w);
+        self.t_cta.encode_state(w);
+        self.t_warp.encode_state(w);
+        self.decisions_allowed.encode_state(w);
+        self.decisions_denied.encode_state(w);
+        self.decisions_deferred.encode_state(w);
+        w.put_len(self.smx_occupancy.len());
+        for s in &self.smx_occupancy {
+            s.encode_state(w);
+        }
+    }
+
+    /// Restores [`encode_state`](SimSeries::encode_state) bytes into a
+    /// config-constructed series set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an SMX series count that differs from this set's
+    /// configuration, and malformed series state.
+    pub(crate) fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapError> {
+        self.queue_depth.decode_state(r)?;
+        self.hwq_utilization.decode_state(r)?;
+        self.n.decode_state(r)?;
+        self.n_con.decode_state(r)?;
+        self.t_cta.decode_state(r)?;
+        self.t_warp.decode_state(r)?;
+        self.decisions_allowed.decode_state(r)?;
+        self.decisions_denied.decode_state(r)?;
+        self.decisions_deferred.decode_state(r)?;
+        if r.get_len()? != self.smx_occupancy.len() {
+            return Err(SnapError::Invalid("SMX series count differs from config"));
+        }
+        for s in &mut self.smx_occupancy {
+            s.decode_state(r)?;
+        }
+        Ok(())
+    }
+
     /// Renders the whole set as the artifact's `timeseries` section:
     /// the schema tag, the base window, and every series in a fixed
     /// construction order (deterministic byte-for-byte).
@@ -171,6 +216,31 @@ mod tests {
             names.iter().filter(|n| n.starts_with("smx")).count(),
             cfg.smx_count as usize
         );
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot_bytes() {
+        let cfg = GpuConfig::test_small();
+        let mut s = SimSeries::new(&cfg);
+        s.sample(0, 3.0, 0.5, None, &[]);
+        s.sample(2048, 5.0, 0.75, None, &[]);
+        s.decision(10, LaunchDecision::Kernel);
+        s.decision(2100, LaunchDecision::Inline);
+
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = SimSeries::new(&cfg);
+        let mut r = ByteReader::new(&bytes);
+        back.decode_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.to_json().to_string(), s.to_json().to_string());
+        // Continuing both keeps them byte-identical.
+        back.sample(4096, 9.0, 1.0, None, &[]);
+        s.sample(4096, 9.0, 1.0, None, &[]);
+        back.decision(4100, LaunchDecision::Redistribute);
+        s.decision(4100, LaunchDecision::Redistribute);
+        assert_eq!(back.to_json().to_string(), s.to_json().to_string());
     }
 
     #[test]

@@ -161,6 +161,27 @@ impl Client {
         self.result(ack.id)
     }
 
+    /// Streams `watch` events for job `id` until the final `end`
+    /// event, returning every event in order (the last is the `end`).
+    /// Progress events may carry a `samples` array of telemetry
+    /// windows; see `docs/SERVER.md`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids and transport failures.
+    pub fn watch(&mut self, id: u64) -> Result<Vec<Json>, String> {
+        self.send_raw(&Request::Watch { id }.to_json().to_string())?;
+        let mut events = Vec::new();
+        loop {
+            let doc = self.read_ok()?;
+            let end = doc.get("event").and_then(Json::as_str) == Some("end");
+            events.push(doc);
+            if end {
+                return Ok(events);
+            }
+        }
+    }
+
     /// Fetches daemon lifetime counters as raw JSON.
     ///
     /// # Errors

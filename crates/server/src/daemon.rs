@@ -24,14 +24,14 @@ use std::time::Duration;
 
 use dynapar_engine::json::Json;
 use dynapar_engine::par::WorkQueue;
-use dynapar_gpu::MetricsLevel;
+use dynapar_gpu::{MetricsLevel, WatchSample};
 
 use crate::proto::{
     error_response, result_response, shutdown_response, stats_response, status_response,
     submit_response, sweep_response, terminal_error, watch_event, Request, MAX_LINE_BYTES,
 };
-use crate::registry::{Admission, JobState, Registry};
-use crate::request::{JobRequest, CANCEL_SENTINEL};
+use crate::registry::{Admission, JobHandles, JobState, Registry};
+use crate::request::{JobRequest, Observation, CANCEL_SENTINEL};
 
 /// How the daemon is brought up.
 #[derive(Debug, Clone)]
@@ -41,6 +41,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing jobs (≥ 1).
     pub workers: usize,
+    /// Artifact store directory. When set, completed artifacts are
+    /// persisted here and preloaded on startup, so the memo cache
+    /// survives daemon restarts (`dynapar serve --store DIR`).
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -48,13 +52,28 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
+            store: None,
         }
     }
 }
 
+/// One unit of worker-pool work: a group of registry jobs executed on
+/// one worker. A plain submit is a single-entry group; a fork sweep is
+/// one group whose first startable entry simulates the shared warm-up
+/// ramp (armed to snapshot at `fork_warmup`) and whose remaining
+/// entries fork from that snapshot instead of re-simulating the ramp.
 struct JobTask {
-    id: u64,
-    req: JobRequest,
+    entries: Vec<(u64, JobRequest)>,
+    fork_warmup: Option<u64>,
+}
+
+impl JobTask {
+    fn single(id: u64, req: JobRequest) -> JobTask {
+        JobTask {
+            entries: vec![(id, req)],
+            fork_warmup: None,
+        }
+    }
 }
 
 struct State {
@@ -77,7 +96,10 @@ impl Server {
     /// Socket errors (bad address, port in use).
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let registry = Arc::new(Registry::new());
+        let registry = Arc::new(match &cfg.store {
+            Some(dir) => Registry::with_store(dir)?,
+            None => Registry::new(),
+        });
         let worker_registry = registry.clone();
         let queue = WorkQueue::new(cfg.workers.max(1), move |task: JobTask| {
             run_job(&worker_registry, task);
@@ -134,30 +156,114 @@ impl Server {
     }
 }
 
-fn run_job(registry: &Registry, task: JobTask) {
-    let Some((progress, cancel)) = registry.start(task.id) else {
-        return; // cancelled while queued
-    };
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        task.req
-            .run_observed(None, Some(progress), Some(cancel.clone()))
-    }));
-    match outcome {
+/// The `samples` frame shape `watch` streams: one object per sampler
+/// firing, mirroring the timeseries window quantities (documented in
+/// `docs/SERVER.md`).
+fn watch_sample_json(s: &WatchSample) -> Json {
+    Json::obj([
+        ("now", Json::U64(s.now)),
+        ("queue_depth", Json::F64(s.queue_depth)),
+        ("hwq_utilization", Json::F64(s.hwq_utilization)),
+        ("utilization", Json::F64(s.utilization)),
+        ("parent_ctas", Json::U64(u64::from(s.parent_ctas))),
+        ("child_ctas", Json::U64(u64::from(s.child_ctas))),
+    ])
+}
+
+/// The observation hooks for one run attempt: progress, cancel, and a
+/// watch hook feeding the job's sample ring.
+fn observation(handles: &JobHandles) -> Observation {
+    let ring = handles.samples.clone();
+    Observation {
+        progress: Some(handles.progress.clone()),
+        cancel: Some(handles.cancel.clone()),
+        watch: Some(Arc::new(move |s: WatchSample| {
+            ring.push(watch_sample_json(&s));
+        })),
+    }
+}
+
+/// How one group entry executed, for `run_job`'s bookkeeping.
+enum Ran {
+    Completed,
+    Other,
+}
+
+/// Runs one entry to a terminal registry state. `runner` is the actual
+/// simulation call (cold, armed, or forked+fallback); cancellation
+/// unwinds out of it and is caught here, so one cancelled branch never
+/// takes its group's other entries down.
+fn run_entry(
+    registry: &Registry,
+    id: u64,
+    runner: impl FnOnce() -> Result<dynapar_gpu::RunOutcome, String>,
+) -> Ran {
+    match catch_unwind(AssertUnwindSafe(runner)) {
         Ok(Ok(out)) => match out.artifact {
-            Some(artifact) => registry.complete(task.id, artifact),
-            None => registry.fail(
-                task.id,
-                "run produced no artifact (metrics level off)".to_string(),
-            ),
+            Some(artifact) => {
+                registry.complete(id, artifact);
+                return Ran::Completed;
+            }
+            None => registry.fail(id, "run produced no artifact (metrics level off)".to_string()),
         },
-        Ok(Err(e)) => registry.fail(task.id, e),
+        Ok(Err(e)) => registry.fail(id, e),
         Err(payload) => {
             let msg = panic_message(payload.as_ref());
             if msg.contains(CANCEL_SENTINEL) {
-                registry.finish_cancelled(task.id);
+                registry.finish_cancelled(id);
             } else {
-                registry.fail(task.id, format!("worker panic: {msg}"));
+                registry.fail(id, format!("worker panic: {msg}"));
             }
+        }
+    }
+    Ran::Other
+}
+
+fn run_job(registry: &Registry, task: JobTask) {
+    let JobTask {
+        entries,
+        fork_warmup,
+    } = task;
+    let want_fork = fork_warmup.is_some() && entries.len() > 1;
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut ramp_done = false;
+    for (id, req) in entries {
+        let Some(handles) = registry.start(id) else {
+            continue; // cancelled while queued
+        };
+        if let Some(snap) = snapshot.clone() {
+            // Forked branch: resume from the shared ramp; any
+            // decode/compatibility error falls back to a cold run, so
+            // forking can only cost time, never correctness.
+            let forked = run_entry(registry, id, || {
+                req.run_forked(&snap, observation(&handles))
+            });
+            match forked {
+                Ran::Completed => registry.note_forked(),
+                Ran::Other => {}
+            }
+        } else if want_fork && !ramp_done {
+            // First startable entry simulates the shared warm-up ramp,
+            // armed to capture a snapshot at the fork cycle.
+            ramp_done = true;
+            let warmup = fork_warmup.expect("want_fork implies Some");
+            let mut captured = None;
+            run_entry(registry, id, || {
+                let out = req.run_armed(warmup, observation(&handles))?;
+                captured = out.snapshot.clone();
+                Ok(out)
+            });
+            // Fork only from a pristine ramp (no launch decisions yet):
+            // only then is the snapshot policy-independent. Otherwise
+            // the remaining points simply run cold.
+            snapshot = captured.filter(|s| {
+                dynapar_gpu::parse_snapshot(s)
+                    .ok()
+                    .and_then(|(job, _)| job.get("pristine").and_then(Json::as_bool))
+                    == Some(true)
+            });
+        } else {
+            run_entry(registry, id, || req.run_cold(observation(&handles)));
         }
     }
 }
@@ -228,7 +334,13 @@ fn send(stream: &mut TcpStream, doc: &Json) -> bool {
     stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
 }
 
-fn admit(state: &State, job: JobRequest) -> Result<(u64, bool, u64), String> {
+/// Admits one job into the registry. Returns the wire ack plus, for
+/// the execute path, the `(id, request)` entry the caller must place on
+/// the worker queue (possibly grouped with other sweep entries).
+fn admit(
+    state: &State,
+    job: JobRequest,
+) -> Result<((u64, bool, u64), Option<(u64, JobRequest)>), String> {
     if job.metrics == MetricsLevel::Off {
         return Err(format!(
             "metrics level `off` produces no artifact to return; use {}",
@@ -239,10 +351,11 @@ fn admit(state: &State, job: JobRequest) -> Result<(u64, bool, u64), String> {
     let admission = state.registry.submit(hash);
     let cached = admission.cached();
     let id = admission.id();
-    if let Admission::Execute { id } = admission {
-        state.queue.submit(JobTask { id, req: job });
-    }
-    Ok((id, cached, hash))
+    let entry = match admission {
+        Admission::Execute { id } => Some((id, job)),
+        _ => None,
+    };
+    Ok(((id, cached, hash), entry))
 }
 
 /// Waits for a terminal snapshot, polling so shutdown can interrupt.
@@ -305,21 +418,45 @@ fn handle_client(stream: TcpStream, state: &State) {
         let keep_going = match request {
             Request::Submit(job) => {
                 let resp = match admit(state, job) {
-                    Ok((id, cached, hash)) => submit_response(id, cached, hash),
+                    Ok(((id, cached, hash), entry)) => {
+                        if let Some((id, req)) = entry {
+                            state.queue.submit(JobTask::single(id, req));
+                        }
+                        submit_response(id, cached, hash)
+                    }
                     Err(e) => error_response(&e),
                 };
                 send(&mut writer, &resp)
             }
             Request::Sweep(sw) => {
                 let mut acks = Vec::new();
+                let mut entries = Vec::new();
                 let mut failure = None;
                 for job in sw.expand() {
                     match admit(state, job) {
-                        Ok(ack) => acks.push(ack),
+                        Ok((ack, entry)) => {
+                            acks.push(ack);
+                            entries.extend(entry);
+                        }
                         Err(e) => {
                             failure = Some(e);
                             break;
                         }
+                    }
+                }
+                // Cached/coalesced points never re-run, so only the
+                // entries that actually execute are grouped. With a
+                // fork point and ≥ 2 live entries they share one
+                // worker (ramp once, fork the rest); otherwise each
+                // runs as its own task, exactly as before.
+                if sw.fork_warmup.is_some() && entries.len() > 1 {
+                    state.queue.submit(JobTask {
+                        entries,
+                        fork_warmup: sw.fork_warmup,
+                    });
+                } else {
+                    for (id, req) in entries {
+                        state.queue.submit(JobTask::single(id, req));
                     }
                 }
                 let resp = match failure {
@@ -386,11 +523,15 @@ fn stream_watch(state: &State, writer: &mut TcpStream, id: u64) -> bool {
             return send(writer, &error_response(&format!("unknown job id {id}")));
         };
         if snap.state.is_terminal() {
-            return send(writer, &watch_event(&snap, true));
+            // The final event flushes any samples recorded since the
+            // last progress frame.
+            let samples = state.registry.drain_samples(id);
+            return send(writer, &watch_event(&snap, true, samples));
         }
-        if snap.progress_cycles != last_progress {
+        let samples = state.registry.drain_samples(id);
+        if snap.progress_cycles != last_progress || !samples.is_empty() {
             last_progress = snap.progress_cycles;
-            if !send(writer, &watch_event(&snap, false)) {
+            if !send(writer, &watch_event(&snap, false, samples)) {
                 return false;
             }
         }

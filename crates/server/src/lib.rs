@@ -71,5 +71,7 @@ pub mod request;
 pub use client::{Client, ResultAck, SubmitAck};
 pub use daemon::{Server, ServerConfig};
 pub use proto::{Request, MAX_LINE_BYTES, PROTOCOL_VERSION};
-pub use registry::{Admission, JobSnapshot, JobState, Registry, RegistryStats};
-pub use request::{GpuPreset, JobRequest, SweepRequest, WorkloadRef};
+pub use registry::{
+    Admission, JobHandles, JobSnapshot, JobState, Registry, RegistryStats, SampleRing,
+};
+pub use request::{GpuPreset, JobRequest, Observation, SweepRequest, WorkloadRef};

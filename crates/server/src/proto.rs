@@ -10,9 +10,9 @@
 //! | `submit` | `job` (the [`JobRequest`] wire form) | `{ok,id,cached,hash}` |
 //! | `status` | `id` | `{ok,id,state,cached,progress_cycles[,error]}` |
 //! | `result` | `id` | blocks, then `{ok,id,cached,hash,artifact}` |
-//! | `watch` | `id` | a stream of `{ok,event:"progress",…}` lines, then `{ok,event:"end",…}` |
+//! | `watch` | `id` | a stream of `{ok,event:"progress",…[,samples]}` lines, then `{ok,event:"end",…}` |
 //! | `cancel` | `id` | `{ok,id,state}` |
-//! | `sweep` | `job`, `policies` | `{ok,ids,cached,hashes}` |
+//! | `sweep` | `job`, `policies`[, `fork_warmup`] | `{ok,ids,cached,hashes}` |
 //! | `stats` | — | `{ok,submitted,executed,memo_hits,…}` |
 //! | `shutdown` | — | `{ok,stopping:true}`, then the daemon exits |
 //!
@@ -103,7 +103,7 @@ impl Request {
             .ok_or_else(|| "request needs a string `type`".to_string())?;
         let allowed: &[&str] = match ty {
             "submit" => &["v", "type", "job"],
-            "sweep" => &["v", "type", "job", "policies"],
+            "sweep" => &["v", "type", "job", "policies", "fork_warmup"],
             "status" | "result" | "watch" | "cancel" => &["v", "type", "id"],
             "stats" | "shutdown" => &["v", "type"],
             other => {
@@ -145,7 +145,17 @@ impl Request {
                             .and_then(|s| PolicySpec::parse(s))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Sweep(SweepRequest { base, policies }))
+                let fork_warmup = match doc.get("fork_warmup") {
+                    None => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        "sweep `fork_warmup` must be a non-negative integer".to_string()
+                    })?),
+                };
+                Ok(Request::Sweep(SweepRequest {
+                    base,
+                    policies,
+                    fork_warmup,
+                }))
             }
             "status" => Ok(Request::Status { id: id()? }),
             "result" => Ok(Request::Result { id: id()? }),
@@ -188,6 +198,9 @@ impl Request {
                     "policies",
                     Json::arr(sw.policies.iter().map(|p| Json::str(p.label()))),
                 ));
+                if let Some(c) = sw.fork_warmup {
+                    members.push(("fork_warmup", Json::U64(c)));
+                }
             }
             Request::Stats => members.push(("type", Json::str("stats"))),
             Request::Shutdown => members.push(("type", Json::str("shutdown"))),
@@ -260,14 +273,22 @@ pub fn result_response(snap: &JobSnapshot) -> Json {
 }
 
 /// One `watch` stream event. `end` is true for the final event.
-pub fn watch_event(snap: &JobSnapshot, end: bool) -> Json {
-    Json::obj([
+/// `samples` carries the telemetry windows recorded since the previous
+/// event (the simulation's watch hook feeds them); the key is only
+/// emitted when non-empty, so pre-samples clients see the exact frames
+/// they always did.
+pub fn watch_event(snap: &JobSnapshot, end: bool, samples: Vec<Json>) -> Json {
+    let mut members: Vec<(&str, Json)> = vec![
         ("ok", Json::Bool(true)),
         ("event", Json::str(if end { "end" } else { "progress" })),
         ("id", Json::U64(snap.id)),
         ("state", Json::str(snap.state.name())),
         ("progress_cycles", Json::U64(snap.progress_cycles)),
-    ])
+    ];
+    if !samples.is_empty() {
+        members.push(("samples", Json::Arr(samples)));
+    }
+    Json::obj(members)
 }
 
 /// The stats report. `queued_now` is the worker queue's current depth.
@@ -280,6 +301,7 @@ pub fn stats_response(stats: &RegistryStats, queued_now: usize) -> Json {
         ("coalesced", Json::U64(stats.coalesced)),
         ("failed", Json::U64(stats.failed)),
         ("cancelled", Json::U64(stats.cancelled)),
+        ("forked", Json::U64(stats.forked)),
         ("queued_now", Json::U64(queued_now as u64)),
     ])
 }
@@ -373,8 +395,42 @@ mod tests {
                 sim_jobs: None,
             },
             policies: vec![PolicySpec::Threshold(4), PolicySpec::Spawn],
+            fork_warmup: None,
         });
         let line = sw.to_json().to_string();
         assert_eq!(Request::parse_line(&line).expect("valid"), sw);
+
+        // With the optional fork point set, it round-trips too, and a
+        // non-integer fork point is rejected by name.
+        let forked = match &sw {
+            Request::Sweep(s) => Request::Sweep(SweepRequest {
+                fork_warmup: Some(5000),
+                ..s.clone()
+            }),
+            _ => unreachable!(),
+        };
+        let line = forked.to_json().to_string();
+        assert!(line.contains("\"fork_warmup\":5000"), "{line}");
+        assert_eq!(Request::parse_line(&line).expect("valid"), forked);
+        let bad = r#"{"v":1,"type":"sweep","job":{"bench":"AMR","policy":"flat"},"policies":["spawn"],"fork_warmup":"soon"}"#;
+        let err = Request::parse_line(bad).unwrap_err();
+        assert!(err.contains("fork_warmup"), "{err}");
+    }
+
+    #[test]
+    fn watch_event_emits_samples_only_when_present() {
+        let snap = JobSnapshot {
+            id: 1,
+            state: JobState::Running,
+            hash: 2,
+            cached: false,
+            progress_cycles: 10,
+            error: None,
+            artifact: None,
+        };
+        let bare = watch_event(&snap, false, Vec::new()).to_string();
+        assert!(!bare.contains("samples"), "{bare}");
+        let with = watch_event(&snap, false, vec![Json::obj([("now", Json::U64(5))])]).to_string();
+        assert!(with.contains("\"samples\":[{\"now\":5}]"), "{with}");
     }
 }

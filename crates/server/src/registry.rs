@@ -20,11 +20,17 @@
 //!   only its own job; the registry records the failure and the daemon
 //!   keeps serving (the queue's workers survive unwinds).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use dynapar_engine::json::Json;
 use dynapar_gpu::RunArtifact;
+
+/// Cap on each job's pending watch-sample ring; a stalled watcher drops
+/// the oldest samples instead of growing without bound.
+const SAMPLE_RING_CAP: usize = 4096;
 
 /// Life-cycle of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +102,43 @@ pub struct RegistryStats {
     pub failed: u64,
     /// Jobs cancelled before completion.
     pub cancelled: u64,
+    /// Sweep points answered by forking a shared warm-up snapshot
+    /// instead of simulating their ramp from cycle zero.
+    pub forked: u64,
+}
+
+/// Shared ring of pending watch samples for one job. The simulation's
+/// watch hook pushes; the `watch` streamer drains. Bounded: beyond
+/// [`SAMPLE_RING_CAP`] pending samples the oldest are dropped.
+#[derive(Clone, Default)]
+pub struct SampleRing(Arc<Mutex<VecDeque<Json>>>);
+
+impl SampleRing {
+    /// Appends one sample, evicting the oldest at capacity.
+    pub fn push(&self, sample: Json) {
+        let mut g = self.0.lock().expect("sample ring poisoned");
+        if g.len() == SAMPLE_RING_CAP {
+            g.pop_front();
+        }
+        g.push_back(sample);
+    }
+
+    /// Takes every pending sample, oldest first.
+    pub fn drain(&self) -> Vec<Json> {
+        let mut g = self.0.lock().expect("sample ring poisoned");
+        g.drain(..).collect()
+    }
+}
+
+/// Observation handles a worker gets when it starts a job: progress
+/// counter, cancellation flag, and the watch-sample ring.
+pub struct JobHandles {
+    /// Latest simulated cycle, stored by the in-run progress tap.
+    pub progress: Arc<AtomicU64>,
+    /// Raised by `cancel` requests; the run unwinds at its next check.
+    pub cancel: Arc<AtomicBool>,
+    /// Ring the run's watch hook feeds for `watch` streaming.
+    pub samples: SampleRing,
 }
 
 struct Job {
@@ -106,6 +149,7 @@ struct Job {
     artifact: Option<Arc<RunArtifact>>,
     progress: Arc<AtomicU64>,
     cancel: Arc<AtomicBool>,
+    samples: SampleRing,
 }
 
 #[derive(Default)]
@@ -161,12 +205,84 @@ impl Admission {
 pub struct Registry {
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// When set, completed artifacts are persisted to this directory
+    /// (`<hash:016x>.json`) and reloaded into the memo cache on
+    /// construction, so the cache survives daemon restarts.
+    store: Option<PathBuf>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A registry backed by an on-disk artifact store. Creates `dir` if
+    /// missing and preloads every previously persisted artifact into
+    /// the memo cache, so a restarted daemon answers repeat submits
+    /// from cache without re-simulating.
+    pub fn with_store(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let registry = Registry {
+            store: Some(dir),
+            ..Registry::default()
+        };
+        registry.preload()?;
+        Ok(registry)
+    }
+
+    /// Scans the store directory and fills the memo cache from every
+    /// well-formed `<hash:016x>.json` artifact. Unparseable or
+    /// misnamed files are skipped with a warning — a corrupt entry must
+    /// not take the daemon down. Returns the number loaded.
+    fn preload(&self) -> std::io::Result<usize> {
+        let Some(dir) = &self.store else { return Ok(0) };
+        let mut loaded = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some("json") || stem.len() != 16 {
+                continue;
+            }
+            let Ok(hash) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let artifact = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| RunArtifact::parse(&text).map_err(|e| e.to_string()));
+            match artifact {
+                Ok(artifact) => {
+                    let mut g = self.inner.lock().expect("registry poisoned");
+                    g.memo.insert(hash, Arc::new(artifact));
+                    loaded += 1;
+                }
+                Err(err) => {
+                    eprintln!(
+                        "dynapar-server: skipping corrupt store entry {}: {err}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Persists one completed artifact to the store (write-temp-then-
+    /// rename, so a crash never leaves a half-written entry under the
+    /// canonical name). Persistence failure degrades to an in-memory
+    /// cache entry — it must not fail the job.
+    fn persist(&self, hash: u64, artifact: &RunArtifact) {
+        let Some(dir) = &self.store else { return };
+        let tmp = dir.join(format!(".{hash:016x}.json.tmp"));
+        let path = dir.join(format!("{hash:016x}.json"));
+        let written = std::fs::write(&tmp, format!("{artifact}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(err) = written {
+            eprintln!("dynapar-server: failed to persist artifact {hash:016x}: {err}");
+        }
     }
 
     /// Admits one job with canonical hash `hash`. Decides between the
@@ -186,6 +302,7 @@ impl Registry {
             artifact: None,
             progress: Arc::new(AtomicU64::new(0)),
             cancel: Arc::new(AtomicBool::new(false)),
+            samples: SampleRing::default(),
         };
         let admission = if let Some(artifact) = g.memo.get(&hash).cloned() {
             g.stats.memo_hits += 1;
@@ -210,29 +327,58 @@ impl Registry {
     /// Transitions a queued primary to `Running` and hands back its
     /// observation handles. Returns `None` if the job was cancelled
     /// while queued — the worker must skip it.
-    pub fn start(&self, id: u64) -> Option<(Arc<AtomicU64>, Arc<AtomicBool>)> {
+    pub fn start(&self, id: u64) -> Option<JobHandles> {
         let mut g = self.inner.lock().expect("registry poisoned");
         let job = g.jobs.get_mut(&id)?;
         if job.state != JobState::Queued {
             return None;
         }
         job.state = JobState::Running;
-        let handles = (job.progress.clone(), job.cancel.clone());
+        let handles = JobHandles {
+            progress: job.progress.clone(),
+            cancel: job.cancel.clone(),
+            samples: job.samples.clone(),
+        };
         drop(g);
         self.cv.notify_all();
         Some(handles)
+    }
+
+    /// Takes every pending watch sample for job `id`, oldest first
+    /// (empty for unknown ids).
+    pub fn drain_samples(&self, id: u64) -> Vec<Json> {
+        let ring = {
+            let g = self.inner.lock().expect("registry poisoned");
+            match g.jobs.get(&id) {
+                Some(job) => job.samples.clone(),
+                None => return Vec::new(),
+            }
+        };
+        ring.drain()
+    }
+
+    /// Records that one sweep point was answered by forking a shared
+    /// warm-up snapshot.
+    pub fn note_forked(&self) {
+        self.inner.lock().expect("registry poisoned").stats.forked += 1;
     }
 
     /// Records a completed simulation: memoizes the artifact and
     /// completes the primary *and every follower* coalesced onto it.
     pub fn complete(&self, id: u64, artifact: RunArtifact) {
         let artifact = Arc::new(artifact);
+        let hash = {
+            let g = self.inner.lock().expect("registry poisoned");
+            match g.jobs.get(&id) {
+                Some(j) => j.hash,
+                None => return,
+            }
+        };
+        // Persist before publishing: once a waiter observes `Done`, the
+        // store entry (if any) is already in place.
+        self.persist(hash, &artifact);
         let mut g = self.inner.lock().expect("registry poisoned");
         g.stats.executed += 1;
-        let hash = match g.jobs.get(&id) {
-            Some(j) => j.hash,
-            None => return,
-        };
         g.memo.insert(hash, artifact.clone());
         if g.inflight.get(&hash) == Some(&id) {
             g.inflight.remove(&hash);
@@ -472,11 +618,64 @@ mod tests {
     fn cancel_running_raises_flag_then_finishes() {
         let r = Registry::new();
         let a = r.submit(2);
-        let (_progress, cancel) = r.start(a.id()).expect("queued");
+        let handles = r.start(a.id()).expect("queued");
         assert_eq!(r.cancel(a.id()), Some(JobState::Running));
-        assert!(cancel.load(Ordering::Relaxed), "flag raised");
+        assert!(handles.cancel.load(Ordering::Relaxed), "flag raised");
         r.finish_cancelled(a.id());
         assert_eq!(r.snapshot(a.id()).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn sample_ring_drains_in_order_and_bounds_memory() {
+        let r = Registry::new();
+        let a = r.submit(3);
+        let handles = r.start(a.id()).expect("queued");
+        for i in 0..(SAMPLE_RING_CAP + 5) {
+            handles.samples.push(Json::U64(i as u64));
+        }
+        let drained = r.drain_samples(a.id());
+        assert_eq!(drained.len(), SAMPLE_RING_CAP, "oldest evicted at cap");
+        assert_eq!(drained[0], Json::U64(5), "drop-oldest order");
+        assert!(r.drain_samples(a.id()).is_empty(), "drain empties the ring");
+        assert!(r.drain_samples(999).is_empty(), "unknown id is empty");
+    }
+
+    #[test]
+    fn store_persists_and_preloads_across_registries() {
+        let dir = std::env::temp_dir().join(format!(
+            "dynapar-registry-store-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let r = Registry::with_store(&dir).expect("store dir");
+            let a = r.submit(0xabcd);
+            r.start(a.id()).expect("queued");
+            r.complete(a.id(), fake_artifact());
+        }
+        let path = dir.join(format!("{:016x}.json", 0xabcd_u64));
+        assert!(path.exists(), "artifact persisted under its hash");
+        // Corrupt entries are skipped, valid ones preloaded.
+        std::fs::write(dir.join("0000000000000001.json"), "not json").unwrap();
+        let r2 = Registry::with_store(&dir).expect("store dir");
+        let b = r2.submit(0xabcd);
+        assert!(matches!(b, Admission::Cached { .. }), "preloaded memo hit");
+        assert_eq!(r2.stats().memo_hits, 1);
+        assert!(
+            matches!(r2.submit(1), Admission::Execute { .. }),
+            "corrupt entry not preloaded"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forked_counter_tracks_notes() {
+        let r = Registry::new();
+        assert_eq!(r.stats().forked, 0);
+        r.note_forked();
+        r.note_forked();
+        assert_eq!(r.stats().forked, 2);
     }
 
     #[test]

@@ -18,9 +18,9 @@ use dynapar_engine::fnv1a_64;
 use dynapar_engine::json::Json;
 use dynapar_gpu::{
     CanonicalConfig, ChildRequest, ControllerEvent, GpuConfig, LaunchController, LaunchDecision,
-    MetricsLevel, MonitoredMetrics, QueueBackend, RunArtifact, RunOutcome, SimBackend,
+    MetricsLevel, MonitoredMetrics, QueueBackend, RunArtifact, RunOutcome, SimBackend, WatchHook,
 };
-use dynapar_workloads::{suite, Benchmark, BenchmarkSpec, Scale};
+use dynapar_workloads::{suite, Benchmark, BenchmarkSpec, RunOptions, Scale};
 
 /// A named GPU configuration preset.
 ///
@@ -116,6 +116,30 @@ impl WorkloadRef {
     }
 }
 
+/// Daemon-side observation hooks for one run. All three are pure
+/// observation: artifact bytes are identical with or without them
+/// (pinned by `progress_tap_is_byte_invisible` and the gpu crate's
+/// watch-hook test).
+#[derive(Default)]
+pub struct Observation {
+    /// Receives the latest simulated cycle.
+    pub progress: Option<Arc<AtomicU64>>,
+    /// Aborts the run at the next launch decision (by unwinding; the
+    /// daemon's worker catches it).
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Receives one [`dynapar_gpu::WatchSample`] per sampler firing —
+    /// the daemon feeds these to `watch` streams.
+    pub watch: Option<WatchHook>,
+}
+
+/// How a run starts: from cycle zero, armed to snapshot at a cycle, or
+/// resumed from a previously captured snapshot.
+enum WarmStart<'a> {
+    Cold,
+    Armed { cycle: u64 },
+    Resume { snapshot: &'a [u8] },
+}
+
 /// One simulation job: the request both the CLI and the daemon execute.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
@@ -179,11 +203,79 @@ impl JobRequest {
         progress: Option<Arc<AtomicU64>>,
         cancel: Option<Arc<AtomicBool>>,
     ) -> Result<RunOutcome, String> {
+        let obs = Observation {
+            progress,
+            cancel,
+            watch: None,
+        };
+        self.run_with(trace_capacity, obs, WarmStart::Cold)
+    }
+
+    /// [`run`](JobRequest::run) with the full observation bundle
+    /// (progress, cancel, watch) — the daemon's cold execution path.
+    ///
+    /// # Errors
+    ///
+    /// Workload construction errors.
+    pub fn run_cold(&self, obs: Observation) -> Result<RunOutcome, String> {
+        self.run_with(None, obs, WarmStart::Cold)
+    }
+
+    /// Runs the job armed to capture a snapshot once simulated time
+    /// passes `cycle`. The run still executes to completion, so the
+    /// outcome carries both the full artifact *and* the snapshot bytes
+    /// (in `RunOutcome::snapshot`; `None` when the run finished before
+    /// `cycle`).
+    ///
+    /// # Errors
+    ///
+    /// Workload construction errors.
+    pub fn run_armed(&self, cycle: u64, obs: Observation) -> Result<RunOutcome, String> {
+        self.run_with(None, obs, WarmStart::Armed { cycle })
+    }
+
+    /// Runs the job warm-started from `snapshot` (captured by
+    /// [`run_armed`](JobRequest::run_armed) on a job sharing this job's
+    /// warm-up identity). The resumed artifact is byte-identical to the
+    /// cold run's — the fork-sweep invariant the snapshot layer pins.
+    ///
+    /// # Errors
+    ///
+    /// Workload errors, plus snapshot decode/compatibility errors
+    /// (callers fall back to a cold run).
+    pub fn run_forked(&self, snapshot: &[u8], obs: Observation) -> Result<RunOutcome, String> {
+        self.run_with(None, obs, WarmStart::Resume { snapshot })
+    }
+
+    /// The warm-up identity attached to armed snapshots as metadata:
+    /// enough for a human (or a test) to see which ramp a snapshot
+    /// belongs to. Informational only — compatibility is enforced by
+    /// the snapshot container itself.
+    fn warmup_meta(&self) -> Json {
+        Json::obj([
+            ("workload", Json::str(self.workload.canonical_id())),
+            ("gpu", Json::str(self.gpu.name())),
+            ("seed", Json::U64(self.seed)),
+            ("warmup_hash", Json::str(self.canonical().warmup_hex())),
+        ])
+    }
+
+    fn run_with(
+        &self,
+        trace_capacity: Option<usize>,
+        obs: Observation,
+        warm: WarmStart<'_>,
+    ) -> Result<RunOutcome, String> {
         let bench = self.workload.build(self.seed)?;
         let cfg = self.gpu.config();
         let inner = self
             .policy
             .controller(&cfg, bench.default_threshold(), self.metrics);
+        let Observation {
+            progress,
+            cancel,
+            watch,
+        } = obs;
         let ctrl: Box<dyn LaunchController> = if progress.is_some() || cancel.is_some() {
             Box::new(ProgressTap {
                 inner,
@@ -197,14 +289,25 @@ impl JobRequest {
             Some(n) => SimBackend::Par(n),
             None => SimBackend::Seq,
         };
-        Ok(bench.run_full_with(
-            &cfg,
-            ctrl,
+        let mut opts = RunOptions {
             trace_capacity,
-            self.metrics,
-            QueueBackend::default(),
+            queue: QueueBackend::default(),
             backend,
-        ))
+            snapshot_at: None,
+            snapshot_meta: None,
+            watch,
+        };
+        match warm {
+            WarmStart::Cold => Ok(bench.run_full_opts(&cfg, ctrl, self.metrics, opts)),
+            WarmStart::Armed { cycle } => {
+                opts.snapshot_at = Some(cycle);
+                opts.snapshot_meta = Some(self.warmup_meta());
+                Ok(bench.run_full_opts(&cfg, ctrl, self.metrics, opts))
+            }
+            WarmStart::Resume { snapshot } => bench
+                .run_resumed(&cfg, ctrl, self.metrics, opts, snapshot)
+                .map_err(|e| format!("snapshot resume: {e}")),
+        }
     }
 
     /// Runs the job and returns its artifact — the daemon's execution
@@ -348,6 +451,12 @@ pub struct SweepRequest {
     pub base: JobRequest,
     /// The policies to run, in order.
     pub policies: Vec<PolicySpec>,
+    /// Warm-start fork point: when set, the daemon simulates the shared
+    /// ramp once up to this cycle and forks every point from the
+    /// snapshot instead of re-simulating the ramp per point. Pure
+    /// optimization — per-point artifacts (and memo keys) are
+    /// byte-identical either way, so omitting it only costs time.
+    pub fork_warmup: Option<u64>,
 }
 
 impl SweepRequest {
@@ -511,6 +620,7 @@ mod tests {
         let sweep = SweepRequest {
             base: tiny_req(),
             policies: vec![PolicySpec::Flat, PolicySpec::Threshold(8)],
+            fork_warmup: None,
         };
         let jobs = sweep.expand();
         assert_eq!(jobs.len(), 2);
@@ -518,6 +628,33 @@ mod tests {
         assert_eq!(jobs[1].policy, PolicySpec::Threshold(8));
         assert_eq!(jobs[1].seed, sweep.base.seed);
         assert_eq!(jobs[1].workload, sweep.base.workload);
+    }
+
+    #[test]
+    fn armed_and_forked_runs_match_cold_artifacts() {
+        let cold_out = tiny_req().run(None).expect("cold");
+        let cold = cold_out.artifact.expect("artifact").to_string();
+        let warmup = cold_out.report.total_cycles / 2;
+        assert!(warmup > 0, "tiny run long enough to split");
+
+        // Armed run: identical artifact, plus captured snapshot bytes.
+        let armed = tiny_req()
+            .run_armed(warmup, Observation::default())
+            .expect("armed");
+        assert_eq!(armed.artifact.expect("artifact").to_string(), cold);
+        let snap = armed.snapshot.expect("snapshot captured mid-run");
+
+        // Same-identity fork resumes and reproduces the cold bytes.
+        let forked = tiny_req()
+            .run_forked(&snap, Observation::default())
+            .expect("forked");
+        assert_eq!(forked.artifact.expect("artifact").to_string(), cold);
+
+        // Garbage bytes are rejected, not misinterpreted.
+        let err = tiny_req()
+            .run_forked(b"not a snapshot", Observation::default())
+            .unwrap_err();
+        assert!(err.contains("snapshot"), "names the failure: {err}");
     }
 
     #[test]

@@ -16,9 +16,14 @@ use dynapar_server::{
 use dynapar_workloads::Scale;
 
 fn start(workers: usize) -> (String, JoinHandle<()>) {
+    start_with(workers, None)
+}
+
+fn start_with(workers: usize, store: Option<std::path::PathBuf>) -> (String, JoinHandle<()>) {
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
+        store,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound").to_string();
@@ -198,6 +203,7 @@ fn sweep_request_admits_every_point_and_coalesces_duplicates() {
     let sweep = SweepRequest {
         base: tiny_job("AMR", PolicySpec::Flat, None),
         policies: vec![PolicySpec::Flat, PolicySpec::Spawn, PolicySpec::Flat],
+        fork_warmup: None,
     };
     let doc = client.roundtrip(&Request::Sweep(sweep)).expect("sweep");
     let ids = doc.get("ids").and_then(Json::as_array).unwrap();
@@ -217,6 +223,161 @@ fn sweep_request_admits_every_point_and_coalesces_duplicates() {
         let id = id.as_u64().unwrap();
         client.result(id).expect("sweep point result");
     }
+    stop(&addr, handle);
+}
+
+/// A spec-file workload with a long policy-pristine warm-up ramp: the
+/// light prefix never produces launch candidates, so a snapshot taken
+/// inside it forks under *any* policy.
+fn ramp_job(policy: PolicySpec) -> JobRequest {
+    JobRequest {
+        workload: WorkloadRef::Spec {
+            text: dynapar_workloads::warm_ramp_spec(600, 40).to_text(),
+        },
+        policy,
+        seed: 7,
+        metrics: MetricsLevel::Full,
+        gpu: GpuPreset::KeplerK20m,
+        sim_jobs: None,
+    }
+}
+
+#[test]
+fn fork_sweep_artifacts_are_byte_identical_to_cold_runs() {
+    let policies = vec![
+        PolicySpec::Spawn,
+        PolicySpec::Dtbl,
+        PolicySpec::FreeLaunch,
+        PolicySpec::Baseline,
+    ];
+
+    // Cold reference artifacts from a fork-free daemon.
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let mut cold = Vec::new();
+    for p in &policies {
+        cold.push(client.run(&ramp_job(p.clone())).expect("cold run").artifact);
+    }
+    stop(&addr, handle);
+
+    // The same sweep on a fresh daemon, forked from a shared warm-up.
+    // First prove the chosen cycle really is inside the pristine ramp —
+    // otherwise this test would silently cover only the cold fallback.
+    let base = ramp_job(PolicySpec::Spawn);
+    let warmup = 2000;
+    let armed = base
+        .run_armed(warmup, dynapar_server::Observation::default())
+        .expect("armed ramp run");
+    let snap = armed.snapshot.expect("ramp longer than warmup");
+    let (header, _) = dynapar_gpu::parse_snapshot(&snap).expect("well-formed snapshot");
+    assert_eq!(
+        header.get("pristine").and_then(Json::as_bool),
+        Some(true),
+        "warmup cycle must precede the first launch decision"
+    );
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client
+        .roundtrip(&Request::Sweep(SweepRequest {
+            base,
+            policies: policies.clone(),
+            fork_warmup: Some(warmup),
+        }))
+        .expect("fork sweep");
+    let ids: Vec<u64> = doc
+        .get("ids")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(ids.len(), policies.len());
+    for (id, cold_art) in ids.iter().zip(&cold) {
+        let res = client.result(*id).expect("fork sweep point result");
+        assert_eq!(
+            res.artifact.to_string(),
+            cold_art.to_string(),
+            "forked artifact must be byte-identical to the cold run"
+        );
+    }
+
+    // Fork accounting: every point is its own job; the branches that
+    // resumed the shared snapshot are counted in `forked`.
+    let stats = client.stats().expect("stats");
+    let get = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(get("submitted"), policies.len() as u64);
+    assert_eq!(get("executed"), policies.len() as u64);
+    assert_eq!(
+        get("forked"),
+        policies.len() as u64 - 1,
+        "every point after the ramp forks"
+    );
+    assert_eq!(get("failed"), 0);
+    stop(&addr, handle);
+}
+
+#[test]
+fn store_backed_daemon_survives_restart_with_its_memo_cache() {
+    let dir = std::env::temp_dir().join(format!("dynapar-proto-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let job = tiny_job("AMR", PolicySpec::Spawn, None);
+
+    let (addr, handle) = start_with(1, Some(dir.clone()));
+    let mut client = Client::connect(&addr).unwrap();
+    let first = client.run(&job).expect("first run");
+    assert!(!first.cached);
+    stop(&addr, handle);
+
+    // A brand-new daemon over the same store answers from cache.
+    let (addr, handle) = start_with(1, Some(dir.clone()));
+    let mut client = Client::connect(&addr).unwrap();
+    let second = client.run(&job).expect("run after restart");
+    assert!(second.cached, "restart must not lose the memo cache");
+    assert_eq!(first.artifact.to_string(), second.artifact.to_string());
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("executed").and_then(Json::as_u64),
+        Some(0),
+        "nothing re-simulated after restart"
+    );
+    stop(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_streams_telemetry_samples() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let ack = client
+        .submit(&tiny_job("BFS-citation", PolicySpec::Spawn, None))
+        .expect("submit");
+    client.result(ack.id).expect("job finishes");
+    // Samples accumulate in the job's ring until a watcher drains them,
+    // so watching after completion still yields them on the end event.
+    let events = client.watch(ack.id).expect("watch stream");
+    let last = events.last().expect("at least the end event");
+    assert_eq!(last.get("event").and_then(Json::as_str), Some("end"));
+    let samples: Vec<&Json> = events
+        .iter()
+        .filter_map(|e| e.get("samples").and_then(Json::as_array))
+        .flatten()
+        .collect();
+    assert!(!samples.is_empty(), "sampler fired at least once");
+    for s in samples {
+        for key in [
+            "now",
+            "queue_depth",
+            "hwq_utilization",
+            "utilization",
+            "parent_ctas",
+            "child_ctas",
+        ] {
+            assert!(s.get(key).is_some(), "sample missing {key}: {s}");
+        }
+    }
+    // A second watch has nothing left to drain (samples key absent).
+    let events = client.watch(ack.id).expect("second watch");
+    assert!(events.iter().all(|e| e.get("samples").is_none()));
     stop(&addr, handle);
 }
 

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use dynapar_gpu::{
-    GpuConfig, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome, SimBackend,
-    SimReport, Simulation, ThreadSource, ThreadWork,
+    GpuConfig, Json, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome,
+    SimBackend, SimReport, Simulation, SnapError, ThreadSource, ThreadWork, WatchHook,
 };
 
 /// Input-size presets.
@@ -67,6 +67,57 @@ pub mod regions {
     /// Base of the randomly-accessed auxiliary region (visited flags,
     /// distance arrays, hash buckets, reference indexes).
     pub const AUX_BASE: u64 = 0x8000_0000;
+}
+
+/// Run knobs beyond the `(config, controller, metrics)` triple: the
+/// execution backends, the optional decision trace, the warm-start
+/// snapshot arming, and the live watch hook. Everything here is either
+/// byte-invisible observation or a backend choice that never changes
+/// simulated behavior — deliberately disjoint from the canonical run
+/// identity.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Bounded decision trace capacity (incompatible with snapshots).
+    pub trace_capacity: Option<usize>,
+    /// Event-queue backend (default wheel).
+    pub queue: QueueBackend,
+    /// Execution backend (default sequential).
+    pub backend: SimBackend,
+    /// Arm a snapshot capture at this cycle; the container comes back
+    /// in [`RunOutcome::snapshot`].
+    pub snapshot_at: Option<u64>,
+    /// Caller metadata echoed into the snapshot header.
+    pub snapshot_meta: Option<Json>,
+    /// Live per-sample observation callback.
+    pub watch: Option<WatchHook>,
+}
+
+impl RunOptions {
+    fn builder(
+        self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        metrics: MetricsLevel,
+    ) -> dynapar_gpu::SimulationBuilder {
+        let mut builder = Simulation::builder(cfg.clone())
+            .controller(controller)
+            .metrics(metrics)
+            .queue(self.queue)
+            .backend(self.backend);
+        if let Some(cap) = self.trace_capacity {
+            builder = builder.trace(cap);
+        }
+        if let Some(at) = self.snapshot_at {
+            builder = builder.snapshot_at(at);
+        }
+        if let Some(meta) = self.snapshot_meta {
+            builder = builder.snapshot_meta(meta);
+        }
+        if let Some(hook) = self.watch {
+            builder = builder.watch(hook);
+        }
+        builder
+    }
 }
 
 /// A fully-specified `<application, input>` pair — one row of Table I.
@@ -225,17 +276,60 @@ impl Benchmark {
         queue: QueueBackend,
         backend: SimBackend,
     ) -> RunOutcome {
-        let mut builder = Simulation::builder(cfg.clone())
-            .controller(controller)
-            .metrics(metrics)
-            .queue(queue)
-            .backend(backend);
-        if let Some(cap) = trace_capacity {
-            builder = builder.trace(cap);
-        }
-        let mut sim = builder.build();
+        self.run_full_opts(
+            cfg,
+            controller,
+            metrics,
+            RunOptions {
+                trace_capacity,
+                queue,
+                backend,
+                ..RunOptions::default()
+            },
+        )
+    }
+
+    /// The fully general runner: [`Benchmark::run_full_with`] plus the
+    /// observation and warm-start knobs bundled in [`RunOptions`]. Every
+    /// narrower `run_*` method funnels through here, so the CLI, the
+    /// daemon, and the sweep drivers all assemble simulations the same
+    /// way — the precondition for byte-identical artifacts across entry
+    /// points.
+    pub fn run_full_opts(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        metrics: MetricsLevel,
+        opts: RunOptions,
+    ) -> RunOutcome {
+        let mut sim = opts.builder(cfg, controller, metrics).build();
         sim.launch_host(self.kernel());
         sim.run()
+    }
+
+    /// Resumes a run from snapshot bytes previously captured via
+    /// [`RunOptions::snapshot_at`] and runs it to completion. The
+    /// snapshot already contains every kernel (including this
+    /// benchmark's host launch), so no `launch_host` happens here; the
+    /// benchmark only contributes the hardware/controller assembly,
+    /// which must describe the same run (see
+    /// [`SimulationBuilder::build_resumed`](dynapar_gpu::SimulationBuilder::build_resumed)).
+    ///
+    /// # Errors
+    ///
+    /// Everything `build_resumed` rejects: corrupted containers, config
+    /// or metrics mismatches, cross-policy resume of non-pristine
+    /// snapshots.
+    pub fn run_resumed(
+        &self,
+        cfg: &GpuConfig,
+        controller: Box<dyn LaunchController>,
+        metrics: MetricsLevel,
+        opts: RunOptions,
+        snapshot: &[u8],
+    ) -> Result<RunOutcome, SnapError> {
+        let sim = opts.builder(cfg, controller, metrics).build_resumed(snapshot)?;
+        Ok(sim.run())
     }
 
     /// [`Benchmark::run_full_on`] with the host-side self-profiler

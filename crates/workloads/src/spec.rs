@@ -250,6 +250,37 @@ impl BenchmarkSpec {
     }
 }
 
+/// Builds the warm-start harness workload: `light_ctas` CTAs of
+/// threads whose workloads sit *below* `min_items` (they can never
+/// request a device launch, so every cycle they execute is
+/// policy-pristine), followed by `heavy_ctas` CTAs mixing in heavy
+/// threads that do launch children. Because CTAs dispatch in thread
+/// order and the light prefix far exceeds the device's resident-CTA
+/// capacity, every policy simulates an identical ramp until the first
+/// heavy CTA is dispatched — which is exactly the prefix a warm-start
+/// sweep snapshots once and forks per policy. The light/heavy split is
+/// the knob for how much of the run the shared ramp covers.
+///
+/// # Panics
+///
+/// Panics if either CTA count is zero.
+pub fn warm_ramp_spec(light_ctas: u32, heavy_ctas: u32) -> BenchmarkSpec {
+    assert!(light_ctas > 0 && heavy_ctas > 0, "ramp needs both phases");
+    let mut spec = BenchmarkSpec {
+        name: format!("warm-ramp-{light_ctas}x{heavy_ctas}"),
+        input: "synthetic-ramp".into(),
+        ..BenchmarkSpec::default()
+    };
+    let cta = spec.cta_threads;
+    // Light phase: 6 items < min_items (8) — never a launch candidate.
+    spec.items = vec![6u32; (light_ctas * cta) as usize];
+    // Heavy phase: every fourth thread carries a child-sized workload.
+    for t in 0..heavy_ctas * cta {
+        spec.items.push(if t % 4 == 0 { 48 } else { 6 });
+    }
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

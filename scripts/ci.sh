@@ -39,6 +39,46 @@ echo "== parallel-backend byte identity (seq vs --sim-jobs 4) =="
     --metrics full --emit-json "$artifact_dir/run-par.json" --sim-jobs 4
 cmp "$artifact_dir/run.json" "$artifact_dir/run-par.json"
 
+echo "== snapshot/resume byte identity (run --snapshot-at / --resume) =="
+# A run that captures a snapshot mid-flight and a fresh run resumed
+# from that snapshot must both reproduce the uninterrupted run's
+# artifact byte for byte (DESIGN.md §13).
+./target/release/dynapar run --bench AMR --policy spawn --scale tiny \
+    --metrics full --emit-json "$artifact_dir/snap-cold.json"
+./target/release/dynapar run --bench AMR --policy spawn --scale tiny \
+    --metrics full --emit-json "$artifact_dir/snap-armed.json" \
+    --snapshot-at 3000 --snapshot-out "$artifact_dir/amr.snap"
+./target/release/dynapar run --bench AMR --policy spawn --scale tiny \
+    --metrics full --emit-json "$artifact_dir/snap-resumed.json" \
+    --resume "$artifact_dir/amr.snap"
+cmp "$artifact_dir/snap-cold.json" "$artifact_dir/snap-armed.json"
+cmp "$artifact_dir/snap-cold.json" "$artifact_dir/snap-resumed.json"
+
+echo "== fork-sweep smoke (shared ramp, forked branch vs cold) =="
+# Build a warm-ramp workload whose light prefix (600 CTAs of
+# sub-threshold threads) far exceeds resident-CTA capacity: every
+# policy simulates an identical ramp, so cycle 2000 is inside the
+# policy-pristine window. A snapshot of that ramp taken under one
+# policy must warm-start a *different* policy's run with byte-identical
+# output — that is what makes `sweep --fork-warmup` a pure optimization.
+awk 'BEGIN{
+  printf "name: warm-ramp-ci\ninput: synthetic-ramp\nitems:";
+  for(i=0;i<600*64;i++) printf " 6";
+  for(t=0;t<40*64;t++) printf " %d", (t%4==0)?48:6;
+  printf "\n";
+}' > "$artifact_dir/ramp.spec"
+./target/release/dynapar run --spec "$artifact_dir/ramp.spec" --policy threshold:0 \
+    --metrics full --snapshot-at 2000 --snapshot-out "$artifact_dir/ramp.snap"
+./target/release/dynapar run --spec "$artifact_dir/ramp.spec" --policy threshold:16 \
+    --metrics full --emit-json "$artifact_dir/fork-cold.json"
+./target/release/dynapar run --spec "$artifact_dir/ramp.spec" --policy threshold:16 \
+    --metrics full --resume "$artifact_dir/ramp.snap" \
+    --emit-json "$artifact_dir/fork-warm.json"
+cmp "$artifact_dir/fork-cold.json" "$artifact_dir/fork-warm.json"
+./target/release/dynapar sweep --spec "$artifact_dir/ramp.spec" --points 3 \
+    --fork-warmup 2000 | tee "$artifact_dir/fork-sweep.out"
+grep -q 'warm-start: ramped to cycle 2000' "$artifact_dir/fork-sweep.out"
+
 echo "== timeline smoke (emit + validate perfetto JSON) =="
 ./target/release/dynapar run --bench BFS-citation --policy spawn --scale tiny \
     --emit-timeline "$artifact_dir/timeline.json"
@@ -83,6 +123,16 @@ else
     ./target/release/perf --sim-jobs 4 --emit-json "$artifact_dir/perf-par.json" \
         --baseline results/BENCH_6.json
     grep -q '"sim_jobs": 4' "$artifact_dir/perf-par.json"
+
+    echo "== perf fork-sweep gate (amortization, vs results/BENCH_8.json) =="
+    # Measures a four-policy sweep cold and warm (shared ramp + forks);
+    # the mode itself fails unless the fork point is policy-pristine,
+    # covers >= 30% of every run, and the warm sweep is >= 1.5x faster.
+    # The baseline additionally gates absolute wall-clock. Regenerate
+    # with `perf --sweep-fork --runs 5 --emit-json results/BENCH_8.json`.
+    ./target/release/perf --sweep-fork --runs 3 \
+        --emit-json "$artifact_dir/perf-fork.json" --baseline results/BENCH_8.json
+    grep -q '"mode": "sweep-fork"' "$artifact_dir/perf-fork.json"
 fi
 
 echo "== server smoke (daemon round-trip, memoization, byte identity) =="
@@ -122,6 +172,42 @@ cmp "$artifact_dir/server-1.json" "$artifact_dir/server-2.json"
 ./target/release/dynapar server-shutdown --addr "$addr"
 wait "$server_pid"
 server_pid=""
+
+echo "== store-backed daemon (memo cache survives a restart) =="
+# A daemon started with --store persists every completed artifact; a
+# fresh daemon on the same directory preloads them, so a job executed
+# before the restart is answered from the cache without re-simulating.
+store_dir="$artifact_dir/store"
+for round in 1 2; do
+    : > "$port_file"
+    ./target/release/dynapar serve --listen 127.0.0.1:0 \
+        --port-file "$port_file" --store "$store_dir" &
+    server_pid=$!
+    i=0
+    while [ ! -s "$port_file" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "store-backed daemon never wrote its port file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr="127.0.0.1:$(cat "$port_file")"
+    ./target/release/dynapar submit --addr "$addr" --bench AMR --policy spawn \
+        --scale tiny --emit-json "$artifact_dir/store-$round.json" \
+        | tee "$artifact_dir/store-submit-$round.out"
+    ./target/release/dynapar server-stats --addr "$addr" \
+        | tee "$artifact_dir/store-stats-$round.out" > /dev/null
+    ./target/release/dynapar server-shutdown --addr "$addr"
+    wait "$server_pid"
+    server_pid=""
+done
+grep -q 'cached=false' "$artifact_dir/store-submit-1.out"
+# The second daemon answered from its preloaded store: cached, and it
+# executed nothing in its whole lifetime.
+grep -q 'cached=true' "$artifact_dir/store-submit-2.out"
+grep -q '"executed": 0' "$artifact_dir/store-stats-2.out"
+cmp "$artifact_dir/store-1.json" "$artifact_dir/store-2.json"
 
 echo "== profile smoke (perf --profile emits a valid dynapar-profile/1) =="
 # Separate target dir: the profile feature changes the compiled code, so

@@ -56,9 +56,17 @@ use dynapar_engine::par::par_map;
 use dynapar_engine::profile::ProfileReport;
 use dynapar_gpu::{
     canonical_json_hash, parse_snapshot, InlineAll, Json, LaunchController, MetricsLevel,
-    QueueBackend, SimBackend, SimReport,
+    QueueBackend, SimBackend, SimReport, SimWindow, WinStats,
 };
 use dynapar_workloads::{suite, warm_ramp_spec, RunOptions, Scale};
+
+/// The `--sim-window` spelling of a window policy (artifact + header).
+fn window_label(w: SimWindow) -> String {
+    match w {
+        SimWindow::Auto => "auto".to_string(),
+        SimWindow::Fixed(n) => n.to_string(),
+    }
+}
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -79,6 +87,7 @@ fn main() {
     let mut serial = true;
     let mut queue = QueueBackend::default();
     let mut backend = SimBackend::Seq;
+    let mut window = SimWindow::default();
     let mut emit_json: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.30f64;
@@ -108,6 +117,12 @@ fn main() {
                     Ok(n) if n >= 1 => SimBackend::Par(n),
                     _ => usage_error(&format!("--sim-jobs expects a count ≥ 1, got {v:?}")),
                 };
+            }
+            "--sim-window" => {
+                let v = rest
+                    .next()
+                    .unwrap_or_else(|| usage_error("--sim-window expects auto or a width ≥ 1"));
+                window = v.parse().unwrap_or_else(|e: String| usage_error(&e));
             }
             "--emit-json" => {
                 emit_json =
@@ -156,7 +171,7 @@ fn main() {
             "--sweep-fork" => sweep_fork = true,
             other => usage_error(&format!(
                 "unknown argument {other:?} (perf adds --parallel, --queue, \
-                 --sim-jobs, --emit-json, --baseline, --max-regress, --runs, \
+                 --sim-jobs, --sim-window, --emit-json, --baseline, --max-regress, --runs, \
                  --profile, --check-profile, --metrics, --sweep-fork)"
             )),
         }
@@ -200,7 +215,7 @@ fn main() {
         .iter()
         .map(|n| suite::by_name(n, opts.scale, opts.seed).expect("known benchmark"))
         .collect();
-    type Rep = (SimReport, Option<ProfileReport>);
+    type Rep = (SimReport, Option<ProfileReport>, WinStats);
     type Job<'a> = (String, Box<dyn Fn() -> Vec<Rep> + Send + Sync + 'a>);
     let mut jobs: Vec<Job> = Vec::new();
     for b in &benches {
@@ -209,16 +224,15 @@ fn main() {
         // wall-clock; the simulation itself is deterministic, so every
         // repeat must produce the same event count.
         let full = move |make: &dyn Fn() -> Box<dyn LaunchController>| -> Vec<Rep> {
+            let run_opts = || RunOptions { queue, backend, window, ..RunOptions::default() };
             (0..runs)
                 .map(|_| {
                     if profile {
-                        let out = b.run_full_profiled(cfg, make(), queue, backend);
-                        (out.report, out.profile)
+                        let out = b.run_full_profiled(cfg, make(), run_opts());
+                        (out.report, out.profile, out.win)
                     } else {
-                        (
-                            b.run_full_with(cfg, make(), None, metrics, queue, backend).report,
-                            None,
-                        )
+                        let out = b.run_full_opts(cfg, make(), metrics, run_opts());
+                        (out.report, None, out.win)
                     }
                 })
                 .collect()
@@ -240,13 +254,17 @@ fn main() {
         SimBackend::Seq => "seq".to_string(),
         SimBackend::Par(n) => format!("par:{n}"),
     };
+    let sim_label = match backend {
+        SimBackend::Seq => sim_jobs_label.clone(),
+        SimBackend::Par(_) => format!("{sim_jobs_label} win={}", window_label(window)),
+    };
     println!(
         "# perf (scale {}, seed {}, jobs {}, queue {}, sim {}, runs {}, metrics {})",
         scale_name(opts.scale),
         opts.seed,
         opts.jobs,
         queue.name(),
-        sim_jobs_label,
+        sim_label,
         runs,
         metrics.as_str()
     );
@@ -259,10 +277,11 @@ fn main() {
     // is the reported one, and every repeat's profile is merged.
     let mut merged_profile = ProfileReport::default();
     let mut profiled_wall_ns = 0u64;
+    let mut merged_win = WinStats::default();
     let mut reports: Vec<(String, SimReport)> = Vec::new();
     for (label, reps) in results {
         let events = reps[0].0.events_processed;
-        for (r, _) in &reps {
+        for (r, _, _) in &reps {
             if r.events_processed != events {
                 eprintln!(
                     "perf: {label}: event count varies across repeats \
@@ -272,18 +291,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        for (r, p) in &reps {
+        for (r, p, w) in &reps {
             if let Some(p) = p {
                 merged_profile.merge(p);
                 profiled_wall_ns += (r.wall_ms * 1e6) as u64;
             }
+            merged_win.merge(w);
         }
-        let mut walls: Vec<f64> = reps.iter().map(|(r, _)| r.wall_ms).collect();
+        let mut walls: Vec<f64> = reps.iter().map(|(r, _, _)| r.wall_ms).collect();
         walls.sort_by(|a, b| a.total_cmp(b));
         let median = walls[walls.len() / 2];
-        let (report, _) = reps
+        let (report, _, _) = reps
             .into_iter()
-            .find(|(r, _)| r.wall_ms == median)
+            .find(|(r, _, _)| r.wall_ms == median)
             .expect("median came from this list");
         reports.push((label, report));
     }
@@ -355,6 +375,25 @@ fn main() {
         }
     };
     println!("{:<28} {:>12} {:>10} {:>12.0}", "GEOMEAN (per-run)", "", "", geomean);
+    let window_json = if merged_win.is_empty() {
+        None
+    } else {
+        let w = &merged_win;
+        println!(
+            "# window (policy {}, spans {}, ticks {}, avg width {:.2})",
+            window_label(window),
+            w.spans,
+            w.ticks,
+            w.ticks as f64 / w.spans.max(1) as f64
+        );
+        let hist: Vec<Json> = w.hist.iter().map(|&c| Json::U64(c)).collect();
+        Some(Json::obj([
+            ("policy", Json::str(window_label(window))),
+            ("spans", Json::U64(w.spans)),
+            ("ticks", Json::U64(w.ticks)),
+            ("width_hist_pow2", Json::Arr(hist)),
+        ]))
+    };
     let profile_json = if profile {
         let p = &merged_profile;
         let attributed = p.attributed_ns();
@@ -404,6 +443,7 @@ fn main() {
     // sequential runs without a schema bump.
     if let SimBackend::Par(n) = backend {
         fields.push(("sim_jobs", Json::U64(n as u64)));
+        fields.push(("sim_window", Json::str(window_label(window))));
     }
     // One canonical hash over everything that defines comparability.
     // Unlike the simulation-memoization key (which drops the backend
@@ -444,6 +484,11 @@ fn main() {
     ]);
     if let Some(p) = profile_json {
         fields.push(("profile", p));
+    }
+    // Realized span widths (parallel runs only): absent for sequential
+    // runs, so those artifacts keep the exact historical shape.
+    if let Some(w) = window_json {
+        fields.push(("window", w));
     }
     // Only non-default levels stamp the artifact, so off-level artifacts
     // (like the committed baselines) keep the exact historical shape.

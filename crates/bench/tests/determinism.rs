@@ -7,8 +7,10 @@
 use dynapar_bench::run_schemes;
 use dynapar_core::{Dtbl, SpawnPolicy};
 use dynapar_engine::par::par_map;
-use dynapar_gpu::{GpuConfig, MetricsLevel, QueueBackend, RunArtifact, SimBackend, SimReport};
-use dynapar_workloads::{suite, Scale};
+use dynapar_gpu::{
+    GpuConfig, Json, MetricsLevel, QueueBackend, RunArtifact, SimBackend, SimReport, SimWindow,
+};
+use dynapar_workloads::{suite, RunOptions, Scale};
 
 /// Renders a report with the nondeterministic wall-clock field zeroed.
 fn canonical(r: &SimReport) -> String {
@@ -158,6 +160,105 @@ fn parallel_sim_backend_is_byte_identical_to_sequential() {
             "artifact JSON differs between seq and par({sim_jobs}) backends"
         );
     }
+}
+
+/// The benchmark matrix on the parallel backend at an explicit
+/// lookahead-window policy (the window matrix test reuses it).
+fn artifact_jsons_windowed(sim_jobs: usize, window: SimWindow) -> Vec<String> {
+    let cfg = GpuConfig::kepler_k20m();
+    let names = vec!["GC-citation", "MM-small", "BFS-graph500", "AMR", "BFS-graph500/dtbl"];
+    par_map(names, 1, |name| {
+        let (bench_name, dtbl) = match name.strip_suffix("/dtbl") {
+            Some(base) => (base, true),
+            None => (name, false),
+        };
+        let bench = suite::by_name(bench_name, Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+        let policy: Box<dyn dynapar_gpu::LaunchController> = if dtbl {
+            Box::new(Dtbl::new())
+        } else {
+            Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log())
+        };
+        let opts = RunOptions {
+            trace_capacity: Some(100_000),
+            backend: SimBackend::Par(sim_jobs),
+            window,
+            ..RunOptions::default()
+        };
+        let out = bench.run_full_opts(&cfg, policy, MetricsLevel::Full, opts);
+        format!("{}", out.artifact.expect("full metrics emit an artifact"))
+    })
+}
+
+#[test]
+fn window_policy_is_byte_invisible_at_every_worker_count() {
+    // The lookahead window only widens how far shards run ahead of the
+    // global clock — replay order is pinned by (cycle, anchor-pop
+    // order) regardless — so every (window, workers) cell must emit the
+    // sequential artifact byte for byte. window=1 degenerates to the
+    // per-cycle protocol, 4 forces short fixed spans, auto follows the
+    // computed safe horizon.
+    let seq = artifact_jsons_at(1, QueueBackend::Wheel, MetricsLevel::Full);
+    for window in [SimWindow::Fixed(1), SimWindow::Fixed(4), SimWindow::Auto] {
+        for sim_jobs in [1usize, 2, 4] {
+            assert_eq!(
+                seq,
+                artifact_jsons_windowed(sim_jobs, window),
+                "artifact differs from seq at window {window:?}, sim_jobs {sim_jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_mid_span_captures_exactly_at_the_requested_cycle() {
+    // A wide fixed window makes the parallel loop run spans that stride
+    // far past any interior cycle C, so this pins the capture contract:
+    // arming --snapshot-at C must still capture after exactly the
+    // events at time ≤ C (the run stays on the sequential loop until
+    // the capture, then the parallel backend takes over), and resuming
+    // that container reproduces the uninterrupted artifact byte for
+    // byte.
+    let cfg = GpuConfig::kepler_k20m();
+    let bench = suite::by_name("AMR", Scale::Tiny, suite::DEFAULT_SEED).expect("known");
+    let opts = || RunOptions {
+        backend: SimBackend::Par(4),
+        window: SimWindow::Fixed(64),
+        ..RunOptions::default()
+    };
+    let policy = || Box::new(SpawnPolicy::from_config(&cfg).with_prediction_log());
+    let cold = bench.run_full_opts(&cfg, policy(), MetricsLevel::Full, opts());
+    let cold_json = cold.artifact.expect("artifact").to_string();
+    let total = cold.report.total_cycles;
+    assert!(total > 8, "run long enough for an interior capture cycle");
+    // An odd interior cycle, deliberately not aligned to any span edge.
+    let at = total / 2 + 1;
+    let armed = bench.run_full_opts(
+        &cfg,
+        policy(),
+        MetricsLevel::Full,
+        RunOptions {
+            snapshot_at: Some(at),
+            ..opts()
+        },
+    );
+    assert_eq!(
+        armed.artifact.expect("artifact").to_string(),
+        cold_json,
+        "arming a snapshot must not perturb the run"
+    );
+    let snap = armed.snapshot.expect("interior cycle captures");
+    let (job, _) = dynapar_gpu::parse_snapshot(&snap).expect("well-formed container");
+    assert_eq!(job.get("cycle").and_then(Json::as_u64), Some(at));
+    let now = job.get("now").and_then(Json::as_u64).expect("now recorded");
+    assert!(now <= at, "capture ran past the requested cycle");
+    let resumed = bench
+        .run_resumed(&cfg, policy(), MetricsLevel::Full, opts(), &snap)
+        .expect("resume");
+    assert_eq!(
+        resumed.artifact.expect("artifact").to_string(),
+        cold_json,
+        "snapshot/resume round-trip must be byte-identical mid-span"
+    );
 }
 
 #[test]

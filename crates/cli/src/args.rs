@@ -7,7 +7,7 @@
 //! `"policy":"spawn"` on the wire are one code path.
 
 use dynapar_core::PolicySpec;
-use dynapar_gpu::MetricsLevel;
+use dynapar_gpu::{MetricsLevel, SimWindow};
 use dynapar_workloads::Scale;
 
 /// The CLI's subcommands.
@@ -97,6 +97,16 @@ pub enum Command {
         /// Artifact store directory: persists the memo cache across
         /// daemon restarts.
         store: Option<String>,
+        /// Byte budget for the artifact store: least-recently-used
+        /// entries are evicted once the persisted total exceeds it.
+        store_max_bytes: Option<u64>,
+    },
+    /// Compare two snapshot files field by field.
+    SnapDiff {
+        /// First snapshot path.
+        a: String,
+        /// Second snapshot path.
+        b: String,
     },
     /// Submit a job to a running daemon and wait for its artifact.
     Submit {
@@ -148,6 +158,10 @@ pub struct Cli {
     /// parallel backend); `None` runs the sequential backend. Results
     /// are byte-identical either way.
     pub sim_jobs: Option<usize>,
+    /// Lookahead window policy for the parallel backend (`--sim-window
+    /// auto|1|N`, default auto). Wall-clock only: results are
+    /// byte-identical at every width.
+    pub sim_window: SimWindow,
 }
 
 /// Usage text.
@@ -169,8 +183,10 @@ USAGE:
   dynapar check-artifact --file <PATH>
   dynapar check-timeline --file <PATH>
   dynapar serve [--listen ADDR] [--workers N] [--port-file F] [--store DIR]
+                [--store-max-bytes N]
   dynapar submit --addr HOST:PORT (--bench <NAME> | --spec <PATH>)
                  --policy <POLICY> [--metrics L] [--emit-json F] [options]
+  dynapar snap-diff A.snap B.snap
   dynapar server-stats --addr HOST:PORT
   dynapar server-shutdown --addr HOST:PORT
   dynapar config
@@ -182,6 +198,8 @@ OPTIONS:   --scale tiny|small|paper (default paper) · --seed N
            default: DYNAPAR_JOBS or the CPU count)
            --sim-jobs N (parallel backend inside each simulation;
            default: sequential. Results are byte-identical)
+           --sim-window auto|1|N (parallel lookahead window width;
+           default auto. Wall-clock only — results are byte-identical)
 BENCHES:   the 13 Table I names, e.g. BFS-graph500, SA-thaliana (see `list`)
 ARTIFACTS: --emit-json writes the deterministic run-artifact JSON
            (implies --metrics full unless --metrics is given);
@@ -202,7 +220,10 @@ SERVER:    `serve` starts the line-JSON v1 daemon (docs/SERVER.md);
            answered from the daemon's memo cache without re-simulating,
            and artifacts are byte-identical to a local `run --emit-json`.
            `serve --store DIR` persists completed artifacts so the memo
-           cache survives daemon restarts
+           cache survives daemon restarts; --store-max-bytes N caps the
+           store, evicting least-recently-used entries.
+           `snap-diff A B` compares two snapshot files: differing header
+           fields, then the first divergent byte of the binary state
 ";
 
 fn take_value<'a>(
@@ -226,6 +247,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut seed = dynapar_workloads::suite::DEFAULT_SEED;
     let mut jobs = dynapar_engine::par::default_jobs();
     let mut sim_jobs: Option<usize> = None;
+    let mut sim_window = SimWindow::default();
     let mut bench: Option<String> = None;
     let mut spec: Option<String> = None;
     let mut policy: Option<PolicySpec> = None;
@@ -247,6 +269,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut resume: Option<String> = None;
     let mut fork_warmup: Option<u64> = None;
     let mut store: Option<String> = None;
+    let mut store_max_bytes: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
     let mut i = 1;
@@ -277,6 +301,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     return Err("--sim-jobs must be at least 1".to_string());
                 }
                 sim_jobs = Some(n);
+            }
+            "--sim-window" => {
+                sim_window = take_value(args, &mut i, "--sim-window")?.parse()?;
             }
             "--bench" => bench = Some(take_value(args, &mut i, "--bench")?.to_string()),
             "--spec" => spec = Some(take_value(args, &mut i, "--spec")?.to_string()),
@@ -350,6 +377,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--store" => store = Some(take_value(args, &mut i, "--store")?.to_string()),
+            "--store-max-bytes" => {
+                let n: u64 = take_value(args, &mut i, "--store-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--store-max-bytes expects a byte count".to_string())?;
+                if n == 0 {
+                    return Err("--store-max-bytes must be at least 1".to_string());
+                }
+                store_max_bytes = Some(n);
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -437,12 +474,27 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "check-timeline" => Command::CheckTimeline {
             file: file.ok_or("--file is required")?,
         },
-        "serve" => Command::Serve {
-            listen,
-            workers,
-            port_file,
-            store,
-        },
+        "serve" => {
+            if store_max_bytes.is_some() && store.is_none() {
+                return Err("--store-max-bytes needs --store".to_string());
+            }
+            Command::Serve {
+                listen,
+                workers,
+                port_file,
+                store,
+                store_max_bytes,
+            }
+        }
+        "snap-diff" => {
+            let [a, b] = positional.as_slice() else {
+                return Err("snap-diff expects exactly two snapshot paths".to_string());
+            };
+            Command::SnapDiff {
+                a: a.clone(),
+                b: b.clone(),
+            }
+        }
         "submit" => {
             need_workload(&bench, &spec)?;
             Command::Submit {
@@ -461,12 +513,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown command {other:?}")),
     };
+    if !matches!(command, Command::SnapDiff { .. }) {
+        if let Some(p) = positional.first() {
+            return Err(format!("unexpected argument {p:?}"));
+        }
+    }
     Ok(Cli {
         command,
         scale,
         seed,
         jobs,
         sim_jobs,
+        sim_window,
     })
 }
 
@@ -553,6 +611,70 @@ mod tests {
             .is_err());
         assert!(parse(&v(&["run", "--bench", "AMR", "--policy", "spawn", "--sim-jobs", "x"]))
             .is_err());
+    }
+
+    #[test]
+    fn sim_window_flag() {
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--sim-window", "8",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.sim_window, SimWindow::Fixed(8));
+        let cli = parse(&v(&[
+            "run", "--bench", "AMR", "--policy", "spawn", "--sim-window", "auto",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.sim_window, SimWindow::Auto);
+        let cli = parse(&v(&["run", "--bench", "AMR", "--policy", "spawn"])).expect("valid");
+        assert_eq!(cli.sim_window, SimWindow::Auto, "auto is the default");
+        for bad in ["0", "x", ""] {
+            assert!(
+                parse(&v(&["run", "--bench", "AMR", "--policy", "spawn", "--sim-window", bad]))
+                    .is_err(),
+                "--sim-window {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_store_max_bytes_flag() {
+        let cli = parse(&v(&[
+            "serve", "--store", "/tmp/s", "--store-max-bytes", "4096",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Serve { store, store_max_bytes, .. } => {
+                assert_eq!(store.as_deref(), Some("/tmp/s"));
+                assert_eq!(store_max_bytes, Some(4096));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse(&v(&["serve", "--store", "/tmp/s"])).expect("valid");
+        match cli.command {
+            Command::Serve { store_max_bytes, .. } => assert_eq!(store_max_bytes, None),
+            other => panic!("wrong command {other:?}"),
+        }
+        // The cap only means something with a store to cap.
+        assert!(parse(&v(&["serve", "--store-max-bytes", "4096"])).is_err());
+        assert!(parse(&v(&["serve", "--store", "/tmp/s", "--store-max-bytes", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--store", "/tmp/s", "--store-max-bytes", "x"])).is_err());
+    }
+
+    #[test]
+    fn snap_diff_takes_exactly_two_paths() {
+        let cli = parse(&v(&["snap-diff", "a.snap", "b.snap"])).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::SnapDiff {
+                a: "a.snap".into(),
+                b: "b.snap".into(),
+            }
+        );
+        assert!(parse(&v(&["snap-diff", "a.snap"])).is_err());
+        assert!(parse(&v(&["snap-diff", "a", "b", "c"])).is_err());
+        // Positional operands are snap-diff's alone: other commands
+        // still reject strays.
+        assert!(parse(&v(&["list", "stray"])).is_err());
     }
 
     #[test]
@@ -768,6 +890,7 @@ mod tests {
                 workers: 1,
                 port_file: None,
                 store: None,
+                store_max_bytes: None,
             }
         );
         let cli = parse(&v(&[
@@ -782,6 +905,7 @@ mod tests {
                 workers: 4,
                 port_file: Some("p.txt".into()),
                 store: Some("cache/".into()),
+                store_max_bytes: None,
             }
         );
         assert!(parse(&v(&["serve", "--workers", "0"])).is_err());

@@ -137,6 +137,7 @@ fn exec(cli: Cli) -> Result<(), String> {
                 metrics: *metrics,
                 gpu: GpuPreset::KeplerK20m,
                 sim_jobs: cli.sim_jobs,
+                sim_window: cli.sim_window,
             };
             // Built once here for the header line (and the friendly
             // unknown-benchmark error before any simulation starts);
@@ -215,6 +216,11 @@ fn exec(cli: Cli) -> Result<(), String> {
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 println!("# perfetto timeline written to {path} (open at ui.perfetto.dev)");
             }
+        }
+        Command::SnapDiff { a, b } => {
+            let bytes_a = std::fs::read(a).map_err(|e| format!("reading {a}: {e}"))?;
+            let bytes_b = std::fs::read(b).map_err(|e| format!("reading {b}: {e}"))?;
+            print!("{}", dynapar_gpu::diff_snapshots(&bytes_a, &bytes_b));
         }
         Command::CheckArtifact { file } => {
             let text =
@@ -298,6 +304,7 @@ fn exec(cli: Cli) -> Result<(), String> {
                     metrics: MetricsLevel::Off,
                     gpu: GpuPreset::KeplerK20m,
                     sim_jobs: cli.sim_jobs,
+                    sim_window: cli.sim_window,
                 },
                 policies: grid.iter().map(|&t| PolicySpec::Threshold(t)).collect(),
                 fork_warmup: *fork_warmup,
@@ -401,15 +408,20 @@ fn exec(cli: Cli) -> Result<(), String> {
             workers,
             port_file,
             store,
+            store_max_bytes,
         } => {
             let server = Server::bind(&ServerConfig {
                 addr: listen.clone(),
                 workers: *workers,
                 store: store.clone().map(std::path::PathBuf::from),
+                store_max_bytes: *store_max_bytes,
             })
             .map_err(|e| format!("bind {listen}: {e}"))?;
             if let Some(dir) = store {
-                println!("# memo cache persisted under {dir}");
+                match store_max_bytes {
+                    Some(cap) => println!("# memo cache persisted under {dir} (cap {cap} bytes)"),
+                    None => println!("# memo cache persisted under {dir}"),
+                }
             }
             let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
             if let Some(path) = port_file {
@@ -438,6 +450,7 @@ fn exec(cli: Cli) -> Result<(), String> {
                 metrics: *metrics,
                 gpu: GpuPreset::KeplerK20m,
                 sim_jobs: cli.sim_jobs,
+                sim_window: cli.sim_window,
             };
             let mut client =
                 Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;

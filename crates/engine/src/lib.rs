@@ -72,4 +72,4 @@ pub use cycle::Cycle;
 pub use event::EventQueue;
 pub use rng::{fnv1a_64, hash_mix, DetRng};
 pub use sched::{QueueBackend, SchedQueue};
-pub use wheel::TimingWheel;
+pub use wheel::{EventHorizon, TimingWheel};

@@ -103,6 +103,20 @@ impl<T> Shared<T> {
         self.cv.notify_one();
     }
 
+    /// Enqueues every task from the iterator under a single lock
+    /// acquisition, then wakes all workers once. Returns the number of
+    /// tasks enqueued.
+    fn push_batch(&self, tasks: impl Iterator<Item = T>) -> usize {
+        let n = {
+            let mut q = self.queue.lock().expect("pool queue poisoned");
+            let before = q.tasks.len();
+            q.tasks.extend(tasks);
+            q.tasks.len() - before
+        };
+        self.cv.notify_all();
+        n
+    }
+
     /// Blocks until a task is available (FIFO) or shutdown is flagged
     /// with the queue empty. Queued tasks are drained before shutdown
     /// takes effect, so a graceful stop finishes accepted work.
@@ -252,6 +266,26 @@ impl<T: Send, R: Send> Pool<'_, T, R> {
         match &mut self.mode {
             Mode::Serial { f, ready } => ready.push_back(f(task)),
             Mode::Threads { shared, .. } => shared.push(task),
+        }
+    }
+
+    /// Submits a batch of tasks in one queue operation: threaded mode
+    /// takes the task-queue lock once and signals every worker once,
+    /// instead of a lock + wake per task — the hand-off pattern of the
+    /// parallel simulation backend's span dispatch, where all anchored
+    /// shards for a lookahead window ship together. Serial mode runs each
+    /// task inline in order, exactly like repeated [`send`](Pool::send).
+    pub fn send_batch(&mut self, tasks: impl Iterator<Item = T>) {
+        match &mut self.mode {
+            Mode::Serial { f, ready } => {
+                for task in tasks {
+                    self.pending += 1;
+                    ready.push_back(f(task));
+                }
+            }
+            Mode::Threads { shared, .. } => {
+                self.pending += shared.push_batch(tasks);
+            }
         }
     }
 
@@ -552,6 +586,26 @@ mod tests {
                 assert_eq!(pool.pending(), 0);
             }
         });
+    }
+
+    #[test]
+    fn pool_send_batch_matches_individual_sends() {
+        for jobs in [1, 2, 4] {
+            let total: u64 = Pool::scope(jobs, 32, |x: u64| x + 1, |pool| {
+                let mut sum = 0;
+                for wave in 0..50u64 {
+                    pool.send_batch((0..7).map(|i| wave * 100 + i));
+                    assert_eq!(pool.pending(), 7);
+                    sum += (0..7).map(|_| pool.recv()).sum::<u64>();
+                    assert_eq!(pool.pending(), 0);
+                }
+                sum
+            });
+            let want: u64 = (0..50u64)
+                .flat_map(|w| (0..7u64).map(move |i| w * 100 + i + 1))
+                .sum();
+            assert_eq!(total, want, "jobs {jobs}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use dynapar_engine::par::Pool;
 use dynapar_engine::profile::Profiler;
 use dynapar_engine::snap::{ByteReader, ByteWriter, SnapError};
 use dynapar_engine::stats::TimeWeighted;
-use dynapar_engine::{Cycle, QueueBackend, SchedQueue};
+use dynapar_engine::{Cycle, EventHorizon, QueueBackend, SchedQueue};
 
 use crate::artifact::{CcqsSample, RunArtifact, RunOutcome};
 use crate::config::{CtaPlacement, GpuConfig, StreamPolicy};
@@ -29,7 +29,7 @@ use crate::ids::{KernelId, SmxId, StreamId};
 use crate::kernel::{AggCta, CtaDirectory, DpParams, KernelKind, KernelRt, SpecTable};
 use crate::mem::{coalesce_lines_parts, MemSystem};
 use crate::profile as ph;
-use crate::shard::{SmxShard, TickOp};
+use crate::shard::{RoundOut, RoundTail, SmxShard, TickOp, SENTINEL};
 use crate::snap::{get_opt_cycle, put_opt_cycle};
 use crate::smx::{CtaRt, WarpRt};
 use crate::stats::{KernelRole, KernelSummary, SimReport, TimelineSample};
@@ -241,6 +241,89 @@ pub enum SimBackend {
     Par(usize),
 }
 
+/// Lookahead window policy for the parallel backend (DESIGN.md §12).
+///
+/// Controls only *how far ahead* a shard may run locally per hand-off,
+/// never what it computes: results are byte-identical across every
+/// width, which is why the window deliberately stays out of the
+/// artifact's config echo (and therefore out of the server's memo
+/// hash) — it is a property of the run, not of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimWindow {
+    /// Widen every span to the computed safe horizon, capped at
+    /// [`AUTO_WINDOW_CAP`] cycles (the default).
+    #[default]
+    Auto,
+    /// Cap spans at `n` cycles; `1` reproduces the PR 6 per-cycle
+    /// window, where every anchor tick pays its own hand-off.
+    Fixed(u64),
+}
+
+impl std::str::FromStr for SimWindow {
+    type Err = String;
+
+    /// Parses the `--sim-window` grammar: `auto` or an integer ≥ 1.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(SimWindow::Auto);
+        }
+        match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(SimWindow::Fixed(n)),
+            _ => Err(format!(
+                "invalid sim window '{s}': expected 'auto' or an integer >= 1"
+            )),
+        }
+    }
+}
+
+/// Hard cap on [`SimWindow::Auto`] span width, in cycles. It bounds the
+/// worst-case merge lag (recorded-but-unreplayed work held in shard
+/// arenas) and keeps the horizon heaps short; in practice the guard
+/// bound binds first at a few tens of cycles, so raising this has no
+/// measurable effect.
+pub const AUTO_WINDOW_CAP: u64 = 256;
+
+/// Effective-window statistics of a parallel run: how many lookahead
+/// spans were dispatched and how wide they actually came out.
+/// Reported next to the artifact rather than inside it (exactly like
+/// [`RunOutcome::profile`]): realized widths depend on the backend and
+/// window flag, which must not leak into artifact bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WinStats {
+    /// Spans dispatched (including degenerate single-tick ones).
+    pub spans: u64,
+    /// Total anchor ticks executed across all spans.
+    pub ticks: u64,
+    /// Power-of-two span-width histogram: `hist[k]` counts spans whose
+    /// tick count `n` satisfies `2^k ≤ n < 2^(k+1)` (last bucket
+    /// open-ended).
+    pub hist: [u64; 16],
+}
+
+impl WinStats {
+    fn record(&mut self, ticks: u64) {
+        self.spans += 1;
+        self.ticks += ticks;
+        let b = (63 - ticks.max(1).leading_zeros()) as usize;
+        self.hist[b.min(15)] += 1;
+    }
+
+    /// True when no spans ran (e.g. a sequential run).
+    pub fn is_empty(&self) -> bool {
+        self.spans == 0
+    }
+
+    /// Folds another run's span statistics into this one (the perf
+    /// harness aggregates repeats and benchmarks this way).
+    pub fn merge(&mut self, other: &WinStats) {
+        self.spans += other.spans;
+        self.ticks += other.ticks;
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+    }
+}
+
 /// One periodic observation handed to a [`WatchHook`] at every sampling
 /// tick (`GpuConfig::sample_period` cycles apart) — the same quantities
 /// the windowed telemetry records, surfaced live so a daemon can stream
@@ -307,6 +390,7 @@ pub struct SimulationBuilder {
     queue: QueueBackend,
     profile: bool,
     backend: SimBackend,
+    window: SimWindow,
     snapshot_at: Option<u64>,
     snapshot_meta: Option<Json>,
     watch: Option<WatchHook>,
@@ -325,6 +409,7 @@ impl SimulationBuilder {
             queue: QueueBackend::default(),
             profile: false,
             backend: SimBackend::default(),
+            window: SimWindow::default(),
             snapshot_at: None,
             snapshot_meta: None,
             watch: None,
@@ -383,6 +468,15 @@ impl SimulationBuilder {
     /// the choice never leaks into the artifact's config echo.
     pub fn backend(mut self, backend: SimBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the lookahead window for the parallel backend (default:
+    /// [`SimWindow::Auto`]). Ignored under [`SimBackend::Seq`]. Results
+    /// are byte-identical at every width — the window trades hand-off
+    /// overhead against merge lag, nothing else.
+    pub fn sim_window(mut self, window: SimWindow) -> Self {
+        self.window = window;
         self
     }
 
@@ -459,6 +553,7 @@ impl SimulationBuilder {
         }
         sim.prof.set_enabled(self.profile);
         sim.backend = self.backend;
+        sim.window = self.window;
         sim.snapshot_at = self.snapshot_at.map(Cycle);
         sim.snapshot_meta = self.snapshot_meta;
         sim.watch = self.watch;
@@ -542,6 +637,24 @@ pub struct Simulation {
     smxs: Vec<SmxShard>,
     mem: MemSystem,
     backend: SimBackend,
+    /// Lookahead window policy for the parallel backend.
+    window: SimWindow,
+    /// Par-only: min-heap over the times of scheduled non-anchor global
+    /// events (primed at parallel-loop entry, fed by `push_global`); the
+    /// minimum upper-bounds when the next such event can pop and mutate
+    /// an arbitrary shard.
+    ev_horizon: EventHorizon,
+    /// Par-only: min-heap of warp finish-pop lower bounds. A finish can
+    /// reach another shard only through the dispatch → CTA-start chain,
+    /// which costs at least `cta_dispatch_latency` cycles past the pop
+    /// — so `guard.min() + cta_dispatch_latency − 1` bounds the horizon
+    /// (DESIGN.md §12).
+    guard: EventHorizon,
+    /// True while the parallel loop runs: `push_global`,
+    /// `schedule_wakeup`, and `on_cta_start` feed the two heaps above.
+    par_tracking: bool,
+    /// Effective-window histogram of this run (empty under `Seq`).
+    win_stats: WinStats,
     kernels: Vec<KernelRt>,
     controller: Box<dyn LaunchController>,
     now: Cycle,
@@ -644,6 +757,11 @@ impl Simulation {
             smxs,
             mem,
             backend: SimBackend::Seq,
+            window: SimWindow::default(),
+            ev_horizon: EventHorizon::new(),
+            guard: EventHorizon::new(),
+            par_tracking: false,
+            win_stats: WinStats::default(),
             kernels: Vec::new(),
             controller,
             now: Cycle::ZERO,
@@ -765,7 +883,7 @@ impl Simulation {
             kernel: id,
             parent: None,
         });
-        self.events.push(Cycle::ZERO, Ev::KernelArrive(id));
+        self.push_global(Cycle::ZERO, Ev::KernelArrive(id));
     }
 
     /// Runs to completion and returns the [`RunOutcome`]: the report,
@@ -794,13 +912,14 @@ impl Simulation {
             artifact,
             profile,
             snapshot: self.snapshot,
+            win: self.win_stats,
         }
     }
 
     fn run_to_completion(&mut self) {
         let started = std::time::Instant::now();
         if !self.resumed {
-            self.events.push(Cycle::ZERO, Ev::Sample);
+            self.push_global(Cycle::ZERO, Ev::Sample);
         }
         // The whole loop runs under the outer "sched" phase; `handle`
         // nests the per-event phases inside it, so "sched" is left
@@ -888,12 +1007,15 @@ impl Simulation {
         }
     }
 
-    /// The parallel event loop. Identical to [`run_loop_seq`] except at
-    /// *batches*: when the queue head holds several `SmxWork` anchors for
-    /// the same cycle, their shard-local ticks run concurrently on the
-    /// worker pool, and their outbound effects are merged in pop order —
-    /// so every observable byte matches the sequential backend exactly
-    /// (see DESIGN.md §12 for the argument).
+    /// The parallel event loop. Identical to [`run_loop_seq`] at every
+    /// observable byte, but anchor handling is split in two. When an
+    /// anchor pops with no recorded work pending, the batch of same-cycle
+    /// anchored shards is shipped to the worker pool to run a multi-cycle
+    /// *lookahead span* ([`SmxShard::local_tick_span`]) bounded by
+    /// [`span_horizon`](Self::span_horizon); each recorded tick is then
+    /// replayed when its own anchor event pops — the exact global queue
+    /// position where the sequential backend would have handled it (see
+    /// DESIGN.md §12 for the safety argument).
     ///
     /// Anchors for distinct SMXs are the only event kind whose handlers
     /// touch disjoint state up to the merge; everything else (GMU,
@@ -909,11 +1031,23 @@ impl Simulation {
         // shard is out on a worker; recycled for the whole run.
         let mut spares: Vec<SmxShard> = (0..n).map(|_| SmxShard::new(SmxId(0), &self.cfg)).collect();
         let mut batch: Vec<SmxId> = Vec::with_capacity(n);
+        let mut ship: Vec<SmxId> = Vec::with_capacity(n);
+        debug_assert!(
+            self.snapshot_at.is_none(),
+            "snapshots are captured on the sequential loop before the backend takes over"
+        );
+        // More workers than cores never helps compute-bound spans; on a
+        // single-core host the pool degrades to its inline serial mode,
+        // which keeps the span/merge protocol (and its byte-identical
+        // artifacts) while dropping every thread round-trip.
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let jobs = jobs.min(cores);
+        self.prime_par_tracking();
         Pool::scope(
             jobs,
             n,
-            move |(mut shard, now): (SmxShard, Cycle)| {
-                shard.local_tick(now, &cfg2, &specs2);
+            move |(mut shard, start, horizon): (SmxShard, Cycle, Cycle)| {
+                shard.local_tick_span(start, horizon, &cfg2, &specs2);
                 shard
             },
             |pool| loop {
@@ -935,6 +1069,17 @@ impl Simulation {
                     }
                     continue;
                 };
+                if self.smxs[s0.index()].has_recorded(t) {
+                    // This anchor's tick already ran inside a lookahead
+                    // span: replay it here, at its sequential position.
+                    self.prof.enter(ph::MERGE);
+                    self.merge_recorded_tick(t, s0.index());
+                    self.prof.exit();
+                    if self.live_kernels == 0 {
+                        break;
+                    }
+                    continue;
+                }
                 // Batch formation: pop further *same-cycle* events while
                 // they are SmxWork anchors; the first other-kind event is
                 // held and replayed after the batch (pop order preserved
@@ -953,42 +1098,65 @@ impl Simulation {
                         }
                     }
                 }
-                if batch.len() == 1 && held.is_none() {
-                    // Singleton batch: the sequential fast path.
+                // A held same-cycle event may mutate any shard the moment
+                // it runs; spans must not look past this cycle then.
+                let horizon = if held.is_some() { t } else { self.span_horizon(t) };
+                if batch.len() == 1 && held.is_none() && horizon == t {
+                    // Degenerate window: the sequential fast path.
+                    self.win_stats.record(1);
                     self.handle(t, Ev::SmxWork(s0));
                     if self.live_kernels == 0 {
                         break;
                     }
                     continue;
                 }
-                self.prof.enter(ph::WAKEUP);
-                if batch.len() > 1 {
-                    // Local phase: ship each anchored shard to the pool
-                    // (swap-out against a spare; zero allocation), then
-                    // collect them all back. Anchors are unique per SMX
-                    // per cycle, so batch entries are distinct shards.
-                    for &s in &batch {
-                        let spare = spares.pop().expect("spare shard available");
-                        let shard = std::mem::replace(&mut self.smxs[s.index()], spare);
-                        pool.send((shard, t));
+                self.prof.enter(ph::WIN);
+                // Local phase: swap each anchored shard without recorded
+                // work out against a spare (zero allocation) and run its
+                // span on the pool. Anchors are unique per SMX per cycle,
+                // so batch entries are distinct shards. Members that
+                // already hold a recorded tick for `t` (from an earlier
+                // span) skip the pool and merge below.
+                ship.clear();
+                ship.extend(
+                    batch
+                        .iter()
+                        .copied()
+                        .filter(|s| !self.smxs[s.index()].has_recorded(t)),
+                );
+                if jobs <= 1 || ship.len() == 1 {
+                    // Nothing can overlap: a lone shard would serialize on
+                    // the collect anyway, and a serial pool runs tasks on
+                    // this thread regardless. Run the spans in place —
+                    // same recording and replay, none of the channel or
+                    // spare-swap traffic.
+                    for &s in &ship {
+                        let si = s.index();
+                        self.smxs[si].local_tick_span(t, horizon, &self.cfg, &self.specs);
+                        self.win_stats.record(self.smxs[si].ticks.len() as u64);
                     }
-                    for _ in 0..batch.len() {
+                } else {
+                    {
+                        let smxs = &mut self.smxs;
+                        let spares = &mut spares;
+                        pool.send_batch(ship.iter().map(|&s| {
+                            let spare = spares.pop().expect("spare shard available");
+                            (std::mem::replace(&mut smxs[s.index()], spare), t, horizon)
+                        }));
+                    }
+                    for _ in 0..ship.len() {
                         let shard = pool.recv();
+                        self.win_stats.record(shard.ticks.len() as u64);
                         let si = shard.id.index();
                         spares.push(std::mem::replace(&mut self.smxs[si], shard));
                     }
-                } else {
-                    // A lone anchor followed by a held event: tick the
-                    // shard inline, but still through the local/merge
-                    // split so the replay below stays uniform.
-                    let si = s0.index();
-                    let (shard, cfg, specs) = (&mut self.smxs[si], &self.cfg, &self.specs);
-                    shard.local_tick(t, cfg, specs);
                 }
-                // Merge phase, in pop order. `peak_queue_depth` samples
-                // are reconstructed retroactively: the sequential loop
-                // samples the queue before each pop, after the previous
-                // handler's pushes.
+                self.prof.exit();
+                // Merge phase, in pop order: each batch member's tick at
+                // `t` is the front record of its span. `peak_queue_depth`
+                // samples are reconstructed retroactively: the sequential
+                // loop samples the queue before each pop, after the
+                // previous handler's pushes.
                 let mut prev_delta = 0u64;
                 for (j, &s) in batch.iter().enumerate() {
                     if j > 0 {
@@ -996,10 +1164,11 @@ impl Simulation {
                         self.peak_queue_depth = self.peak_queue_depth.max(level);
                     }
                     let before = self.events.len() as u64;
-                    self.merge_tick(t, s.index());
+                    self.prof.enter(ph::MERGE);
+                    self.merge_recorded_tick(t, s.index());
+                    self.prof.exit();
                     prev_delta = self.events.len() as u64 - before;
                 }
-                self.prof.exit();
                 if let Some(hev) = held {
                     if self.live_kernels == 0 {
                         // The sequential loop would have stopped before
@@ -1016,65 +1185,213 @@ impl Simulation {
                 }
             },
         );
+        self.par_tracking = false;
+        debug_assert!(
+            self.smxs.iter().all(|s| s.merge_exhausted()),
+            "run terminated with recorded span ticks pending"
+        );
     }
 
-    /// Merge phase of one shard tick (see [`SmxShard::local_tick`]):
-    /// replay the recorded ops against the shared state in the order the
-    /// sequential handler would have produced them, then re-anchor.
-    fn merge_tick(&mut self, now: Cycle, si: usize) {
+    /// Arms the lookahead heaps from live state at parallel-loop entry
+    /// (the loop may start mid-run, e.g. after a snapshot prefix): every
+    /// queued non-anchor event is tracked, and every scheduled or ready
+    /// warp gets a finish-pop lower bound.
+    fn prime_par_tracking(&mut self) {
+        self.par_tracking = true;
+        self.ev_horizon.clear();
+        self.guard.clear();
+        for (at, ev) in self.events.snapshot_entries() {
+            if !matches!(ev, Ev::SmxWork(_)) {
+                self.ev_horizon.note(Cycle(at));
+            }
+        }
+        let now = self.now;
+        for si in 0..self.smxs.len() {
+            for (at, slot) in self.smxs[si].local.snapshot_entries() {
+                let w = self.smxs[si].warp(slot);
+                let left = w.rounds_total.saturating_sub(w.rounds_done) as u64;
+                self.guard.note(Cycle(at) + left);
+            }
+            self.note_ready_guards(si, now);
+        }
+    }
+
+    /// Pushes a finish-pop lower bound for every currently-ready warp of
+    /// SMX `si`: it can issue no earlier than `base` and needs one cycle
+    /// per remaining round before its finish wakeup can pop. Ready warps
+    /// re-arm an anchor every cycle, so these keys are refreshed at every
+    /// tick tail a warp survives — which is what keeps pruning strictly
+    /// below the current cycle sound.
+    fn note_ready_guards(&mut self, si: usize, base: Cycle) {
+        let mut guard = std::mem::take(&mut self.guard);
+        let smx = &self.smxs[si].smx;
+        smx.for_each_ready(|slot| {
+            let w = smx.warp(slot);
+            let left = w.rounds_total.saturating_sub(w.rounds_done) as u64;
+            guard.note(base + left);
+        });
+        self.guard = guard;
+    }
+
+    /// The widest provably-safe lookahead horizon for spans dispatched at
+    /// `t`: no cross-shard mutation can land on any SMX within `[t, H]`,
+    /// so shards may run their anchor ticks locally through `H`. Three
+    /// bounds, each required (DESIGN.md §12): the window-policy cap; the
+    /// earliest scheduled non-anchor global event (its handler may touch
+    /// any shard the cycle it pops); and the guard heap of warp
+    /// finish-pop lower bounds (a finish cascades into another shard no
+    /// sooner than `cta_dispatch_latency` cycles after the pop).
+    fn span_horizon(&mut self, t: Cycle) -> Cycle {
+        let cap = match self.window {
+            SimWindow::Fixed(n) => n.max(1) - 1,
+            SimWindow::Auto => AUTO_WINDOW_CAP - 1,
+        };
+        if cap == 0 {
+            return t;
+        }
+        let mut h = t + cap;
+        // Every event ≤ t has popped by now (the batch drained cycle t),
+        // so stale tracker entries go and the rest are live and exact.
+        self.ev_horizon.prune_through(t);
+        if let Some(m) = self.ev_horizon.min() {
+            debug_assert!(m > t, "tracked global event survived its pop");
+            h = h.min(Cycle(m.as_u64() - 1));
+        }
+        // Guard keys equal to `t` stay: a finish popping this very cycle
+        // still bounds the horizon. Only strictly-past keys are stale.
+        self.guard.prune_below(t);
+        if let Some(k) = self.guard.min() {
+            let lat = self.cfg.cta_dispatch_latency;
+            h = h.min(Cycle((k.as_u64() + lat).saturating_sub(1)));
+        }
+        h.max(t)
+    }
+
+    /// Replays one recorded span tick of SMX `si` at its global pop
+    /// position: fold the tick's counters, apply its ops in sequential
+    /// order, feed its recorded guard keys, then run (or materialize)
+    /// the anchor tail. After the span's last record, the arenas reset
+    /// in place so the shard's next span allocates nothing.
+    fn merge_recorded_tick(&mut self, now: Cycle, si: usize) {
+        let rec = self.smxs[si].ticks[self.smxs[si].ticks_next];
+        debug_assert!(rec.cycle == now, "recorded tick out of step with its anchor");
+        let (ops_start, keys_start) = if self.smxs[si].ticks_next == 0 {
+            (0, 0)
+        } else {
+            let prev = self.smxs[si].ticks[self.smxs[si].ticks_next - 1];
+            (prev.ops_end as usize, prev.keys_end as usize)
+        };
+        self.smxs[si].events_local += rec.drained as u64;
+        self.peak_local_backlog = self.peak_local_backlog.max(rec.backlog_max);
         let ops = std::mem::take(&mut self.smxs[si].ops);
         let misses = std::mem::take(&mut self.smxs[si].miss_lines);
-        for &op in &ops {
+        let keys = std::mem::take(&mut self.smxs[si].guard_keys);
+        for &op in &ops[ops_start..rec.ops_end as usize] {
             match op {
                 TickOp::Finish { slot } => self.finish_warp(now, si, slot),
                 TickOp::Start { slot } => self.start_warp(now, si, slot),
-                TickOp::Round(r) => {
-                    self.prof.enter(ph::ROUND);
-                    self.prof.enter(ph::CACHE);
-                    let mem_done = if r.lines == 0 {
-                        now
-                    } else {
-                        let miss =
-                            &misses[r.miss_off as usize..(r.miss_off + r.miss_len) as usize];
-                        self.mem.service_read(
-                            now,
-                            &mut self.smxs[si].l1,
-                            r.lines as u64,
-                            r.hits,
-                            miss,
-                            &mut self.prof,
-                        )
-                    };
-                    if let Some(line) = r.write_line {
-                        self.mem.warp_write(now, line, &mut self.prof);
-                    }
-                    self.prof.exit(); // cache
-                    self.finish_round(now, si, r.slot, r.compute, r.active, r.is_child, mem_done);
-                    self.prof.exit(); // round
+                TickOp::Round(r) => self.merge_round(now, si, r, &misses),
+            }
+        }
+        for &k in &keys[keys_start..rec.keys_end as usize] {
+            self.guard.note(k);
+        }
+        if rec.tail_applied {
+            // The anchor tail already ran inside the shard; only its won
+            // global pushes materialize here, in the sequential order
+            // (`now + 1` before the wakeup relay).
+            if let Some(at) = rec.anchor_after {
+                self.events.push(at, Ev::SmxWork(SmxId(si as u8)));
+            }
+            if let Some(at) = rec.anchor_relay {
+                self.events.push(at, Ev::SmxWork(SmxId(si as u8)));
+            }
+            if rec.dead_wakeup {
+                self.dead_wakeups += 1;
+            }
+        } else {
+            // Stop tick (the span's last): its ops above mutate live
+            // global state, so run the real `on_smx_work` tail.
+            if self.smxs[si].has_ready() {
+                self.ensure_anchor(si, now + 1);
+                self.note_ready_guards(si, now + 1);
+            }
+            if let Some(next) = self.smxs[si].local.peek_time() {
+                debug_assert!(next > now, "undrained wakeup at the anchor cycle");
+                self.ensure_anchor(si, next);
+            } else if rec.idle {
+                self.dead_wakeups += 1;
+            }
+        }
+        let shard = &mut self.smxs[si];
+        shard.ops = ops;
+        shard.miss_lines = misses;
+        shard.guard_keys = keys;
+        shard.ticks_next += 1;
+        if shard.ticks_next >= shard.ticks.len() {
+            // Span fully merged: reset the arenas, retaining capacity.
+            shard.ticks.clear();
+            shard.ticks_next = 0;
+            shard.ops.clear();
+            shard.miss_lines.clear();
+            shard.guard_keys.clear();
+        }
+    }
+
+    /// The merge half of one recorded round: globally-serviced memory
+    /// and stats, then the warp tail — fully replayed for deferred
+    /// tails, merely reconciled for applied ones (items accounting,
+    /// sentinel replacement, and the recorded pushes, in the order the
+    /// sequential `finish_round` would have produced them).
+    fn merge_round(&mut self, now: Cycle, si: usize, r: RoundOut, misses: &[u64]) {
+        self.prof.enter(ph::ROUND);
+        self.prof.enter(ph::CACHE);
+        let mem_done = if r.lines == 0 {
+            now
+        } else {
+            let miss = &misses[r.miss_off as usize..(r.miss_off + r.miss_len) as usize];
+            self.mem.service_read(
+                now,
+                &mut self.smxs[si].l1,
+                r.lines as u64,
+                r.hits,
+                miss,
+                &mut self.prof,
+            )
+        };
+        if let Some(line) = r.write_line {
+            self.mem.warp_write(now, line, &mut self.prof);
+        }
+        self.prof.exit(); // cache
+        match r.tail {
+            RoundTail::Deferred => {
+                self.finish_round(now, si, r.slot, r.compute, r.active, r.is_child, mem_done);
+            }
+            RoundTail::Applied { guard_key, anchor_push, sentinel } => {
+                if r.is_child {
+                    self.items_child += r.active as u64;
+                } else {
+                    self.items_inline += r.active as u64;
+                }
+                if sentinel {
+                    debug_assert!(mem_done > now, "sentinel stood in for a no-push round");
+                    let w = self.smxs[si].warp_mut(r.slot);
+                    let cell = w
+                        .outstanding_mem
+                        .iter_mut()
+                        .find(|c| **c == SENTINEL)
+                        .expect("deferred miss entry to replace");
+                    *cell = mem_done;
+                }
+                if self.par_tracking {
+                    self.guard.note(guard_key);
+                }
+                if let Some(at) = anchor_push {
+                    self.events.push(at, Ev::SmxWork(SmxId(si as u8)));
                 }
             }
         }
-        {
-            let shard = &mut self.smxs[si];
-            let mut ops = ops;
-            ops.clear();
-            shard.ops = ops;
-            let mut misses = misses;
-            misses.clear();
-            shard.miss_lines = misses;
-        }
-        // Re-anchor exactly like the tail of `on_smx_work`: ready warps
-        // pull the SMX back at `now + 1`; otherwise relay the next local
-        // wakeup (including any the merge just scheduled).
-        if self.smxs[si].tick_need_anchor {
-            self.ensure_anchor(si, now + 1);
-        }
-        if let Some(next) = self.smxs[si].local.peek_time() {
-            debug_assert!(next > now, "undrained wakeup at the anchor cycle");
-            self.ensure_anchor(si, next);
-        } else if self.smxs[si].tick_idle {
-            self.dead_wakeups += 1;
-        }
+        self.prof.exit(); // round
     }
 
     // ----- snapshot / resume --------------------------------------------
@@ -1465,7 +1782,7 @@ impl Simulation {
     fn schedule_dispatch(&mut self, at: Cycle) {
         if self.dispatch_at.is_none_or(|t| t > at) {
             self.dispatch_at = Some(at);
-            self.events.push(at, Ev::Dispatch);
+            self.push_global(at, Ev::Dispatch);
         }
     }
 
@@ -1539,7 +1856,7 @@ impl Simulation {
                     cta: cta_index,
                     smx: SmxId(s as u8),
                 });
-                self.events.push(
+                self.push_global(
                     now + self.cfg.cta_dispatch_latency,
                     Ev::CtaStart {
                         smx: SmxId(s as u8),
@@ -1626,8 +1943,26 @@ impl Simulation {
             // Degenerate empty CTA: complete immediately.
             self.finish_cta(now, si, cta_slot);
         } else {
+            if self.par_tracking {
+                // The fresh warps are ready but unstarted (no wheel entry
+                // yet); their first finish wakeup cannot pop before
+                // `now + 1` (the prologue charges at least one cycle).
+                self.guard.note(now + 1);
+            }
             self.ensure_anchor(si, now);
         }
+    }
+
+    /// Queues a non-anchor global event, keeping the parallel backend's
+    /// event-horizon tracker in sync so future lookahead spans stop short
+    /// of its cycle. Anchor (`SmxWork`) pushes bypass this: spans handle
+    /// their own shard's anchors and other shards' anchors are harmless.
+    fn push_global(&mut self, at: Cycle, ev: Ev) {
+        debug_assert!(!matches!(ev, Ev::SmxWork(_)), "anchors are pushed directly");
+        if self.par_tracking {
+            self.ev_horizon.note(at);
+        }
+        self.events.push(at, ev);
     }
 
     /// Guarantees a global `SmxWork` anchor covers cycle `at` for SMX
@@ -1639,8 +1974,7 @@ impl Simulation {
     /// could not do: lowering `tick_at` leaked the superseded event into
     /// the queue as a dead pop.
     fn ensure_anchor(&mut self, si: usize, at: Cycle) {
-        if self.smxs[si].anchors.iter().all(|&a| a > at) {
-            self.smxs[si].anchors.push(at);
+        if self.smxs[si].try_anchor(at) {
             self.events.push(at, Ev::SmxWork(SmxId(si as u8)));
         }
     }
@@ -1648,6 +1982,14 @@ impl Simulation {
     /// Schedules a warp wakeup on the SMX's local wheel and makes sure a
     /// global anchor will fire by then.
     fn schedule_wakeup(&mut self, si: usize, at: Cycle, slot: u32) {
+        if self.par_tracking {
+            // Finish-pop lower bound: the wakeup fires at `at`, and each
+            // remaining round costs at least one cycle before the warp's
+            // finish wakeup can pop.
+            let w = self.smxs[si].warp(slot);
+            let left = w.rounds_total.saturating_sub(w.rounds_done) as u64;
+            self.guard.note(at + left);
+        }
         self.smxs[si].local.push(at, slot);
         let backlog = self.smxs[si].local.len() as u64;
         self.peak_local_backlog = self.peak_local_backlog.max(backlog);
@@ -1696,6 +2038,13 @@ impl Simulation {
             }
             if self.smxs[si].has_ready() {
                 self.ensure_anchor(si, now + 1);
+                if self.par_tracking {
+                    // Refresh the ready-warp finish bounds: these keys are
+                    // re-noted at every tick tail the warp stays ready,
+                    // which is what keeps `span_horizon`'s strict pruning
+                    // sound.
+                    self.note_ready_guards(si, now + 1);
+                }
             }
         }
         if let Some(next) = self.smxs[si].local.peek_time() {
@@ -1800,7 +2149,7 @@ impl Simulation {
                         });
                         let delay = self.cfg.launch.kernel_latency(x);
                         self.inflight_launches += 1;
-                        self.events.push(now + delay, Ev::KernelArrive(child));
+                        self.push_global(now + delay, Ev::KernelArrive(child));
                         self.child_launch_times.push(now.as_u64());
                         self.child_kernels += 1;
                     }
@@ -1823,7 +2172,7 @@ impl Simulation {
                             }
                         }
                         k.grid_ctas += ctas;
-                        self.events.push(
+                        self.push_global(
                             now + self.cfg.launch.dtbl_per_cta_cycles,
                             Ev::AggArrive { kernel: agg, count: ctas },
                         );
@@ -2076,6 +2425,10 @@ impl Simulation {
         }
         let mlp = self.cfg.mlp_depth as usize;
         let w = self.smxs[si].warp_mut(slot);
+        debug_assert!(
+            w.outstanding_mem.iter().all(|&d| d != SENTINEL),
+            "deferred round tail ran with an unresolved sentinel"
+        );
         w.rounds_done += 1;
         // Loop-level memory pipelining: the warp only stalls on a round's
         // memory once `mlp_depth` requests are in flight, except at its
@@ -2199,7 +2552,7 @@ impl Simulation {
                         .expect("own-complete implies dispatched")
                         + self.cfg.launch.hwq_turnaround_cycles;
                     if floor > now {
-                        self.events.push(floor, Ev::HwqRelease(kid));
+                        self.push_global(floor, Ev::HwqRelease(kid));
                     } else {
                         self.gmu.kernel_complete(kid, stream);
                     }
@@ -2290,8 +2643,7 @@ impl Simulation {
             );
         }
         if self.live_kernels > 0 {
-            self.events
-                .push(now + self.cfg.sample_period, Ev::Sample);
+            self.push_global(now + self.cfg.sample_period, Ev::Sample);
         }
     }
 

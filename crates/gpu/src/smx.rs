@@ -285,6 +285,35 @@ impl Smx {
         self.ready_count > 0
     }
 
+    /// Calls `f` for every slot currently in the ready set, in slot
+    /// order. Read-only: issue priority is `select_ready`'s business —
+    /// this exists so the parallel backend can bound the finish time of
+    /// warps that are ready but not yet issued (DESIGN.md §12).
+    pub fn for_each_ready(&self, mut f: impl FnMut(u32)) {
+        for (wi, &word) in self.ready_mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                f(wi as u32 * 64 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// The registration half of the global anchor dedupe: records `at`
+    /// iff no pending anchor covers it (every pending anchor fires at a
+    /// later cycle) and returns whether it did — the caller then owes the
+    /// matching global `SmxWork` event. Shared between the sequential
+    /// `ensure_anchor` and the span ticks of the parallel backend, which
+    /// must dedupe locally and let the merge materialize the event.
+    pub fn try_anchor(&mut self, at: Cycle) -> bool {
+        if self.anchors.iter().all(|&a| a > at) {
+            self.anchors.push(at);
+            true
+        } else {
+            false
+        }
+    }
+
     #[inline]
     fn is_ready(&self, slot: u32) -> bool {
         self.ready_mask[slot as usize / 64] & (1 << (slot % 64)) != 0

@@ -96,6 +96,195 @@ pub fn parse_snapshot(bytes: &[u8]) -> Result<(Json, &[u8]), SnapError> {
     Ok((job, state))
 }
 
+/// Human-readable comparison of two snapshot images (the CLI's
+/// `snap-diff`): lists every header field whose value differs, then
+/// locates the first divergent byte of the binary state and attributes
+/// it to the outermost encode-order section it falls in.
+///
+/// Corrupt inputs are reported rather than rejected — diffing a good
+/// snapshot against a truncated or bit-flipped one is exactly the
+/// debugging situation this exists for — but a snapshot whose header
+/// line cannot be parsed at all ends the comparison at that finding.
+pub fn diff_snapshots(a: &[u8], b: &[u8]) -> String {
+    let mut out = String::new();
+    let mut push = |line: &str| {
+        out.push_str(line);
+        out.push('\n');
+    };
+    if a == b {
+        push(&format!("identical ({} bytes)", a.len()));
+        return out;
+    }
+    let parse_header = |bytes: &[u8]| -> Result<(Json, usize), String> {
+        let nl = bytes
+            .iter()
+            .position(|&x| x == b'\n')
+            .ok_or("missing header line")?;
+        let text = std::str::from_utf8(&bytes[..nl]).map_err(|_| "header is not UTF-8")?;
+        let json = Json::parse(text).map_err(|e| format!("header: {e:?}"))?;
+        Ok((json, nl + 1))
+    };
+    let (ha, sa) = match parse_header(a) {
+        Ok((h, off)) => (h, &a[off..]),
+        Err(e) => {
+            push(&format!("A: unreadable snapshot ({e})"));
+            return out;
+        }
+    };
+    let (hb, sb) = match parse_header(b) {
+        Ok((h, off)) => (h, &b[off..]),
+        Err(e) => {
+            push(&format!("B: unreadable snapshot ({e})"));
+            return out;
+        }
+    };
+    // Integrity first: a checksum mismatch means the state bytes below
+    // are corrupt, not a semantic divergence — say so up front.
+    for (name, header, state) in [("A", &ha, sa), ("B", &hb, sb)] {
+        if let Some(want) = header.get("state_len").and_then(Json::as_u64) {
+            if state.len() as u64 != want {
+                push(&format!(
+                    "{name}: corrupt: state is {} bytes, header says {want}",
+                    state.len()
+                ));
+            }
+        }
+        if let Some(want) = header.get("state_fnv").and_then(Json::as_u64) {
+            if fnv1a_64(state) != want {
+                push(&format!("{name}: corrupt: state checksum does not match header"));
+            }
+        }
+    }
+    // Header fields, with the job object flattened one level so the
+    // interesting keys (cycle, policy, config_fnv, ...) print by name.
+    let flatten = |h: &Json| -> Vec<(String, String)> {
+        let mut fields = Vec::new();
+        if let Some(members) = h.as_object() {
+            for (k, v) in members {
+                match (k.as_str(), v.as_object()) {
+                    ("job", Some(inner)) => {
+                        for (jk, jv) in inner {
+                            fields.push((format!("job.{jk}"), jv.to_string()));
+                        }
+                    }
+                    _ => fields.push((k.clone(), v.to_string())),
+                }
+            }
+        }
+        fields
+    };
+    let fa = flatten(&ha);
+    let fb = flatten(&hb);
+    let mut differs = false;
+    for (k, va) in &fa {
+        match fb.iter().find(|(bk, _)| bk == k) {
+            Some((_, vb)) if va == vb => {}
+            Some((_, vb)) => {
+                push(&format!("header {k}: A={va} B={vb}"));
+                differs = true;
+            }
+            None => {
+                push(&format!("header {k}: A={va} B=<absent>"));
+                differs = true;
+            }
+        }
+    }
+    for (k, vb) in &fb {
+        if !fa.iter().any(|(ak, _)| ak == k) {
+            push(&format!("header {k}: A=<absent> B={vb}"));
+            differs = true;
+        }
+    }
+    if !differs {
+        push("header: identical");
+    }
+    // Binary state: first divergent byte, attributed to a section.
+    let common = sa.len().min(sb.len());
+    let div = (0..common).find(|&i| sa[i] != sb[i]);
+    match div {
+        None if sa.len() == sb.len() => push("state: identical"),
+        None => push(&format!(
+            "state: A is a {}-byte prefix match, lengths differ ({} vs {} bytes)",
+            common,
+            sa.len(),
+            sb.len()
+        )),
+        Some(i) => push(&format!(
+            "state: first divergent byte at offset {i} (A={:#04x} B={:#04x}) in section `{}`; \
+             lengths {} vs {} bytes",
+            sa[i],
+            sb[i],
+            state_section_at(i, sa),
+            sa.len(),
+            sb.len()
+        )),
+    }
+    out
+}
+
+/// Names the encode-order section of `Simulation::encode_state` that
+/// byte offset `i` of `state` falls in. The fixed scalar prefix and the
+/// global event queue are resolved exactly (entry by entry); everything
+/// past the event queue is attributed to the component blob that
+/// follows it. Must mirror the encode order in `sim.rs`.
+fn state_section_at(i: usize, state: &[u8]) -> String {
+    let mut pos = 0usize;
+    for (name, size) in [
+        ("now", 8),
+        ("live_kernels", 4),
+        ("next_stream", 4),
+        ("warp_seq", 8),
+        ("rr_smx", 8),
+    ] {
+        if i < pos + size {
+            return name.to_string();
+        }
+        pos += size;
+    }
+    // dispatch_at: option tag byte, then 8 payload bytes when set.
+    let opt_len = match state.get(pos) {
+        Some(0) => 1,
+        _ => 9,
+    };
+    if i < pos + opt_len {
+        return "dispatch_at".to_string();
+    }
+    pos += opt_len;
+    if i < pos + 8 {
+        return "event queue (total_pushed)".to_string();
+    }
+    pos += 8;
+    let count = state
+        .get(pos..pos + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .unwrap_or(0);
+    if i < pos + 8 {
+        return "event queue (entry count)".to_string();
+    }
+    pos += 8;
+    for k in 0..count {
+        // One entry: time u64, then the `put_ev` tag + payload (sizes
+        // mirror `put_ev` in sim.rs).
+        let tag = state.get(pos + 8).copied();
+        let payload = match tag {
+            Some(0) => 4,  // KernelArrive(kernel u32)
+            Some(1) => 8,  // AggArrive { kernel u32, count u32 }
+            Some(2) => 0,  // Dispatch
+            Some(3) => 5,  // CtaStart { smx u8, cta_slot u32 }
+            Some(4) => 1,  // SmxWork(smx u8)
+            Some(5) => 4,  // HwqRelease(kernel u32)
+            Some(6) => 0,  // Sample
+            _ => return format!("event queue entry {k} (unrecognized tag)"),
+        };
+        let len = 8 + 1 + payload;
+        if i < pos + len {
+            return format!("event queue entry {k}");
+        }
+        pos += len;
+    }
+    "component state (GMU / SMXs / memory / kernels / specs / statistics)".to_string()
+}
+
 /// Interns a decoded work-class label as `&'static str`.
 ///
 /// [`WorkClass::label`] is a static string by design (labels come from
@@ -257,6 +446,37 @@ mod tests {
         assert_eq!(job_back.get("policy").and_then(Json::as_str), Some("spawn"));
         assert_eq!(job_back.get("seed").and_then(Json::as_u64), Some(7));
         assert_eq!(state_back, &state[..]);
+    }
+
+    #[test]
+    fn diff_reports_header_fields_and_first_divergent_state_byte() {
+        let job = |cycle: u64| Json::obj([("cycle", Json::U64(cycle))]);
+        let a = write_snapshot(&job(5), &[1, 2, 3, 4]);
+        assert!(diff_snapshots(&a, &a).starts_with("identical"));
+
+        // Different header field and one differing state byte: both the
+        // flattened job key and the byte offset (with its encode-order
+        // section) are named.
+        let b = write_snapshot(&job(9), &[1, 2, 9, 4]);
+        let out = diff_snapshots(&a, &b);
+        assert!(out.contains("header job.cycle: A=5 B=9"), "{out}");
+        assert!(out.contains("header state_fnv:"), "{out}");
+        assert!(
+            out.contains("state: first divergent byte at offset 2"),
+            "{out}"
+        );
+        assert!(out.contains("in section `now`"), "{out}");
+
+        // A truncated side is flagged corrupt, and the state compare
+        // degrades to a prefix/length report instead of a byte diff.
+        let out = diff_snapshots(&a, &a[..a.len() - 1]);
+        assert!(out.contains("B: corrupt: state is 3 bytes, header says 4"), "{out}");
+        assert!(out.contains("lengths differ (4 vs 3 bytes)"), "{out}");
+
+        // An unreadable header ends the comparison with a finding, not
+        // a panic or an Err.
+        let out = diff_snapshots(b"not a snapshot", &a);
+        assert!(out.contains("A: unreadable snapshot"), "{out}");
     }
 
     #[test]

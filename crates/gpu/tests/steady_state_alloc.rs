@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dynapar_gpu::{
-    GpuConfig, KernelDesc, SimBackend, Simulation, ThreadSource, ThreadWork, WorkClass,
+    GpuConfig, KernelDesc, SimBackend, SimWindow, Simulation, ThreadSource, ThreadWork, WorkClass,
 };
 
 struct CountingAlloc;
@@ -48,6 +48,15 @@ fn run_and_count(items_per_thread: u32) -> (u64, u64) {
 
 /// Same probe on an explicit simulation backend.
 fn run_and_count_on(items_per_thread: u32, backend: SimBackend) -> (u64, u64) {
+    run_and_count_windowed(items_per_thread, backend, SimWindow::default())
+}
+
+/// Same probe at an explicit lookahead-window policy.
+fn run_and_count_windowed(
+    items_per_thread: u32,
+    backend: SimBackend,
+    window: SimWindow,
+) -> (u64, u64) {
     let threads = 2048u64;
     let class = WorkClass {
         label: "probe",
@@ -61,6 +70,7 @@ fn run_and_count_on(items_per_thread: u32, backend: SimBackend) -> (u64, u64) {
     };
     let mut sim = Simulation::builder(GpuConfig::kepler_k20m())
         .backend(backend)
+        .sim_window(window)
         .build();
     sim.launch_host(KernelDesc {
         name: "probe".into(),
@@ -136,5 +146,32 @@ fn parallel_backend_rounds_do_not_drive_allocations() {
         "parallel-backend allocations scale with rounds: {short_allocs} allocs at \
          {short_events} events, {long_allocs} allocs at {long_events} events (+{growth}) — \
          a per-window path is allocating"
+    );
+}
+
+#[test]
+fn multi_cycle_span_arenas_do_not_drive_allocations() {
+    // Wide fixed windows make every shipped shard record many ticks per
+    // span into its tick/op/miss/guard-key arenas before the merge
+    // replays them. Those arenas reset in place after each replay, so
+    // once their high-water capacity is reached the per-span cost must
+    // be allocation-free — longer runs (≈4× the rounds, and therefore
+    // ≈4× the recorded span ticks) may not allocate more than the same
+    // additive slack.
+    let backend = SimBackend::Par(2);
+    let window = SimWindow::Fixed(64);
+    let _ = run_and_count_windowed(8, backend, window);
+    let (short_allocs, short_events) = run_and_count_windowed(256, backend, window);
+    let (long_allocs, long_events) = run_and_count_windowed(1024, backend, window);
+    assert!(
+        long_events > short_events * 3,
+        "probe failed to scale the event count ({short_events} -> {long_events})"
+    );
+    let growth = long_allocs.saturating_sub(short_allocs);
+    assert!(
+        growth < 1024,
+        "span-arena allocations scale with recorded ticks: {short_allocs} allocs at \
+         {short_events} events, {long_allocs} allocs at {long_events} events (+{growth}) — \
+         a per-span path is allocating"
     );
 }

@@ -45,6 +45,10 @@ pub struct ServerConfig {
     /// persisted here and preloaded on startup, so the memo cache
     /// survives daemon restarts (`dynapar serve --store DIR`).
     pub store: Option<std::path::PathBuf>,
+    /// Byte cap on the persisted store (`--store-max-bytes N`).
+    /// Least-recently-used entries are evicted from disk when the
+    /// persisted total exceeds the cap. `None` means unbounded.
+    pub store_max_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             store: None,
+            store_max_bytes: None,
         }
     }
 }
@@ -97,7 +102,7 @@ impl Server {
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let registry = Arc::new(match &cfg.store {
-            Some(dir) => Registry::with_store(dir)?,
+            Some(dir) => Registry::with_store_capped(dir, cfg.store_max_bytes)?,
             None => Registry::new(),
         });
         let worker_registry = registry.clone();

@@ -345,6 +345,7 @@ mod tests {
                 metrics: MetricsLevel::Full,
                 gpu: GpuPreset::KeplerK20m,
                 sim_jobs: Some(2),
+                sim_window: dynapar_gpu::SimWindow::Auto,
             }),
             Request::Status { id: 4 },
             Request::Result { id: 5 },
@@ -393,6 +394,7 @@ mod tests {
                 metrics: MetricsLevel::Full,
                 gpu: GpuPreset::KeplerK20m,
                 sim_jobs: None,
+                sim_window: dynapar_gpu::SimWindow::Auto,
             },
             policies: vec![PolicySpec::Threshold(4), PolicySpec::Spawn],
             fork_warmup: None,

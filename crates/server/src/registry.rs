@@ -160,6 +160,53 @@ struct Inner {
     inflight: HashMap<u64, u64>,
     next_id: u64,
     stats: RegistryStats,
+    store_lru: StoreLru,
+}
+
+/// Disk-budget accounting for the artifact store: per-entry file sizes
+/// plus a monotone last-use stamp, so persisted bytes can be capped by
+/// evicting the least-recently-used entries first.
+#[derive(Default)]
+struct StoreLru {
+    clock: u64,
+    /// Total persisted bytes currently accounted for.
+    total: u64,
+    /// hash → (file size in bytes, last-use stamp).
+    entries: HashMap<u64, (u64, u64)>,
+}
+
+impl StoreLru {
+    /// Records (or refreshes) one persisted entry of `size` bytes.
+    fn record(&mut self, hash: u64, size: u64) {
+        self.clock += 1;
+        if let Some((old, _)) = self.entries.insert(hash, (size, self.clock)) {
+            self.total -= old;
+        }
+        self.total += size;
+    }
+
+    /// Marks an entry as just-used (memo hit), if it is persisted.
+    fn touch(&mut self, hash: u64) {
+        if let Some(entry) = self.entries.get_mut(&hash) {
+            self.clock += 1;
+            entry.1 = self.clock;
+        }
+    }
+
+    /// The least-recently-used entry, as `(hash, size)`.
+    fn lru(&self) -> Option<(u64, u64)> {
+        self.entries
+            .iter()
+            .min_by_key(|&(_, &(_, stamp))| stamp)
+            .map(|(&hash, &(size, _))| (hash, size))
+    }
+
+    /// Drops an entry from the accounting (not from disk).
+    fn remove(&mut self, hash: u64) {
+        if let Some((size, _)) = self.entries.remove(&hash) {
+            self.total -= size;
+        }
+    }
 }
 
 /// What [`Registry::submit`] decided to do with a submission.
@@ -209,6 +256,11 @@ pub struct Registry {
     /// (`<hash:016x>.json`) and reloaded into the memo cache on
     /// construction, so the cache survives daemon restarts.
     store: Option<PathBuf>,
+    /// Byte budget for the persisted store. When the total size of
+    /// persisted artifacts exceeds this, least-recently-used entries
+    /// are deleted from disk (the in-memory memo keeps them for this
+    /// process; after a restart their configs simply re-execute).
+    store_max_bytes: Option<u64>,
 }
 
 impl Registry {
@@ -222,10 +274,23 @@ impl Registry {
     /// the memo cache, so a restarted daemon answers repeat submits
     /// from cache without re-simulating.
     pub fn with_store(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_store_capped(dir, None)
+    }
+
+    /// [`with_store`](Registry::with_store) plus an optional byte cap
+    /// on the persisted store (`dynapar serve --store-max-bytes N`).
+    /// Whenever the persisted total exceeds the cap — at preload and
+    /// after each new artifact — least-recently-used entries are
+    /// deleted from disk until the store fits.
+    pub fn with_store_capped(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let registry = Registry {
             store: Some(dir),
+            store_max_bytes: max_bytes,
             ..Registry::default()
         };
         registry.preload()?;
@@ -238,9 +303,10 @@ impl Registry {
     /// not take the daemon down. Returns the number loaded.
     fn preload(&self) -> std::io::Result<usize> {
         let Some(dir) = &self.store else { return Ok(0) };
-        let mut loaded = 0;
+        let mut found: Vec<(u64, PathBuf, u64, std::time::SystemTime)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
+            let entry = entry?;
+            let path = entry.path();
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
@@ -250,6 +316,17 @@ impl Registry {
             let Ok(hash) = u64::from_str_radix(stem, 16) else {
                 continue;
             };
+            let meta = entry.metadata()?;
+            let mtime = meta
+                .modified()
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            found.push((hash, path, meta.len(), mtime));
+        }
+        // Oldest files first, so the restarted daemon's LRU order
+        // matches the previous run's write order.
+        found.sort_by_key(|&(_, _, _, mtime)| mtime);
+        let mut loaded = 0;
+        for (hash, path, size, _) in found {
             let artifact = std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|text| RunArtifact::parse(&text).map_err(|e| e.to_string()));
@@ -257,6 +334,7 @@ impl Registry {
                 Ok(artifact) => {
                     let mut g = self.inner.lock().expect("registry poisoned");
                     g.memo.insert(hash, Arc::new(artifact));
+                    g.store_lru.record(hash, size);
                     loaded += 1;
                 }
                 Err(err) => {
@@ -267,6 +345,7 @@ impl Registry {
                 }
             }
         }
+        self.evict_over_budget();
         Ok(loaded)
     }
 
@@ -278,10 +357,55 @@ impl Registry {
         let Some(dir) = &self.store else { return };
         let tmp = dir.join(format!(".{hash:016x}.json.tmp"));
         let path = dir.join(format!("{hash:016x}.json"));
-        let written = std::fs::write(&tmp, format!("{artifact}\n"))
-            .and_then(|()| std::fs::rename(&tmp, &path));
-        if let Err(err) = written {
-            eprintln!("dynapar-server: failed to persist artifact {hash:016x}: {err}");
+        let text = format!("{artifact}\n");
+        let size = text.len() as u64;
+        let written = std::fs::write(&tmp, &text).and_then(|()| std::fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => {
+                self.inner
+                    .lock()
+                    .expect("registry poisoned")
+                    .store_lru
+                    .record(hash, size);
+                self.evict_over_budget();
+            }
+            Err(err) => {
+                eprintln!("dynapar-server: failed to persist artifact {hash:016x}: {err}");
+            }
+        }
+    }
+
+    /// Deletes least-recently-used persisted entries until the store
+    /// fits `--store-max-bytes`. The cap is a disk budget: the
+    /// in-memory memo keeps evicted artifacts for this process, but
+    /// after a restart an evicted config re-executes from scratch.
+    fn evict_over_budget(&self) {
+        let (Some(dir), Some(max)) = (&self.store, self.store_max_bytes) else {
+            return;
+        };
+        loop {
+            let (hash, size) = {
+                let mut g = self.inner.lock().expect("registry poisoned");
+                if g.store_lru.total <= max {
+                    return;
+                }
+                let Some((hash, size)) = g.store_lru.lru() else {
+                    return;
+                };
+                g.store_lru.remove(hash);
+                (hash, size)
+            };
+            let path = dir.join(format!("{hash:016x}.json"));
+            if let Err(err) = std::fs::remove_file(&path) {
+                eprintln!(
+                    "dynapar-server: failed to evict store entry {}: {err}",
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "dynapar-server: evicted store entry {hash:016x} ({size} bytes, over --store-max-bytes)"
+                );
+            }
         }
     }
 
@@ -306,6 +430,7 @@ impl Registry {
         };
         let admission = if let Some(artifact) = g.memo.get(&hash).cloned() {
             g.stats.memo_hits += 1;
+            g.store_lru.touch(hash);
             job.state = JobState::Done;
             job.cached = true;
             job.artifact = Some(artifact);
@@ -666,6 +791,63 @@ mod tests {
             matches!(r2.submit(1), Admission::Execute { .. }),
             "corrupt entry not preloaded"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_cap_evicts_lru_entries_and_they_reexecute() {
+        let dir = std::env::temp_dir().join(format!("dynapar-registry-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Measure how large one persisted fake artifact is, so the cap
+        // below budgets an exact number of entries.
+        let entry_size = {
+            let r = Registry::with_store(&dir).expect("store dir");
+            let a = r.submit(1);
+            r.start(a.id()).expect("queued");
+            r.complete(a.id(), fake_artifact());
+            std::fs::metadata(dir.join(format!("{:016x}.json", 1u64)))
+                .expect("persisted")
+                .len()
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Budget for exactly three entries.
+        let r = Registry::with_store_capped(&dir, Some(3 * entry_size)).expect("store dir");
+        for hash in [1u64, 2, 3] {
+            let a = r.submit(hash);
+            r.start(a.id()).expect("queued");
+            r.complete(a.id(), fake_artifact());
+        }
+        // A memo hit refreshes hash 1, leaving hash 2 least recently used.
+        assert!(matches!(r.submit(1), Admission::Cached { .. }));
+        let a = r.submit(4);
+        r.start(a.id()).expect("queued");
+        r.complete(a.id(), fake_artifact());
+        let exists = |hash: u64| dir.join(format!("{hash:016x}.json")).exists();
+        assert!(exists(1), "recently touched entry survives");
+        assert!(!exists(2), "least-recently-used entry evicted");
+        assert!(exists(3) && exists(4), "newer entries survive");
+
+        // A restarted daemon re-executes the evicted config cleanly
+        // and still answers surviving entries from the preloaded cache.
+        let r2 = Registry::with_store_capped(&dir, Some(3 * entry_size)).expect("store dir");
+        assert!(
+            matches!(r2.submit(2), Admission::Execute { .. }),
+            "evicted entry re-executes"
+        );
+        assert!(matches!(r2.submit(1), Admission::Cached { .. }));
+        drop(r2);
+
+        // Restarting under a tighter cap trims the preloaded store too.
+        let r3 = Registry::with_store_capped(&dir, Some(entry_size)).expect("store dir");
+        drop(r3);
+        let remaining = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().and_then(|x| x.to_str()) == Some("json")
+            })
+            .count();
+        assert_eq!(remaining, 1, "preload enforces the cap");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -18,7 +18,8 @@ use dynapar_engine::fnv1a_64;
 use dynapar_engine::json::Json;
 use dynapar_gpu::{
     CanonicalConfig, ChildRequest, ControllerEvent, GpuConfig, LaunchController, LaunchDecision,
-    MetricsLevel, MonitoredMetrics, QueueBackend, RunArtifact, RunOutcome, SimBackend, WatchHook,
+    MetricsLevel, MonitoredMetrics, QueueBackend, RunArtifact, RunOutcome, SimBackend, SimWindow,
+    WatchHook,
 };
 use dynapar_workloads::{suite, Benchmark, BenchmarkSpec, RunOptions, Scale};
 
@@ -160,6 +161,9 @@ pub struct JobRequest {
     /// *not* part of [`canonical`](JobRequest::canonical), which is why
     /// a parallel submit can hit a sequential run's memo entry.
     pub sim_jobs: Option<usize>,
+    /// Lookahead window for the parallel backend. Byte-invisible like
+    /// `sim_jobs` and likewise excluded from the canonical identity.
+    pub sim_window: SimWindow,
 }
 
 impl JobRequest {
@@ -293,6 +297,7 @@ impl JobRequest {
             trace_capacity,
             queue: QueueBackend::default(),
             backend,
+            window: self.sim_window,
             snapshot_at: None,
             snapshot_meta: None,
             watch,
@@ -341,6 +346,9 @@ impl JobRequest {
         if let Some(n) = self.sim_jobs {
             members.push(("sim_jobs", Json::U64(n as u64)));
         }
+        if let SimWindow::Fixed(n) = self.sim_window {
+            members.push(("sim_window", Json::U64(n)));
+        }
         Json::obj(members)
     }
 
@@ -361,7 +369,7 @@ impl JobRequest {
             .ok_or_else(|| "job must be a JSON object".to_string())?;
         const KNOWN: [&str; 7] = ["bench", "scale", "spec", "policy", "seed", "metrics", "gpu"];
         for (k, _) in members {
-            if !KNOWN.contains(&k.as_str()) && k != "sim_jobs" {
+            if !KNOWN.contains(&k.as_str()) && k != "sim_jobs" && k != "sim_window" {
                 return Err(format!("unknown job key {k:?}"));
             }
         }
@@ -428,6 +436,11 @@ impl JobRequest {
             Some(0) => return Err("job key \"sim_jobs\" must be at least 1".into()),
             Some(n) => Some(n as usize),
         };
+        let sim_window = match u64_key("sim_window")? {
+            None => SimWindow::Auto,
+            Some(0) => return Err("job key \"sim_window\" must be at least 1".into()),
+            Some(n) => SimWindow::Fixed(n),
+        };
         Ok(JobRequest {
             workload,
             policy,
@@ -435,6 +448,7 @@ impl JobRequest {
             metrics,
             gpu,
             sim_jobs,
+            sim_window,
         })
     }
 }
@@ -553,6 +567,7 @@ mod tests {
             metrics: MetricsLevel::Full,
             gpu: GpuPreset::KeplerK20m,
             sim_jobs: None,
+            sim_window: SimWindow::Auto,
         }
     }
 
@@ -590,6 +605,28 @@ mod tests {
             let err = JobRequest::from_json(&doc).unwrap_err();
             assert!(err.contains(needle), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn sim_window_rides_the_wire_but_not_the_identity() {
+        // Auto is the default and stays off the wire, so pre-window
+        // clients and servers interoperate unchanged.
+        let auto = tiny_req();
+        assert!(
+            !auto.to_json().to_string().contains("sim_window"),
+            "Auto must serialize to nothing"
+        );
+        let mut fixed = tiny_req();
+        fixed.sim_window = SimWindow::Fixed(8);
+        assert!(fixed.to_json().to_string().contains("\"sim_window\":8"));
+        let back = JobRequest::from_json(&fixed.to_json()).expect("round-trip");
+        assert_eq!(back, fixed);
+        // Like sim_jobs, the window is a host-side execution knob:
+        // byte-invisible, so it must not split the memo key.
+        assert_eq!(auto.canonical_hash(), fixed.canonical_hash());
+        let bad = Json::parse(r#"{"bench":"AMR","policy":"spawn","sim_window":0}"#).unwrap();
+        let err = JobRequest::from_json(&bad).unwrap_err();
+        assert!(err.contains("sim_window"), "{err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn start_with(workers: usize, store: Option<std::path::PathBuf>) -> (String, Joi
         addr: "127.0.0.1:0".to_string(),
         workers,
         store,
+        store_max_bytes: None,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound").to_string();
@@ -48,6 +49,7 @@ fn tiny_job(bench: &str, policy: PolicySpec, sim_jobs: Option<usize>) -> JobRequ
         metrics: MetricsLevel::Full,
         gpu: GpuPreset::KeplerK20m,
         sim_jobs,
+        sim_window: Default::default(),
     }
 }
 
@@ -239,6 +241,7 @@ fn ramp_job(policy: PolicySpec) -> JobRequest {
         metrics: MetricsLevel::Full,
         gpu: GpuPreset::KeplerK20m,
         sim_jobs: None,
+        sim_window: Default::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn job(policy: PolicySpec, sim_jobs: Option<usize>) -> JobRequest {
         metrics: MetricsLevel::Full,
         gpu: GpuPreset::KeplerK20m,
         sim_jobs,
+        sim_window: Default::default(),
     }
 }
 

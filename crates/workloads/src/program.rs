@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use dynapar_gpu::{
     GpuConfig, Json, KernelDesc, LaunchController, MetricsLevel, QueueBackend, RunOutcome,
-    SimBackend, SimReport, Simulation, SnapError, ThreadSource, ThreadWork, WatchHook,
+    SimBackend, SimReport, SimWindow, Simulation, SnapError, ThreadSource, ThreadWork, WatchHook,
 };
 
 /// Input-size presets.
@@ -83,6 +83,9 @@ pub struct RunOptions {
     pub queue: QueueBackend,
     /// Execution backend (default sequential).
     pub backend: SimBackend,
+    /// Lookahead window policy for the parallel backend (default auto;
+    /// byte-invisible — the window changes wall time only).
+    pub window: SimWindow,
     /// Arm a snapshot capture at this cycle; the container comes back
     /// in [`RunOutcome::snapshot`].
     pub snapshot_at: Option<u64>,
@@ -103,7 +106,8 @@ impl RunOptions {
             .controller(controller)
             .metrics(metrics)
             .queue(self.queue)
-            .backend(self.backend);
+            .backend(self.backend)
+            .sim_window(self.window);
         if let Some(cap) = self.trace_capacity {
             builder = builder.trace(cap);
         }
@@ -342,16 +346,9 @@ impl Benchmark {
         &self,
         cfg: &GpuConfig,
         controller: Box<dyn LaunchController>,
-        queue: QueueBackend,
-        backend: SimBackend,
+        opts: RunOptions,
     ) -> RunOutcome {
-        let mut sim = Simulation::builder(cfg.clone())
-            .controller(controller)
-            .metrics(MetricsLevel::Off)
-            .queue(queue)
-            .backend(backend)
-            .profile(true)
-            .build();
+        let mut sim = opts.builder(cfg, controller, MetricsLevel::Off).profile(true).build();
         sim.launch_host(self.kernel());
         sim.run()
     }

@@ -20,9 +20,9 @@
 
 use dynapar::core::{BaselineDp, SpawnPolicy};
 use dynapar::gpu::{
-    GpuConfig, InlineAll, LaunchController, MetricsLevel, QueueBackend, SimBackend,
+    GpuConfig, InlineAll, LaunchController, MetricsLevel, SimBackend, SimWindow,
 };
-use dynapar::workloads::{suite, Scale};
+use dynapar::workloads::{suite, RunOptions, Scale};
 
 /// `(benchmark, scheme, events_processed)` at tiny scale with the
 /// default seed, Table II config, and the default (wheel) queue.
@@ -51,6 +51,10 @@ fn controller(scheme: &str, cfg: &GpuConfig) -> Box<dyn LaunchController> {
 }
 
 fn check_backend(backend: SimBackend) {
+    check_windowed(backend, SimWindow::default());
+}
+
+fn check_windowed(backend: SimBackend, window: SimWindow) {
     let cfg = GpuConfig::kepler_k20m();
     let print =
         backend == SimBackend::Seq && std::env::var_os("DYNAPAR_GOLDEN").is_some_and(|v| v == "print");
@@ -59,13 +63,15 @@ fn check_backend(backend: SimBackend) {
         let b = suite::by_name(bench, Scale::Tiny, suite::DEFAULT_SEED)
             .expect("known benchmark");
         let got = b
-            .run_full_with(
+            .run_full_opts(
                 &cfg,
                 controller(scheme, &cfg),
-                None,
                 MetricsLevel::Off,
-                QueueBackend::default(),
-                backend,
+                RunOptions {
+                    backend,
+                    window,
+                    ..RunOptions::default()
+                },
             )
             .report
             .events_processed;
@@ -95,4 +101,13 @@ fn event_counts_match_golden_on_parallel_backend() {
     // event stream: the golden table is shared, not duplicated, so any
     // seq/par divergence fails one column and not the other.
     check_backend(SimBackend::Par(4));
+}
+
+#[test]
+fn event_counts_match_golden_on_windowed_parallel_backend() {
+    // Same shared table with a wide fixed lookahead window: multi-cycle
+    // spans record and replay many anchor ticks per ship, and every
+    // replayed tick must contribute exactly the events the sequential
+    // loop would have processed.
+    check_windowed(SimBackend::Par(4), SimWindow::Fixed(64));
 }

@@ -176,6 +176,20 @@ fn main() {
             )),
         }
     }
+    // The parallel backend clamps its worker count to the visible CPU
+    // cores (crates/gpu sim); asking for more silently measures fewer
+    // workers than requested, so say so up front.
+    if let SimBackend::Par(n) = backend {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if n > cores {
+            eprintln!(
+                "perf: warning: --sim-jobs {n} exceeds the {cores} available \
+                 core{}; the backend clamps to {cores} worker{}",
+                if cores == 1 { "" } else { "s" },
+                if cores == 1 { "" } else { "s" },
+            );
+        }
+    }
     if let Some(path) = &check_profile {
         match validate_profile_artifact(path) {
             Ok(msg) => {

@@ -7,6 +7,7 @@
 //! `"policy":"spawn"` on the wire are one code path.
 
 use dynapar_core::PolicySpec;
+use dynapar_engine::log::Level;
 use dynapar_gpu::{MetricsLevel, SimWindow};
 use dynapar_workloads::Scale;
 
@@ -100,6 +101,14 @@ pub enum Command {
         /// Byte budget for the artifact store: least-recently-used
         /// entries are evicted once the persisted total exceeds it.
         store_max_bytes: Option<u64>,
+        /// Structured-log sink: one JSON object per line with daemon
+        /// lifecycle, request, and job events.
+        log_file: Option<String>,
+        /// Minimum level written to `--log-file` (default `info`).
+        log_level: Level,
+        /// Perfetto trace output: job-lifecycle spans collected while
+        /// serving, written once when the daemon exits.
+        trace_out: Option<String>,
     },
     /// Compare two snapshot files field by field.
     SnapDiff {
@@ -126,6 +135,16 @@ pub enum Command {
     },
     /// Print a running daemon's lifetime counters.
     ServerStats {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+    },
+    /// Print a running daemon's latency histograms and gauges.
+    ServerMetrics {
+        /// Daemon address (`HOST:PORT`).
+        addr: String,
+    },
+    /// Probe a running daemon's liveness (uptime, workers, queue).
+    ServerHealth {
         /// Daemon address (`HOST:PORT`).
         addr: String,
     },
@@ -183,11 +202,14 @@ USAGE:
   dynapar check-artifact --file <PATH>
   dynapar check-timeline --file <PATH>
   dynapar serve [--listen ADDR] [--workers N] [--port-file F] [--store DIR]
-                [--store-max-bytes N]
+                [--store-max-bytes N] [--log-file F [--log-level L]]
+                [--trace-out F]
   dynapar submit --addr HOST:PORT (--bench <NAME> | --spec <PATH>)
                  --policy <POLICY> [--metrics L] [--emit-json F] [options]
   dynapar snap-diff A.snap B.snap
   dynapar server-stats --addr HOST:PORT
+  dynapar server-metrics --addr HOST:PORT
+  dynapar server-health --addr HOST:PORT
   dynapar server-shutdown --addr HOST:PORT
   dynapar config
   dynapar list
@@ -222,6 +244,12 @@ SERVER:    `serve` starts the line-JSON v1 daemon (docs/SERVER.md);
            `serve --store DIR` persists completed artifacts so the memo
            cache survives daemon restarts; --store-max-bytes N caps the
            store, evicting least-recently-used entries.
+           `serve --log-file F` writes structured JSON logs (one object
+           per line; --log-level debug|info|warn|error, default info);
+           `serve --trace-out F` writes a Perfetto job timeline at exit.
+           `server-metrics` prints latency histograms + gauges (JSON
+           with an embedded Prometheus text rendering); `server-health`
+           is a cheap liveness probe. See docs/OBSERVABILITY.md.
            `snap-diff A B` compares two snapshot files: differing header
            fields, then the first divergent byte of the binary state
 ";
@@ -270,6 +298,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut fork_warmup: Option<u64> = None;
     let mut store: Option<String> = None;
     let mut store_max_bytes: Option<u64> = None;
+    let mut log_file: Option<String> = None;
+    let mut log_level: Option<Level> = None;
+    let mut trace_out: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let sub = args.first().map(String::as_str).unwrap_or("help");
 
@@ -386,6 +417,15 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 }
                 store_max_bytes = Some(n);
             }
+            "--log-file" => {
+                log_file = Some(take_value(args, &mut i, "--log-file")?.to_string());
+            }
+            "--log-level" => {
+                log_level = Some(Level::parse(take_value(args, &mut i, "--log-level")?)?);
+            }
+            "--trace-out" => {
+                trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_string());
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -478,12 +518,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             if store_max_bytes.is_some() && store.is_none() {
                 return Err("--store-max-bytes needs --store".to_string());
             }
+            if log_level.is_some() && log_file.is_none() {
+                return Err("--log-level needs --log-file".to_string());
+            }
             Command::Serve {
                 listen,
                 workers,
                 port_file,
                 store,
                 store_max_bytes,
+                log_file,
+                log_level: log_level.unwrap_or(Level::Info),
+                trace_out,
             }
         }
         "snap-diff" => {
@@ -507,6 +553,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
         }
         "server-stats" => Command::ServerStats { addr: need_addr()? },
+        "server-metrics" => Command::ServerMetrics { addr: need_addr()? },
+        "server-health" => Command::ServerHealth { addr: need_addr()? },
         "server-shutdown" => Command::ServerShutdown { addr: need_addr()? },
         "config" => Command::Config,
         "list" => Command::List,
@@ -891,6 +939,9 @@ mod tests {
                 port_file: None,
                 store: None,
                 store_max_bytes: None,
+                log_file: None,
+                log_level: Level::Info,
+                trace_out: None,
             }
         );
         let cli = parse(&v(&[
@@ -906,9 +957,46 @@ mod tests {
                 port_file: Some("p.txt".into()),
                 store: Some("cache/".into()),
                 store_max_bytes: None,
+                log_file: None,
+                log_level: Level::Info,
+                trace_out: None,
             }
         );
         assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_observability_flags() {
+        let cli = parse(&v(&[
+            "serve", "--log-file", "d.log", "--log-level", "debug", "--trace-out", "t.json",
+        ]))
+        .expect("valid");
+        match cli.command {
+            Command::Serve {
+                log_file,
+                log_level,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(log_file.as_deref(), Some("d.log"));
+                assert_eq!(log_level, Level::Debug);
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // The level only means something with a file to filter into.
+        assert!(parse(&v(&["serve", "--log-level", "debug"])).is_err());
+        assert!(parse(&v(&["serve", "--log-file", "d.log", "--log-level", "loud"])).is_err());
+    }
+
+    #[test]
+    fn server_metrics_and_health_subcommands() {
+        let cli = parse(&v(&["server-metrics", "--addr", "h:1"])).expect("valid");
+        assert_eq!(cli.command, Command::ServerMetrics { addr: "h:1".into() });
+        let cli = parse(&v(&["server-health", "--addr", "h:1"])).expect("valid");
+        assert_eq!(cli.command, Command::ServerHealth { addr: "h:1".into() });
+        assert!(parse(&v(&["server-metrics"])).is_err());
+        assert!(parse(&v(&["server-health"])).is_err());
     }
 
     #[test]

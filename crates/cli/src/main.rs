@@ -409,14 +409,26 @@ fn exec(cli: Cli) -> Result<(), String> {
             port_file,
             store,
             store_max_bytes,
+            log_file,
+            log_level,
+            trace_out,
         } => {
             let server = Server::bind(&ServerConfig {
                 addr: listen.clone(),
                 workers: *workers,
                 store: store.clone().map(std::path::PathBuf::from),
                 store_max_bytes: *store_max_bytes,
+                log_file: log_file.clone().map(std::path::PathBuf::from),
+                log_level: *log_level,
+                trace_out: trace_out.clone().map(std::path::PathBuf::from),
             })
             .map_err(|e| format!("bind {listen}: {e}"))?;
+            if let Some(path) = log_file {
+                println!("# structured log ({log_level}+) at {path}");
+            }
+            if let Some(path) = trace_out {
+                println!("# Perfetto trace will be written to {path} on exit");
+            }
             if let Some(dir) = store {
                 match store_max_bytes {
                     Some(cap) => println!("# memo cache persisted under {dir} (cap {cap} bytes)"),
@@ -474,6 +486,16 @@ fn exec(cli: Cli) -> Result<(), String> {
             let mut client =
                 Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
             println!("{}", client.stats()?.pretty());
+        }
+        Command::ServerMetrics { addr } => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            println!("{}", client.metrics()?.pretty());
+        }
+        Command::ServerHealth { addr } => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            println!("{}", client.health()?.pretty());
         }
         Command::ServerShutdown { addr } => {
             let mut client =

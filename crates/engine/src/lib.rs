@@ -27,7 +27,10 @@
 //! * [`profile`] — a feature-gated self-profiler attributing host wall
 //!   time to simulator phases (compiled out by default),
 //! * [`json`] / [`metrics`] — a dependency-free JSON tree and a metrics
-//!   registry, the foundation of the run-artifact observability layer.
+//!   registry, the foundation of the run-artifact observability layer,
+//! * [`log`] — structured JSON-lines logging (one object per line with
+//!   a monotonic timestamp, level, and event name), the sink behind the
+//!   server daemon's `--log-file`.
 //!
 //! Everything in this crate is deterministic: given the same inputs and
 //! seeds, every structure reproduces bit-identical results. There is no
@@ -58,6 +61,7 @@
 mod cycle;
 mod event;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod par;
 pub mod profile;

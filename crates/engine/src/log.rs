@@ -1,0 +1,318 @@
+//! Zero-dependency structured logging: one JSON object per line.
+//!
+//! The server daemon needs request/connection/job-lifecycle logs that a
+//! human can `tail -f` and a script can parse, without pulling in a
+//! logging framework (the workspace builds offline by policy). This
+//! module provides exactly that: a [`Logger`] handle that renders each
+//! event as a single [`Json`] object on its own line.
+//!
+//! Every line carries three fixed leading members, in this order:
+//!
+//! * `ts` — microseconds since the logger was created (monotonic,
+//!   from [`std::time::Instant`]; never wall-clock),
+//! * `level` — one of `debug` | `info` | `warn` | `error`,
+//! * `event` — a short snake_case event name (`job_done`, `memo_hit`, …),
+//!
+//! followed by any event-specific fields in the order the caller gave
+//! them. Emission reuses [`Json::to_string`], so lines are byte-stable
+//! and always parse back with [`Json::parse`].
+//!
+//! Loggers are cheap to clone (an `Arc` under the hood) and safe to
+//! share across threads; a [`Logger::disabled`] handle costs one branch
+//! per call and never allocates, which keeps instrumented call sites
+//! free when logging is off.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynapar_engine::json::Json;
+//! use dynapar_engine::log::{Level, Logger};
+//!
+//! let log = Logger::disabled();
+//! // Call sites do not need to guard: disabled loggers are no-ops.
+//! log.info("job_done", [("id", Json::U64(7))]);
+//! assert!(!log.enabled(Level::Error));
+//! ```
+
+use crate::json::Json;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-request plumbing (connection accepted, request parsed).
+    Debug,
+    /// Job lifecycle and daemon lifecycle events. The default.
+    Info,
+    /// Recoverable trouble (store persist failure, evictions).
+    Warn,
+    /// Errors that fail a request or a job.
+    Error,
+}
+
+impl Level {
+    /// The lowercase wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a wire name back into a level.
+    pub fn parse(s: &str) -> Result<Level, String> {
+        match s {
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(format!(
+                "unknown log level {other:?}; expected debug|info|warn|error"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+struct Inner {
+    start: Instant,
+    min: Level,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A cheap-to-clone handle emitting one JSON object per line.
+///
+/// Writes are serialized through an internal mutex and flushed per line
+/// so `tail -f` sees events promptly. Sink errors are swallowed:
+/// logging is best-effort telemetry and must never take the daemon down.
+#[derive(Clone)]
+pub struct Logger {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Logger {
+    /// Same as [`Logger::disabled`].
+    fn default() -> Self {
+        Logger::disabled()
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything (the default for library users).
+    pub fn disabled() -> Logger {
+        Logger { inner: None }
+    }
+
+    /// Creates (truncating) `path` and logs events at `min` or above.
+    pub fn to_file(path: &Path, min: Level) -> std::io::Result<Logger> {
+        let file = File::create(path)?;
+        Ok(Logger::to_writer(Box::new(BufWriter::new(file)), min))
+    }
+
+    /// Logs to an arbitrary writer (used by tests and stderr sinks).
+    pub fn to_writer(sink: Box<dyn Write + Send>, min: Level) -> Logger {
+        Logger {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                min,
+                sink: Mutex::new(sink),
+            })),
+        }
+    }
+
+    /// Whether an event at `level` would actually be written.
+    pub fn enabled(&self, level: Level) -> bool {
+        match &self.inner {
+            Some(inner) => level >= inner.min,
+            None => false,
+        }
+    }
+
+    /// Emits one event line: `{"ts":…,"level":…,"event":…,<fields…>}`.
+    ///
+    /// `ts` is microseconds since the logger was created. Fields keep
+    /// the caller's order after the three fixed members.
+    pub fn log<K: Into<String>>(
+        &self,
+        level: Level,
+        event: &str,
+        fields: impl IntoIterator<Item = (K, Json)>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if level < inner.min {
+            return;
+        }
+        let ts = inner.start.elapsed().as_micros() as u64;
+        let mut members: Vec<(String, Json)> = vec![
+            ("ts".into(), Json::U64(ts)),
+            ("level".into(), Json::str(level.as_str())),
+            ("event".into(), Json::str(event)),
+        ];
+        members.extend(fields.into_iter().map(|(k, v)| (k.into(), v)));
+        let line = Json::Obj(members).to_string();
+        if let Ok(mut sink) = inner.sink.lock() {
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
+        }
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug<K: Into<String>>(&self, event: &str, fields: impl IntoIterator<Item = (K, Json)>) {
+        self.log(Level::Debug, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info<K: Into<String>>(&self, event: &str, fields: impl IntoIterator<Item = (K, Json)>) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn<K: Into<String>>(&self, event: &str, fields: impl IntoIterator<Item = (K, Json)>) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error<K: Into<String>>(&self, event: &str, fields: impl IntoIterator<Item = (K, Json)>) {
+        self.log(Level::Error, event, fields);
+    }
+}
+
+// Manual impl: the boxed sink is not `Debug`.
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "Logger(min={})", inner.min),
+            None => f.write_str("Logger(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clonable in-memory sink for asserting on emitted bytes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn every_line_parses_and_carries_event_and_ts() {
+        let buf = SharedBuf::default();
+        let log = Logger::to_writer(Box::new(buf.clone()), Level::Debug);
+        log.debug("conn_open", [("peer", Json::str("127.0.0.1:9"))]);
+        log.info("job_done", [("id", Json::U64(3)), ("ms", Json::U64(12))]);
+        log.error("job_failed", [("id", Json::U64(4))]);
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let doc = Json::parse(line).expect("log line is valid JSON");
+            assert!(doc.get("ts").unwrap().as_u64().is_some(), "{line}");
+            assert!(doc.get("event").unwrap().as_str().is_some(), "{line}");
+            assert!(doc.get("level").unwrap().as_str().is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn field_order_is_fixed_members_then_caller_order() {
+        let buf = SharedBuf::default();
+        let log = Logger::to_writer(Box::new(buf.clone()), Level::Info);
+        log.info("e", [("zz", Json::U64(1)), ("aa", Json::U64(2))]);
+        let line = buf.lines().remove(0);
+        let keys: Vec<String> = Json::parse(&line)
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, ["ts", "level", "event", "zz", "aa"]);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let buf = SharedBuf::default();
+        let log = Logger::to_writer(Box::new(buf.clone()), Level::Warn);
+        log.debug("a", [] as [(&str, Json); 0]);
+        log.info("b", [] as [(&str, Json); 0]);
+        log.warn("c", [] as [(&str, Json); 0]);
+        log.error("d", [] as [(&str, Json); 0]);
+        let events: Vec<String> = buf
+            .lines()
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("event")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(events, ["c", "d"]);
+        assert!(log.enabled(Level::Error));
+        assert!(!log.enabled(Level::Info));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let buf = SharedBuf::default();
+        let log = Logger::to_writer(Box::new(buf.clone()), Level::Debug);
+        for _ in 0..5 {
+            log.info("tick", [] as [(&str, Json); 0]);
+        }
+        let ts: Vec<u64> = buf
+            .lines()
+            .iter()
+            .map(|l| Json::parse(l).unwrap().get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn disabled_logger_is_a_no_op() {
+        let log = Logger::disabled();
+        log.error("ignored", [("k", Json::U64(1))]);
+        assert!(!log.enabled(Level::Error));
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.as_str()), Ok(level));
+        }
+        assert!(Level::parse("verbose").is_err());
+    }
+}

@@ -117,6 +117,37 @@ impl Histogram {
             .collect()
     }
 
+    /// Folds every sample of `other` into `self`.
+    ///
+    /// Both histograms must share the same geometry (`lo`, `hi`, bin
+    /// count); merging is then exact — the result is identical to having
+    /// recorded every sample into one histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram geometry mismatch: [{},{})×{} vs [{},{})×{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len(),
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Fraction of samples with value in `[lo, hi)` computed from bins that
     /// fall entirely inside the interval (approximate at the edges).
     pub fn mass_between(&self, lo: u64, hi: u64) -> f64 {
@@ -196,5 +227,57 @@ mod tests {
     #[should_panic(expected = "empty histogram range")]
     fn rejects_empty_range() {
         Histogram::new(5, 5, 4);
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_upper_bin() {
+        // A sample exactly on an interior edge belongs to the bin it
+        // opens: bins are half-open [bin_lo, bin_lo + width).
+        let mut h = Histogram::new(0, 100, 10);
+        h.add(0); // lowest representable -> bin 0
+        h.add(10); // edge between bin 0 and 1 -> bin 1
+        h.add(99); // last in-range value -> bin 9
+        h.add(100); // == hi: clamps into the last bin
+        assert_eq!(h.bin_counts(), &[1, 1, 0, 0, 0, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let mut all = Histogram::new(0, 1000, 8);
+        let mut a = Histogram::new(0, 1000, 8);
+        let mut b = Histogram::new(0, 1000, 8);
+        for v in [3u64, 999, 1200, 500, 500] {
+            all.add(v);
+            a.add(v);
+        }
+        for v in [0u64, 42, 700] {
+            all.add(v);
+            b.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bin_counts(), all.bin_counts());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_extrema() {
+        let mut a = Histogram::new(0, 10, 2);
+        a.add(7);
+        let empty = Histogram::new(0, 10, 2);
+        a.merge(&empty);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 7);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0, 10, 2);
+        let b = Histogram::new(0, 10, 4);
+        a.merge(&b);
     }
 }

@@ -8,12 +8,16 @@
 //! * [`WindowedEventAvg`] — per-window average of discrete samples (`t_warp`),
 //! * [`TimeWeighted`] — exact time integral of a step function (occupancy),
 //! * [`Histogram`] — fixed-bin histogram with PDF output (Fig. 12),
+//! * [`LatencyHistogram`] — fixed power-of-two-bucket histogram over
+//!   microsecond samples, the storage behind the server's latency
+//!   telemetry (always-mergeable, byte-stable JSON),
 //! * [`Cdf`] — empirical CDF over recorded values (Fig. 20),
 //! * [`Summary`] — one-pass descriptive statistics (mean/sd/percentiles),
 //! * [`Timeline`] — periodic samples of arbitrary payloads (Figs. 6, 19).
 
 mod cdf;
 mod histogram;
+mod latency;
 mod mean;
 mod summary;
 mod timeline;
@@ -22,6 +26,7 @@ mod windowed;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
+pub use latency::{LatencyHistogram, LATENCY_BUCKETS};
 pub use mean::RunningMean;
 pub use summary::Summary;
 pub use timeline::Timeline;

@@ -26,7 +26,10 @@ const PID_KERNELS: u64 = 1;
 /// The `pid` grouping per-SMX dispatch tracks.
 const PID_SMXS: u64 = 2;
 
-fn meta(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> Json {
+/// A `"ph":"M"` metadata record naming a process (`tid: None`) or a
+/// track. Public so other trace producers (the server daemon's
+/// `--trace-out`) emit byte-identical metadata shapes.
+pub fn meta(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> Json {
     let mut members = vec![
         ("name", Json::str(kind)),
         ("ph", Json::str("M")),
@@ -42,7 +45,8 @@ fn meta(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> Json {
     Json::obj(members)
 }
 
-fn complete(pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: Json) -> Json {
+/// A `"ph":"X"` complete span of `dur` trace-time units starting at `ts`.
+pub fn complete(pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: Json) -> Json {
     Json::obj([
         ("name", Json::str(name)),
         ("ph", Json::str("X")),
@@ -54,7 +58,8 @@ fn complete(pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: Json) -> Js
     ])
 }
 
-fn instant(pid: u64, tid: u64, name: &str, ts: u64, args: Json) -> Json {
+/// A thread-scoped `"ph":"i"` instant marker at `ts`.
+pub fn instant(pid: u64, tid: u64, name: &str, ts: u64, args: Json) -> Json {
     Json::obj([
         ("name", Json::str(name)),
         ("ph", Json::str("i")),

@@ -191,6 +191,25 @@ impl Client {
         self.roundtrip(&Request::Stats)
     }
 
+    /// Fetches latency histograms, gauges, and the Prometheus text
+    /// rendering as raw JSON (`dynapar server-metrics`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Request::Metrics)
+    }
+
+    /// Cheap liveness probe: uptime, worker count, queue depth.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn health(&mut self) -> Result<Json, String> {
+        self.roundtrip(&Request::Health)
+    }
+
     /// Asks the daemon to exit.
     ///
     /// # Errors

@@ -23,15 +23,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dynapar_engine::json::Json;
+use dynapar_engine::log::{Level, Logger};
 use dynapar_engine::par::WorkQueue;
 use dynapar_gpu::{MetricsLevel, WatchSample};
 
+use crate::metrics::{health_response, metrics_response, Gauges, Phase, ServerMetrics};
 use crate::proto::{
     error_response, result_response, shutdown_response, stats_response, status_response,
     submit_response, sweep_response, terminal_error, watch_event, Request, MAX_LINE_BYTES,
 };
 use crate::registry::{Admission, JobHandles, JobState, Registry};
 use crate::request::{JobRequest, Observation, CANCEL_SENTINEL};
+use crate::trace::DaemonTrace;
 
 /// How the daemon is brought up.
 #[derive(Debug, Clone)]
@@ -49,6 +52,17 @@ pub struct ServerConfig {
     /// Least-recently-used entries are evicted from disk when the
     /// persisted total exceeds the cap. `None` means unbounded.
     pub store_max_bytes: Option<u64>,
+    /// Structured-log sink (`serve --log-file F`): one JSON object per
+    /// line, request/connection/job-lifecycle events. `None` disables
+    /// logging entirely (zero overhead on every call site).
+    pub log_file: Option<std::path::PathBuf>,
+    /// Minimum level written to the log file (`serve --log-level L`,
+    /// default `info`; `debug` adds per-connection/request events).
+    pub log_level: Level,
+    /// Perfetto trace output (`serve --trace-out F`): job-lifecycle
+    /// spans collected while serving, written as one Trace Event
+    /// Format document when the daemon exits.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +72,9 @@ impl Default for ServerConfig {
             workers: 1,
             store: None,
             store_max_bytes: None,
+            log_file: None,
+            log_level: Level::Info,
+            trace_out: None,
         }
     }
 }
@@ -85,6 +102,23 @@ struct State {
     registry: Arc<Registry>,
     queue: WorkQueue<JobTask>,
     shutdown: AtomicBool,
+    log: Logger,
+    metrics: Arc<ServerMetrics>,
+    trace: Option<Arc<DaemonTrace>>,
+    trace_out: Option<std::path::PathBuf>,
+    workers: usize,
+}
+
+impl State {
+    /// Live gauge values for `metrics`/`health` responses.
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.queued() as u64,
+            inflight: self.registry.inflight_now() as u64,
+            store_bytes: self.registry.store_bytes(),
+            workers: self.workers as u64,
+        }
+    }
 }
 
 /// A bound daemon, ready to [`run`](Server::run).
@@ -101,13 +135,26 @@ impl Server {
     /// Socket errors (bad address, port in use).
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        let log = match &cfg.log_file {
+            Some(path) => Logger::to_file(path, cfg.log_level)?,
+            None => Logger::disabled(),
+        };
+        let metrics = Arc::new(ServerMetrics::new());
+        let trace = cfg.trace_out.as_ref().map(|_| Arc::new(DaemonTrace::new()));
         let registry = Arc::new(match &cfg.store {
-            Some(dir) => Registry::with_store_capped(dir, cfg.store_max_bytes)?,
-            None => Registry::new(),
+            Some(dir) => {
+                Registry::with_store_capped_logged(dir, cfg.store_max_bytes, log.clone())?
+            }
+            None => Registry::with_logger(log.clone()),
         });
-        let worker_registry = registry.clone();
+        let exec = Exec {
+            registry: registry.clone(),
+            metrics: metrics.clone(),
+            trace: trace.clone(),
+            log: log.clone(),
+        };
         let queue = WorkQueue::new(cfg.workers.max(1), move |task: JobTask| {
-            run_job(&worker_registry, task);
+            run_job(&exec, task);
         });
         Ok(Server {
             listener,
@@ -115,6 +162,11 @@ impl Server {
                 registry,
                 queue,
                 shutdown: AtomicBool::new(false),
+                log,
+                metrics,
+                trace,
+                trace_out: cfg.trace_out.clone(),
+                workers: cfg.workers.max(1),
             }),
         })
     }
@@ -137,6 +189,15 @@ impl Server {
     /// connection.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        if let Ok(addr) = self.listener.local_addr() {
+            self.state.log.info(
+                "daemon_start",
+                [
+                    ("addr", Json::str(addr.to_string())),
+                    ("workers", Json::U64(self.state.workers as u64)),
+                ],
+            );
+        }
         loop {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -151,6 +212,22 @@ impl Server {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
+            }
+        }
+        self.state.log.info(
+            "daemon_stop",
+            [("uptime_us", Json::U64(self.state.metrics.uptime_us()))],
+        );
+        // The session trace is rendered once, on the way out — tracing
+        // costs nothing per request beyond recording the moments.
+        if let (Some(trace), Some(path)) = (&self.state.trace, &self.state.trace_out) {
+            let mut text = trace.to_json().to_string();
+            text.push('\n');
+            if let Err(err) = std::fs::write(path, text) {
+                eprintln!(
+                    "dynapar-server: failed to write trace {}: {err}",
+                    path.display()
+                );
             }
         }
         // Dropping `state`'s last clone (handlers exit on their next
@@ -194,6 +271,16 @@ enum Ran {
     Other,
 }
 
+/// Everything a worker needs besides the task itself: the registry it
+/// transitions, plus the observability sinks (latency recorder, trace
+/// collector, structured log). All shared handles, cloned per pool.
+struct Exec {
+    registry: Arc<Registry>,
+    metrics: Arc<ServerMetrics>,
+    trace: Option<Arc<DaemonTrace>>,
+    log: Logger,
+}
+
 /// Runs one entry to a terminal registry state. `runner` is the actual
 /// simulation call (cold, armed, or forked+fallback); cancellation
 /// unwinds out of it and is caught here, so one cancelled branch never
@@ -224,7 +311,8 @@ fn run_entry(
     Ran::Other
 }
 
-fn run_job(registry: &Registry, task: JobTask) {
+fn run_job(exec: &Exec, task: JobTask) {
+    let registry = &*exec.registry;
     let JobTask {
         entries,
         fork_warmup,
@@ -233,9 +321,28 @@ fn run_job(registry: &Registry, task: JobTask) {
     let mut snapshot: Option<Vec<u8>> = None;
     let mut ramp_done = false;
     for (id, req) in entries {
+        let class = req.policy.label();
         let Some(handles) = registry.start(id) else {
-            continue; // cancelled while queued
+            // Cancelled while queued; the registry already transitioned
+            // it, so only the observers need to hear about the skip.
+            exec.log.debug("job_skipped", [("id", Json::U64(id))]);
+            if let Some(trace) = &exec.trace {
+                trace.job_ended(id, "cancelled");
+            }
+            continue;
         };
+        exec.log.info(
+            "job_start",
+            [("id", Json::U64(id)), ("class", Json::str(class.clone()))],
+        );
+        if let Some(trace) = &exec.trace {
+            trace.job_started(id);
+        }
+        if let Some(wait) = registry.queue_wait_us(id) {
+            exec.metrics.record(&class, Phase::QueueWait, wait);
+        }
+        let t0 = std::time::Instant::now();
+        let mut forked_branch = false;
         if let Some(snap) = snapshot.clone() {
             // Forked branch: resume from the shared ramp; any
             // decode/compatibility error falls back to a cold run, so
@@ -244,7 +351,10 @@ fn run_job(registry: &Registry, task: JobTask) {
                 req.run_forked(&snap, observation(&handles))
             });
             match forked {
-                Ran::Completed => registry.note_forked(),
+                Ran::Completed => {
+                    registry.note_forked();
+                    forked_branch = true;
+                }
                 Ran::Other => {}
             }
         } else if want_fork && !ramp_done {
@@ -269,6 +379,56 @@ fn run_job(registry: &Registry, task: JobTask) {
             });
         } else {
             run_entry(registry, id, || req.run_cold(observation(&handles)));
+        }
+        finish_entry(exec, id, &class, t0, forked_branch);
+    }
+}
+
+/// Records the terminal observability for one executed entry: latency
+/// histograms, the `job_done`/`job_failed`/`job_cancelled` log event,
+/// and the trace span end. Purely observational — every registry
+/// transition already happened inside `run_entry`.
+fn finish_entry(
+    exec: &Exec,
+    id: u64,
+    class: &str,
+    t0: std::time::Instant,
+    forked_branch: bool,
+) {
+    let execute_us = t0.elapsed().as_micros() as u64;
+    exec.metrics.record(class, Phase::Execute, execute_us);
+    let end_to_end_us = exec.registry.age_us(id);
+    if let Some(e2e) = end_to_end_us {
+        exec.metrics.record(class, Phase::EndToEnd, e2e);
+    }
+    let queue_wait_us = exec.registry.queue_wait_us(id);
+    let snap = exec.registry.snapshot(id);
+    let state = snap.as_ref().map_or(JobState::Failed, |s| s.state);
+    if forked_branch {
+        exec.log.info("fork_branch", [("id", Json::U64(id))]);
+        if let Some(trace) = &exec.trace {
+            trace.job_forked(id);
+        }
+    }
+    if let Some(trace) = &exec.trace {
+        trace.job_ended(id, state.name());
+    }
+    let mut fields = vec![
+        ("id", Json::U64(id)),
+        ("class", Json::str(class)),
+        ("state", Json::str(state.name())),
+        ("queue_wait_us", Json::U64(queue_wait_us.unwrap_or(0))),
+        ("execute_us", Json::U64(execute_us)),
+        ("end_to_end_us", Json::U64(end_to_end_us.unwrap_or(0))),
+    ];
+    match state {
+        JobState::Done => exec.log.info("job_done", fields),
+        JobState::Cancelled => exec.log.info("job_cancelled", fields),
+        _ => {
+            if let Some(err) = snap.as_ref().and_then(|s| s.error.clone()) {
+                fields.push(("error", Json::str(err)));
+            }
+            exec.log.error("job_failed", fields);
         }
     }
 }
@@ -352,13 +512,56 @@ fn admit(
             "summary|full|timeseries"
         ));
     }
+    let class = job.policy.label();
     let hash = job.canonical_hash();
+    let t0 = std::time::Instant::now();
     let admission = state.registry.submit(hash);
+    state.metrics.record(
+        &class,
+        Phase::MemoLookup,
+        t0.elapsed().as_micros() as u64,
+    );
     let cached = admission.cached();
     let id = admission.id();
     let entry = match admission {
-        Admission::Execute { id } => Some((id, job)),
-        _ => None,
+        Admission::Execute { id } => {
+            state.log.info(
+                "job_queued",
+                [
+                    ("id", Json::U64(id)),
+                    ("hash", Json::str(format!("{hash:016x}"))),
+                    ("class", Json::str(class)),
+                ],
+            );
+            if let Some(trace) = &state.trace {
+                trace.job_queued(id, &job.policy.label());
+            }
+            Some((id, job))
+        }
+        Admission::Cached { id } => {
+            state.log.info(
+                "memo_hit",
+                [
+                    ("id", Json::U64(id)),
+                    ("hash", Json::str(format!("{hash:016x}"))),
+                    ("class", Json::str(class)),
+                ],
+            );
+            if let Some(trace) = &state.trace {
+                trace.memo_hit(id, hash);
+            }
+            None
+        }
+        Admission::Coalesced { id, primary } => {
+            state.log.info(
+                "coalesced",
+                [("id", Json::U64(id)), ("primary", Json::U64(primary))],
+            );
+            if let Some(trace) = &state.trace {
+                trace.coalesced(id, primary);
+            }
+            None
+        }
     };
     Ok(((id, cached, hash), entry))
 }
@@ -377,6 +580,17 @@ fn wait_terminal(state: &State, id: u64) -> Option<crate::registry::JobSnapshot>
 }
 
 fn handle_client(stream: TcpStream, state: &State) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    state
+        .log
+        .debug("conn_open", [("peer", Json::str(peer.clone()))]);
+    handle_client_inner(stream, state);
+    state.log.debug("conn_close", [("peer", Json::str(peer))]);
+}
+
+fn handle_client_inner(stream: TcpStream, state: &State) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -505,9 +719,26 @@ fn handle_client(stream: TcpStream, state: &State) {
             }
             Request::Stats => send(
                 &mut writer,
-                &stats_response(&state.registry.stats(), state.queue.queued()),
+                &stats_response(
+                    &state.registry.stats(),
+                    state.queue.queued(),
+                    state.metrics.uptime_us(),
+                    state.registry.inflight_now(),
+                    state.registry.store_bytes(),
+                ),
+            ),
+            Request::Metrics => send(
+                &mut writer,
+                &metrics_response(&state.metrics, &state.gauges()),
+            ),
+            Request::Health => send(
+                &mut writer,
+                &health_response(&state.metrics, &state.gauges()),
             ),
             Request::Shutdown => {
+                state
+                    .log
+                    .info("shutdown_request", std::iter::empty::<(&str, Json)>());
                 send(&mut writer, &shutdown_response());
                 state.shutdown.store(true, Ordering::SeqCst);
                 false

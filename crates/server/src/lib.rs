@@ -15,7 +15,12 @@
 //!   in-flight coalescing, FIFO fairness, lifetime stats;
 //! * [`proto`] — the frozen v1 line-JSON wire protocol
 //!   (`submit`/`status`/`result`/`watch`/`cancel`/`sweep`/`stats`/
-//!   `shutdown`);
+//!   `metrics`/`health`/`shutdown`);
+//! * [`metrics`] — service-level telemetry: per-class latency
+//!   histograms (queue-wait / execute / end-to-end / memo-lookup) and
+//!   live gauges, rendered as JSON and Prometheus exposition text;
+//! * [`trace`] — the daemon-level Perfetto trace collector
+//!   (`serve --trace-out F`): one span per job, memo hits as instants;
 //! * [`daemon`] — the TCP accept loop, connection handlers and the
 //!   [`WorkQueue`](dynapar_engine::par::WorkQueue)-backed executor;
 //! * [`client`] — a minimal blocking client (what `dynapar submit` and
@@ -65,14 +70,20 @@
 
 pub mod client;
 pub mod daemon;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod request;
+pub mod trace;
 
 pub use client::{Client, ResultAck, SubmitAck};
 pub use daemon::{Server, ServerConfig};
+pub use metrics::{
+    health_response, metrics_response, ClassMetrics, Gauges, Phase, ServerMetrics,
+};
 pub use proto::{Request, MAX_LINE_BYTES, PROTOCOL_VERSION};
 pub use registry::{
     Admission, JobHandles, JobSnapshot, JobState, Registry, RegistryStats, SampleRing,
 };
 pub use request::{GpuPreset, JobRequest, Observation, SweepRequest, WorkloadRef};
+pub use trace::DaemonTrace;

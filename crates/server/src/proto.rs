@@ -13,7 +13,9 @@
 //! | `watch` | `id` | a stream of `{ok,event:"progress",…[,samples]}` lines, then `{ok,event:"end",…}` |
 //! | `cancel` | `id` | `{ok,id,state}` |
 //! | `sweep` | `job`, `policies`[, `fork_warmup`] | `{ok,ids,cached,hashes}` |
-//! | `stats` | — | `{ok,submitted,executed,memo_hits,…}` |
+//! | `stats` | — | `{ok,submitted,executed,memo_hits,…,uptime_us,inflight_now,store_bytes}` |
+//! | `metrics` | — | `{ok,uptime_us,gauges,latencies,prometheus}` |
+//! | `health` | — | `{ok,status,uptime_us,workers,queue_depth,inflight}` |
 //! | `shutdown` | — | `{ok,stopping:true}`, then the daemon exits |
 //!
 //! Failures are `{"ok":false,"error":"…"}`. Parsing is strict on both
@@ -75,6 +77,11 @@ pub enum Request {
     Sweep(SweepRequest),
     /// Report daemon lifetime counters.
     Stats,
+    /// Report latency histograms and live gauges (see
+    /// [`metrics_response`](crate::metrics::metrics_response)).
+    Metrics,
+    /// Cheap liveness probe (uptime, workers, queue depth).
+    Health,
     /// Stop accepting connections and exit the accept loop.
     Shutdown,
 }
@@ -105,10 +112,10 @@ impl Request {
             "submit" => &["v", "type", "job"],
             "sweep" => &["v", "type", "job", "policies", "fork_warmup"],
             "status" | "result" | "watch" | "cancel" => &["v", "type", "id"],
-            "stats" | "shutdown" => &["v", "type"],
+            "stats" | "metrics" | "health" | "shutdown" => &["v", "type"],
             other => {
                 return Err(format!(
-                    "unknown request type {other:?}; expected submit|status|result|watch|cancel|sweep|stats|shutdown"
+                    "unknown request type {other:?}; expected submit|status|result|watch|cancel|sweep|stats|metrics|health|shutdown"
                 ))
             }
         };
@@ -162,6 +169,8 @@ impl Request {
             "watch" => Ok(Request::Watch { id: id()? }),
             "cancel" => Ok(Request::Cancel { id: id()? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             _ => unreachable!("type validated above"),
         }
@@ -203,6 +212,8 @@ impl Request {
                 }
             }
             Request::Stats => members.push(("type", Json::str("stats"))),
+            Request::Metrics => members.push(("type", Json::str("metrics"))),
+            Request::Health => members.push(("type", Json::str("health"))),
             Request::Shutdown => members.push(("type", Json::str("shutdown"))),
         }
         Json::obj(members)
@@ -291,8 +302,20 @@ pub fn watch_event(snap: &JobSnapshot, end: bool, samples: Vec<Json>) -> Json {
     Json::obj(members)
 }
 
-/// The stats report. `queued_now` is the worker queue's current depth.
-pub fn stats_response(stats: &RegistryStats, queued_now: usize) -> Json {
+/// The stats report: lifetime counters plus live daemon state.
+/// `queued_now` is the worker queue's current depth, `uptime_us` is
+/// host microseconds since the daemon started, `inflight_now` counts
+/// distinct configs currently queued or running, and `store_bytes` is
+/// the persisted artifact-store size (0 without `--store`). Existing
+/// keys keep their positions; the live values append after them, so
+/// pre-existing clients parse unchanged.
+pub fn stats_response(
+    stats: &RegistryStats,
+    queued_now: usize,
+    uptime_us: u64,
+    inflight_now: usize,
+    store_bytes: u64,
+) -> Json {
     Json::obj([
         ("ok", Json::Bool(true)),
         ("submitted", Json::U64(stats.submitted)),
@@ -303,6 +326,9 @@ pub fn stats_response(stats: &RegistryStats, queued_now: usize) -> Json {
         ("cancelled", Json::U64(stats.cancelled)),
         ("forked", Json::U64(stats.forked)),
         ("queued_now", Json::U64(queued_now as u64)),
+        ("uptime_us", Json::U64(uptime_us)),
+        ("inflight_now", Json::U64(inflight_now as u64)),
+        ("store_bytes", Json::U64(store_bytes)),
     ])
 }
 
@@ -352,6 +378,8 @@ mod tests {
             Request::Watch { id: 6 },
             Request::Cancel { id: 7 },
             Request::Stats,
+            Request::Metrics,
+            Request::Health,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -371,6 +399,8 @@ mod tests {
             (r#"{"v":1}"#, "type"),
             (r#"{"v":1,"type":"frobnicate"}"#, "unknown request type"),
             (r#"{"v":1,"type":"stats","id":3}"#, "unknown key"),
+            (r#"{"v":1,"type":"metrics","id":3}"#, "unknown key"),
+            (r#"{"v":1,"type":"health","verbose":true}"#, "unknown key"),
             (r#"{"v":1,"type":"status"}"#, "numeric `id`"),
             (r#"{"v":1,"type":"submit"}"#, "`job`"),
             (r#"{"v":1,"type":"sweep","job":{"bench":"AMR","policy":"flat"},"policies":[]}"#, "empty"),
@@ -417,6 +447,27 @@ mod tests {
         let bad = r#"{"v":1,"type":"sweep","job":{"bench":"AMR","policy":"flat"},"policies":["spawn"],"fork_warmup":"soon"}"#;
         let err = Request::parse_line(bad).unwrap_err();
         assert!(err.contains("fork_warmup"), "{err}");
+    }
+
+    #[test]
+    fn stats_response_field_order_is_byte_stable() {
+        let stats = RegistryStats {
+            submitted: 3,
+            executed: 1,
+            memo_hits: 1,
+            coalesced: 1,
+            failed: 0,
+            cancelled: 0,
+            forked: 0,
+        };
+        assert_eq!(
+            stats_response(&stats, 2, 1234, 1, 9000).to_string(),
+            concat!(
+                r#"{"ok":true,"submitted":3,"executed":1,"memo_hits":1,"#,
+                r#""coalesced":1,"failed":0,"cancelled":0,"forked":0,"#,
+                r#""queued_now":2,"uptime_us":1234,"inflight_now":1,"store_bytes":9000}"#
+            )
+        );
     }
 
     #[test]

@@ -24,8 +24,10 @@ use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use dynapar_engine::json::Json;
+use dynapar_engine::log::Logger;
 use dynapar_gpu::RunArtifact;
 
 /// Cap on each job's pending watch-sample ring; a stalled watcher drops
@@ -150,6 +152,12 @@ struct Job {
     progress: Arc<AtomicU64>,
     cancel: Arc<AtomicBool>,
     samples: SampleRing,
+    /// Host-time admission instant, for queue-wait / end-to-end
+    /// latency telemetry (never read by simulations — determinism is
+    /// untouched).
+    queued_at: Instant,
+    /// Host-time worker pickup instant, once running.
+    started_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -261,6 +269,10 @@ pub struct Registry {
     /// are deleted from disk (the in-memory memo keeps them for this
     /// process; after a restart their configs simply re-execute).
     store_max_bytes: Option<u64>,
+    /// Structured sink for store lifecycle events (preload, persist
+    /// failures, evictions). Disabled by default; the daemon threads
+    /// its `--log-file` logger through.
+    log: Logger,
 }
 
 impl Registry {
@@ -277,6 +289,15 @@ impl Registry {
         Self::with_store_capped(dir, None)
     }
 
+    /// An empty registry whose lifecycle events go to `log` (the
+    /// daemon's `--log-file` sink).
+    pub fn with_logger(log: Logger) -> Self {
+        Registry {
+            log,
+            ..Registry::default()
+        }
+    }
+
     /// [`with_store`](Registry::with_store) plus an optional byte cap
     /// on the persisted store (`dynapar serve --store-max-bytes N`).
     /// Whenever the persisted total exceeds the cap — at preload and
@@ -286,11 +307,23 @@ impl Registry {
         dir: impl Into<PathBuf>,
         max_bytes: Option<u64>,
     ) -> std::io::Result<Self> {
+        Self::with_store_capped_logged(dir, max_bytes, Logger::disabled())
+    }
+
+    /// [`with_store_capped`](Registry::with_store_capped) with a
+    /// structured logger attached before preload runs, so store
+    /// preload/corruption/eviction events land in the daemon log.
+    pub fn with_store_capped_logged(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+        log: Logger,
+    ) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let registry = Registry {
             store: Some(dir),
             store_max_bytes: max_bytes,
+            log,
             ..Registry::default()
         };
         registry.preload()?;
@@ -342,10 +375,25 @@ impl Registry {
                         "dynapar-server: skipping corrupt store entry {}: {err}",
                         path.display()
                     );
+                    self.log.warn(
+                        "store_corrupt_entry",
+                        [
+                            ("path", Json::str(path.display().to_string())),
+                            ("error", Json::str(err)),
+                        ],
+                    );
                 }
             }
         }
         self.evict_over_budget();
+        let bytes = self.store_bytes();
+        self.log.info(
+            "store_preload",
+            [
+                ("loaded", Json::U64(loaded as u64)),
+                ("bytes", Json::U64(bytes)),
+            ],
+        );
         Ok(loaded)
     }
 
@@ -371,6 +419,13 @@ impl Registry {
             }
             Err(err) => {
                 eprintln!("dynapar-server: failed to persist artifact {hash:016x}: {err}");
+                self.log.warn(
+                    "store_persist_failed",
+                    [
+                        ("hash", Json::str(format!("{hash:016x}"))),
+                        ("error", Json::str(err.to_string())),
+                    ],
+                );
             }
         }
     }
@@ -401,9 +456,23 @@ impl Registry {
                     "dynapar-server: failed to evict store entry {}: {err}",
                     path.display()
                 );
+                self.log.warn(
+                    "store_evict_failed",
+                    [
+                        ("hash", Json::str(format!("{hash:016x}"))),
+                        ("error", Json::str(err.to_string())),
+                    ],
+                );
             } else {
                 eprintln!(
                     "dynapar-server: evicted store entry {hash:016x} ({size} bytes, over --store-max-bytes)"
+                );
+                self.log.info(
+                    "store_evict",
+                    [
+                        ("hash", Json::str(format!("{hash:016x}"))),
+                        ("bytes", Json::U64(size)),
+                    ],
                 );
             }
         }
@@ -427,6 +496,8 @@ impl Registry {
             progress: Arc::new(AtomicU64::new(0)),
             cancel: Arc::new(AtomicBool::new(false)),
             samples: SampleRing::default(),
+            queued_at: Instant::now(),
+            started_at: None,
         };
         let admission = if let Some(artifact) = g.memo.get(&hash).cloned() {
             g.stats.memo_hits += 1;
@@ -459,6 +530,7 @@ impl Registry {
             return None;
         }
         job.state = JobState::Running;
+        job.started_at = Some(Instant::now());
         let handles = JobHandles {
             progress: job.progress.clone(),
             cancel: job.cancel.clone(),
@@ -664,6 +736,36 @@ impl Registry {
     pub fn stats(&self) -> RegistryStats {
         self.inner.lock().expect("registry poisoned").stats
     }
+
+    /// Host microseconds job `id` waited between admission and worker
+    /// pickup. `None` for unknown or not-yet-started jobs.
+    pub fn queue_wait_us(&self, id: u64) -> Option<u64> {
+        let g = self.inner.lock().expect("registry poisoned");
+        let job = g.jobs.get(&id)?;
+        let started = job.started_at?;
+        Some(started.duration_since(job.queued_at).as_micros() as u64)
+    }
+
+    /// Host microseconds since job `id` was admitted (end-to-end
+    /// latency when read at the terminal transition). `None` for
+    /// unknown ids.
+    pub fn age_us(&self, id: u64) -> Option<u64> {
+        let g = self.inner.lock().expect("registry poisoned");
+        let job = g.jobs.get(&id)?;
+        Some(job.queued_at.elapsed().as_micros() as u64)
+    }
+
+    /// Distinct configs currently queued or running (the in-flight
+    /// coalescing table's size) — a live gauge for `metrics`/`stats`.
+    pub fn inflight_now(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").inflight.len()
+    }
+
+    /// Bytes currently persisted in the artifact store (0 without a
+    /// store) — a live gauge for `metrics`/`stats`.
+    pub fn store_bytes(&self) -> u64 {
+        self.inner.lock().expect("registry poisoned").store_lru.total
+    }
 }
 
 #[cfg(test)]
@@ -858,6 +960,22 @@ mod tests {
         r.note_forked();
         r.note_forked();
         assert_eq!(r.stats().forked, 2);
+    }
+
+    #[test]
+    fn timing_and_gauges_track_lifecycle() {
+        let r = Registry::new();
+        let a = r.submit(11);
+        assert_eq!(r.inflight_now(), 1, "one config in flight");
+        assert!(r.queue_wait_us(a.id()).is_none(), "not started yet");
+        assert!(r.age_us(a.id()).is_some());
+        r.start(a.id()).expect("queued");
+        assert!(r.queue_wait_us(a.id()).is_some(), "started jobs report wait");
+        r.complete(a.id(), fake_artifact());
+        assert_eq!(r.inflight_now(), 0, "completion clears in-flight");
+        assert_eq!(r.store_bytes(), 0, "no store configured");
+        assert!(r.queue_wait_us(999).is_none(), "unknown id");
+        assert!(r.age_us(999).is_none(), "unknown id");
     }
 
     #[test]

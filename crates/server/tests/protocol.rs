@@ -24,7 +24,7 @@ fn start_with(workers: usize, store: Option<std::path::PathBuf>) -> (String, Joi
         addr: "127.0.0.1:0".to_string(),
         workers,
         store,
-        store_max_bytes: None,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound").to_string();
@@ -195,7 +195,109 @@ fn memo_hit_is_observable_in_daemon_stats() {
     assert_eq!(get("executed"), 1, "the second submit must not simulate");
     assert_eq!(get("memo_hits"), 1);
     assert_eq!(get("failed"), 0);
+    // PR 10: stats also carries live gauges and uptime.
+    assert_eq!(get("queued_now"), 0);
+    assert_eq!(get("inflight_now"), 0);
+    assert!(stats.get("uptime_us").and_then(Json::as_u64).is_some());
+    assert_eq!(get("store_bytes"), 0, "no --store, nothing persisted");
     stop(&addr, handle);
+}
+
+#[test]
+fn metrics_and_health_report_executed_work() {
+    let (addr, handle) = start(1);
+    let mut client = Client::connect(&addr).unwrap();
+    let job = tiny_job("MM-small", PolicySpec::Flat, None);
+    client.run(&job).expect("first run");
+    client.run(&job).expect("memo hit");
+
+    let health = client.health().expect("health");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("workers").and_then(Json::as_u64), Some(1));
+    assert!(health.get("uptime_us").and_then(Json::as_u64).is_some());
+
+    let metrics = client.metrics().expect("metrics");
+    let gauges = metrics.get("gauges").expect("gauges");
+    assert_eq!(gauges.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(gauges.get("inflight").and_then(Json::as_u64), Some(0));
+    // One executed job under the flat policy: its execute histogram
+    // holds exactly one sample, and both submits did a memo lookup.
+    let flat = metrics
+        .get("latencies")
+        .and_then(|l| l.get("flat"))
+        .expect("flat class");
+    let count = |phase: &str| {
+        flat.get(phase)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(count("execute_us"), 1);
+    assert_eq!(count("end_to_end_us"), 1);
+    assert_eq!(count("queue_wait_us"), 1);
+    assert_eq!(count("memo_lookup_us"), 2);
+    let prom = metrics
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prometheus text");
+    assert!(prom.contains("# TYPE dynapar_job_execute_us histogram"));
+    assert!(prom.contains("dynapar_job_execute_us_count{class=\"flat\"} 1"));
+    stop(&addr, handle);
+}
+
+#[test]
+fn log_and_trace_sinks_capture_the_session() {
+    let dir = std::env::temp_dir().join(format!("dynapar-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log_path = dir.join("daemon.log");
+    let trace_path = dir.join("trace.json");
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        log_file: Some(log_path.clone()),
+        log_level: dynapar_engine::log::Level::Debug,
+        trace_out: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = tiny_job("MM-small", PolicySpec::Flat, None);
+    let first = client.run(&job).expect("first run");
+    let second = client.run(&job).expect("memo hit");
+    assert_eq!(first.artifact.to_string(), second.artifact.to_string());
+    stop(&addr, handle);
+
+    // Every log line is one JSON object carrying `event` and `ts`, and
+    // the session recorded both an execution and a memo hit.
+    let text = std::fs::read_to_string(&log_path).expect("log file");
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad log line {line:?}: {e}"));
+        assert!(doc.get("ts").and_then(Json::as_u64).is_some(), "{line}");
+        events.push(doc.get("event").and_then(Json::as_str).unwrap().to_string());
+    }
+    for expected in ["daemon_start", "job_queued", "job_start", "job_done", "memo_hit", "daemon_stop"] {
+        assert!(
+            events.iter().any(|e| e == expected),
+            "log must contain {expected:?}; got {events:?}"
+        );
+    }
+
+    // The trace document parses and holds the job's span.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file");
+    let doc = Json::parse(text.trim()).expect("trace JSON");
+    let spans = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+    assert!(
+        spans.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("job 0")
+        }),
+        "trace must contain job 0's span"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -282,6 +282,53 @@ if ls "$store_dir"/*.json >/dev/null 2>&1; then
     exit 1
 fi
 
+echo "== observability smoke (logs, metrics, trace; artifacts stay byte-identical) =="
+# A fully instrumented daemon (structured log at debug, Perfetto trace)
+# must answer the same job with artifacts byte-identical to the
+# uninstrumented store daemon's (store-1.json above) — observability
+# lives entirely off the simulation path.
+: > "$port_file"
+./target/release/dynapar serve --listen 127.0.0.1:0 --port-file "$port_file" \
+    --log-file "$artifact_dir/daemon.log" --log-level debug \
+    --trace-out "$artifact_dir/daemon-trace.json" &
+server_pid=$!
+i=0
+while [ ! -s "$port_file" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "instrumented daemon never wrote its port file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="127.0.0.1:$(cat "$port_file")"
+./target/release/dynapar submit --addr "$addr" --bench AMR --policy spawn \
+    --scale tiny --emit-json "$artifact_dir/obs-1.json"
+./target/release/dynapar submit --addr "$addr" --bench AMR --policy spawn \
+    --scale tiny --emit-json "$artifact_dir/obs-2.json"
+cmp "$artifact_dir/store-1.json" "$artifact_dir/obs-1.json"
+cmp "$artifact_dir/obs-1.json" "$artifact_dir/obs-2.json"
+./target/release/dynapar server-health --addr "$addr" \
+    | grep -q '"status": "ok"'
+./target/release/dynapar server-metrics --addr "$addr" \
+    | tee "$artifact_dir/server-metrics.out" > /dev/null
+grep -q '"execute_us"' "$artifact_dir/server-metrics.out"
+grep -q 'dynapar_job_execute_us_count' "$artifact_dir/server-metrics.out"
+./target/release/dynapar server-shutdown --addr "$addr"
+wait "$server_pid"
+server_pid=""
+# The log holds the lifecycle: the first submit executed, the second
+# was a memo hit; every line is a JSON object.
+grep -q '"event":"job_done"' "$artifact_dir/daemon.log"
+grep -q '"event":"memo_hit"' "$artifact_dir/daemon.log"
+if grep -v '^{.*}$' "$artifact_dir/daemon.log" >/dev/null; then
+    echo "daemon log contains a non-JSON line" >&2
+    exit 1
+fi
+# The trace is a well-formed Trace Event Format document.
+grep -q '"traceEvents"' "$artifact_dir/daemon-trace.json"
+./target/release/dynapar check-timeline --file "$artifact_dir/daemon-trace.json"
+
 echo "== profile smoke (perf --profile emits a valid dynapar-profile/1) =="
 # Separate target dir: the profile feature changes the compiled code, so
 # sharing target/ with the default build would thrash the cache.
